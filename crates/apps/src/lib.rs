@@ -1,0 +1,141 @@
+//! # cs-apps
+//!
+//! Host package for the repository-level `examples/` and `tests/`
+//! directories (Cargo targets must belong to a package), plus the small
+//! report-formatting utilities the examples and the `cs-bench` experiment
+//! binaries share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A minimal fixed-width text table for experiment reports.
+///
+/// ```
+/// let mut t = cs_apps::Table::new(&["L", "c", "t0", "E/E*"]);
+/// t.row(&["1000".into(), "5".into(), "97.5".into(), "0.999".into()]);
+/// let text = t.render();
+/// assert!(text.contains("t0"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows
+    /// truncated to the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        let mut r: Vec<String> = cells.iter().take(self.headers.len()).cloned().collect();
+        while r.len() < self.headers.len() {
+            r.push(String::new());
+        }
+        self.rows.push(r);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a separator rule.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        if ncol == 0 {
+            return String::new();
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, &width) in widths.iter().enumerate().take(ncol) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:>width$}"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let rule_len = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` significant-looking decimals, trimming
+/// noise for table cells.
+pub fn fmt(x: f64, digits: usize) -> String {
+    if x.is_nan() {
+        "-".into()
+    } else {
+        format!("{x:.digits$}")
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    if x.is_nan() {
+        "-".into()
+    } else {
+        format!("{:.1}%", 100.0 * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["333".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[1].starts_with('-'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn table_truncates_long_rows() {
+        let mut t = Table::new(&["x"]);
+        t.row(&["1".into(), "overflow".into()]);
+        assert!(!t.render().contains("overflow"));
+    }
+
+    #[test]
+    fn fmt_and_pct_handle_nan() {
+        assert_eq!(fmt(f64::NAN, 3), "-");
+        assert_eq!(pct(f64::NAN), "-");
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(pct(0.5), "50.0%");
+    }
+}

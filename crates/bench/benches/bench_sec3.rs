@@ -1,0 +1,38 @@
+//! Criterion benches for the §3 experiment: the Corollary 3.2 existence
+//! test and the DP horizon-sweep probe behind EXP-3.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_core::dp;
+use cs_core::existence::{cor_3_2_test, horizon_sweep};
+use cs_life::{GeometricDecreasing, Pareto};
+use std::hint::black_box;
+
+fn bench_3_2_existence(cr: &mut Criterion) {
+    let mut g = cr.benchmark_group("bench_3_2/existence");
+    let pareto = Pareto::new(2.0).unwrap();
+    g.bench_function("cor_3_2_test", |b| {
+        b.iter(|| cor_3_2_test(black_box(&pareto), black_box(1.0)).unwrap())
+    });
+    let geo = GeometricDecreasing::new(2.0).unwrap();
+    g.sample_size(10);
+    g.bench_function("horizon_sweep_3pts", |b| {
+        b.iter(|| horizon_sweep(black_box(&geo), 1.0, &[20.0, 40.0, 80.0], 800).unwrap())
+    });
+    g.finish();
+}
+
+/// The DP oracle itself, scaling with grid size (it is the ground truth of
+/// nearly every experiment, so its cost matters).
+fn bench_dp_oracle(cr: &mut Criterion) {
+    let mut g = cr.benchmark_group("bench_3_2/dp_oracle");
+    let p = Pareto::new(2.0).unwrap();
+    for n in [500usize, 2_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| dp::solve(black_box(&p), 1.0, 100.0, n).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(sec3, bench_3_2_existence, bench_dp_oracle);
+criterion_main!(sec3);

@@ -1,0 +1,83 @@
+//! Criterion benches for the §4 experiments: guideline generation, `t_0`
+//! bracketing, and the optimal baselines for all three families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_core::recurrence::{guideline_schedule, GuidelineOptions};
+use cs_core::{bounds, optimal, search};
+use cs_life::{GeometricDecreasing, GeometricIncreasing, Polynomial, Uniform};
+use std::hint::black_box;
+
+/// EXP-4.1a kernel: the Theorem 3.2/3.3 bracket on the polynomial family.
+fn bench_4_1_t0_bounds(cr: &mut Criterion) {
+    let mut g = cr.benchmark_group("bench_4_1/t0_bracket");
+    for d in [1u32, 2, 4] {
+        let p = Polynomial::new(d, 10_000.0).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| bounds::t0_bracket(black_box(&p), black_box(5.0)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// EXP-4.1b kernel: full guideline generation on the uniform family.
+fn bench_4_1_uniform(cr: &mut Criterion) {
+    let mut g = cr.benchmark_group("bench_4_1/guideline_schedule");
+    for l in [1_000.0, 100_000.0] {
+        let p = Uniform::new(l).unwrap();
+        let t0 = (2.0f64 * 5.0 * l).sqrt();
+        g.bench_with_input(BenchmarkId::from_parameter(l as u64), &l, |b, _| {
+            b.iter(|| {
+                guideline_schedule(
+                    black_box(&p),
+                    black_box(5.0),
+                    black_box(t0),
+                    &GuidelineOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    // The full searched plan (bracket + 256-point scan + refinement).
+    let p = Uniform::new(1_000.0).unwrap();
+    g.bench_function("full_search", |b| {
+        b.iter(|| search::best_guideline_schedule(black_box(&p), black_box(5.0)).unwrap())
+    });
+    g.finish();
+}
+
+/// EXP-4.2 kernel: optimal-period solve and guideline search on `a^{−t}`.
+fn bench_4_2_geometric(cr: &mut Criterion) {
+    let mut g = cr.benchmark_group("bench_4_2/geometric_decreasing");
+    g.bench_function("optimal_period_solve", |b| {
+        b.iter(|| optimal::geometric_decreasing_optimal(black_box(2.0), black_box(1.0)).unwrap())
+    });
+    let p = GeometricDecreasing::new(2.0).unwrap();
+    g.bench_function("guideline_search", |b| {
+        b.iter(|| search::best_guideline_schedule(black_box(&p), black_box(1.0)).unwrap())
+    });
+    g.finish();
+}
+
+/// EXP-4.3 kernel: \[3\]-shape t0 search and guideline search on the
+/// increasing-risk family.
+fn bench_4_3_increasing(cr: &mut Criterion) {
+    let mut g = cr.benchmark_group("bench_4_3/geometric_increasing");
+    g.sample_size(20);
+    g.bench_function("ref3_shape_search", |b| {
+        b.iter(|| optimal::geometric_increasing_optimal(black_box(64.0), black_box(1.0)).unwrap())
+    });
+    let p = GeometricIncreasing::new(64.0).unwrap();
+    g.bench_function("guideline_search", |b| {
+        b.iter(|| search::best_guideline_schedule(black_box(&p), black_box(1.0)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    sec4,
+    bench_4_1_t0_bounds,
+    bench_4_1_uniform,
+    bench_4_2_geometric,
+    bench_4_3_increasing
+);
+criterion_main!(sec4);

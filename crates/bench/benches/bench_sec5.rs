@@ -1,0 +1,54 @@
+//! Criterion benches for the §5 experiments: perturbation analysis and the
+//! structural-law checks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs_core::structure::{check_growth_law, check_strictly_decreasing};
+use cs_core::{perturb, search};
+use cs_life::{Polynomial, Shape};
+use std::hint::black_box;
+
+fn plan() -> (Polynomial, f64, cs_core::Schedule) {
+    let p = Polynomial::new(2, 1_000.0).unwrap();
+    let c = 5.0;
+    let plan = search::best_guideline_schedule(&p, c).unwrap();
+    (p, c, plan.schedule)
+}
+
+/// EXP-5.1 kernel: the full perturbation margin over a guideline schedule.
+fn bench_5_1_perturb(cr: &mut Criterion) {
+    let (p, c, s) = plan();
+    let mut g = cr.benchmark_group("bench_5_1/perturbation");
+    g.bench_function("local_optimality_margin", |b| {
+        b.iter(|| {
+            perturb::local_optimality_margin(
+                black_box(&s),
+                black_box(&p),
+                black_box(c),
+                &[0.01, 0.1, 1.0],
+            )
+        })
+    });
+    g.bench_function("single_perturb_and_eval", |b| {
+        b.iter(|| {
+            let q = perturb::perturb(black_box(&s), 0, 0.1).unwrap();
+            q.expected_work(black_box(&p), black_box(c))
+        })
+    });
+    g.finish();
+}
+
+/// EXP-5.2 kernel: the structural predicates.
+fn bench_5_2_growth(cr: &mut Criterion) {
+    let (_, c, s) = plan();
+    let mut g = cr.benchmark_group("bench_5_2/structure_checks");
+    g.bench_function("growth_law", |b| {
+        b.iter(|| check_growth_law(black_box(&s), Shape::Concave, black_box(c)).is_ok())
+    });
+    g.bench_function("strictly_decreasing", |b| {
+        b.iter(|| check_strictly_decreasing(black_box(&s)).is_ok())
+    });
+    g.finish();
+}
+
+criterion_group!(sec5, bench_5_1_perturb, bench_5_2_growth);
+criterion_main!(sec5);

@@ -1,0 +1,65 @@
+//! Criterion benches for the §6 experiments: greedy scheduling and the
+//! progressive (adaptive) planner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs_core::adaptive::AdaptiveScheduler;
+use cs_core::greedy::{greedy_schedule, GreedyOptions};
+use cs_life::{ArcLife, GeometricDecreasing, Uniform};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// EXP-6a kernel: full greedy schedule generation.
+fn bench_6_greedy(cr: &mut Criterion) {
+    let mut g = cr.benchmark_group("bench_6/greedy");
+    let u = Uniform::new(1_000.0).unwrap();
+    g.bench_function("uniform", |b| {
+        b.iter(|| greedy_schedule(black_box(&u), 5.0, &GreedyOptions::default()).unwrap())
+    });
+    let geo = GeometricDecreasing::new(2.0).unwrap();
+    let opts = GreedyOptions {
+        max_periods: 50,
+        min_gain: 1e-12,
+    };
+    g.bench_function("geometric_50_periods", |b| {
+        b.iter(|| greedy_schedule(black_box(&geo), 1.0, &opts).unwrap())
+    });
+    g.finish();
+}
+
+/// EXP-6b kernel: one progressive planning step (conditional re-rooting +
+/// guideline search), and a full progressive episode.
+fn bench_6_adaptive(cr: &mut Criterion) {
+    let mut g = cr.benchmark_group("bench_6/adaptive");
+    g.sample_size(20);
+    let life: ArcLife = Arc::new(Uniform::new(400.0).unwrap());
+    g.bench_function("next_period", |b| {
+        let sched = AdaptiveScheduler::new(life.clone(), 4.0).unwrap();
+        b.iter(|| black_box(&sched).next_period())
+    });
+    g.bench_function("full_progressive_episode", |b| {
+        b.iter(|| {
+            let mut sched = AdaptiveScheduler::new(life.clone(), 4.0).unwrap();
+            sched.run_to_completion(100).unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// EXP-COMP kernel: exact competitive-ratio evaluation and the geometric
+/// search (extension module).
+fn bench_competitive(cr: &mut Criterion) {
+    use cs_core::competitive::{best_geometric, competitive_ratio, geometric_schedule};
+    let mut g = cr.benchmark_group("bench_6/competitive");
+    let s = geometric_schedule(5.0, 1.05, 1000.0).unwrap();
+    g.bench_function("ratio_eval", |b| {
+        b.iter(|| competitive_ratio(black_box(&s), 1.0, 10.0, 1000.0).unwrap())
+    });
+    g.sample_size(10);
+    g.bench_function("best_geometric_search", |b| {
+        b.iter(|| best_geometric(1.0, 10.0, 1000.0).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(sec6, bench_6_greedy, bench_6_adaptive, bench_competitive);
+criterion_main!(sec6);

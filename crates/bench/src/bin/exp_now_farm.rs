@@ -1,0 +1,68 @@
+//! EXP-NOW — end-to-end NOW farm: aggregate work by chunk-sizing policy
+//! across heterogeneous borrowed workstations (the paper's §1 deployment,
+//! replicated and summarized).
+
+use cs_apps::{fmt, Table};
+use cs_life::{ArcLife, GeometricDecreasing, Polynomial, Uniform};
+use cs_now::farm::{PolicyKind, WorkstationConfig};
+use cs_now::replicate::replicate_farm;
+use cs_tasks::workloads;
+use std::sync::Arc;
+
+fn heterogeneous_now(n: usize, c: f64) -> Vec<WorkstationConfig> {
+    (0..n)
+        .map(|i| {
+            let life: ArcLife = match i % 3 {
+                0 => Arc::new(Uniform::new(120.0 + 30.0 * (i % 4) as f64).unwrap()),
+                1 => Arc::new(GeometricDecreasing::from_half_life(35.0).unwrap()),
+                _ => Arc::new(Polynomial::new(2, 180.0).unwrap()),
+            };
+            WorkstationConfig {
+                life: life.clone(),
+                believed: life,
+                c,
+                policy: PolicyKind::Guideline,
+                gap_mean: 12.0,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    println!("EXP-NOW: multi-workstation farm, policy comparison (replicated)\n");
+    let c = 2.0;
+    let reps = 12u64;
+    let threads = 4;
+    for (n_ws, tasks) in [(4usize, 600usize), (16, 2400)] {
+        println!("{n_ws} workstations, {tasks} unit tasks, c = {c}, {reps} replications:");
+        let ws = heterogeneous_now(n_ws, c);
+        let make_bag = move || workloads::uniform(tasks, 1.0).unwrap();
+        let mut t = Table::new(&[
+            "policy",
+            "drained",
+            "makespan mean",
+            "makespan ci95",
+            "lost work mean",
+        ]);
+        for policy in [
+            PolicyKind::Guideline,
+            PolicyKind::Greedy,
+            PolicyKind::FixedSize(5.0),
+            PolicyKind::FixedSize(25.0),
+            PolicyKind::FixedSize(100.0),
+        ] {
+            let rep = replicate_farm(&ws, policy, &make_bag, 1e6, reps, 31_337, threads);
+            t.row(&[
+                rep.policy.clone(),
+                fmt(rep.drained_fraction, 2),
+                fmt(rep.makespan.mean(), 1),
+                fmt(rep.makespan.ci95_half_width(), 1),
+                fmt(rep.lost_work.mean(), 1),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!("Shape: guideline chunk-sizing drains the bag fastest (or ties the best fixed");
+    println!("size, which must be hand-tuned per NOW); too-small chunks pay overhead, too-");
+    println!("large chunks pay reclamation losses — the paper's central tension, end to end.");
+}

@@ -1,0 +1,151 @@
+//! Minimal `--key value` argument parsing (no external dependency).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag token).
+    pub command: Option<String>,
+    opts: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses tokens of the form `<command> --key value …`. Bare `--flag`
+    /// tokens (no value) map to `"true"`.
+    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = tokens.into_iter().peekable();
+        if let Some(first) = it.peek() {
+            if !first.starts_with("--") {
+                out.command = it.next();
+            }
+        }
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument: {tok}"));
+            };
+            if key.is_empty() {
+                return Err("empty option name".into());
+            }
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
+            if out.opts.insert(key.to_string(), value).is_some() {
+                return Err(format!("duplicate option: --{key}"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Raw string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.opts.get(key).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Required float option.
+    pub fn require_f64(&self, key: &str) -> Result<f64, String> {
+        self.require(key)?
+            .parse()
+            .map_err(|_| format!("--{key}: expected a number"))
+    }
+
+    /// Float option with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: expected a number, got {v:?}")),
+        }
+    }
+
+    /// Integer option with a default.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: expected an integer, got {v:?}")),
+        }
+    }
+
+    /// u64 option with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: expected an integer, got {v:?}")),
+        }
+    }
+
+    /// True when `--key` was given (any value but `"false"`).
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some(v) if v != "false")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse("plan --family uniform --l 1000 --c 5").unwrap();
+        assert_eq!(a.command.as_deref(), Some("plan"));
+        assert_eq!(a.get("family"), Some("uniform"));
+        assert_eq!(a.f64_or("l", 0.0).unwrap(), 1000.0);
+        assert_eq!(a.f64_or("c", 0.0).unwrap(), 5.0);
+        assert_eq!(a.f64_or("missing", 7.0).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn bare_flags() {
+        let a = parse("simulate --parallel --trials 100").unwrap();
+        assert!(a.flag("parallel"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.u64_or("trials", 0).unwrap(), 100);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse("plan stray").is_err());
+        assert!(parse("plan --x 1 --x 2").is_err());
+        assert!(parse("plan -- 1").is_err());
+        let a = parse("plan --n abc").unwrap();
+        assert!(a.usize_or("n", 1).is_err());
+    }
+
+    #[test]
+    fn no_command() {
+        let a = parse("--help").unwrap();
+        assert!(a.command.is_none());
+        assert!(a.flag("help"));
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse("fit").unwrap();
+        assert!(a.require("input").unwrap_err().contains("--input"));
+    }
+
+    #[test]
+    fn require_f64_parses_and_reports() {
+        let a = parse("plan --c 2.5 --bad xyz").unwrap();
+        assert_eq!(a.require_f64("c").unwrap(), 2.5);
+        assert!(a.require_f64("bad").unwrap_err().contains("--bad"));
+        assert!(a.require_f64("absent").unwrap_err().contains("--absent"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Parsing life-function specifications from the command line.
+//!
+//! Grammar (`--family <spec>` plus family parameters):
+//!
+//! * `uniform`              — needs `--l <lifespan>`
+//! * `poly`                 — needs `--d <degree>` and `--l <lifespan>`
+//! * `geometric`            — needs `--a <risk factor>` *or* `--half-life <h>`
+//! * `increasing`           — needs `--l <lifespan>`
+//! * `pareto`               — needs `--d <exponent>`
+//! * `weibull`              — needs `--k <shape>` and `--lambda <scale>`
+
+use crate::args::Args;
+use cs_life::{
+    ArcLife, GeometricDecreasing, GeometricIncreasing, Pareto, Polynomial, Uniform, Weibull,
+};
+use std::sync::Arc;
+
+/// Builds a life function from parsed arguments.
+pub fn parse_life(args: &Args) -> Result<ArcLife, String> {
+    let family = args.get("family").unwrap_or("uniform");
+    let life: ArcLife = match family {
+        "uniform" => {
+            let l = args.f64_or("l", f64::NAN)?;
+            Arc::new(Uniform::new(l).map_err(|e| format!("uniform: {e}"))?)
+        }
+        "poly" | "polynomial" => {
+            let d = args.usize_or("d", 2)? as u32;
+            let l = args.f64_or("l", f64::NAN)?;
+            Arc::new(Polynomial::new(d, l).map_err(|e| format!("poly: {e}"))?)
+        }
+        "geometric" | "geo" => {
+            if let Some(h) = args.get("half-life") {
+                let h: f64 =
+                    h.parse().map_err(|_| format!("--half-life: bad number {h:?}"))?;
+                Arc::new(
+                    GeometricDecreasing::from_half_life(h)
+                        .map_err(|e| format!("geometric: {e}"))?,
+                )
+            } else {
+                let a = args.f64_or("a", 2.0)?;
+                Arc::new(GeometricDecreasing::new(a).map_err(|e| format!("geometric: {e}"))?)
+            }
+        }
+        "increasing" | "coffee" => {
+            let l = args.f64_or("l", f64::NAN)?;
+            Arc::new(GeometricIncreasing::new(l).map_err(|e| format!("increasing: {e}"))?)
+        }
+        "pareto" => {
+            let d = args.f64_or("d", 2.0)?;
+            Arc::new(Pareto::new(d).map_err(|e| format!("pareto: {e}"))?)
+        }
+        "weibull" => {
+            let k = args.f64_or("k", 1.5)?;
+            let lambda = args.f64_or("lambda", f64::NAN)?;
+            Arc::new(Weibull::new(k, lambda).map_err(|e| format!("weibull: {e}"))?)
+        }
+        other => {
+            return Err(format!(
+                "unknown family {other:?}; expected uniform | poly | geometric | increasing | pareto | weibull"
+            ))
+        }
+    };
+    Ok(life)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_life::LifeFunction;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn parses_all_families() {
+        assert!(parse_life(&args("x --family uniform --l 100")).is_ok());
+        assert!(parse_life(&args("x --family poly --d 3 --l 100")).is_ok());
+        assert!(parse_life(&args("x --family geometric --a 2")).is_ok());
+        assert!(parse_life(&args("x --family geometric --half-life 10")).is_ok());
+        assert!(parse_life(&args("x --family increasing --l 64")).is_ok());
+        assert!(parse_life(&args("x --family pareto --d 2")).is_ok());
+        assert!(parse_life(&args("x --family weibull --k 1.5 --lambda 10")).is_ok());
+    }
+
+    #[test]
+    fn default_family_is_uniform() {
+        let p = parse_life(&args("x --l 50")).unwrap();
+        assert!(p.describe().contains("uniform"));
+        assert_eq!(p.lifespan(), Some(50.0));
+    }
+
+    #[test]
+    fn rejects_unknown_or_incomplete() {
+        assert!(parse_life(&args("x --family martian")).is_err());
+        assert!(parse_life(&args("x --family uniform")).is_err()); // missing --l
+        assert!(parse_life(&args("x --family weibull --k 1.5")).is_err());
+    }
+
+    #[test]
+    fn half_life_round_trip() {
+        let p = parse_life(&args("x --family geometric --half-life 8")).unwrap();
+        assert!((p.survival(8.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,276 @@
+//! `cyclesteal` — command-line planner for data-parallel cycle-stealing.
+//!
+//! ```text
+//! cyclesteal plan     --family uniform --l 1000 --c 5
+//! cyclesteal simulate --family geometric --a 2 --c 1 --trials 100000 --threads 4
+//! cyclesteal fit      --input absences.txt --c 1
+//! cyclesteal fit      --synthetic diurnal --days 60 --c 0.05
+//! cyclesteal farm     --workstations 8 --tasks 2000 --l 150 --c 2 --policy guideline
+//! ```
+//!
+//! See `cyclesteal help` for the full option list.
+
+mod args;
+mod life_spec;
+
+use args::Args;
+use cs_apps::{fmt, pct, Table};
+use cs_core::{dp, search};
+use cs_life::LifeFunction;
+use cs_now::farm::{Farm, FarmConfig, PolicyKind, WorkstationConfig};
+use cs_sim::simulate_expected_work_parallel;
+use cs_tasks::workloads;
+use cs_trace::{estimate::estimate_life, fit::fit_all, owner::DiurnalOwner};
+use life_spec::parse_life;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+cyclesteal — scheduling guidelines for data-parallel cycle-stealing
+(Rosenberg, IPPS'98 reproduction)
+
+USAGE:
+    cyclesteal <command> [--option value ...]
+
+COMMANDS:
+    plan       Compute the guideline schedule for one episode.
+               --family uniform|poly|geometric|increasing|pareto|weibull
+               family params: --l, --d, --a, --half-life, --k, --lambda
+               --c <overhead>           communication overhead (required)
+               --oracle                 also run the DP oracle for comparison
+    simulate   Monte-Carlo validation of the planned schedule.
+               (plan options) --trials <n> --threads <k> --seed <s>
+    fit        Fit life functions to absence durations.
+               --input <file>           one duration per line
+               --synthetic diurnal --days <n> [--seed <s>]
+               --c <overhead>           also plan on the best fit
+    farm       Run the virtual-time NOW farm.
+               --workstations <n> --tasks <m> --l <lifespan> --c <overhead>
+               --policy guideline|greedy|fixed:<t> --gap <mean> --seed <s>
+    saves      Checkpoint-interval planning under Poisson faults.
+               --work <w> --c <save cost> --lambda <fault rate>
+    help       Show this message.
+";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("plan") => cmd_plan(&args),
+        Some("simulate") => cmd_simulate(&args),
+        Some("fit") => cmd_fit(&args),
+        Some("farm") => cmd_farm(&args),
+        Some("saves") => cmd_saves(&args),
+        Some("help") | None => {
+            println!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{HELP}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let life = parse_life(args)?;
+    let c: f64 = args.require_f64("c")?;
+    let plan = search::best_guideline_schedule(&life, c).map_err(|e| e.to_string())?;
+    println!("life function : {}", life.describe());
+    println!("overhead c    : {c}");
+    println!(
+        "t0 bracket    : [{:.4}, {:.4}]  ({})",
+        plan.bracket.lower,
+        plan.bracket.upper,
+        if plan.bracket.upper_from_shape {
+            "Thm 3.2 / Thm 3.3"
+        } else {
+            "Thm 3.2 / horizon"
+        }
+    );
+    println!("chosen t0     : {:.4}", plan.t0);
+    println!("schedule      : {}", plan.schedule);
+    println!("periods       : {}", plan.schedule.len());
+    println!("expected work : {:.4}", plan.expected_work);
+    if args.flag("oracle") {
+        let oracle = dp::solve_auto(&life, c, 4000).map_err(|e| e.to_string())?;
+        println!(
+            "dp oracle     : E = {:.4} (guideline efficiency {})",
+            oracle.expected_work,
+            pct(plan.expected_work / oracle.expected_work.max(1e-300))
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let life = parse_life(args)?;
+    let c: f64 = args.require_f64("c")?;
+    let trials = args.u64_or("trials", 100_000)?;
+    let threads = args.usize_or("threads", 4)?;
+    let seed = args.u64_or("seed", 42)?;
+    let plan = search::best_guideline_schedule(&life, c).map_err(|e| e.to_string())?;
+    let mc = simulate_expected_work_parallel(&plan.schedule, &life, c, trials, seed, threads);
+    println!("life function  : {}", life.describe());
+    println!("schedule       : {}", plan.schedule);
+    println!("analytic E     : {:.4}", plan.expected_work);
+    println!(
+        "simulated mean : {:.4} ± {:.4} (95% CI, {} episodes, {} threads)",
+        mc.work.mean(),
+        mc.work.ci95_half_width(),
+        trials,
+        threads
+    );
+    println!("interrupted    : {}", pct(mc.interrupted_fraction));
+    println!("mean periods   : {:.2}", mc.mean_periods);
+    let agrees = (mc.work.mean() - plan.expected_work).abs() <= 3.0 * mc.work.std_error() + 1e-9;
+    println!(
+        "model agrees   : {}",
+        if agrees { "yes (within 3 s.e.)" } else { "NO" }
+    );
+    Ok(())
+}
+
+fn cmd_fit(args: &Args) -> Result<(), String> {
+    let samples: Vec<f64> = if let Some(path) = args.get("input") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--input {path}: {e}"))?;
+        let mut out = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            out.push(
+                line.parse::<f64>()
+                    .map_err(|_| format!("{path}:{}: not a number: {line:?}", lineno + 1))?,
+            );
+        }
+        out
+    } else if args.get("synthetic") == Some("diurnal") {
+        let days = args.usize_or("days", 60)?;
+        let seed = args.u64_or("seed", 1)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        DiurnalOwner::default()
+            .absence_durations(days, &mut rng)
+            .map_err(|e| e.to_string())?
+    } else {
+        return Err("fit needs --input <file> or --synthetic diurnal".into());
+    };
+    println!("{} absence durations", samples.len());
+    let est = estimate_life(&samples, 24).map_err(|e| e.to_string())?;
+    println!("empirical estimate: {}", est.describe());
+    let mut table = Table::new(&["family", "KS distance", "description"]);
+    let fits = fit_all(&samples).map_err(|e| e.to_string())?;
+    for cand in &fits {
+        table.row(&[cand.family.clone(), fmt(cand.ks, 4), cand.life.describe()]);
+    }
+    println!("{}", table.render());
+    if let Some(c) = args.get("c") {
+        let c: f64 = c.parse().map_err(|_| "--c: bad number".to_string())?;
+        let plan = search::best_guideline_schedule(&est, c).map_err(|e| e.to_string())?;
+        println!("guideline plan on the empirical estimate (c = {c}):");
+        println!("  schedule      : {}", plan.schedule);
+        println!("  expected work : {:.4}", plan.expected_work);
+    }
+    Ok(())
+}
+
+fn cmd_saves(args: &Args) -> Result<(), String> {
+    let w = args.f64_or("work", 100.0)?;
+    let c: f64 = args.require_f64("c")?;
+    let lambda: f64 = args.require_f64("lambda")?;
+    let s_opt = cs_saves::optimal_interval(c, lambda).map_err(|e| e.to_string())?;
+    let s_young = cs_saves::young_interval(c, lambda);
+    let s_guide = cs_saves::guideline_interval(c, lambda).map_err(|e| e.to_string())?;
+    let (n, makespan) = cs_saves::optimal_schedule(w, c, lambda).map_err(|e| e.to_string())?;
+    println!("job work          : {w}");
+    println!("save cost         : {c}");
+    println!(
+        "fault rate lambda : {lambda} (mean time between faults {:.2})",
+        1.0 / lambda
+    );
+    println!("optimal interval  : {s_opt:.4}");
+    println!("young sqrt(2c/l)  : {s_young:.4}");
+    println!("cycle-steal guide : {s_guide:.4}");
+    println!("optimal schedule  : {n} saves, expected makespan {makespan:.2}");
+    println!(
+        "no-checkpoint     : expected makespan {:.2}",
+        cs_saves::uniform_makespan(w, 1, c, lambda).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn cmd_farm(args: &Args) -> Result<(), String> {
+    let n_ws = args.usize_or("workstations", 4)?;
+    let tasks = args.usize_or("tasks", 1000)?;
+    let l = args.f64_or("l", 150.0)?;
+    let c = args.f64_or("c", 2.0)?;
+    let gap = args.f64_or("gap", 10.0)?;
+    let seed = args.u64_or("seed", 7)?;
+    let policy = match args.get("policy").unwrap_or("guideline") {
+        "guideline" => PolicyKind::Guideline,
+        "greedy" => PolicyKind::Greedy,
+        other => {
+            let Some(t) = other.strip_prefix("fixed:") else {
+                return Err(format!(
+                    "--policy: expected guideline | greedy | fixed:<t>, got {other:?}"
+                ));
+            };
+            PolicyKind::FixedSize(
+                t.parse()
+                    .map_err(|_| format!("--policy fixed: bad number {t:?}"))?,
+            )
+        }
+    };
+    let life: cs_life::ArcLife =
+        std::sync::Arc::new(cs_life::Uniform::new(l).map_err(|e| e.to_string())?);
+    let workstations = (0..n_ws)
+        .map(|_| WorkstationConfig {
+            life: life.clone(),
+            believed: life.clone(),
+            c,
+            policy,
+            gap_mean: gap,
+        })
+        .collect();
+    let bag = workloads::uniform(tasks, 1.0).map_err(|e| e.to_string())?;
+    let report = Farm::new(
+        FarmConfig {
+            workstations,
+            max_virtual_time: 1e7,
+            seed,
+        },
+        bag,
+    )
+    .run();
+    println!("policy        : {}", policy.label());
+    println!("workstations  : {n_ws} (uniform L = {l}, c = {c}, gap mean = {gap})");
+    println!("tasks         : {tasks}");
+    println!("drained       : {}", report.drained);
+    println!("makespan      : {:.2}", report.makespan);
+    println!("banked work   : {:.1}", report.completed_work);
+    println!("lost work     : {:.1}", report.lost_work);
+    let mut table = Table::new(&["ws", "banked", "lost", "chunks", "killed", "episodes"]);
+    for (i, w) in report.per_workstation.iter().enumerate() {
+        table.row(&[
+            i.to_string(),
+            fmt(w.completed_work, 1),
+            fmt(w.lost_work, 1),
+            w.chunks_completed.to_string(),
+            w.chunks_lost.to_string(),
+            w.episodes.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}

@@ -1,0 +1,410 @@
+//! Bounds on the optimal initial period length `t_0` (paper §3.3 and §4),
+//! plus the period-count bounds of §5.
+//!
+//! Theorems 3.2/3.3 bound `t_0` **implicitly**: the optimal `t_0` satisfies
+//! `t_0 ≥ Φ_lo(t_0)` and (for shaped `p`, when `t_0 > 2c`) `t_0 ≤ Φ_hi(t_0)`
+//! where
+//!
+//! ```text
+//! Φ_lo(t) = √(c²/4 − c·p(t)/p'(t)) + c/2                        (3.7)
+//! Φ_hi(t) = 2√(c²/4 − c·p(t)/p'(t)) + c          (convex, 3.13)
+//! Φ_hi(t) = 2√(c²/4 − c·p(t)/p'(t/2)) + c        (concave, 3.14)
+//! ```
+//!
+//! We turn these into explicit numbers by locating the crossing of
+//! `Φ(t) − t`: for the paper's families `Φ_lo(t) − t` is positive just above
+//! `c` and negative at the horizon, so the region `{t : t ≥ Φ_lo(t)}` is
+//! `[t_lb, …)` and `t_lb` is the effective lower bound (symmetrically for
+//! `Φ_hi`). The §4 closed forms are provided alongside and cross-checked in
+//! tests.
+
+use crate::{CoreError, Result};
+use cs_life::LifeFunction;
+use cs_numeric::roots;
+
+/// An explicit bracket `[lower, upper]` for the optimal `t_0`, with a note
+/// on how each side was obtained.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct T0Bracket {
+    /// Lower bound on the optimal `t_0` (Theorem 3.2).
+    pub lower: f64,
+    /// Upper bound on the optimal `t_0` (Theorem 3.3 when the shape allows,
+    /// else the horizon).
+    pub upper: f64,
+    /// Which theorem produced the upper bound.
+    pub upper_from_shape: bool,
+}
+
+/// `Φ_lo(t)` of Theorem 3.2. `NaN` where `p' ≥ 0` (outside the decreasing
+/// region) — callers bracket within `(c, horizon)` where `p' < 0`.
+fn phi_lower(p: &dyn LifeFunction, c: f64, t: f64) -> f64 {
+    let dp = p.deriv(t);
+    if dp >= 0.0 {
+        return f64::NAN;
+    }
+    (c * c / 4.0 - c * p.survival(t) / dp).sqrt() + c / 2.0
+}
+
+/// `Φ_hi(t)` of Theorem 3.3; `half_arg` selects the concave variant
+/// (derivative evaluated at `t/2`).
+fn phi_upper(p: &dyn LifeFunction, c: f64, t: f64, half_arg: bool) -> f64 {
+    let at = if half_arg { t / 2.0 } else { t };
+    let dp = p.deriv(at);
+    if dp >= 0.0 {
+        return f64::NAN;
+    }
+    2.0 * (c * c / 4.0 - c * p.survival(t) / dp).sqrt() + c
+}
+
+fn check_c(p: &dyn LifeFunction, c: f64) -> Result<()> {
+    if !(c.is_finite() && c > 0.0) {
+        return Err(CoreError::BadParameter("overhead c must be finite and > 0"));
+    }
+    if let Some(l) = p.lifespan() {
+        if l <= c {
+            return Err(CoreError::BadParameter("lifespan must exceed overhead c"));
+        }
+    }
+    Ok(())
+}
+
+/// Locates the crossing of `phi(t) − t` on `(lo, hi)`, where the difference
+/// is positive near `lo`. Returns `hi` when no crossing exists inside (the
+/// implicit region extends to the horizon).
+///
+/// The difference is scanned on a grid and the **first** `+ → −` transition
+/// is refined with Brent's method. The grid prescan matters for empirical
+/// life functions: their smoothed tails can have near-zero derivative, which
+/// sends `Φ` (and hence the difference) back to `+∞` near the horizon even
+/// though the bound's crossing sits well inside the interval.
+fn crossing(phi: impl Fn(f64) -> f64, lo: f64, hi: f64) -> Result<f64> {
+    const SCAN: usize = 512;
+    let g = |t: f64| {
+        let v = phi(t) - t;
+        if v.is_nan() {
+            // Treat undefined points (p' = 0) as "inside the region".
+            1.0
+        } else {
+            v
+        }
+    };
+    let eps = 1e-9 * (hi - lo).max(1.0);
+    let a = lo + eps;
+    if g(a) <= 0.0 {
+        // Region starts immediately: the bound degenerates to lo.
+        return Ok(lo);
+    }
+    let step = (hi - a) / SCAN as f64;
+    let mut prev_t = a;
+    for i in 1..=SCAN {
+        let t = if i == SCAN { hi } else { a + step * i as f64 };
+        if g(t) <= 0.0 {
+            return roots::brent(g, prev_t, t, 1e-10).map_err(CoreError::from);
+        }
+        prev_t = t;
+    }
+    // No exit from the region before the horizon.
+    Ok(hi)
+}
+
+/// Explicit lower bound on the optimal `t_0` (Theorem 3.2), valid for any
+/// differentiable life function.
+pub fn lower_bound_t0(p: &dyn LifeFunction, c: f64) -> Result<f64> {
+    check_c(p, c)?;
+    let hi = finite_search_limit(p, c)?;
+    crossing(|t| phi_lower(p, c, t), c, hi)
+}
+
+/// Explicit upper bound on the optimal `t_0` (Theorem 3.3), defined for
+/// convex or concave life functions. The theorem assumes `t_0 > 2c`, so the
+/// returned bound is never below `2c`.
+pub fn upper_bound_t0(p: &dyn LifeFunction, c: f64) -> Result<f64> {
+    check_c(p, c)?;
+    let shape = p.shape();
+    let hi = finite_search_limit(p, c)?;
+    // For Linear shapes both Thm 3.3 variants coincide (p' is constant), so
+    // the convex branch covers them.
+    let ub = if shape.is_convex() {
+        crossing(
+            |t| phi_upper(p, c, t, false),
+            2.0 * c,
+            hi.max(2.0 * c + 1.0),
+        )?
+    } else if shape.is_concave() {
+        crossing(|t| phi_upper(p, c, t, true), 2.0 * c, hi.max(2.0 * c + 1.0))?
+    } else {
+        return Err(CoreError::Unsupported(
+            "Theorem 3.3 upper bound requires a convex or concave life function",
+        ));
+    };
+    Ok(ub.max(2.0 * c))
+}
+
+/// A finite right end for the bound searches: the lifespan, or a horizon
+/// where survival has become negligible.
+fn finite_search_limit(p: &dyn LifeFunction, c: f64) -> Result<f64> {
+    let h = p.horizon(1e-12);
+    if !h.is_finite() || h <= c {
+        return Err(CoreError::BadParameter(
+            "life function has no usable horizon",
+        ));
+    }
+    Ok(h)
+}
+
+/// The full bracket: Theorem 3.2 below, Theorem 3.3 above when the shape
+/// permits (falling back to the horizon otherwise). The paper (§3.3) notes
+/// the bracket is usually within a factor of ~2.
+/// # Examples
+///
+/// ```
+/// use cs_core::bounds::t0_bracket;
+/// use cs_life::Uniform;
+/// let p = Uniform::new(1000.0).unwrap();
+/// let b = t0_bracket(&p, 5.0).unwrap();
+/// // The true optimum sqrt(2cL) = 100 lies inside the bracket.
+/// assert!(b.lower <= 100.0 && 100.0 <= b.upper);
+/// ```
+pub fn t0_bracket(p: &dyn LifeFunction, c: f64) -> Result<T0Bracket> {
+    let lower = lower_bound_t0(p, c)?;
+    match upper_bound_t0(p, c) {
+        Ok(upper) => Ok(T0Bracket {
+            lower,
+            upper: upper.max(lower),
+            upper_from_shape: true,
+        }),
+        Err(CoreError::Unsupported(_)) => Ok(T0Bracket {
+            lower,
+            upper: finite_search_limit(p, c)?.max(lower),
+            upper_from_shape: false,
+        }),
+        Err(e) => Err(e),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §4 closed forms.
+// ---------------------------------------------------------------------------
+
+/// §4.1 closed-form bracket for the polynomial family:
+/// `(c/d)^{1/(d+1)} L^{d/(d+1)} ≤ t_0 ≤ 2(c/d)^{1/(d+1)} L^{d/(d+1)} + 1`.
+pub fn polynomial_t0_bounds(d: u32, l: f64, c: f64) -> (f64, f64) {
+    let df = f64::from(d);
+    let base = (c / df).powf(1.0 / (df + 1.0)) * l.powf(df / (df + 1.0));
+    (base, 2.0 * base + 1.0)
+}
+
+/// §4.1 closed-form bracket for uniform risk (`d = 1`):
+/// `√(cL) ≤ t_0 ≤ 2√(cL) + 1` (eq 4.4). The true optimum is
+/// `√(2cL) + (low-order)` (eq 4.5).
+pub fn uniform_t0_bounds(l: f64, c: f64) -> (f64, f64) {
+    polynomial_t0_bounds(1, l, c)
+}
+
+/// §4.2 closed-form bracket for the geometric-decreasing family:
+/// `√(c²/4 + c/ln a) + c/2 ≤ t_0 ≤ c + 1/ln a`.
+pub fn geometric_decreasing_t0_bounds(a: f64, c: f64) -> (f64, f64) {
+    let ln_a = a.ln();
+    ((c * c / 4.0 + c / ln_a).sqrt() + c / 2.0, c + 1.0 / ln_a)
+}
+
+/// §4.3 asymptotic estimate for the geometric-increasing family:
+/// `t_0 = L/log²L` to within low-order additive terms.
+pub fn geometric_increasing_t0_estimate(l: f64) -> f64 {
+    let lg = l.log2();
+    l / (lg * lg)
+}
+
+// ---------------------------------------------------------------------------
+// §5 bounds.
+// ---------------------------------------------------------------------------
+
+/// Corollary 5.3: an optimal schedule for a concave life function with
+/// lifespan `L` has `m < ⌈√(2L/c + 1/4) + 1/2⌉` periods. Returns that
+/// ceiling (a strict upper bound on `m`).
+pub fn cor_5_3_period_bound(l: f64, c: f64) -> f64 {
+    ((2.0 * l / c + 0.25).sqrt() + 0.5).ceil()
+}
+
+/// Corollary 5.4: for a concave life function with lifespan `L` and an
+/// `m`-period optimal schedule, `t_0 ≥ L/m + (m−1)c/2`.
+pub fn cor_5_4_t0_lower(l: f64, c: f64, m: usize) -> f64 {
+    l / m as f64 + (m as f64 - 1.0) * c / 2.0
+}
+
+/// Corollary 5.5 (left inequality): for concave `p` with lifespan `L`,
+/// `t_0 > √(cL/2) + (3/4)c`.
+pub fn cor_5_5_t0_lower(l: f64, c: f64) -> f64 {
+    (c * l / 2.0).sqrt() + 0.75 * c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_life::{GeometricDecreasing, GeometricIncreasing, Pareto, Polynomial, Uniform};
+    use cs_numeric::approx_eq;
+
+    #[test]
+    fn parameter_guards() {
+        let p = Uniform::new(10.0).unwrap();
+        assert!(lower_bound_t0(&p, 0.0).is_err());
+        assert!(lower_bound_t0(&p, -2.0).is_err());
+        assert!(lower_bound_t0(&p, 20.0).is_err()); // c > L
+        assert!(upper_bound_t0(&p, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn geo_dec_general_lower_matches_closed_form() {
+        // For p_a, p/p' = -1/ln a is constant, so Φ_lo is constant and the
+        // crossing equals the §4.2 closed form exactly.
+        for &(a, c) in &[(2.0f64, 1.0f64), (4.0, 0.5), (10.0, 2.0)] {
+            let p = GeometricDecreasing::new(a).unwrap();
+            let lb = lower_bound_t0(&p, c).unwrap();
+            let (closed, _) = geometric_decreasing_t0_bounds(a, c);
+            assert!(
+                approx_eq(lb, closed, 1e-6),
+                "a={a}, c={c}: {lb} vs {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_bracket_contains_sqrt_2cl() {
+        // The true optimum √(2cL) must lie inside both the general and the
+        // closed-form brackets.
+        for &(l, c) in &[(1000.0f64, 5.0f64), (100.0, 1.0), (10_000.0, 2.0)] {
+            let p = Uniform::new(l).unwrap();
+            let b = t0_bracket(&p, c).unwrap();
+            let opt = (2.0 * c * l).sqrt();
+            assert!(
+                b.lower <= opt + 1.0,
+                "L={l}, c={c}: lower {} vs opt {opt}",
+                b.lower
+            );
+            assert!(
+                b.upper >= opt - 1.0,
+                "L={l}, c={c}: upper {} vs opt {opt}",
+                b.upper
+            );
+            let (clo, chi) = uniform_t0_bounds(l, c);
+            assert!(clo <= opt && opt <= chi);
+            // General bounds should be consistent with the closed forms up
+            // to the paper's low-order slack.
+            assert!(b.lower >= clo * 0.9 - 1.0);
+            assert!(b.upper <= chi * 1.1 + 1.0);
+        }
+    }
+
+    #[test]
+    fn bracket_factor_of_two_for_smooth_families() {
+        // §3.3: bounds "bracket t0 within a factor of 2" (plus low-order).
+        for d in [1u32, 2, 3] {
+            let p = Polynomial::new(d, 2000.0).unwrap();
+            let b = t0_bracket(&p, 4.0).unwrap();
+            assert!(b.upper_from_shape);
+            let ratio = b.upper / b.lower;
+            assert!(
+                ratio < 2.6,
+                "d = {d}: bracket [{}, {}] ratio {ratio}",
+                b.lower,
+                b.upper
+            );
+        }
+    }
+
+    #[test]
+    fn polynomial_closed_form_scaling() {
+        // (c/d)^{1/(d+1)} L^{d/(d+1)}: check d = 2, L = 1000, c = 2 by hand.
+        let (lo, hi) = polynomial_t0_bounds(2, 1000.0, 2.0);
+        let expect = 1.0f64.powf(1.0 / 3.0) * 1000.0f64.powf(2.0 / 3.0);
+        assert!(approx_eq(lo, expect, 1e-9));
+        assert!(approx_eq(hi, 2.0 * expect + 1.0, 1e-9));
+    }
+
+    #[test]
+    fn geo_dec_bracket_upper_close_to_optimal() {
+        // §4.2 remark: "note how close our guidelines' upper bound is to the
+        // optimal value".
+        for &(a, c) in &[(2.0f64, 1.0f64), (4.0, 0.5)] {
+            let (_, ub) = geometric_decreasing_t0_bounds(a, c);
+            let t_star = crate::optimal::geometric_decreasing_optimal_period(a, c).unwrap();
+            assert!(t_star <= ub);
+            assert!(
+                (ub - t_star) / t_star < 0.5,
+                "a={a}, c={c}: ub {ub} vs t* {t_star}"
+            );
+        }
+    }
+
+    #[test]
+    fn geo_inc_estimate_shape() {
+        let e1 = geometric_increasing_t0_estimate(1024.0);
+        assert!(approx_eq(e1, 1024.0 / 100.0, 1e-9));
+        // Grows superlinearly slower than L.
+        assert!(geometric_increasing_t0_estimate(4096.0) / e1 < 4.0);
+    }
+
+    #[test]
+    fn general_bracket_on_geo_increasing() {
+        let l = 64.0;
+        let c = 1.0;
+        let p = GeometricIncreasing::new(l).unwrap();
+        let b = t0_bracket(&p, c).unwrap();
+        assert!(b.upper_from_shape);
+        let opt = crate::optimal::geometric_increasing_optimal(l, c).unwrap();
+        let t0 = opt.periods()[0];
+        assert!(
+            b.lower <= t0 && t0 <= b.upper,
+            "bracket [{}, {}] missed optimal t0 = {t0}",
+            b.lower,
+            b.upper
+        );
+    }
+
+    #[test]
+    fn pareto_lower_bound_exists() {
+        // Thm 3.2 holds for general differentiable p; Pareto included.
+        let p = Pareto::new(2.0).unwrap();
+        let lb = lower_bound_t0(&p, 1.0).unwrap();
+        assert!(lb > 1.0);
+        // No shaped upper bound claim for convex? Pareto IS convex, so the
+        // theorem applies.
+        let ub = upper_bound_t0(&p, 1.0).unwrap();
+        assert!(ub >= lb);
+    }
+
+    #[test]
+    fn weibull_k_gt_1_upper_unsupported() {
+        let w = cs_life::Weibull::new(2.0, 10.0).unwrap();
+        assert!(matches!(
+            upper_bound_t0(&w, 1.0),
+            Err(CoreError::Unsupported(_))
+        ));
+        // But the bracket still works, falling back to the horizon.
+        let b = t0_bracket(&w, 1.0).unwrap();
+        assert!(!b.upper_from_shape);
+        assert!(b.upper > b.lower);
+    }
+
+    #[test]
+    fn cor_5_3_bound_is_strict_for_uniform_optimum() {
+        for &(l, c) in &[(1000.0f64, 5.0f64), (200.0, 1.0), (50.0, 2.0)] {
+            let m = crate::optimal::uniform_optimal(l, c).unwrap().len() as f64;
+            let bound = cor_5_3_period_bound(l, c);
+            assert!(m < bound, "L={l}, c={c}: m = {m}, bound = {bound}");
+            // And the bound is tight: m is within one of it.
+            assert!(bound - m <= 2.0, "L={l}, c={c}: slack {}", bound - m);
+        }
+    }
+
+    #[test]
+    fn cor_5_4_and_5_5_hold_for_uniform_optimum() {
+        let l = 1000.0;
+        let c = 5.0;
+        let s = crate::optimal::uniform_optimal(l, c).unwrap();
+        let t0 = s.periods()[0];
+        let m = s.len();
+        assert!(t0 >= cor_5_4_t0_lower(l, c, m) - 1e-6);
+        assert!(t0 > cor_5_5_t0_lower(l, c));
+    }
+}

@@ -1,0 +1,362 @@
+//! Worst-case / competitive cycle-stealing — the paper's two pointers
+//! beyond expected-work optimization, made executable:
+//!
+//! * footnote 1 announces a sequel optimizing "a worst-case, rather than
+//!   expected, measure of a cycle-stealing episode's work output";
+//! * related work \[2\] (Awerbuch–Azar–Fiat–Leighton, STOC'96) studies the
+//!   adversarial scenario and achieves near-optimal *competitive* behavior.
+//!
+//! The natural deterministic formulation: against a reclaim time `r`
+//! (unknown, adversarial), a schedule banks `W_S(r) = Σ_{T_i < r} (t_i − c)`
+//! while the clairvoyant offline optimum banks `OPT(r) = r − c` (one period
+//! ending just before the reclamation). The **competitive ratio** of `S`
+//! over a horizon `[r_min, r_max]` is
+//!
+//! ```text
+//! ρ(S) = inf_{r ∈ [r_min, r_max]} W_S(r) / (r − c).
+//! ```
+//!
+//! [`geometric_schedule`] builds periods growing by a constant factor
+//! (growth 1 = equal periods), [`competitive_ratio`] evaluates ρ exactly
+//! (the infimum is attained just before a period completes), and
+//! [`best_geometric`] optimizes first period and growth factor.
+//!
+//! **Measured structure** (exp_competitive): unlike classic checkpointing
+//! doubling, the additive per-period overhead makes *near-equal* periods
+//! competitively optimal — equal chunks of length `t` already guarantee the
+//! constant asymptotic ratio `(t − c)/t`, and any growth factor > 1 only
+//! depresses the ratio at period boundaries (`ρ → 1/growth`). The searched
+//! optimum therefore sits at growth ≈ 1 with the first period tuned to
+//! `r_min`; the binding adversary times are the earliest reclamations.
+
+use crate::{CoreError, Result, Schedule};
+use cs_numeric::optimize;
+
+/// Exact competitive ratio of `s` against reclaim times in
+/// `[r_min, r_max]`: `inf_r W(r)/(r − c)`.
+///
+/// `W(r)` is a right-continuous step function that only increases at period
+/// ends, while `r − c` increases continuously, so the infimum over each
+/// interval between period completions is attained at the interval's right
+/// end; it suffices to evaluate the ratio just before every `T_k` crossing
+/// and at `r_max`. Requires `r_min > c` (otherwise the offline optimum is
+/// degenerate).
+pub fn competitive_ratio(s: &Schedule, c: f64, r_min: f64, r_max: f64) -> Result<f64> {
+    if !(c >= 0.0 && c.is_finite()) {
+        return Err(CoreError::BadParameter("overhead c must be >= 0"));
+    }
+    if !(r_min > c) {
+        return Err(CoreError::BadParameter("competitive ratio needs r_min > c"));
+    }
+    if !(r_max >= r_min) {
+        return Err(CoreError::BadParameter("need r_max >= r_min"));
+    }
+    let mut worst = f64::INFINITY;
+    let mut consider = |r: f64| {
+        if r < r_min || r > r_max {
+            return;
+        }
+        let w = s.work_if_reclaimed_at(r, c);
+        worst = worst.min(w / (r - c));
+    };
+    // Candidate adversary times: the left edge, every period end (where the
+    // denominator has grown but the numerator has not yet banked that
+    // period — `work_if_reclaimed_at` counts periods with T_i < r, so
+    // evaluating exactly at T_k captures "killed at the last instant"),
+    // and the right edge.
+    consider(r_min);
+    let mut t_end = 0.0;
+    for &t in s.periods() {
+        t_end += t;
+        consider(t_end);
+        if t_end > r_max {
+            break;
+        }
+    }
+    // r_max also covers the adversary striking after the schedule exhausts
+    // itself: W stays flat while OPT grows, so the infimum there is at r_max.
+    consider(r_max);
+    Ok(worst)
+}
+
+/// Builds a geometric schedule: periods `t_k = first · growth^k`, truncated
+/// when the cumulative length passes `horizon` (the last period is clipped
+/// to end exactly at `horizon`).
+pub fn geometric_schedule(first: f64, growth: f64, horizon: f64) -> Result<Schedule> {
+    if !(first > 0.0 && first.is_finite()) {
+        return Err(CoreError::BadParameter("first period must be positive"));
+    }
+    if !(growth >= 1.0 && growth.is_finite()) {
+        return Err(CoreError::BadParameter("growth factor must be >= 1"));
+    }
+    if !(horizon > first) {
+        return Err(CoreError::BadParameter(
+            "horizon must exceed the first period",
+        ));
+    }
+    let mut periods = Vec::new();
+    let mut t = first;
+    let mut total = 0.0;
+    while total < horizon {
+        let remaining = horizon - total;
+        let this = t.min(remaining);
+        periods.push(this);
+        total += this;
+        t *= growth;
+        if periods.len() > 10_000 {
+            return Err(CoreError::BadParameter("geometric schedule too long"));
+        }
+    }
+    Schedule::new(periods)
+}
+
+/// Result of the geometric-competitive search.
+#[derive(Debug, Clone)]
+pub struct GeometricCompetitive {
+    /// First period length.
+    pub first: f64,
+    /// Growth factor.
+    pub growth: f64,
+    /// The schedule itself.
+    pub schedule: Schedule,
+    /// Its competitive ratio over the searched horizon.
+    pub ratio: f64,
+}
+
+/// Searches first-period and growth-factor for the geometric schedule with
+/// the best competitive ratio over `[r_min, r_max]`.
+///
+/// `r_min` should be comfortably above `c` (no deterministic schedule has a
+/// nonzero ratio at `r ↓ c`: the first productive period cannot have
+/// completed yet).
+pub fn best_geometric(c: f64, r_min: f64, r_max: f64) -> Result<GeometricCompetitive> {
+    if !(r_min > c && r_max > r_min) {
+        return Err(CoreError::BadParameter("need c < r_min < r_max"));
+    }
+    let eval = |first: f64, growth: f64| -> f64 {
+        match geometric_schedule(first, growth, r_max) {
+            Ok(s) => competitive_ratio(&s, c, r_min, r_max).unwrap_or(0.0),
+            Err(_) => f64::NEG_INFINITY,
+        }
+    };
+    // Coarse 2-D grid, then 1-D refinements in each coordinate.
+    let mut best = (f64::NEG_INFINITY, 0.0, 0.0);
+    for i in 0..40 {
+        // First period between c (exclusive) and r_min.
+        let first = c + (r_min - c) * (i as f64 + 0.5) / 40.0;
+        for j in 0..40 {
+            let growth = 1.0 + 3.0 * (j as f64 + 0.5) / 40.0;
+            let v = eval(first, growth);
+            if v > best.0 {
+                best = (v, first, growth);
+            }
+        }
+    }
+    let (_, mut first, mut growth) = best;
+    for _ in 0..3 {
+        let g = optimize::golden_section_max(
+            |x| eval(x, growth),
+            (c + 1e-9).min(first * 0.5),
+            r_min,
+            1e-9,
+        )?;
+        first = g.x;
+        let h = optimize::golden_section_max(|x| eval(first, x), 1.0, 4.0, 1e-9)?;
+        growth = h.x;
+    }
+    let schedule = geometric_schedule(first, growth, r_max)?;
+    let ratio = competitive_ratio(&schedule, c, r_min, r_max)?;
+    Ok(GeometricCompetitive {
+        first,
+        growth,
+        schedule,
+        ratio,
+    })
+}
+
+/// The guaranteed (worst-case) work of `s` given the owner provably stays
+/// away for at least `d`: `min_{r ≥ d} W(r) = W(d)` (banked work is
+/// nondecreasing in the reclaim time).
+pub fn guaranteed_work(s: &Schedule, c: f64, d: f64) -> f64 {
+    s.work_if_reclaimed_at(d, c)
+}
+
+/// Expected competitive ratio of a **phase-randomized** equal-period
+/// strategy — the randomization idea of related work \[2\], in its simplest
+/// form: the first period has length `φ ~ U(0, t]`, all later periods
+/// length `t`, so the adversary cannot aim at a known period boundary.
+///
+/// Returns `inf_r E_φ[W_φ(r)] / (r − c)`, with the phase expectation taken
+/// over `phases` grid points and the infimum over a fine `r` grid (the
+/// expected banked work is piecewise smooth in `r`, so grid evaluation
+/// suffices).
+pub fn randomized_equal_ratio(
+    t: f64,
+    c: f64,
+    r_min: f64,
+    r_max: f64,
+    phases: usize,
+) -> Result<f64> {
+    if !(t > c && t.is_finite()) {
+        return Err(CoreError::BadParameter("period must exceed overhead"));
+    }
+    if !(r_min > c && r_max > r_min) {
+        return Err(CoreError::BadParameter("need c < r_min < r_max"));
+    }
+    if phases < 2 {
+        return Err(CoreError::BadParameter("need at least 2 phase samples"));
+    }
+    let expected_w = |r: f64| -> f64 {
+        let mut acc = 0.0;
+        for i in 0..phases {
+            let phi = t * (i as f64 + 0.5) / phases as f64;
+            // Completions at phi, phi + t, phi + 2t, ... strictly before r.
+            if r <= phi {
+                continue;
+            }
+            let full = ((r - phi) / t).ceil() - 1.0; // complete t-periods after the phase period
+            let full = full.max(0.0);
+            acc += (phi - c).max(0.0) + full * (t - c);
+        }
+        acc / phases as f64
+    };
+    let mut worst = f64::INFINITY;
+    const R_GRID: usize = 2048;
+    for i in 0..=R_GRID {
+        let r = r_min + (r_max - r_min) * i as f64 / R_GRID as f64;
+        worst = worst.min(expected_w(r) / (r - c));
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_numeric::approx_eq;
+
+    fn sched(v: &[f64]) -> Schedule {
+        Schedule::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn parameter_guards() {
+        let s = sched(&[2.0, 2.0]);
+        assert!(competitive_ratio(&s, 1.0, 0.5, 10.0).is_err());
+        assert!(competitive_ratio(&s, 1.0, 5.0, 4.0).is_err());
+        assert!(geometric_schedule(0.0, 2.0, 10.0).is_err());
+        assert!(geometric_schedule(1.0, 0.5, 10.0).is_err());
+        assert!(geometric_schedule(5.0, 2.0, 4.0).is_err());
+        assert!(best_geometric(1.0, 0.5, 10.0).is_err());
+    }
+
+    #[test]
+    fn ratio_of_single_period_schedule() {
+        // One period of length 4, c = 1, adversary in [2, 10]:
+        // r in [2, 4]: W = 0 -> ratio 0.
+        let s = sched(&[4.0]);
+        let rho = competitive_ratio(&s, 1.0, 2.0, 10.0).unwrap();
+        assert_eq!(rho, 0.0);
+        // Adversary restricted to r >= 5: W = 3 always; worst at r = 10:
+        // 3/9.
+        let rho = competitive_ratio(&s, 1.0, 5.0, 10.0).unwrap();
+        assert!(approx_eq(rho, 3.0 / 9.0, 1e-12));
+    }
+
+    #[test]
+    fn ratio_worst_point_is_period_end() {
+        // Two periods [2, 4], c = 1. At r = 6 (end of period 2): W = 1
+        // (only period 1 banked), OPT = 5 -> 0.2. Just after, W jumps to 4.
+        let s = sched(&[2.0, 4.0]);
+        let rho = competitive_ratio(&s, 1.0, 3.0, 6.0).unwrap();
+        assert!(approx_eq(rho, 1.0 / 5.0, 1e-12), "rho = {rho}");
+    }
+
+    #[test]
+    fn geometric_schedule_shape() {
+        let s = geometric_schedule(1.0, 2.0, 100.0).unwrap();
+        // 1, 2, 4, 8, 16, 32, then clipped 37.
+        assert_eq!(s.periods()[0], 1.0);
+        assert_eq!(s.periods()[1], 2.0);
+        assert!(approx_eq(s.total_length(), 100.0, 1e-9));
+        // Growth = 1: equal periods.
+        let eq = geometric_schedule(5.0, 1.0, 20.0).unwrap();
+        assert_eq!(eq.periods(), &[5.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn guaranteed_work_monotone() {
+        let s = sched(&[4.0, 4.0, 4.0]);
+        let c = 1.0;
+        assert_eq!(guaranteed_work(&s, c, 2.0), 0.0);
+        assert_eq!(guaranteed_work(&s, c, 4.5), 3.0);
+        assert_eq!(guaranteed_work(&s, c, 100.0), 9.0);
+        assert!(guaranteed_work(&s, c, 8.5) >= guaranteed_work(&s, c, 4.5));
+    }
+
+    #[test]
+    fn best_geometric_beats_naive_schedules() {
+        let c = 1.0;
+        let r_min = 10.0;
+        let r_max = 1000.0;
+        let best = best_geometric(c, r_min, r_max).unwrap();
+        assert!(best.ratio > 0.0, "ratio {}", best.ratio);
+        // Equal-size chunks of 50: pays overhead forever, ratio capped at
+        // (t - c)/t-ish; and one huge chunk has ratio 0.
+        let naive = geometric_schedule(50.0, 1.0, r_max).unwrap();
+        let naive_rho = competitive_ratio(&naive, c, r_min, r_max).unwrap();
+        let huge = sched(&[999.0]);
+        let huge_rho = competitive_ratio(&huge, c, r_min, r_max).unwrap();
+        assert!(
+            best.ratio >= naive_rho - 1e-12,
+            "{} vs naive {naive_rho}",
+            best.ratio
+        );
+        assert_eq!(huge_rho, 0.0);
+        // With additive per-period overhead, near-equal periods are
+        // competitively optimal (see module docs): growth hugs 1.
+        assert!((1.0..1.5).contains(&best.growth), "growth {}", best.growth);
+    }
+
+    #[test]
+    fn randomized_phase_beats_deterministic_at_awkward_r_min() {
+        // Deterministic equal(8) with r_min = 10: the first period ends at
+        // 8 < 10, second at 16 > 10 — the adversary at r = 10 sees one
+        // banked period, but at r just above 16... compute both and check
+        // randomization helps when the deterministic ratio is weak.
+        let c = 1.0;
+        let t = 12.0;
+        let r_min = 10.0;
+        let r_max = 500.0;
+        // Deterministic equal(12): no period completes by r = 10 ⇒ ratio 0.
+        let det = geometric_schedule(t, 1.0, r_max).unwrap();
+        let det_rho = competitive_ratio(&det, c, r_min, r_max).unwrap();
+        assert_eq!(det_rho, 0.0);
+        // Phase-randomized equal(12): expected ratio strictly positive.
+        let rand_rho = randomized_equal_ratio(t, c, r_min, r_max, 512).unwrap();
+        assert!(rand_rho > 0.05, "randomized ratio {rand_rho}");
+    }
+
+    #[test]
+    fn randomized_ratio_guards() {
+        assert!(randomized_equal_ratio(0.5, 1.0, 2.0, 10.0, 64).is_err());
+        assert!(randomized_equal_ratio(5.0, 1.0, 0.5, 10.0, 64).is_err());
+        assert!(randomized_equal_ratio(5.0, 1.0, 2.0, 10.0, 1).is_err());
+    }
+
+    #[test]
+    fn randomized_ratio_bounded_by_asymptote() {
+        // E[W(r)]/(r - c) can approach but not exceed ~(t - c)/t for large r.
+        let rho = randomized_equal_ratio(10.0, 1.0, 50.0, 5000.0, 256).unwrap();
+        assert!(rho > 0.0 && rho <= 0.9 + 1e-9, "rho = {rho}");
+    }
+
+    #[test]
+    fn competitive_ratio_upper_bound() {
+        // No deterministic schedule can be better than (r - 2c)/(r - c) at
+        // its own first productive completion; sanity-check ratios stay
+        // below 1.
+        let c = 1.0;
+        let best = best_geometric(c, 10.0, 500.0).unwrap();
+        assert!(best.ratio < 1.0);
+    }
+}

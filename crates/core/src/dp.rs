@@ -1,0 +1,221 @@
+//! Dynamic-programming ground truth: the globally optimal schedule on a
+//! discretized time grid.
+//!
+//! §6 of the paper asks whether the continuous guidelines "yield valuable
+//! discrete analogues"; this module *is* the discrete analogue, and doubles
+//! as the oracle every experiment uses for "optimal". On an `n`-point grid
+//! over `[0, H]` we solve
+//!
+//! ```text
+//! V(τ_i) = max( 0, max_{j > i} (τ_j − τ_i − c)⊖ · p(τ_j) + V(τ_j) )
+//! ```
+//!
+//! exactly (`O(n²)` time, `O(n)` space), then read back the maximizing
+//! period sequence. As `n → ∞` the grid optimum converges to the continuous
+//! optimum from below; tests verify agreement with the closed-form optima of
+//! [`crate::optimal`] at practical grid sizes.
+
+use crate::{CoreError, Result, Schedule};
+use cs_life::LifeFunction;
+
+/// Result of a DP solve: the grid-optimal schedule and its expected work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpSolution {
+    /// The grid-optimal schedule (periods are multiples of the grid step).
+    pub schedule: Schedule,
+    /// Expected work of [`DpSolution::schedule`] under the life function the
+    /// solve was run with.
+    pub expected_work: f64,
+    /// The grid step used.
+    pub step: f64,
+}
+
+/// Solves for the grid-optimal schedule over horizon `[0, horizon]` with `n`
+/// grid cells (`n + 1` points).
+///
+/// `horizon` defaults (via [`solve_auto`]) to the lifespan or the
+/// `p < 1e-9` quantile. Only `τ_j − τ_i > c` transitions can contribute
+/// work, but shorter periods are permitted (they simply score zero and are
+/// never chosen by the maximization).
+pub fn solve(p: &dyn LifeFunction, c: f64, horizon: f64, n: usize) -> Result<DpSolution> {
+    if !(c.is_finite() && c >= 0.0) {
+        return Err(CoreError::BadParameter("overhead c must be >= 0"));
+    }
+    if !(horizon.is_finite() && horizon > 0.0) {
+        return Err(CoreError::BadParameter("horizon must be positive"));
+    }
+    if n < 2 {
+        return Err(CoreError::BadParameter("need at least 2 grid cells"));
+    }
+    let step = horizon / n as f64;
+    // Precompute survival at every grid point (the hot loop reads it n²/2
+    // times otherwise).
+    let surv: Vec<f64> = (0..=n).map(|i| p.survival(step * i as f64)).collect();
+    // value[i] = best expected additional work starting a period at τ_i,
+    // conditioned on nothing (absolute probabilities, as in eq 2.1).
+    let mut value = vec![0.0f64; n + 1];
+    let mut next = vec![usize::MAX; n + 1]; // best period-end index from i
+    for i in (0..n).rev() {
+        let tau_i = step * i as f64;
+        let mut best = 0.0f64;
+        let mut best_j = usize::MAX;
+        for j in i + 1..=n {
+            if surv[j] <= 0.0 && value[j] <= 0.0 {
+                // Periods ending where survival is zero score nothing, and
+                // later ends only get worse: stop scanning.
+                break;
+            }
+            let gain = (step * j as f64 - tau_i - c).max(0.0) * surv[j] + value[j];
+            if gain > best {
+                best = gain;
+                best_j = j;
+            }
+        }
+        value[i] = best;
+        next[i] = best_j;
+    }
+    // Reconstruct the schedule from index 0.
+    let mut periods = Vec::new();
+    let mut i = 0usize;
+    while next[i] != usize::MAX {
+        let j = next[i];
+        periods.push(step * (j - i) as f64);
+        i = j;
+        if i >= n {
+            break;
+        }
+    }
+    let schedule = Schedule::new(periods)?;
+    Ok(DpSolution {
+        expected_work: value[0],
+        schedule,
+        step,
+    })
+}
+
+/// [`solve`] with an automatic horizon: the lifespan when finite, else the
+/// `p(t) = 1e-9` quantile.
+/// # Examples
+///
+/// ```
+/// use cs_core::dp;
+/// use cs_life::Uniform;
+/// let p = Uniform::new(100.0).unwrap();
+/// let sol = dp::solve_auto(&p, 2.0, 500).unwrap();
+/// assert!(sol.expected_work > 0.0);
+/// assert!(!sol.schedule.is_empty());
+/// ```
+pub fn solve_auto(p: &dyn LifeFunction, c: f64, n: usize) -> Result<DpSolution> {
+    let horizon = p.horizon(1e-9);
+    solve(p, c, horizon, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_life::{GeometricDecreasing, GeometricIncreasing, Uniform};
+    use cs_numeric::approx_eq;
+
+    #[test]
+    fn parameter_guards() {
+        let p = Uniform::new(10.0).unwrap();
+        assert!(solve(&p, -1.0, 10.0, 100).is_err());
+        assert!(solve(&p, 1.0, 0.0, 100).is_err());
+        assert!(solve(&p, 1.0, 10.0, 1).is_err());
+    }
+
+    #[test]
+    fn dp_solution_consistent() {
+        // The reconstructed schedule's expected work equals the DP value.
+        let p = Uniform::new(100.0).unwrap();
+        let c = 2.0;
+        let sol = solve_auto(&p, c, 800).unwrap();
+        let e = sol.schedule.expected_work(&p, c);
+        assert!(
+            approx_eq(e, sol.expected_work, 1e-9),
+            "{e} vs {}",
+            sol.expected_work
+        );
+    }
+
+    #[test]
+    fn dp_matches_uniform_closed_form() {
+        let l = 400.0;
+        let c = 4.0;
+        let p = Uniform::new(l).unwrap();
+        let opt = crate::optimal::uniform_optimal(l, c).unwrap();
+        let e_opt = opt.expected_work(&p, c);
+        let sol = solve_auto(&p, c, 2000).unwrap();
+        // Grid optimum approaches from below; must be within grid error.
+        assert!(sol.expected_work <= e_opt + 1e-9);
+        assert!(
+            (e_opt - sol.expected_work) / e_opt < 0.01,
+            "DP {} vs closed form {e_opt}",
+            sol.expected_work
+        );
+    }
+
+    #[test]
+    fn dp_matches_geometric_decreasing_optimum() {
+        let a = 2.0;
+        let c = 1.0;
+        let p = GeometricDecreasing::new(a).unwrap();
+        let opt = crate::optimal::geometric_decreasing_optimal(a, c).unwrap();
+        let sol = solve(&p, c, p.horizon(1e-9), 3000).unwrap();
+        assert!(sol.expected_work <= opt.expected_work + 1e-9);
+        assert!(
+            (opt.expected_work - sol.expected_work) / opt.expected_work < 0.02,
+            "DP {} vs analytic {}",
+            sol.expected_work,
+            opt.expected_work
+        );
+    }
+
+    #[test]
+    fn dp_matches_geometric_increasing_search() {
+        let l = 64.0;
+        let c = 1.0;
+        let p = GeometricIncreasing::new(l).unwrap();
+        let opt = crate::optimal::geometric_increasing_optimal(l, c).unwrap();
+        let e_opt = opt.expected_work(&p, c);
+        let sol = solve_auto(&p, c, 2000).unwrap();
+        let rel = (sol.expected_work - e_opt).abs() / e_opt.max(1e-12);
+        assert!(
+            rel < 0.02,
+            "DP {} vs recurrence-search {e_opt}",
+            sol.expected_work
+        );
+    }
+
+    #[test]
+    fn dp_never_schedules_nothing_when_work_is_available() {
+        let p = Uniform::new(100.0).unwrap();
+        let sol = solve_auto(&p, 1.0, 500).unwrap();
+        assert!(!sol.schedule.is_empty());
+        assert!(sol.expected_work > 0.0);
+    }
+
+    #[test]
+    fn dp_empty_when_overhead_dominates() {
+        // c >= L: no productive period fits before survival hits zero.
+        let p = Uniform::new(5.0).unwrap();
+        let sol = solve(&p, 5.0, 5.0, 200).unwrap();
+        assert!(approx_eq(sol.expected_work, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn finer_grid_improves_value() {
+        let p = Uniform::new(200.0).unwrap();
+        let c = 3.0;
+        let coarse = solve_auto(&p, c, 200).unwrap().expected_work;
+        let fine = solve_auto(&p, c, 2000).unwrap().expected_work;
+        assert!(fine >= coarse - 1e-9);
+    }
+
+    #[test]
+    fn dp_schedule_fits_horizon() {
+        let p = Uniform::new(50.0).unwrap();
+        let sol = solve_auto(&p, 1.0, 500).unwrap();
+        assert!(sol.schedule.total_length() <= 50.0 + 1e-9);
+    }
+}

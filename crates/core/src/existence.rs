@@ -1,0 +1,188 @@
+//! Existence of optimal schedules (Corollary 3.2 and the paper's
+//! `1/(t+1)^d` example).
+//!
+//! Corollary 3.2 states a necessary condition for a life function to admit
+//! an optimal schedule: `∃ t > c` with `p(t) > −(t − c)·p'(t)`.
+//! [`cor_3_2_test`] evaluates that condition literally.
+//!
+//! **Reproduction note.** For `p(t) = 1/(t+1)^d` the literal condition reads
+//! `(t+1) > d(t−c)`, which *holds* for every `t` slightly above `c` — so the
+//! test as printed cannot by itself rule the family out, although the paper
+//! asserts Corollary 3.2 shows these functions admit no optimal schedule.
+//! We therefore also provide [`horizon_sweep`], an empirical
+//! non-existence probe: solve the truncated problem with the DP oracle at
+//! growing horizons and watch whether the optimal value and initial period
+//! stabilize (the three §4 families) or keep drifting (the Pareto family,
+//! whose supremum is approached only by ever-longer schedules). The
+//! experiment `exp_3_2_existence` reports both, and EXPERIMENTS.md records
+//! the discrepancy.
+
+use crate::{dp, CoreError, Result};
+use cs_life::LifeFunction;
+use cs_numeric::optimize;
+
+/// Result of the literal Corollary 3.2 test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cor32Outcome {
+    /// Whether some `t > c` satisfies `p(t) > −(t−c)p'(t)`.
+    pub condition_holds: bool,
+    /// The maximizer of `h(t) = p(t) + (t−c)p'(t)` over the scanned range.
+    pub witness_t: f64,
+    /// The maximum of `h` (positive iff the condition holds).
+    pub max_h: f64,
+}
+
+/// Evaluates the literal Corollary 3.2 necessary condition by maximizing
+/// `h(t) = p(t) + (t − c)·p'(t)` over `t ∈ (c, horizon)`.
+pub fn cor_3_2_test(p: &dyn LifeFunction, c: f64) -> Result<Cor32Outcome> {
+    if !(c.is_finite() && c >= 0.0) {
+        return Err(CoreError::BadParameter("overhead c must be >= 0"));
+    }
+    let hi = p.horizon(1e-12);
+    if hi <= c {
+        return Err(CoreError::BadParameter("horizon does not exceed overhead"));
+    }
+    let h = |t: f64| p.survival(t) + (t - c) * p.deriv(t);
+    let m = optimize::grid_refine_max(h, c + 1e-9, hi, 512, 1e-10)?;
+    Ok(Cor32Outcome {
+        condition_holds: m.value > 0.0,
+        witness_t: m.x,
+        max_h: m.value,
+    })
+}
+
+/// One point of the empirical existence probe: the truncated-problem optimum
+/// at a given horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HorizonPoint {
+    /// Truncation horizon used.
+    pub horizon: f64,
+    /// DP-optimal expected work on `[0, horizon]`.
+    pub value: f64,
+    /// Initial period of the DP-optimal schedule (0 when empty).
+    pub t0: f64,
+    /// Number of periods of the DP-optimal schedule.
+    pub m: usize,
+}
+
+/// Solves the truncated problem at each horizon and reports the trajectory.
+///
+/// If the optimal value and `t_0` stabilize as the horizon grows, the
+/// infinite-horizon problem attains its supremum (an optimal schedule
+/// exists, as for the three §4 families); persistent drift in `m` with
+/// value creeping toward a limit signals a supremum that is approached but
+/// not attained (the paper's claim for `1/(t+1)^d`).
+pub fn horizon_sweep(
+    p: &dyn LifeFunction,
+    c: f64,
+    horizons: &[f64],
+    grid: usize,
+) -> Result<Vec<HorizonPoint>> {
+    let mut out = Vec::with_capacity(horizons.len());
+    for &h in horizons {
+        let sol = dp::solve(p, c, h, grid)?;
+        let t0 = sol.schedule.periods().first().copied().unwrap_or(0.0);
+        out.push(HorizonPoint {
+            horizon: h,
+            value: sol.expected_work,
+            t0,
+            m: sol.schedule.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_life::{GeometricDecreasing, Pareto, Uniform};
+
+    #[test]
+    fn parameter_guards() {
+        let p = Uniform::new(10.0).unwrap();
+        assert!(cor_3_2_test(&p, -1.0).is_err());
+        assert!(cor_3_2_test(&p, 20.0).is_err());
+    }
+
+    #[test]
+    fn condition_holds_for_paper_families() {
+        // All three §4 families admit optimal schedules, so the necessary
+        // condition must hold.
+        let c = 1.0;
+        let u = Uniform::new(100.0).unwrap();
+        assert!(cor_3_2_test(&u, c).unwrap().condition_holds);
+        let g = GeometricDecreasing::new(2.0).unwrap();
+        assert!(cor_3_2_test(&g, c).unwrap().condition_holds);
+        let gi = cs_life::GeometricIncreasing::new(32.0).unwrap();
+        assert!(cor_3_2_test(&gi, c).unwrap().condition_holds);
+    }
+
+    #[test]
+    fn pareto_satisfies_literal_condition_near_c() {
+        // The reproduction note: the literal test is satisfied by Pareto —
+        // h(t) > 0 for t just above c since (t+1) > d(t−c) there.
+        let p = Pareto::new(2.0).unwrap();
+        let out = cor_3_2_test(&p, 1.0).unwrap();
+        assert!(
+            out.condition_holds,
+            "literal Cor 3.2 test unexpectedly failed for Pareto: max_h = {}",
+            out.max_h
+        );
+    }
+
+    #[test]
+    fn pareto_condition_fails_beyond_threshold() {
+        // h(t) = (t+1)^{-d-1} [(t+1) − d(t−c)] < 0 for t > (1+dc)/(d−1):
+        // the condition is local to small t, which is what makes the
+        // family's schedules want to stop early — yet extending past the
+        // horizon always adds positive work, hence non-attainment.
+        let d = 2.0;
+        let c = 1.0;
+        let p = Pareto::new(d).unwrap();
+        let threshold = (1.0 + d * c) / (d - 1.0);
+        let h = |t: f64| p.survival(t) + (t - c) * p.deriv(t);
+        assert!(h(threshold + 1.0) < 0.0);
+        assert!(h(threshold - 0.5) > 0.0);
+    }
+
+    #[test]
+    fn horizon_sweep_stabilizes_for_geometric() {
+        // The geometric-decreasing optimum exists: growing the horizon
+        // changes the truncated optimum by a geometrically vanishing amount.
+        let p = GeometricDecreasing::new(2.0).unwrap();
+        let c = 1.0;
+        let pts = horizon_sweep(&p, c, &[20.0, 30.0, 40.0], 1200).unwrap();
+        let last = pts[pts.len() - 1].value;
+        let prev = pts[pts.len() - 2].value;
+        assert!(
+            (last - prev).abs() / last < 1e-3,
+            "geometric sweep still drifting"
+        );
+        // And the limit matches the analytic optimum.
+        let opt = crate::optimal::geometric_decreasing_optimal(2.0, c).unwrap();
+        assert!((last - opt.expected_work).abs() / opt.expected_work < 0.02);
+    }
+
+    #[test]
+    fn horizon_sweep_keeps_growing_for_pareto() {
+        // Pareto d = 1.2 (slow tail): the truncated optimum keeps improving
+        // materially as the horizon doubles — the supremum is not attained
+        // by any bounded schedule.
+        let p = Pareto::new(1.2).unwrap();
+        let c = 1.0;
+        let pts = horizon_sweep(&p, c, &[50.0, 200.0, 800.0], 1600).unwrap();
+        assert!(pts[1].value > pts[0].value * 1.02, "{:?}", pts);
+        assert!(pts[2].value > pts[1].value * 1.02, "{:?}", pts);
+        // The number of periods grows with the horizon.
+        assert!(pts[2].m > pts[0].m);
+    }
+
+    #[test]
+    fn horizon_points_monotone_in_horizon() {
+        let p = Pareto::new(2.0).unwrap();
+        let pts = horizon_sweep(&p, 0.5, &[10.0, 20.0, 40.0], 800).unwrap();
+        for w in pts.windows(2) {
+            assert!(w[1].value >= w[0].value - 1e-9);
+        }
+    }
+}

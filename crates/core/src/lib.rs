@@ -1,0 +1,149 @@
+//! # cs-core
+//!
+//! The primary contribution of Rosenberg's *"Guidelines for Data-Parallel
+//! Cycle-Stealing in Networks of Workstations, I"* (TR 98-15 / IPPS 1998),
+//! implemented as a library.
+//!
+//! ## The model (paper §2)
+//!
+//! Workstation A schedules an episode of cycle-stealing on borrowed
+//! workstation B as a sequence of periods `S = t_0, t_1, …`. Each period
+//! carries a fixed communication overhead `c` (send work + receive results);
+//! if B's owner reclaims it mid-period, that period's work is lost and the
+//! episode ends. With life function `p` (see [`cs_life`]), the expected work
+//! is
+//!
+//! ```text
+//! E(S; p) = Σ_{i≥0} (t_i ⊖ c) · p(T_i),      T_i = t_0 + … + t_i
+//! ```
+//!
+//! ## What this crate provides
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | Schedules, `E(S;p)`, positive subtraction, Prop 2.1 normalization | [`schedule`] |
+//! | Guideline recurrence (Cor 3.1, eq 3.6) + per-family closed forms (§4) | [`recurrence`] |
+//! | `t_0` bounds (Thm 3.2/3.3; §4 closed forms; Cor 5.4/5.5) | [`bounds`] |
+//! | Provably-optimal baselines from \[3\] for the three scenarios | [`optimal`] |
+//! | Guideline-driven search for the best `t_0` | [`search`] |
+//! | Dynamic-programming global optimum on a time grid (§6 discrete analogue) | [`dp`] |
+//! | Greedy schedules (§6) | [`greedy`] |
+//! | Shifts and perturbations (proof machinery of Thm 3.1/5.1) | [`perturb`] |
+//! | Structural laws (Thm 5.2, Cor 5.1–5.3) as checkable predicates | [`structure`] |
+//! | Existence test for optimal schedules (Cor 3.2) | [`existence`] |
+//! | Progressive/conditional scheduling (§6) | [`adaptive`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cs_core::prelude::*;
+//! use cs_life::Uniform;
+//!
+//! // An episode with uniform reclamation risk over L = 1000 time units and
+//! // communication overhead c = 5.
+//! let p = Uniform::new(1000.0).unwrap();
+//! let c = 5.0;
+//!
+//! // The paper's guidelines: bracket t0, generate the rest by eq (3.6).
+//! let plan = cs_core::search::best_guideline_schedule(&p, c).unwrap();
+//! assert!(plan.schedule.len() > 1);
+//!
+//! // Compare with the provably optimal schedule of \[3\].
+//! let opt = cs_core::optimal::uniform_optimal(1000.0, c).unwrap();
+//! let e_guide = plan.schedule.expected_work(&p, c);
+//! let e_opt = opt.expected_work(&p, c);
+//! assert!(e_guide / e_opt > 0.99);
+//! ```
+
+#![forbid(unsafe_code)]
+// `!(a < b)`-style comparisons deliberately route NaN to the error path.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod bounds;
+pub mod competitive;
+pub mod dp;
+pub mod existence;
+pub mod greedy;
+pub mod optimal;
+pub mod perturb;
+pub mod recurrence;
+pub mod schedule;
+pub mod search;
+pub mod structure;
+
+pub use schedule::Schedule;
+
+/// Commonly used items, re-exported for ergonomic `use cs_core::prelude::*`.
+pub mod prelude {
+    pub use crate::bounds::{t0_bracket, T0Bracket};
+    pub use crate::recurrence::{guideline_schedule, GuidelineOptions};
+    pub use crate::schedule::{positive_sub, Schedule};
+    pub use crate::search::{best_guideline_schedule, GuidelinePlan};
+    pub use cs_life::{LifeFunction, Shape};
+}
+
+/// Errors from schedule construction and the guideline machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A period length was nonpositive or non-finite.
+    BadPeriod {
+        /// Index of the offending period.
+        index: usize,
+        /// The offending length.
+        value: f64,
+    },
+    /// A parameter (overhead, lifespan, …) was out of range.
+    BadParameter(&'static str),
+    /// An underlying numeric routine failed.
+    Numeric(cs_numeric::NumericError),
+    /// The requested construction is undefined for this life function
+    /// (e.g. concave-only bound on a convex function).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::BadPeriod { index, value } => {
+                write!(f, "period {index} has invalid length {value}")
+            }
+            CoreError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+            CoreError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<cs_numeric::NumericError> for CoreError {
+    fn from(e: cs_numeric::NumericError) -> Self {
+        CoreError::Numeric(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_roundtrip() {
+        let e = CoreError::BadPeriod {
+            index: 3,
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("period 3"));
+        let e = CoreError::BadParameter("c must be positive");
+        assert!(e.to_string().contains("c must be positive"));
+        let e: CoreError = cs_numeric::NumericError::InvalidArgument("x").into();
+        assert!(matches!(e, CoreError::Numeric(_)));
+        assert!(e.to_string().contains("numeric failure"));
+        let e = CoreError::Unsupported("nope");
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Shifts and perturbations of schedules — the proof machinery of
+//! Theorems 3.1 and 5.1, made executable.
+//!
+//! * A **⟨k, ±δ⟩-shift** changes period `k` by `±δ`, leaving all other
+//!   periods intact (so all later end times move): the comparison that
+//!   yields the first-order conditions (3.1).
+//! * A **[k, ±δ]-perturbation** moves `δ` between periods `k` and `k+1`,
+//!   preserving every end time except `T_k`: the comparison behind the
+//!   local-optimality theorem 5.1 and the growth laws of Theorem 5.2.
+//!
+//! [`local_optimality_margin`] quantifies Theorem 5.1: for a schedule
+//! satisfying (3.6) on a concave life function, every perturbation must
+//! lose expected work.
+
+use crate::{CoreError, Result, Schedule};
+use cs_life::LifeFunction;
+
+/// The ⟨k, +δ⟩-shift (δ may be negative for the ⟨k, −δ⟩ variant):
+/// `t_k ← t_k + δ`. Fails if the new period would be nonpositive.
+pub fn shift(s: &Schedule, k: usize, delta: f64) -> Result<Schedule> {
+    let periods = s.periods();
+    if k >= periods.len() {
+        return Err(CoreError::BadParameter("shift: period index out of range"));
+    }
+    let mut out = periods.to_vec();
+    out[k] += delta;
+    Schedule::new(out)
+}
+
+/// The [k, +δ]-perturbation (δ may be negative): `t_k ← t_k + δ`,
+/// `t_{k+1} ← t_{k+1} − δ`. Fails if either period would be nonpositive or
+/// `k + 1` is out of range.
+pub fn perturb(s: &Schedule, k: usize, delta: f64) -> Result<Schedule> {
+    let periods = s.periods();
+    if k + 1 >= periods.len() {
+        return Err(CoreError::BadParameter("perturb: need periods k and k+1"));
+    }
+    let mut out = periods.to_vec();
+    out[k] += delta;
+    out[k + 1] -= delta;
+    Schedule::new(out)
+}
+
+/// Splits period `k` at offset `x` (`0 < x < t_k`) into two periods — the
+/// construction in Lemma 3.1's proof.
+pub fn split(s: &Schedule, k: usize, x: f64) -> Result<Schedule> {
+    let periods = s.periods();
+    if k >= periods.len() {
+        return Err(CoreError::BadParameter("split: period index out of range"));
+    }
+    if !(x > 0.0 && x < periods[k]) {
+        return Err(CoreError::BadParameter(
+            "split: offset must lie inside the period",
+        ));
+    }
+    let mut out = Vec::with_capacity(periods.len() + 1);
+    out.extend_from_slice(&periods[..k]);
+    out.push(x);
+    out.push(periods[k] - x);
+    out.extend_from_slice(&periods[k + 1..]);
+    Schedule::new(out)
+}
+
+/// Merges periods `k` and `k+1` into one — the construction in
+/// Theorem 3.2's proof (schedule `S̃`).
+pub fn merge(s: &Schedule, k: usize) -> Result<Schedule> {
+    let periods = s.periods();
+    if k + 1 >= periods.len() {
+        return Err(CoreError::BadParameter("merge: need periods k and k+1"));
+    }
+    let mut out = Vec::with_capacity(periods.len() - 1);
+    out.extend_from_slice(&periods[..k]);
+    out.push(periods[k] + periods[k + 1]);
+    out.extend_from_slice(&periods[k + 2..]);
+    Schedule::new(out)
+}
+
+/// The worst (most favourable to the adversary) improvement any
+/// [k, ±δ]-perturbation achieves over `s`, across all period indices and
+/// the given `δ` values: `max_k,δ E(S^{[k,±δ]}) − E(S)`.
+///
+/// Theorem 5.1: for concave `p` and `s` satisfying (3.6), this margin is
+/// strictly negative (every perturbation loses work). A nonpositive value
+/// certifies local optimality against the tested perturbations.
+pub fn local_optimality_margin(s: &Schedule, p: &dyn LifeFunction, c: f64, deltas: &[f64]) -> f64 {
+    let base = s.expected_work(p, c);
+    let mut best = f64::NEG_INFINITY;
+    for k in 0..s.len().saturating_sub(1) {
+        for &d in deltas {
+            for signed in [d, -d] {
+                if let Ok(ps) = perturb(s, k, signed) {
+                    best = best.max(ps.expected_work(p, c) - base);
+                }
+            }
+        }
+    }
+    if best == f64::NEG_INFINITY {
+        0.0
+    } else {
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recurrence::{guideline_schedule, GuidelineOptions};
+    use cs_life::{Polynomial, Uniform};
+    use cs_numeric::approx_eq;
+
+    fn sched(v: &[f64]) -> Schedule {
+        Schedule::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn shift_changes_one_period() {
+        let s = sched(&[5.0, 4.0, 3.0]);
+        let up = shift(&s, 1, 0.5).unwrap();
+        assert_eq!(up.periods(), &[5.0, 4.5, 3.0]);
+        let down = shift(&s, 1, -0.5).unwrap();
+        assert_eq!(down.periods(), &[5.0, 3.5, 3.0]);
+        assert!(shift(&s, 3, 0.1).is_err());
+        assert!(shift(&s, 0, -5.0).is_err());
+    }
+
+    #[test]
+    fn perturb_preserves_total_length() {
+        let s = sched(&[5.0, 4.0, 3.0]);
+        let q = perturb(&s, 0, 1.0).unwrap();
+        assert_eq!(q.periods(), &[6.0, 3.0, 3.0]);
+        assert!(approx_eq(q.total_length(), s.total_length(), 1e-12));
+        assert!(perturb(&s, 2, 0.1).is_err());
+        assert!(perturb(&s, 0, 4.0).is_err()); // t_1 would go nonpositive
+    }
+
+    #[test]
+    fn perturb_preserves_later_end_times() {
+        let s = sched(&[5.0, 4.0, 3.0]);
+        let q = perturb(&s, 0, 0.5).unwrap();
+        let se = s.end_times();
+        let qe = q.end_times();
+        assert!(approx_eq(qe[1], se[1], 1e-12));
+        assert!(approx_eq(qe[2], se[2], 1e-12));
+        assert!(!approx_eq(qe[0], se[0], 1e-12));
+    }
+
+    #[test]
+    fn split_and_merge_are_inverse() {
+        let s = sched(&[5.0, 4.0, 3.0]);
+        let sp = split(&s, 1, 1.5).unwrap();
+        assert_eq!(sp.periods(), &[5.0, 1.5, 2.5, 3.0]);
+        let back = merge(&sp, 1).unwrap();
+        assert_eq!(back.periods(), s.periods());
+        assert!(split(&s, 0, 5.0).is_err());
+        assert!(split(&s, 0, 0.0).is_err());
+        assert!(merge(&s, 2).is_err());
+    }
+
+    #[test]
+    fn theorem_5_1_margin_negative_for_guideline_schedule() {
+        // Concave life function + schedule satisfying (3.6) ⇒ strictly
+        // negative perturbation margin.
+        let c = 3.0;
+        for d in [1u32, 2, 3] {
+            let p = Polynomial::new(d, 600.0).unwrap();
+            let s = guideline_schedule(&p, c, 80.0, &GuidelineOptions::default()).unwrap();
+            assert!(s.len() >= 2, "need at least 2 periods, d = {d}");
+            let margin = local_optimality_margin(&s, &p, c, &[0.01, 0.1, 1.0]);
+            assert!(margin < 0.0, "d = {d}: margin {margin} not negative");
+        }
+    }
+
+    #[test]
+    fn margin_positive_for_bad_schedule() {
+        // A deliberately unbalanced schedule should be improvable by a
+        // perturbation.
+        let p = Uniform::new(200.0).unwrap();
+        let c = 2.0;
+        let s = sched(&[10.0, 80.0]);
+        let margin = local_optimality_margin(&s, &p, c, &[1.0, 5.0, 20.0]);
+        assert!(margin > 0.0, "margin {margin}");
+    }
+
+    #[test]
+    fn margin_zero_for_single_period() {
+        // No perturbation is possible with fewer than two periods.
+        let p = Uniform::new(100.0).unwrap();
+        assert_eq!(
+            local_optimality_margin(&sched(&[10.0]), &p, 1.0, &[0.5]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn merge_comparison_of_theorem_3_2() {
+        // E(S) - E(S̃) = (t0 - c) p(t0) - t0 p(T1) (eq 3.8): verify the
+        // executable merge reproduces the algebra.
+        let l = 100.0;
+        let p = Uniform::new(l).unwrap();
+        let c = 2.0;
+        let s = sched(&[20.0, 15.0]);
+        let merged = merge(&s, 0).unwrap();
+        let lhs = s.expected_work(&p, c) - merged.expected_work(&p, c);
+        let t0 = 20.0;
+        let t1 = 35.0;
+        let rhs = (t0 - c) * p.survival(t0) - t0 * p.survival(t1);
+        assert!(approx_eq(lhs, rhs, 1e-9), "{lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,382 @@
+//! Cycle-stealing schedules and the expected-work functional (paper §2.1),
+//! plus the productive-normalization of Proposition 2.1.
+
+use crate::{CoreError, Result};
+use cs_life::LifeFunction;
+
+/// Positive subtraction `x ⊖ y = max(0, x − y)` (paper footnote 2).
+#[inline]
+pub fn positive_sub(x: f64, y: f64) -> f64 {
+    (x - y).max(0.0)
+}
+
+/// A cycle-stealing schedule: the sequence of period lengths
+/// `S = t_0, t_1, …` (paper §2.1).
+///
+/// Period `k` starts at `τ_k = t_0 + … + t_{k−1}` and ends at
+/// `T_k = τ_k + t_k`. Infinite schedules (needed by the geometric-decreasing
+/// scenario) are represented by finite truncations whose tail contribution is
+/// below double-precision resolution; [`crate::optimal::GeometricDecreasingOptimal`]
+/// carries the exact analytic value alongside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    periods: Vec<f64>,
+}
+
+impl Schedule {
+    /// Builds a schedule from period lengths; every length must be finite
+    /// and strictly positive. An empty schedule (accomplishing no work) is
+    /// allowed.
+    pub fn new(periods: Vec<f64>) -> Result<Self> {
+        for (index, &value) in periods.iter().enumerate() {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(CoreError::BadPeriod { index, value });
+            }
+        }
+        Ok(Self { periods })
+    }
+
+    /// The empty schedule.
+    pub fn empty() -> Self {
+        Self {
+            periods: Vec::new(),
+        }
+    }
+
+    /// The period lengths `t_0, t_1, …`.
+    pub fn periods(&self) -> &[f64] {
+        &self.periods
+    }
+
+    /// Number of periods `m`.
+    pub fn len(&self) -> usize {
+        self.periods.len()
+    }
+
+    /// True when the schedule has no periods.
+    pub fn is_empty(&self) -> bool {
+        self.periods.is_empty()
+    }
+
+    /// Total scheduled time `Σ t_i` (the paper's `T_{m−1}`).
+    pub fn total_length(&self) -> f64 {
+        self.periods.iter().sum()
+    }
+
+    /// The period end times `T_0, T_1, …, T_{m−1}`.
+    pub fn end_times(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.periods
+            .iter()
+            .map(|t| {
+                acc += t;
+                acc
+            })
+            .collect()
+    }
+
+    /// End time `T_k` of period `k` (panics if out of range).
+    pub fn end_time(&self, k: usize) -> f64 {
+        self.periods[..=k].iter().sum()
+    }
+
+    /// Expected work `E(S; p) = Σ (t_i ⊖ c) p(T_i)` (paper eq 2.1).
+    ///
+    /// Uses positive subtraction, so unproductive periods (length ≤ c)
+    /// contribute zero rather than negative work.
+    pub fn expected_work(&self, p: &dyn LifeFunction, c: f64) -> f64 {
+        let mut t_end = 0.0;
+        let mut e = 0.0;
+        for &t in &self.periods {
+            t_end += t;
+            let gain = positive_sub(t, c);
+            if gain > 0.0 {
+                let surv = p.survival(t_end);
+                if surv <= 0.0 {
+                    // p is monotone: every later term is zero too.
+                    break;
+                }
+                e += gain * surv;
+            }
+        }
+        e
+    }
+
+    /// The work actually banked if the owner reclaims B at time `r`
+    /// (paper §2.1): the sum of `t_i ⊖ c` over the periods that **completed
+    /// strictly before** `r`. The interrupted period's work is lost and the
+    /// episode ends.
+    ///
+    /// `p(t) = P(R > t)`, so a period ending exactly at `r` is counted as
+    /// interrupted (consistent with `E` being the expectation of this
+    /// function under `R ~ p`).
+    pub fn work_if_reclaimed_at(&self, r: f64, c: f64) -> f64 {
+        let mut t_end = 0.0;
+        let mut work = 0.0;
+        for &t in &self.periods {
+            t_end += t;
+            if t_end >= r {
+                break;
+            }
+            work += positive_sub(t, c);
+        }
+        work
+    }
+
+    /// Work accomplished when the episode is never interrupted: `Σ t_i ⊖ c`.
+    pub fn max_work(&self, c: f64) -> f64 {
+        self.periods.iter().map(|&t| positive_sub(t, c)).sum()
+    }
+
+    /// Productive normalization (Proposition 2.1): returns a schedule `S'`
+    /// with `E(S'; p) ≥ E(S; p)` in which **every** period has length > c.
+    ///
+    /// Construction: an unproductive period (`t_i ≤ c`) contributes nothing,
+    /// so merging it into its successor can only increase the successor's
+    /// contribution (same end time, longer period); trailing unproductive
+    /// periods are dropped outright. This is slightly stronger than the
+    /// statement in the paper (which exempts the last period) because
+    /// dropping a trailing `t ≤ c` period never loses work.
+    pub fn normalize_productive(&self, c: f64) -> Schedule {
+        let mut out: Vec<f64> = Vec::with_capacity(self.periods.len());
+        let mut carry = 0.0;
+        for &t in &self.periods {
+            let t = t + carry;
+            if t > c {
+                out.push(t);
+                carry = 0.0;
+            } else {
+                carry = t;
+            }
+        }
+        // Any remaining carry is a trailing unproductive stretch: drop it.
+        Schedule { periods: out }
+    }
+
+    /// Returns a truncation to the first `n` periods.
+    pub fn truncate(&self, n: usize) -> Schedule {
+        Schedule {
+            periods: self.periods[..n.min(self.periods.len())].to_vec(),
+        }
+    }
+
+    /// Concatenates another schedule after this one.
+    pub fn concat(&self, other: &Schedule) -> Schedule {
+        let mut periods = self.periods.clone();
+        periods.extend_from_slice(&other.periods);
+        Schedule { periods }
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.periods.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if i >= 8 {
+                write!(f, "… ({} periods)", self.periods.len())?;
+                break;
+            }
+            write!(f, "{t:.4}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_life::{GeometricDecreasing, Uniform};
+    use cs_numeric::approx_eq;
+    use proptest::prelude::*;
+
+    #[test]
+    fn positive_sub_matches_definition() {
+        assert_eq!(positive_sub(5.0, 3.0), 2.0);
+        assert_eq!(positive_sub(3.0, 5.0), 0.0);
+        assert_eq!(positive_sub(3.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn construction_rejects_bad_periods() {
+        assert!(matches!(
+            Schedule::new(vec![1.0, 0.0]),
+            Err(CoreError::BadPeriod { index: 1, .. })
+        ));
+        assert!(Schedule::new(vec![-1.0]).is_err());
+        assert!(Schedule::new(vec![f64::NAN]).is_err());
+        assert!(Schedule::new(vec![f64::INFINITY]).is_err());
+        assert!(Schedule::new(vec![]).is_ok());
+    }
+
+    #[test]
+    fn end_times_cumulative() {
+        let s = Schedule::new(vec![3.0, 2.0, 1.0]).unwrap();
+        assert_eq!(s.end_times(), vec![3.0, 5.0, 6.0]);
+        assert_eq!(s.end_time(1), 5.0);
+        assert_eq!(s.total_length(), 6.0);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn expected_work_single_period_uniform() {
+        // One period of length t on uniform-risk L: E = (t - c)(1 - t/L).
+        let p = Uniform::new(100.0).unwrap();
+        let s = Schedule::new(vec![20.0]).unwrap();
+        let e = s.expected_work(&p, 4.0);
+        assert!(approx_eq(e, 16.0 * 0.8, 1e-12));
+    }
+
+    #[test]
+    fn expected_work_ignores_unproductive_periods() {
+        let p = Uniform::new(100.0).unwrap();
+        let s1 = Schedule::new(vec![2.0, 20.0]).unwrap();
+        // The 2-unit period (≤ c = 4) contributes nothing but does advance time.
+        let e = s1.expected_work(&p, 4.0);
+        assert!(approx_eq(e, 16.0 * (1.0 - 22.0 / 100.0), 1e-12));
+    }
+
+    #[test]
+    fn expected_work_zero_beyond_lifespan() {
+        let p = Uniform::new(10.0).unwrap();
+        let s = Schedule::new(vec![20.0]).unwrap();
+        assert_eq!(s.expected_work(&p, 1.0), 0.0);
+    }
+
+    #[test]
+    fn expected_work_geometric_equal_periods_closed_form() {
+        // Equal periods t on p_a: E = (t-c) Σ_{k≥1} a^{-kt} = (t-c)/(a^t - 1).
+        let a = 2.0;
+        let p = GeometricDecreasing::new(a).unwrap();
+        let t = 3.0;
+        let c = 1.0;
+        let n = 200;
+        let s = Schedule::new(vec![t; n]).unwrap();
+        let e = s.expected_work(&p, c);
+        let closed = (t - c) / (a.powf(t) - 1.0);
+        assert!(approx_eq(e, closed, 1e-12), "e = {e}, closed = {closed}");
+    }
+
+    #[test]
+    fn work_if_reclaimed_at_boundaries() {
+        let s = Schedule::new(vec![5.0, 5.0]).unwrap();
+        let c = 1.0;
+        // Reclaimed during period 0: nothing banked.
+        assert_eq!(s.work_if_reclaimed_at(3.0, c), 0.0);
+        // Reclaimed exactly at T_0 = 5: period 0 counted as interrupted.
+        assert_eq!(s.work_if_reclaimed_at(5.0, c), 0.0);
+        // Reclaimed within period 1: period 0 banked.
+        assert_eq!(s.work_if_reclaimed_at(7.0, c), 4.0);
+        // Never reclaimed within the schedule.
+        assert_eq!(s.work_if_reclaimed_at(100.0, c), 8.0);
+    }
+
+    #[test]
+    fn max_work_sums_productive_parts() {
+        let s = Schedule::new(vec![5.0, 0.5, 3.0]).unwrap();
+        assert_eq!(s.max_work(1.0), 4.0 + 0.0 + 2.0);
+    }
+
+    #[test]
+    fn normalization_merges_and_drops() {
+        let c = 2.0;
+        let s = Schedule::new(vec![1.0, 1.0, 1.0, 5.0, 1.5]).unwrap();
+        let n = s.normalize_productive(c);
+        // 1+1+1 = 3 > 2 merges into one period; 5 stays; trailing 1.5 dropped.
+        assert_eq!(n.periods(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn normalization_never_decreases_expected_work() {
+        let p = Uniform::new(50.0).unwrap();
+        let c = 2.0;
+        let s = Schedule::new(vec![1.0, 6.0, 1.5, 0.5, 8.0, 1.0]).unwrap();
+        let n = s.normalize_productive(c);
+        assert!(n.expected_work(&p, c) >= s.expected_work(&p, c) - 1e-12);
+        assert!(n.periods().iter().all(|&t| t > c));
+    }
+
+    #[test]
+    fn normalization_of_all_unproductive_is_empty() {
+        let s = Schedule::new(vec![0.5, 0.5, 0.5]).unwrap();
+        let n = s.normalize_productive(2.0);
+        assert!(n.is_empty());
+        assert_eq!(n.expected_work(&Uniform::new(10.0).unwrap(), 2.0), 0.0);
+    }
+
+    #[test]
+    fn truncate_and_concat() {
+        let s = Schedule::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.truncate(2).periods(), &[1.0, 2.0]);
+        assert_eq!(s.truncate(10).periods(), s.periods());
+        let t = Schedule::new(vec![4.0]).unwrap();
+        assert_eq!(s.concat(&t).periods(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn display_truncates_long_schedules() {
+        let s = Schedule::new(vec![1.0; 20]).unwrap();
+        let text = format!("{s}");
+        assert!(text.contains("20 periods"));
+        let short = Schedule::new(vec![1.5, 2.5]).unwrap();
+        assert_eq!(format!("{short}"), "[1.5000, 2.5000]");
+    }
+
+    /// Monte-Carlo-free sanity: E(S;p) equals the quadrature of
+    /// work_if_reclaimed_at against the reclamation density −p'.
+    #[test]
+    fn expected_work_is_expectation_of_realized_work() {
+        let l = 40.0;
+        let p = Uniform::new(l).unwrap();
+        let c = 1.5;
+        let s = Schedule::new(vec![10.0, 8.0, 6.0]).unwrap();
+        // E[W] = ∫ W(r) f(r) dr with f = 1/L on [0, L] (uniform), plus no
+        // atom at L since p(L) = 0.
+        let integral =
+            cs_numeric::quad::adaptive_simpson(|r| s.work_if_reclaimed_at(r, c) / l, 0.0, l, 1e-10)
+                .unwrap();
+        let e = s.expected_work(&p, c);
+        assert!(approx_eq(e, integral, 1e-6), "E = {e}, ∫ = {integral}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_expected_work_nonnegative_and_bounded(
+            periods in proptest::collection::vec(0.01f64..30.0, 0..12),
+            c in 0.0f64..5.0,
+            l in 1.0f64..200.0,
+        ) {
+            let p = Uniform::new(l).unwrap();
+            let s = Schedule::new(periods).unwrap();
+            let e = s.expected_work(&p, c);
+            prop_assert!(e >= 0.0);
+            prop_assert!(e <= s.max_work(c) + 1e-9);
+        }
+
+        #[test]
+        fn prop_normalization_improves(
+            periods in proptest::collection::vec(0.01f64..10.0, 1..10),
+            c in 0.1f64..3.0,
+        ) {
+            let p = Uniform::new(60.0).unwrap();
+            let s = Schedule::new(periods).unwrap();
+            let n = s.normalize_productive(c);
+            prop_assert!(n.expected_work(&p, c) >= s.expected_work(&p, c) - 1e-9);
+            prop_assert!(n.periods().iter().all(|&t| t > c));
+        }
+
+        #[test]
+        fn prop_realized_work_monotone_in_reclaim_time(
+            periods in proptest::collection::vec(0.5f64..10.0, 1..8),
+            c in 0.0f64..2.0,
+            r1 in 0.0f64..100.0,
+            dr in 0.0f64..50.0,
+        ) {
+            let s = Schedule::new(periods).unwrap();
+            prop_assert!(s.work_if_reclaimed_at(r1 + dr, c) >= s.work_if_reclaimed_at(r1, c));
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Structural laws of optimal schedules (paper §5), as checkable predicates.
+//!
+//! * Theorem 5.2: concave `p` ⇒ `t_{i+1} ≤ t_i − c` for every internal
+//!   period; convex `p` ⇒ `t_{i+1} ≥ t_i − c`.
+//! * Corollary 5.1: concave `p` ⇒ strictly decreasing period lengths.
+//! * Corollary 5.2: concave `p` ⇒ finite schedule with at most `t_0/c`
+//!   periods.
+//! * Corollary 5.3: concave `p` with lifespan `L` ⇒
+//!   `m < ⌈√(2L/c + 1/4) + 1/2⌉`.
+//!
+//! These are *necessary* conditions on optimal schedules; the experiment
+//! harness uses them both to sanity-check the baselines of
+//! [`crate::optimal`] and to show the guideline-generated schedules inherit
+//! the right structure.
+
+use crate::bounds;
+use crate::Schedule;
+use cs_life::Shape;
+
+/// A violated structural law.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StructureViolation {
+    /// Theorem 5.2 (concave): some internal `t_{i+1} > t_i − c`.
+    ConcaveGrowth {
+        /// Index `i` of the violating pair.
+        index: usize,
+        /// `t_i`.
+        t_i: f64,
+        /// `t_{i+1}`.
+        t_next: f64,
+    },
+    /// Theorem 5.2 (convex): some `t_{i+1} < t_i − c`.
+    ConvexGrowth {
+        /// Index `i` of the violating pair.
+        index: usize,
+        /// `t_i`.
+        t_i: f64,
+        /// `t_{i+1}`.
+        t_next: f64,
+    },
+    /// Corollary 5.1: period lengths not strictly decreasing (concave `p`).
+    NotStrictlyDecreasing {
+        /// Index of the violating pair.
+        index: usize,
+    },
+    /// Corollary 5.2: more than `t_0/c` periods (concave `p`).
+    TooManyPeriodsCor52 {
+        /// Observed period count.
+        m: usize,
+        /// The `t_0/c` cap.
+        cap: f64,
+    },
+    /// Corollary 5.3: period count at or above the `√(2L/c)` ceiling.
+    TooManyPeriodsCor53 {
+        /// Observed period count.
+        m: usize,
+        /// The strict upper bound.
+        bound: f64,
+    },
+}
+
+impl std::fmt::Display for StructureViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StructureViolation::ConcaveGrowth { index, t_i, t_next } => write!(
+                f,
+                "Thm 5.2 (concave) violated at {index}: t_{{i+1}} = {t_next} > t_i - c with t_i = {t_i}"
+            ),
+            StructureViolation::ConvexGrowth { index, t_i, t_next } => write!(
+                f,
+                "Thm 5.2 (convex) violated at {index}: t_{{i+1}} = {t_next} < t_i - c with t_i = {t_i}"
+            ),
+            StructureViolation::NotStrictlyDecreasing { index } => {
+                write!(f, "Cor 5.1 violated at pair {index}: periods not strictly decreasing")
+            }
+            StructureViolation::TooManyPeriodsCor52 { m, cap } => {
+                write!(f, "Cor 5.2 violated: m = {m} exceeds t0/c = {cap}")
+            }
+            StructureViolation::TooManyPeriodsCor53 { m, bound } => {
+                write!(f, "Cor 5.3 violated: m = {m} not below {bound}")
+            }
+        }
+    }
+}
+
+/// Absolute slack allowed in the inequality checks (numerical tolerance).
+const TOL: f64 = 1e-7;
+
+/// Theorem 5.2: checks the period growth law for the given shape. Internal
+/// periods only (the final period is exempt in the paper's statement).
+pub fn check_growth_law(s: &Schedule, shape: Shape, c: f64) -> Result<(), StructureViolation> {
+    let ts = s.periods();
+    if ts.len() < 2 {
+        return Ok(());
+    }
+    // "Internal" pairs: (t_i, t_{i+1}) for i up to m-2; the last period may
+    // be a remnant, so concave checks skip the final pair's upper side only
+    // when it is the schedule's last period — the paper excepts "the last
+    // one". We check pairs (i, i+1) with i+1 <= m-1; for concave, the law
+    // says each internal period is >= c longer than its *successor*, which
+    // covers all pairs.
+    for i in 0..ts.len() - 1 {
+        match shape {
+            Shape::Concave | Shape::Linear => {
+                if ts[i + 1] > ts[i] - c + TOL {
+                    return Err(StructureViolation::ConcaveGrowth {
+                        index: i,
+                        t_i: ts[i],
+                        t_next: ts[i + 1],
+                    });
+                }
+            }
+            Shape::Convex => {
+                if ts[i + 1] < ts[i] - c - TOL {
+                    return Err(StructureViolation::ConvexGrowth {
+                        index: i,
+                        t_i: ts[i],
+                        t_next: ts[i + 1],
+                    });
+                }
+            }
+            Shape::Neither => {}
+        }
+    }
+    Ok(())
+}
+
+/// Corollary 5.1: strictly decreasing periods (concave life functions).
+pub fn check_strictly_decreasing(s: &Schedule) -> Result<(), StructureViolation> {
+    for (i, w) in s.periods().windows(2).enumerate() {
+        if w[1] >= w[0] - TOL {
+            return Err(StructureViolation::NotStrictlyDecreasing { index: i });
+        }
+    }
+    Ok(())
+}
+
+/// Corollary 5.2: at most `t_0/c` periods (concave life functions).
+pub fn check_period_count_cor_5_2(s: &Schedule, c: f64) -> Result<(), StructureViolation> {
+    if s.is_empty() || c <= 0.0 {
+        return Ok(());
+    }
+    let cap = s.periods()[0] / c;
+    let m = s.len();
+    if (m as f64) > cap + TOL {
+        return Err(StructureViolation::TooManyPeriodsCor52 { m, cap });
+    }
+    Ok(())
+}
+
+/// Corollary 5.3: `m < ⌈√(2L/c + 1/4) + 1/2⌉` (concave, lifespan `L`).
+pub fn check_period_count_cor_5_3(s: &Schedule, l: f64, c: f64) -> Result<(), StructureViolation> {
+    let bound = bounds::cor_5_3_period_bound(l, c);
+    let m = s.len();
+    if (m as f64) >= bound {
+        return Err(StructureViolation::TooManyPeriodsCor53 { m, bound });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recurrence::{guideline_schedule, GuidelineOptions};
+    use cs_life::{GeometricDecreasing, GeometricIncreasing, LifeFunction, Polynomial};
+
+    fn sched(v: &[f64]) -> Schedule {
+        Schedule::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn growth_law_concave_detects_violation() {
+        let s = sched(&[5.0, 4.5]); // decrease of 0.5 < c = 1
+        assert!(matches!(
+            check_growth_law(&s, Shape::Concave, 1.0),
+            Err(StructureViolation::ConcaveGrowth { index: 0, .. })
+        ));
+        let ok = sched(&[5.0, 4.0, 3.0]);
+        check_growth_law(&ok, Shape::Concave, 1.0).unwrap();
+    }
+
+    #[test]
+    fn growth_law_convex_detects_violation() {
+        let s = sched(&[5.0, 2.0]); // decrease of 3 > c = 1
+        assert!(matches!(
+            check_growth_law(&s, Shape::Convex, 1.0),
+            Err(StructureViolation::ConvexGrowth { index: 0, .. })
+        ));
+        check_growth_law(&sched(&[5.0, 5.0, 5.0]), Shape::Convex, 1.0).unwrap();
+    }
+
+    #[test]
+    fn growth_law_neither_always_passes() {
+        check_growth_law(&sched(&[1.0, 10.0, 0.5]), Shape::Neither, 1.0).unwrap();
+    }
+
+    #[test]
+    fn growth_law_short_schedules_pass() {
+        check_growth_law(&sched(&[3.0]), Shape::Concave, 1.0).unwrap();
+        check_growth_law(&Schedule::empty(), Shape::Concave, 1.0).unwrap();
+    }
+
+    #[test]
+    fn uniform_optimal_meets_equality() {
+        // Uniform risk is both concave and convex: t_{i+1} = t_i - c exactly
+        // (paper remark after Thm 5.2: the bound cannot be improved).
+        let s = crate::optimal::uniform_optimal(500.0, 4.0).unwrap();
+        check_growth_law(&s, Shape::Concave, 4.0).unwrap();
+        check_growth_law(&s, Shape::Convex, 4.0).unwrap();
+    }
+
+    #[test]
+    fn geo_dec_optimal_satisfies_convex_law() {
+        // Equal periods trivially satisfy t_{i+1} >= t_i - c.
+        let opt = crate::optimal::geometric_decreasing_optimal(2.0, 1.0).unwrap();
+        let s = opt.schedule(50);
+        check_growth_law(&s, Shape::Convex, 1.0).unwrap();
+        // And the guideline schedule for p_a also satisfies it.
+        let p = GeometricDecreasing::new(2.0).unwrap();
+        let g = guideline_schedule(
+            &p,
+            1.0,
+            1.0 + 0.9 / 2.0f64.ln(),
+            &GuidelineOptions {
+                max_periods: 60,
+                tail_eps: 0.0,
+            },
+        )
+        .unwrap();
+        check_growth_law(&g, Shape::Convex, 1.0).unwrap();
+    }
+
+    #[test]
+    fn concave_guideline_schedules_satisfy_all_laws() {
+        let c = 2.0;
+        for d in [2u32, 3] {
+            let l = 700.0;
+            let p = Polynomial::new(d, l).unwrap();
+            let plan = crate::search::best_guideline_schedule(&p, c).unwrap();
+            let s = &plan.schedule;
+            check_growth_law(s, Shape::Concave, c).unwrap();
+            check_strictly_decreasing(s).unwrap();
+            check_period_count_cor_5_2(s, c).unwrap();
+            check_period_count_cor_5_3(s, l, c).unwrap();
+        }
+    }
+
+    #[test]
+    fn geo_increasing_optimal_satisfies_concave_laws() {
+        let l = 64.0;
+        let c = 1.0;
+        let s = crate::optimal::geometric_increasing_optimal(l, c).unwrap();
+        let p = GeometricIncreasing::new(l).unwrap();
+        assert!(p.shape().is_concave());
+        check_growth_law(&s, Shape::Concave, c).unwrap();
+        check_strictly_decreasing(&s).unwrap();
+        check_period_count_cor_5_2(&s, c).unwrap();
+        check_period_count_cor_5_3(&s, l, c).unwrap();
+    }
+
+    #[test]
+    fn cor_5_2_detects_violation() {
+        // t0 = 3, c = 1: cap is 3 periods; give it 5.
+        let s = sched(&[3.0, 2.9, 2.8, 2.7, 2.6]);
+        assert!(matches!(
+            check_period_count_cor_5_2(&s, 1.0),
+            Err(StructureViolation::TooManyPeriodsCor52 { m: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn cor_5_3_detects_violation() {
+        // L = 10, c = 10: bound = ceil(sqrt(2.25) + 0.5) = 2; m = 2 violates.
+        let s = sched(&[5.0, 5.0]);
+        assert!(check_period_count_cor_5_3(&s, 10.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn violation_messages_readable() {
+        let v = StructureViolation::ConcaveGrowth {
+            index: 2,
+            t_i: 5.0,
+            t_next: 4.9,
+        };
+        assert!(v.to_string().contains("Thm 5.2"));
+        let v = StructureViolation::NotStrictlyDecreasing { index: 0 };
+        assert!(v.to_string().contains("Cor 5.1"));
+        let v = StructureViolation::TooManyPeriodsCor52 { m: 9, cap: 4.0 };
+        assert!(v.to_string().contains("Cor 5.2"));
+        let v = StructureViolation::TooManyPeriodsCor53 { m: 9, bound: 4.0 };
+        assert!(v.to_string().contains("Cor 5.3"));
+        let v = StructureViolation::ConvexGrowth {
+            index: 1,
+            t_i: 3.0,
+            t_next: 1.0,
+        };
+        assert!(v.to_string().contains("convex"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Conditional (re-rooted) life functions for progressive scheduling.
+//!
+//! §6 of the paper observes that the "progressive" character of the
+//! guideline recurrence lets one schedule period-by-period with
+//! **conditional** probabilities: having survived to time `τ`, the remaining
+//! episode is governed by `q(t) = p(τ + t) / p(τ)`. [`Conditional`] wraps
+//! any life function with that transformation; it is again a valid life
+//! function (`q(0) = 1`, decreasing), preserves curvature class (scaling by
+//! a positive constant and shifting the argument preserve the sign of the
+//! second derivative), and so all the guidelines apply to it verbatim.
+
+use crate::{ArcLife, LifeFunction, Shape};
+use cs_numeric::NumericError;
+
+/// `q(t) = p(τ + t)/p(τ)`: the life function conditioned on survival to `τ`.
+#[derive(Clone)]
+pub struct Conditional {
+    base: ArcLife,
+    tau: f64,
+    /// `p(τ)`, cached: the normalizing survival mass.
+    p_tau: f64,
+}
+
+impl Conditional {
+    /// # Examples
+    ///
+    /// ```
+    /// use cs_life::{Conditional, LifeFunction, Uniform};
+    /// use std::sync::Arc;
+    /// // Uniform risk over 10 units, given 4 units already survived:
+    /// let q = Conditional::new(Arc::new(Uniform::new(10.0).unwrap()), 4.0).unwrap();
+    /// assert_eq!(q.survival(0.0), 1.0);
+    /// assert_eq!(q.lifespan(), Some(6.0));
+    /// ```
+    /// Conditions `base` on survival to `tau ≥ 0`. Fails when `p(τ) = 0`
+    /// (conditioning on a null event) or `tau` is not finite.
+    pub fn new(base: ArcLife, tau: f64) -> Result<Self, NumericError> {
+        if !(tau.is_finite() && tau >= 0.0) {
+            return Err(NumericError::InvalidArgument(
+                "Conditional: tau must be >= 0",
+            ));
+        }
+        let p_tau = base.survival(tau);
+        if p_tau <= 0.0 {
+            return Err(NumericError::InvalidArgument(
+                "Conditional: survival at tau is zero (null conditioning event)",
+            ));
+        }
+        Ok(Self { base, tau, p_tau })
+    }
+
+    /// The conditioning time `τ`.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Re-roots further: conditioning on an additional `dt` of survival.
+    pub fn advance(&self, dt: f64) -> Result<Self, NumericError> {
+        Self::new(self.base.clone(), self.tau + dt)
+    }
+}
+
+impl LifeFunction for Conditional {
+    fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else {
+            (self.base.survival(self.tau + t) / self.p_tau).clamp(0.0, 1.0)
+        }
+    }
+
+    fn deriv(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            0.0
+        } else {
+            self.base.deriv(self.tau + t) / self.p_tau
+        }
+    }
+
+    fn lifespan(&self) -> Option<f64> {
+        self.base.lifespan().map(|l| (l - self.tau).max(0.0))
+    }
+
+    fn shape(&self) -> Shape {
+        self.base.shape()
+    }
+
+    fn describe(&self) -> String {
+        format!("{} | survived to {:.4}", self.base.describe(), self.tau)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GeometricDecreasing, Uniform};
+    use cs_numeric::approx_eq;
+    use std::sync::Arc;
+
+    #[test]
+    fn construction_guards() {
+        let base: ArcLife = Arc::new(Uniform::new(10.0).unwrap());
+        assert!(Conditional::new(base.clone(), -1.0).is_err());
+        assert!(Conditional::new(base.clone(), f64::NAN).is_err());
+        // Conditioning at the lifespan is a null event.
+        assert!(Conditional::new(base.clone(), 10.0).is_err());
+        assert!(Conditional::new(base, 3.0).is_ok());
+    }
+
+    #[test]
+    fn uniform_conditional_is_uniform_on_remainder() {
+        // Uniform risk conditioned on surviving to τ is uniform on L − τ.
+        let base: ArcLife = Arc::new(Uniform::new(10.0).unwrap());
+        let q = Conditional::new(base, 4.0).unwrap();
+        let expect = Uniform::new(6.0).unwrap();
+        for i in 0..=12 {
+            let t = i as f64 * 0.5;
+            assert!(
+                approx_eq(q.survival(t), expect.survival(t), 1e-12),
+                "t = {t}"
+            );
+        }
+        assert_eq!(q.lifespan(), Some(6.0));
+    }
+
+    #[test]
+    fn geometric_is_memoryless() {
+        // a^{-t} conditioned on any τ is itself: the defining property of the
+        // half-life scenario ("the conditional risk looks the same at every
+        // time instant", §4.2).
+        let base: ArcLife = Arc::new(GeometricDecreasing::new(3.0).unwrap());
+        let q = Conditional::new(base.clone(), 7.5).unwrap();
+        for &t in &[0.1, 1.0, 5.0] {
+            assert!(approx_eq(q.survival(t), base.survival(t), 1e-12), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn q_is_one_at_zero_and_decreasing() {
+        let base: ArcLife = Arc::new(Uniform::new(5.0).unwrap());
+        let q = Conditional::new(base, 2.0).unwrap();
+        assert_eq!(q.survival(0.0), 1.0);
+        crate::validate::check(&q).unwrap();
+    }
+
+    #[test]
+    fn advance_composes() {
+        let base: ArcLife = Arc::new(Uniform::new(10.0).unwrap());
+        let q1 = Conditional::new(base.clone(), 2.0).unwrap();
+        let q2 = q1.advance(3.0).unwrap();
+        let direct = Conditional::new(base, 5.0).unwrap();
+        for &t in &[0.5, 1.0, 4.0] {
+            assert!(approx_eq(q2.survival(t), direct.survival(t), 1e-12));
+        }
+        assert!(approx_eq(q2.tau(), 5.0, 1e-15));
+    }
+
+    #[test]
+    fn shape_preserved() {
+        let base: ArcLife = Arc::new(GeometricDecreasing::new(2.0).unwrap());
+        let q = Conditional::new(base, 1.0).unwrap();
+        assert_eq!(q.shape(), Shape::Convex);
+    }
+
+    #[test]
+    fn deriv_scaled() {
+        let base: ArcLife = Arc::new(Uniform::new(10.0).unwrap());
+        let q = Conditional::new(base, 5.0).unwrap();
+        // p(5) = 0.5; q'(t) = p'(5 + t)/0.5 = -0.1/0.5 = -0.2 = -1/(L - τ).
+        assert!(approx_eq(q.deriv(1.0), -0.2, 1e-12));
+    }
+}

@@ -1,0 +1,218 @@
+//! Empirical life functions built from observed reclamation times.
+//!
+//! The paper (§1, §2.1) notes that in practice the life function is
+//! "garnered possibly from trace data that exposes B's owner's computer
+//! usage patterns" and then "encapsulated by some well-behaved curve".
+//! [`Empirical`] implements exactly that pipeline: an empirical survival
+//! function from samples, smoothed with a monotone cubic interpolant so that
+//! the result is continuous, monotone and differentiable — ready for the
+//! guideline machinery.
+
+use crate::{LifeFunction, Shape};
+use cs_numeric::interp::MonotoneCubic;
+use cs_numeric::NumericError;
+
+/// A smoothed empirical survival curve.
+///
+/// Construction reduces the sample to `knots` evenly spaced quantile knots
+/// (plus the endpoints) and fits a Fritsch–Carlson monotone cubic through
+/// them; the curve is clamped to 0 beyond the largest observation.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    curve: MonotoneCubic,
+    /// Largest observed reclamation time = effective lifespan.
+    t_max: f64,
+    n_samples: usize,
+}
+
+impl Empirical {
+    /// Builds an empirical life function from reclamation-time samples.
+    ///
+    /// `knots` controls the smoothing granularity (clamped to
+    /// `[4, samples.len()]`). Samples must be positive and finite; at least
+    /// 4 are required.
+    pub fn from_samples(samples: &[f64], knots: usize) -> Result<Self, NumericError> {
+        if samples.len() < 4 {
+            return Err(NumericError::InvalidArgument(
+                "Empirical: need at least 4 samples",
+            ));
+        }
+        if samples.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+            return Err(NumericError::InvalidArgument(
+                "Empirical: samples must be positive and finite",
+            ));
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        let t_max = sorted[n - 1];
+        let knots = knots.clamp(4, n);
+
+        // Knot abscissae: quantiles of the sample, which adapts resolution
+        // to where the data actually is. Survival at x = fraction of samples
+        // strictly greater than x.
+        let mut xs: Vec<f64> = Vec::with_capacity(knots + 2);
+        let mut ys: Vec<f64> = Vec::with_capacity(knots + 2);
+        xs.push(0.0);
+        ys.push(1.0);
+        for k in 1..=knots {
+            // Quantile position within the sorted sample.
+            let idx = ((k as f64 / (knots + 1) as f64) * n as f64).floor() as usize;
+            let x = sorted[idx.min(n - 1)];
+            if x <= *xs.last().unwrap() {
+                continue; // skip duplicate abscissae
+            }
+            let greater = sorted.iter().filter(|&&s| s > x).count();
+            xs.push(x);
+            ys.push(greater as f64 / n as f64);
+        }
+        if *xs.last().unwrap() < t_max {
+            xs.push(t_max);
+            ys.push(0.0);
+        } else {
+            *ys.last_mut().unwrap() = 0.0;
+        }
+        let curve = MonotoneCubic::new(xs, ys)?;
+        Ok(Self {
+            curve,
+            t_max,
+            n_samples: n,
+        })
+    }
+
+    /// Number of samples the curve was estimated from.
+    pub fn sample_count(&self) -> usize {
+        self.n_samples
+    }
+}
+
+impl LifeFunction for Empirical {
+    fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else if t >= self.t_max {
+            0.0
+        } else {
+            self.curve.eval(t).clamp(0.0, 1.0)
+        }
+    }
+
+    fn deriv(&self, t: f64) -> f64 {
+        if !(0.0..=self.t_max).contains(&t) {
+            0.0
+        } else {
+            self.curve.deriv(t).min(0.0)
+        }
+    }
+
+    fn lifespan(&self) -> Option<f64> {
+        Some(self.t_max)
+    }
+
+    fn shape(&self) -> Shape {
+        Shape::Neither
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "empirical survival from {} samples, L = {:.4}",
+            self.n_samples, self.t_max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GeometricDecreasing, Uniform};
+
+    /// Deterministic quasi-random stream in (0, 1) (golden-ratio rotation).
+    fn unit_stream(n: usize) -> impl Iterator<Item = f64> {
+        (1..=n).map(|i| {
+            let v = (i as f64 * 0.618_033_988_749_895) % 1.0;
+            v.clamp(1e-9, 1.0 - 1e-9)
+        })
+    }
+
+    #[test]
+    fn rejects_bad_samples() {
+        assert!(Empirical::from_samples(&[1.0, 2.0, 3.0], 8).is_err());
+        assert!(Empirical::from_samples(&[1.0, -2.0, 3.0, 4.0], 8).is_err());
+        assert!(Empirical::from_samples(&[1.0, f64::NAN, 3.0, 4.0], 8).is_err());
+        assert!(Empirical::from_samples(&[0.0, 1.0, 2.0, 3.0], 8).is_err());
+    }
+
+    #[test]
+    fn boundary_behaviour() {
+        let e = Empirical::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0], 4).unwrap();
+        assert_eq!(e.survival(0.0), 1.0);
+        assert_eq!(e.survival(5.0), 0.0);
+        assert_eq!(e.survival(6.0), 0.0);
+        assert_eq!(e.lifespan(), Some(5.0));
+        assert_eq!(e.sample_count(), 5);
+    }
+
+    #[test]
+    fn recovers_uniform_survival() {
+        // Samples from uniform risk: R = L(1 - U) with U uniform in (0,1).
+        let l = 10.0;
+        let u = Uniform::new(l).unwrap();
+        let samples: Vec<f64> = unit_stream(5000).map(|q| u.inverse_survival(q)).collect();
+        let e = Empirical::from_samples(&samples, 24).unwrap();
+        for i in 1..10 {
+            let t = i as f64;
+            let err = (e.survival(t) - u.survival(t)).abs();
+            assert!(
+                err < 0.03,
+                "t = {t}: empirical {} vs true {}",
+                e.survival(t),
+                u.survival(t)
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_geometric_survival() {
+        let g = GeometricDecreasing::new(2.0).unwrap();
+        let samples: Vec<f64> = unit_stream(5000).map(|q| g.inverse_survival(q)).collect();
+        let e = Empirical::from_samples(&samples, 24).unwrap();
+        for &t in &[0.5, 1.0, 2.0, 4.0] {
+            let err = (e.survival(t) - g.survival(t)).abs();
+            assert!(err < 0.03, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn monotone_and_in_range() {
+        let samples: Vec<f64> = unit_stream(500).map(|q| 1.0 + 9.0 * q).collect();
+        let e = Empirical::from_samples(&samples, 12).unwrap();
+        let mut prev = f64::INFINITY;
+        for i in 0..=100 {
+            let t = 10.0 * i as f64 / 100.0;
+            let v = e.survival(t);
+            assert!((0.0..=1.0).contains(&v));
+            assert!(v <= prev + 1e-9);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn derivative_nonpositive() {
+        let samples: Vec<f64> = unit_stream(200).map(|q| 0.5 + 4.5 * q).collect();
+        let e = Empirical::from_samples(&samples, 10).unwrap();
+        for i in 0..=50 {
+            let t = 5.0 * i as f64 / 50.0;
+            assert!(e.deriv(t) <= 0.0);
+        }
+    }
+
+    #[test]
+    fn validation_passes() {
+        let u = Uniform::new(8.0).unwrap();
+        let samples: Vec<f64> = unit_stream(2000).map(|q| u.inverse_survival(q)).collect();
+        let e = Empirical::from_samples(&samples, 20).unwrap();
+        // The derivative of the smoothed curve may deviate from finite
+        // differences only at knots; validate::check tolerates that.
+        crate::validate::check(&e).unwrap();
+    }
+}

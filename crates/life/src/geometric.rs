@@ -1,0 +1,335 @@
+//! The two geometric scenarios of \[3\] / paper §§4.2–4.3.
+//!
+//! * [`GeometricDecreasing`]: `p_a(t) = a^{−t}` with risk factor `a > 1` —
+//!   the episode has a "half-life"; convex, unbounded support. The unique
+//!   optimal schedule is infinite with all period-lengths equal (\[3\]).
+//! * [`GeometricIncreasing`]: `p(t) = (2^L − 2^t)/(2^L − 1)` — a coffee-break
+//!   opportunity whose interruption risk doubles at every step; concave,
+//!   lifespan `L`.
+
+use crate::{LifeFunction, Shape};
+use cs_numeric::NumericError;
+
+/// Geometric-decreasing-lifespan life function `p_a(t) = a^{−t}`, `a > 1`.
+///
+/// The conditional risk is time-invariant (constant hazard `ln a`), which is
+/// why the optimal schedule has all periods equal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricDecreasing {
+    a: f64,
+    ln_a: f64,
+}
+
+impl GeometricDecreasing {
+    /// # Examples
+    ///
+    /// ```
+    /// use cs_life::{GeometricDecreasing, LifeFunction};
+    /// let p = GeometricDecreasing::new(2.0).unwrap();
+    /// // Risk factor 2 means a one-unit half-life.
+    /// assert!((p.survival(1.0) - 0.5).abs() < 1e-12);
+    /// assert_eq!(p.lifespan(), None); // unbounded support
+    /// ```
+    /// Creates `p_a`; requires finite `a > 1`.
+    pub fn new(a: f64) -> Result<Self, NumericError> {
+        if !(a.is_finite() && a > 1.0) {
+            return Err(NumericError::InvalidArgument(
+                "GeometricDecreasing: risk factor must be > 1",
+            ));
+        }
+        Ok(Self { a, ln_a: a.ln() })
+    }
+
+    /// Creates the function with the given half-life `h` (`p(h) = 1/2`),
+    /// i.e. `a = 2^{1/h}`.
+    pub fn from_half_life(h: f64) -> Result<Self, NumericError> {
+        if !(h.is_finite() && h > 0.0) {
+            return Err(NumericError::InvalidArgument(
+                "GeometricDecreasing: half-life must be positive",
+            ));
+        }
+        Self::new(2.0f64.powf(1.0 / h))
+    }
+
+    /// The risk factor `a`.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// `ln a`, the constant hazard rate.
+    pub fn ln_a(&self) -> f64 {
+        self.ln_a
+    }
+
+    /// The half-life `h = 1/log₂ a`.
+    pub fn half_life(&self) -> f64 {
+        std::f64::consts::LN_2 / self.ln_a
+    }
+}
+
+impl LifeFunction for GeometricDecreasing {
+    fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else {
+            (-t * self.ln_a).exp()
+        }
+    }
+
+    fn deriv(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            0.0
+        } else {
+            -self.ln_a * (-t * self.ln_a).exp()
+        }
+    }
+
+    fn lifespan(&self) -> Option<f64> {
+        None
+    }
+
+    fn shape(&self) -> Shape {
+        Shape::Convex
+    }
+
+    fn describe(&self) -> String {
+        format!("geometric decreasing lifespan, a = {}", self.a)
+    }
+
+    fn inverse_survival(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            0.0
+        } else if q <= 0.0 {
+            f64::INFINITY
+        } else {
+            -q.ln() / self.ln_a
+        }
+    }
+}
+
+/// Geometric-increasing-risk life function
+/// `p(t) = (2^L − 2^t)/(2^L − 1)` on `[0, L]`.
+///
+/// Computed in a numerically stable form,
+/// `p(t) = (1 − 2^{t−L})/(1 − 2^{−L})`, so large `L` does not overflow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricIncreasing {
+    l: f64,
+    /// `1 − 2^{−L}`, the denominator of the stable form.
+    denom: f64,
+}
+
+impl GeometricIncreasing {
+    /// Creates the function; requires finite `l > 0`.
+    pub fn new(l: f64) -> Result<Self, NumericError> {
+        if !(l.is_finite() && l > 0.0) {
+            return Err(NumericError::InvalidArgument(
+                "GeometricIncreasing: lifespan must be positive",
+            ));
+        }
+        Ok(Self {
+            l,
+            denom: 1.0 - 2.0f64.powf(-l),
+        })
+    }
+
+    /// The potential lifespan `L`.
+    pub fn l(&self) -> f64 {
+        self.l
+    }
+}
+
+impl LifeFunction for GeometricIncreasing {
+    fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else if t >= self.l {
+            0.0
+        } else {
+            // (2^L - 2^t)/(2^L - 1) = (1 - 2^{t-L}) / (1 - 2^{-L})
+            (1.0 - 2.0f64.powf(t - self.l)) / self.denom
+        }
+    }
+
+    fn deriv(&self, t: f64) -> f64 {
+        if !(0.0..=self.l).contains(&t) {
+            return 0.0;
+        }
+        // d/dt [-(2^{t-L})/(1-2^{-L})] = -ln2 · 2^{t-L} / (1 - 2^{-L})
+        -std::f64::consts::LN_2 * 2.0f64.powf(t - self.l) / self.denom
+    }
+
+    fn lifespan(&self) -> Option<f64> {
+        Some(self.l)
+    }
+
+    fn shape(&self) -> Shape {
+        // p'' = -(ln2)² 2^{t-L}/(1-2^{-L}) < 0: concave.
+        Shape::Concave
+    }
+
+    fn describe(&self) -> String {
+        format!("geometric increasing risk, L = {}", self.l)
+    }
+
+    fn inverse_survival(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        // q = (1 - 2^{t-L})/(1 - 2^{-L}) ⇒ t = L + log2(1 - q(1 - 2^{-L})).
+        let inner = 1.0 - q * self.denom;
+        if inner <= 0.0 {
+            return 0.0;
+        }
+        let t = self.l + inner.log2();
+        t.clamp(0.0, self.l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+    use cs_numeric::{approx_eq, diff};
+    use proptest::prelude::*;
+
+    #[test]
+    fn decreasing_construction_guards() {
+        assert!(GeometricDecreasing::new(1.0).is_err());
+        assert!(GeometricDecreasing::new(0.5).is_err());
+        assert!(GeometricDecreasing::new(f64::NAN).is_err());
+        assert!(GeometricDecreasing::new(2.0).is_ok());
+        assert!(GeometricDecreasing::from_half_life(0.0).is_err());
+    }
+
+    #[test]
+    fn decreasing_half_life_round_trip() {
+        let p = GeometricDecreasing::from_half_life(5.0).unwrap();
+        assert!(approx_eq(p.survival(5.0), 0.5, 1e-12));
+        assert!(approx_eq(p.half_life(), 5.0, 1e-12));
+    }
+
+    #[test]
+    fn decreasing_constant_hazard() {
+        let p = GeometricDecreasing::new(3.0).unwrap();
+        for &t in &[0.1, 1.0, 10.0, 30.0] {
+            assert!(approx_eq(p.hazard(t), 3.0f64.ln(), 1e-9), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn decreasing_deriv_matches_fd() {
+        let p = GeometricDecreasing::new(std::f64::consts::E).unwrap();
+        for &t in &[0.5, 2.0, 7.0] {
+            let fd = diff::central(|x| p.survival(x), t, 1e-7);
+            assert!(approx_eq(p.deriv(t), fd, 1e-6));
+        }
+    }
+
+    #[test]
+    fn decreasing_inverse_closed_form() {
+        let p = GeometricDecreasing::new(2.0).unwrap();
+        assert!(approx_eq(p.inverse_survival(0.25), 2.0, 1e-12));
+        assert_eq!(p.inverse_survival(1.0), 0.0);
+        assert!(p.inverse_survival(0.0).is_infinite());
+    }
+
+    #[test]
+    fn decreasing_mean_lifetime_is_one_over_hazard() {
+        let p = GeometricDecreasing::new(2.0).unwrap();
+        assert!(approx_eq(p.mean_lifetime(), 1.0 / 2.0f64.ln(), 1e-6));
+    }
+
+    #[test]
+    fn decreasing_passes_validation() {
+        validate::check(&GeometricDecreasing::new(4.0).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn increasing_construction_guards() {
+        assert!(GeometricIncreasing::new(0.0).is_err());
+        assert!(GeometricIncreasing::new(-2.0).is_err());
+        assert!(GeometricIncreasing::new(32.0).is_ok());
+    }
+
+    #[test]
+    fn increasing_boundaries() {
+        let p = GeometricIncreasing::new(10.0).unwrap();
+        assert_eq!(p.survival(0.0), 1.0);
+        assert!(p.survival(10.0).abs() < 1e-12);
+        assert_eq!(p.survival(12.0), 0.0);
+    }
+
+    #[test]
+    fn increasing_matches_unstable_form_small_l() {
+        let l = 12.0;
+        let p = GeometricIncreasing::new(l).unwrap();
+        for i in 1..12 {
+            let t = i as f64;
+            let direct = (2.0f64.powf(l) - 2.0f64.powf(t)) / (2.0f64.powf(l) - 1.0);
+            assert!(approx_eq(p.survival(t), direct, 1e-10), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn increasing_stable_for_large_l() {
+        // 2^2000 overflows f64; the stable form must still work.
+        let p = GeometricIncreasing::new(2000.0).unwrap();
+        let v = p.survival(1000.0);
+        assert!(v.is_finite() && v > 0.999);
+        assert!(p.survival(1999.0) < 0.8);
+    }
+
+    #[test]
+    fn increasing_deriv_matches_fd() {
+        let p = GeometricIncreasing::new(20.0).unwrap();
+        for &t in &[1.0, 10.0, 19.0] {
+            let fd = diff::central(|x| p.survival(x), t, 1e-6);
+            assert!(approx_eq(p.deriv(t), fd, 1e-5), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn increasing_inverse_round_trip() {
+        let p = GeometricIncreasing::new(16.0).unwrap();
+        for &q in &[0.99, 0.5, 0.1, 0.001] {
+            let t = p.inverse_survival(q);
+            assert!(approx_eq(p.survival(t), q, 1e-9), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn increasing_risk_doubles() {
+        // Hazard of the increasing scenario grows with t (risk doubles each
+        // unit near the end).
+        let p = GeometricIncreasing::new(30.0).unwrap();
+        assert!(p.hazard(20.0) > p.hazard(10.0));
+        assert!(p.hazard(29.0) > p.hazard(20.0));
+    }
+
+    #[test]
+    fn increasing_passes_validation() {
+        validate::check(&GeometricIncreasing::new(24.0).unwrap()).unwrap();
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decreasing_monotone(a in 1.01f64..20.0, t in 0.0f64..50.0, dt in 0.0f64..5.0) {
+            let p = GeometricDecreasing::new(a).unwrap();
+            prop_assert!(p.survival(t + dt) <= p.survival(t) + 1e-15);
+        }
+
+        #[test]
+        fn prop_increasing_in_unit_interval(l in 1.0f64..500.0, t in 0.0f64..1000.0) {
+            let p = GeometricIncreasing::new(l).unwrap();
+            let v = p.survival(t);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn prop_increasing_inverse_round_trip(l in 2.0f64..200.0, q in 0.001f64..0.999) {
+            let p = GeometricIncreasing::new(l).unwrap();
+            let t = p.inverse_survival(q);
+            prop_assert!((p.survival(t) - q).abs() < 1e-6);
+        }
+    }
+}

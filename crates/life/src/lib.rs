@@ -1,0 +1,278 @@
+//! # cs-life
+//!
+//! Life functions for cycle-stealing episodes, after Rosenberg (TR 98-15,
+//! IPPS'98) and Bhatt–Chung–Leighton–Rosenberg (IEEE ToC 46, 1997).
+//!
+//! A *life function* `p` gives, for each time `t ≥ 0`, the probability that
+//! the borrowed workstation has **not** been reclaimed by time `t`:
+//!
+//! * `p(0) = 1`;
+//! * `p` decreases monotonically;
+//! * with a known episode bound `L` ("potential lifespan"), `p` reaches 0 at
+//!   `L`; with no bound, `p(t) → 0` as `t → ∞`.
+//!
+//! The paper's guidelines need `p` to be differentiable and, for the `t_0`
+//! bounds, either *concave* (`p'` nonincreasing) or *convex* (`p'`
+//! nondecreasing). This crate provides:
+//!
+//! * the [`LifeFunction`] trait with derivative, lifespan, [`Shape`],
+//!   numeric inversion and conditional re-rooting;
+//! * the three families studied in the paper — [`Uniform`], [`Polynomial`]
+//!   (`p_{d,L}(t) = 1 − t^d/L^d`, §4.1), [`GeometricDecreasing`]
+//!   (`p_a(t) = a^{−t}`, §4.2), [`GeometricIncreasing`]
+//!   (`(2^L − 2^t)/(2^L − 1)`, §4.3);
+//! * [`Pareto`] (`1/(t+1)^d`), the paper's witness for life functions that
+//!   admit **no** optimal schedule (Corollary 3.2);
+//! * [`Weibull`], a convenient target family when fitting trace data;
+//! * [`Empirical`], a monotone-cubic smoothed survival curve built from
+//!   reclamation-time samples (the paper's "trace data encapsulated by a
+//!   well-behaved curve");
+//! * [`Conditional`], the re-rooted life function
+//!   `q(t) = p(τ + t)/p(τ)` used by progressive (period-by-period)
+//!   scheduling (§6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conditional;
+mod empirical;
+mod geometric;
+mod mixture;
+mod pareto;
+mod polynomial;
+mod scaled;
+mod uniform;
+pub mod validate;
+mod weibull;
+
+pub use conditional::Conditional;
+pub use empirical::Empirical;
+pub use geometric::{GeometricDecreasing, GeometricIncreasing};
+pub use mixture::Mixture;
+pub use pareto::Pareto;
+pub use polynomial::Polynomial;
+pub use scaled::TimeScaled;
+pub use uniform::Uniform;
+pub use weibull::Weibull;
+
+use cs_numeric::roots;
+
+/// Curvature classification of a life function (the paper's "shape").
+///
+/// *Concave* means `p'` is everywhere nonincreasing; *convex* means `p'` is
+/// everywhere nondecreasing. The uniform-risk function is linear, hence both;
+/// [`Shape::Linear`] records that. [`Shape::Neither`] is for functions with
+/// inflection points (e.g. fitted or empirical curves), for which only the
+/// shape-free results (Thm 3.1/3.2, Cor 3.1) apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// `p'` nonincreasing (e.g. `p_{d,L}`, geometric-increasing risk).
+    Concave,
+    /// `p'` nondecreasing (e.g. `a^{−t}`, Pareto).
+    Convex,
+    /// Affine `p`: simultaneously concave and convex (uniform risk).
+    Linear,
+    /// No global curvature guarantee.
+    Neither,
+}
+
+impl Shape {
+    /// True when the concave-side results (Thm 3.3 eq (3.14), Thm 5.2(a),
+    /// Cor 5.1–5.5) apply.
+    pub fn is_concave(self) -> bool {
+        matches!(self, Shape::Concave | Shape::Linear)
+    }
+
+    /// True when the convex-side results (Thm 3.3 eq (3.13), Thm 5.2(b))
+    /// apply.
+    pub fn is_convex(self) -> bool {
+        matches!(self, Shape::Convex | Shape::Linear)
+    }
+}
+
+/// Probability that the borrowed workstation survives (is not reclaimed)
+/// through time `t`, together with the analytic machinery the scheduling
+/// guidelines need.
+///
+/// Implementations must guarantee `survival(0) = 1`, monotone nonincreasing
+/// `survival`, and `deriv` equal to the derivative of `survival` wherever it
+/// exists. [`validate::check`] verifies these numerically and is run by every
+/// family's test suite.
+pub trait LifeFunction: Send + Sync {
+    /// `p(t)`: probability of not being reclaimed by time `t`. Must be 1 at
+    /// `t ≤ 0` and clamp to 0 beyond the lifespan.
+    fn survival(&self, t: f64) -> f64;
+
+    /// `p'(t)`: derivative of the survival function (≤ 0). At kinks, a
+    /// one-sided derivative is acceptable.
+    fn deriv(&self, t: f64) -> f64;
+
+    /// Potential lifespan `L` (`p(L) = 0`), or `None` when the support is
+    /// unbounded.
+    fn lifespan(&self) -> Option<f64>;
+
+    /// Curvature classification.
+    fn shape(&self) -> Shape;
+
+    /// Human-readable description, used in experiment tables.
+    fn describe(&self) -> String;
+
+    /// Inverse survival: smallest `t` with `p(t) ≤ q`, for `q ∈ [0, 1]`.
+    ///
+    /// Used both to invert the guideline recurrence and to sample
+    /// reclamation times by inverse transform (`R = p⁻¹(U)`, `U ~ U(0,1)`).
+    /// The default implementation brackets and bisects; families override it
+    /// with closed forms.
+    fn inverse_survival(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return 0.0;
+        }
+        let hi = match self.lifespan() {
+            Some(l) => l,
+            None => {
+                // Expand until the survival drops below q.
+                let mut hi = 1.0;
+                for _ in 0..1024 {
+                    if self.survival(hi) <= q {
+                        break;
+                    }
+                    hi *= 2.0;
+                }
+                hi
+            }
+        };
+        roots::invert_decreasing(|t| self.survival(t), q, 0.0, hi)
+            .expect("life function survival must be decreasing")
+    }
+
+    /// Effective horizon: the lifespan if finite, else the time by which the
+    /// survival probability has fallen to `eps`.
+    fn horizon(&self, eps: f64) -> f64 {
+        match self.lifespan() {
+            Some(l) => l,
+            None => self.inverse_survival(eps),
+        }
+    }
+
+    /// Hazard rate `−p'(t)/p(t)` (instantaneous reclamation risk given
+    /// survival to `t`). Returns `+∞` where `p(t) = 0`.
+    fn hazard(&self, t: f64) -> f64 {
+        let p = self.survival(t);
+        if p <= 0.0 {
+            f64::INFINITY
+        } else {
+            -self.deriv(t) / p
+        }
+    }
+
+    /// Mean reclamation time `E[R] = ∫₀^∞ p(t) dt`, computed by quadrature
+    /// over the effective horizon.
+    fn mean_lifetime(&self) -> f64 {
+        let hi = self.horizon(1e-12);
+        cs_numeric::quad::adaptive_simpson(|t| self.survival(t), 0.0, hi, 1e-10).unwrap_or(f64::NAN)
+    }
+}
+
+impl<T: LifeFunction + ?Sized> LifeFunction for &T {
+    fn survival(&self, t: f64) -> f64 {
+        (**self).survival(t)
+    }
+    fn deriv(&self, t: f64) -> f64 {
+        (**self).deriv(t)
+    }
+    fn lifespan(&self) -> Option<f64> {
+        (**self).lifespan()
+    }
+    fn shape(&self) -> Shape {
+        (**self).shape()
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+    fn inverse_survival(&self, q: f64) -> f64 {
+        (**self).inverse_survival(q)
+    }
+}
+
+impl LifeFunction for std::sync::Arc<dyn LifeFunction> {
+    fn survival(&self, t: f64) -> f64 {
+        (**self).survival(t)
+    }
+    fn deriv(&self, t: f64) -> f64 {
+        (**self).deriv(t)
+    }
+    fn lifespan(&self) -> Option<f64> {
+        (**self).lifespan()
+    }
+    fn shape(&self) -> Shape {
+        (**self).shape()
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+    fn inverse_survival(&self, q: f64) -> f64 {
+        (**self).inverse_survival(q)
+    }
+}
+
+/// Shared-ownership trait object for heterogeneous collections of life
+/// functions (e.g. one per workstation in a NOW).
+pub type ArcLife = std::sync::Arc<dyn LifeFunction>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_predicates() {
+        assert!(Shape::Concave.is_concave());
+        assert!(!Shape::Concave.is_convex());
+        assert!(Shape::Convex.is_convex());
+        assert!(!Shape::Convex.is_concave());
+        assert!(Shape::Linear.is_concave() && Shape::Linear.is_convex());
+        assert!(!Shape::Neither.is_concave() && !Shape::Neither.is_convex());
+    }
+
+    #[test]
+    fn arc_life_delegates() {
+        let p: ArcLife = std::sync::Arc::new(Uniform::new(10.0).unwrap());
+        assert_eq!(p.survival(0.0), 1.0);
+        assert_eq!(p.lifespan(), Some(10.0));
+        assert_eq!(p.shape(), Shape::Linear);
+        assert!(p.describe().contains("uniform"));
+        assert!((p.inverse_survival(0.5) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_delegates() {
+        let u = Uniform::new(4.0).unwrap();
+        let r: &dyn LifeFunction = &u;
+        assert_eq!((&r).survival(2.0), 0.5);
+        assert_eq!((&r).deriv(2.0), -0.25);
+    }
+
+    #[test]
+    fn default_horizon_finite_vs_infinite() {
+        let u = Uniform::new(7.0).unwrap();
+        assert_eq!(u.horizon(1e-9), 7.0);
+        let g = GeometricDecreasing::new(2.0).unwrap();
+        let h = g.horizon(1e-3);
+        assert!((g.survival(h) - 1e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_lifetime_uniform_is_half_l() {
+        let u = Uniform::new(20.0).unwrap();
+        assert!((u.mean_lifetime() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hazard_uniform_grows() {
+        // Uniform risk has hazard 1/(L - t): increasing, infinite at L.
+        let u = Uniform::new(10.0).unwrap();
+        assert!((u.hazard(0.0) - 0.1).abs() < 1e-12);
+        assert!(u.hazard(5.0) > u.hazard(1.0));
+        assert!(u.hazard(10.0).is_infinite());
+    }
+}

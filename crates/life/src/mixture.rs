@@ -1,0 +1,269 @@
+//! Mixture life functions: `p(t) = Σ w_i · p_i(t)` with `Σ w_i = 1`.
+//!
+//! Mixtures model heterogeneous owner behaviour — e.g. the diurnal trace of
+//! `cs-trace` is (short coffee breaks) + (meetings) + (overnights), each
+//! with its own survival law. A mixture of valid life functions is again a
+//! valid life function (`p(0) = 1`, decreasing, differentiable wherever the
+//! components are).
+//!
+//! Curvature: a weighted sum of convex functions is convex, so an
+//! all-convex mixture is [`Shape::Convex`]. An all-concave mixture is
+//! concave **only if every finite lifespan coincides**: at a component's
+//! lifespan the mixture's derivative jumps *up* (a negative term drops
+//! out), which breaks concavity. [`Mixture::shape`] implements exactly that
+//! rule and reports [`Shape::Neither`] otherwise.
+
+use crate::{ArcLife, LifeFunction, Shape};
+use cs_numeric::NumericError;
+
+/// A finite mixture of life functions.
+#[derive(Clone)]
+pub struct Mixture {
+    components: Vec<(f64, ArcLife)>,
+    lifespan: Option<f64>,
+    shape: Shape,
+}
+
+impl Mixture {
+    /// Builds a mixture from `(weight, component)` pairs. Weights must be
+    /// positive and are normalized to sum to 1; at least one component is
+    /// required.
+    pub fn new(components: Vec<(f64, ArcLife)>) -> Result<Self, NumericError> {
+        if components.is_empty() {
+            return Err(NumericError::InvalidArgument(
+                "Mixture: need at least one component",
+            ));
+        }
+        if components.iter().any(|(w, _)| !(w.is_finite() && *w > 0.0)) {
+            return Err(NumericError::InvalidArgument(
+                "Mixture: weights must be positive",
+            ));
+        }
+        let total: f64 = components.iter().map(|(w, _)| w).sum();
+        let components: Vec<(f64, ArcLife)> = components
+            .into_iter()
+            .map(|(w, p)| (w / total, p))
+            .collect();
+
+        // Lifespan: the max of component lifespans; unbounded if any
+        // component is unbounded.
+        let mut lifespan = Some(0.0f64);
+        for (_, p) in &components {
+            match (lifespan, p.lifespan()) {
+                (Some(acc), Some(l)) => lifespan = Some(acc.max(l)),
+                _ => lifespan = None,
+            }
+        }
+
+        // Shape per the module-level rule.
+        let all_convex = components.iter().all(|(_, p)| p.shape().is_convex());
+        let all_concave = components.iter().all(|(_, p)| p.shape().is_concave());
+        let lifespans: Vec<Option<f64>> = components.iter().map(|(_, p)| p.lifespan()).collect();
+        let lifespans_equal = lifespans.windows(2).all(|w| match (w[0], w[1]) {
+            (Some(a), Some(b)) => (a - b).abs() < 1e-12,
+            (None, None) => true,
+            _ => false,
+        });
+        let shape = if all_convex && all_concave && lifespans_equal {
+            Shape::Linear
+        } else if all_convex {
+            // Convexity survives the clamp-at-lifespan kink (derivative
+            // steps up to 0).
+            Shape::Convex
+        } else if all_concave && lifespans_equal {
+            Shape::Concave
+        } else {
+            Shape::Neither
+        };
+
+        Ok(Self {
+            components,
+            lifespan,
+            shape,
+        })
+    }
+
+    /// The normalized `(weight, component)` pairs.
+    pub fn components(&self) -> &[(f64, ArcLife)] {
+        &self.components
+    }
+}
+
+impl LifeFunction for Mixture {
+    fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 1.0;
+        }
+        self.components.iter().map(|(w, p)| w * p.survival(t)).sum()
+    }
+
+    fn deriv(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        self.components.iter().map(|(w, p)| w * p.deriv(t)).sum()
+    }
+
+    fn lifespan(&self) -> Option<f64> {
+        self.lifespan
+    }
+
+    fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    fn describe(&self) -> String {
+        let parts: Vec<String> = self
+            .components
+            .iter()
+            .map(|(w, p)| format!("{w:.3}*({})", p.describe()))
+            .collect();
+        format!("mixture[{}]", parts.join(" + "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{validate, GeometricDecreasing, Pareto, Uniform};
+    use cs_numeric::approx_eq;
+    use std::sync::Arc;
+
+    fn arc(p: impl LifeFunction + 'static) -> ArcLife {
+        Arc::new(p)
+    }
+
+    #[test]
+    fn construction_guards() {
+        assert!(Mixture::new(vec![]).is_err());
+        assert!(Mixture::new(vec![(0.0, arc(Uniform::new(5.0).unwrap()))]).is_err());
+        assert!(Mixture::new(vec![(-1.0, arc(Uniform::new(5.0).unwrap()))]).is_err());
+        assert!(Mixture::new(vec![(f64::NAN, arc(Uniform::new(5.0).unwrap()))]).is_err());
+    }
+
+    #[test]
+    fn weights_normalized() {
+        let m = Mixture::new(vec![
+            (2.0, arc(Uniform::new(10.0).unwrap())),
+            (6.0, arc(Uniform::new(20.0).unwrap())),
+        ])
+        .unwrap();
+        let ws: Vec<f64> = m.components().iter().map(|(w, _)| *w).collect();
+        assert!(approx_eq(ws[0], 0.25, 1e-12));
+        assert!(approx_eq(ws[1], 0.75, 1e-12));
+        assert_eq!(m.survival(0.0), 1.0);
+    }
+
+    #[test]
+    fn survival_is_weighted_sum() {
+        let m = Mixture::new(vec![
+            (1.0, arc(Uniform::new(10.0).unwrap())),
+            (1.0, arc(Uniform::new(20.0).unwrap())),
+        ])
+        .unwrap();
+        // At t = 5: 0.5·0.5 + 0.5·0.75 = 0.625.
+        assert!(approx_eq(m.survival(5.0), 0.625, 1e-12));
+        // Beyond the short component's lifespan only the long one remains.
+        assert!(approx_eq(m.survival(15.0), 0.5 * 0.25, 1e-12));
+        assert_eq!(m.survival(25.0), 0.0);
+    }
+
+    #[test]
+    fn lifespan_is_max_or_unbounded() {
+        let bounded = Mixture::new(vec![
+            (1.0, arc(Uniform::new(10.0).unwrap())),
+            (1.0, arc(Uniform::new(30.0).unwrap())),
+        ])
+        .unwrap();
+        assert_eq!(bounded.lifespan(), Some(30.0));
+        let unbounded = Mixture::new(vec![
+            (1.0, arc(Uniform::new(10.0).unwrap())),
+            (1.0, arc(GeometricDecreasing::new(2.0).unwrap())),
+        ])
+        .unwrap();
+        assert_eq!(unbounded.lifespan(), None);
+    }
+
+    #[test]
+    fn shape_rules() {
+        // All convex -> convex.
+        let convex = Mixture::new(vec![
+            (1.0, arc(GeometricDecreasing::new(2.0).unwrap())),
+            (1.0, arc(Pareto::new(2.0).unwrap())),
+        ])
+        .unwrap();
+        assert_eq!(convex.shape(), Shape::Convex);
+        // Concave with differing lifespans -> Neither (derivative jump).
+        let kinked = Mixture::new(vec![
+            (1.0, arc(crate::Polynomial::new(2, 10.0).unwrap())),
+            (1.0, arc(crate::Polynomial::new(2, 20.0).unwrap())),
+        ])
+        .unwrap();
+        assert_eq!(kinked.shape(), Shape::Neither);
+        // Concave with equal lifespans -> Concave.
+        let concave = Mixture::new(vec![
+            (1.0, arc(crate::Polynomial::new(2, 15.0).unwrap())),
+            (1.0, arc(crate::Polynomial::new(3, 15.0).unwrap())),
+        ])
+        .unwrap();
+        assert_eq!(concave.shape(), Shape::Concave);
+        // Two uniforms with the same L: linear.
+        let linear = Mixture::new(vec![
+            (1.0, arc(Uniform::new(15.0).unwrap())),
+            (2.0, arc(Uniform::new(15.0).unwrap())),
+        ])
+        .unwrap();
+        assert_eq!(linear.shape(), Shape::Linear);
+    }
+
+    #[test]
+    fn passes_validation() {
+        let m = Mixture::new(vec![
+            (0.6, arc(GeometricDecreasing::new(4.0).unwrap())),
+            (0.4, arc(Uniform::new(12.0).unwrap())),
+        ])
+        .unwrap();
+        validate::check(&m).unwrap();
+    }
+
+    #[test]
+    fn describe_lists_components() {
+        let m = Mixture::new(vec![
+            (1.0, arc(Uniform::new(10.0).unwrap())),
+            (3.0, arc(GeometricDecreasing::new(2.0).unwrap())),
+        ])
+        .unwrap();
+        let d = m.describe();
+        assert!(d.contains("mixture"));
+        assert!(d.contains("uniform"));
+        assert!(d.contains("geometric"));
+    }
+
+    #[test]
+    fn diurnal_like_mixture_schedules() {
+        // Short breaks (exp, mean 0.25h) + meetings (exp, mean 1.5h) +
+        // overnight-ish (uniform 15h): usable by the guideline machinery via
+        // inverse_survival and conditional re-rooting.
+        let m = Mixture::new(vec![
+            (
+                0.70,
+                arc(GeometricDecreasing::new((1.0f64 / 0.25).exp()).unwrap()),
+            ),
+            (
+                0.20,
+                arc(GeometricDecreasing::new((1.0f64 / 1.5).exp()).unwrap()),
+            ),
+            (0.10, arc(Uniform::new(15.0).unwrap())),
+        ])
+        .unwrap();
+        // Exponentials are convex and the clamped uniform is convex on
+        // [0, ∞) (derivative steps from −1/L up to 0), so the mixture is
+        // convex and even the Thm 3.3 convex bound applies to it.
+        assert_eq!(m.shape(), Shape::Convex);
+        // Survival decreasing and inverse round-trips.
+        for &q in &[0.9, 0.5, 0.1] {
+            let t = m.inverse_survival(q);
+            assert!(approx_eq(m.survival(t), q, 1e-8), "q = {q}");
+        }
+    }
+}

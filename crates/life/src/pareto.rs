@@ -1,0 +1,141 @@
+//! The heavy-tailed life function `p(t) = 1/(t+1)^d`.
+//!
+//! The paper uses this family (with `d > 1`) after Corollary 3.2 as a
+//! witness that **not every life function admits an optimal schedule**: the
+//! existence test `∃ t > c : p(t) > −(t − c)p'(t)` fails for all `c ≥` some
+//! threshold. `cs-core::existence` reproduces that claim; this module only
+//! supplies the function itself.
+
+use crate::{LifeFunction, Shape};
+use cs_numeric::NumericError;
+
+/// Pareto-tail life function `p(t) = (t + 1)^{−d}`, `d > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    d: f64,
+}
+
+impl Pareto {
+    /// Creates the function; requires finite `d > 0`. The paper's
+    /// no-optimal-schedule discussion concerns `d > 1` (finite mean);
+    /// `d ≤ 1` is allowed here for exploration but has infinite mean
+    /// lifetime.
+    pub fn new(d: f64) -> Result<Self, NumericError> {
+        if !(d.is_finite() && d > 0.0) {
+            return Err(NumericError::InvalidArgument(
+                "Pareto: exponent must be positive",
+            ));
+        }
+        Ok(Self { d })
+    }
+
+    /// The tail exponent `d`.
+    pub fn d(&self) -> f64 {
+        self.d
+    }
+}
+
+impl LifeFunction for Pareto {
+    fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else {
+            (t + 1.0).powf(-self.d)
+        }
+    }
+
+    fn deriv(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            0.0
+        } else {
+            -self.d * (t + 1.0).powf(-self.d - 1.0)
+        }
+    }
+
+    fn lifespan(&self) -> Option<f64> {
+        None
+    }
+
+    fn shape(&self) -> Shape {
+        // p'' = d(d+1)(t+1)^{-d-2} > 0: convex.
+        Shape::Convex
+    }
+
+    fn describe(&self) -> String {
+        format!("pareto tail 1/(t+1)^d, d = {}", self.d)
+    }
+
+    fn inverse_survival(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            0.0
+        } else if q <= 0.0 {
+            f64::INFINITY
+        } else {
+            q.powf(-1.0 / self.d) - 1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+    use cs_numeric::{approx_eq, diff};
+
+    #[test]
+    fn construction_guards() {
+        assert!(Pareto::new(0.0).is_err());
+        assert!(Pareto::new(-1.0).is_err());
+        assert!(Pareto::new(f64::INFINITY).is_err());
+        assert!(Pareto::new(2.0).is_ok());
+    }
+
+    #[test]
+    fn survival_values() {
+        let p = Pareto::new(2.0).unwrap();
+        assert_eq!(p.survival(0.0), 1.0);
+        assert!(approx_eq(p.survival(1.0), 0.25, 1e-12));
+        assert!(approx_eq(p.survival(3.0), 1.0 / 16.0, 1e-12));
+    }
+
+    #[test]
+    fn deriv_matches_fd() {
+        let p = Pareto::new(1.5);
+        let p = p.unwrap();
+        for &t in &[0.5, 2.0, 10.0] {
+            let fd = diff::central(|x| p.survival(x), t, 1e-7);
+            assert!(approx_eq(p.deriv(t), fd, 1e-6), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let p = Pareto::new(3.0).unwrap();
+        for &q in &[0.9, 0.5, 0.01] {
+            assert!(approx_eq(p.survival(p.inverse_survival(q)), q, 1e-10));
+        }
+        assert!(p.inverse_survival(0.0).is_infinite());
+    }
+
+    #[test]
+    fn convex_shape_and_hazard_decreasing() {
+        let p = Pareto::new(2.0).unwrap();
+        assert_eq!(p.shape(), Shape::Convex);
+        // Heavy tails have decreasing hazard d/(t+1).
+        assert!(p.hazard(0.0) > p.hazard(1.0));
+        assert!(approx_eq(p.hazard(0.0), 2.0, 1e-12));
+    }
+
+    #[test]
+    fn mean_lifetime_finite_iff_d_gt_one() {
+        // d = 2: mean = ∫ (t+1)^{-2} = 1.
+        let p = Pareto::new(2.0).unwrap();
+        assert!((p.mean_lifetime() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn passes_validation() {
+        validate::check(&Pareto::new(2.5).unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,180 @@
+//! The concave polynomial family `p_{d,L}(t) = 1 − t^d/L^d`, `d = 1, 2, …`
+//! (paper §4.1).
+//!
+//! `d = 1` is the uniform-risk scenario; larger `d` defers the bulk of the
+//! reclamation risk toward the end of the lifespan. All members are concave
+//! (`p'' = −d(d−1)t^{d−2}/L^d ≤ 0`), so the concave `t_0` upper bound
+//! (eq 3.14) and the §5 structure results apply.
+
+use crate::{LifeFunction, Shape};
+use cs_numeric::NumericError;
+
+/// Polynomial life function `p_{d,L}(t) = 1 − (t/L)^d`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Polynomial {
+    d: u32,
+    l: f64,
+}
+
+impl Polynomial {
+    /// Creates `p_{d,L}`; requires `d ≥ 1` and finite `l > 0`.
+    pub fn new(d: u32, l: f64) -> Result<Self, NumericError> {
+        if d == 0 {
+            return Err(NumericError::InvalidArgument(
+                "Polynomial: degree must be >= 1",
+            ));
+        }
+        if !(l.is_finite() && l > 0.0) {
+            return Err(NumericError::InvalidArgument(
+                "Polynomial: lifespan must be positive",
+            ));
+        }
+        Ok(Self { d, l })
+    }
+
+    /// The degree `d`.
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// The potential lifespan `L`.
+    pub fn l(&self) -> f64 {
+        self.l
+    }
+}
+
+impl LifeFunction for Polynomial {
+    fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else if t >= self.l {
+            0.0
+        } else {
+            1.0 - (t / self.l).powi(self.d as i32)
+        }
+    }
+
+    fn deriv(&self, t: f64) -> f64 {
+        if !(0.0..=self.l).contains(&t) {
+            return 0.0;
+        }
+        let d = self.d as f64;
+        -d * (t / self.l).powi(self.d as i32 - 1) / self.l
+    }
+
+    fn lifespan(&self) -> Option<f64> {
+        Some(self.l)
+    }
+
+    fn shape(&self) -> Shape {
+        if self.d == 1 {
+            Shape::Linear
+        } else {
+            Shape::Concave
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("polynomial p_{{d,L}}, d = {}, L = {}", self.d, self.l)
+    }
+
+    fn inverse_survival(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        // 1 - (t/L)^d = q  ⇒  t = L (1 - q)^{1/d}.
+        self.l * (1.0 - q).powf(1.0 / self.d as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+    use cs_numeric::{approx_eq, diff};
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_guards() {
+        assert!(Polynomial::new(0, 10.0).is_err());
+        assert!(Polynomial::new(2, 0.0).is_err());
+        assert!(Polynomial::new(2, f64::NAN).is_err());
+        assert!(Polynomial::new(3, 100.0).is_ok());
+    }
+
+    #[test]
+    fn degree_one_equals_uniform() {
+        let p = Polynomial::new(1, 10.0).unwrap();
+        let u = crate::Uniform::new(10.0).unwrap();
+        for i in 0..=20 {
+            let t = i as f64 * 0.5;
+            assert!(approx_eq(p.survival(t), u.survival(t), 1e-12));
+            assert!(approx_eq(p.deriv(t), u.deriv(t), 1e-12));
+        }
+        assert_eq!(p.shape(), Shape::Linear);
+    }
+
+    #[test]
+    fn higher_degree_is_concave_shape() {
+        assert_eq!(Polynomial::new(2, 5.0).unwrap().shape(), Shape::Concave);
+        assert_eq!(Polynomial::new(7, 5.0).unwrap().shape(), Shape::Concave);
+    }
+
+    #[test]
+    fn survival_boundaries() {
+        let p = Polynomial::new(3, 2.0).unwrap();
+        assert_eq!(p.survival(0.0), 1.0);
+        assert_eq!(p.survival(2.0), 0.0);
+        assert_eq!(p.survival(3.0), 0.0);
+        assert!(approx_eq(p.survival(1.0), 1.0 - 0.125, 1e-12));
+    }
+
+    #[test]
+    fn deriv_matches_finite_difference() {
+        for d in [1u32, 2, 3, 5] {
+            let p = Polynomial::new(d, 50.0).unwrap();
+            for &t in &[1.0, 10.0, 25.0, 49.0] {
+                let fd = diff::central(|x| p.survival(x), t, 1e-6);
+                assert!(approx_eq(p.deriv(t), fd, 1e-5), "d={d}, t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let p = Polynomial::new(4, 12.0).unwrap();
+        for &q in &[0.9, 0.5, 0.1, 0.01] {
+            let t = p.inverse_survival(q);
+            assert!(approx_eq(p.survival(t), q, 1e-10), "q={q}");
+        }
+    }
+
+    #[test]
+    fn passes_validation() {
+        for d in [1u32, 2, 4] {
+            validate::check(&Polynomial::new(d, 33.0).unwrap()).unwrap();
+        }
+    }
+
+    #[test]
+    fn second_difference_nonpositive_concave() {
+        let p = Polynomial::new(3, 10.0).unwrap();
+        for i in 1..19 {
+            let t = i as f64 * 0.5;
+            assert!(diff::second_central(|x| p.survival(x), t, 1e-4) <= 1e-6);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_survival_in_unit_interval(d in 1u32..8, l in 0.5f64..1e4, t in 0.0f64..2e4) {
+            let p = Polynomial::new(d, l).unwrap();
+            let v = p.survival(t);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn prop_monotone_decreasing(d in 1u32..8, l in 0.5f64..1e3, t in 0.0f64..1e3, dt in 0.0f64..10.0) {
+            let p = Polynomial::new(d, l).unwrap();
+            prop_assert!(p.survival(t + dt) <= p.survival(t) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Time-rescaled life functions: `q(t) = p(t/σ)`.
+//!
+//! Lets one library of life functions serve any time unit (the paper's
+//! model is unit-agnostic; `c` must simply be expressed in the same unit).
+//! Rescaling preserves monotonicity and curvature class, multiplies the
+//! lifespan by `σ`, and divides the derivative by `σ`.
+
+use crate::{ArcLife, LifeFunction, Shape};
+use cs_numeric::NumericError;
+
+/// `q(t) = p(t/σ)`: the base life function with time stretched by `σ`.
+#[derive(Clone)]
+pub struct TimeScaled {
+    base: ArcLife,
+    sigma: f64,
+}
+
+impl TimeScaled {
+    /// Stretches `base`'s time axis by `sigma > 0` (e.g. `sigma = 3600`
+    /// converts a curve fitted in hours to seconds).
+    pub fn new(base: ArcLife, sigma: f64) -> Result<Self, NumericError> {
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(NumericError::InvalidArgument(
+                "TimeScaled: sigma must be positive",
+            ));
+        }
+        Ok(Self { base, sigma })
+    }
+
+    /// The scale factor `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl LifeFunction for TimeScaled {
+    fn survival(&self, t: f64) -> f64 {
+        self.base.survival(t / self.sigma)
+    }
+
+    fn deriv(&self, t: f64) -> f64 {
+        self.base.deriv(t / self.sigma) / self.sigma
+    }
+
+    fn lifespan(&self) -> Option<f64> {
+        self.base.lifespan().map(|l| l * self.sigma)
+    }
+
+    fn shape(&self) -> Shape {
+        // q'' = p''(t/σ)/σ²: same sign everywhere.
+        self.base.shape()
+    }
+
+    fn describe(&self) -> String {
+        format!("{} (time x{})", self.base.describe(), self.sigma)
+    }
+
+    fn inverse_survival(&self, q: f64) -> f64 {
+        self.base.inverse_survival(q) * self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{validate, GeometricDecreasing, Uniform};
+    use cs_numeric::approx_eq;
+    use std::sync::Arc;
+
+    #[test]
+    fn construction_guards() {
+        let base: ArcLife = Arc::new(Uniform::new(10.0).unwrap());
+        assert!(TimeScaled::new(base.clone(), 0.0).is_err());
+        assert!(TimeScaled::new(base.clone(), -2.0).is_err());
+        assert!(TimeScaled::new(base.clone(), f64::NAN).is_err());
+        assert!(TimeScaled::new(base, 3600.0).is_ok());
+    }
+
+    #[test]
+    fn uniform_hours_to_seconds() {
+        // Uniform over 10 hours, scaled to seconds: uniform over 36000 s.
+        let base: ArcLife = Arc::new(Uniform::new(10.0).unwrap());
+        let q = TimeScaled::new(base, 3600.0).unwrap();
+        assert_eq!(q.lifespan(), Some(36_000.0));
+        assert!(approx_eq(q.survival(18_000.0), 0.5, 1e-12));
+        assert!(approx_eq(q.deriv(100.0), -1.0 / 36_000.0, 1e-15));
+        assert_eq!(q.shape(), Shape::Linear);
+        assert!(approx_eq(q.inverse_survival(0.25), 27_000.0, 1e-9));
+        assert!(q.describe().contains("x3600"));
+    }
+
+    #[test]
+    fn scaling_is_equivalent_to_reparametrized_family() {
+        // Scaling a^{-t} by sigma gives (a^{1/sigma})^{-t}.
+        let a: f64 = 8.0;
+        let sigma = 4.0;
+        let base: ArcLife = Arc::new(GeometricDecreasing::new(a).unwrap());
+        let scaled = TimeScaled::new(base, sigma).unwrap();
+        let direct = GeometricDecreasing::new(a.powf(1.0 / sigma)).unwrap();
+        for &t in &[0.5, 2.0, 10.0] {
+            assert!(
+                approx_eq(scaled.survival(t), direct.survival(t), 1e-12),
+                "t = {t}"
+            );
+            assert!(
+                approx_eq(scaled.deriv(t), direct.deriv(t), 1e-12),
+                "t = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn passes_validation() {
+        let base: ArcLife = Arc::new(Uniform::new(5.0).unwrap());
+        let q = TimeScaled::new(base, 12.0).unwrap();
+        validate::check(&q).unwrap();
+    }
+
+    #[test]
+    fn scheduling_is_scale_equivariant() {
+        // Optimal schedules scale with time: plan on (p, c) and on
+        // (scaled p, scaled c) should match after unit conversion.
+        let l = 200.0;
+        let c = 2.0;
+        let sigma = 60.0;
+        let base = Uniform::new(l).unwrap();
+        let plan = cs_core_free_check(&base, c);
+        let scaled = TimeScaled::new(Arc::new(base), sigma).unwrap();
+        let plan_scaled = cs_core_free_check(&scaled, c * sigma);
+        assert!(approx_eq(plan_scaled / sigma, plan, 1e-6));
+    }
+
+    /// Local helper computing the greedy-style one-period optimum, to avoid
+    /// a dev-dependency cycle on cs-core: argmax (t - c) p(t).
+    fn cs_core_free_check(p: &dyn LifeFunction, c: f64) -> f64 {
+        let hi = p.horizon(1e-9);
+        let mut best = (0.0, f64::NEG_INFINITY);
+        for i in 1..4000 {
+            let t = hi * i as f64 / 4000.0;
+            let v = (t - c).max(0.0) * p.survival(t);
+            if v > best.1 {
+                best = (t, v);
+            }
+        }
+        best.0
+    }
+}

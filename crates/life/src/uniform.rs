@@ -1,0 +1,128 @@
+//! The uniform-risk life function `p(t) = 1 − t/L` (\[3\], §4.1 with `d = 1`).
+//!
+//! The risk of reclamation is uniform over the potential lifespan `L`. This
+//! is the only member of the paper's families that is simultaneously concave
+//! and convex (affine), and the scenario for which the paper's guideline
+//! recurrence reproduces the provably optimal recurrence `t_k = t_{k−1} − c`
+//! of \[3\] exactly (eq 4.1).
+
+use crate::{LifeFunction, Shape};
+use cs_numeric::NumericError;
+
+/// Uniform-risk life function with potential lifespan `L`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    l: f64,
+}
+
+impl Uniform {
+    /// # Examples
+    ///
+    /// ```
+    /// use cs_life::{LifeFunction, Uniform};
+    /// let p = Uniform::new(10.0).unwrap();
+    /// assert_eq!(p.survival(5.0), 0.5);
+    /// assert_eq!(p.lifespan(), Some(10.0));
+    /// ```
+    /// Creates the uniform-risk life function; `l` must be finite and > 0.
+    pub fn new(l: f64) -> Result<Self, NumericError> {
+        if !(l.is_finite() && l > 0.0) {
+            return Err(NumericError::InvalidArgument(
+                "Uniform: lifespan must be positive",
+            ));
+        }
+        Ok(Self { l })
+    }
+
+    /// The potential lifespan `L`.
+    pub fn l(&self) -> f64 {
+        self.l
+    }
+}
+
+impl LifeFunction for Uniform {
+    fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else if t >= self.l {
+            0.0
+        } else {
+            1.0 - t / self.l
+        }
+    }
+
+    fn deriv(&self, t: f64) -> f64 {
+        if (0.0..=self.l).contains(&t) {
+            -1.0 / self.l
+        } else {
+            0.0
+        }
+    }
+
+    fn lifespan(&self) -> Option<f64> {
+        Some(self.l)
+    }
+
+    fn shape(&self) -> Shape {
+        Shape::Linear
+    }
+
+    fn describe(&self) -> String {
+        format!("uniform risk, L = {}", self.l)
+    }
+
+    fn inverse_survival(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        self.l * (1.0 - q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+
+    #[test]
+    fn construction_guards() {
+        assert!(Uniform::new(0.0).is_err());
+        assert!(Uniform::new(-1.0).is_err());
+        assert!(Uniform::new(f64::NAN).is_err());
+        assert!(Uniform::new(f64::INFINITY).is_err());
+        assert!(Uniform::new(5.0).is_ok());
+    }
+
+    #[test]
+    fn survival_values() {
+        let p = Uniform::new(10.0).unwrap();
+        assert_eq!(p.survival(-1.0), 1.0);
+        assert_eq!(p.survival(0.0), 1.0);
+        assert_eq!(p.survival(5.0), 0.5);
+        assert_eq!(p.survival(10.0), 0.0);
+        assert_eq!(p.survival(11.0), 0.0);
+    }
+
+    #[test]
+    fn derivative_is_constant_inside() {
+        let p = Uniform::new(4.0).unwrap();
+        assert_eq!(p.deriv(1.0), -0.25);
+        assert_eq!(p.deriv(3.9), -0.25);
+        assert_eq!(p.deriv(4.5), 0.0);
+        assert_eq!(p.deriv(-0.5), 0.0);
+    }
+
+    #[test]
+    fn inverse_survival_closed_form() {
+        let p = Uniform::new(8.0).unwrap();
+        assert_eq!(p.inverse_survival(1.0), 0.0);
+        assert_eq!(p.inverse_survival(0.0), 8.0);
+        assert_eq!(p.inverse_survival(0.25), 6.0);
+        // Clamp out-of-range quantiles.
+        assert_eq!(p.inverse_survival(2.0), 0.0);
+        assert_eq!(p.inverse_survival(-0.5), 8.0);
+    }
+
+    #[test]
+    fn passes_validation() {
+        validate::check(&Uniform::new(17.0).unwrap()).unwrap();
+    }
+}

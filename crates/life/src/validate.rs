@@ -1,0 +1,259 @@
+//! Numerical validation of [`LifeFunction`] implementations.
+//!
+//! The paper's derivations assume `p(0) = 1`, monotone decrease,
+//! differentiability, and (for the shape-dependent results) global concavity
+//! or convexity. [`check`] verifies all of these on a sample grid so every
+//! family's test suite — and any user-supplied life function — can be
+//! sanity-checked against the model's preconditions.
+
+use crate::{LifeFunction, Shape};
+use cs_numeric::diff;
+
+/// A violated life-function precondition, with the offending abscissa.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// `p(0)` differs from 1.
+    NotOneAtZero {
+        /// The observed `p(0)`.
+        value: f64,
+    },
+    /// Survival leaves `[0, 1]`.
+    OutOfRange {
+        /// Where the violation occurred.
+        t: f64,
+        /// The offending value.
+        value: f64,
+    },
+    /// Survival increased between consecutive grid points.
+    NotDecreasing {
+        /// Left sample point.
+        t0: f64,
+        /// Right sample point.
+        t1: f64,
+    },
+    /// Analytic derivative disagrees with the central finite difference.
+    DerivativeMismatch {
+        /// Where the mismatch occurred.
+        t: f64,
+        /// Analytic `p'(t)`.
+        analytic: f64,
+        /// Finite-difference estimate.
+        numeric: f64,
+    },
+    /// Claimed shape contradicts sampled second differences.
+    ShapeMismatch {
+        /// Where the contradiction occurred.
+        t: f64,
+        /// Claimed shape.
+        claimed: Shape,
+        /// Sampled second derivative.
+        second_derivative: f64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::NotOneAtZero { value } => write!(f, "p(0) = {value}, expected 1"),
+            Violation::OutOfRange { t, value } => write!(f, "p({t}) = {value} outside [0,1]"),
+            Violation::NotDecreasing { t0, t1 } => {
+                write!(f, "p increases between t = {t0} and t = {t1}")
+            }
+            Violation::DerivativeMismatch {
+                t,
+                analytic,
+                numeric,
+            } => {
+                write!(
+                    f,
+                    "p'({t}) = {analytic} but finite difference gives {numeric}"
+                )
+            }
+            Violation::ShapeMismatch {
+                t,
+                claimed,
+                second_derivative,
+            } => {
+                write!(
+                    f,
+                    "shape {claimed:?} contradicted at t = {t} (p'' ≈ {second_derivative})"
+                )
+            }
+        }
+    }
+}
+
+/// Number of grid samples used by [`check`].
+const SAMPLES: usize = 257;
+
+/// Relative tolerance for the derivative cross-check.
+const DERIV_TOL: f64 = 1e-3;
+
+/// Verifies the model preconditions for `p` on a sample grid over its
+/// effective horizon. Returns the first violation found, or `Ok(())`.
+pub fn check(p: &dyn LifeFunction) -> Result<(), Violation> {
+    let p0 = p.survival(0.0);
+    if (p0 - 1.0).abs() > 1e-9 {
+        return Err(Violation::NotOneAtZero { value: p0 });
+    }
+    let hi = p.horizon(1e-6).max(1e-6);
+    let step = hi / (SAMPLES - 1) as f64;
+    let mut prev = p0;
+    for i in 1..SAMPLES {
+        let t = step * i as f64;
+        let v = p.survival(t);
+        if !(-1e-12..=1.0 + 1e-12).contains(&v) {
+            return Err(Violation::OutOfRange { t, value: v });
+        }
+        if v > prev + 1e-9 {
+            return Err(Violation::NotDecreasing {
+                t0: t - step,
+                t1: t,
+            });
+        }
+        prev = v;
+    }
+    // Derivative cross-check on interior points away from kinks (skip the
+    // outer 2% of the horizon, where finite-lifespan families clamp).
+    for i in 1..SAMPLES - 1 {
+        let t = step * i as f64;
+        if t < 0.02 * hi || t > 0.98 * hi {
+            continue;
+        }
+        let analytic = p.deriv(t);
+        if !analytic.is_finite() {
+            continue;
+        }
+        let h = (step * 0.25).min(diff::default_step(t) * 100.0);
+        let numeric = diff::central(|x| p.survival(x), t, h);
+        let scale = analytic.abs().max(numeric.abs()).max(1e-9);
+        if (analytic - numeric).abs() > DERIV_TOL * scale + 1e-9 {
+            return Err(Violation::DerivativeMismatch {
+                t,
+                analytic,
+                numeric,
+            });
+        }
+    }
+    // Shape cross-check via sign of sampled second differences.
+    let shape = p.shape();
+    if matches!(shape, Shape::Concave | Shape::Convex | Shape::Linear) {
+        for i in 2..SAMPLES - 2 {
+            let t = step * i as f64;
+            if t < 0.05 * hi || t > 0.95 * hi {
+                continue;
+            }
+            let h = step * 0.5;
+            let d2 = diff::second_central(|x| p.survival(x), t, h);
+            let tol = 1e-6 * (1.0 / (hi * hi)).max(1.0);
+            let bad = match shape {
+                Shape::Concave => d2 > tol,
+                Shape::Convex => d2 < -tol,
+                Shape::Linear => d2.abs() > tol,
+                Shape::Neither => false,
+            };
+            if bad {
+                return Err(Violation::ShapeMismatch {
+                    t,
+                    claimed: shape,
+                    second_derivative: d2,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Uniform;
+
+    /// A deliberately broken life function for exercising the validator.
+    struct Broken {
+        mode: u8,
+    }
+
+    impl LifeFunction for Broken {
+        fn survival(&self, t: f64) -> f64 {
+            match self.mode {
+                0 => 0.9, // p(0) != 1
+                1 => {
+                    // increases after t = 1
+                    if t <= 0.0 {
+                        1.0
+                    } else if t < 1.0 {
+                        1.0 - 0.5 * t
+                    } else {
+                        (0.5 + 0.1 * (t - 1.0)).min(1.0)
+                    }
+                }
+                2 => 1.5 - t * 0.1, // out of range at t=0... actually p(0)=1.5
+                _ => (1.0 - t / 10.0).clamp(0.0, 1.0),
+            }
+        }
+        fn deriv(&self, _t: f64) -> f64 {
+            match self.mode {
+                3 => -5.0, // wrong derivative (true is -0.1)
+                _ => 0.0,
+            }
+        }
+        fn lifespan(&self) -> Option<f64> {
+            Some(10.0)
+        }
+        fn shape(&self) -> Shape {
+            Shape::Neither
+        }
+        fn describe(&self) -> String {
+            "broken".into()
+        }
+    }
+
+    #[test]
+    fn detects_not_one_at_zero() {
+        assert!(matches!(
+            check(&Broken { mode: 0 }),
+            Err(Violation::NotOneAtZero { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_increase() {
+        assert!(matches!(
+            check(&Broken { mode: 1 }),
+            Err(Violation::NotDecreasing { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_out_of_range() {
+        // mode 2 has p(0) = 1.5, caught as NotOneAtZero first — that's fine,
+        // any violation is a failure.
+        assert!(check(&Broken { mode: 2 }).is_err());
+    }
+
+    #[test]
+    fn detects_derivative_mismatch() {
+        assert!(matches!(
+            check(&Broken { mode: 3 }),
+            Err(Violation::DerivativeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_valid_function() {
+        check(&Uniform::new(5.0).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::NotOneAtZero { value: 0.5 };
+        assert!(v.to_string().contains("expected 1"));
+        let v = Violation::ShapeMismatch {
+            t: 1.0,
+            claimed: Shape::Concave,
+            second_derivative: 0.5,
+        };
+        assert!(v.to_string().contains("Concave"));
+    }
+}

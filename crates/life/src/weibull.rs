@@ -1,0 +1,153 @@
+//! Weibull life function `p(t) = exp(−(t/λ)^k)`.
+//!
+//! Not studied in the paper, but the natural parametric target when fitting
+//! owner-absence traces (`cs-trace`): `k = 1` recovers the geometric
+//! (exponential) scenario, `k < 1` models heavy-tailed absences (long
+//! absences get longer), `k > 1` models "scheduled return" behaviour.
+
+use crate::{LifeFunction, Shape};
+use cs_numeric::NumericError;
+
+/// Weibull survival `p(t) = exp(−(t/λ)^k)` with shape `k` and scale `λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    k: f64,
+    lambda: f64,
+}
+
+impl Weibull {
+    /// Creates the function; requires finite `k > 0` and `lambda > 0`.
+    pub fn new(k: f64, lambda: f64) -> Result<Self, NumericError> {
+        if !(k.is_finite() && k > 0.0) {
+            return Err(NumericError::InvalidArgument(
+                "Weibull: shape must be positive",
+            ));
+        }
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(NumericError::InvalidArgument(
+                "Weibull: scale must be positive",
+            ));
+        }
+        Ok(Self { k, lambda })
+    }
+
+    /// The shape parameter `k`.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    /// The scale parameter `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl LifeFunction for Weibull {
+    fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else {
+            (-(t / self.lambda).powf(self.k)).exp()
+        }
+    }
+
+    fn deriv(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            // For k < 1 the derivative blows up at 0+; report the limit for
+            // k >= 1 (0 for k > 1, -1/λ for k = 1) via the t→0⁺ expression
+            // evaluated at a tiny offset to stay finite.
+            if self.k >= 1.0 {
+                return if self.k > 1.0 {
+                    0.0
+                } else {
+                    -1.0 / self.lambda
+                };
+            }
+            return f64::NEG_INFINITY;
+        }
+        let z = t / self.lambda;
+        -(self.k / self.lambda) * z.powf(self.k - 1.0) * (-z.powf(self.k)).exp()
+    }
+
+    fn lifespan(&self) -> Option<f64> {
+        None
+    }
+
+    fn shape(&self) -> Shape {
+        // Survival is convex for k ≤ 1 (p'' ≥ 0 everywhere); for k > 1 the
+        // survival has an inflection point, so no global curvature holds.
+        if self.k <= 1.0 {
+            Shape::Convex
+        } else {
+            Shape::Neither
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("weibull, k = {}, lambda = {}", self.k, self.lambda)
+    }
+
+    fn inverse_survival(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            0.0
+        } else if q <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.lambda * (-q.ln()).powf(1.0 / self.k)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+    use cs_numeric::{approx_eq, diff};
+
+    #[test]
+    fn construction_guards() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+        assert!(Weibull::new(-1.0, 1.0).is_err());
+        assert!(Weibull::new(1.5, 2.0).is_ok());
+    }
+
+    #[test]
+    fn k1_matches_exponential() {
+        let w = Weibull::new(1.0, 2.0).unwrap();
+        // exp(-t/2) = a^{-t} with a = e^{1/2}.
+        let g = crate::GeometricDecreasing::new((0.5f64).exp()).unwrap();
+        for &t in &[0.0, 0.5, 1.0, 5.0] {
+            assert!(approx_eq(w.survival(t), g.survival(t), 1e-12), "t = {t}");
+        }
+        assert_eq!(w.shape(), Shape::Convex);
+    }
+
+    #[test]
+    fn k_gt_one_shape_neither() {
+        assert_eq!(Weibull::new(2.0, 1.0).unwrap().shape(), Shape::Neither);
+    }
+
+    #[test]
+    fn deriv_matches_fd() {
+        let w = Weibull::new(1.7, 3.0).unwrap();
+        for &t in &[0.5, 2.0, 6.0] {
+            let fd = diff::central(|x| w.survival(x), t, 1e-7);
+            assert!(approx_eq(w.deriv(t), fd, 1e-5), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let w = Weibull::new(0.8, 5.0).unwrap();
+        for &q in &[0.9, 0.5, 0.05] {
+            assert!(approx_eq(w.survival(w.inverse_survival(q)), q, 1e-10));
+        }
+    }
+
+    #[test]
+    fn passes_validation() {
+        validate::check(&Weibull::new(1.3, 4.0).unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,462 @@
+//! Virtual-time NOW farm simulator.
+//!
+//! All workstations share one global virtual clock. Each chunk request is an
+//! event in a priority queue keyed by virtual time, so the shared task bag
+//! is consumed in exactly the order a real master would see requests — the
+//! property that makes policy comparisons fair and runs reproducible.
+//!
+//! Per-workstation timeline:
+//!
+//! ```text
+//! [episode: absent, killable] -> reclaimed -> [gap: owner present] -> ...
+//! ```
+//!
+//! Episode durations are drawn from the workstation's life function
+//! (inverse transform), presence gaps from an exponential with configurable
+//! mean. Within an episode the workstation's policy proposes periods; each
+//! period checks a chunk out of the shared bag, and the §2.1 kill semantics
+//! decide whether the chunk banks or returns.
+
+use cs_life::{ArcLife, LifeFunction};
+use cs_sim::policy::{ChunkPolicy, FixedSizePolicy, GreedyPolicy, GuidelinePolicy};
+use cs_tasks::TaskBag;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Which chunk-sizing policy a workstation runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// The paper's guideline scheduler (progressive, conditional).
+    Guideline,
+    /// Myopic greedy (§6).
+    Greedy,
+    /// Constant period length.
+    FixedSize(f64),
+}
+
+impl PolicyKind {
+    /// Instantiates the policy against a believed life function.
+    fn build(&self, life: ArcLife, c: f64) -> Box<dyn ChunkPolicy> {
+        match *self {
+            PolicyKind::Guideline => Box::new(GuidelinePolicy::new(life, c)),
+            PolicyKind::Greedy => Box::new(GreedyPolicy::new(life, c)),
+            PolicyKind::FixedSize(t) => {
+                let horizon = life.horizon(1e-9);
+                Box::new(FixedSizePolicy::new(t, horizon))
+            }
+        }
+    }
+
+    /// Label for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            PolicyKind::Guideline => "guideline".into(),
+            PolicyKind::Greedy => "greedy".into(),
+            PolicyKind::FixedSize(t) => format!("fixed({t})"),
+        }
+    }
+}
+
+/// Configuration of one borrowed workstation.
+#[derive(Clone)]
+pub struct WorkstationConfig {
+    /// Ground-truth life function governing its episodes.
+    pub life: ArcLife,
+    /// Believed life function handed to the policy (normally the same; set
+    /// differently for robustness experiments).
+    pub believed: ArcLife,
+    /// Communication overhead `c` for this workstation.
+    pub c: f64,
+    /// Chunk-sizing policy.
+    pub policy: PolicyKind,
+    /// Mean of the exponential owner-presence gap between episodes.
+    pub gap_mean: f64,
+}
+
+/// Farm-level configuration.
+pub struct FarmConfig {
+    /// The workstations.
+    pub workstations: Vec<WorkstationConfig>,
+    /// Stop the simulation at this virtual time even if work remains.
+    pub max_virtual_time: f64,
+    /// RNG seed (reclamations and gaps are deterministic given it).
+    pub seed: u64,
+}
+
+/// Per-workstation outcome.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkstationStats {
+    /// Task time banked by this workstation.
+    pub completed_work: f64,
+    /// Task time executed but destroyed by reclamations.
+    pub lost_work: f64,
+    /// Chunks banked.
+    pub chunks_completed: u64,
+    /// Chunks destroyed.
+    pub chunks_lost: u64,
+    /// Episodes begun.
+    pub episodes: u64,
+    /// Periods that elapsed with an empty chunk (bag drained or head task
+    /// larger than the period budget).
+    pub idle_periods: u64,
+}
+
+/// Outcome of one farm run.
+#[derive(Debug, Clone)]
+pub struct FarmReport {
+    /// Virtual time at which the last chunk was banked (NaN if none).
+    pub makespan: f64,
+    /// Total task time banked across the farm.
+    pub completed_work: f64,
+    /// Total task time destroyed by reclamations.
+    pub lost_work: f64,
+    /// Task time never dispatched (bag not drained at the horizon).
+    pub remaining_work: f64,
+    /// True when every task was completed before `max_virtual_time`.
+    pub drained: bool,
+    /// Per-workstation breakdown.
+    pub per_workstation: Vec<WorkstationStats>,
+}
+
+/// An event in the farm's virtual-time queue: workstation `ws` wants to
+/// start its next period at `time`.
+struct Request {
+    time: f64,
+    ws: usize,
+}
+
+impl PartialEq for Request {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.ws == other.ws
+    }
+}
+impl Eq for Request {}
+impl PartialOrd for Request {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Request {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by time (reverse), tie-broken by workstation id for
+        // determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.ws.cmp(&self.ws))
+    }
+}
+
+struct WorkstationState {
+    policy: Box<dyn ChunkPolicy>,
+    /// Virtual time the current episode started.
+    episode_start: f64,
+    /// Absolute virtual time the owner reclaims in the current episode.
+    reclaim_at: f64,
+    stats: WorkstationStats,
+}
+
+/// The farm simulator. Construct with [`Farm::new`], then [`Farm::run`].
+pub struct Farm {
+    config: FarmConfig,
+    bag: TaskBag,
+}
+
+impl Farm {
+    /// Creates a farm over the given task bag.
+    pub fn new(config: FarmConfig, bag: TaskBag) -> Self {
+        Self { config, bag }
+    }
+
+    /// Runs the simulation to drain or horizon, consuming the farm.
+    pub fn run(mut self) -> FarmReport {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let n = self.config.workstations.len();
+        let mut states: Vec<WorkstationState> = Vec::with_capacity(n);
+        let mut queue: BinaryHeap<Request> = BinaryHeap::new();
+        for (i, wc) in self.config.workstations.iter().enumerate() {
+            let policy = wc.policy.build(wc.believed.clone(), wc.c);
+            let reclaim_at = draw_reclaim(&wc.life, &mut rng);
+            states.push(WorkstationState {
+                policy,
+                episode_start: 0.0,
+                reclaim_at,
+                stats: WorkstationStats {
+                    episodes: 1,
+                    ..Default::default()
+                },
+            });
+            queue.push(Request { time: 0.0, ws: i });
+        }
+        let mut makespan = f64::NAN;
+        while let Some(Request { time, ws }) = queue.pop() {
+            if time > self.config.max_virtual_time {
+                continue;
+            }
+            if self.bag.is_drained() {
+                // Nothing left to hand out; in-flight chunks were banked or
+                // abandoned synchronously, so we are done.
+                break;
+            }
+            let wc = &self.config.workstations[ws];
+            let st = &mut states[ws];
+            let elapsed = time - st.episode_start;
+            match st.policy.next_period(elapsed) {
+                Some(t) if t.is_finite() && t > 0.0 => {
+                    let chunk = cs_tasks::pack_chunk(&mut self.bag, t, wc.c);
+                    let end = time + t;
+                    if chunk.is_empty() {
+                        st.stats.idle_periods += 1;
+                        // Nothing dispatchable this period; try again later.
+                        queue.push(Request { time: end, ws });
+                    } else if end >= st.reclaim_at {
+                        // Killed mid-period: chunk returns to the bag.
+                        st.stats.chunks_lost += 1;
+                        st.stats.lost_work += chunk.total_duration();
+                        self.bag.abandon(chunk);
+                        start_next_episode(st, wc, &mut rng, &mut queue, ws);
+                    } else {
+                        st.stats.chunks_completed += 1;
+                        st.stats.completed_work += chunk.total_duration();
+                        self.bag.complete(chunk);
+                        makespan = if makespan.is_nan() {
+                            end
+                        } else {
+                            makespan.max(end)
+                        };
+                        queue.push(Request { time: end, ws });
+                    }
+                }
+                _ => {
+                    // Policy declined (no productive period left in this
+                    // episode): wait out the owner and start a new episode.
+                    start_next_episode(st, wc, &mut rng, &mut queue, ws);
+                }
+            }
+        }
+        let completed_work: f64 = states.iter().map(|s| s.stats.completed_work).sum();
+        let lost_work: f64 = states.iter().map(|s| s.stats.lost_work).sum();
+        FarmReport {
+            makespan,
+            completed_work,
+            lost_work,
+            remaining_work: self.bag.pending_work(),
+            drained: self.bag.is_drained(),
+            per_workstation: states.into_iter().map(|s| s.stats).collect(),
+        }
+    }
+}
+
+/// Draws an episode's reclamation *duration* from the life function.
+fn draw_reclaim(life: &ArcLife, rng: &mut StdRng) -> f64 {
+    let u = rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
+    life.inverse_survival(u)
+}
+
+/// Ends the current episode: the owner is present for an exponential gap,
+/// then a new episode (with a fresh reclamation draw) begins.
+fn start_next_episode(
+    st: &mut WorkstationState,
+    wc: &WorkstationConfig,
+    rng: &mut StdRng,
+    queue: &mut BinaryHeap<Request>,
+    ws: usize,
+) {
+    let u = rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
+    let gap = -wc.gap_mean * u.ln();
+    let next_start = st.reclaim_at + gap;
+    st.episode_start = next_start;
+    st.reclaim_at = next_start + draw_reclaim(&wc.life, rng);
+    st.stats.episodes += 1;
+    st.policy.reset();
+    queue.push(Request {
+        time: next_start,
+        ws,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_life::Uniform;
+    use cs_tasks::workloads;
+    use std::sync::Arc;
+
+    fn uniform_ws(l: f64, c: f64, policy: PolicyKind) -> WorkstationConfig {
+        let life: ArcLife = Arc::new(Uniform::new(l).unwrap());
+        WorkstationConfig {
+            life: life.clone(),
+            believed: life,
+            c,
+            policy,
+            gap_mean: 5.0,
+        }
+    }
+
+    fn run_farm(n_ws: usize, policy: PolicyKind, tasks: usize, seed: u64) -> FarmReport {
+        let bag = workloads::uniform(tasks, 1.0).unwrap();
+        let config = FarmConfig {
+            workstations: (0..n_ws).map(|_| uniform_ws(200.0, 2.0, policy)).collect(),
+            max_virtual_time: 1e6,
+            seed,
+        };
+        Farm::new(config, bag).run()
+    }
+
+    #[test]
+    fn farm_drains_the_bag() {
+        let r = run_farm(4, PolicyKind::FixedSize(20.0), 500, 7);
+        assert!(r.drained, "remaining = {}", r.remaining_work);
+        assert!((r.completed_work - 500.0).abs() < 1e-9);
+        assert!(r.makespan.is_finite() && r.makespan > 0.0);
+    }
+
+    #[test]
+    fn farm_is_deterministic_per_seed() {
+        let a = run_farm(3, PolicyKind::Greedy, 300, 11);
+        let b = run_farm(3, PolicyKind::Greedy, 300, 11);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.lost_work, b.lost_work);
+        let c = run_farm(3, PolicyKind::Greedy, 300, 12);
+        // Different seed, almost surely different outcome.
+        assert!(a.makespan != c.makespan || a.lost_work != c.lost_work);
+    }
+
+    #[test]
+    fn more_workstations_finish_sooner() {
+        let slow = run_farm(2, PolicyKind::FixedSize(20.0), 800, 3);
+        let fast = run_farm(8, PolicyKind::FixedSize(20.0), 800, 3);
+        assert!(slow.drained && fast.drained);
+        assert!(
+            fast.makespan < slow.makespan,
+            "8 ws: {}, 2 ws: {}",
+            fast.makespan,
+            slow.makespan
+        );
+    }
+
+    #[test]
+    fn reclamations_cause_lost_work() {
+        // Short lifespans and long fixed chunks: plenty of kills.
+        let bag = workloads::uniform(400, 1.0).unwrap();
+        let config = FarmConfig {
+            workstations: (0..4)
+                .map(|_| uniform_ws(30.0, 2.0, PolicyKind::FixedSize(15.0)))
+                .collect(),
+            max_virtual_time: 1e6,
+            seed: 21,
+        };
+        let r = Farm::new(config, bag).run();
+        assert!(r.lost_work > 0.0, "expected some kills");
+        // Conservation: banked + remaining = initial work.
+        assert!((r.completed_work + r.remaining_work - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn horizon_stops_unfinished_farm() {
+        let bag = workloads::uniform(100_000, 1.0).unwrap();
+        let config = FarmConfig {
+            workstations: vec![uniform_ws(100.0, 2.0, PolicyKind::FixedSize(10.0))],
+            max_virtual_time: 50.0,
+            seed: 5,
+        };
+        let r = Farm::new(config, bag).run();
+        assert!(!r.drained);
+        assert!(r.remaining_work > 0.0);
+    }
+
+    #[test]
+    fn guideline_policy_beats_bad_fixed_sizes_on_uniform_now() {
+        // The headline end-to-end claim: guideline chunk-sizing banks work
+        // faster than badly-sized fixed chunks on the same NOW.
+        let tasks = 600;
+        let guideline = run_farm(4, PolicyKind::Guideline, tasks, 17);
+        let tiny = run_farm(4, PolicyKind::FixedSize(4.0), tasks, 17);
+        let huge = run_farm(4, PolicyKind::FixedSize(190.0), tasks, 17);
+        assert!(guideline.drained);
+        assert!(
+            guideline.makespan < tiny.makespan,
+            "guideline {} vs tiny-chunks {}",
+            guideline.makespan,
+            tiny.makespan
+        );
+        assert!(
+            !huge.drained || guideline.makespan < huge.makespan,
+            "guideline {} vs huge-chunks {} (drained={})",
+            guideline.makespan,
+            huge.makespan,
+            huge.drained
+        );
+    }
+
+    #[test]
+    fn per_workstation_stats_consistent() {
+        let r = run_farm(3, PolicyKind::FixedSize(20.0), 300, 9);
+        let sum: f64 = r.per_workstation.iter().map(|w| w.completed_work).sum();
+        assert!((sum - r.completed_work).abs() < 1e-9);
+        for w in &r.per_workstation {
+            assert!(w.episodes >= 1);
+        }
+    }
+
+    #[test]
+    fn policy_kind_labels() {
+        assert_eq!(PolicyKind::Guideline.label(), "guideline");
+        assert_eq!(PolicyKind::Greedy.label(), "greedy");
+        assert!(PolicyKind::FixedSize(3.0).label().contains("3"));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+            /// Work conservation and sane accounting hold for arbitrary farm
+            /// configurations under the fixed-size policy.
+            #[test]
+            fn prop_farm_conserves_work(
+                n_ws in 1usize..5,
+                tasks in 10usize..150,
+                seed in proptest::num::u64::ANY,
+                l in 30.0f64..300.0,
+                c in 0.5f64..5.0,
+                chunk in 3.0f64..40.0,
+            ) {
+                prop_assume!(chunk > c + 1.0);
+                let total = tasks as f64;
+                let bag = workloads::uniform(tasks, 1.0).unwrap();
+                let life: ArcLife = Arc::new(Uniform::new(l).unwrap());
+                let config = FarmConfig {
+                    workstations: (0..n_ws)
+                        .map(|_| WorkstationConfig {
+                            life: life.clone(),
+                            believed: life.clone(),
+                            c,
+                            policy: PolicyKind::FixedSize(chunk),
+                            gap_mean: 5.0,
+                        })
+                        .collect(),
+                    max_virtual_time: 1e5,
+                    seed,
+                };
+                let r = Farm::new(config, bag).run();
+                // Conservation: banked + pending = initial.
+                prop_assert!((r.completed_work + r.remaining_work - total).abs() < 1e-9);
+                // Per-workstation totals match farm totals.
+                let sum: f64 = r.per_workstation.iter().map(|w| w.completed_work).sum();
+                prop_assert!((sum - r.completed_work).abs() < 1e-9);
+                let lost: f64 = r.per_workstation.iter().map(|w| w.lost_work).sum();
+                prop_assert!((lost - r.lost_work).abs() < 1e-9);
+                // Drained implies everything banked and a finite makespan.
+                if r.drained {
+                    prop_assert!((r.completed_work - total).abs() < 1e-9);
+                    prop_assert!(r.makespan.is_finite());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # cs-now
+//!
+//! The *network of workstations* the paper's title promises: data-parallel
+//! cycle-stealing across many borrowed workstations at once.
+//!
+//! A master (workstation A) owns a [`cs_tasks::TaskBag`] of independent
+//! tasks. Each borrowed workstation alternates owner-absence episodes
+//! (killable, per the §2.1 draconian contract) with owner-presence gaps.
+//! During an episode, A parcels chunks sized by a [`cs_sim::ChunkPolicy`] —
+//! guideline (the paper's contribution), greedy, or fixed-size.
+//!
+//! Two execution engines:
+//!
+//! * [`farm`] — a deterministic **virtual-time farm simulator**: chunk
+//!   requests from all workstations are served in global virtual-time order
+//!   from the shared bag, so results are exactly reproducible and policy
+//!   comparisons are apples-to-apples. This is the engine the experiments
+//!   use.
+//! * [`live`] — a **real threaded executor**: one thread per borrowed
+//!   workstation, crossbeam channels for the A↔B work/result protocol, an
+//!   owner thread per workstation that reclaims it on schedule, and real
+//!   (synthetic-compute) task execution. This demonstrates the library
+//!   driving actual concurrent workers; the virtual→wall-clock scale is
+//!   configurable.
+//! * [`replicate`] — parallel Monte-Carlo replication of farm simulations
+//!   across seeds (crossbeam scoped threads) with merged summary
+//!   statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod farm;
+pub mod live;
+pub mod replicate;
+
+pub use farm::{Farm, FarmConfig, FarmReport, PolicyKind, WorkstationConfig, WorkstationStats};
+pub use replicate::{replicate_farm, ReplicationReport};

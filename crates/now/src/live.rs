@@ -1,0 +1,218 @@
+//! Live threaded executor: real worker threads, real (synthetic) compute,
+//! real kill semantics.
+//!
+//! The virtual-time simulator ([`crate::farm`]) answers the quantitative
+//! questions; this module demonstrates the library driving an actual
+//! concurrent task farm the way workstation A would:
+//!
+//! * one thread per borrowed workstation, sharing the master's
+//!   [`TaskBag`] behind a [`parking_lot::Mutex`];
+//! * per period: a simulated communication setup delay (`c`), chunk
+//!   check-out, CPU-burning execution of each task, result bank-in;
+//! * an owner "reclaim" deadline per workstation — reaching it mid-chunk
+//!   destroys the chunk (tasks return to the bag), ending that
+//!   workstation's episode. Kills are detected at task boundaries, the
+//!   natural checkpoint granularity of a task farm.
+//!
+//! Virtual time maps to wall-clock time via `time_scale`; tests use
+//! microsecond scales so the suite stays fast.
+
+use cs_core::Schedule;
+use cs_tasks::TaskBag;
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// One live borrowed workstation: the schedule its master-side driver will
+/// attempt, its overhead, and when its owner returns.
+#[derive(Debug, Clone)]
+pub struct LiveWorker {
+    /// Periods to attempt during the episode.
+    pub schedule: Schedule,
+    /// Communication overhead per period, in virtual time units.
+    pub c: f64,
+    /// Owner's return time (virtual units from episode start).
+    pub reclaim_at: f64,
+}
+
+/// Aggregate outcome of a live run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiveOutcome {
+    /// Task time banked across all workers.
+    pub completed_work: f64,
+    /// Task time destroyed by reclamations.
+    pub lost_work: f64,
+    /// Tasks banked.
+    pub tasks_completed: u64,
+    /// Chunks destroyed.
+    pub chunks_lost: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+/// Burns CPU for approximately `d` (spin loop — the synthetic stand-in for
+/// a task's computation).
+fn spin_for(d: Duration) {
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+/// Runs one episode per worker concurrently over the shared bag.
+///
+/// `time_scale` converts virtual time units to wall time (e.g. `50 µs` per
+/// unit in tests). Returns the aggregate outcome; the bag reflects completed
+/// and returned tasks afterwards.
+pub fn run_live(bag: &mut TaskBag, workers: &[LiveWorker], time_scale: Duration) -> LiveOutcome {
+    let start = Instant::now();
+    let shared = Mutex::new(std::mem::take(bag));
+    let scale = |v: f64| time_scale.mul_f64(v.max(0.0));
+    let outcomes: Vec<(f64, f64, u64, u64)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .iter()
+            .map(|w| {
+                let shared = &shared;
+                scope.spawn(move |_| {
+                    let episode_start = Instant::now();
+                    let deadline = episode_start + scale(w.reclaim_at);
+                    let mut completed = 0.0f64;
+                    let mut lost = 0.0f64;
+                    let mut tasks = 0u64;
+                    let mut chunks_lost = 0u64;
+                    'episode: for &t in w.schedule.periods() {
+                        // Communication setup (send work + receive results).
+                        spin_for(scale(w.c));
+                        if Instant::now() >= deadline {
+                            break 'episode;
+                        }
+                        let chunk = {
+                            let mut bag = shared.lock();
+                            cs_tasks::pack_chunk(&mut bag, t, w.c)
+                        };
+                        if chunk.is_empty() {
+                            let drained = shared.lock().is_drained();
+                            if drained {
+                                break 'episode;
+                            }
+                            continue;
+                        }
+                        // Execute task by task; a reclamation mid-chunk
+                        // destroys the whole chunk (draconian kill).
+                        for task in chunk.tasks() {
+                            spin_for(scale(task.duration));
+                            if Instant::now() >= deadline {
+                                lost += chunk.total_duration();
+                                chunks_lost += 1;
+                                shared.lock().abandon(chunk);
+                                break 'episode;
+                            }
+                        }
+                        completed += chunk.total_duration();
+                        tasks += chunk.len() as u64;
+                        shared.lock().complete(chunk);
+                    }
+                    (completed, lost, tasks, chunks_lost)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope panicked");
+    *bag = shared.into_inner();
+    let mut out = LiveOutcome {
+        wall: start.elapsed(),
+        ..Default::default()
+    };
+    for (c, l, t, k) in outcomes {
+        out.completed_work += c;
+        out.lost_work += l;
+        out.tasks_completed += t;
+        out.chunks_lost += k;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_tasks::workloads;
+
+    const SCALE: Duration = Duration::from_micros(40);
+
+    fn sched(v: &[f64]) -> Schedule {
+        Schedule::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn uninterrupted_workers_drain_bag() {
+        let mut bag = workloads::uniform(40, 1.0).unwrap();
+        let workers = vec![
+            LiveWorker {
+                schedule: sched(&[12.0; 4]),
+                c: 1.0,
+                reclaim_at: 1e9,
+            },
+            LiveWorker {
+                schedule: sched(&[12.0; 4]),
+                c: 1.0,
+                reclaim_at: 1e9,
+            },
+        ];
+        let out = run_live(&mut bag, &workers, SCALE);
+        assert_eq!(out.tasks_completed, 40);
+        assert!((out.completed_work - 40.0).abs() < 1e-9);
+        assert_eq!(out.lost_work, 0.0);
+        assert!(bag.is_drained());
+        assert_eq!(bag.completed_count(), 40);
+    }
+
+    #[test]
+    fn early_reclaim_destroys_in_flight_chunk() {
+        let mut bag = workloads::uniform(100, 2.0).unwrap();
+        // One worker, reclaimed partway through its first long chunk.
+        let workers = vec![LiveWorker {
+            schedule: sched(&[60.0]),
+            c: 1.0,
+            reclaim_at: 20.0,
+        }];
+        let out = run_live(&mut bag, &workers, SCALE);
+        assert_eq!(out.tasks_completed, 0);
+        assert!(out.lost_work > 0.0);
+        assert_eq!(out.chunks_lost, 1);
+        // All tasks are back in the bag.
+        assert_eq!(bag.pending_count(), 100);
+    }
+
+    #[test]
+    fn work_conservation_under_mixed_outcomes() {
+        let mut bag = workloads::uniform(60, 1.0).unwrap();
+        let workers = vec![
+            LiveWorker {
+                schedule: sched(&[10.0; 6]),
+                c: 1.0,
+                reclaim_at: 25.0,
+            },
+            LiveWorker {
+                schedule: sched(&[10.0; 6]),
+                c: 1.0,
+                reclaim_at: 1e9,
+            },
+        ];
+        let out = run_live(&mut bag, &workers, SCALE);
+        let banked = bag.completed_work();
+        let pending = bag.pending_work();
+        assert!((banked + pending - 60.0).abs() < 1e-9);
+        assert!((out.completed_work - banked).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_worker_list_is_noop() {
+        let mut bag = workloads::uniform(5, 1.0).unwrap();
+        let out = run_live(&mut bag, &[], SCALE);
+        assert_eq!(out.tasks_completed, 0);
+        assert_eq!(bag.pending_count(), 5);
+    }
+}

@@ -1,0 +1,67 @@
+//! Finite-difference differentiation, used to validate the analytic
+//! derivatives of life functions and in tests of the guideline recurrence.
+
+/// Central-difference first derivative with step `h`.
+///
+/// Error is `O(h²)` for smooth `f`; `h ≈ 1e-6·max(1, |x|)` is a good default.
+#[inline]
+pub fn central(f: impl Fn(f64) -> f64, x: f64, h: f64) -> f64 {
+    (f(x + h) - f(x - h)) / (2.0 * h)
+}
+
+/// One-sided forward difference, for points on a domain boundary.
+#[inline]
+pub fn forward(f: impl Fn(f64) -> f64, x: f64, h: f64) -> f64 {
+    (f(x + h) - f(x)) / h
+}
+
+/// One-sided backward difference, for points on a domain boundary.
+#[inline]
+pub fn backward(f: impl Fn(f64) -> f64, x: f64, h: f64) -> f64 {
+    (f(x) - f(x - h)) / h
+}
+
+/// Central-difference second derivative; used to probe concavity/convexity
+/// of life functions in property tests.
+#[inline]
+pub fn second_central(f: impl Fn(f64) -> f64, x: f64, h: f64) -> f64 {
+    (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h)
+}
+
+/// A reasonable step size for differentiating near `x`.
+#[inline]
+pub fn default_step(x: f64) -> f64 {
+    1e-6 * x.abs().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn central_on_sin() {
+        let d = central(|x| x.sin(), 1.0, 1e-6);
+        assert!(approx_eq(d, 1.0_f64.cos(), 1e-8));
+    }
+
+    #[test]
+    fn forward_backward_on_linear() {
+        assert!(approx_eq(forward(|x| 3.0 * x, 0.0, 1e-6), 3.0, 1e-8));
+        assert!(approx_eq(backward(|x| 3.0 * x, 1.0, 1e-6), 3.0, 1e-8));
+    }
+
+    #[test]
+    fn second_derivative_sign_detects_shape() {
+        // Concave: -x² has negative second derivative.
+        assert!(second_central(|x| -x * x, 1.0, 1e-4) < 0.0);
+        // Convex: e^x has positive second derivative.
+        assert!(second_central(|x| x.exp(), 1.0, 1e-4) > 0.0);
+    }
+
+    #[test]
+    fn default_step_scales() {
+        assert!(approx_eq(default_step(0.0), 1e-6, 1e-18));
+        assert!(approx_eq(default_step(1e6), 1.0, 1e-9));
+    }
+}

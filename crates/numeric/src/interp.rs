@@ -1,0 +1,310 @@
+//! Piecewise-linear and monotone-cubic (Fritsch–Carlson / PCHIP)
+//! interpolation.
+//!
+//! Empirical life functions estimated from traces are decreasing step
+//! functions; the paper requires differentiable, "well-behaved" curves. The
+//! monotone cubic interpolant preserves monotonicity (so the interpolated
+//! survival function is still a survival function) while providing a
+//! continuous derivative for the guideline recurrence.
+
+use crate::{NumericError, Result};
+
+/// Validates that `xs` is strictly increasing and the two slices match in
+/// length (≥ 2 points).
+fn validate(xs: &[f64], ys: &[f64]) -> Result<()> {
+    if xs.len() != ys.len() {
+        return Err(NumericError::InvalidArgument(
+            "interp: xs/ys length mismatch",
+        ));
+    }
+    if xs.len() < 2 {
+        return Err(NumericError::InvalidArgument(
+            "interp: need at least 2 points",
+        ));
+    }
+    if xs.windows(2).any(|w| !(w[0] < w[1])) {
+        return Err(NumericError::InvalidArgument(
+            "interp: xs must be strictly increasing",
+        ));
+    }
+    if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+        return Err(NumericError::InvalidArgument("interp: non-finite data"));
+    }
+    Ok(())
+}
+
+/// Locates the cell index `i` with `xs[i] <= x < xs[i+1]` (clamped to the
+/// first/last cell for out-of-range `x`).
+fn locate(xs: &[f64], x: f64) -> usize {
+    if x <= xs[0] {
+        return 0;
+    }
+    let n = xs.len();
+    if x >= xs[n - 1] {
+        return n - 2;
+    }
+    // Binary search for the containing cell.
+    let mut lo = 0usize;
+    let mut hi = n - 1;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if xs[mid] <= x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Piecewise-linear interpolant over `(xs, ys)`.
+///
+/// Evaluation clamps to the boundary values outside the data range.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl Linear {
+    /// Builds a linear interpolant; `xs` must be strictly increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        validate(&xs, &ys)?;
+        Ok(Self { xs, ys })
+    }
+
+    /// Evaluates the interpolant at `x` (clamped outside the range).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let i = locate(&self.xs, x);
+        let w = (x - self.xs[i]) / (self.xs[i + 1] - self.xs[i]);
+        self.ys[i] + w * (self.ys[i + 1] - self.ys[i])
+    }
+
+    /// Piecewise-constant derivative (one-sided at knots, zero outside).
+    pub fn deriv(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x < self.xs[0] || x > self.xs[n - 1] {
+            return 0.0;
+        }
+        let i = locate(&self.xs, x);
+        (self.ys[i + 1] - self.ys[i]) / (self.xs[i + 1] - self.xs[i])
+    }
+
+    /// The abscissa range covered by the data.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().unwrap())
+    }
+}
+
+/// Monotone cubic Hermite interpolant (Fritsch–Carlson, a.k.a. PCHIP).
+///
+/// If the data is monotone, the interpolant is monotone on every cell and has
+/// a continuous first derivative — exactly the smoothness the paper's
+/// "well-behaved life function" idealization asks of trace-estimated curves.
+#[derive(Debug, Clone)]
+pub struct MonotoneCubic {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Knot derivatives after Fritsch–Carlson limiting.
+    ms: Vec<f64>,
+}
+
+impl MonotoneCubic {
+    /// Builds the interpolant; `xs` must be strictly increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        validate(&xs, &ys)?;
+        let n = xs.len();
+        // Secant slopes.
+        let mut d = vec![0.0f64; n - 1];
+        for i in 0..n - 1 {
+            d[i] = (ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i]);
+        }
+        // Initial knot derivatives: average of adjacent secants.
+        let mut ms = vec![0.0f64; n];
+        ms[0] = d[0];
+        ms[n - 1] = d[n - 2];
+        for i in 1..n - 1 {
+            ms[i] = if d[i - 1] * d[i] <= 0.0 {
+                0.0
+            } else {
+                0.5 * (d[i - 1] + d[i])
+            };
+        }
+        // Fritsch–Carlson limiting to guarantee monotonicity per cell.
+        for i in 0..n - 1 {
+            if d[i] == 0.0 {
+                ms[i] = 0.0;
+                ms[i + 1] = 0.0;
+                continue;
+            }
+            let a = ms[i] / d[i];
+            let b = ms[i + 1] / d[i];
+            let s = a * a + b * b;
+            if s > 9.0 {
+                let tau = 3.0 / s.sqrt();
+                ms[i] = tau * a * d[i];
+                ms[i + 1] = tau * b * d[i];
+            }
+        }
+        Ok(Self { xs, ys, ms })
+    }
+
+    /// Evaluates the interpolant at `x` (clamped outside the range).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let i = locate(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = (x - self.xs[i]) / h;
+        let (t2, t3) = (t * t, t * t * t);
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * self.ys[i] + h10 * h * self.ms[i] + h01 * self.ys[i + 1] + h11 * h * self.ms[i + 1]
+    }
+
+    /// Derivative of the interpolant at `x` (zero outside the range).
+    pub fn deriv(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x < self.xs[0] || x > self.xs[n - 1] {
+            return 0.0;
+        }
+        let i = locate(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = ((x - self.xs[i]) / h).clamp(0.0, 1.0);
+        let t2 = t * t;
+        let dh00 = (6.0 * t2 - 6.0 * t) / h;
+        let dh10 = (3.0 * t2 - 4.0 * t + 1.0) / h;
+        let dh01 = (-6.0 * t2 + 6.0 * t) / h;
+        let dh11 = (3.0 * t2 - 2.0 * t) / h;
+        dh00 * self.ys[i]
+            + dh10 * h * self.ms[i]
+            + dh01 * self.ys[i + 1]
+            + dh11 * h * self.ms[i + 1]
+    }
+
+    /// The abscissa range covered by the data.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_interpolates_exactly_at_knots() {
+        let li = Linear::new(vec![0.0, 1.0, 3.0], vec![1.0, 0.5, 0.0]).unwrap();
+        assert_eq!(li.eval(0.0), 1.0);
+        assert_eq!(li.eval(1.0), 0.5);
+        assert_eq!(li.eval(3.0), 0.0);
+        assert!(approx_eq(li.eval(2.0), 0.25, 1e-12));
+    }
+
+    #[test]
+    fn linear_clamps_out_of_range() {
+        let li = Linear::new(vec![0.0, 1.0], vec![1.0, 0.0]).unwrap();
+        assert_eq!(li.eval(-5.0), 1.0);
+        assert_eq!(li.eval(5.0), 0.0);
+    }
+
+    #[test]
+    fn linear_derivative_is_secant_slope() {
+        let li = Linear::new(vec![0.0, 2.0], vec![1.0, 0.0]).unwrap();
+        assert!(approx_eq(li.deriv(1.0), -0.5, 1e-12));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Linear::new(vec![0.0], vec![1.0]).is_err());
+        assert!(Linear::new(vec![0.0, 0.0], vec![1.0, 0.0]).is_err());
+        assert!(Linear::new(vec![0.0, 1.0], vec![1.0]).is_err());
+        assert!(MonotoneCubic::new(vec![1.0, 0.0], vec![0.0, 1.0]).is_err());
+        assert!(MonotoneCubic::new(vec![0.0, f64::NAN], vec![0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn cubic_reproduces_knots() {
+        let xs = vec![0.0, 1.0, 2.0, 4.0];
+        let ys = vec![1.0, 0.7, 0.2, 0.0];
+        let mc = MonotoneCubic::new(xs.clone(), ys.clone()).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert!(approx_eq(mc.eval(*x), *y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn cubic_is_monotone_on_decreasing_data() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..20).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mc = MonotoneCubic::new(xs, ys).unwrap();
+        let mut prev = f64::INFINITY;
+        for i in 0..1000 {
+            let x = 19.0 * i as f64 / 999.0;
+            let v = mc.eval(x);
+            assert!(v <= prev + 1e-12, "not monotone at x = {x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn cubic_derivative_matches_finite_difference() {
+        let xs = vec![0.0, 1.0, 2.0, 3.0, 5.0];
+        let ys = vec![1.0, 0.8, 0.5, 0.3, 0.0];
+        let mc = MonotoneCubic::new(xs, ys).unwrap();
+        for &x in &[0.5, 1.5, 2.5, 4.0] {
+            let h = 1e-6;
+            let fd = (mc.eval(x + h) - mc.eval(x - h)) / (2.0 * h);
+            assert!(approx_eq(mc.deriv(x), fd, 1e-5), "at x = {x}");
+        }
+    }
+
+    #[test]
+    fn cubic_flat_segment_has_zero_derivative() {
+        let mc = MonotoneCubic::new(vec![0.0, 1.0, 2.0, 3.0], vec![1.0, 0.5, 0.5, 0.0]).unwrap();
+        assert!(mc.eval(1.5) <= 0.5 + 1e-12);
+        assert!(mc.eval(1.5) >= 0.5 - 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cubic_monotone_preserving(ys in proptest::collection::vec(0.0f64..1.0, 3..12)) {
+            // Sort descending to build a decreasing dataset.
+            let mut ys = ys;
+            ys.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+            let hi = *xs.last().unwrap();
+            let mc = MonotoneCubic::new(xs, ys).unwrap();
+            let mut prev = f64::INFINITY;
+            for i in 0..200 {
+                let x = hi * i as f64 / 199.0;
+                let v = mc.eval(x);
+                prop_assert!(v <= prev + 1e-9);
+                prev = v;
+            }
+        }
+
+        #[test]
+        fn prop_linear_between_knot_values(x in 0.0f64..10.0) {
+            let li = Linear::new(vec![0.0, 10.0], vec![1.0, 0.0]).unwrap();
+            let v = li.eval(x);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! # cs-numeric
+//!
+//! A small, self-contained numerics substrate for the `cycle-steal`
+//! workspace.
+//!
+//! The reproduction deliberately avoids external numerics crates (the paper's
+//! mathematics only needs robust scalar routines), so this crate provides:
+//!
+//! * **Root finding** ([`roots`]) — bracketing, bisection, Brent's method,
+//!   and safeguarded Newton iteration.
+//! * **1-D maximization** ([`optimize`]) — golden-section search and
+//!   grid-scan-plus-refine for multimodal objectives.
+//! * **Monotone interpolation** ([`interp`]) — piecewise-linear and
+//!   Fritsch–Carlson monotone cubic (PCHIP) interpolants, used to turn
+//!   empirical survival samples into smooth life functions.
+//! * **Quadrature** ([`quad`]) — trapezoid and adaptive Simpson integration.
+//! * **Regression** ([`regress`]) — ordinary least squares for line and
+//!   low-degree polynomial fits (trace → parametric life-function fitting).
+//! * **Differentiation** ([`diff`]) — central finite differences for
+//!   validating analytic derivatives.
+//!
+//! All routines are allocation-free in their hot loops and operate on `f64`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(a < b)`-style comparisons are deliberate throughout: they treat NaN as
+// "invalid input" and route it to the error path, which `partial_cmp`
+// rewrites would obscure.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod diff;
+pub mod interp;
+pub mod optimize;
+pub mod quad;
+pub mod regress;
+pub mod roots;
+
+/// Default absolute tolerance used across the workspace when none is given.
+pub const DEFAULT_TOL: f64 = 1e-10;
+
+/// Default iteration cap for iterative scalar methods.
+pub const DEFAULT_MAX_ITER: usize = 200;
+
+/// Errors produced by the numeric routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericError {
+    /// The supplied interval does not bracket a root (no sign change).
+    NoBracket {
+        /// Left endpoint of the attempted bracket.
+        lo: f64,
+        /// Right endpoint of the attempted bracket.
+        hi: f64,
+    },
+    /// The iteration failed to converge within the iteration budget.
+    NoConvergence {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Best estimate at the point of failure.
+        best: f64,
+    },
+    /// An argument was invalid (NaN bounds, empty data, inverted interval…).
+    InvalidArgument(&'static str),
+}
+
+impl std::fmt::Display for NumericError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NumericError::NoBracket { lo, hi } => {
+                write!(f, "interval [{lo}, {hi}] does not bracket a root")
+            }
+            NumericError::NoConvergence { iterations, best } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (best = {best})"
+                )
+            }
+            NumericError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+/// Convenience alias for results of numeric routines.
+pub type Result<T> = std::result::Result<T, NumericError>;
+
+/// Returns true when `a` and `b` agree to within `tol` absolutely or
+/// `tol`-relative to the larger magnitude.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-10));
+        assert!(!approx_eq(1.0, 1.1, 1e-10));
+    }
+
+    #[test]
+    fn approx_eq_relative() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-10));
+        assert!(!approx_eq(1e12, 1.01e12, 1e-10));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = NumericError::NoBracket { lo: 0.0, hi: 1.0 };
+        assert!(e.to_string().contains("does not bracket"));
+        let e = NumericError::NoConvergence {
+            iterations: 7,
+            best: 0.5,
+        };
+        assert!(e.to_string().contains("7 iterations"));
+        let e = NumericError::InvalidArgument("nope");
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,192 @@
+//! 1-D maximization: golden-section search for unimodal objectives and a
+//! grid-scan-plus-refine strategy for objectives that may be multimodal
+//! (e.g. expected work as a function of the initial period length `t_0`).
+
+use crate::{NumericError, Result, DEFAULT_MAX_ITER};
+
+const INV_PHI: f64 = 0.618_033_988_749_894_9; // (sqrt(5) - 1) / 2
+
+/// Result of a 1-D maximization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Maximum {
+    /// Abscissa of the maximum.
+    pub x: f64,
+    /// Objective value at [`Maximum::x`].
+    pub value: f64,
+}
+
+/// Golden-section search for the maximum of a **unimodal** `f` on `[lo, hi]`.
+///
+/// Terminates when the interval shrinks below `tol` (abscissa accuracy).
+/// On non-unimodal objectives it converges to *some* local maximum.
+pub fn golden_section_max(f: impl Fn(f64) -> f64, lo: f64, hi: f64, tol: f64) -> Result<Maximum> {
+    if !(lo <= hi) || lo.is_nan() || hi.is_nan() {
+        return Err(NumericError::InvalidArgument(
+            "golden_section_max: invalid interval",
+        ));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..DEFAULT_MAX_ITER {
+        if (b - a).abs() <= tol {
+            break;
+        }
+        if fc >= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    Ok(Maximum { x, value: f(x) })
+}
+
+/// Maximizes a possibly **multimodal** `f` on `[lo, hi]`: scans `n` evenly
+/// spaced points, then refines around the best sample with golden-section
+/// search on the two neighbouring cells.
+///
+/// With `n` large enough to separate the modes this finds the global maximum
+/// to abscissa accuracy `tol`.
+pub fn grid_refine_max(
+    f: impl Fn(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    n: usize,
+    tol: f64,
+) -> Result<Maximum> {
+    if n < 2 {
+        return Err(NumericError::InvalidArgument(
+            "grid_refine_max: need n >= 2",
+        ));
+    }
+    if !(lo <= hi) || lo.is_nan() || hi.is_nan() {
+        return Err(NumericError::InvalidArgument(
+            "grid_refine_max: invalid interval",
+        ));
+    }
+    if lo == hi {
+        return Ok(Maximum {
+            x: lo,
+            value: f(lo),
+        });
+    }
+    let step = (hi - lo) / (n - 1) as f64;
+    let mut best_i = 0usize;
+    let mut best_v = f64::NEG_INFINITY;
+    for i in 0..n {
+        let x = lo + step * i as f64;
+        let v = f(x);
+        if v > best_v {
+            best_v = v;
+            best_i = i;
+        }
+    }
+    let a = lo + step * best_i.saturating_sub(1) as f64;
+    let b = (lo + step * (best_i + 1) as f64).min(hi);
+    let refined = golden_section_max(&f, a, b, tol)?;
+    // The refinement can only improve on the best grid sample; keep whichever
+    // is larger to be safe against plateaus at cell edges.
+    if refined.value >= best_v {
+        Ok(refined)
+    } else {
+        Ok(Maximum {
+            x: lo + step * best_i as f64,
+            value: best_v,
+        })
+    }
+}
+
+/// Returns the maximizer of `f` over the discrete candidate set.
+///
+/// Useful for comparing a finite family of schedules. Returns an error on an
+/// empty candidate slice.
+pub fn argmax_discrete(f: impl Fn(f64) -> f64, candidates: &[f64]) -> Result<Maximum> {
+    let mut best: Option<Maximum> = None;
+    for &x in candidates {
+        let value = f(x);
+        if best.is_none_or(|b| value > b.value) {
+            best = Some(Maximum { x, value });
+        }
+    }
+    best.ok_or(NumericError::InvalidArgument(
+        "argmax_discrete: empty candidate set",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn golden_finds_parabola_peak() {
+        let m = golden_section_max(|x| -(x - 2.0) * (x - 2.0) + 5.0, 0.0, 4.0, 1e-10).unwrap();
+        assert!(approx_eq(m.x, 2.0, 1e-7));
+        assert!(approx_eq(m.value, 5.0, 1e-10));
+    }
+
+    #[test]
+    fn golden_peak_at_boundary() {
+        let m = golden_section_max(|x| x, 0.0, 1.0, 1e-10).unwrap();
+        assert!(m.x > 0.999);
+    }
+
+    #[test]
+    fn golden_degenerate_interval() {
+        let m = golden_section_max(|x| x * x, 3.0, 3.0, 1e-10).unwrap();
+        assert_eq!(m.x, 3.0);
+        assert_eq!(m.value, 9.0);
+    }
+
+    #[test]
+    fn grid_refine_finds_global_max_of_bimodal() {
+        // Two peaks: at x=1 (height 1) and x=4 (height 2).
+        let f = |x: f64| (-(x - 1.0).powi(2)).exp() + 2.0 * (-(x - 4.0).powi(2)).exp();
+        let m = grid_refine_max(f, 0.0, 6.0, 200, 1e-10).unwrap();
+        assert!(approx_eq(m.x, 4.0, 1e-4), "x = {}", m.x);
+    }
+
+    #[test]
+    fn grid_refine_single_point_interval() {
+        let m = grid_refine_max(|x| x, 2.0, 2.0, 10, 1e-10).unwrap();
+        assert_eq!(m.x, 2.0);
+    }
+
+    #[test]
+    fn grid_refine_rejects_tiny_n() {
+        assert!(grid_refine_max(|x| x, 0.0, 1.0, 1, 1e-10).is_err());
+    }
+
+    #[test]
+    fn argmax_discrete_picks_best() {
+        let m = argmax_discrete(|x| -(x - 3.0).abs(), &[0.0, 1.0, 2.5, 3.5, 10.0]).unwrap();
+        assert!(m.x == 2.5 || m.x == 3.5);
+    }
+
+    #[test]
+    fn argmax_discrete_empty_errors() {
+        assert!(argmax_discrete(|x| x, &[]).is_err());
+    }
+
+    #[test]
+    fn golden_on_expected_work_shape() {
+        // (t - c) * (1 - t/L): the one-period expected-work objective for the
+        // uniform-risk life function. Peak at t = (L + c) / 2.
+        let c = 2.0;
+        let l = 100.0;
+        let m = golden_section_max(|t| (t - c) * (1.0 - t / l), c, l, 1e-10).unwrap();
+        assert!(approx_eq(m.x, (l + c) / 2.0, 1e-6));
+    }
+}

@@ -1,0 +1,117 @@
+//! Numerical quadrature: composite trapezoid and adaptive Simpson.
+//!
+//! Used to compute mean reclamation times (`∫ p(t) dt`) and to cross-check
+//! expected-work integrals in the experiment harnesses.
+
+use crate::{NumericError, Result};
+
+/// Composite trapezoid rule with `n` uniform panels.
+pub fn trapezoid(f: impl Fn(f64) -> f64, lo: f64, hi: f64, n: usize) -> Result<f64> {
+    if n == 0 {
+        return Err(NumericError::InvalidArgument("trapezoid: need n >= 1"));
+    }
+    if !(lo <= hi) {
+        return Err(NumericError::InvalidArgument("trapezoid: invalid interval"));
+    }
+    let h = (hi - lo) / n as f64;
+    let mut acc = 0.5 * (f(lo) + f(hi));
+    for i in 1..n {
+        acc += f(lo + h * i as f64);
+    }
+    Ok(acc * h)
+}
+
+/// Adaptive Simpson quadrature to absolute tolerance `tol`.
+///
+/// Recursion depth is bounded; on hitting the bound the current Simpson
+/// estimate is accepted (graceful degradation rather than stack overflow).
+pub fn adaptive_simpson(f: impl Fn(f64) -> f64, lo: f64, hi: f64, tol: f64) -> Result<f64> {
+    if !(lo <= hi) {
+        return Err(NumericError::InvalidArgument(
+            "adaptive_simpson: invalid interval",
+        ));
+    }
+    if lo == hi {
+        return Ok(0.0);
+    }
+    fn simpson(f: &impl Fn(f64) -> f64, a: f64, fa: f64, b: f64, fb: f64) -> (f64, f64, f64) {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        ((b - a) / 6.0 * (fa + 4.0 * fm + fb), m, fm)
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        f: &impl Fn(f64) -> f64,
+        a: f64,
+        fa: f64,
+        b: f64,
+        fb: f64,
+        whole: f64,
+        m: f64,
+        fm: f64,
+        tol: f64,
+        depth: usize,
+    ) -> f64 {
+        let (left, lm, flm) = simpson(f, a, fa, m, fm);
+        let (right, rm, frm) = simpson(f, m, fm, b, fb);
+        let delta = left + right - whole;
+        if depth == 0 || delta.abs() <= 15.0 * tol {
+            return left + right + delta / 15.0;
+        }
+        recurse(f, a, fa, m, fm, left, lm, flm, 0.5 * tol, depth - 1)
+            + recurse(f, m, fm, b, fb, right, rm, frm, 0.5 * tol, depth - 1)
+    }
+    let fa = f(lo);
+    let fb = f(hi);
+    let (whole, m, fm) = simpson(&f, lo, fa, hi, fb);
+    Ok(recurse(&f, lo, fa, hi, fb, whole, m, fm, tol, 48))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn trapezoid_linear_exact() {
+        let v = trapezoid(|x| 2.0 * x + 1.0, 0.0, 4.0, 1).unwrap();
+        assert!(approx_eq(v, 20.0, 1e-12));
+    }
+
+    #[test]
+    fn trapezoid_quadratic_converges() {
+        let v = trapezoid(|x| x * x, 0.0, 1.0, 10_000).unwrap();
+        assert!(approx_eq(v, 1.0 / 3.0, 1e-7));
+    }
+
+    #[test]
+    fn trapezoid_rejects_zero_panels() {
+        assert!(trapezoid(|x| x, 0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn simpson_polynomial_exact() {
+        // Simpson is exact on cubics.
+        let v = adaptive_simpson(|x| x * x * x - x, 0.0, 2.0, 1e-12).unwrap();
+        assert!(approx_eq(v, 2.0, 1e-10));
+    }
+
+    #[test]
+    fn simpson_exponential() {
+        let v = adaptive_simpson(|x| (-x).exp(), 0.0, 10.0, 1e-12).unwrap();
+        assert!(approx_eq(v, 1.0 - (-10.0f64).exp(), 1e-9));
+    }
+
+    #[test]
+    fn simpson_empty_interval() {
+        assert_eq!(adaptive_simpson(|x| x, 1.0, 1.0, 1e-9).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn simpson_mean_lifetime_of_uniform_survival() {
+        // ∫0^L (1 - t/L) dt = L/2: the mean reclamation time for uniform risk.
+        let l = 37.0;
+        let v = adaptive_simpson(|t| 1.0 - t / l, 0.0, l, 1e-12).unwrap();
+        assert!(approx_eq(v, l / 2.0, 1e-9));
+    }
+}

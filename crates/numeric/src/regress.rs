@@ -1,0 +1,218 @@
+//! Ordinary least squares: line fits and low-degree polynomial fits via
+//! normal equations with partial-pivot Gaussian elimination.
+//!
+//! `cs-trace` uses these to fit parametric life-function families to
+//! empirical survival data (e.g. `ln p(t) = −t ln a` for the
+//! geometric-decreasing family).
+
+use crate::{NumericError, Result};
+
+/// A fitted line `y = slope * x + intercept` with its coefficient of
+/// determination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination R² (1 = perfect fit).
+    pub r2: f64,
+}
+
+/// Fits `y = slope·x + intercept` by ordinary least squares.
+pub fn fit_line(xs: &[f64], ys: &[f64]) -> Result<LineFit> {
+    if xs.len() != ys.len() {
+        return Err(NumericError::InvalidArgument("fit_line: length mismatch"));
+    }
+    let n = xs.len();
+    if n < 2 {
+        return Err(NumericError::InvalidArgument(
+            "fit_line: need at least 2 points",
+        ));
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mean_x;
+        let dy = ys[i] - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(NumericError::InvalidArgument("fit_line: degenerate x data"));
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Ok(LineFit {
+        slope,
+        intercept,
+        r2,
+    })
+}
+
+/// Fits a degree-`deg` polynomial `y = Σ coeffs[k] x^k` by least squares.
+///
+/// Returns coefficients in ascending-power order. Solves the normal
+/// equations with partial-pivot Gaussian elimination; `deg` is expected to
+/// be small (≤ ~8) which is all the trace-fitting code needs.
+pub fn fit_polynomial(xs: &[f64], ys: &[f64], deg: usize) -> Result<Vec<f64>> {
+    if xs.len() != ys.len() {
+        return Err(NumericError::InvalidArgument(
+            "fit_polynomial: length mismatch",
+        ));
+    }
+    let m = deg + 1;
+    if xs.len() < m {
+        return Err(NumericError::InvalidArgument(
+            "fit_polynomial: underdetermined",
+        ));
+    }
+    // Normal equations A^T A c = A^T y with A the Vandermonde matrix.
+    // power_sums[k] = Σ x^k for k in 0..=2*deg; rhs[k] = Σ y x^k.
+    let mut power_sums = vec![0.0f64; 2 * deg + 1];
+    let mut rhs = vec![0.0f64; m];
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        let mut xp = 1.0;
+        for (k, ps) in power_sums.iter_mut().enumerate() {
+            *ps += xp;
+            if k < m {
+                rhs[k] += y * xp;
+            }
+            xp *= x;
+        }
+    }
+    let mut a = vec![vec![0.0f64; m]; m];
+    for (r, row) in a.iter_mut().enumerate() {
+        for (cidx, cell) in row.iter_mut().enumerate() {
+            *cell = power_sums[r + cidx];
+        }
+    }
+    solve_linear(&mut a, &mut rhs)?;
+    Ok(rhs)
+}
+
+/// Evaluates a polynomial with ascending-power `coeffs` at `x` (Horner).
+pub fn eval_polynomial(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// Solves `A x = b` in place by Gaussian elimination with partial pivoting.
+/// On success `b` holds the solution.
+// Index loops mirror the textbook elimination; iterator rewrites obscure the
+// simultaneous row access.
+#[allow(clippy::needless_range_loop)]
+fn solve_linear(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<()> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let mut piv = col;
+        for r in col + 1..n {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        if a[piv][col].abs() < 1e-300 {
+            return Err(NumericError::InvalidArgument(
+                "solve_linear: singular matrix",
+            ));
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        for r in col + 1..n {
+            let factor = a[r][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[r][k] -= factor * a[col][k];
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * b[k];
+        }
+        b[col] = acc / a[col][col];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn line_fit_exact() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let f = fit_line(&xs, &ys).unwrap();
+        assert!(approx_eq(f.slope, 2.0, 1e-12));
+        assert!(approx_eq(f.intercept, 1.0, 1e-12));
+        assert!(approx_eq(f.r2, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn line_fit_noisy_r2_below_one() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.1, 0.9, 2.2, 2.8, 4.1];
+        let f = fit_line(&xs, &ys).unwrap();
+        assert!(f.r2 > 0.95 && f.r2 < 1.0);
+        assert!((f.slope - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn line_fit_rejects_degenerate() {
+        assert!(fit_line(&[1.0, 1.0], &[0.0, 1.0]).is_err());
+        assert!(fit_line(&[1.0], &[0.0]).is_err());
+        assert!(fit_line(&[1.0, 2.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn poly_fit_recovers_quadratic() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 / 4.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 - 0.5 * x + 0.25 * x * x).collect();
+        let c = fit_polynomial(&xs, &ys, 2).unwrap();
+        assert!(approx_eq(c[0], 2.0, 1e-8));
+        assert!(approx_eq(c[1], -0.5, 1e-8));
+        assert!(approx_eq(c[2], 0.25, 1e-8));
+    }
+
+    #[test]
+    fn poly_fit_underdetermined_errors() {
+        assert!(fit_polynomial(&[0.0, 1.0], &[0.0, 1.0], 2).is_err());
+    }
+
+    #[test]
+    fn eval_polynomial_horner() {
+        // 1 + 2x + 3x^2 at x = 2 → 17.
+        assert!(approx_eq(
+            eval_polynomial(&[1.0, 2.0, 3.0], 2.0),
+            17.0,
+            1e-12
+        ));
+        assert_eq!(eval_polynomial(&[], 5.0), 0.0);
+    }
+
+    #[test]
+    fn geometric_family_loglinear_fit() {
+        // ln p(t) = -t ln a: fitting log-survival recovers the risk factor.
+        let a: f64 = 3.0;
+        let xs: Vec<f64> = (1..50).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&t| (-t * a.ln()).exp().ln()).collect();
+        let f = fit_line(&xs, &ys).unwrap();
+        assert!(approx_eq((-f.slope).exp(), a, 1e-9));
+    }
+}

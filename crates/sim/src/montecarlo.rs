@@ -1,0 +1,243 @@
+//! Monte-Carlo estimation of an episode's expected work.
+//!
+//! Reclamation times are drawn from the life function by inverse transform
+//! (`P(R > t) = p(t)` ⇒ `R = p⁻¹(U)`); each trial runs one episode with the
+//! §2.1 kill semantics. The sample mean converges to the analytic `E(S; p)`
+//! of eq (2.1) — the model-validation experiment `exp_sim_validate`.
+//!
+//! The parallel driver shards trials over crossbeam scoped threads. Each
+//! shard gets an independent deterministic RNG seeded by SplitMix64 from the
+//! master seed, so results are reproducible regardless of thread count.
+
+use crate::episode::run_episode;
+use crate::stats::Summary;
+use cs_core::Schedule;
+use cs_life::LifeFunction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a Monte-Carlo run.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarlo {
+    /// Summary of per-episode banked work.
+    pub work: Summary,
+    /// Fraction of episodes interrupted mid-schedule.
+    pub interrupted_fraction: f64,
+    /// Mean number of completed periods.
+    pub mean_periods: f64,
+}
+
+/// SplitMix64 step, used to derive independent shard seeds from one master
+/// seed (Steele et al., "Fast splittable pseudorandom number generators").
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn run_trials(
+    schedule: &Schedule,
+    p: &dyn LifeFunction,
+    c: f64,
+    trials: u64,
+    seed: u64,
+) -> (Summary, u64, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut work = Summary::new();
+    let mut interrupted = 0u64;
+    let mut periods = 0u64;
+    for _ in 0..trials {
+        let u = rng.random::<f64>().clamp(1e-15, 1.0 - 1e-15);
+        let r = p.inverse_survival(u);
+        let out = run_episode(schedule, c, r);
+        work.push(out.work);
+        if out.interrupted {
+            interrupted += 1;
+        }
+        periods += out.periods_completed as u64;
+    }
+    (work, interrupted, periods)
+}
+
+/// Serial Monte-Carlo estimate of `E[work]` for `schedule` under `p`.
+/// # Examples
+///
+/// ```
+/// use cs_core::Schedule;
+/// use cs_life::Uniform;
+/// use cs_sim::simulate_expected_work;
+/// let p = Uniform::new(100.0).unwrap();
+/// let s = Schedule::new(vec![30.0, 20.0]).unwrap();
+/// let mc = simulate_expected_work(&s, &p, 2.0, 10_000, 42);
+/// let analytic = s.expected_work(&p, 2.0);
+/// assert!((mc.work.mean() - analytic).abs() < 5.0 * mc.work.std_error());
+/// ```
+pub fn simulate_expected_work(
+    schedule: &Schedule,
+    p: &dyn LifeFunction,
+    c: f64,
+    trials: u64,
+    seed: u64,
+) -> MonteCarlo {
+    let (work, interrupted, periods) = run_trials(schedule, p, c, trials, seed);
+    MonteCarlo {
+        work,
+        interrupted_fraction: interrupted as f64 / trials.max(1) as f64,
+        mean_periods: periods as f64 / trials.max(1) as f64,
+    }
+}
+
+/// Parallel Monte-Carlo estimate: trials are sharded across `threads`
+/// crossbeam scoped threads with independent SplitMix64-derived seeds, and
+/// the per-shard summaries are merged exactly.
+///
+/// Reproducible for a fixed `(seed, threads)` pair.
+pub fn simulate_expected_work_parallel(
+    schedule: &Schedule,
+    p: &dyn LifeFunction,
+    c: f64,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> MonteCarlo {
+    let threads = threads.max(1);
+    if threads == 1 || trials < 2 {
+        return simulate_expected_work(schedule, p, c, trials, seed);
+    }
+    let mut seed_state = seed;
+    let shard_seeds: Vec<u64> = (0..threads).map(|_| splitmix64(&mut seed_state)).collect();
+    let base = trials / threads as u64;
+    let remainder = trials % threads as u64;
+    let results: Vec<(Summary, u64, u64)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = shard_seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &shard_seed)| {
+                let shard_trials = base + u64::from((i as u64) < remainder);
+                scope.spawn(move |_| run_trials(schedule, p, c, shard_trials, shard_seed))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard panicked"))
+            .collect()
+    })
+    .expect("scope panicked");
+    let mut work = Summary::new();
+    let mut interrupted = 0u64;
+    let mut periods = 0u64;
+    for (w, i, m) in results {
+        work.merge(&w);
+        interrupted += i;
+        periods += m;
+    }
+    MonteCarlo {
+        work,
+        interrupted_fraction: interrupted as f64 / trials.max(1) as f64,
+        mean_periods: periods as f64 / trials.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_life::{GeometricDecreasing, GeometricIncreasing, Polynomial, Uniform};
+
+    fn sched(v: &[f64]) -> Schedule {
+        Schedule::new(v.to_vec()).unwrap()
+    }
+
+    /// The Monte-Carlo mean must match E(S;p) within ~4 standard errors.
+    fn assert_matches_analytic(p: &dyn LifeFunction, s: &Schedule, c: f64) {
+        let analytic = s.expected_work(p, c);
+        let mc = simulate_expected_work(s, p, c, 60_000, 42);
+        let err = (mc.work.mean() - analytic).abs();
+        let tol = 4.0 * mc.work.std_error() + 1e-9;
+        assert!(
+            err <= tol,
+            "MC mean {} vs analytic {analytic} (err {err}, tol {tol})",
+            mc.work.mean()
+        );
+    }
+
+    #[test]
+    fn validates_uniform() {
+        let p = Uniform::new(100.0).unwrap();
+        assert_matches_analytic(&p, &sched(&[30.0, 25.0, 20.0]), 5.0);
+    }
+
+    #[test]
+    fn validates_polynomial() {
+        let p = Polynomial::new(3, 50.0).unwrap();
+        assert_matches_analytic(&p, &sched(&[20.0, 12.0, 8.0]), 2.0);
+    }
+
+    #[test]
+    fn validates_geometric_decreasing() {
+        let p = GeometricDecreasing::new(2.0).unwrap();
+        assert_matches_analytic(&p, &sched(&[2.0; 30]), 0.5);
+    }
+
+    #[test]
+    fn validates_geometric_increasing() {
+        let p = GeometricIncreasing::new(32.0).unwrap();
+        assert_matches_analytic(&p, &sched(&[20.0, 5.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn interrupted_fraction_matches_survival() {
+        // P(interrupted before schedule end) = 1 - p(T_last).
+        let p = Uniform::new(100.0).unwrap();
+        let s = sched(&[40.0]);
+        let mc = simulate_expected_work(&s, &p, 1.0, 50_000, 7);
+        assert!((mc.interrupted_fraction - 0.4).abs() < 0.01);
+        assert!(mc.mean_periods > 0.55 && mc.mean_periods < 0.65);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = Uniform::new(100.0).unwrap();
+        let s = sched(&[30.0, 20.0]);
+        let a = simulate_expected_work(&s, &p, 2.0, 5000, 99);
+        let b = simulate_expected_work(&s, &p, 2.0, 5000, 99);
+        assert_eq!(a.work.mean(), b.work.mean());
+    }
+
+    #[test]
+    fn parallel_matches_analytic_and_is_deterministic() {
+        let p = Uniform::new(200.0).unwrap();
+        let s = sched(&[60.0, 50.0, 40.0]);
+        let c = 4.0;
+        let analytic = s.expected_work(&p, c);
+        let a = simulate_expected_work_parallel(&s, &p, c, 80_000, 1234, 4);
+        let b = simulate_expected_work_parallel(&s, &p, c, 80_000, 1234, 4);
+        assert_eq!(
+            a.work.mean(),
+            b.work.mean(),
+            "parallel run not reproducible"
+        );
+        let err = (a.work.mean() - analytic).abs();
+        assert!(err <= 4.0 * a.work.std_error() + 1e-9);
+        assert_eq!(a.work.count(), 80_000);
+    }
+
+    #[test]
+    fn parallel_single_thread_falls_back() {
+        let p = Uniform::new(50.0).unwrap();
+        let s = sched(&[10.0]);
+        let a = simulate_expected_work_parallel(&s, &p, 1.0, 1000, 5, 1);
+        let b = simulate_expected_work(&s, &p, 1.0, 1000, 5);
+        assert_eq!(a.work.mean(), b.work.mean());
+    }
+
+    #[test]
+    fn splitmix_distinct_seeds() {
+        let mut st = 17u64;
+        let a = splitmix64(&mut st);
+        let b = splitmix64(&mut st);
+        let c = splitmix64(&mut st);
+        assert!(a != b && b != c && a != c);
+    }
+}

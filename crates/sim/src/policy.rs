@@ -1,0 +1,278 @@
+//! Chunk-sizing policies: the strategies the paper's experiments compare,
+//! behind one trait so the simulator and the NOW farm can drive any of
+//! them.
+//!
+//! A policy answers one question, repeatedly: *given that the current
+//! episode has survived `elapsed` time units so far, how long should the
+//! next period be?* This is exactly the progressive decision loop of §6.
+
+use cs_core::greedy::{greedy_step, GreedyOptions};
+use cs_core::recurrence::GuidelineOptions;
+use cs_core::search;
+use cs_core::Schedule;
+use cs_life::{ArcLife, Conditional};
+
+/// A chunk-sizing policy for cycle-stealing episodes.
+pub trait ChunkPolicy: Send {
+    /// The next period length given the episode has survived to `elapsed`.
+    /// `None` ends the episode voluntarily (no productive period remains).
+    fn next_period(&mut self, elapsed: f64) -> Option<f64>;
+
+    /// Resets internal state for a fresh episode.
+    fn reset(&mut self);
+
+    /// Human-readable policy name for experiment tables.
+    fn name(&self) -> String;
+}
+
+/// Plays out a precomputed schedule, period by period.
+#[derive(Debug, Clone)]
+pub struct FixedSchedulePolicy {
+    schedule: Schedule,
+    index: usize,
+    label: String,
+}
+
+impl FixedSchedulePolicy {
+    /// Wraps a schedule with a label for reports.
+    pub fn new(schedule: Schedule, label: impl Into<String>) -> Self {
+        Self {
+            schedule,
+            index: 0,
+            label: label.into(),
+        }
+    }
+}
+
+impl ChunkPolicy for FixedSchedulePolicy {
+    fn next_period(&mut self, _elapsed: f64) -> Option<f64> {
+        let t = self.schedule.periods().get(self.index).copied();
+        if t.is_some() {
+            self.index += 1;
+        }
+        t
+    }
+
+    fn reset(&mut self) {
+        self.index = 0;
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Always asks for the same period length (the naive baseline every
+/// practical cycle-stealer starts from).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedSizePolicy {
+    period: f64,
+    /// Stop after this much elapsed time (e.g. the known lifespan).
+    pub horizon: f64,
+}
+
+impl FixedSizePolicy {
+    /// A constant-period policy; `horizon` bounds the episode (use
+    /// `f64::INFINITY` when no bound is known).
+    pub fn new(period: f64, horizon: f64) -> Self {
+        Self { period, horizon }
+    }
+}
+
+impl ChunkPolicy for FixedSizePolicy {
+    fn next_period(&mut self, elapsed: f64) -> Option<f64> {
+        if elapsed + self.period <= self.horizon {
+            Some(self.period)
+        } else {
+            None
+        }
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> String {
+        format!("fixed({})", self.period)
+    }
+}
+
+/// Myopic greedy policy: each period maximizes its own expected gain under
+/// the believed life function (paper §6).
+pub struct GreedyPolicy {
+    life: ArcLife,
+    c: f64,
+    opts: GreedyOptions,
+}
+
+impl GreedyPolicy {
+    /// Greedy policy under believed life function `life` and overhead `c`.
+    pub fn new(life: ArcLife, c: f64) -> Self {
+        Self {
+            life,
+            c,
+            opts: GreedyOptions::default(),
+        }
+    }
+}
+
+impl ChunkPolicy for GreedyPolicy {
+    fn next_period(&mut self, elapsed: f64) -> Option<f64> {
+        let (t, gain) = greedy_step(&self.life, self.c, elapsed)?;
+        if gain < self.opts.min_gain {
+            None
+        } else {
+            Some(t)
+        }
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> String {
+        "greedy".into()
+    }
+}
+
+/// Guideline policy (the paper's contribution): re-roots the believed life
+/// function at the elapsed time and reruns the Thm 3.2/3.3 + eq (3.6)
+/// search for the next period — the progressive scheduler of §6.
+///
+/// Note the cost: every period pays a full bracket + grid search (hundreds
+/// of life-function evaluations). That is the price of progressiveness —
+/// the believed life function may be refreshed between periods. When it
+/// cannot change, plan once and replay via [`FixedSchedulePolicy`] (the two
+/// are equivalent under an exact, fixed `p`; see `exp_6_adaptive`).
+pub struct GuidelinePolicy {
+    life: ArcLife,
+    c: f64,
+    opts: GuidelineOptions,
+}
+
+impl GuidelinePolicy {
+    /// Guideline policy under believed life function `life`, overhead `c`.
+    pub fn new(life: ArcLife, c: f64) -> Self {
+        Self {
+            life,
+            c,
+            opts: GuidelineOptions::default(),
+        }
+    }
+}
+
+impl ChunkPolicy for GuidelinePolicy {
+    fn next_period(&mut self, elapsed: f64) -> Option<f64> {
+        let plan = if elapsed == 0.0 {
+            search::best_guideline_schedule_with(&self.life, self.c, &self.opts).ok()?
+        } else {
+            let q = Conditional::new(self.life.clone(), elapsed).ok()?;
+            search::best_guideline_schedule_with(&q, self.c, &self.opts).ok()?
+        };
+        let t = plan.schedule.periods().first().copied()?;
+        if t <= self.c || plan.expected_work <= 0.0 {
+            None
+        } else {
+            Some(t)
+        }
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> String {
+        "guideline".into()
+    }
+}
+
+/// Runs one episode under a policy with the §2.1 kill semantics, returning
+/// banked work. `reclaim` is the owner's return time.
+pub fn run_policy_episode(policy: &mut dyn ChunkPolicy, c: f64, reclaim: f64) -> f64 {
+    policy.reset();
+    let mut elapsed = 0.0;
+    let mut banked = 0.0;
+    while let Some(t) = policy.next_period(elapsed) {
+        if !(t.is_finite() && t > 0.0) {
+            break;
+        }
+        let end = elapsed + t;
+        if end >= reclaim {
+            return banked;
+        }
+        banked += (t - c).max(0.0);
+        elapsed = end;
+    }
+    banked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_life::Uniform;
+    use std::sync::Arc;
+
+    #[test]
+    fn fixed_schedule_policy_replays_and_resets() {
+        let s = Schedule::new(vec![3.0, 2.0]).unwrap();
+        let mut pol = FixedSchedulePolicy::new(s, "test");
+        assert_eq!(pol.next_period(0.0), Some(3.0));
+        assert_eq!(pol.next_period(3.0), Some(2.0));
+        assert_eq!(pol.next_period(5.0), None);
+        pol.reset();
+        assert_eq!(pol.next_period(0.0), Some(3.0));
+        assert_eq!(pol.name(), "test");
+    }
+
+    #[test]
+    fn fixed_size_policy_respects_horizon() {
+        let mut pol = FixedSizePolicy::new(4.0, 10.0);
+        assert_eq!(pol.next_period(0.0), Some(4.0));
+        assert_eq!(pol.next_period(4.0), Some(4.0));
+        assert_eq!(pol.next_period(8.0), None);
+        assert!(pol.name().contains("fixed"));
+    }
+
+    #[test]
+    fn greedy_policy_produces_periods() {
+        let life: ArcLife = Arc::new(Uniform::new(100.0).unwrap());
+        let mut pol = GreedyPolicy::new(life, 2.0);
+        let t = pol.next_period(0.0).unwrap();
+        // argmax (t-c)(1 - t/L) = (L + c)/2 = 51.
+        assert!((t - 51.0).abs() < 0.1, "t = {t}");
+        assert_eq!(pol.name(), "greedy");
+    }
+
+    #[test]
+    fn guideline_policy_first_period_matches_search() {
+        let life: ArcLife = Arc::new(Uniform::new(400.0).unwrap());
+        let c = 4.0;
+        let mut pol = GuidelinePolicy::new(life, c);
+        let t = pol.next_period(0.0).unwrap();
+        let plan = search::best_guideline_schedule(&Uniform::new(400.0).unwrap(), c).unwrap();
+        assert!((t - plan.schedule.periods()[0]).abs() < 1e-9);
+        assert_eq!(pol.name(), "guideline");
+    }
+
+    #[test]
+    fn run_policy_episode_kill_semantics() {
+        let s = Schedule::new(vec![5.0, 5.0, 5.0]).unwrap();
+        let mut pol = FixedSchedulePolicy::new(s, "s");
+        // Reclaim during period 2.
+        let banked = run_policy_episode(&mut pol, 1.0, 12.0);
+        assert_eq!(banked, 8.0);
+        // Never reclaimed.
+        let banked = run_policy_episode(&mut pol, 1.0, f64::INFINITY);
+        assert_eq!(banked, 12.0);
+        // Reclaimed immediately.
+        let banked = run_policy_episode(&mut pol, 1.0, 0.0);
+        assert_eq!(banked, 0.0);
+    }
+
+    #[test]
+    fn policies_are_object_safe() {
+        let life: ArcLife = Arc::new(Uniform::new(50.0).unwrap());
+        let mut policies: Vec<Box<dyn ChunkPolicy>> = vec![
+            Box::new(FixedSizePolicy::new(5.0, 50.0)),
+            Box::new(GreedyPolicy::new(life.clone(), 1.0)),
+            Box::new(GuidelinePolicy::new(life, 1.0)),
+        ];
+        for p in policies.iter_mut() {
+            assert!(p.next_period(0.0).is_some(), "{} gave no period", p.name());
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! # cs-tasks
+//!
+//! The data-parallel workload model of the paper's §1: computations that
+//! "consist of a massive number of independent repetitive tasks of known
+//! durations", as found in many scientific applications.
+//!
+//! * [`Task`] — an indivisible unit of work with a known duration. Per the
+//!   paper's modeling convention, the duration *includes* the marginal cost
+//!   of transmitting the task's input and output, so the per-period
+//!   communication overhead `c` stays independent of data sizes.
+//! * [`TaskBag`] — the master pool on workstation A. Chunks are checked out
+//!   for a period; a reclaimed (killed) chunk is returned, because the
+//!   draconian contract loses the *work*, not A's knowledge of the tasks.
+//! * [`Chunk`] / [`pack_chunk`] — greedy FIFO packing of tasks into the
+//!   compute budget `t − c` of a period: the discrete realization of the
+//!   paper's fluid "amount of work chosen so that `t_k` time units suffice".
+//! * [`workloads`] — generators for uniform, jittered, bimodal and
+//!   heavy-tailed task-duration mixes.
+//! * [`quantization`] — the §6 "discrete analogue" question made
+//!   measurable: how much of a fluid schedule's budget is lost to task
+//!   granularity.
+
+#![forbid(unsafe_code)]
+// `!(a < b)`-style comparisons deliberately route NaN to the error path.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod quantization;
+pub mod workloads;
+
+use std::collections::VecDeque;
+
+/// An indivisible task with a known positive duration (input/output
+/// transmission cost folded in — paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Task {
+    /// Stable identifier assigned by the owning [`TaskBag`].
+    pub id: u64,
+    /// Execution time on the borrowed workstation.
+    pub duration: f64,
+}
+
+/// A set of tasks checked out for one cycle-stealing period.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Chunk {
+    tasks: Vec<Task>,
+}
+
+impl Chunk {
+    /// The tasks in the chunk, in dispatch order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the chunk holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total compute time of the chunk.
+    pub fn total_duration(&self) -> f64 {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+}
+
+/// The master task pool: a FIFO bag of independent tasks.
+///
+/// The bag tracks three populations: *pending* tasks awaiting dispatch,
+/// *in-flight* chunks checked out to borrowed workstations, and the tally of
+/// *completed* work. [`TaskBag::complete`] banks a chunk;
+/// [`TaskBag::abandon`] returns a killed chunk's tasks to the head of the
+/// queue (they must be redone, the episode's defining loss).
+#[derive(Debug, Clone)]
+pub struct TaskBag {
+    pending: VecDeque<Task>,
+    next_id: u64,
+    completed_tasks: u64,
+    completed_work: f64,
+    lost_work: f64,
+}
+
+impl TaskBag {
+    /// Creates an empty bag.
+    pub fn new() -> Self {
+        Self {
+            pending: VecDeque::new(),
+            next_id: 0,
+            completed_tasks: 0,
+            completed_work: 0.0,
+            lost_work: 0.0,
+        }
+    }
+
+    /// Creates a bag from explicit durations. Non-finite or nonpositive
+    /// durations are rejected.
+    pub fn from_durations(durations: &[f64]) -> Result<Self, &'static str> {
+        let mut bag = Self::new();
+        for &d in durations {
+            bag.push(d)?;
+        }
+        Ok(bag)
+    }
+
+    /// Appends one task of the given duration; returns its id.
+    pub fn push(&mut self, duration: f64) -> Result<u64, &'static str> {
+        if !(duration.is_finite() && duration > 0.0) {
+            return Err("task duration must be finite and positive");
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push_back(Task { id, duration });
+        Ok(id)
+    }
+
+    /// Number of pending (not yet dispatched) tasks.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total duration of pending tasks.
+    pub fn pending_work(&self) -> f64 {
+        self.pending.iter().map(|t| t.duration).sum()
+    }
+
+    /// Number of tasks whose results have been banked.
+    pub fn completed_count(&self) -> u64 {
+        self.completed_tasks
+    }
+
+    /// Total duration of banked (successfully completed) tasks.
+    pub fn completed_work(&self) -> f64 {
+        self.completed_work
+    }
+
+    /// Total duration of work that was executed but lost to reclamations.
+    pub fn lost_work(&self) -> f64 {
+        self.lost_work
+    }
+
+    /// True when no pending tasks remain.
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Checks out the next chunk: greedily packs FIFO tasks whose cumulative
+    /// duration fits in `budget`. Returns an empty chunk when the bag is
+    /// drained or the first pending task alone exceeds the budget (an
+    /// indivisible task cannot be split — paper §2.1).
+    pub fn check_out(&mut self, budget: f64) -> Chunk {
+        let mut chunk = Chunk::default();
+        if budget <= 0.0 {
+            return chunk;
+        }
+        let mut used = 0.0;
+        while let Some(task) = self.pending.front() {
+            if used + task.duration > budget + 1e-12 {
+                break;
+            }
+            used += task.duration;
+            chunk
+                .tasks
+                .push(self.pending.pop_front().expect("front exists"));
+        }
+        chunk
+    }
+
+    /// Banks a completed chunk: its work is added to the completed tally.
+    pub fn complete(&mut self, chunk: Chunk) {
+        self.completed_tasks += chunk.tasks.len() as u64;
+        self.completed_work += chunk.total_duration();
+    }
+
+    /// Returns a killed chunk's tasks to the **head** of the queue (so the
+    /// same tasks are retried first) and records the lost work.
+    pub fn abandon(&mut self, chunk: Chunk) {
+        self.lost_work += chunk.total_duration();
+        for task in chunk.tasks.into_iter().rev() {
+            self.pending.push_front(task);
+        }
+    }
+}
+
+impl Default for TaskBag {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Packs one chunk for a period of length `t` with overhead `c`: the compute
+/// budget is `t − c` (the paper's `t_k ⊖ c` productive capacity).
+pub fn pack_chunk(bag: &mut TaskBag, period: f64, c: f64) -> Chunk {
+    bag.check_out((period - c).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_durations() {
+        let mut bag = TaskBag::new();
+        assert!(bag.push(0.0).is_err());
+        assert!(bag.push(-1.0).is_err());
+        assert!(bag.push(f64::NAN).is_err());
+        assert!(bag.push(2.5).is_ok());
+        assert_eq!(bag.pending_count(), 1);
+    }
+
+    #[test]
+    fn from_durations_round_trip() {
+        let bag = TaskBag::from_durations(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(bag.pending_count(), 3);
+        assert_eq!(bag.pending_work(), 6.0);
+        assert!(TaskBag::from_durations(&[1.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn check_out_respects_budget_fifo() {
+        let mut bag = TaskBag::from_durations(&[3.0, 3.0, 3.0, 3.0]).unwrap();
+        let chunk = bag.check_out(7.0);
+        assert_eq!(chunk.len(), 2);
+        assert_eq!(chunk.total_duration(), 6.0);
+        assert_eq!(bag.pending_count(), 2);
+        // FIFO: ids 0 and 1 were taken.
+        assert_eq!(chunk.tasks()[0].id, 0);
+        assert_eq!(chunk.tasks()[1].id, 1);
+    }
+
+    #[test]
+    fn check_out_empty_cases() {
+        let mut bag = TaskBag::from_durations(&[5.0]).unwrap();
+        assert!(bag.check_out(0.0).is_empty());
+        assert!(bag.check_out(-1.0).is_empty());
+        // First task too big for the budget: nothing is dispatched.
+        assert!(bag.check_out(4.0).is_empty());
+        assert_eq!(bag.pending_count(), 1);
+        // Drained bag.
+        let mut empty = TaskBag::new();
+        assert!(empty.check_out(10.0).is_empty());
+    }
+
+    #[test]
+    fn check_out_exact_fit() {
+        let mut bag = TaskBag::from_durations(&[2.0, 2.0]).unwrap();
+        let chunk = bag.check_out(4.0);
+        assert_eq!(chunk.len(), 2);
+        assert!(bag.is_drained());
+    }
+
+    #[test]
+    fn complete_banks_work() {
+        let mut bag = TaskBag::from_durations(&[1.0, 2.0]).unwrap();
+        let chunk = bag.check_out(10.0);
+        bag.complete(chunk);
+        assert_eq!(bag.completed_count(), 2);
+        assert_eq!(bag.completed_work(), 3.0);
+        assert_eq!(bag.lost_work(), 0.0);
+    }
+
+    #[test]
+    fn abandon_requeues_at_head_and_counts_loss() {
+        let mut bag = TaskBag::from_durations(&[1.0, 2.0, 4.0]).unwrap();
+        let chunk = bag.check_out(3.0); // ids 0, 1
+        assert_eq!(chunk.len(), 2);
+        bag.abandon(chunk);
+        assert_eq!(bag.lost_work(), 3.0);
+        assert_eq!(bag.pending_count(), 3);
+        // Retried first, original order.
+        let retry = bag.check_out(3.0);
+        assert_eq!(retry.tasks()[0].id, 0);
+        assert_eq!(retry.tasks()[1].id, 1);
+    }
+
+    #[test]
+    fn pack_chunk_subtracts_overhead() {
+        let mut bag = TaskBag::from_durations(&[1.0; 10]).unwrap();
+        let chunk = pack_chunk(&mut bag, 5.5, 2.0);
+        assert_eq!(chunk.len(), 3); // budget 3.5 fits three unit tasks
+        let none = pack_chunk(&mut bag, 1.5, 2.0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn conservation_of_work() {
+        // pending + completed always equals the initial total, regardless of
+        // the complete/abandon interleaving.
+        let mut bag = TaskBag::from_durations(&[2.0, 3.0, 1.0, 4.0, 2.0]).unwrap();
+        let total = bag.pending_work();
+        let c1 = bag.check_out(5.0);
+        bag.complete(c1);
+        let c2 = bag.check_out(5.0);
+        bag.abandon(c2);
+        let c3 = bag.check_out(100.0);
+        bag.complete(c3);
+        assert!((bag.completed_work() + bag.pending_work() - total).abs() < 1e-12);
+        assert!(bag.is_drained());
+    }
+}

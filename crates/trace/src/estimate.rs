@@ -1,0 +1,121 @@
+//! Empirical life-function estimation and estimation-error metrics.
+//!
+//! The estimator is deliberately the paper's recipe: empirical survival from
+//! the samples, "encapsulated by a well-behaved curve" — here the monotone
+//! cubic smoothing of [`cs_life::Empirical`], which is continuous, monotone
+//! and differentiable, hence admissible input for the guideline machinery.
+
+use crate::{Result, TraceError};
+use cs_life::{Empirical, LifeFunction};
+
+/// Builds a smooth empirical life function from absence-duration samples.
+///
+/// `knots` controls smoothing granularity; 16–32 is a good default for
+/// 10²–10⁵ samples.
+pub fn estimate_life(samples: &[f64], knots: usize) -> Result<Empirical> {
+    if samples.len() < 4 {
+        return Err(TraceError::InvalidArgument("need at least 4 samples"));
+    }
+    Empirical::from_samples(samples, knots).map_err(TraceError::from)
+}
+
+/// Kolmogorov–Smirnov distance between two life functions over `[0, hi]`:
+/// `sup_t |p(t) − q(t)|`, estimated on a uniform grid of `n` points.
+pub fn ks_distance(p: &dyn LifeFunction, q: &dyn LifeFunction, hi: f64, n: usize) -> f64 {
+    if n == 0 || !(hi > 0.0) {
+        return f64::NAN;
+    }
+    let mut worst: f64 = 0.0;
+    for i in 0..=n {
+        let t = hi * i as f64 / n as f64;
+        worst = worst.max((p.survival(t) - q.survival(t)).abs());
+    }
+    worst
+}
+
+/// KS distance of a life function against the raw samples' empirical
+/// survival (step function): `sup_t |p(t) − Ŝ(t)|` evaluated at the jumps.
+pub fn ks_distance_to_samples(p: &dyn LifeFunction, samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len() as f64;
+    let mut worst: f64 = 0.0;
+    for (i, &t) in sorted.iter().enumerate() {
+        // Just before the jump, Ŝ = (n - i)/n; just after, (n - i - 1)/n.
+        let before = (n - i as f64) / n;
+        let after = (n - i as f64 - 1.0) / n;
+        let pt = p.survival(t);
+        worst = worst.max((pt - before).abs()).max((pt - after).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::owner::sample_absences;
+    use cs_life::{GeometricDecreasing, Uniform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimate_rejects_tiny_samples() {
+        assert!(estimate_life(&[1.0, 2.0], 8).is_err());
+    }
+
+    #[test]
+    fn estimate_converges_with_sample_size() {
+        // KS error to the truth decreases as the trace grows (paper's
+        // premise that trace data suffices).
+        let truth = Uniform::new(12.0).unwrap();
+        let mut err_small = 0.0;
+        let mut err_large = 0.0;
+        for (n, err) in [(100usize, &mut err_small), (20_000, &mut err_large)] {
+            let mut rng = StdRng::seed_from_u64(21);
+            let samples = sample_absences(&truth, n, &mut rng).unwrap();
+            let est = estimate_life(&samples, 24).unwrap();
+            *err = ks_distance(&truth, &est, 12.0, 400);
+        }
+        assert!(err_large < err_small, "KS {err_large} !< {err_small}");
+        assert!(err_large < 0.02, "large-sample KS = {err_large}");
+    }
+
+    #[test]
+    fn ks_distance_identical_is_zero() {
+        let p = Uniform::new(5.0).unwrap();
+        assert!(ks_distance(&p, &p, 5.0, 100) < 1e-15);
+    }
+
+    #[test]
+    fn ks_distance_detects_difference() {
+        let p = Uniform::new(5.0).unwrap();
+        let q = Uniform::new(10.0).unwrap();
+        // At t = 5: p = 0, q = 0.5.
+        let d = ks_distance(&p, &q, 10.0, 200);
+        assert!((d - 0.5).abs() < 0.01, "d = {d}");
+    }
+
+    #[test]
+    fn ks_distance_invalid_inputs() {
+        let p = Uniform::new(5.0).unwrap();
+        assert!(ks_distance(&p, &p, 0.0, 100).is_nan());
+        assert!(ks_distance(&p, &p, 5.0, 0).is_nan());
+        assert!(ks_distance_to_samples(&p, &[]).is_nan());
+    }
+
+    #[test]
+    fn ks_to_samples_small_for_true_model() {
+        let truth = GeometricDecreasing::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        let samples = sample_absences(&truth, 5000, &mut rng).unwrap();
+        let d = ks_distance_to_samples(&truth, &samples);
+        // For the true model, KS ~ 1/sqrt(n) ≈ 0.014.
+        assert!(d < 0.05, "d = {d}");
+        // A wrong model scores much worse.
+        let wrong = Uniform::new(2.0).unwrap();
+        assert!(ks_distance_to_samples(&wrong, &samples) > 2.0 * d);
+    }
+}

@@ -1,0 +1,269 @@
+//! Parametric life-function fitting: project absence samples onto the
+//! paper's families and pick the best by Kolmogorov–Smirnov distance.
+//!
+//! Estimators (all closed-form or single regressions — deliberately the
+//! kind of lightweight fitting one would run on live trace data):
+//!
+//! * geometric `a^{−t}`: constant hazard ⇒ MLE `ln a = 1/mean`;
+//! * uniform `1 − t/L`: `L̂ = max·(n+1)/n` (bias-corrected extreme);
+//! * polynomial `1 − (t/L)^d`: moment match `E[R] = L·d/(d+1)` at each `d`;
+//! * Weibull: regress `ln(−ln Ŝ(t)) = k·ln t − k·ln λ` on interior sample
+//!   quantiles.
+
+use crate::estimate::ks_distance_to_samples;
+use crate::{Result, TraceError};
+use cs_life::{ArcLife, GeometricDecreasing, Polynomial, Uniform, Weibull};
+use cs_numeric::regress;
+use std::sync::Arc;
+
+fn check_samples(samples: &[f64]) -> Result<()> {
+    if samples.len() < 8 {
+        return Err(TraceError::InvalidArgument(
+            "need at least 8 samples to fit",
+        ));
+    }
+    if samples.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+        return Err(TraceError::InvalidArgument(
+            "samples must be positive and finite",
+        ));
+    }
+    Ok(())
+}
+
+/// MLE fit of the geometric-decreasing family: `ln a = 1/mean(R)`.
+pub fn fit_geometric(samples: &[f64]) -> Result<GeometricDecreasing> {
+    check_samples(samples)?;
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    GeometricDecreasing::new((1.0 / mean).exp()).map_err(TraceError::from)
+}
+
+/// Fit of the uniform-risk family: bias-corrected maximum
+/// `L̂ = max·(n+1)/n`.
+pub fn fit_uniform(samples: &[f64]) -> Result<Uniform> {
+    check_samples(samples)?;
+    let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+    let n = samples.len() as f64;
+    Uniform::new(max * (n + 1.0) / n).map_err(TraceError::from)
+}
+
+/// Moment fit of the polynomial family at fixed degree `d`:
+/// `E[R] = L·d/(d+1)` ⇒ `L̂ = mean·(d+1)/d`, floored at the sample maximum
+/// (the survival must cover every observation).
+pub fn fit_polynomial(samples: &[f64], d: u32) -> Result<Polynomial> {
+    check_samples(samples)?;
+    if d == 0 {
+        return Err(TraceError::InvalidArgument("degree must be >= 1"));
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+    let l = (mean * (f64::from(d) + 1.0) / f64::from(d)).max(max * 1.000001);
+    Polynomial::new(d, l).map_err(TraceError::from)
+}
+
+/// Weibull fit by regression on the linearized survival:
+/// `ln(−ln S(t)) = k·ln t − k·ln λ`, using interior order statistics.
+pub fn fit_weibull(samples: &[f64]) -> Result<Weibull> {
+    check_samples(samples)?;
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len();
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for (i, &t) in sorted.iter().enumerate() {
+        // Median-rank survival estimate, avoiding 0 and 1.
+        let s = 1.0 - (i as f64 + 0.7) / (n as f64 + 0.4);
+        if !(1e-6..=1.0 - 1e-6).contains(&s) || t <= 0.0 {
+            continue;
+        }
+        xs.push(t.ln());
+        ys.push((-s.ln()).ln());
+    }
+    let line = regress::fit_line(&xs, &ys)?;
+    let k = line.slope;
+    if !(k.is_finite() && k > 0.0) {
+        return Err(TraceError::InvalidArgument(
+            "weibull fit produced nonpositive shape",
+        ));
+    }
+    let lambda = (-line.intercept / k).exp();
+    Weibull::new(k, lambda).map_err(TraceError::from)
+}
+
+/// A fitted candidate with its goodness of fit.
+#[derive(Clone)]
+pub struct FitCandidate {
+    /// Short family label (`"geometric"`, `"uniform"`, `"poly-d2"`, …).
+    pub family: String,
+    /// The fitted life function.
+    pub life: ArcLife,
+    /// KS distance of the fit to the raw samples.
+    pub ks: f64,
+}
+
+impl std::fmt::Debug for FitCandidate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FitCandidate")
+            .field("family", &self.family)
+            .field("ks", &self.ks)
+            .finish()
+    }
+}
+
+/// Fits every family and returns the candidates sorted by ascending KS
+/// distance (best first). Families whose fit fails are skipped.
+pub fn fit_all(samples: &[f64]) -> Result<Vec<FitCandidate>> {
+    check_samples(samples)?;
+    let mut out: Vec<FitCandidate> = Vec::new();
+    if let Ok(g) = fit_geometric(samples) {
+        let ks = ks_distance_to_samples(&g, samples);
+        out.push(FitCandidate {
+            family: "geometric".into(),
+            life: Arc::new(g),
+            ks,
+        });
+    }
+    if let Ok(u) = fit_uniform(samples) {
+        let ks = ks_distance_to_samples(&u, samples);
+        out.push(FitCandidate {
+            family: "uniform".into(),
+            life: Arc::new(u),
+            ks,
+        });
+    }
+    for d in 2..=4u32 {
+        if let Ok(p) = fit_polynomial(samples, d) {
+            let ks = ks_distance_to_samples(&p, samples);
+            out.push(FitCandidate {
+                family: format!("poly-d{d}"),
+                life: Arc::new(p),
+                ks,
+            });
+        }
+    }
+    if let Ok(w) = fit_weibull(samples) {
+        let ks = ks_distance_to_samples(&w, samples);
+        out.push(FitCandidate {
+            family: "weibull".into(),
+            life: Arc::new(w),
+            ks,
+        });
+    }
+    out.sort_by(|a, b| a.ks.partial_cmp(&b.ks).unwrap());
+    if out.is_empty() {
+        return Err(TraceError::InvalidArgument("no family could be fitted"));
+    }
+    Ok(out)
+}
+
+/// Fits every family and returns the best candidate.
+/// # Examples
+///
+/// ```
+/// use cs_trace::fit::fit_best;
+/// // Durations drawn evenly over (0, 10]: the uniform family wins.
+/// let samples: Vec<f64> = (1..=200).map(|i| i as f64 / 20.0).collect();
+/// let best = fit_best(&samples).unwrap();
+/// assert_eq!(best.family, "uniform");
+/// ```
+pub fn fit_best(samples: &[f64]) -> Result<FitCandidate> {
+    Ok(fit_all(samples)?.remove(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::owner::sample_absences;
+    use cs_life::LifeFunction;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn samples_from(p: &dyn LifeFunction, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        sample_absences(p, n, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn guards() {
+        assert!(fit_geometric(&[1.0; 4]).is_err());
+        assert!(fit_uniform(&[-1.0; 10]).is_err());
+        assert!(fit_polynomial(&[1.0; 10], 0).is_err());
+        assert!(fit_all(&[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn geometric_fit_recovers_rate() {
+        let truth = GeometricDecreasing::new(3.0).unwrap();
+        let s = samples_from(&truth, 20_000, 1);
+        let fit = fit_geometric(&s).unwrap();
+        assert!((fit.a() - 3.0).abs() / 3.0 < 0.05, "a = {}", fit.a());
+    }
+
+    #[test]
+    fn uniform_fit_recovers_lifespan() {
+        let truth = Uniform::new(25.0).unwrap();
+        let s = samples_from(&truth, 5000, 2);
+        let fit = fit_uniform(&s).unwrap();
+        assert!((fit.l() - 25.0).abs() / 25.0 < 0.02, "L = {}", fit.l());
+    }
+
+    #[test]
+    fn polynomial_fit_recovers_lifespan() {
+        let truth = Polynomial::new(3, 40.0).unwrap();
+        let s = samples_from(&truth, 10_000, 3);
+        let fit = fit_polynomial(&s, 3).unwrap();
+        assert!((fit.l() - 40.0).abs() / 40.0 < 0.05, "L = {}", fit.l());
+    }
+
+    #[test]
+    fn weibull_fit_recovers_parameters() {
+        let truth = Weibull::new(1.6, 5.0).unwrap();
+        let s = samples_from(&truth, 20_000, 4);
+        let fit = fit_weibull(&s).unwrap();
+        assert!((fit.k() - 1.6).abs() < 0.15, "k = {}", fit.k());
+        assert!(
+            (fit.lambda() - 5.0).abs() / 5.0 < 0.1,
+            "λ = {}",
+            fit.lambda()
+        );
+    }
+
+    #[test]
+    fn model_selection_picks_true_family() {
+        // Geometric data → geometric (or the k≈1 Weibull, which nests it)
+        // must win.
+        let truth = GeometricDecreasing::new(2.0).unwrap();
+        let s = samples_from(&truth, 10_000, 5);
+        let best = fit_best(&s).unwrap();
+        assert!(
+            best.family == "geometric" || best.family == "weibull",
+            "best = {:?}",
+            best
+        );
+        assert!(best.ks < 0.05);
+
+        // Uniform data → uniform must win.
+        let truth = Uniform::new(8.0).unwrap();
+        let s = samples_from(&truth, 10_000, 6);
+        let best = fit_best(&s).unwrap();
+        assert_eq!(best.family, "uniform", "best = {best:?}");
+    }
+
+    #[test]
+    fn fit_all_sorted_by_ks() {
+        let truth = Uniform::new(8.0).unwrap();
+        let s = samples_from(&truth, 2000, 7);
+        let all = fit_all(&s).unwrap();
+        assert!(all.len() >= 4);
+        for w in all.windows(2) {
+            assert!(w[0].ks <= w[1].ks);
+        }
+    }
+
+    #[test]
+    fn debug_format_contains_family() {
+        let truth = Uniform::new(8.0).unwrap();
+        let s = samples_from(&truth, 500, 8);
+        let best = fit_best(&s).unwrap();
+        assert!(format!("{best:?}").contains("family"));
+    }
+}

@@ -1,0 +1,74 @@
+//! # cs-trace
+//!
+//! Owner-usage traces for borrowed workstations.
+//!
+//! The paper assumes the life function is known, possibly "garnered from
+//! trace data that exposes B's owner's computer usage patterns" and then
+//! "encapsulated by some well-behaved curve" (§1, §2.1). This crate builds
+//! that pipeline end-to-end:
+//!
+//! 1. **Synthesize traces** ([`owner`]) — sample owner-absence durations
+//!    either directly from a ground-truth life function (inverse transform)
+//!    or from a structured diurnal session model.
+//! 2. **Estimate** ([`estimate`]) — turn absence samples into a smooth
+//!    empirical life function ([`cs_life::Empirical`]) and measure the
+//!    estimation error (Kolmogorov–Smirnov distance).
+//! 3. **Fit** ([`fit`]) — fit the paper's parametric families (uniform /
+//!    polynomial / geometric / Weibull) to the samples and select the best
+//!    by KS distance.
+//!
+//! `exp_trace_robust` uses this pipeline to quantify the paper's claim that
+//! the guidelines "extend easily to situations wherein this knowledge is
+//! approximate".
+
+#![forbid(unsafe_code)]
+// `!(a < b)`-style comparisons deliberately route NaN to the error path.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod estimate;
+pub mod fit;
+pub mod online;
+pub mod owner;
+
+/// Errors from trace synthesis and estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// Invalid parameter (empty sample, nonpositive rate, …).
+    InvalidArgument(&'static str),
+    /// An underlying numeric routine failed.
+    Numeric(cs_numeric::NumericError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            TraceError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<cs_numeric::NumericError> for TraceError {
+    fn from(e: cs_numeric::NumericError) -> Self {
+        TraceError::Numeric(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, TraceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = TraceError::InvalidArgument("empty");
+        assert!(e.to_string().contains("empty"));
+        let e: TraceError = cs_numeric::NumericError::InvalidArgument("x").into();
+        assert!(e.to_string().contains("numeric failure"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Online life-function estimation across episodes.
+//!
+//! The paper assumes the life function is known, "garnered possibly from
+//! trace data". Operationally that knowledge *accumulates*: every finished
+//! episode reveals one reclamation time. [`OnlineEstimator`] maintains the
+//! growing sample and exposes the current best life-function estimate —
+//! either the smoothed empirical curve or the best parametric fit — so a
+//! scheduler can re-plan between episodes. The `exp_online` experiment
+//! measures the regret of this learn-while-stealing loop against the
+//! oracle that knows `p` exactly.
+
+use crate::estimate::estimate_life;
+use crate::fit::{fit_best, FitCandidate};
+use crate::{Result, TraceError};
+use cs_life::{ArcLife, Empirical};
+use std::sync::Arc;
+
+/// Which estimator the scheduler should consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorKind {
+    /// Monotone-cubic smoothed empirical survival (assumption-free).
+    Empirical,
+    /// Best parametric family by KS distance (lower variance, can be
+    /// biased if the truth is outside every family).
+    BestFit,
+}
+
+/// Accumulates observed reclamation times and produces life-function
+/// estimates on demand.
+#[derive(Debug, Clone)]
+pub struct OnlineEstimator {
+    observations: Vec<f64>,
+    knots: usize,
+    kind: EstimatorKind,
+}
+
+impl OnlineEstimator {
+    /// Creates an empty estimator. `knots` controls empirical smoothing.
+    pub fn new(kind: EstimatorKind, knots: usize) -> Self {
+        Self {
+            observations: Vec::new(),
+            knots,
+            kind,
+        }
+    }
+
+    /// Records one observed reclamation time (must be positive and finite).
+    pub fn observe(&mut self, reclaim_time: f64) -> Result<()> {
+        if !(reclaim_time.is_finite() && reclaim_time > 0.0) {
+            return Err(TraceError::InvalidArgument("reclaim time must be positive"));
+        }
+        self.observations.push(reclaim_time);
+        Ok(())
+    }
+
+    /// Number of episodes observed so far.
+    pub fn count(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// The raw observations.
+    pub fn observations(&self) -> &[f64] {
+        &self.observations
+    }
+
+    /// Minimum observations before an estimate is available.
+    pub const MIN_OBSERVATIONS: usize = 8;
+
+    /// The current estimate, or `None` until enough episodes have been
+    /// observed ([`Self::MIN_OBSERVATIONS`]).
+    pub fn current_life(&self) -> Option<ArcLife> {
+        if self.observations.len() < Self::MIN_OBSERVATIONS {
+            return None;
+        }
+        match self.kind {
+            EstimatorKind::Empirical => {
+                let est: Empirical = estimate_life(&self.observations, self.knots).ok()?;
+                Some(Arc::new(est))
+            }
+            EstimatorKind::BestFit => {
+                let best: FitCandidate = fit_best(&self.observations).ok()?;
+                Some(best.life)
+            }
+        }
+    }
+
+    /// Label of the currently-selected model (for reports).
+    pub fn describe(&self) -> String {
+        match self.kind {
+            EstimatorKind::Empirical => {
+                format!(
+                    "empirical({} obs, {} knots)",
+                    self.observations.len(),
+                    self.knots
+                )
+            }
+            EstimatorKind::BestFit => match fit_best(&self.observations) {
+                Ok(best) => format!("best-fit {} ({} obs)", best.family, self.observations.len()),
+                Err(_) => format!("best-fit (insufficient: {} obs)", self.observations.len()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::owner::sample_absences;
+    use cs_life::{LifeFunction, Uniform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn observe_validates() {
+        let mut est = OnlineEstimator::new(EstimatorKind::Empirical, 16);
+        assert!(est.observe(-1.0).is_err());
+        assert!(est.observe(f64::NAN).is_err());
+        assert!(est.observe(0.0).is_err());
+        assert!(est.observe(3.5).is_ok());
+        assert_eq!(est.count(), 1);
+        assert_eq!(est.observations(), &[3.5]);
+    }
+
+    #[test]
+    fn no_estimate_until_minimum() {
+        let mut est = OnlineEstimator::new(EstimatorKind::Empirical, 16);
+        for i in 0..OnlineEstimator::MIN_OBSERVATIONS - 1 {
+            est.observe(1.0 + i as f64).unwrap();
+            assert!(
+                est.current_life().is_none(),
+                "estimate appeared at {}",
+                est.count()
+            );
+        }
+        est.observe(10.0).unwrap();
+        assert!(est.current_life().is_some());
+    }
+
+    #[test]
+    fn empirical_estimate_converges() {
+        let truth = Uniform::new(20.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = sample_absences(&truth, 4000, &mut rng).unwrap();
+        let mut est = OnlineEstimator::new(EstimatorKind::Empirical, 24);
+        let mut err_at_50 = f64::NAN;
+        for (i, &r) in samples.iter().enumerate() {
+            est.observe(r).unwrap();
+            if i + 1 == 50 {
+                let life = est.current_life().unwrap();
+                err_at_50 = (life.survival(10.0) - 0.5).abs();
+            }
+        }
+        let life = est.current_life().unwrap();
+        let err_at_4000 = (life.survival(10.0) - 0.5).abs();
+        assert!(err_at_4000 < err_at_50, "{err_at_4000} !< {err_at_50}");
+        assert!(err_at_4000 < 0.03, "final error {err_at_4000}");
+    }
+
+    #[test]
+    fn best_fit_selects_uniform_for_uniform_data() {
+        let truth = Uniform::new(12.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut est = OnlineEstimator::new(EstimatorKind::BestFit, 16);
+        for r in sample_absences(&truth, 2000, &mut rng).unwrap() {
+            est.observe(r).unwrap();
+        }
+        let life = est.current_life().unwrap();
+        // Fitted lifespan close to the truth.
+        assert!(life
+            .lifespan()
+            .map(|l| (l - 12.0).abs() < 0.5)
+            .unwrap_or(false));
+        assert!(est.describe().contains("uniform"));
+    }
+
+    #[test]
+    fn describe_before_estimates() {
+        let est = OnlineEstimator::new(EstimatorKind::BestFit, 16);
+        assert!(est.describe().contains("insufficient"));
+        let est = OnlineEstimator::new(EstimatorKind::Empirical, 16);
+        assert!(est.describe().contains("0 obs"));
+    }
+}

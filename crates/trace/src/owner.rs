@@ -1,0 +1,261 @@
+//! Owner-activity synthesis: where absence (cycle-stealing opportunity)
+//! durations come from.
+//!
+//! Two levels of fidelity:
+//!
+//! * [`sample_absences`] — i.i.d. absences drawn from any ground-truth
+//!   [`LifeFunction`] by inverse transform (`R = p⁻¹(U)`). This is the
+//!   controlled setting for estimation experiments.
+//! * [`DiurnalOwner`] — a structured session model: an owner alternates
+//!   presence and absence through simulated work days, with short
+//!   memoryless interruptions (coffee/meetings) and a long overnight
+//!   absence. The resulting absence-duration mixture is the realistic
+//!   "trace data" of the paper's §1 and deliberately belongs to *none* of
+//!   the parametric families.
+
+use crate::{Result, TraceError};
+use cs_life::LifeFunction;
+use rand::Rng;
+
+/// Draws `n` i.i.d. owner-absence durations from ground truth `p` by
+/// inverse-transform sampling: `P(R > t) = p(t)`, so `R = p⁻¹(U)`.
+pub fn sample_absences(p: &dyn LifeFunction, n: usize, rng: &mut impl Rng) -> Result<Vec<f64>> {
+    if n == 0 {
+        return Err(TraceError::InvalidArgument("need n >= 1 samples"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Avoid the endpoints: u = 0 maps to +inf for unbounded support.
+        let u = rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
+        let r = p.inverse_survival(u);
+        out.push(r.max(1e-9));
+    }
+    Ok(out)
+}
+
+/// One presence/absence event in a synthesized owner trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Start time of the interval, in hours from the trace origin.
+    pub start: f64,
+    /// Duration of the interval in hours.
+    pub duration: f64,
+    /// True when the owner is absent (the workstation is stealable).
+    pub absent: bool,
+}
+
+/// A structured diurnal owner model.
+///
+/// Each simulated day: the owner arrives, works in presence bursts broken by
+/// short memoryless absences (mean [`DiurnalOwner::short_break_mean`]) and
+/// occasional longer meetings (mean [`DiurnalOwner::meeting_mean`], with
+/// probability [`DiurnalOwner::meeting_prob`] per break), then leaves for an
+/// overnight absence until the next arrival.
+#[derive(Debug, Clone, Copy)]
+pub struct DiurnalOwner {
+    /// Length of the working day in hours (e.g. 9.0).
+    pub workday_hours: f64,
+    /// Mean length of a presence burst between breaks, hours.
+    pub presence_burst_mean: f64,
+    /// Mean length of a short break, hours.
+    pub short_break_mean: f64,
+    /// Mean length of a meeting absence, hours.
+    pub meeting_mean: f64,
+    /// Probability that a break is a meeting rather than a short break.
+    pub meeting_prob: f64,
+    /// Hours from end of one workday to start of the next (overnight).
+    pub overnight_hours: f64,
+}
+
+impl Default for DiurnalOwner {
+    fn default() -> Self {
+        Self {
+            workday_hours: 9.0,
+            presence_burst_mean: 0.75,
+            short_break_mean: 0.25,
+            meeting_mean: 1.5,
+            meeting_prob: 0.2,
+            overnight_hours: 15.0,
+        }
+    }
+}
+
+impl DiurnalOwner {
+    fn validate(&self) -> Result<()> {
+        let ok = self.workday_hours > 0.0
+            && self.presence_burst_mean > 0.0
+            && self.short_break_mean > 0.0
+            && self.meeting_mean > 0.0
+            && (0.0..=1.0).contains(&self.meeting_prob)
+            && self.overnight_hours >= 0.0;
+        if ok {
+            Ok(())
+        } else {
+            Err(TraceError::InvalidArgument(
+                "DiurnalOwner: invalid parameters",
+            ))
+        }
+    }
+
+    /// Simulates `days` of owner activity, returning the full event trace.
+    pub fn simulate(&self, days: usize, rng: &mut impl Rng) -> Result<Vec<TraceEvent>> {
+        self.validate()?;
+        if days == 0 {
+            return Err(TraceError::InvalidArgument("need days >= 1"));
+        }
+        // Inverse-transform exponential sampler.
+        fn exp(mean: f64, rng: &mut impl Rng) -> f64 {
+            let u = rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
+            -mean * u.ln()
+        }
+        let mut events = Vec::new();
+        let mut clock = 0.0f64;
+        for _ in 0..days {
+            let day_end = clock + self.workday_hours;
+            // Work through the day: presence burst, then a break.
+            while clock < day_end {
+                let burst = exp(self.presence_burst_mean, rng).min(day_end - clock);
+                if burst > 0.0 {
+                    events.push(TraceEvent {
+                        start: clock,
+                        duration: burst,
+                        absent: false,
+                    });
+                    clock += burst;
+                }
+                if clock >= day_end {
+                    break;
+                }
+                let is_meeting = rng.random::<f64>() < self.meeting_prob;
+                let mean = if is_meeting {
+                    self.meeting_mean
+                } else {
+                    self.short_break_mean
+                };
+                let gap = exp(mean, rng).min(day_end - clock).max(1e-6);
+                events.push(TraceEvent {
+                    start: clock,
+                    duration: gap,
+                    absent: true,
+                });
+                clock += gap;
+            }
+            // Overnight absence.
+            if self.overnight_hours > 0.0 {
+                events.push(TraceEvent {
+                    start: clock,
+                    duration: self.overnight_hours,
+                    absent: true,
+                });
+                clock += self.overnight_hours;
+            }
+        }
+        Ok(events)
+    }
+
+    /// Simulates and extracts only the absence durations — the samples a
+    /// cycle-stealer would mine from the trace.
+    pub fn absence_durations(&self, days: usize, rng: &mut impl Rng) -> Result<Vec<f64>> {
+        Ok(self
+            .simulate(days, rng)?
+            .into_iter()
+            .filter(|e| e.absent)
+            .map(|e| e.duration)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_life::{GeometricDecreasing, Uniform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_absences_validates() {
+        let p = Uniform::new(10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_absences(&p, 0, &mut rng).is_err());
+        let s = sample_absences(&p, 100, &mut rng).unwrap();
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|&r| r > 0.0 && r <= 10.0));
+    }
+
+    #[test]
+    fn sample_mean_matches_theory_uniform() {
+        let p = Uniform::new(20.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = sample_absences(&p, 20_000, &mut rng).unwrap();
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 10.0).abs() < 0.3, "mean = {mean}");
+    }
+
+    #[test]
+    fn sample_mean_matches_theory_geometric() {
+        let p = GeometricDecreasing::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sample_absences(&p, 20_000, &mut rng).unwrap();
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let theory = 1.0 / 2.0f64.ln();
+        assert!(
+            (mean - theory).abs() / theory < 0.05,
+            "mean = {mean}, theory = {theory}"
+        );
+    }
+
+    #[test]
+    fn diurnal_validates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let bad = DiurnalOwner {
+            workday_hours: 0.0,
+            ..Default::default()
+        };
+        assert!(bad.simulate(1, &mut rng).is_err());
+        assert!(DiurnalOwner::default().simulate(0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn diurnal_trace_is_contiguous_and_alternating_in_time() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let events = DiurnalOwner::default().simulate(5, &mut rng).unwrap();
+        assert!(!events.is_empty());
+        let mut clock = 0.0;
+        for e in &events {
+            assert!(
+                (e.start - clock).abs() < 1e-9,
+                "gap in trace at {}",
+                e.start
+            );
+            assert!(e.duration > 0.0);
+            clock = e.start + e.duration;
+        }
+    }
+
+    #[test]
+    fn diurnal_absences_include_overnights() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let owner = DiurnalOwner::default();
+        let absences = owner.absence_durations(10, &mut rng).unwrap();
+        // Exactly 10 overnight absences of 15h each are present.
+        let overnights = absences
+            .iter()
+            .filter(|&&d| (d - 15.0).abs() < 1e-9)
+            .count();
+        assert_eq!(overnights, 10);
+        // And plenty of short breaks.
+        assert!(absences.len() > 20);
+    }
+
+    #[test]
+    fn diurnal_deterministic_by_seed() {
+        let owner = DiurnalOwner::default();
+        let a = owner
+            .absence_durations(3, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let b = owner
+            .absence_durations(3, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

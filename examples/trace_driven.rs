@@ -1,0 +1,75 @@
+//! Trace-driven scheduling: the paper's "approximate knowledge" setting.
+//!
+//! Workstation A has no oracle for the owner's behaviour — only a usage
+//! trace. This example synthesizes a diurnal owner trace, estimates a
+//! smooth empirical life function from the absence durations (the paper's
+//! "well-behaved curve"), fits the parametric families for comparison, and
+//! then schedules against the *estimate* while being judged by the *truth*.
+//!
+//! Run with: `cargo run --example trace_driven`
+
+use cs_apps::{fmt, pct, Table};
+use cs_core::search;
+use cs_life::{GeometricDecreasing, LifeFunction};
+use cs_trace::estimate::{estimate_life, ks_distance};
+use cs_trace::fit::fit_all;
+use cs_trace::owner::{sample_absences, DiurnalOwner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    // --- Part 1: a structured diurnal trace --------------------------------
+    println!("Synthesizing 60 days of owner activity (diurnal session model)...");
+    let owner = DiurnalOwner::default();
+    let absences = owner.absence_durations(60, &mut rng).expect("trace");
+    println!(
+        "  {} absences, mean {:.2} h, max {:.1} h",
+        absences.len(),
+        absences.iter().sum::<f64>() / absences.len() as f64,
+        absences.iter().cloned().fold(f64::MIN, f64::max)
+    );
+
+    let est = estimate_life(&absences, 24).expect("estimate");
+    println!("  empirical life function: {}\n", est.describe());
+
+    println!("Parametric fits (KS distance to the raw trace):");
+    let mut table = Table::new(&["family", "KS"]);
+    for cand in fit_all(&absences).expect("fits") {
+        table.row(&[cand.family.clone(), fmt(cand.ks, 4)]);
+    }
+    println!("{}", table.render());
+    println!("(The diurnal mixture belongs to none of the families — the smooth");
+    println!(" empirical curve is the honest choice, exactly as the paper suggests.)\n");
+
+    // --- Part 2: schedule on an estimate, evaluate under the truth ---------
+    let truth = GeometricDecreasing::new(1.4).expect("truth");
+    let c = 0.5;
+    println!(
+        "Controlled robustness check: truth = {}, c = {c}",
+        truth.describe()
+    );
+    let oracle_plan = search::best_guideline_schedule(&truth, c).expect("oracle plan");
+    let e_oracle = oracle_plan.schedule.expected_work(&truth, c);
+
+    let mut table = Table::new(&["trace size", "KS(est, truth)", "E under truth", "vs oracle"]);
+    for n in [100usize, 1_000, 10_000] {
+        let samples = sample_absences(&truth, n, &mut rng).expect("samples");
+        let est = estimate_life(&samples, 24).expect("estimate");
+        let plan = search::best_guideline_schedule(&est, c).expect("plan on estimate");
+        // Judge the estimate-derived schedule under the true life function.
+        let e_true = plan.schedule.expected_work(&truth, c);
+        let ks = ks_distance(&truth, &est, truth.horizon(1e-6), 400);
+        table.row(&[
+            n.to_string(),
+            fmt(ks, 4),
+            fmt(e_true, 4),
+            pct(e_true / e_oracle),
+        ]);
+    }
+    table.row(&["exact p".into(), "0".into(), fmt(e_oracle, 4), pct(1.0)]);
+    println!("{}", table.render());
+    println!("Guideline schedules computed from modest traces already capture");
+    println!("nearly all of the oracle's expected work — the paper's robustness claim.");
+}

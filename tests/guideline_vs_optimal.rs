@@ -1,0 +1,119 @@
+//! Cross-crate integration: the paper's §4 comparisons, end to end.
+//!
+//! For each of the three scenarios of \[3\], the guideline pipeline
+//! (`cs-life` family → `cs-core` bracket + recurrence + search) must land
+//! within a few percent of the provably optimal baseline AND of the
+//! independent DP oracle.
+
+use cs_core::{dp, optimal, search};
+use cs_life::{GeometricDecreasing, GeometricIncreasing, LifeFunction, Polynomial, Uniform};
+
+/// Guideline efficiency against the best available optimum.
+fn efficiency(p: &dyn LifeFunction, c: f64, e_opt: f64) -> f64 {
+    let plan = search::best_guideline_schedule(p, c).expect("guideline plan");
+    plan.expected_work / e_opt
+}
+
+#[test]
+fn uniform_risk_guideline_is_optimal() {
+    // §4.1: the guideline recurrence for d = 1 IS the optimal recurrence;
+    // with the searched t0, expected work matches to numerical precision.
+    for (l, c) in [(1000.0, 5.0), (250.0, 2.0), (5000.0, 10.0)] {
+        let p = Uniform::new(l).unwrap();
+        let opt = optimal::uniform_optimal(l, c).unwrap();
+        let e_opt = opt.expected_work(&p, c);
+        let eff = efficiency(&p, c, e_opt);
+        assert!(eff > 0.9999, "L={l}, c={c}: efficiency {eff}");
+        assert!(eff < 1.0 + 1e-9, "guideline cannot beat the true optimum");
+    }
+}
+
+#[test]
+fn polynomial_family_guideline_near_dp_oracle() {
+    for d in [2u32, 3, 4] {
+        let l = 1200.0;
+        let c = 4.0;
+        let p = Polynomial::new(d, l).unwrap();
+        let oracle = dp::solve_auto(&p, c, 2400).unwrap();
+        let eff = efficiency(&p, c, oracle.expected_work);
+        assert!(eff > 0.99, "d={d}: efficiency vs DP {eff}");
+    }
+}
+
+#[test]
+fn geometric_decreasing_guideline_near_closed_form_optimum() {
+    for (a, c) in [(2.0, 1.0), (4.0, 0.5), (1.2, 2.0)] {
+        let p = GeometricDecreasing::new(a).unwrap();
+        let opt = optimal::geometric_decreasing_optimal(a, c).unwrap();
+        let eff = efficiency(&p, c, opt.expected_work);
+        assert!(eff > 0.95, "a={a}, c={c}: efficiency {eff}");
+        assert!(eff <= 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn geometric_increasing_guideline_near_optimal() {
+    for (l, c) in [(64.0, 1.0), (256.0, 2.0)] {
+        let p = GeometricIncreasing::new(l).unwrap();
+        let opt = optimal::geometric_increasing_optimal(l, c).unwrap();
+        let e_ref3 = opt.expected_work(&p, c);
+        let oracle = dp::solve_auto(&p, c, 2400).unwrap();
+        // The oracle and the [3]-shape search should agree closely...
+        let e_best = e_ref3.max(oracle.expected_work);
+        // ...and the guideline must track them.
+        let eff = efficiency(&p, c, e_best);
+        assert!(eff > 0.97, "L={l}, c={c}: efficiency {eff}");
+    }
+}
+
+#[test]
+fn t0_brackets_contain_dp_optimal_t0() {
+    // Theorems 3.2/3.3 bracket the optimal initial period; check against
+    // the DP oracle's choice across all families.
+    let cases: Vec<(Box<dyn LifeFunction>, f64)> = vec![
+        (Box::new(Uniform::new(800.0).unwrap()), 4.0),
+        (Box::new(Polynomial::new(3, 800.0).unwrap()), 4.0),
+        (Box::new(GeometricDecreasing::new(2.0).unwrap()), 1.0),
+        (Box::new(GeometricIncreasing::new(128.0).unwrap()), 1.0),
+    ];
+    for (p, c) in &cases {
+        let bracket = cs_core::bounds::t0_bracket(p.as_ref(), *c).unwrap();
+        let oracle = dp::solve_auto(p.as_ref(), *c, 3000).unwrap();
+        let t0 = oracle.schedule.periods()[0];
+        let grid_slack = 2.0 * oracle.step;
+        assert!(
+            t0 >= bracket.lower - grid_slack,
+            "{}: DP t0 {t0} below bracket [{}, {}]",
+            p.describe(),
+            bracket.lower,
+            bracket.upper
+        );
+        assert!(
+            t0 <= bracket.upper + grid_slack,
+            "{}: DP t0 {t0} above bracket [{}, {}]",
+            p.describe(),
+            bracket.lower,
+            bracket.upper
+        );
+    }
+}
+
+#[test]
+fn coordinate_ascent_closes_remaining_gap() {
+    // Polishing the guideline schedule (the paper's "narrow search space"
+    // workflow) should push efficiency essentially to 1.
+    let l = 600.0;
+    let c = 3.0;
+    let p = Polynomial::new(2, l).unwrap();
+    let plan = search::best_guideline_schedule(&p, c).unwrap();
+    let oracle = dp::solve_auto(&p, c, 2400).unwrap();
+    let polished = search::coordinate_ascent(&plan.schedule, &p, c, 6, 1e-12).unwrap();
+    let e = polished.expected_work(&p, c);
+    assert!(e >= plan.expected_work - 1e-12);
+    assert!(
+        e >= oracle.expected_work * 0.9999,
+        "polished {} vs DP {}",
+        e,
+        oracle.expected_work
+    );
+}

@@ -1,0 +1,86 @@
+//! Property-based cross-checks of the optimizer stack: for randomized model
+//! parameters, the independent solvers (closed forms, guideline search, DP
+//! oracle) must stay mutually consistent and the paper's inequalities must
+//! hold.
+
+use cs_core::{bounds, dp, optimal, search};
+use cs_life::{GeometricDecreasing, Polynomial, Uniform};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Uniform risk: the closed-form optimum matches the DP oracle and
+    /// dominates the guideline plan (which must itself be within a hair).
+    #[test]
+    fn prop_uniform_solvers_agree(l in 60.0f64..3000.0, c in 0.5f64..12.0) {
+        prop_assume!(l > 12.0 * c);
+        let p = Uniform::new(l).unwrap();
+        let opt = optimal::uniform_optimal(l, c).unwrap();
+        let e_opt = opt.expected_work(&p, c);
+        let oracle = dp::solve_auto(&p, c, 1500).unwrap();
+        // DP approaches from below, within grid resolution.
+        prop_assert!(oracle.expected_work <= e_opt + 1e-9);
+        prop_assert!(oracle.expected_work >= 0.985 * e_opt);
+        // Guideline search within a hair of the optimum, never above.
+        let plan = search::best_guideline_schedule(&p, c).unwrap();
+        prop_assert!(plan.expected_work <= e_opt + 1e-9);
+        prop_assert!(plan.expected_work >= 0.999 * e_opt);
+        // Cor 5.3 strict period bound.
+        prop_assert!((opt.len() as f64) < bounds::cor_5_3_period_bound(l, c));
+    }
+
+    /// Geometric decreasing: the closed-form expected work matches a long
+    /// truncation, and the t0 bracket contains the optimal period.
+    #[test]
+    fn prop_geometric_consistency(a in 1.05f64..8.0, c in 0.05f64..2.0) {
+        let p = GeometricDecreasing::new(a).unwrap();
+        let opt = optimal::geometric_decreasing_optimal(a, c).unwrap();
+        let truncated = opt.schedule(400).expected_work(&p, c);
+        prop_assert!((truncated - opt.expected_work).abs() <= 1e-9 + 1e-9 * opt.expected_work);
+        let (lo, hi) = bounds::geometric_decreasing_t0_bounds(a, c);
+        prop_assert!(lo <= opt.period && opt.period <= hi,
+            "t* = {} outside [{lo}, {hi}]", opt.period);
+        // The general Thm 3.2 bound agrees with the closed form.
+        let general = bounds::lower_bound_t0(&p, c).unwrap();
+        prop_assert!((general - lo).abs() < 1e-4 * lo.max(1.0));
+    }
+
+    /// Polynomial family: guideline schedules respect every §5 structural
+    /// law and the bracket contains the searched t0.
+    #[test]
+    fn prop_polynomial_structure(d in 1u32..5, l in 100.0f64..2000.0, c in 1.0f64..8.0) {
+        prop_assume!(l > 20.0 * c);
+        let p = Polynomial::new(d, l).unwrap();
+        let plan = search::best_guideline_schedule(&p, c).unwrap();
+        prop_assert!(plan.t0 >= plan.bracket.lower - 1e-9);
+        prop_assert!(plan.t0 <= plan.bracket.upper + 1e-9);
+        // Thm 5.2 concave growth law.
+        for w in plan.schedule.periods().windows(2) {
+            prop_assert!(w[1] <= w[0] - c + 1e-6);
+        }
+        // Cor 5.2: m <= t0/c.
+        prop_assert!(plan.schedule.len() as f64 <= plan.t0 / c + 1e-6);
+        // All periods productive and within the lifespan.
+        prop_assert!(plan.schedule.periods().iter().all(|&t| t > c));
+        prop_assert!(plan.schedule.total_length() <= l + 1e-6);
+    }
+
+    /// The expected-work functional is monotone under adding any productive
+    /// trailing period (general p, here polynomial).
+    #[test]
+    fn prop_extension_never_hurts(d in 1u32..4, l in 100.0f64..800.0, c in 0.5f64..5.0) {
+        prop_assume!(l > 20.0 * c);
+        let p = Polynomial::new(d, l).unwrap();
+        let plan = search::best_guideline_schedule(&p, c).unwrap();
+        let total = plan.schedule.total_length();
+        let room = l - total;
+        prop_assume!(room > 0.0);
+        // Appending a period that still fits cannot reduce E.
+        let extra = (room * 0.5).max(1e-6);
+        let extended = plan
+            .schedule
+            .concat(&cs_core::Schedule::new(vec![extra]).unwrap());
+        prop_assert!(extended.expected_work(&p, c) >= plan.expected_work - 1e-9);
+    }
+}

@@ -1,0 +1,120 @@
+//! The §5 structural laws, verified across crates on *searched* (not
+//! hand-built) schedules: the guideline plans, the \[3\] baselines and the DP
+//! oracle must all exhibit the structure the paper proves for optimal
+//! schedules.
+
+use cs_core::structure::{
+    check_growth_law, check_period_count_cor_5_2, check_period_count_cor_5_3,
+    check_strictly_decreasing,
+};
+use cs_core::{bounds, dp, optimal, perturb, search};
+use cs_life::{GeometricDecreasing, GeometricIncreasing, LifeFunction, Polynomial, Shape, Uniform};
+
+#[test]
+fn guideline_plans_satisfy_concave_laws() {
+    let c = 3.0;
+    for (name, p) in [
+        (
+            "uniform",
+            Box::new(Uniform::new(900.0).unwrap()) as Box<dyn LifeFunction>,
+        ),
+        ("poly-d2", Box::new(Polynomial::new(2, 900.0).unwrap())),
+        ("poly-d4", Box::new(Polynomial::new(4, 900.0).unwrap())),
+        (
+            "geo-inc",
+            Box::new(GeometricIncreasing::new(128.0).unwrap()),
+        ),
+    ] {
+        let plan = search::best_guideline_schedule(p.as_ref(), c).unwrap();
+        let s = &plan.schedule;
+        check_growth_law(s, Shape::Concave, c).unwrap_or_else(|v| panic!("{name}: {v}"));
+        check_strictly_decreasing(s).unwrap_or_else(|v| panic!("{name}: {v}"));
+        check_period_count_cor_5_2(s, c).unwrap_or_else(|v| panic!("{name}: {v}"));
+        let l = p.lifespan().unwrap();
+        check_period_count_cor_5_3(s, l, c).unwrap_or_else(|v| panic!("{name}: {v}"));
+    }
+}
+
+#[test]
+fn dp_oracle_schedules_satisfy_growth_laws_to_grid_tolerance() {
+    // The DP optimum is a true optimal schedule up to grid rounding, so the
+    // Thm 5.2 inequalities must hold with at most one grid step of slack.
+    let c = 4.0;
+    let p = Polynomial::new(2, 600.0).unwrap();
+    let sol = dp::solve_auto(&p, c, 3000).unwrap();
+    let slack = 2.0 * sol.step;
+    for w in sol.schedule.periods().windows(2) {
+        assert!(
+            w[1] <= w[0] - c + slack,
+            "DP schedule violates concave growth: {} -> {}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn convex_law_on_geometric_schedules() {
+    let c = 1.0;
+    let p = GeometricDecreasing::new(2.0).unwrap();
+    let opt = optimal::geometric_decreasing_optimal(2.0, c).unwrap();
+    check_growth_law(&opt.schedule(100), Shape::Convex, c).unwrap();
+    let plan = search::best_guideline_schedule(&p, c).unwrap();
+    check_growth_law(&plan.schedule, Shape::Convex, c).unwrap();
+}
+
+#[test]
+fn uniform_optimum_marks_both_extremes() {
+    // Uniform risk is both concave and convex: the optimal schedule sits
+    // exactly on t_{i+1} = t_i - c (the paper's "cannot be improved"
+    // remark after Thm 5.2).
+    let c = 5.0;
+    let s = optimal::uniform_optimal(1500.0, c).unwrap();
+    check_growth_law(&s, Shape::Concave, c).unwrap();
+    check_growth_law(&s, Shape::Convex, c).unwrap();
+}
+
+#[test]
+fn period_count_bound_tight_for_uniform() {
+    for (l, c) in [(100.0, 1.0), (1000.0, 5.0), (10_000.0, 7.0)] {
+        let m = optimal::uniform_optimal(l, c).unwrap().len() as f64;
+        let bound = bounds::cor_5_3_period_bound(l, c);
+        assert!(m < bound);
+        assert!(bound - m <= 2.0, "L={l}, c={c}: m={m}, bound={bound}");
+    }
+}
+
+#[test]
+fn guideline_schedules_are_perturbation_stable() {
+    // Theorem 5.1 across families: no [k, ±δ]-perturbation improves a
+    // schedule satisfying (3.6) on a concave life function.
+    let c = 2.0;
+    for d in [1u32, 2, 3] {
+        let p = Polynomial::new(d, 500.0).unwrap();
+        let plan = search::best_guideline_schedule(&p, c).unwrap();
+        let margin =
+            perturb::local_optimality_margin(&plan.schedule, &p, c, &[0.01, 0.1, 0.5, 2.0]);
+        assert!(
+            margin <= 1e-9,
+            "d={d}: improving perturbation found ({margin})"
+        );
+    }
+}
+
+#[test]
+fn cor_5_5_bounds_hold_for_searched_schedules() {
+    let c = 4.0;
+    for d in [1u32, 2, 3] {
+        let l = 800.0;
+        let p = Polynomial::new(d, l).unwrap();
+        let plan = search::best_guideline_schedule(&p, c).unwrap();
+        let t0 = plan.schedule.periods()[0];
+        assert!(
+            t0 > bounds::cor_5_5_t0_lower(l, c),
+            "d={d}: t0 = {t0} below Cor 5.5 bound {}",
+            bounds::cor_5_5_t0_lower(l, c)
+        );
+        let m = plan.schedule.len();
+        assert!(t0 >= bounds::cor_5_4_t0_lower(plan.schedule.total_length(), c, m) - 1e-6);
+    }
+}

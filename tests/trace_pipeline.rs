@@ -1,0 +1,106 @@
+//! End-to-end trace pipeline: synthesize owner traces, estimate/fit a life
+//! function, schedule against the estimate, and measure the value lost
+//! relative to scheduling with the exact life function — the paper's
+//! "approximate knowledge … garnered possibly from trace data" claim.
+
+use cs_core::search;
+use cs_life::{GeometricDecreasing, LifeFunction, Polynomial, Uniform};
+use cs_trace::estimate::{estimate_life, ks_distance};
+use cs_trace::fit::{fit_best, fit_geometric};
+use cs_trace::owner::{sample_absences, DiurnalOwner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Expected work under the truth of the guideline schedule computed from a
+/// believed life function.
+fn value_under_truth(believed: &dyn LifeFunction, truth: &dyn LifeFunction, c: f64) -> f64 {
+    let plan = search::best_guideline_schedule(believed, c).expect("plan");
+    plan.schedule.expected_work(truth, c)
+}
+
+#[test]
+fn estimated_schedule_loses_little_uniform() {
+    let truth = Uniform::new(50.0).unwrap();
+    let c = 1.0;
+    let mut rng = StdRng::seed_from_u64(314);
+    let samples = sample_absences(&truth, 5_000, &mut rng).unwrap();
+    let est = estimate_life(&samples, 24).unwrap();
+    let e_est = value_under_truth(&est, &truth, c);
+    let e_exact = value_under_truth(&truth, &truth, c);
+    assert!(
+        e_est / e_exact > 0.97,
+        "estimate-driven schedule achieves only {} of {}",
+        e_est,
+        e_exact
+    );
+}
+
+#[test]
+fn estimated_schedule_loses_little_geometric() {
+    let truth = GeometricDecreasing::new(1.5).unwrap();
+    let c = 0.5;
+    let mut rng = StdRng::seed_from_u64(2718);
+    let samples = sample_absences(&truth, 5_000, &mut rng).unwrap();
+    // Parametric route: fit the geometric family directly.
+    let fitted = fit_geometric(&samples).unwrap();
+    let e_fit = value_under_truth(&fitted, &truth, c);
+    let e_exact = value_under_truth(&truth, &truth, c);
+    assert!(
+        e_fit / e_exact > 0.98,
+        "fitted-geometric schedule achieves only {} of {}",
+        e_fit,
+        e_exact
+    );
+}
+
+#[test]
+fn estimation_error_decreases_with_trace_size() {
+    let truth = Polynomial::new(2, 30.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(555);
+    let mut last_ks = f64::INFINITY;
+    for n in [200usize, 2_000, 20_000] {
+        let samples = sample_absences(&truth, n, &mut rng).unwrap();
+        let est = estimate_life(&samples, 24).unwrap();
+        let ks = ks_distance(&truth, &est, 30.0, 500);
+        assert!(
+            ks < last_ks * 1.5,
+            "KS did not trend down: {ks} after {last_ks}"
+        );
+        last_ks = ks;
+    }
+    assert!(last_ks < 0.02, "final KS = {last_ks}");
+}
+
+#[test]
+fn model_selection_recovers_generating_family() {
+    let mut rng = StdRng::seed_from_u64(777);
+    let truth = Uniform::new(12.0).unwrap();
+    let samples = sample_absences(&truth, 8_000, &mut rng).unwrap();
+    let best = fit_best(&samples).unwrap();
+    assert_eq!(best.family, "uniform");
+    // And the fitted lifespan is accurate.
+    assert!(best
+        .life
+        .lifespan()
+        .map(|l| (l - 12.0).abs() < 0.5)
+        .unwrap_or(false));
+}
+
+#[test]
+fn diurnal_trace_feeds_scheduler() {
+    // The full realistic loop: structured trace -> smooth estimate ->
+    // guideline schedule. The estimate is not any parametric family, yet
+    // the scheduler must still produce a valid, productive plan.
+    let mut rng = StdRng::seed_from_u64(4242);
+    let absences = DiurnalOwner::default()
+        .absence_durations(90, &mut rng)
+        .unwrap();
+    let est = estimate_life(&absences, 24).unwrap();
+    let c = 0.05; // 3 minutes in hours
+    let plan = search::best_guideline_schedule(&est, c).expect("plan on diurnal estimate");
+    assert!(!plan.schedule.is_empty());
+    assert!(plan.expected_work > 0.0);
+    // All periods productive and within the observed horizon.
+    assert!(plan.schedule.periods().iter().all(|&t| t > c));
+    assert!(plan.schedule.total_length() <= est.lifespan().unwrap() + 1e-9);
+}
