@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use cs_core::{search, Schedule};
 use cs_life::{ArcLife, Uniform};
 use cs_now::farm::{Farm, FarmConfig, PolicyKind, WorkstationConfig};
+use cs_now::faults::FaultPlan;
 use cs_now::replicate::replicate_farm;
 use cs_tasks::quantization::fluid_vs_packed;
 use cs_tasks::{workloads, TaskBag};
@@ -21,6 +22,7 @@ fn workstations(n: usize, policy: PolicyKind) -> Vec<WorkstationConfig> {
                 c: 2.0,
                 policy,
                 gap_mean: 8.0,
+                faults: FaultPlan::none(),
             }
         })
         .collect()
@@ -35,20 +37,17 @@ fn bench_now_farm(cr: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("fixed_policy", n_ws), &n_ws, |b, &n_ws| {
             b.iter(|| {
                 let bag = workloads::uniform(1_000, 1.0).unwrap();
-                let config = FarmConfig {
-                    workstations: workstations(n_ws, PolicyKind::FixedSize(15.0)),
-                    max_virtual_time: 1e6,
-                    seed: 7,
-                };
-                Farm::new(config, bag).run()
+                let config =
+                    FarmConfig::new(workstations(n_ws, PolicyKind::FixedSize(15.0)), 1e6, 7);
+                Farm::new(config, bag).unwrap().run()
             })
         });
     }
     g.sample_size(10);
     g.bench_function("replicate_8x_4threads", |b| {
-        let ws = workstations(4, PolicyKind::FixedSize(15.0));
+        let template = FarmConfig::new(workstations(4, PolicyKind::FixedSize(15.0)), 1e6, 1);
         let make_bag = || workloads::uniform(400, 1.0).unwrap();
-        b.iter(|| replicate_farm(&ws, PolicyKind::FixedSize(15.0), &make_bag, 1e6, 8, 1, 4))
+        b.iter(|| replicate_farm(&template, PolicyKind::FixedSize(15.0), &make_bag, 8, 4).unwrap())
     });
     g.finish();
 }

@@ -4,7 +4,8 @@
 
 use cs_apps::{fmt, Table};
 use cs_life::{ArcLife, GeometricDecreasing, Polynomial, Uniform};
-use cs_now::farm::{PolicyKind, WorkstationConfig};
+use cs_now::farm::{FarmConfig, PolicyKind, WorkstationConfig};
+use cs_now::faults::FaultPlan;
 use cs_now::replicate::replicate_farm;
 use cs_tasks::workloads;
 use std::sync::Arc;
@@ -23,6 +24,7 @@ fn heterogeneous_now(n: usize, c: f64) -> Vec<WorkstationConfig> {
                 c,
                 policy: PolicyKind::Guideline,
                 gap_mean: 12.0,
+                faults: FaultPlan::none(),
             }
         })
         .collect()
@@ -35,7 +37,7 @@ fn main() {
     let threads = 4;
     for (n_ws, tasks) in [(4usize, 600usize), (16, 2400)] {
         println!("{n_ws} workstations, {tasks} unit tasks, c = {c}, {reps} replications:");
-        let ws = heterogeneous_now(n_ws, c);
+        let template = FarmConfig::new(heterogeneous_now(n_ws, c), 1e6, 31_337);
         let make_bag = move || workloads::uniform(tasks, 1.0).unwrap();
         let mut t = Table::new(&[
             "policy",
@@ -51,7 +53,8 @@ fn main() {
             PolicyKind::FixedSize(25.0),
             PolicyKind::FixedSize(100.0),
         ] {
-            let rep = replicate_farm(&ws, policy, &make_bag, 1e6, reps, 31_337, threads);
+            let rep = replicate_farm(&template, policy, &make_bag, reps, threads)
+                .expect("valid farm template");
             t.row(&[
                 rep.policy.clone(),
                 fmt(rep.drained_fraction, 2),

@@ -18,6 +18,7 @@ use cs_apps::{fmt, pct, Table};
 use cs_core::{dp, search};
 use cs_life::LifeFunction;
 use cs_now::farm::{Farm, FarmConfig, PolicyKind, WorkstationConfig};
+use cs_now::faults::FaultPlan;
 use cs_sim::simulate_expected_work_parallel;
 use cs_tasks::workloads;
 use cs_trace::{estimate::estimate_life, fit::fit_all, owner::DiurnalOwner};
@@ -48,6 +49,12 @@ COMMANDS:
     farm       Run the virtual-time NOW farm.
                --workstations <n> --tasks <m> --l <lifespan> --c <overhead>
                --policy guideline|greedy|fixed:<t> --gap <mean> --seed <s>
+               fault injection (all optional, applied to every workstation):
+               --faults <intensity>     canonical escalation of every class
+               --loss <p>               dispatch/result loss probability
+               --slowdown <f>           multiplicative straggler factor (>= 1)
+               --crash <rate>           permanent-crash hazard rate
+               --storms <t1,t2,...>     correlated reclaim-storm times
     saves      Checkpoint-interval planning under Poisson faults.
                --work <w> --c <save cost> --lambda <fault rate>
     help       Show this message.
@@ -217,6 +224,34 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
     let c = args.f64_or("c", 2.0)?;
     let gap = args.f64_or("gap", 10.0)?;
     let seed = args.u64_or("seed", 7)?;
+    let mut faults = FaultPlan::scaled(args.f64_or("faults", 0.0)?);
+    if let Some(p) = args.get("loss") {
+        faults.loss_prob = p.parse().map_err(|_| "--loss: bad number".to_string())?;
+    }
+    if let Some(f) = args.get("slowdown") {
+        faults.slowdown = f
+            .parse()
+            .map_err(|_| "--slowdown: bad number".to_string())?;
+    }
+    if let Some(r) = args.get("crash") {
+        faults.crash_rate = r.parse().map_err(|_| "--crash: bad number".to_string())?;
+    }
+    let storms: Vec<f64> = match args.get("storms") {
+        None => Vec::new(),
+        Some(list) => {
+            // Storms only matter if something is susceptible to them.
+            if faults.storm_hit_prob == 0.0 {
+                faults.storm_hit_prob = 1.0;
+            }
+            list.split(',')
+                .map(|t| {
+                    t.trim()
+                        .parse()
+                        .map_err(|_| format!("--storms: bad time {t:?}"))
+                })
+                .collect::<Result<_, _>>()?
+        }
+    };
     let policy = match args.get("policy").unwrap_or("guideline") {
         "guideline" => PolicyKind::Guideline,
         "greedy" => PolicyKind::Greedy,
@@ -241,18 +276,15 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
             c,
             policy,
             gap_mean: gap,
+            faults: faults.clone(),
         })
         .collect();
     let bag = workloads::uniform(tasks, 1.0).map_err(|e| e.to_string())?;
-    let report = Farm::new(
-        FarmConfig {
-            workstations,
-            max_virtual_time: 1e7,
-            seed,
-        },
-        bag,
-    )
-    .run();
+    let mut config = FarmConfig::new(workstations, 1e7, seed);
+    config.storms = storms;
+    config.validate().map_err(|e| e.to_string())?;
+    let injecting = !faults.is_zero() || !config.storms.is_empty();
+    let report = Farm::new(config, bag).map_err(|e| e.to_string())?.run();
     println!("policy        : {}", policy.label());
     println!("workstations  : {n_ws} (uniform L = {l}, c = {c}, gap mean = {gap})");
     println!("tasks         : {tasks}");
@@ -260,6 +292,22 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
     println!("makespan      : {:.2}", report.makespan);
     println!("banked work   : {:.1}", report.completed_work);
     println!("lost work     : {:.1}", report.lost_work);
+    if injecting {
+        let rb = &report.robustness;
+        println!(
+            "faults        : {} lost msgs, {} stragglers, {} crashes, {} storm kills",
+            rb.messages_lost, rb.straggled_chunks, rb.crashes, rb.storm_kills
+        );
+        println!(
+            "resilience    : {} lease timeouts, {} backoffs, {} quarantines, \
+             {} replicas, {:.1} duplicate work discarded",
+            rb.lease_timeouts,
+            rb.backoff_delays,
+            rb.quarantines,
+            rb.replicas_dispatched,
+            rb.duplicate_work
+        );
+    }
     let mut table = Table::new(&["ws", "banked", "lost", "chunks", "killed", "episodes"]);
     for (i, w) in report.per_workstation.iter().enumerate() {
         table.row(&[

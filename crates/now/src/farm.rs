@@ -1,9 +1,11 @@
-//! Virtual-time NOW farm simulator.
+//! Virtual-time NOW farm simulator with fault injection and a resilient
+//! master.
 //!
-//! All workstations share one global virtual clock. Each chunk request is an
-//! event in a priority queue keyed by virtual time, so the shared task bag
-//! is consumed in exactly the order a real master would see requests — the
-//! property that makes policy comparisons fair and runs reproducible.
+//! All workstations share one global virtual clock. Every chunk dispatch,
+//! lease timeout and straggler arrival is an event in a priority queue keyed
+//! by virtual time, so the shared task bag is consumed in exactly the order
+//! a real master would see requests — the property that makes policy
+//! comparisons fair and runs reproducible.
 //!
 //! Per-workstation timeline:
 //!
@@ -16,14 +18,34 @@
 //! mean. Within an episode the workstation's policy proposes periods; each
 //! period checks a chunk out of the shared bag, and the §2.1 kill semantics
 //! decide whether the chunk banks or returns.
+//!
+//! # Faults and resilience
+//!
+//! Each workstation additionally carries a [`FaultPlan`]
+//! (see [`crate::faults`]): message loss, stragglers, silent crashes,
+//! correlated reclaim storms and belief drift. The master counters them per
+//! its [`ResilienceConfig`]:
+//!
+//! * every dispatched chunk gets a **lease** (`lease_factor × period`);
+//!   on expiry its unbanked tasks are requeued,
+//! * workstations with consecutive timeouts suffer **capped exponential
+//!   backoff** and eventually **quarantine**,
+//! * in the end game (bag drained, chunks still in flight) idle
+//!   workstations **replicate** outstanding chunks — the first result to
+//!   bank wins and later duplicates are discarded and counted.
+//!
+//! Fault decisions draw from per-workstation RNG streams kept separate from
+//! the episode stream, so a zero-intensity plan leaves a run **bit-identical**
+//! to the fault-free simulator for the same seed.
 
+use crate::faults::{FaultPlan, ResilienceConfig};
 use cs_life::{ArcLife, LifeFunction};
-use cs_sim::policy::{ChunkPolicy, FixedSizePolicy, GreedyPolicy, GuidelinePolicy};
-use cs_tasks::TaskBag;
+use cs_sim::policy::{ChunkPolicy, FixedSizePolicy, GreedyPolicy, GuidelinePolicy, PeriodOutcome};
+use cs_tasks::{Chunk, Task, TaskBag};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
 
 /// Which chunk-sizing policy a workstation runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,24 +95,165 @@ pub struct WorkstationConfig {
     pub policy: PolicyKind,
     /// Mean of the exponential owner-presence gap between episodes.
     pub gap_mean: f64,
+    /// Injected faults ([`FaultPlan::none`] leaves the workstation
+    /// well-behaved).
+    pub faults: FaultPlan,
 }
 
 /// Farm-level configuration.
+#[derive(Clone)]
 pub struct FarmConfig {
     /// The workstations.
     pub workstations: Vec<WorkstationConfig>,
     /// Stop the simulation at this virtual time even if work remains.
     pub max_virtual_time: f64,
-    /// RNG seed (reclamations and gaps are deterministic given it).
+    /// RNG seed (reclamations, gaps and fault draws are deterministic given
+    /// it).
     pub seed: u64,
+    /// Virtual times of correlated reclaim storms: at each, every
+    /// workstation mid-episode is reclaimed with its own
+    /// [`FaultPlan::storm_hit_prob`].
+    pub storms: Vec<f64>,
+    /// The master's fault countermeasures.
+    pub resilience: ResilienceConfig,
 }
+
+impl FarmConfig {
+    /// A fault-free configuration: no storms, default resilience.
+    pub fn new(workstations: Vec<WorkstationConfig>, max_virtual_time: f64, seed: u64) -> Self {
+        Self {
+            workstations,
+            max_virtual_time,
+            seed,
+            storms: Vec::new(),
+            resilience: ResilienceConfig::default(),
+        }
+    }
+
+    /// Checks the configuration; [`Farm::new`] refuses invalid ones.
+    pub fn validate(&self) -> Result<(), FarmConfigError> {
+        if self.workstations.is_empty() {
+            return Err(FarmConfigError::NoWorkstations);
+        }
+        if !(self.max_virtual_time.is_finite() && self.max_virtual_time > 0.0) {
+            return Err(FarmConfigError::InvalidHorizon {
+                max_virtual_time: self.max_virtual_time,
+            });
+        }
+        for (ws, w) in self.workstations.iter().enumerate() {
+            if !(w.c.is_finite() && w.c >= 0.0) {
+                return Err(FarmConfigError::InvalidOverhead { ws, c: w.c });
+            }
+            if !(w.gap_mean.is_finite() && w.gap_mean > 0.0) {
+                return Err(FarmConfigError::InvalidGapMean {
+                    ws,
+                    gap_mean: w.gap_mean,
+                });
+            }
+            w.faults
+                .validate()
+                .map_err(|reason| FarmConfigError::InvalidFaultPlan { ws, reason })?;
+        }
+        self.resilience
+            .validate()
+            .map_err(|reason| FarmConfigError::InvalidResilience { reason })?;
+        for &time in &self.storms {
+            if !(time.is_finite() && time >= 0.0) {
+                return Err(FarmConfigError::InvalidStorm { time });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`FarmConfig`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FarmConfigError {
+    /// The workstation list is empty.
+    NoWorkstations,
+    /// `max_virtual_time` is not finite and positive.
+    InvalidHorizon {
+        /// The offending horizon.
+        max_virtual_time: f64,
+    },
+    /// A workstation's overhead `c` is negative or not finite.
+    InvalidOverhead {
+        /// Index of the offending workstation.
+        ws: usize,
+        /// The offending overhead.
+        c: f64,
+    },
+    /// A workstation's `gap_mean` is not finite and positive.
+    InvalidGapMean {
+        /// Index of the offending workstation.
+        ws: usize,
+        /// The offending gap mean.
+        gap_mean: f64,
+    },
+    /// A workstation's fault plan has an out-of-range parameter.
+    InvalidFaultPlan {
+        /// Index of the offending workstation.
+        ws: usize,
+        /// What is wrong with the plan.
+        reason: &'static str,
+    },
+    /// The resilience configuration has an out-of-range parameter.
+    InvalidResilience {
+        /// What is wrong with the configuration.
+        reason: &'static str,
+    },
+    /// A storm time is negative or not finite.
+    InvalidStorm {
+        /// The offending storm time.
+        time: f64,
+    },
+}
+
+impl std::fmt::Display for FarmConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FarmConfigError::NoWorkstations => {
+                write!(f, "farm needs at least one workstation")
+            }
+            FarmConfigError::InvalidHorizon { max_virtual_time } => {
+                write!(
+                    f,
+                    "max_virtual_time must be finite and positive, got {max_virtual_time}"
+                )
+            }
+            FarmConfigError::InvalidOverhead { ws, c } => {
+                write!(
+                    f,
+                    "workstation {ws}: overhead c must be finite and >= 0, got {c}"
+                )
+            }
+            FarmConfigError::InvalidGapMean { ws, gap_mean } => {
+                write!(
+                    f,
+                    "workstation {ws}: gap_mean must be finite and positive, got {gap_mean}"
+                )
+            }
+            FarmConfigError::InvalidFaultPlan { ws, reason } => {
+                write!(f, "workstation {ws}: invalid fault plan: {reason}")
+            }
+            FarmConfigError::InvalidResilience { reason } => {
+                write!(f, "invalid resilience config: {reason}")
+            }
+            FarmConfigError::InvalidStorm { time } => {
+                write!(f, "storm times must be finite and >= 0, got {time}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FarmConfigError {}
 
 /// Per-workstation outcome.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WorkstationStats {
     /// Task time banked by this workstation.
     pub completed_work: f64,
-    /// Task time executed but destroyed by reclamations.
+    /// Task time executed but destroyed (reclamations and crashes).
     pub lost_work: f64,
     /// Chunks banked.
     pub chunks_completed: u64,
@@ -101,6 +264,55 @@ pub struct WorkstationStats {
     /// Periods that elapsed with an empty chunk (bag drained or head task
     /// larger than the period budget).
     pub idle_periods: u64,
+    /// Dispatches (or their results) lost in transit.
+    pub messages_lost: u64,
+    /// Chunks whose stretched period overran their lease; their results
+    /// arrived after the master had requeued the tasks.
+    pub straggled_chunks: u64,
+    /// 1 if this workstation crashed permanently during the run.
+    pub crashes: u64,
+    /// Episodes cut short by a correlated reclaim storm.
+    pub storm_kills: u64,
+    /// Leases on this workstation's chunks that expired (master gave up and
+    /// requeued).
+    pub lease_timeouts: u64,
+    /// Dispatches delayed by the master's exponential backoff.
+    pub backoff_delays: u64,
+    /// Quarantine (probation) periods served.
+    pub quarantines: u64,
+    /// End-game replica chunks this workstation executed.
+    pub replicas_dispatched: u64,
+    /// Straggler results that still banked first despite their expired
+    /// lease.
+    pub late_banks: u64,
+    /// Task time this workstation computed that was discarded because
+    /// another copy banked first.
+    pub duplicate_work: f64,
+}
+
+/// Farm-wide sums of the robustness counters in [`WorkstationStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RobustnessTotals {
+    /// Dispatches (or results) lost in transit.
+    pub messages_lost: u64,
+    /// Chunks whose results arrived after their lease expired.
+    pub straggled_chunks: u64,
+    /// Workstations that crashed permanently.
+    pub crashes: u64,
+    /// Episodes cut short by reclaim storms.
+    pub storm_kills: u64,
+    /// Leases that expired and were requeued.
+    pub lease_timeouts: u64,
+    /// Dispatches delayed by exponential backoff.
+    pub backoff_delays: u64,
+    /// Quarantine periods served.
+    pub quarantines: u64,
+    /// End-game replica chunks dispatched.
+    pub replicas_dispatched: u64,
+    /// Straggler results that still banked first.
+    pub late_banks: u64,
+    /// Task time discarded because another copy banked first.
+    pub duplicate_work: f64,
 }
 
 /// Outcome of one farm run.
@@ -108,146 +320,612 @@ pub struct WorkstationStats {
 pub struct FarmReport {
     /// Virtual time at which the last chunk was banked (NaN if none).
     pub makespan: f64,
-    /// Total task time banked across the farm.
+    /// Total task time banked across the farm (each task counted once;
+    /// duplicates discarded).
     pub completed_work: f64,
-    /// Total task time destroyed by reclamations.
+    /// Total task time destroyed by reclamations and crashes.
     pub lost_work: f64,
-    /// Task time never dispatched (bag not drained at the horizon).
+    /// Task time never banked (pending or in flight at the horizon).
     pub remaining_work: f64,
-    /// True when every task was completed before `max_virtual_time`.
+    /// True when every task was banked before `max_virtual_time`.
     pub drained: bool,
     /// Per-workstation breakdown.
     pub per_workstation: Vec<WorkstationStats>,
+    /// Farm-wide robustness counters (all zero for zero-intensity plans).
+    pub robustness: RobustnessTotals,
 }
 
-/// An event in the farm's virtual-time queue: workstation `ws` wants to
-/// start its next period at `time`.
-struct Request {
-    time: f64,
-    ws: usize,
+/// An event in the farm's virtual-time queue.
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// A completed straggler chunk's results reach the master (lease id).
+    Arrival(u64),
+    /// A dispatched chunk's lease times out (lease id).
+    LeaseExpiry(u64),
+    /// Workstation `ws` asks for its next period.
+    Dispatch(usize),
 }
 
-impl PartialEq for Request {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.ws == other.ws
+impl EventKind {
+    /// Tie-break rank at equal times: arrivals first (a result arriving
+    /// exactly at its lease expiry still banks), then expiries (freed tasks
+    /// are requeued before dispatches look at the bag), then dispatches in
+    /// workstation order.
+    fn rank(&self) -> (u8, u64) {
+        match *self {
+            EventKind::Arrival(id) => (0, id),
+            EventKind::LeaseExpiry(id) => (1, id),
+            EventKind::Dispatch(ws) => (2, ws as u64),
+        }
     }
 }
-impl Eq for Request {}
-impl PartialOrd for Request {
+
+struct Event {
+    time: f64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Request {
+impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap by time (reverse), tie-broken by workstation id for
-        // determinism.
+        // BinaryHeap pops the maximum, so reverse every component: pops come
+        // in ascending (time, rank) order. `total_cmp` keeps the order total
+        // — a NaN time sorts after every finite time instead of comparing
+        // `Equal` to everything and scrambling the heap.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.ws.cmp(&self.ws))
+            .total_cmp(&self.time)
+            .then_with(|| other.kind.rank().cmp(&self.kind.rank()))
     }
+}
+
+/// An outstanding chunk the master has not yet accounted for: dispatched,
+/// but neither banked nor abandoned.
+struct Lease {
+    ws: usize,
+    chunk: Chunk,
+    expiry: f64,
+    /// A straggler arrival will still deliver this lease's results.
+    arrives: bool,
+    /// The lease timed out (tasks requeued); kept only to receive a late
+    /// arrival.
+    expired: bool,
+    /// End-game replicas dispatched against this chunk.
+    replicas: u32,
 }
 
 struct WorkstationState {
     policy: Box<dyn ChunkPolicy>,
     /// Virtual time the current episode started.
     episode_start: f64,
-    /// Absolute virtual time the owner reclaims in the current episode.
+    /// Absolute virtual time the owner reclaims in the current episode
+    /// (already truncated by any storm hit).
     reclaim_at: f64,
+    /// Fault stream, separate from the episode stream so zero-intensity
+    /// plans stay bit-identical.
+    fault_rng: StdRng,
+    /// Absolute virtual time of the permanent crash (infinity if none).
+    crash_at: f64,
+    crashed: bool,
+    /// Consecutive lease timeouts; reset by a successful bank or
+    /// quarantine.
+    fail_streak: u32,
+    /// The next dispatch must first serve a backoff delay.
+    backoff_pending: bool,
+    /// The master refuses this workstation work until this time.
+    quarantined_until: f64,
     stats: WorkstationStats,
+}
+
+/// The master's run state: the bag, the lease table, the set of banked task
+/// ids (first bank wins) and the event queue.
+struct Engine {
+    bag: TaskBag,
+    queue: BinaryHeap<Event>,
+    rng: StdRng,
+    storms: Vec<f64>,
+    in_flight: BTreeMap<u64, Lease>,
+    banked: HashSet<u64>,
+    next_lease: u64,
+    makespan: f64,
+}
+
+impl Engine {
+    /// Registers an outstanding chunk and schedules its lease expiry.
+    fn lease(&mut self, ws: usize, chunk: Chunk, expiry: f64, arrives: bool) -> u64 {
+        let id = self.next_lease;
+        self.next_lease += 1;
+        self.in_flight.insert(
+            id,
+            Lease {
+                ws,
+                chunk,
+                expiry,
+                arrives,
+                expired: false,
+                replicas: 0,
+            },
+        );
+        self.queue.push(Event {
+            time: expiry,
+            kind: EventKind::LeaseExpiry(id),
+        });
+        id
+    }
+
+    /// Banks a chunk's results at time `end`: first bank wins, duplicates
+    /// are discarded and charged to the delivering workstation. Returns the
+    /// newly banked task time.
+    fn bank(&mut self, chunk: Chunk, st: &mut WorkstationState, end: f64) -> f64 {
+        let mut new_work = 0.0;
+        let mut any = false;
+        for task in chunk.into_tasks() {
+            if self.banked.insert(task.id) {
+                new_work += task.duration;
+                any = true;
+            } else {
+                st.stats.duplicate_work += task.duration;
+            }
+        }
+        st.stats.completed_work += new_work;
+        if any {
+            self.makespan = if self.makespan.is_nan() {
+                end
+            } else {
+                self.makespan.max(end)
+            };
+        }
+        new_work
+    }
+
+    /// Returns a killed chunk's unbanked tasks to the bag as lost work.
+    fn abandon_unbanked(&mut self, chunk: Chunk) {
+        let fresh: Vec<Task> = chunk
+            .into_tasks()
+            .into_iter()
+            .filter(|t| !self.banked.contains(&t.id))
+            .collect();
+        self.bag.abandon(Chunk::from_tasks(fresh));
+    }
+
+    /// Returns a timed-out chunk's unbanked tasks to the bag (nothing was
+    /// executed and destroyed, so no lost work is recorded).
+    fn requeue_unbanked(&mut self, tasks: &[Task]) {
+        let fresh: Vec<Task> = tasks
+            .iter()
+            .filter(|t| !self.banked.contains(&t.id))
+            .copied()
+            .collect();
+        self.bag.requeue(Chunk::from_tasks(fresh));
+    }
+
+    /// Drops tasks the master already banked elsewhere from a freshly
+    /// checked-out chunk (they can re-enter the bag via lease requeues).
+    fn prune_banked(&self, chunk: Chunk) -> Chunk {
+        if chunk.is_empty() || self.banked.is_empty() {
+            return chunk;
+        }
+        Chunk::from_tasks(
+            chunk
+                .into_tasks()
+                .into_iter()
+                .filter(|t| !self.banked.contains(&t.id))
+                .collect(),
+        )
+    }
+
+    /// End-game replication: packs a copy of the most urgent outstanding
+    /// chunk's unbanked tasks into `budget`, if any candidate remains.
+    fn pack_replica(&mut self, budget: f64, max_replicas: u32) -> Option<Chunk> {
+        if budget <= 0.0 {
+            return None;
+        }
+        let mut candidates: Vec<(f64, u64)> = self
+            .in_flight
+            .iter()
+            .filter(|(_, l)| !l.expired && l.replicas < max_replicas)
+            .map(|(&id, l)| (l.expiry, id))
+            .collect();
+        // Most urgent first: the lease that will time out soonest.
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (_, id) in candidates {
+            let lease = &self.in_flight[&id];
+            let mut used = 0.0;
+            let mut tasks = Vec::new();
+            for task in lease.chunk.tasks() {
+                if self.banked.contains(&task.id) {
+                    continue;
+                }
+                if used + task.duration > budget + 1e-12 {
+                    break;
+                }
+                used += task.duration;
+                tasks.push(*task);
+            }
+            if tasks.is_empty() {
+                continue;
+            }
+            self.in_flight
+                .get_mut(&id)
+                .expect("candidate lease exists")
+                .replicas += 1;
+            return Some(Chunk::from_tasks(tasks));
+        }
+        None
+    }
 }
 
 /// The farm simulator. Construct with [`Farm::new`], then [`Farm::run`].
 pub struct Farm {
     config: FarmConfig,
     bag: TaskBag,
+    /// Sorted copy of `config.storms`.
+    storms: Vec<f64>,
 }
 
 impl Farm {
-    /// Creates a farm over the given task bag.
-    pub fn new(config: FarmConfig, bag: TaskBag) -> Self {
-        Self { config, bag }
+    /// Creates a farm over the given task bag, rejecting invalid
+    /// configurations.
+    pub fn new(config: FarmConfig, bag: TaskBag) -> Result<Self, FarmConfigError> {
+        config.validate()?;
+        let mut storms = config.storms.clone();
+        storms.sort_by(f64::total_cmp);
+        Ok(Self {
+            config,
+            bag,
+            storms,
+        })
     }
 
     /// Runs the simulation to drain or horizon, consuming the farm.
-    pub fn run(mut self) -> FarmReport {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let n = self.config.workstations.len();
+    pub fn run(self) -> FarmReport {
+        let Farm {
+            config,
+            bag,
+            storms,
+        } = self;
+        let initial_tasks = bag.pending_count();
+        let mut eng = Engine {
+            bag,
+            queue: BinaryHeap::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            storms,
+            in_flight: BTreeMap::new(),
+            banked: HashSet::new(),
+            next_lease: 0,
+            makespan: f64::NAN,
+        };
+        let n = config.workstations.len();
         let mut states: Vec<WorkstationState> = Vec::with_capacity(n);
-        let mut queue: BinaryHeap<Request> = BinaryHeap::new();
-        for (i, wc) in self.config.workstations.iter().enumerate() {
+        for (i, wc) in config.workstations.iter().enumerate() {
             let policy = wc.policy.build(wc.believed.clone(), wc.c);
-            let reclaim_at = draw_reclaim(&wc.life, &mut rng);
-            states.push(WorkstationState {
+            let reclaim_at = draw_reclaim(episode_life(wc, 0.0), &mut eng.rng);
+            let mut fault_rng = StdRng::seed_from_u64(
+                config.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let crash_at = if wc.faults.crash_rate > 0.0 {
+                let u = fault_rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
+                -u.ln() / wc.faults.crash_rate
+            } else {
+                f64::INFINITY
+            };
+            let mut st = WorkstationState {
                 policy,
                 episode_start: 0.0,
                 reclaim_at,
+                fault_rng,
+                crash_at,
+                crashed: false,
+                fail_streak: 0,
+                backoff_pending: false,
+                quarantined_until: 0.0,
                 stats: WorkstationStats {
                     episodes: 1,
                     ..Default::default()
                 },
+            };
+            apply_storms(&mut st, wc, &eng.storms);
+            states.push(st);
+            eng.queue.push(Event {
+                time: 0.0,
+                kind: EventKind::Dispatch(i),
             });
-            queue.push(Request { time: 0.0, ws: i });
         }
-        let mut makespan = f64::NAN;
-        while let Some(Request { time, ws }) = queue.pop() {
-            if time > self.config.max_virtual_time {
+
+        while let Some(Event { time, kind }) = eng.queue.pop() {
+            if time > config.max_virtual_time {
                 continue;
             }
-            if self.bag.is_drained() {
-                // Nothing left to hand out; in-flight chunks were banked or
-                // abandoned synchronously, so we are done.
+            if eng.banked.len() == initial_tasks {
+                // Every task banked; outstanding leases carry only
+                // duplicates.
                 break;
             }
-            let wc = &self.config.workstations[ws];
-            let st = &mut states[ws];
-            let elapsed = time - st.episode_start;
-            match st.policy.next_period(elapsed) {
-                Some(t) if t.is_finite() && t > 0.0 => {
-                    let chunk = cs_tasks::pack_chunk(&mut self.bag, t, wc.c);
-                    let end = time + t;
-                    if chunk.is_empty() {
-                        st.stats.idle_periods += 1;
-                        // Nothing dispatchable this period; try again later.
-                        queue.push(Request { time: end, ws });
-                    } else if end >= st.reclaim_at {
-                        // Killed mid-period: chunk returns to the bag.
-                        st.stats.chunks_lost += 1;
-                        st.stats.lost_work += chunk.total_duration();
-                        self.bag.abandon(chunk);
-                        start_next_episode(st, wc, &mut rng, &mut queue, ws);
-                    } else {
-                        st.stats.chunks_completed += 1;
-                        st.stats.completed_work += chunk.total_duration();
-                        self.bag.complete(chunk);
-                        makespan = if makespan.is_nan() {
-                            end
-                        } else {
-                            makespan.max(end)
-                        };
-                        queue.push(Request { time: end, ws });
-                    }
+            match kind {
+                EventKind::Dispatch(ws) => {
+                    dispatch(&mut eng, &config, &mut states[ws], ws, time);
                 }
-                _ => {
-                    // Policy declined (no productive period left in this
-                    // episode): wait out the owner and start a new episode.
-                    start_next_episode(st, wc, &mut rng, &mut queue, ws);
+                EventKind::LeaseExpiry(id) => {
+                    expire_lease(&mut eng, &config, &mut states, id, time);
+                }
+                EventKind::Arrival(id) => {
+                    let Some(lease) = eng.in_flight.remove(&id) else {
+                        continue;
+                    };
+                    let st = &mut states[lease.ws];
+                    let work = eng.bank(lease.chunk, st, time);
+                    st.stats.chunks_completed += 1;
+                    if work > 0.0 {
+                        st.stats.late_banks += 1;
+                    }
                 }
             }
         }
+
         let completed_work: f64 = states.iter().map(|s| s.stats.completed_work).sum();
         let lost_work: f64 = states.iter().map(|s| s.stats.lost_work).sum();
+        let remaining_work = if eng.in_flight.is_empty() {
+            eng.bag
+                .pending_tasks()
+                .filter(|t| !eng.banked.contains(&t.id))
+                .map(|t| t.duration)
+                .sum()
+        } else {
+            // Unique unbanked tasks across the bag and every outstanding
+            // lease (requeues can leave copies in both places).
+            let mut remaining: BTreeMap<u64, f64> = BTreeMap::new();
+            for task in eng.bag.pending_tasks() {
+                if !eng.banked.contains(&task.id) {
+                    remaining.insert(task.id, task.duration);
+                }
+            }
+            for lease in eng.in_flight.values() {
+                for task in lease.chunk.tasks() {
+                    if !eng.banked.contains(&task.id) {
+                        remaining.insert(task.id, task.duration);
+                    }
+                }
+            }
+            remaining.values().sum()
+        };
+        let mut robustness = RobustnessTotals::default();
+        for s in &states {
+            robustness.messages_lost += s.stats.messages_lost;
+            robustness.straggled_chunks += s.stats.straggled_chunks;
+            robustness.crashes += s.stats.crashes;
+            robustness.storm_kills += s.stats.storm_kills;
+            robustness.lease_timeouts += s.stats.lease_timeouts;
+            robustness.backoff_delays += s.stats.backoff_delays;
+            robustness.quarantines += s.stats.quarantines;
+            robustness.replicas_dispatched += s.stats.replicas_dispatched;
+            robustness.late_banks += s.stats.late_banks;
+            robustness.duplicate_work += s.stats.duplicate_work;
+        }
         FarmReport {
-            makespan,
+            makespan: eng.makespan,
             completed_work,
             lost_work,
-            remaining_work: self.bag.pending_work(),
-            drained: self.bag.is_drained(),
+            remaining_work,
+            drained: eng.banked.len() == initial_tasks,
             per_workstation: states.into_iter().map(|s| s.stats).collect(),
+            robustness,
         }
     }
+}
+
+/// Handles one dispatch opportunity for workstation `ws` at `time`.
+fn dispatch(
+    eng: &mut Engine,
+    config: &FarmConfig,
+    st: &mut WorkstationState,
+    ws: usize,
+    time: f64,
+) {
+    let wc = &config.workstations[ws];
+    if st.crashed {
+        return;
+    }
+    if time >= st.crash_at {
+        st.crashed = true;
+        st.stats.crashes = 1;
+        st.policy.observe(&PeriodOutcome::Crashed);
+        return;
+    }
+    if time < st.quarantined_until {
+        // Quarantine subsumes any pending backoff.
+        st.backoff_pending = false;
+        eng.queue.push(Event {
+            time: st.quarantined_until,
+            kind: EventKind::Dispatch(ws),
+        });
+        return;
+    }
+    if st.backoff_pending {
+        st.backoff_pending = false;
+        let delay = backoff_delay(&config.resilience, st.fail_streak);
+        if delay > 0.0 {
+            st.stats.backoff_delays += 1;
+            eng.queue.push(Event {
+                time: time + delay,
+                kind: EventKind::Dispatch(ws),
+            });
+            return;
+        }
+    }
+    let elapsed = time - st.episode_start;
+    match st.policy.next_period(elapsed) {
+        Some(t) if t.is_finite() && t > 0.0 => {
+            let raw = cs_tasks::pack_chunk(&mut eng.bag, t, wc.c);
+            let chunk = eng.prune_banked(raw);
+            if chunk.is_empty() {
+                if config.resilience.replicate_tail
+                    && eng.bag.is_drained()
+                    && !eng.in_flight.is_empty()
+                {
+                    if let Some(replica) =
+                        eng.pack_replica((t - wc.c).max(0.0), config.resilience.max_replicas)
+                    {
+                        st.stats.replicas_dispatched += 1;
+                        resolve_chunk(eng, config, st, ws, time, t, replica);
+                        return;
+                    }
+                }
+                st.stats.idle_periods += 1;
+                // Nothing dispatchable this period; try again later.
+                eng.queue.push(Event {
+                    time: time + t * wc.faults.slowdown,
+                    kind: EventKind::Dispatch(ws),
+                });
+            } else {
+                resolve_chunk(eng, config, st, ws, time, t, chunk);
+            }
+        }
+        _ => {
+            // Policy declined (no productive period left in this episode):
+            // wait out the owner and start a new episode.
+            start_next_episode(eng, wc, st, ws);
+        }
+    }
+}
+
+/// Decides the fate of a dispatched, non-empty chunk: lost in transit,
+/// killed by the owner, dead with a crashed workstation, straggling past its
+/// lease, or banked.
+fn resolve_chunk(
+    eng: &mut Engine,
+    config: &FarmConfig,
+    st: &mut WorkstationState,
+    ws: usize,
+    time: f64,
+    t: f64,
+    chunk: Chunk,
+) {
+    let wc = &config.workstations[ws];
+    let res = &config.resilience;
+    let end = time + t * wc.faults.slowdown;
+    // (a) The dispatch or its result vanishes in transit: the period burns
+    // its overhead, nothing executes as far as the master can tell, and the
+    // chunk's tasks come back only when the lease expires.
+    if wc.faults.loss_prob > 0.0 && st.fault_rng.random::<f64>() < wc.faults.loss_prob {
+        st.stats.messages_lost += 1;
+        st.policy.observe(&PeriodOutcome::Lost);
+        eng.lease(ws, chunk, time + res.lease_factor * t, false);
+        if end >= st.reclaim_at {
+            start_next_episode(eng, wc, st, ws);
+        } else {
+            eng.queue.push(Event {
+                time: end,
+                kind: EventKind::Dispatch(ws),
+            });
+        }
+        return;
+    }
+    // (b) §2.1 kill: the owner reclaims mid-period (storms are already
+    // folded into `reclaim_at`), before any crash.
+    if end >= st.reclaim_at && st.reclaim_at <= st.crash_at {
+        let lost = chunk.total_duration();
+        st.stats.chunks_lost += 1;
+        st.stats.lost_work += lost;
+        st.policy.observe(&PeriodOutcome::Killed { lost });
+        eng.abandon_unbanked(chunk);
+        start_next_episode(eng, wc, st, ws);
+        return;
+    }
+    // (c) Silent crash mid-period: the work dies with the workstation and
+    // the master learns only from the lease timeout.
+    if end > st.crash_at {
+        let lost = chunk.total_duration();
+        st.crashed = true;
+        st.stats.crashes = 1;
+        st.stats.chunks_lost += 1;
+        st.stats.lost_work += lost;
+        st.policy.observe(&PeriodOutcome::Crashed);
+        eng.lease(ws, chunk, time + res.lease_factor * t, false);
+        return;
+    }
+    // The chunk completes at `end`.
+    let lease_expiry = time + res.lease_factor * t;
+    if end > lease_expiry {
+        // (d) Straggler: the result will arrive after the master's lease
+        // gave up on it. First bank still wins when it lands.
+        st.stats.straggled_chunks += 1;
+        st.policy.observe(&PeriodOutcome::Straggled);
+        let id = eng.lease(ws, chunk, lease_expiry, true);
+        eng.queue.push(Event {
+            time: end,
+            kind: EventKind::Arrival(id),
+        });
+        eng.queue.push(Event {
+            time: end,
+            kind: EventKind::Dispatch(ws),
+        });
+    } else {
+        let work = eng.bank(chunk, st, end);
+        st.stats.chunks_completed += 1;
+        st.fail_streak = 0;
+        st.policy.observe(&PeriodOutcome::Banked { work });
+        eng.queue.push(Event {
+            time: end,
+            kind: EventKind::Dispatch(ws),
+        });
+    }
+}
+
+/// Handles a lease timeout: requeues the chunk's unbanked tasks and
+/// penalizes the workstation (backoff, then quarantine).
+fn expire_lease(
+    eng: &mut Engine,
+    config: &FarmConfig,
+    states: &mut [WorkstationState],
+    id: u64,
+    time: f64,
+) {
+    let (tasks, lease_ws, keep) = {
+        let Some(lease) = eng.in_flight.get_mut(&id) else {
+            return;
+        };
+        if lease.expired {
+            return;
+        }
+        lease.expired = true;
+        (lease.chunk.tasks().to_vec(), lease.ws, lease.arrives)
+    };
+    if !keep {
+        eng.in_flight.remove(&id);
+    }
+    eng.requeue_unbanked(&tasks);
+    let st = &mut states[lease_ws];
+    st.stats.lease_timeouts += 1;
+    if !st.crashed {
+        st.fail_streak += 1;
+        st.backoff_pending = true;
+        let res = &config.resilience;
+        if res.quarantine_threshold > 0 && st.fail_streak >= res.quarantine_threshold {
+            st.fail_streak = 0;
+            st.backoff_pending = false;
+            st.stats.quarantines += 1;
+            st.quarantined_until = time + res.quarantine_duration;
+        }
+    }
+}
+
+/// Capped exponential backoff after `streak` consecutive timeouts.
+fn backoff_delay(res: &ResilienceConfig, streak: u32) -> f64 {
+    if res.backoff_base <= 0.0 || streak == 0 {
+        return 0.0;
+    }
+    let doubled = res.backoff_base * 2f64.powi((streak - 1).min(62) as i32);
+    doubled.min(res.backoff_cap)
 }
 
 /// Draws an episode's reclamation *duration* from the life function.
@@ -256,25 +934,55 @@ fn draw_reclaim(life: &ArcLife, rng: &mut StdRng) -> f64 {
     life.inverse_survival(u)
 }
 
+/// The life function actually governing an episode starting at
+/// `episode_start` — the drifted one once belief drift has kicked in.
+fn episode_life(wc: &WorkstationConfig, episode_start: f64) -> &ArcLife {
+    match &wc.faults.drift {
+        Some(d) if episode_start >= d.at => &d.new_life,
+        _ => &wc.life,
+    }
+}
+
+/// Truncates the episode at the first reclaim storm that hits this
+/// workstation (correlated reclamation).
+fn apply_storms(st: &mut WorkstationState, wc: &WorkstationConfig, storms: &[f64]) {
+    if wc.faults.storm_hit_prob <= 0.0 {
+        return;
+    }
+    for &s in storms {
+        if s < st.episode_start {
+            continue;
+        }
+        if s >= st.reclaim_at {
+            break;
+        }
+        if st.fault_rng.random::<f64>() < wc.faults.storm_hit_prob {
+            st.reclaim_at = s;
+            st.stats.storm_kills += 1;
+            break;
+        }
+    }
+}
+
 /// Ends the current episode: the owner is present for an exponential gap,
 /// then a new episode (with a fresh reclamation draw) begins.
 fn start_next_episode(
-    st: &mut WorkstationState,
+    eng: &mut Engine,
     wc: &WorkstationConfig,
-    rng: &mut StdRng,
-    queue: &mut BinaryHeap<Request>,
+    st: &mut WorkstationState,
     ws: usize,
 ) {
-    let u = rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
+    let u = eng.rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
     let gap = -wc.gap_mean * u.ln();
     let next_start = st.reclaim_at + gap;
     st.episode_start = next_start;
-    st.reclaim_at = next_start + draw_reclaim(&wc.life, rng);
+    st.reclaim_at = next_start + draw_reclaim(episode_life(wc, next_start), &mut eng.rng);
+    apply_storms(st, wc, &eng.storms);
     st.stats.episodes += 1;
     st.policy.reset();
-    queue.push(Request {
+    eng.queue.push(Event {
         time: next_start,
-        ws,
+        kind: EventKind::Dispatch(ws),
     });
 }
 
@@ -293,17 +1001,18 @@ mod tests {
             c,
             policy,
             gap_mean: 5.0,
+            faults: FaultPlan::none(),
         }
     }
 
     fn run_farm(n_ws: usize, policy: PolicyKind, tasks: usize, seed: u64) -> FarmReport {
         let bag = workloads::uniform(tasks, 1.0).unwrap();
-        let config = FarmConfig {
-            workstations: (0..n_ws).map(|_| uniform_ws(200.0, 2.0, policy)).collect(),
-            max_virtual_time: 1e6,
+        let config = FarmConfig::new(
+            (0..n_ws).map(|_| uniform_ws(200.0, 2.0, policy)).collect(),
+            1e6,
             seed,
-        };
-        Farm::new(config, bag).run()
+        );
+        Farm::new(config, bag).unwrap().run()
     }
 
     #[test]
@@ -342,14 +1051,14 @@ mod tests {
     fn reclamations_cause_lost_work() {
         // Short lifespans and long fixed chunks: plenty of kills.
         let bag = workloads::uniform(400, 1.0).unwrap();
-        let config = FarmConfig {
-            workstations: (0..4)
+        let config = FarmConfig::new(
+            (0..4)
                 .map(|_| uniform_ws(30.0, 2.0, PolicyKind::FixedSize(15.0)))
                 .collect(),
-            max_virtual_time: 1e6,
-            seed: 21,
-        };
-        let r = Farm::new(config, bag).run();
+            1e6,
+            21,
+        );
+        let r = Farm::new(config, bag).unwrap().run();
         assert!(r.lost_work > 0.0, "expected some kills");
         // Conservation: banked + remaining = initial work.
         assert!((r.completed_work + r.remaining_work - 400.0).abs() < 1e-9);
@@ -358,12 +1067,12 @@ mod tests {
     #[test]
     fn horizon_stops_unfinished_farm() {
         let bag = workloads::uniform(100_000, 1.0).unwrap();
-        let config = FarmConfig {
-            workstations: vec![uniform_ws(100.0, 2.0, PolicyKind::FixedSize(10.0))],
-            max_virtual_time: 50.0,
-            seed: 5,
-        };
-        let r = Farm::new(config, bag).run();
+        let config = FarmConfig::new(
+            vec![uniform_ws(100.0, 2.0, PolicyKind::FixedSize(10.0))],
+            50.0,
+            5,
+        );
+        let r = Farm::new(config, bag).unwrap().run();
         assert!(!r.drained);
         assert!(r.remaining_work > 0.0);
     }
@@ -409,6 +1118,295 @@ mod tests {
         assert!(PolicyKind::FixedSize(3.0).label().contains("3"));
     }
 
+    #[test]
+    fn event_ordering_is_total_even_for_nan_times() {
+        // Regression: the queue used to order by `partial_cmp(..).unwrap_or(
+        // Equal)`, so a NaN time compared Equal to everything and could
+        // scramble heap invariants. `total_cmp` keeps the order total.
+        let mk = |time, ws| Event {
+            time,
+            kind: EventKind::Dispatch(ws),
+        };
+        let nan = mk(f64::NAN, 0);
+        let one = mk(1.0, 1);
+        assert_eq!(nan.cmp(&one), one.cmp(&nan).reverse());
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        let mut heap = BinaryHeap::new();
+        for e in [
+            mk(f64::NAN, 0),
+            mk(2.0, 1),
+            mk(0.5, 2),
+            mk(f64::NAN, 3),
+            mk(1.0, 4),
+        ] {
+            heap.push(e);
+        }
+        let order: Vec<f64> = std::iter::from_fn(|| heap.pop().map(|e| e.time)).collect();
+        // Finite times pop ascending; NaNs sort after every finite time.
+        assert_eq!(&order[..3], &[0.5, 1.0, 2.0]);
+        assert!(order[3].is_nan() && order[4].is_nan());
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_arrival_expiry_dispatch_order() {
+        let mut heap = BinaryHeap::new();
+        heap.push(Event {
+            time: 5.0,
+            kind: EventKind::Dispatch(1),
+        });
+        heap.push(Event {
+            time: 5.0,
+            kind: EventKind::Dispatch(0),
+        });
+        heap.push(Event {
+            time: 5.0,
+            kind: EventKind::LeaseExpiry(7),
+        });
+        heap.push(Event {
+            time: 5.0,
+            kind: EventKind::Arrival(3),
+        });
+        let kinds: Vec<(u8, u64)> =
+            std::iter::from_fn(|| heap.pop().map(|e| e.kind.rank())).collect();
+        assert_eq!(kinds, vec![(0, 3), (1, 7), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn farm_config_validation_rejects_bad_inputs() {
+        let bag = || workloads::uniform(10, 1.0).unwrap();
+        let good = || FarmConfig::new(vec![uniform_ws(100.0, 2.0, PolicyKind::Greedy)], 1e4, 1);
+
+        let empty = FarmConfig::new(vec![], 1e4, 1);
+        assert_eq!(
+            Farm::new(empty, bag()).err(),
+            Some(FarmConfigError::NoWorkstations)
+        );
+
+        let mut bad_c = good();
+        bad_c.workstations[0].c = -1.0;
+        assert!(matches!(
+            Farm::new(bad_c, bag()).err(),
+            Some(FarmConfigError::InvalidOverhead { ws: 0, .. })
+        ));
+        let mut nan_c = good();
+        nan_c.workstations[0].c = f64::NAN;
+        assert!(nan_c.validate().is_err());
+
+        let mut bad_gap = good();
+        bad_gap.workstations[0].gap_mean = 0.0;
+        assert!(matches!(
+            bad_gap.validate().err(),
+            Some(FarmConfigError::InvalidGapMean { ws: 0, .. })
+        ));
+
+        let mut bad_horizon = good();
+        bad_horizon.max_virtual_time = 0.0;
+        assert!(matches!(
+            bad_horizon.validate().err(),
+            Some(FarmConfigError::InvalidHorizon { .. })
+        ));
+
+        let mut bad_plan = good();
+        bad_plan.workstations[0].faults.loss_prob = 2.0;
+        assert!(matches!(
+            bad_plan.validate().err(),
+            Some(FarmConfigError::InvalidFaultPlan { ws: 0, .. })
+        ));
+
+        let mut bad_res = good();
+        bad_res.resilience.lease_factor = 0.5;
+        assert!(matches!(
+            bad_res.validate().err(),
+            Some(FarmConfigError::InvalidResilience { .. })
+        ));
+
+        let mut bad_storm = good();
+        bad_storm.storms = vec![10.0, f64::NAN];
+        assert!(matches!(
+            bad_storm.validate().err(),
+            Some(FarmConfigError::InvalidStorm { .. })
+        ));
+
+        // Errors render as human-readable messages.
+        for err in [
+            FarmConfigError::NoWorkstations,
+            FarmConfigError::InvalidOverhead { ws: 3, c: -1.0 },
+            FarmConfigError::InvalidResilience { reason: "x" },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+
+        assert!(good().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_intensity_faults_are_bit_identical() {
+        // The fault layer must be invisible at zero intensity: storms that
+        // nothing is susceptible to and a different resilience config leave
+        // every report field bit-identical.
+        let base = run_farm(3, PolicyKind::Greedy, 300, 11);
+        let bag = workloads::uniform(300, 1.0).unwrap();
+        let mut config = FarmConfig::new(
+            (0..3)
+                .map(|_| uniform_ws(200.0, 2.0, PolicyKind::Greedy))
+                .collect(),
+            1e6,
+            11,
+        );
+        config.storms = vec![50.0, 100.0, 150.0];
+        config.resilience.lease_factor = 7.0;
+        config.resilience.backoff_base = 10.0;
+        let faulty = Farm::new(config, bag).unwrap().run();
+        assert_eq!(base.makespan.to_bits(), faulty.makespan.to_bits());
+        assert_eq!(
+            base.completed_work.to_bits(),
+            faulty.completed_work.to_bits()
+        );
+        assert_eq!(base.lost_work.to_bits(), faulty.lost_work.to_bits());
+        assert_eq!(
+            base.remaining_work.to_bits(),
+            faulty.remaining_work.to_bits()
+        );
+        assert_eq!(base.drained, faulty.drained);
+        assert_eq!(faulty.robustness, RobustnessTotals::default());
+        for (a, b) in base.per_workstation.iter().zip(&faulty.per_workstation) {
+            assert_eq!(a.completed_work.to_bits(), b.completed_work.to_bits());
+            assert_eq!(a.episodes, b.episodes);
+            assert_eq!(a.chunks_completed, b.chunks_completed);
+        }
+    }
+
+    #[test]
+    fn message_loss_is_survived_and_counted() {
+        let bag = workloads::uniform(200, 1.0).unwrap();
+        let mut lossy = uniform_ws(200.0, 2.0, PolicyKind::FixedSize(20.0));
+        lossy.faults.loss_prob = 1.0;
+        let healthy = uniform_ws(200.0, 2.0, PolicyKind::FixedSize(20.0));
+        let config = FarmConfig::new(vec![lossy, healthy], 1e6, 13);
+        let r = Farm::new(config, bag).unwrap().run();
+        assert!(r.drained, "healthy workstation should drain the bag");
+        assert!((r.completed_work - 200.0).abs() < 1e-9);
+        assert_eq!(r.per_workstation[0].completed_work, 0.0);
+        assert!(r.robustness.messages_lost > 0);
+        assert!(r.robustness.lease_timeouts > 0);
+        assert!(r.robustness.backoff_delays > 0);
+        assert!(r.robustness.quarantines > 0);
+    }
+
+    #[test]
+    fn farm_drains_when_one_workstation_survives_crashes() {
+        let bag = workloads::uniform(150, 1.0).unwrap();
+        let mut workstations: Vec<WorkstationConfig> = (0..3)
+            .map(|_| {
+                let mut w = uniform_ws(200.0, 2.0, PolicyKind::FixedSize(15.0));
+                w.faults.crash_rate = 0.05; // mean crash time 20
+                w
+            })
+            .collect();
+        workstations.push(uniform_ws(200.0, 2.0, PolicyKind::FixedSize(15.0)));
+        let config = FarmConfig::new(workstations, 1e6, 29);
+        let r = Farm::new(config, bag).unwrap().run();
+        assert!(
+            r.drained,
+            "survivor should finish; remaining = {}",
+            r.remaining_work
+        );
+        assert!((r.completed_work + r.remaining_work - 150.0).abs() < 1e-9);
+        assert!(r.robustness.crashes >= 1);
+    }
+
+    #[test]
+    fn stragglers_bank_late_or_get_replicated() {
+        let bag = workloads::uniform(200, 1.0).unwrap();
+        let mut slow = uniform_ws(500.0, 2.0, PolicyKind::FixedSize(20.0));
+        slow.faults.slowdown = 5.0; // stretches past the 3x lease factor
+        let healthy = uniform_ws(500.0, 2.0, PolicyKind::FixedSize(20.0));
+        let config = FarmConfig::new(vec![slow, healthy], 1e6, 37);
+        let r = Farm::new(config, bag).unwrap().run();
+        assert!(r.drained);
+        assert!((r.completed_work - 200.0).abs() < 1e-9);
+        assert!(r.robustness.straggled_chunks > 0);
+        // Stragglers either banked late or their re-dispatched tasks created
+        // discarded duplicates — both are first-bank-wins outcomes.
+        assert!(r.robustness.late_banks > 0 || r.robustness.duplicate_work > 0.0);
+    }
+
+    #[test]
+    fn reclaim_storms_correlate_episode_ends() {
+        let bag = workloads::uniform(300, 1.0).unwrap();
+        let mut config = FarmConfig::new(
+            (0..3)
+                .map(|_| {
+                    let mut w = uniform_ws(200.0, 2.0, PolicyKind::FixedSize(10.0));
+                    w.faults.storm_hit_prob = 1.0;
+                    w
+                })
+                .collect(),
+            1e6,
+            41,
+        );
+        config.storms = vec![25.0, 300.0];
+        let r = Farm::new(config, bag).unwrap().run();
+        assert!(r.drained);
+        assert!(r.robustness.storm_kills >= 1);
+        assert!((r.completed_work + r.remaining_work - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn belief_drift_swaps_the_true_life_function() {
+        // Policy believes in 200-long episodes; the truth drifts to 30 from
+        // the start. Expect plenty of kills but correct accounting.
+        let bag = workloads::uniform(200, 1.0).unwrap();
+        let short: ArcLife = Arc::new(Uniform::new(30.0).unwrap());
+        let mut w = uniform_ws(200.0, 2.0, PolicyKind::FixedSize(20.0));
+        w.faults.drift = Some(crate::faults::BeliefDrift {
+            at: 0.0,
+            new_life: short,
+        });
+        let config = FarmConfig::new(vec![w.clone(), w], 1e6, 43);
+        let r = Farm::new(config, bag).unwrap().run();
+        assert!(r.drained);
+        assert!(r.lost_work > 0.0, "short true episodes should kill chunks");
+        assert!((r.completed_work + r.remaining_work - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn end_game_replication_duplicates_tail_chunks() {
+        // ws0 loses every dispatch; near the end ws1 goes idle while ws0
+        // holds the last tasks under lease, so ws1 replicates them.
+        let bag = workloads::uniform(120, 1.0).unwrap();
+        let mut lossy = uniform_ws(400.0, 2.0, PolicyKind::FixedSize(25.0));
+        lossy.faults.loss_prob = 1.0;
+        let healthy = uniform_ws(400.0, 2.0, PolicyKind::FixedSize(25.0));
+        let config = FarmConfig::new(vec![lossy, healthy], 1e6, 47);
+        let r = Farm::new(config, bag).unwrap().run();
+        assert!(r.drained);
+        assert!(
+            r.robustness.replicas_dispatched > 0,
+            "expected end-game replication: {:?}",
+            r.robustness
+        );
+        let sum_counters: u64 = r
+            .per_workstation
+            .iter()
+            .map(|w| w.replicas_dispatched)
+            .sum();
+        assert_eq!(sum_counters, r.robustness.replicas_dispatched);
+    }
+
+    #[test]
+    fn replication_can_be_disabled() {
+        let bag = workloads::uniform(120, 1.0).unwrap();
+        let mut lossy = uniform_ws(400.0, 2.0, PolicyKind::FixedSize(25.0));
+        lossy.faults.loss_prob = 1.0;
+        let healthy = uniform_ws(400.0, 2.0, PolicyKind::FixedSize(25.0));
+        let mut config = FarmConfig::new(vec![lossy, healthy], 1e6, 47);
+        config.resilience.replicate_tail = false;
+        let r = Farm::new(config, bag).unwrap().run();
+        assert_eq!(r.robustness.replicas_dispatched, 0);
+        assert!(r.drained, "lease requeues alone must still drain the bag");
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -430,20 +1428,21 @@ mod tests {
                 let total = tasks as f64;
                 let bag = workloads::uniform(tasks, 1.0).unwrap();
                 let life: ArcLife = Arc::new(Uniform::new(l).unwrap());
-                let config = FarmConfig {
-                    workstations: (0..n_ws)
+                let config = FarmConfig::new(
+                    (0..n_ws)
                         .map(|_| WorkstationConfig {
                             life: life.clone(),
                             believed: life.clone(),
                             c,
                             policy: PolicyKind::FixedSize(chunk),
                             gap_mean: 5.0,
+                            faults: FaultPlan::none(),
                         })
                         .collect(),
-                    max_virtual_time: 1e5,
+                    1e5,
                     seed,
-                };
-                let r = Farm::new(config, bag).run();
+                );
+                let r = Farm::new(config, bag).unwrap().run();
                 // Conservation: banked + pending = initial.
                 prop_assert!((r.completed_work + r.remaining_work - total).abs() < 1e-9);
                 // Per-workstation totals match farm totals.
@@ -454,6 +1453,63 @@ mod tests {
                 // Drained implies everything banked and a finite makespan.
                 if r.drained {
                     prop_assert!((r.completed_work - total).abs() < 1e-9);
+                    prop_assert!(r.makespan.is_finite());
+                }
+            }
+
+            /// Conservation survives every fault mix: no task is lost, none
+            /// is double-banked, whatever combination of loss, slowdown,
+            /// crashes and storms is injected.
+            #[test]
+            fn prop_farm_conserves_work_under_faults(
+                n_ws in 1usize..4,
+                tasks in 10usize..80,
+                seed in proptest::num::u64::ANY,
+                l in 30.0f64..200.0,
+                loss in 0.0f64..0.6,
+                slowdown in 1.0f64..5.0,
+                crash in 0.0f64..0.02,
+                storm_p in 0.0f64..1.0,
+                lease_factor in 1.0f64..4.0,
+            ) {
+                let total = tasks as f64;
+                let bag = workloads::uniform(tasks, 1.0).unwrap();
+                let life: ArcLife = Arc::new(Uniform::new(l).unwrap());
+                let mut config = FarmConfig::new(
+                    (0..n_ws)
+                        .map(|_| WorkstationConfig {
+                            life: life.clone(),
+                            believed: life.clone(),
+                            c: 1.0,
+                            policy: PolicyKind::FixedSize(8.0),
+                            gap_mean: 5.0,
+                            faults: FaultPlan {
+                                loss_prob: loss,
+                                slowdown,
+                                crash_rate: crash,
+                                storm_hit_prob: storm_p,
+                                drift: None,
+                            },
+                        })
+                        .collect(),
+                    2e4,
+                    seed,
+                );
+                config.storms = vec![40.0, 90.0];
+                config.resilience.lease_factor = lease_factor;
+                let r = Farm::new(config, bag).unwrap().run();
+                // No task lost, none double-banked.
+                prop_assert!(
+                    (r.completed_work + r.remaining_work - total).abs() < 1e-6,
+                    "completed {} + remaining {} != {total}",
+                    r.completed_work,
+                    r.remaining_work
+                );
+                prop_assert!(r.completed_work <= total + 1e-6);
+                let sum: f64 = r.per_workstation.iter().map(|w| w.completed_work).sum();
+                prop_assert!((sum - r.completed_work).abs() < 1e-9);
+                if r.drained {
+                    prop_assert!((r.completed_work - total).abs() < 1e-6);
                     prop_assert!(r.makespan.is_finite());
                 }
             }

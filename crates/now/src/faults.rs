@@ -1,0 +1,307 @@
+//! Deterministic, seeded fault injection for the NOW farm.
+//!
+//! The paper's model assumes a well-behaved NOW: dispatches arrive, results
+//! return, workstations run at speed, and the believed life function is the
+//! true one. Real networks of workstations violate all four. This module
+//! describes those violations as *data* — a per-workstation [`FaultPlan`]
+//! plus farm-level reclaim-storm times — so the farm simulator in
+//! [`crate::farm`] can inject them reproducibly from the run seed.
+//!
+//! Fault classes (all off by default):
+//!
+//! * **Message loss** ([`FaultPlan::loss_prob`]) — a dispatch or its result
+//!   vanishes. The period elapses and burns its overhead `c`, but nothing is
+//!   banked; the master only learns when the chunk's lease expires.
+//! * **Stragglers** ([`FaultPlan::slowdown`]) — the workstation computes
+//!   slower than believed, stretching every period by a constant factor.
+//!   A stretched period is exposed to reclamation longer, and can overrun
+//!   its lease so the master re-dispatches work that later arrives anyway.
+//! * **Crashes** ([`FaultPlan::crash_rate`]) — the workstation dies
+//!   permanently at an exponentially-distributed time and never answers
+//!   again. Silent: detected only by lease timeout.
+//! * **Reclaim storms** ([`FarmConfig::storms`] +
+//!   [`FaultPlan::storm_hit_prob`]) — a shared event (the 9 a.m. login wave)
+//!   reclaims many workstations at once, correlating episode ends that the
+//!   model assumes independent.
+//! * **Belief drift** ([`FaultPlan::drift`]) — the *true* life function
+//!   changes mid-run while the policy keeps planning with the stale believed
+//!   one.
+//!
+//! [`ResilienceConfig`] is the master's countermeasure kit: per-chunk
+//! leases, capped exponential backoff, quarantine of repeat offenders and
+//! end-game replication of tail chunks. See [`crate::farm`] for how the two
+//! sides meet.
+//!
+//! Everything here is plain data with validation; determinism is the farm's
+//! job (fault decisions draw from per-workstation RNG streams separate from
+//! the episode stream, so a zero-intensity plan is bit-identical to a run
+//! with no fault layer at all).
+//!
+//! [`FarmConfig::storms`]: crate::farm::FarmConfig::storms
+
+use cs_life::{ArcLife, LifeFunction};
+
+/// A mid-run change of a workstation's *true* life function, modeling the
+/// owner whose behavior shifts while the scheduler keeps planning with the
+/// stale believed distribution.
+#[derive(Clone)]
+pub struct BeliefDrift {
+    /// Virtual time of the shift: episodes starting at or after this time
+    /// draw reclamations from `new_life`.
+    pub at: f64,
+    /// The life function actually governing episodes from `at` on. The
+    /// policy still sees the workstation's original believed life function.
+    pub new_life: ArcLife,
+}
+
+impl std::fmt::Debug for BeliefDrift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BeliefDrift")
+            .field("at", &self.at)
+            .field("new_life", &self.new_life.describe())
+            .finish()
+    }
+}
+
+/// Per-workstation fault model. [`FaultPlan::none`] (the `Default`) injects
+/// nothing and leaves the farm bit-identical to a fault-free run.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Probability that a dispatched chunk (or its result) is lost in
+    /// transit. The period still elapses — overhead burned, nothing banked.
+    pub loss_prob: f64,
+    /// Multiplicative slowdown of every period (`1.0` = nominal speed).
+    /// Values above the master's lease factor turn completions into
+    /// stragglers whose results arrive after their lease expired.
+    pub slowdown: f64,
+    /// Hazard rate of a permanent, silent crash (exponential; `0` = never).
+    /// The crash time is drawn once per run from the fault stream.
+    pub crash_rate: f64,
+    /// Probability that a farm-level reclaim storm reclaims *this*
+    /// workstation (evaluated per storm falling inside an episode).
+    pub storm_hit_prob: f64,
+    /// Optional mid-run swap of the true life function.
+    pub drift: Option<BeliefDrift>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// The zero-intensity plan: no loss, nominal speed, no crash, storm
+    /// immune, no drift.
+    pub fn none() -> Self {
+        Self {
+            loss_prob: 0.0,
+            slowdown: 1.0,
+            crash_rate: 0.0,
+            storm_hit_prob: 0.0,
+            drift: None,
+        }
+    }
+
+    /// True when this plan cannot alter a run (the farm then never touches
+    /// the workstation's fault RNG stream).
+    pub fn is_zero(&self) -> bool {
+        self.loss_prob == 0.0
+            && self.slowdown == 1.0
+            && self.crash_rate == 0.0
+            && self.storm_hit_prob == 0.0
+            && self.drift.is_none()
+    }
+
+    /// The canonical escalation used by the CLI `--faults` flag and the
+    /// `exp_fault_tolerance` experiment: one knob `intensity ∈ [0, ∞)`
+    /// driving every class at once. `0` is [`FaultPlan::none`]; `1` is a
+    /// hostile NOW (25% loss, 2× slowdown, mean crash time 2000, 60% storm
+    /// susceptibility).
+    pub fn scaled(intensity: f64) -> Self {
+        let x = intensity.max(0.0);
+        Self {
+            loss_prob: (0.25 * x).min(0.9),
+            slowdown: 1.0 + x,
+            crash_rate: 5e-4 * x,
+            storm_hit_prob: (0.6 * x).min(1.0),
+            drift: None,
+        }
+    }
+
+    /// Validates the plan's numeric ranges.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if !(self.loss_prob.is_finite() && (0.0..=1.0).contains(&self.loss_prob)) {
+            return Err("loss_prob must be a probability in [0, 1]");
+        }
+        if !(self.slowdown.is_finite() && self.slowdown >= 1.0) {
+            return Err("slowdown must be finite and >= 1");
+        }
+        if !(self.crash_rate.is_finite() && self.crash_rate >= 0.0) {
+            return Err("crash_rate must be finite and >= 0");
+        }
+        if !(self.storm_hit_prob.is_finite() && (0.0..=1.0).contains(&self.storm_hit_prob)) {
+            return Err("storm_hit_prob must be a probability in [0, 1]");
+        }
+        if let Some(d) = &self.drift {
+            if !(d.at.is_finite() && d.at >= 0.0) {
+                return Err("drift time must be finite and >= 0");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The resilient master's knobs: how it detects and routes around the
+/// faults a [`FaultPlan`] injects. The `Default` is a sane middle ground;
+/// every mechanism can be disabled individually.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceConfig {
+    /// A dispatched chunk's lease lasts `lease_factor × period`. On expiry
+    /// the master requeues the chunk's unbanked tasks. Must be ≥ 1.
+    pub lease_factor: f64,
+    /// First backoff delay after a lease timeout; doubles per consecutive
+    /// timeout on the same workstation. `0` disables backoff.
+    pub backoff_base: f64,
+    /// Upper bound on any single backoff delay.
+    pub backoff_cap: f64,
+    /// Consecutive lease timeouts before a workstation is quarantined.
+    /// `0` disables quarantine.
+    pub quarantine_threshold: u32,
+    /// How long a quarantined workstation is refused work before probation
+    /// ends (its timeout streak restarts from zero).
+    pub quarantine_duration: f64,
+    /// In the end game (bag drained, chunks still in flight) idle
+    /// workstations re-execute copies of outstanding chunks; the first
+    /// result to bank wins and later duplicates are discarded.
+    pub replicate_tail: bool,
+    /// Maximum replicas dispatched against any single outstanding chunk.
+    pub max_replicas: u32,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            lease_factor: 3.0,
+            backoff_base: 1.0,
+            backoff_cap: 64.0,
+            quarantine_threshold: 4,
+            quarantine_duration: 50.0,
+            replicate_tail: true,
+            max_replicas: 2,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Validates the configuration's numeric ranges.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if !(self.lease_factor.is_finite() && self.lease_factor >= 1.0) {
+            return Err("lease_factor must be finite and >= 1");
+        }
+        if !(self.backoff_base.is_finite() && self.backoff_base >= 0.0) {
+            return Err("backoff_base must be finite and >= 0");
+        }
+        if !(self.backoff_cap.is_finite() && self.backoff_cap >= self.backoff_base) {
+            return Err("backoff_cap must be finite and >= backoff_base");
+        }
+        if self.quarantine_threshold > 0
+            && !(self.quarantine_duration.is_finite() && self.quarantine_duration > 0.0)
+        {
+            return Err("quarantine_duration must be finite and positive");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_life::Uniform;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_plan_is_zero() {
+        assert!(FaultPlan::none().is_zero());
+        assert!(FaultPlan::default().is_zero());
+        assert!(FaultPlan::scaled(0.0).is_zero());
+        assert!(!FaultPlan::scaled(0.5).is_zero());
+        assert!(!FaultPlan {
+            slowdown: 1.5,
+            ..FaultPlan::none()
+        }
+        .is_zero());
+    }
+
+    #[test]
+    fn scaled_escalates_every_class() {
+        let lo = FaultPlan::scaled(0.2);
+        let hi = FaultPlan::scaled(1.0);
+        assert!(lo.validate().is_ok() && hi.validate().is_ok());
+        assert!(hi.loss_prob > lo.loss_prob);
+        assert!(hi.slowdown > lo.slowdown);
+        assert!(hi.crash_rate > lo.crash_rate);
+        assert!(hi.storm_hit_prob > lo.storm_hit_prob);
+        // Probabilities saturate instead of overflowing their range.
+        let extreme = FaultPlan::scaled(100.0);
+        assert!(extreme.validate().is_ok());
+        assert!(extreme.loss_prob <= 1.0 && extreme.storm_hit_prob <= 1.0);
+    }
+
+    #[test]
+    fn plan_validation_rejects_bad_ranges() {
+        let bad = |f: fn(&mut FaultPlan)| {
+            let mut p = FaultPlan::none();
+            f(&mut p);
+            p.validate()
+        };
+        assert!(bad(|p| p.loss_prob = -0.1).is_err());
+        assert!(bad(|p| p.loss_prob = 1.5).is_err());
+        assert!(bad(|p| p.loss_prob = f64::NAN).is_err());
+        assert!(bad(|p| p.slowdown = 0.5).is_err());
+        assert!(bad(|p| p.crash_rate = -1.0).is_err());
+        assert!(bad(|p| p.storm_hit_prob = 2.0).is_err());
+        assert!(bad(|p| {
+            p.drift = Some(BeliefDrift {
+                at: f64::NAN,
+                new_life: Arc::new(Uniform::new(10.0).unwrap()),
+            })
+        })
+        .is_err());
+        assert!(FaultPlan::none().validate().is_ok());
+    }
+
+    #[test]
+    fn resilience_validation() {
+        let default = ResilienceConfig::default();
+        assert!(default.validate().is_ok());
+        let r = ResilienceConfig {
+            lease_factor: 0.5,
+            ..default
+        };
+        assert!(r.validate().is_err());
+        let r = ResilienceConfig {
+            backoff_cap: default.backoff_base - 1.0,
+            ..default
+        };
+        assert!(r.validate().is_err());
+        let mut r = ResilienceConfig {
+            quarantine_duration: 0.0,
+            ..default
+        };
+        assert!(r.validate().is_err());
+        // ... unless quarantine is disabled outright.
+        r.quarantine_threshold = 0;
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn drift_debug_prints_life() {
+        let d = BeliefDrift {
+            at: 100.0,
+            new_life: Arc::new(Uniform::new(10.0).unwrap()),
+        };
+        let s = format!("{d:?}");
+        assert!(s.contains("100"), "{s}");
+    }
+}

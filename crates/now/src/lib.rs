@@ -25,13 +25,21 @@
 //! * [`replicate`] — parallel Monte-Carlo replication of farm simulations
 //!   across seeds (crossbeam scoped threads) with merged summary
 //!   statistics.
+//! * [`faults`] — deterministic fault injection (message loss, stragglers,
+//!   crashes, reclaim storms, belief drift) plus the resilient master's
+//!   countermeasure knobs (leases, backoff, quarantine, tail replication).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod farm;
+pub mod faults;
 pub mod live;
 pub mod replicate;
 
-pub use farm::{Farm, FarmConfig, FarmReport, PolicyKind, WorkstationConfig, WorkstationStats};
+pub use farm::{
+    Farm, FarmConfig, FarmConfigError, FarmReport, PolicyKind, RobustnessTotals, WorkstationConfig,
+    WorkstationStats,
+};
+pub use faults::{BeliefDrift, FaultPlan, ResilienceConfig};
 pub use replicate::{replicate_farm, ReplicationReport};

@@ -34,6 +34,6 @@ pub use episode::{run_episode, run_episode_tasks, EpisodeOutcome};
 pub use montecarlo::{simulate_expected_work, simulate_expected_work_parallel, MonteCarlo};
 pub use policy::{
     run_policy_episode, ChunkPolicy, FixedSchedulePolicy, FixedSizePolicy, GreedyPolicy,
-    GuidelinePolicy,
+    GuidelinePolicy, PeriodOutcome,
 };
 pub use stats::Summary;

@@ -12,6 +12,31 @@ use cs_core::search;
 use cs_core::Schedule;
 use cs_life::{ArcLife, Conditional};
 
+/// What became of one dispatched period, reported back to the policy by the
+/// master (see [`ChunkPolicy::observe`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PeriodOutcome {
+    /// The chunk completed and its results banked this much task time.
+    Banked {
+        /// Task time banked.
+        work: f64,
+    },
+    /// The owner reclaimed mid-period; this much executed work was destroyed
+    /// (§2.1 draconian semantics).
+    Killed {
+        /// Task time destroyed.
+        lost: f64,
+    },
+    /// The dispatch or its result was lost in transit: the period elapsed,
+    /// nothing banked.
+    Lost,
+    /// The chunk completed but only after its lease expired (a straggler);
+    /// the master may already have re-dispatched its tasks.
+    Straggled,
+    /// The workstation crashed mid-period and will never answer again.
+    Crashed,
+}
+
 /// A chunk-sizing policy for cycle-stealing episodes.
 pub trait ChunkPolicy: Send {
     /// The next period length given the episode has survived to `elapsed`.
@@ -23,6 +48,14 @@ pub trait ChunkPolicy: Send {
 
     /// Human-readable policy name for experiment tables.
     fn name(&self) -> String;
+
+    /// Feedback hook: the master reports how each dispatched period ended.
+    /// The default ignores it — the paper's policies are open-loop within an
+    /// episode — but adaptive policies can use it to react to losses,
+    /// stragglers and kills without changing the dispatch interface.
+    fn observe(&mut self, outcome: &PeriodOutcome) {
+        let _ = outcome;
+    }
 }
 
 /// Plays out a precomputed schedule, period by period.
@@ -261,6 +294,37 @@ mod tests {
         // Reclaimed immediately.
         let banked = run_policy_episode(&mut pol, 1.0, 0.0);
         assert_eq!(banked, 0.0);
+    }
+
+    #[test]
+    fn observe_default_is_noop_and_overridable() {
+        // Default implementation: accepted and ignored by every policy.
+        let mut fixed = FixedSizePolicy::new(4.0, 10.0);
+        fixed.observe(&PeriodOutcome::Lost);
+        assert_eq!(fixed.next_period(0.0), Some(4.0));
+
+        // An adaptive policy can override it.
+        struct Counting {
+            kills: u32,
+        }
+        impl ChunkPolicy for Counting {
+            fn next_period(&mut self, _elapsed: f64) -> Option<f64> {
+                Some(5.0)
+            }
+            fn reset(&mut self) {}
+            fn name(&self) -> String {
+                "counting".into()
+            }
+            fn observe(&mut self, outcome: &PeriodOutcome) {
+                if matches!(outcome, PeriodOutcome::Killed { .. }) {
+                    self.kills += 1;
+                }
+            }
+        }
+        let mut p = Counting { kills: 0 };
+        p.observe(&PeriodOutcome::Killed { lost: 3.0 });
+        p.observe(&PeriodOutcome::Banked { work: 2.0 });
+        assert_eq!(p.kills, 1);
     }
 
     #[test]

@@ -47,6 +47,19 @@ pub struct Chunk {
 }
 
 impl Chunk {
+    /// Builds a chunk from explicit tasks, in dispatch order. Used by
+    /// resilient masters to re-dispatch copies of in-flight chunks (task ids
+    /// are the caller's responsibility; the bag never hands out duplicates
+    /// itself).
+    pub fn from_tasks(tasks: Vec<Task>) -> Self {
+        Self { tasks }
+    }
+
+    /// Consumes the chunk, yielding its tasks in dispatch order.
+    pub fn into_tasks(self) -> Vec<Task> {
+        self.tasks
+    }
+
     /// The tasks in the chunk, in dispatch order.
     pub fn tasks(&self) -> &[Task] {
         &self.tasks
@@ -122,6 +135,13 @@ impl TaskBag {
         self.pending.len()
     }
 
+    /// The pending tasks in dispatch (FIFO) order. Lets a master audit its
+    /// queue — e.g. to subtract already-banked duplicates when computing
+    /// remaining work under result replication.
+    pub fn pending_tasks(&self) -> impl Iterator<Item = &Task> {
+        self.pending.iter()
+    }
+
     /// Total duration of pending tasks.
     pub fn pending_work(&self) -> f64 {
         self.pending.iter().map(|t| t.duration).sum()
@@ -179,6 +199,14 @@ impl TaskBag {
     /// same tasks are retried first) and records the lost work.
     pub fn abandon(&mut self, chunk: Chunk) {
         self.lost_work += chunk.total_duration();
+        self.requeue(chunk);
+    }
+
+    /// Returns a chunk's tasks to the head of the queue **without** counting
+    /// lost work. For chunks that never executed — a dispatch message lost
+    /// in transit, or a lease that timed out — as opposed to work that was
+    /// executed and then destroyed by a reclamation ([`TaskBag::abandon`]).
+    pub fn requeue(&mut self, chunk: Chunk) {
         for task in chunk.tasks.into_iter().rev() {
             self.pending.push_front(task);
         }
@@ -283,6 +311,36 @@ mod tests {
         assert_eq!(chunk.len(), 3); // budget 3.5 fits three unit tasks
         let none = pack_chunk(&mut bag, 1.5, 2.0);
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn requeue_restores_order_without_loss() {
+        let mut bag = TaskBag::from_durations(&[1.0, 2.0, 4.0]).unwrap();
+        let chunk = bag.check_out(3.0); // ids 0, 1
+        bag.requeue(chunk);
+        assert_eq!(bag.lost_work(), 0.0);
+        assert_eq!(bag.pending_count(), 3);
+        let retry = bag.check_out(3.0);
+        assert_eq!(retry.tasks()[0].id, 0);
+        assert_eq!(retry.tasks()[1].id, 1);
+    }
+
+    #[test]
+    fn chunk_task_round_trip() {
+        let mut bag = TaskBag::from_durations(&[1.0, 2.0]).unwrap();
+        let chunk = bag.check_out(10.0);
+        let tasks = chunk.clone().into_tasks();
+        assert_eq!(tasks.len(), 2);
+        let rebuilt = Chunk::from_tasks(tasks);
+        assert_eq!(rebuilt, chunk);
+        assert_eq!(rebuilt.total_duration(), 3.0);
+    }
+
+    #[test]
+    fn pending_tasks_iterates_fifo() {
+        let bag = TaskBag::from_durations(&[1.0, 2.0, 3.0]).unwrap();
+        let ids: Vec<u64> = bag.pending_tasks().map(|t| t.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
     }
 
     #[test]

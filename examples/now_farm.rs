@@ -13,6 +13,7 @@ use cs_apps::{fmt, Table};
 use cs_core::{search, Schedule};
 use cs_life::{ArcLife, GeometricDecreasing, Polynomial, Uniform};
 use cs_now::farm::{Farm, FarmConfig, PolicyKind, WorkstationConfig};
+use cs_now::faults::FaultPlan;
 use cs_now::live::{run_live, LiveWorker};
 use cs_tasks::workloads;
 use rand::rngs::StdRng;
@@ -36,6 +37,7 @@ fn workstations(policy: PolicyKind) -> Vec<WorkstationConfig> {
             c: 2.0,
             policy,
             gap_mean: 10.0,
+            faults: FaultPlan::none(),
         });
     }
     out
@@ -53,12 +55,8 @@ fn main() {
         PolicyKind::FixedSize(60.0),
     ] {
         let bag = workloads::uniform(tasks, 1.0).expect("bag");
-        let config = FarmConfig {
-            workstations: workstations(policy),
-            max_virtual_time: 1e6,
-            seed: 7,
-        };
-        let report = Farm::new(config, bag).run();
+        let config = FarmConfig::new(workstations(policy), 1e6, 7);
+        let report = Farm::new(config, bag).expect("valid farm config").run();
         table.row(&[
             policy.label(),
             fmt(report.makespan, 1),

@@ -4,6 +4,7 @@
 use cs_core::{search, Schedule};
 use cs_life::{ArcLife, GeometricDecreasing, Uniform};
 use cs_now::farm::{Farm, FarmConfig, PolicyKind, WorkstationConfig};
+use cs_now::faults::FaultPlan;
 use cs_now::live::{run_live, LiveWorker};
 use cs_now::replicate::replicate_farm;
 use cs_tasks::workloads;
@@ -20,6 +21,7 @@ fn homogeneous(n: usize, l: f64, c: f64, policy: PolicyKind) -> Vec<WorkstationC
                 c,
                 policy,
                 gap_mean: 8.0,
+                faults: FaultPlan::none(),
             }
         })
         .collect()
@@ -34,12 +36,8 @@ fn farm_conserves_work_across_policies() {
     ] {
         let total = 400.0;
         let bag = workloads::uniform(400, 1.0).unwrap();
-        let config = FarmConfig {
-            workstations: homogeneous(4, 120.0, 2.0, policy),
-            max_virtual_time: 1e5,
-            seed: 99,
-        };
-        let r = Farm::new(config, bag).run();
+        let config = FarmConfig::new(homogeneous(4, 120.0, 2.0, policy), 1e5, 99);
+        let r = Farm::new(config, bag).unwrap().run();
         assert!(
             (r.completed_work + r.remaining_work - total).abs() < 1e-9,
             "{}: conservation violated",
@@ -53,28 +51,12 @@ fn farm_conserves_work_across_policies() {
 fn guideline_policy_dominates_extreme_fixed_sizes_in_replication() {
     // Replicated comparison (16 farms each): the guideline policy's mean
     // makespan beats both extremes of fixed-size chunking.
-    let ws = homogeneous(4, 150.0, 3.0, PolicyKind::Guideline);
+    let template = FarmConfig::new(homogeneous(4, 150.0, 3.0, PolicyKind::Guideline), 1e6, 2024);
     let make_bag = || workloads::uniform(500, 1.0).unwrap();
     let reps = 16;
-    let guide = replicate_farm(&ws, PolicyKind::Guideline, &make_bag, 1e6, reps, 2024, 4);
-    let tiny = replicate_farm(
-        &ws,
-        PolicyKind::FixedSize(4.5),
-        &make_bag,
-        1e6,
-        reps,
-        2024,
-        4,
-    );
-    let huge = replicate_farm(
-        &ws,
-        PolicyKind::FixedSize(140.0),
-        &make_bag,
-        1e6,
-        reps,
-        2024,
-        4,
-    );
+    let guide = replicate_farm(&template, PolicyKind::Guideline, &make_bag, reps, 4).unwrap();
+    let tiny = replicate_farm(&template, PolicyKind::FixedSize(4.5), &make_bag, reps, 4).unwrap();
+    let huge = replicate_farm(&template, PolicyKind::FixedSize(140.0), &make_bag, reps, 4).unwrap();
     assert!(guide.drained_fraction > 0.9);
     assert!(
         guide.makespan.mean() < tiny.makespan.mean(),
@@ -102,18 +84,38 @@ fn heterogeneous_workstations_all_contribute() {
         c: 2.0,
         policy: PolicyKind::Guideline,
         gap_mean: 8.0,
+        faults: FaultPlan::none(),
     });
     let bag = workloads::uniform(600, 1.0).unwrap();
-    let config = FarmConfig {
-        workstations: ws,
-        max_virtual_time: 1e6,
-        seed: 5,
-    };
-    let r = Farm::new(config, bag).run();
+    let config = FarmConfig::new(ws, 1e6, 5);
+    let r = Farm::new(config, bag).unwrap().run();
     assert!(r.drained);
     for (i, w) in r.per_workstation.iter().enumerate() {
         assert!(w.completed_work > 0.0, "workstation {i} banked nothing");
     }
+}
+
+#[test]
+fn hostile_now_still_drains_with_one_healthy_workstation() {
+    // Three workstations under the canonical intensity-1 fault mix (25%
+    // message loss, 2x slowdown, crashes, full storm susceptibility) plus
+    // one healthy one: the resilient master must still bank every task.
+    let mut ws = homogeneous(4, 150.0, 2.0, PolicyKind::FixedSize(12.0));
+    for w in ws.iter_mut().take(3) {
+        w.faults = FaultPlan::scaled(1.0);
+        w.faults.storm_hit_prob = 1.0;
+    }
+    let total = 300.0;
+    let bag = workloads::uniform(300, 1.0).unwrap();
+    let mut config = FarmConfig::new(ws, 1e6, 77);
+    config.storms = vec![60.0, 200.0, 500.0];
+    let r = Farm::new(config, bag).unwrap().run();
+    assert!(r.drained, "remaining = {}", r.remaining_work);
+    assert!((r.completed_work - total).abs() < 1e-9);
+    // The fault layer actually fired and was accounted.
+    let rb = &r.robustness;
+    assert!(rb.messages_lost > 0, "{rb:?}");
+    assert!(rb.lease_timeouts > 0, "{rb:?}");
 }
 
 #[test]

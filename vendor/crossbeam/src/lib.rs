@@ -1,0 +1,93 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! Only [`thread::scope`] / [`thread::Scope::spawn`] are provided — the one
+//! API this workspace uses — implemented on top of `std::thread::scope`
+//! (stable since Rust 1.63, which postdates crossbeam's scoped threads and
+//! makes the real dependency redundant here). Signatures mirror crossbeam
+//! 0.8: the spawn closure receives a `&Scope` argument and `scope` returns
+//! `thread::Result<R>`.
+
+// Vendored stub: keep the real crate's API shape even where clippy
+// would simplify it, and skip style lints accordingly.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads (crossbeam-utils `thread` module surface).
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// The error half of [`Result`]: a boxed panic payload.
+    pub type Result<T> = stdthread::Result<T>;
+
+    /// A scope handle passed to spawned closures; borrows from
+    /// `std::thread::Scope` so nested spawns stay inside the same scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope itself so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads may be spawned;
+    /// all threads are joined before this returns. Mirrors crossbeam's
+    /// `Result` return (a panic in an explicitly joined child surfaces
+    /// through its handle, as upstream).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|ch| scope.spawn(move |_| ch.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn child_panic_surfaces_via_join() {
+        let caught = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(caught);
+    }
+}

