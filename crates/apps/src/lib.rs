@@ -106,6 +106,16 @@ pub fn pct(x: f64) -> String {
     }
 }
 
+/// Formats an optional statistic (e.g. [`cs_sim::Summary::ci95`]), rendering
+/// `None` — an undefined value, like a CI over fewer than two samples — as
+/// `"n/a"` so tables never show `NaN`.
+pub fn fmt_opt(x: Option<f64>, digits: usize) -> String {
+    match x {
+        Some(v) => fmt(v, digits),
+        None => "n/a".into(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +147,11 @@ mod tests {
         assert_eq!(pct(f64::NAN), "-");
         assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(pct(0.5), "50.0%");
+    }
+
+    #[test]
+    fn fmt_opt_renders_undefined_as_na() {
+        assert_eq!(fmt_opt(None, 2), "n/a");
+        assert_eq!(fmt_opt(Some(1.5), 2), "1.50");
     }
 }

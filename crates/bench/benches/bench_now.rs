@@ -7,6 +7,7 @@ use cs_life::{ArcLife, Uniform};
 use cs_now::farm::{Farm, FarmConfig, PolicyKind, WorkstationConfig};
 use cs_now::faults::FaultPlan;
 use cs_now::replicate::replicate_farm;
+use cs_obs::{MemorySink, NoopSink};
 use cs_tasks::quantization::fluid_vs_packed;
 use cs_tasks::{workloads, TaskBag};
 use std::hint::black_box;
@@ -40,6 +41,23 @@ fn bench_now_farm(cr: &mut Criterion) {
                 let config =
                     FarmConfig::new(workstations(n_ws, PolicyKind::FixedSize(15.0)), 1e6, 7);
                 Farm::new(config, bag).unwrap().run()
+            })
+        });
+    }
+    // The observability overhead guard: `untraced` vs `noop_sink` must be
+    // within ~2% (the sink is a monomorphized no-op); `memory_sink` shows
+    // the cost of actually recording every event.
+    for (name, sink_kind) in [("untraced", 0u8), ("noop_sink", 1), ("memory_sink", 2)] {
+        g.bench_function(BenchmarkId::new("sink_overhead", name), |b| {
+            b.iter(|| {
+                let bag = workloads::uniform(1_000, 1.0).unwrap();
+                let config = FarmConfig::new(workstations(4, PolicyKind::FixedSize(15.0)), 1e6, 7);
+                let farm = Farm::new(config, bag).unwrap();
+                match sink_kind {
+                    0 => farm.run(),
+                    1 => farm.run_observed(&mut NoopSink),
+                    _ => farm.run_observed(&mut MemorySink::new()),
+                }
             })
         });
     }

@@ -20,6 +20,7 @@ use cs_life::{ArcLife, Uniform};
 use cs_now::farm::{FarmConfig, PolicyKind, WorkstationConfig};
 use cs_now::faults::FaultPlan;
 use cs_now::replicate::replicate_farm;
+use cs_obs::RunSummary;
 use cs_tasks::workloads;
 use std::sync::Arc;
 
@@ -87,6 +88,16 @@ fn main() {
                 fmt(rep.lease_timeouts.mean(), 1),
                 fmt(rep.duplicate_work.mean(), 1),
             ]);
+            if intensity == 2.0 {
+                RunSummary::new("exp_fault_tolerance")
+                    .text("policy", &rep.policy)
+                    .num("intensity", intensity)
+                    .int("replications", reps)
+                    .num("drained_fraction", rep.drained_fraction)
+                    .num("banked_mean", rep.completed_work.mean())
+                    .num("lease_timeouts_mean", rep.lease_timeouts.mean())
+                    .emit();
+            }
         }
         println!("policy = {}:", policy.label());
         println!("{}", t.render());

@@ -2,11 +2,12 @@
 //! across heterogeneous borrowed workstations (the paper's §1 deployment,
 //! replicated and summarized).
 
-use cs_apps::{fmt, Table};
+use cs_apps::{fmt, fmt_opt, Table};
 use cs_life::{ArcLife, GeometricDecreasing, Polynomial, Uniform};
 use cs_now::farm::{FarmConfig, PolicyKind, WorkstationConfig};
 use cs_now::faults::FaultPlan;
 use cs_now::replicate::replicate_farm;
+use cs_obs::RunSummary;
 use cs_tasks::workloads;
 use std::sync::Arc;
 
@@ -59,9 +60,22 @@ fn main() {
                 rep.policy.clone(),
                 fmt(rep.drained_fraction, 2),
                 fmt(rep.makespan.mean(), 1),
-                fmt(rep.makespan.ci95_half_width(), 1),
+                // ci95() is None (rendered "n/a") when fewer than two
+                // replications drained — never NaN in the table.
+                fmt_opt(rep.makespan.ci95(), 1),
                 fmt(rep.lost_work.mean(), 1),
             ]);
+            if n_ws == 16 && policy == PolicyKind::Guideline {
+                RunSummary::new("exp_now_farm")
+                    .text("policy", &rep.policy)
+                    .int("workstations", n_ws as u64)
+                    .int("replications", reps)
+                    .num("drained_fraction", rep.drained_fraction)
+                    .num("makespan_mean", rep.makespan.mean())
+                    .num("makespan_ci95", rep.makespan.ci95().unwrap_or(f64::NAN))
+                    .num("lost_work_mean", rep.lost_work.mean())
+                    .emit();
+            }
         }
         println!("{}", t.render());
     }

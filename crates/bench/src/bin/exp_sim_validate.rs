@@ -2,9 +2,10 @@
 //! to the analytic `E(S; p)` of eq (2.1), for every family and for both the
 //! serial and the parallel simulator.
 
-use cs_apps::{fmt, Table};
+use cs_apps::{fmt, fmt_opt, Table};
 use cs_bench::canonical_scenarios;
 use cs_core::search;
+use cs_obs::RunSummary;
 use cs_sim::{simulate_expected_work, simulate_expected_work_parallel};
 
 fn main() {
@@ -22,16 +23,21 @@ fn main() {
         let p = s.life.as_ref();
         let plan = search::best_guideline_schedule(p, s.c).expect("plan");
         let analytic = plan.expected_work;
-        for trials in [1_000u64, 10_000, 100_000] {
+        // The single-trial row exercises the undefined-CI path: it must
+        // render "n/a", never NaN.
+        for trials in [1u64, 1_000, 10_000, 100_000] {
             let mc = simulate_expected_work(&plan.schedule, p, s.c, trials, 7_777);
-            let ci = mc.work.ci95_half_width();
+            let ci = mc.work.ci95();
             t.row(&[
                 s.name.clone(),
                 trials.to_string(),
                 fmt(analytic, 4),
                 fmt(mc.work.mean(), 4),
-                fmt(ci, 4),
-                fmt((mc.work.mean() - analytic).abs() / ci.max(1e-12), 2),
+                fmt_opt(ci, 4),
+                fmt_opt(
+                    ci.map(|h| (mc.work.mean() - analytic).abs() / h.max(1e-12)),
+                    2,
+                ),
                 fmt(mc.interrupted_fraction, 3),
             ]);
         }
@@ -45,15 +51,33 @@ fn main() {
     let plan = search::best_guideline_schedule(s.life.as_ref(), s.c).expect("plan");
     let a = simulate_expected_work_parallel(&plan.schedule, s.life.as_ref(), s.c, 200_000, 99, 8);
     let b = simulate_expected_work_parallel(&plan.schedule, s.life.as_ref(), s.c, 200_000, 99, 8);
+    let reproducible = a.work.mean() == b.work.mean();
     println!(
         "Parallel simulator ({}, 8 threads, 200k trials): mean {} (run-to-run identical: {})",
         s.name,
         fmt(a.work.mean(), 4),
-        a.work.mean() == b.work.mean()
+        reproducible
     );
-    println!(
-        "  analytic {} — inside CI: {}",
-        fmt(plan.expected_work, 4),
-        (a.work.mean() - plan.expected_work).abs() <= a.work.ci95_half_width()
-    );
+    // A NaN CI would make this comparison silently false; ci95() separates
+    // "insufficient samples" from a genuine disagreement.
+    let agreement = match a.work.ci95() {
+        Some(half) => {
+            let inside = (a.work.mean() - plan.expected_work).abs() <= half;
+            format!("inside CI: {inside}")
+        }
+        None => "insufficient samples for a CI".to_string(),
+    };
+    println!("  analytic {} — {}", fmt(plan.expected_work, 4), agreement);
+
+    RunSummary::new("exp_sim_validate")
+        .num("parallel_mean", a.work.mean())
+        .num("analytic", plan.expected_work)
+        .flag("reproducible", reproducible)
+        .flag(
+            "inside_ci",
+            a.work
+                .ci95()
+                .is_some_and(|h| (a.work.mean() - plan.expected_work).abs() <= h),
+        )
+        .emit();
 }

@@ -91,6 +91,43 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         matches!(self.get(key), Some(v) if v != "false")
     }
+
+    /// Rejects any option not in `allowed`, suggesting the closest known
+    /// option. A typo like `--trails` must fail loudly instead of silently
+    /// running with defaults.
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), String> {
+        for key in self.opts.keys() {
+            if allowed.iter().any(|a| a == key) {
+                continue;
+            }
+            let suggestion = allowed
+                .iter()
+                .map(|a| (levenshtein(key, a), *a))
+                .min()
+                .filter(|&(d, a)| d <= 2.max(a.len() / 3))
+                .map(|(_, a)| format!(" (did you mean --{a}?)"))
+                .unwrap_or_default();
+            return Err(format!("unknown option --{key}{suggestion}"));
+        }
+        Ok(())
+    }
+}
+
+/// Edit distance for `check_known`'s did-you-mean suggestions.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -147,5 +184,37 @@ mod tests {
         assert_eq!(a.require_f64("c").unwrap(), 2.5);
         assert!(a.require_f64("bad").unwrap_err().contains("--bad"));
         assert!(a.require_f64("absent").unwrap_err().contains("--absent"));
+    }
+
+    #[test]
+    fn unknown_option_is_rejected_with_suggestion() {
+        // Regression: `--trails 50` used to run silently with defaults.
+        let a = parse("simulate --trails 50").unwrap();
+        let err = a.check_known(&["trials", "seed", "threads"]).unwrap_err();
+        assert!(err.contains("unknown option --trails"), "{err}");
+        assert!(err.contains("did you mean --trials?"), "{err}");
+    }
+
+    #[test]
+    fn unknown_option_without_close_match_has_no_suggestion() {
+        let a = parse("simulate --zzzzzzzz 1").unwrap();
+        let err = a.check_known(&["trials", "seed"]).unwrap_err();
+        assert!(err.contains("unknown option --zzzzzzzz"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn known_options_pass_check() {
+        let a = parse("simulate --trials 50 --seed 1").unwrap();
+        assert!(a.check_known(&["trials", "seed", "threads"]).is_ok());
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("trails", "trials"), 2);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
     }
 }

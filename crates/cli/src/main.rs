@@ -19,7 +19,8 @@ use cs_core::{dp, search};
 use cs_life::LifeFunction;
 use cs_now::farm::{Farm, FarmConfig, PolicyKind, WorkstationConfig};
 use cs_now::faults::FaultPlan;
-use cs_sim::simulate_expected_work_parallel;
+use cs_obs::{JsonlSink, MetricsSink, TeeSink};
+use cs_sim::simulate_expected_work_parallel_observed;
 use cs_tasks::workloads;
 use cs_trace::{estimate::estimate_life, fit::fit_all, owner::DiurnalOwner};
 use life_spec::parse_life;
@@ -42,6 +43,8 @@ COMMANDS:
                --oracle                 also run the DP oracle for comparison
     simulate   Monte-Carlo validation of the planned schedule.
                (plan options) --trials <n> --threads <k> --seed <s>
+               --trace-out <file>       write the event stream as JSONL
+               --metrics                print the folded metrics registry
     fit        Fit life functions to absence durations.
                --input <file>           one duration per line
                --synthetic diurnal --days <n> [--seed <s>]
@@ -55,6 +58,8 @@ COMMANDS:
                --slowdown <f>           multiplicative straggler factor (>= 1)
                --crash <rate>           permanent-crash hazard rate
                --storms <t1,t2,...>     correlated reclaim-storm times
+               --trace-out <file>       write the event stream as JSONL
+               --metrics                print the folded metrics registry
     saves      Checkpoint-interval planning under Poisson faults.
                --work <w> --c <save cost> --lambda <fault rate>
     help       Show this message.
@@ -89,7 +94,89 @@ fn main() -> ExitCode {
     }
 }
 
+/// Options every life-function spec may carry (see [`life_spec`]).
+const LIFE_OPTS: &[&str] = &["family", "l", "d", "a", "half-life", "k", "lambda"];
+
+/// Rejects unknown options, allowing the life-spec options plus `extra`.
+fn check_known_with_life(args: &Args, extra: &[&str]) -> Result<(), String> {
+    let mut allowed: Vec<&str> = LIFE_OPTS.to_vec();
+    allowed.extend_from_slice(extra);
+    args.check_known(&allowed)
+}
+
+/// Renders an optional 95% CI half-width ([`cs_sim::Summary::ci95`]):
+/// `"n/a"` when fewer than two samples make the CI undefined, so a
+/// single-trial run prints `± n/a` instead of `± NaN`.
+fn ci_display(ci: Option<f64>) -> String {
+    match ci {
+        Some(half) => format!("{half:.4}"),
+        None => "n/a".to_string(),
+    }
+}
+
+/// The `model agrees` verdict. With fewer than two samples the standard
+/// error is NaN and every comparison is false, so the old code reported a
+/// spurious `NO`; that case now reports its own line.
+fn agreement_verdict(mean: f64, expected: f64, std_error: f64, n: u64) -> &'static str {
+    if n < 2 {
+        "insufficient samples (need >= 2 episodes)"
+    } else if (mean - expected).abs() <= 3.0 * std_error + 1e-9 {
+        "yes (within 3 s.e.)"
+    } else {
+        "NO"
+    }
+}
+
+/// The JSONL / metrics sinks behind `--trace-out` and `--metrics`.
+struct TraceOutputs {
+    jsonl: Option<(String, JsonlSink)>,
+    metrics: Option<MetricsSink>,
+}
+
+impl TraceOutputs {
+    fn from_args(args: &Args) -> Result<Self, String> {
+        let jsonl = match args.get("trace-out") {
+            Some(path) => {
+                let sink =
+                    JsonlSink::create(path).map_err(|e| format!("--trace-out {path}: {e}"))?;
+                Some((path.to_string(), sink))
+            }
+            None => None,
+        };
+        let metrics = args.flag("metrics").then(MetricsSink::new);
+        Ok(Self { jsonl, metrics })
+    }
+
+    /// A tee over whichever sinks were requested (empty tee = no-op).
+    fn tee(&mut self) -> TeeSink<'_> {
+        let mut tee = TeeSink::new();
+        if let Some((_, sink)) = self.jsonl.as_mut() {
+            tee.push(sink);
+        }
+        if let Some(sink) = self.metrics.as_mut() {
+            tee.push(sink);
+        }
+        tee
+    }
+
+    /// Closes the JSONL file (surfacing deferred I/O errors) and prints the
+    /// metrics registry.
+    fn finish(self) -> Result<(), String> {
+        if let Some((path, sink)) = self.jsonl {
+            let lines = sink
+                .finish()
+                .map_err(|e| format!("--trace-out {path}: {e}"))?;
+            println!("trace written : {lines} events -> {path}");
+        }
+        if let Some(metrics) = self.metrics {
+            print!("{}", metrics.registry.render());
+        }
+        Ok(())
+    }
+}
+
 fn cmd_plan(args: &Args) -> Result<(), String> {
+    check_known_with_life(args, &["c", "oracle"])?;
     let life = parse_life(args)?;
     let c: f64 = args.require_f64("c")?;
     let plan = search::best_guideline_schedule(&life, c).map_err(|e| e.to_string())?;
@@ -121,34 +208,52 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &Args) -> Result<(), String> {
+    check_known_with_life(
+        args,
+        &["c", "trials", "threads", "seed", "trace-out", "metrics"],
+    )?;
     let life = parse_life(args)?;
     let c: f64 = args.require_f64("c")?;
     let trials = args.u64_or("trials", 100_000)?;
     let threads = args.usize_or("threads", 4)?;
     let seed = args.u64_or("seed", 42)?;
     let plan = search::best_guideline_schedule(&life, c).map_err(|e| e.to_string())?;
-    let mc = simulate_expected_work_parallel(&plan.schedule, &life, c, trials, seed, threads);
+    let mut trace = TraceOutputs::from_args(args)?;
+    let mc = simulate_expected_work_parallel_observed(
+        &plan.schedule,
+        &life,
+        c,
+        trials,
+        seed,
+        threads,
+        trace.tee(),
+    );
     println!("life function  : {}", life.describe());
     println!("schedule       : {}", plan.schedule);
     println!("analytic E     : {:.4}", plan.expected_work);
     println!(
-        "simulated mean : {:.4} ± {:.4} (95% CI, {} episodes, {} threads)",
+        "simulated mean : {:.4} ± {} (95% CI, {} episodes, {} threads)",
         mc.work.mean(),
-        mc.work.ci95_half_width(),
+        ci_display(mc.work.ci95()),
         trials,
         threads
     );
     println!("interrupted    : {}", pct(mc.interrupted_fraction));
     println!("mean periods   : {:.2}", mc.mean_periods);
-    let agrees = (mc.work.mean() - plan.expected_work).abs() <= 3.0 * mc.work.std_error() + 1e-9;
     println!(
         "model agrees   : {}",
-        if agrees { "yes (within 3 s.e.)" } else { "NO" }
+        agreement_verdict(
+            mc.work.mean(),
+            plan.expected_work,
+            mc.work.std_error(),
+            mc.work.count()
+        )
     );
-    Ok(())
+    trace.finish()
 }
 
 fn cmd_fit(args: &Args) -> Result<(), String> {
+    args.check_known(&["input", "synthetic", "days", "seed", "c"])?;
     let samples: Vec<f64> = if let Some(path) = args.get("input") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("--input {path}: {e}"))?;
         let mut out = Vec::new();
@@ -193,6 +298,7 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_saves(args: &Args) -> Result<(), String> {
+    args.check_known(&["work", "c", "lambda"])?;
     let w = args.f64_or("work", 100.0)?;
     let c: f64 = args.require_f64("c")?;
     let lambda: f64 = args.require_f64("lambda")?;
@@ -218,6 +324,22 @@ fn cmd_saves(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_farm(args: &Args) -> Result<(), String> {
+    args.check_known(&[
+        "workstations",
+        "tasks",
+        "l",
+        "c",
+        "gap",
+        "seed",
+        "policy",
+        "faults",
+        "loss",
+        "slowdown",
+        "crash",
+        "storms",
+        "trace-out",
+        "metrics",
+    ])?;
     let n_ws = args.usize_or("workstations", 4)?;
     let tasks = args.usize_or("tasks", 1000)?;
     let l = args.f64_or("l", 150.0)?;
@@ -284,7 +406,13 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
     config.storms = storms;
     config.validate().map_err(|e| e.to_string())?;
     let injecting = !faults.is_zero() || !config.storms.is_empty();
-    let report = Farm::new(config, bag).map_err(|e| e.to_string())?.run();
+    let mut trace = TraceOutputs::from_args(args)?;
+    let report = {
+        let mut tee = trace.tee();
+        Farm::new(config, bag)
+            .map_err(|e| e.to_string())?
+            .run_observed(&mut tee)
+    };
     println!("policy        : {}", policy.label());
     println!("workstations  : {n_ws} (uniform L = {l}, c = {c}, gap mean = {gap})");
     println!("tasks         : {tasks}");
@@ -320,5 +448,49 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
         ]);
     }
     println!("{}", table.render());
-    Ok(())
+    trace.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_display_handles_undefined_ci() {
+        // Regression: `simulate --trials 1` used to print `± NaN`.
+        assert_eq!(ci_display(None), "n/a");
+        assert_eq!(ci_display(Some(0.25)), "0.2500");
+        assert!(!ci_display(None).contains("NaN"));
+    }
+
+    #[test]
+    fn agreement_verdict_needs_two_samples() {
+        // Regression: with n = 1 the standard error is NaN, the `<=`
+        // comparison is false, and the CLI claimed `model agrees : NO`.
+        let v = agreement_verdict(5.0, 5.0, f64::NAN, 1);
+        assert!(v.contains("insufficient samples"), "{v}");
+        assert_eq!(agreement_verdict(5.0, 5.0, 0.1, 100), "yes (within 3 s.e.)");
+        assert_eq!(agreement_verdict(5.0, 9.0, 0.1, 100), "NO");
+    }
+
+    #[test]
+    fn subcommand_allowlists_cover_documented_options() {
+        // Every `--option` named in HELP must be accepted by its command's
+        // allowlist (via check_known), so the typo guard can never reject a
+        // documented flag.
+        let probe = |opts: &[&str], extra: &[&str]| {
+            let args = Args::parse(opts.iter().map(|o| format!("--{o}"))).unwrap();
+            check_known_with_life(&args, extra)
+        };
+        probe(LIFE_OPTS, &[]).unwrap();
+        probe(&["c", "oracle"], &["c", "oracle"]).unwrap();
+        probe(
+            &["trials", "threads", "seed", "trace-out", "metrics"],
+            &["c", "trials", "threads", "seed", "trace-out", "metrics"],
+        )
+        .unwrap();
+        assert!(probe(&["trails"], &["c", "trials", "threads", "seed"])
+            .unwrap_err()
+            .contains("did you mean --trials?"));
+    }
 }

@@ -40,6 +40,7 @@
 
 use crate::faults::{FaultPlan, ResilienceConfig};
 use cs_life::{ArcLife, LifeFunction};
+use cs_obs::{Event as ObsEvent, EventKind as ObsKind, EventSink, NoopSink};
 use cs_sim::policy::{ChunkPolicy, FixedSizePolicy, GreedyPolicy, GuidelinePolicy, PeriodOutcome};
 use cs_tasks::{Chunk, Task, TaskBag};
 use rand::rngs::StdRng;
@@ -499,14 +500,17 @@ impl Engine {
     }
 
     /// Returns a timed-out chunk's unbanked tasks to the bag (nothing was
-    /// executed and destroyed, so no lost work is recorded).
-    fn requeue_unbanked(&mut self, tasks: &[Task]) {
+    /// executed and destroyed, so no lost work is recorded). Returns how
+    /// many tasks went back.
+    fn requeue_unbanked(&mut self, tasks: &[Task]) -> u64 {
         let fresh: Vec<Task> = tasks
             .iter()
             .filter(|t| !self.banked.contains(&t.id))
             .copied()
             .collect();
+        let n = fresh.len() as u64;
         self.bag.requeue(Chunk::from_tasks(fresh));
+        n
     }
 
     /// Drops tasks the master already banked elsewhere from a freshly
@@ -589,12 +593,38 @@ impl Farm {
 
     /// Runs the simulation to drain or horizon, consuming the farm.
     pub fn run(self) -> FarmReport {
+        self.run_observed(&mut NoopSink)
+    }
+
+    /// [`Farm::run`] with every master action emitted to `sink` as a
+    /// [`cs_obs`] event: `run_start`, per-workstation `episode_start`,
+    /// `dispatch`/`bank`/`lease_timeout`/`requeue` and the whole fault and
+    /// countermeasure vocabulary (`message_lost`, `period_interrupt`,
+    /// `crash`, `straggle`, `backoff`, `quarantine`, `storm_kill`,
+    /// `replica`), closed by `run_end`.
+    ///
+    /// The sink is strictly pass-through — it never feeds back into the
+    /// RNG, the bag or the event queue — so the returned [`FarmReport`] is
+    /// bit-identical to [`Farm::run`] for the same configuration. `bank`
+    /// events reconcile exactly with the report: per workstation, the sum
+    /// of `work` fields in emission order equals that workstation's
+    /// `completed_work` bit for bit, and `run_end.banked` equals the
+    /// report's `completed_work`.
+    pub fn run_observed(self, sink: &mut dyn EventSink) -> FarmReport {
         let Farm {
             config,
             bag,
             storms,
         } = self;
         let initial_tasks = bag.pending_count();
+        sink.emit(&ObsEvent {
+            time: 0.0,
+            kind: ObsKind::RunStart {
+                seed: config.seed,
+                workstations: config.workstations.len() as u64,
+                tasks: initial_tasks as u64,
+            },
+        });
         let mut eng = Engine {
             bag,
             queue: BinaryHeap::new(),
@@ -634,7 +664,11 @@ impl Farm {
                     ..Default::default()
                 },
             };
-            apply_storms(&mut st, wc, &eng.storms);
+            sink.emit(&ObsEvent {
+                time: 0.0,
+                kind: ObsKind::EpisodeStart { ws: i as u64 },
+            });
+            apply_storms(&mut st, wc, &eng.storms, i, sink);
             states.push(st);
             eng.queue.push(Event {
                 time: 0.0,
@@ -653,17 +687,26 @@ impl Farm {
             }
             match kind {
                 EventKind::Dispatch(ws) => {
-                    dispatch(&mut eng, &config, &mut states[ws], ws, time);
+                    dispatch(&mut eng, &config, &mut states[ws], ws, time, sink);
                 }
                 EventKind::LeaseExpiry(id) => {
-                    expire_lease(&mut eng, &config, &mut states, id, time);
+                    expire_lease(&mut eng, &config, &mut states, id, time, sink);
                 }
                 EventKind::Arrival(id) => {
                     let Some(lease) = eng.in_flight.remove(&id) else {
                         continue;
                     };
                     let st = &mut states[lease.ws];
+                    let total = lease.chunk.total_duration();
                     let work = eng.bank(lease.chunk, st, time);
+                    sink.emit(&ObsEvent {
+                        time,
+                        kind: ObsKind::Bank {
+                            ws: lease.ws as u64,
+                            work,
+                            duplicate: total - work,
+                        },
+                    });
                     st.stats.chunks_completed += 1;
                     if work > 0.0 {
                         st.stats.late_banks += 1;
@@ -711,12 +754,21 @@ impl Farm {
             robustness.late_banks += s.stats.late_banks;
             robustness.duplicate_work += s.stats.duplicate_work;
         }
+        let drained = eng.banked.len() == initial_tasks;
+        sink.emit(&ObsEvent {
+            time: eng.makespan,
+            kind: ObsKind::RunEnd {
+                banked: completed_work,
+                lost: lost_work,
+                drained,
+            },
+        });
         FarmReport {
             makespan: eng.makespan,
             completed_work,
             lost_work,
             remaining_work,
-            drained: eng.banked.len() == initial_tasks,
+            drained,
             per_workstation: states.into_iter().map(|s| s.stats).collect(),
             robustness,
         }
@@ -730,6 +782,7 @@ fn dispatch(
     st: &mut WorkstationState,
     ws: usize,
     time: f64,
+    sink: &mut dyn EventSink,
 ) {
     let wc = &config.workstations[ws];
     if st.crashed {
@@ -739,6 +792,10 @@ fn dispatch(
         st.crashed = true;
         st.stats.crashes = 1;
         st.policy.observe(&PeriodOutcome::Crashed);
+        sink.emit(&ObsEvent {
+            time,
+            kind: ObsKind::Crash { ws: ws as u64 },
+        });
         return;
     }
     if time < st.quarantined_until {
@@ -755,6 +812,13 @@ fn dispatch(
         let delay = backoff_delay(&config.resilience, st.fail_streak);
         if delay > 0.0 {
             st.stats.backoff_delays += 1;
+            sink.emit(&ObsEvent {
+                time,
+                kind: ObsKind::Backoff {
+                    ws: ws as u64,
+                    delay,
+                },
+            });
             eng.queue.push(Event {
                 time: time + delay,
                 kind: EventKind::Dispatch(ws),
@@ -776,7 +840,14 @@ fn dispatch(
                         eng.pack_replica((t - wc.c).max(0.0), config.resilience.max_replicas)
                     {
                         st.stats.replicas_dispatched += 1;
-                        resolve_chunk(eng, config, st, ws, time, t, replica);
+                        sink.emit(&ObsEvent {
+                            time,
+                            kind: ObsKind::Replica {
+                                ws: ws as u64,
+                                tasks: replica.len() as u64,
+                            },
+                        });
+                        resolve_chunk(eng, config, st, ws, time, t, replica, sink);
                         return;
                     }
                 }
@@ -787,13 +858,13 @@ fn dispatch(
                     kind: EventKind::Dispatch(ws),
                 });
             } else {
-                resolve_chunk(eng, config, st, ws, time, t, chunk);
+                resolve_chunk(eng, config, st, ws, time, t, chunk, sink);
             }
         }
         _ => {
             // Policy declined (no productive period left in this episode):
             // wait out the owner and start a new episode.
-            start_next_episode(eng, wc, st, ws);
+            start_next_episode(eng, wc, st, ws, sink);
         }
     }
 }
@@ -801,6 +872,7 @@ fn dispatch(
 /// Decides the fate of a dispatched, non-empty chunk: lost in transit,
 /// killed by the owner, dead with a crashed workstation, straggling past its
 /// lease, or banked.
+#[allow(clippy::too_many_arguments)]
 fn resolve_chunk(
     eng: &mut Engine,
     config: &FarmConfig,
@@ -809,19 +881,32 @@ fn resolve_chunk(
     time: f64,
     t: f64,
     chunk: Chunk,
+    sink: &mut dyn EventSink,
 ) {
     let wc = &config.workstations[ws];
     let res = &config.resilience;
     let end = time + t * wc.faults.slowdown;
+    sink.emit(&ObsEvent {
+        time,
+        kind: ObsKind::Dispatch {
+            ws: ws as u64,
+            tasks: chunk.len() as u64,
+            work: chunk.total_duration(),
+        },
+    });
     // (a) The dispatch or its result vanishes in transit: the period burns
     // its overhead, nothing executes as far as the master can tell, and the
     // chunk's tasks come back only when the lease expires.
     if wc.faults.loss_prob > 0.0 && st.fault_rng.random::<f64>() < wc.faults.loss_prob {
         st.stats.messages_lost += 1;
         st.policy.observe(&PeriodOutcome::Lost);
+        sink.emit(&ObsEvent {
+            time,
+            kind: ObsKind::MessageLost { ws: ws as u64 },
+        });
         eng.lease(ws, chunk, time + res.lease_factor * t, false);
         if end >= st.reclaim_at {
-            start_next_episode(eng, wc, st, ws);
+            start_next_episode(eng, wc, st, ws, sink);
         } else {
             eng.queue.push(Event {
                 time: end,
@@ -837,8 +922,15 @@ fn resolve_chunk(
         st.stats.chunks_lost += 1;
         st.stats.lost_work += lost;
         st.policy.observe(&PeriodOutcome::Killed { lost });
+        sink.emit(&ObsEvent {
+            time: st.reclaim_at,
+            kind: ObsKind::PeriodInterrupt {
+                ws: ws as u64,
+                lost,
+            },
+        });
         eng.abandon_unbanked(chunk);
-        start_next_episode(eng, wc, st, ws);
+        start_next_episode(eng, wc, st, ws, sink);
         return;
     }
     // (c) Silent crash mid-period: the work dies with the workstation and
@@ -850,6 +942,10 @@ fn resolve_chunk(
         st.stats.chunks_lost += 1;
         st.stats.lost_work += lost;
         st.policy.observe(&PeriodOutcome::Crashed);
+        sink.emit(&ObsEvent {
+            time: st.crash_at,
+            kind: ObsKind::Crash { ws: ws as u64 },
+        });
         eng.lease(ws, chunk, time + res.lease_factor * t, false);
         return;
     }
@@ -860,6 +956,10 @@ fn resolve_chunk(
         // gave up on it. First bank still wins when it lands.
         st.stats.straggled_chunks += 1;
         st.policy.observe(&PeriodOutcome::Straggled);
+        sink.emit(&ObsEvent {
+            time,
+            kind: ObsKind::Straggle { ws: ws as u64 },
+        });
         let id = eng.lease(ws, chunk, lease_expiry, true);
         eng.queue.push(Event {
             time: end,
@@ -870,7 +970,16 @@ fn resolve_chunk(
             kind: EventKind::Dispatch(ws),
         });
     } else {
+        let total = chunk.total_duration();
         let work = eng.bank(chunk, st, end);
+        sink.emit(&ObsEvent {
+            time: end,
+            kind: ObsKind::Bank {
+                ws: ws as u64,
+                work,
+                duplicate: total - work,
+            },
+        });
         st.stats.chunks_completed += 1;
         st.fail_streak = 0;
         st.policy.observe(&PeriodOutcome::Banked { work });
@@ -889,6 +998,7 @@ fn expire_lease(
     states: &mut [WorkstationState],
     id: u64,
     time: f64,
+    sink: &mut dyn EventSink,
 ) {
     let (tasks, lease_ws, keep) = {
         let Some(lease) = eng.in_flight.get_mut(&id) else {
@@ -903,7 +1013,21 @@ fn expire_lease(
     if !keep {
         eng.in_flight.remove(&id);
     }
-    eng.requeue_unbanked(&tasks);
+    sink.emit(&ObsEvent {
+        time,
+        kind: ObsKind::LeaseTimeout {
+            ws: lease_ws as u64,
+            lease: id,
+        },
+    });
+    let requeued = eng.requeue_unbanked(&tasks);
+    sink.emit(&ObsEvent {
+        time,
+        kind: ObsKind::Requeue {
+            ws: lease_ws as u64,
+            tasks: requeued,
+        },
+    });
     let st = &mut states[lease_ws];
     st.stats.lease_timeouts += 1;
     if !st.crashed {
@@ -915,6 +1039,13 @@ fn expire_lease(
             st.backoff_pending = false;
             st.stats.quarantines += 1;
             st.quarantined_until = time + res.quarantine_duration;
+            sink.emit(&ObsEvent {
+                time,
+                kind: ObsKind::Quarantine {
+                    ws: lease_ws as u64,
+                    until: st.quarantined_until,
+                },
+            });
         }
     }
 }
@@ -945,7 +1076,13 @@ fn episode_life(wc: &WorkstationConfig, episode_start: f64) -> &ArcLife {
 
 /// Truncates the episode at the first reclaim storm that hits this
 /// workstation (correlated reclamation).
-fn apply_storms(st: &mut WorkstationState, wc: &WorkstationConfig, storms: &[f64]) {
+fn apply_storms(
+    st: &mut WorkstationState,
+    wc: &WorkstationConfig,
+    storms: &[f64],
+    ws: usize,
+    sink: &mut dyn EventSink,
+) {
     if wc.faults.storm_hit_prob <= 0.0 {
         return;
     }
@@ -959,6 +1096,10 @@ fn apply_storms(st: &mut WorkstationState, wc: &WorkstationConfig, storms: &[f64
         if st.fault_rng.random::<f64>() < wc.faults.storm_hit_prob {
             st.reclaim_at = s;
             st.stats.storm_kills += 1;
+            sink.emit(&ObsEvent {
+                time: s,
+                kind: ObsKind::StormKill { ws: ws as u64 },
+            });
             break;
         }
     }
@@ -971,13 +1112,18 @@ fn start_next_episode(
     wc: &WorkstationConfig,
     st: &mut WorkstationState,
     ws: usize,
+    sink: &mut dyn EventSink,
 ) {
     let u = eng.rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
     let gap = -wc.gap_mean * u.ln();
     let next_start = st.reclaim_at + gap;
     st.episode_start = next_start;
     st.reclaim_at = next_start + draw_reclaim(episode_life(wc, next_start), &mut eng.rng);
-    apply_storms(st, wc, &eng.storms);
+    sink.emit(&ObsEvent {
+        time: next_start,
+        kind: ObsKind::EpisodeStart { ws: ws as u64 },
+    });
+    apply_storms(st, wc, &eng.storms, ws, sink);
     st.stats.episodes += 1;
     st.policy.reset();
     eng.queue.push(Event {
@@ -1405,6 +1551,67 @@ mod tests {
         let r = Farm::new(config, bag).unwrap().run();
         assert_eq!(r.robustness.replicas_dispatched, 0);
         assert!(r.drained, "lease requeues alone must still drain the bag");
+    }
+
+    #[test]
+    fn observed_run_is_passthrough_and_reconciles() {
+        use cs_obs::{EventKind as K, MemorySink};
+        // A faulty farm exercises the whole event vocabulary.
+        let mk = || {
+            let bag = workloads::uniform(200, 1.0).unwrap();
+            let mut lossy = uniform_ws(200.0, 2.0, PolicyKind::FixedSize(20.0));
+            lossy.faults.loss_prob = 0.5;
+            let healthy = uniform_ws(200.0, 2.0, PolicyKind::FixedSize(20.0));
+            Farm::new(FarmConfig::new(vec![lossy, healthy], 1e6, 13), bag).unwrap()
+        };
+        let plain = mk().run();
+        let mut sink = MemorySink::new();
+        let traced = mk().run_observed(&mut sink);
+        // Pass-through: tracing must not perturb the simulation.
+        assert_eq!(plain.makespan.to_bits(), traced.makespan.to_bits());
+        assert_eq!(
+            plain.completed_work.to_bits(),
+            traced.completed_work.to_bits()
+        );
+        assert_eq!(plain.robustness, traced.robustness);
+        // Reconciliation: event tallies equal the report's counters, and
+        // per-workstation bank sums are bitwise identical to the stats.
+        let mut bank_sum = [0.0f64; 2];
+        let mut timeouts = 0u64;
+        let mut requeued_tasks = 0u64;
+        for e in &sink.events {
+            match e.kind {
+                K::Bank { ws, work, .. } => bank_sum[ws as usize] += work,
+                K::LeaseTimeout { .. } => timeouts += 1,
+                K::Requeue { tasks, .. } => requeued_tasks += tasks,
+                _ => {}
+            }
+        }
+        for (ws, st) in traced.per_workstation.iter().enumerate() {
+            assert_eq!(bank_sum[ws].to_bits(), st.completed_work.to_bits());
+        }
+        assert_eq!(timeouts, traced.robustness.lease_timeouts);
+        assert!(requeued_tasks > 0, "lossy ws should force requeues");
+        assert!(matches!(
+            sink.events.first().unwrap().kind,
+            K::RunStart {
+                seed: 13,
+                workstations: 2,
+                tasks: 200,
+            }
+        ));
+        match sink.events.last().unwrap().kind {
+            K::RunEnd {
+                banked,
+                lost,
+                drained,
+            } => {
+                assert_eq!(banked.to_bits(), traced.completed_work.to_bits());
+                assert_eq!(lost.to_bits(), traced.lost_work.to_bits());
+                assert_eq!(drained, traced.drained);
+            }
+            other => panic!("last event should be run_end, got {other:?}"),
+        }
     }
 
     mod properties {

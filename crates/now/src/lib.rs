@@ -28,6 +28,13 @@
 //! * [`faults`] — deterministic fault injection (message loss, stragglers,
 //!   crashes, reclaim storms, belief drift) plus the resilient master's
 //!   countermeasure knobs (leases, backoff, quarantine, tail replication).
+//!
+//! Every master action can be traced through [`cs_obs`]: run the simulator
+//! via [`farm::Farm::run_observed`] with any [`cs_obs::EventSink`] to get a
+//! schema-versioned event stream (JSONL, in-memory, or folded into a
+//! [`cs_obs::MetricsRegistry`]) whose tallies reconcile exactly with the
+//! returned [`farm::FarmReport`]. Sinks are strictly pass-through: a traced
+//! run is bit-identical to an untraced one for the same seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,263 @@
+//! A minimal JSON parser for **flat objects** — exactly the shape this
+//! crate emits: one object per line, string keys, scalar values (number,
+//! string, bool, null). Nested containers are rejected; the event schema
+//! has none, and refusing them keeps the parser ~100 lines and the crate
+//! dependency-free.
+
+use std::collections::BTreeMap;
+
+/// A scalar JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A number (integers parse to the same `f64` they were printed from).
+    Num(f64),
+    /// A string (escapes `\"`, `\\`, `\n`, `\t`, `\r` decoded).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null` (this crate serializes non-finite floats as `null`).
+    Null,
+}
+
+impl JsonValue {
+    /// The value as a float: numbers verbatim, `null` as NaN, else `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            JsonValue::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    });
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let ch = s.chars().next().ok_or("empty string tail")?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') | Some(b'f') | Some(b'n') => {
+                let rest = &self.bytes[self.pos..];
+                for (lit, val) in [
+                    (&b"true"[..], JsonValue::Bool(true)),
+                    (&b"false"[..], JsonValue::Bool(false)),
+                    (&b"null"[..], JsonValue::Null),
+                ] {
+                    if rest.starts_with(lit) {
+                        self.pos += lit.len();
+                        return Ok(val);
+                    }
+                }
+                Err(format!("bad literal at byte {}", self.pos))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+                text.parse::<f64>()
+                    .map(JsonValue::Num)
+                    .map_err(|_| format!("bad number {text:?}"))
+            }
+            Some(b'{') | Some(b'[') => Err("nested containers are not supported".into()),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"k": scalar, ...}`) into a key → value
+/// map. Duplicate keys and trailing garbage are errors.
+pub fn parse_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut cur = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let mut out = BTreeMap::new();
+    cur.skip_ws();
+    cur.expect(b'{')?;
+    cur.skip_ws();
+    if cur.peek() == Some(b'}') {
+        cur.pos += 1;
+    } else {
+        loop {
+            cur.skip_ws();
+            let key = cur.parse_string()?;
+            cur.skip_ws();
+            cur.expect(b':')?;
+            let value = cur.parse_scalar()?;
+            if out.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            cur.skip_ws();
+            match cur.peek() {
+                Some(b',') => cur.pos += 1,
+                Some(b'}') => {
+                    cur.pos += 1;
+                    break;
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+    cur.skip_ws();
+    if cur.pos != cur.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", cur.pos));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_object() {
+        let m = parse_object(r#"{"v":1,"t":12.5,"type":"bank","ok":true,"x":null}"#).unwrap();
+        assert_eq!(m["v"].as_u64(), Some(1));
+        assert_eq!(m["t"].as_f64(), Some(12.5));
+        assert_eq!(m["type"].as_str(), Some("bank"));
+        assert_eq!(m["ok"].as_bool(), Some(true));
+        assert!(m["x"].as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn parses_empty_and_escapes() {
+        assert!(parse_object("{}").unwrap().is_empty());
+        let m = parse_object(r#"{"s":"a\"b\\c\nd"}"#).unwrap();
+        assert_eq!(m["s"].as_str(), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn parses_negative_and_exponent_numbers() {
+        let m = parse_object(r#"{"a":-2.5,"b":1e-3,"c":1234567890}"#).unwrap();
+        assert_eq!(m["a"].as_f64(), Some(-2.5));
+        assert_eq!(m["b"].as_f64(), Some(1e-3));
+        assert_eq!(m["c"].as_u64(), Some(1_234_567_890));
+        assert_eq!(m["a"].as_u64(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_object("").is_err());
+        assert!(parse_object("{").is_err());
+        assert!(parse_object(r#"{"a":1"#).is_err());
+        assert!(parse_object(r#"{"a":1} extra"#).is_err());
+        assert!(parse_object(r#"{"a":{"nested":1}}"#).is_err());
+        assert!(parse_object(r#"{"a":[1,2]}"#).is_err());
+        assert!(parse_object(r#"{"a":1,"a":2}"#).is_err());
+        assert!(parse_object(r#"{"a":tru}"#).is_err());
+        assert!(parse_object(r#"not json"#).is_err());
+    }
+
+    #[test]
+    fn round_trips_emitted_events() {
+        use crate::event::{Event, EventKind};
+        let e = Event {
+            time: 435.8123456789,
+            kind: EventKind::Dispatch {
+                ws: 2,
+                tasks: 17,
+                work: 17.0,
+            },
+        };
+        let m = parse_object(&e.to_jsonl()).unwrap();
+        assert_eq!(m["t"].as_f64().unwrap().to_bits(), e.time.to_bits());
+        assert_eq!(m["tasks"].as_u64(), Some(17));
+    }
+}

@@ -1,0 +1,43 @@
+//! # cs-obs
+//!
+//! Zero-dependency observability substrate for the cycle-stealing
+//! workspace: the machine-readable window into simulator, farm and CLI
+//! runs that hand-formatted stdout tables cannot give.
+//!
+//! * [`event`] — a **stable, versioned event schema** ([`SCHEMA_VERSION`])
+//!   covering episode lifecycle (period start/commit/interrupt), farm
+//!   master actions (dispatch, bank, lease timeout, requeue, backoff,
+//!   quarantine, storm, crash, message loss, straggle, replica) and
+//!   Monte-Carlo progress, with hand-rolled JSONL serialization.
+//! * [`sink`] — the [`EventSink`] trait plus sinks: [`NoopSink`] (default,
+//!   free), [`MemorySink`] (tests), [`JsonlSink`] (buffered file),
+//!   [`TeeSink`] (fan-out) and [`MetricsSink`] (folds the stream into a
+//!   registry).
+//! * [`metrics`] — [`MetricsRegistry`] of counters, gauges and streaming
+//!   power-of-two-bucket [`Histogram`]s.
+//! * [`json`] / [`schema`] — a minimal flat-object JSON parser and the
+//!   consumer-side line validator ([`validate_line`]) used by CI smoke
+//!   checks.
+//! * [`summary`] — the shared `RUN-SUMMARY` JSON emitter for `exp_*`
+//!   binaries.
+//!
+//! **Pass-through contract:** sinks never feed back into producers. A
+//! seeded simulation run with tracing enabled is bit-identical in results
+//! to the same run with tracing disabled, and the no-op sink's cost is
+//! inside benchmark noise (`bench_now` guards ≤ 2%).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod schema;
+pub mod sink;
+pub mod summary;
+
+pub use event::{Event, EventKind, ALL_KINDS, SCHEMA_VERSION};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use schema::{validate_line, ValidatedEvent};
+pub use sink::{EventSink, JsonlSink, MemorySink, MetricsSink, NoopSink, TeeSink};
+pub use summary::RunSummary;

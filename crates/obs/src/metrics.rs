@@ -1,0 +1,358 @@
+//! Metrics: named counters, gauges and streaming histograms.
+//!
+//! The registry is deliberately simple — a `BTreeMap` per metric class, no
+//! interior mutability, no background threads. Producers that run
+//! single-threaded (the virtual-time farm, the serial Monte-Carlo loop, a
+//! CLI command) mutate it directly; parallel producers aggregate shard
+//! results first and fold them in afterwards, which keeps the registry off
+//! every hot path.
+
+use std::collections::BTreeMap;
+
+/// Number of power-of-two histogram buckets (covering `2^-20 .. 2^43`).
+const BUCKETS: usize = 64;
+/// Bucket index offset: values in `[2^k, 2^(k+1))` land in `k + OFFSET`.
+const OFFSET: i32 = 20;
+
+/// A streaming histogram with power-of-two buckets plus exact
+/// count/sum/min/max. Constant memory, O(1) insert, mergeable.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// `buckets[i]` counts values in `[2^(i-OFFSET), 2^(i-OFFSET+1))`;
+    /// non-positive values land in bucket 0, huge ones in the last.
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        // Bucket 0 absorbs non-positive and non-finite values (incl. NaN).
+        if v > 0.0 && v.is_finite() {
+            let idx = v.log2().floor() as i32 + OFFSET;
+            idx.clamp(0, BUCKETS as i32 - 1) as usize
+        } else {
+            0
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Bucket-resolution quantile estimate (upper bound of the bucket the
+    /// `q`-quantile observation falls in). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // Upper edge of bucket i, clamped to the observed range.
+                let upper = 2f64.powi(i as i32 - OFFSET + 1);
+                return Some(upper.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+/// A registry of named counters (monotone `u64`), gauges (`f64` last-write
+/// or accumulate) and streaming [`Histogram`]s.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, by: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+        } else {
+            self.counters.insert(name.to_string(), by);
+        }
+    }
+
+    /// Reads counter `name` (zero when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Adds `by` to gauge `name` (creating it at zero).
+    pub fn gauge_add(&mut self, name: &str, by: f64) {
+        *self.gauges.entry(name.to_string()).or_insert(0.0) += by;
+    }
+
+    /// Reads gauge `name` (`None` when absent).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records one observation into histogram `name` (creating it).
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    /// Reads histogram `name` (`None` when absent).
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Merges another registry into this one (counters and histograms add,
+    /// gauges take the other's values).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.counter_add(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauge_set(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders a fixed-width text report, one metric per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            writeln!(out, "counter   {k:<28} {v}").expect("write to String");
+        }
+        for (k, v) in &self.gauges {
+            writeln!(out, "gauge     {k:<28} {v:.4}").expect("write to String");
+        }
+        for (k, h) in &self.histograms {
+            writeln!(
+                out,
+                "histogram {k:<28} n={} mean={} min={} max={} p50={} p99={}",
+                h.count(),
+                h.mean().map_or("-".into(), |v| format!("{v:.4}")),
+                h.min().map_or("-".into(), |v| format!("{v:.4}")),
+                h.max().map_or("-".into(), |v| format!("{v:.4}")),
+                h.quantile(0.5).map_or("-".into(), |v| format!("{v:.4}")),
+                h.quantile(0.99).map_or("-".into(), |v| format!("{v:.4}")),
+            )
+            .expect("write to String");
+        }
+        out
+    }
+
+    /// Serializes the registry as one JSON object (counters and gauges
+    /// verbatim; histograms as `{count, sum, min, max, p50, p99}`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write!(s, "\"{k}\":{v}").expect("write to String");
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write!(s, "\"{k}\":").expect("write to String");
+            crate::event::push_json_f64(&mut s, *v);
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write!(s, "\"{k}\":{{\"count\":{},\"sum\":", h.count()).expect("write to String");
+            crate::event::push_json_f64(&mut s, h.sum());
+            for (field, v) in [
+                ("min", h.min()),
+                ("max", h.max()),
+                ("p50", h.quantile(0.5)),
+                ("p99", h.quantile(0.99)),
+            ] {
+                write!(s, ",\"{field}\":").expect("write to String");
+                crate::event::push_json_f64(&mut s, v.unwrap_or(f64::NAN));
+            }
+            s.push('}');
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut r = MetricsRegistry::new();
+        assert!(r.is_empty());
+        r.counter_add("banks", 2);
+        r.counter_add("banks", 3);
+        assert_eq!(r.counter("banks"), 5);
+        assert_eq!(r.counter("absent"), 0);
+        r.gauge_set("makespan", 12.5);
+        r.gauge_add("work", 1.0);
+        r.gauge_add("work", 2.0);
+        assert_eq!(r.gauge("makespan"), Some(12.5));
+        assert_eq!(r.gauge("work"), Some(3.0));
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        assert!(h.mean().is_none() && h.quantile(0.5).is_none());
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 15.0);
+        assert_eq!(h.mean(), Some(3.75));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(8.0));
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((1.0..=4.0).contains(&p50), "{p50}");
+        assert_eq!(h.quantile(1.0), Some(8.0));
+    }
+
+    #[test]
+    fn histogram_handles_edge_values() {
+        let mut h = Histogram::new();
+        h.observe(0.0);
+        h.observe(-3.0);
+        h.observe(1e300); // clamps to the top bucket
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(-3.0));
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential() {
+        let mut all = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..100 {
+            let v = (i as f64 * 0.7).exp() % 50.0;
+            all.observe(v);
+            if i < 40 {
+                a.observe(v)
+            } else {
+                b.observe(v)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum().to_bits(), all.sum().to_bits());
+        assert_eq!(a.quantile(0.5), all.quantile(0.5));
+    }
+
+    #[test]
+    fn registry_merge_render_json() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("x", 1);
+        a.observe("h", 2.0);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("x", 2);
+        b.gauge_set("g", 7.0);
+        b.observe("h", 4.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        let text = a.render();
+        assert!(
+            text.contains("counter") && text.contains("histogram"),
+            "{text}"
+        );
+        let json = a.to_json();
+        assert!(
+            json.contains("\"x\":3") && json.contains("\"g\":7"),
+            "{json}"
+        );
+    }
+}

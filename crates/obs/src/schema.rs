@@ -1,0 +1,183 @@
+//! JSONL validation against the event schema.
+//!
+//! [`validate_line`] is the consumer-side contract check: every line a sink
+//! emitted must parse, carry the current [`SCHEMA_VERSION`], name a type in
+//! [`ALL_KINDS`] and provide that type's required fields with the right
+//! scalar kinds. The CI smoke step and `exp_obs_validate` run this over
+//! real trace files.
+
+use crate::event::{ALL_KINDS, SCHEMA_VERSION};
+use crate::json::{parse_object, JsonValue};
+use std::collections::BTreeMap;
+
+/// A schema-validated JSONL line, decoded into its common parts.
+#[derive(Debug, Clone)]
+pub struct ValidatedEvent {
+    /// The `"t"` timestamp (NaN when serialized as `null`).
+    pub time: f64,
+    /// The `"type"` string (guaranteed ∈ [`ALL_KINDS`]).
+    pub kind: String,
+    /// All fields of the line, for reconciliation.
+    pub fields: BTreeMap<String, JsonValue>,
+}
+
+impl ValidatedEvent {
+    /// Reads field `key` as a float (errors name the field).
+    pub fn f64(&self, key: &str) -> Result<f64, String> {
+        self.fields
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{}: missing numeric field {key:?}", self.kind))
+    }
+
+    /// Reads field `key` as a non-negative integer.
+    pub fn u64(&self, key: &str) -> Result<u64, String> {
+        self.fields
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("{}: missing integer field {key:?}", self.kind))
+    }
+}
+
+/// Required fields per event type, as `(name, is_integer)` pairs. Floats
+/// accept `null` (non-finite); integers do not.
+fn required_fields(kind: &str) -> &'static [(&'static str, bool)] {
+    match kind {
+        "run_start" => &[("seed", true), ("workstations", true), ("tasks", true)],
+        "episode_start" | "storm_kill" | "crash" | "message_lost" | "straggle" => &[("ws", true)],
+        "period_start" => &[("ws", true), ("len", false)],
+        "period_commit" => &[("ws", true), ("work", false)],
+        "period_interrupt" => &[("ws", true), ("lost", false)],
+        "dispatch" => &[("ws", true), ("tasks", true), ("work", false)],
+        "bank" => &[("ws", true), ("work", false), ("duplicate", false)],
+        "lease_timeout" => &[("ws", true), ("lease", true)],
+        "requeue" | "replica" => &[("ws", true), ("tasks", true)],
+        "backoff" => &[("ws", true), ("delay", false)],
+        "quarantine" => &[("ws", true), ("until", false)],
+        "mc_progress" => &[("done", true), ("total", true)],
+        "run_end" => &[("banked", false), ("lost", false)],
+        _ => &[],
+    }
+}
+
+/// Validates one JSONL line: parses, checks the schema version, the event
+/// type and that type's required fields.
+pub fn validate_line(line: &str) -> Result<ValidatedEvent, String> {
+    let fields = parse_object(line)?;
+    let version = fields
+        .get("v")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing schema version \"v\"")?;
+    if version != u64::from(SCHEMA_VERSION) {
+        return Err(format!(
+            "schema version {version} (this validator understands {SCHEMA_VERSION})"
+        ));
+    }
+    let kind = fields
+        .get("type")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing event \"type\"")?
+        .to_string();
+    if !ALL_KINDS.contains(&kind.as_str()) {
+        return Err(format!("unknown event type {kind:?}"));
+    }
+    if !fields.contains_key("t") {
+        return Err(format!("{kind}: missing timestamp \"t\""));
+    }
+    let time = fields["t"].as_f64().ok_or("timestamp \"t\" not a number")?;
+    for &(name, is_int) in required_fields(&kind) {
+        let value = fields
+            .get(name)
+            .ok_or_else(|| format!("{kind}: missing field {name:?}"))?;
+        if is_int {
+            value
+                .as_u64()
+                .ok_or_else(|| format!("{kind}: field {name:?} not an integer"))?;
+        } else {
+            value
+                .as_f64()
+                .ok_or_else(|| format!("{kind}: field {name:?} not a number"))?;
+        }
+    }
+    if kind == "run_end" {
+        fields
+            .get("drained")
+            .and_then(JsonValue::as_bool)
+            .ok_or("run_end: missing boolean \"drained\"")?;
+    }
+    Ok(ValidatedEvent { time, kind, fields })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+
+    #[test]
+    fn every_emitted_kind_validates() {
+        let events = [
+            EventKind::RunStart {
+                seed: 42,
+                workstations: 4,
+                tasks: 100,
+            },
+            EventKind::EpisodeStart { ws: 1 },
+            EventKind::PeriodStart { ws: 1, len: 8.0 },
+            EventKind::PeriodCommit { ws: 1, work: 6.0 },
+            EventKind::PeriodInterrupt { ws: 1, lost: 6.0 },
+            EventKind::Dispatch {
+                ws: 1,
+                tasks: 6,
+                work: 6.0,
+            },
+            EventKind::Bank {
+                ws: 1,
+                work: 6.0,
+                duplicate: 0.0,
+            },
+            EventKind::LeaseTimeout { ws: 1, lease: 3 },
+            EventKind::Requeue { ws: 1, tasks: 6 },
+            EventKind::Backoff { ws: 1, delay: 2.0 },
+            EventKind::Quarantine { ws: 1, until: 50.0 },
+            EventKind::StormKill { ws: 1 },
+            EventKind::Crash { ws: 1 },
+            EventKind::MessageLost { ws: 1 },
+            EventKind::Straggle { ws: 1 },
+            EventKind::Replica { ws: 1, tasks: 2 },
+            EventKind::McProgress { done: 1, total: 2 },
+            EventKind::RunEnd {
+                banked: 99.0,
+                lost: 1.0,
+                drained: true,
+            },
+        ];
+        for kind in events {
+            let line = Event { time: 1.25, kind }.to_jsonl();
+            let v = validate_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(v.kind, kind.name());
+            assert_eq!(v.time, 1.25);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(validate_line("not json").is_err());
+        assert!(validate_line(r#"{"t":1,"type":"bank"}"#).is_err()); // no version
+        assert!(
+            validate_line(r#"{"v":99,"t":1,"type":"bank","ws":0,"work":1,"duplicate":0}"#).is_err()
+        ); // future version
+        assert!(validate_line(r#"{"v":1,"t":1,"type":"martian"}"#).is_err());
+        assert!(validate_line(r#"{"v":1,"t":1,"type":"bank","ws":0}"#).is_err()); // missing fields
+        assert!(validate_line(r#"{"v":1,"type":"crash","ws":0}"#).is_err()); // no timestamp
+        assert!(validate_line(r#"{"v":1,"t":1,"type":"crash","ws":-1}"#).is_err());
+        // bad int
+    }
+
+    #[test]
+    fn field_accessors_report_names() {
+        let v = validate_line(r#"{"v":1,"t":0,"type":"requeue","ws":2,"tasks":7}"#).unwrap();
+        assert_eq!(v.u64("tasks").unwrap(), 7);
+        assert_eq!(v.f64("tasks").unwrap(), 7.0);
+        assert!(v.u64("absent").unwrap_err().contains("absent"));
+    }
+}

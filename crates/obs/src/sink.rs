@@ -1,0 +1,320 @@
+//! Event sinks: where emitted [`Event`]s go.
+//!
+//! Every producer (episode simulator, Monte-Carlo harness, farm master) is
+//! written against the [`EventSink`] trait, and the sink is strictly
+//! **pass-through**: it never feeds anything back into the producer, so a
+//! seeded run is bit-identical in results whichever sink is attached. The
+//! [`NoopSink`] is the default and must cost nothing measurable.
+
+use crate::event::Event;
+use crate::metrics::MetricsRegistry;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Receives the event stream of a run.
+///
+/// Implementations must be pass-through (no effect on the producer) and
+/// cheap: `emit` sits inside simulation loops.
+pub trait EventSink {
+    /// Receives one event.
+    fn emit(&mut self, event: &Event);
+
+    /// Flushes buffered output (no-op for unbuffered sinks).
+    fn flush_sink(&mut self) {}
+}
+
+/// Every `&mut` sink is itself a sink, so generic producers accept both
+/// concrete sinks and `&mut dyn EventSink`.
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn emit(&mut self, event: &Event) {
+        (**self).emit(event);
+    }
+    fn flush_sink(&mut self) {
+        (**self).flush_sink();
+    }
+}
+
+/// Discards every event. The default sink; optimizes to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    #[inline(always)]
+    fn emit(&mut self, _event: &Event) {}
+}
+
+/// Buffers every event in memory, in emission order.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    /// The captured events.
+    pub events: Vec<Event>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&mut self, event: &Event) {
+        self.events.push(*event);
+    }
+}
+
+/// Writes each event as one JSON line through a buffered file writer.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: BufWriter<File>,
+    lines: u64,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` and returns a sink writing to it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self {
+            writer: BufWriter::new(File::create(path)?),
+            lines: 0,
+        })
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and surfaces any buffered I/O error (errors inside `emit`
+    /// are deferred here so the hot path stays infallible).
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        self.writer.flush()?;
+        Ok(self.lines)
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&mut self, event: &Event) {
+        // I/O errors surface at `finish`; the simulation must not branch on
+        // sink health (pass-through contract).
+        let mut line = event.to_jsonl();
+        line.push('\n');
+        let _ = self.writer.write_all(line.as_bytes());
+        self.lines += 1;
+    }
+
+    fn flush_sink(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Fans each event out to several sinks (e.g. JSONL file + metrics).
+#[derive(Default)]
+pub struct TeeSink<'a> {
+    sinks: Vec<&'a mut dyn EventSink>,
+}
+
+impl<'a> TeeSink<'a> {
+    /// An empty tee (behaves like [`NoopSink`]).
+    pub fn new() -> Self {
+        Self { sinks: Vec::new() }
+    }
+
+    /// Adds a downstream sink.
+    pub fn push(&mut self, sink: &'a mut dyn EventSink) {
+        self.sinks.push(sink);
+    }
+}
+
+impl EventSink for TeeSink<'_> {
+    fn emit(&mut self, event: &Event) {
+        for s in &mut self.sinks {
+            s.emit(event);
+        }
+    }
+
+    fn flush_sink(&mut self) {
+        for s in &mut self.sinks {
+            s.flush_sink();
+        }
+    }
+}
+
+/// Folds the event stream into a [`MetricsRegistry`]: one counter per event
+/// class, gauges for run outcomes, histograms for the interesting
+/// distributions (chunk sizes, banked work, backoff delays, lost work).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSink {
+    /// The registry being populated.
+    pub registry: MetricsRegistry,
+}
+
+impl MetricsSink {
+    /// A sink over a fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSink for MetricsSink {
+    fn emit(&mut self, event: &Event) {
+        use crate::event::EventKind as K;
+        let r = &mut self.registry;
+        match event.kind {
+            K::RunStart {
+                workstations,
+                tasks,
+                ..
+            } => {
+                r.gauge_set("workstations", workstations as f64);
+                r.gauge_set("tasks", tasks as f64);
+            }
+            K::EpisodeStart { .. } => r.counter_add("episodes", 1),
+            K::PeriodStart { ws: _, len } => {
+                r.counter_add("periods", 1);
+                r.observe("period_len", len);
+            }
+            K::PeriodCommit { ws: _, work } => {
+                r.counter_add("periods_committed", 1);
+                r.observe("period_work", work);
+            }
+            K::PeriodInterrupt { ws: _, lost } => {
+                r.counter_add("periods_interrupted", 1);
+                r.observe("period_lost", lost);
+            }
+            K::Dispatch { ws: _, tasks, work } => {
+                r.counter_add("dispatches", 1);
+                r.counter_add("tasks_dispatched", tasks);
+                r.observe("chunk_work", work);
+            }
+            K::Bank {
+                ws: _,
+                work,
+                duplicate,
+            } => {
+                r.counter_add("chunks_banked", 1);
+                r.gauge_add("banked_work", work);
+                r.gauge_add("duplicate_work", duplicate);
+                r.observe("bank_work", work);
+            }
+            K::LeaseTimeout { .. } => r.counter_add("lease_timeouts", 1),
+            K::Requeue { ws: _, tasks } => {
+                r.counter_add("requeues", 1);
+                r.counter_add("tasks_requeued", tasks);
+            }
+            K::Backoff { ws: _, delay } => {
+                r.counter_add("backoff_delays", 1);
+                r.observe("backoff_delay", delay);
+            }
+            K::Quarantine { .. } => r.counter_add("quarantines", 1),
+            K::StormKill { .. } => r.counter_add("storm_kills", 1),
+            K::Crash { .. } => r.counter_add("crashes", 1),
+            K::MessageLost { .. } => r.counter_add("messages_lost", 1),
+            K::Straggle { .. } => r.counter_add("straggled_chunks", 1),
+            K::Replica { ws: _, tasks } => {
+                r.counter_add("replicas_dispatched", 1);
+                r.counter_add("replica_tasks", tasks);
+            }
+            K::McProgress { done, total } => {
+                r.gauge_set("mc_done", done as f64);
+                r.gauge_set("mc_total", total as f64);
+            }
+            K::RunEnd {
+                banked,
+                lost,
+                drained,
+            } => {
+                r.gauge_set("run_banked", banked);
+                r.gauge_set("run_lost", lost);
+                r.gauge_set("run_drained", if drained { 1.0 } else { 0.0 });
+                r.gauge_set("run_end_time", event.time);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(kind: EventKind) -> Event {
+        Event { time: 1.0, kind }
+    }
+
+    #[test]
+    fn memory_sink_preserves_order() {
+        let mut s = MemorySink::new();
+        s.emit(&ev(EventKind::EpisodeStart { ws: 0 }));
+        s.emit(&ev(EventKind::Crash { ws: 1 }));
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[1].kind, EventKind::Crash { ws: 1 });
+    }
+
+    #[test]
+    fn tee_fans_out() {
+        let mut a = MemorySink::new();
+        let mut b = MetricsSink::new();
+        {
+            let mut tee = TeeSink::new();
+            tee.push(&mut a);
+            tee.push(&mut b);
+            tee.emit(&ev(EventKind::LeaseTimeout { ws: 0, lease: 3 }));
+            tee.flush_sink();
+        }
+        assert_eq!(a.events.len(), 1);
+        assert_eq!(b.registry.counter("lease_timeouts"), 1);
+    }
+
+    #[test]
+    fn metrics_sink_folds_counters_and_gauges() {
+        let mut s = MetricsSink::new();
+        s.emit(&ev(EventKind::Bank {
+            ws: 0,
+            work: 5.0,
+            duplicate: 1.0,
+        }));
+        s.emit(&ev(EventKind::Bank {
+            ws: 1,
+            work: 3.0,
+            duplicate: 0.0,
+        }));
+        s.emit(&ev(EventKind::RunEnd {
+            banked: 8.0,
+            lost: 0.0,
+            drained: true,
+        }));
+        let r = &s.registry;
+        assert_eq!(r.counter("chunks_banked"), 2);
+        assert_eq!(r.gauge("banked_work"), Some(8.0));
+        assert_eq!(r.gauge("duplicate_work"), Some(1.0));
+        assert_eq!(r.gauge("run_drained"), Some(1.0));
+        assert_eq!(r.histogram("bank_work").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("cs_obs_sink_test.jsonl");
+        let mut s = JsonlSink::create(&path).unwrap();
+        s.emit(&ev(EventKind::Crash { ws: 2 }));
+        s.emit(&ev(EventKind::Requeue { ws: 2, tasks: 4 }));
+        let n = s.finish().unwrap();
+        assert_eq!(n, 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mut_ref_is_a_sink() {
+        fn generic<S: EventSink>(mut s: S) {
+            s.emit(&ev(EventKind::Crash { ws: 0 }));
+        }
+        let mut m = MemorySink::new();
+        generic(&mut m);
+        let dyn_ref: &mut dyn EventSink = &mut m;
+        generic(dyn_ref);
+        assert_eq!(m.events.len(), 2);
+    }
+}

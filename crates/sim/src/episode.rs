@@ -8,6 +8,7 @@
 //! the episode ends; work banked in *earlier* periods survives.
 
 use cs_core::Schedule;
+use cs_obs::{Event, EventKind, EventSink};
 use cs_tasks::TaskBag;
 
 /// What happened in one simulated episode.
@@ -34,6 +35,25 @@ pub struct EpisodeOutcome {
 /// A period ending exactly at the reclamation instant counts as interrupted,
 /// matching `p(t) = P(R > t)` in the expectation (2.1).
 pub fn run_episode(schedule: &Schedule, c: f64, reclaim: f64) -> EpisodeOutcome {
+    // Monomorphized over NoopSink, so the untraced hot path pays nothing.
+    run_episode_observed(schedule, c, reclaim, cs_obs::NoopSink)
+}
+
+/// [`run_episode`] with episode-lifecycle events (`episode_start`,
+/// `period_start`, `period_commit`, `period_interrupt`) emitted to `sink`.
+/// Event times are within-episode virtual times (the episode starts at 0);
+/// the sink is pass-through, so the outcome is bit-identical to
+/// [`run_episode`].
+pub fn run_episode_observed<S: EventSink>(
+    schedule: &Schedule,
+    c: f64,
+    reclaim: f64,
+    mut sink: S,
+) -> EpisodeOutcome {
+    sink.emit(&Event {
+        time: 0.0,
+        kind: EventKind::EpisodeStart { ws: 0 },
+    });
     let mut work = 0.0;
     let mut completed = 0usize;
     let mut t_end = 0.0;
@@ -41,7 +61,15 @@ pub fn run_episode(schedule: &Schedule, c: f64, reclaim: f64) -> EpisodeOutcome 
         let start = t_end;
         t_end = start + t;
         let gain = (t - c).max(0.0);
+        sink.emit(&Event {
+            time: start,
+            kind: EventKind::PeriodStart { ws: 0, len: t },
+        });
         if t_end >= reclaim {
+            sink.emit(&Event {
+                time: reclaim,
+                kind: EventKind::PeriodInterrupt { ws: 0, lost: gain },
+            });
             return EpisodeOutcome {
                 work,
                 periods_completed: completed,
@@ -50,6 +78,10 @@ pub fn run_episode(schedule: &Schedule, c: f64, reclaim: f64) -> EpisodeOutcome 
                 lost: gain,
             };
         }
+        sink.emit(&Event {
+            time: t_end,
+            kind: EventKind::PeriodCommit { ws: 0, work: gain },
+        });
         work += gain;
         completed += 1;
     }

@@ -30,8 +30,11 @@ pub mod montecarlo;
 pub mod policy;
 pub mod stats;
 
-pub use episode::{run_episode, run_episode_tasks, EpisodeOutcome};
-pub use montecarlo::{simulate_expected_work, simulate_expected_work_parallel, MonteCarlo};
+pub use episode::{run_episode, run_episode_observed, run_episode_tasks, EpisodeOutcome};
+pub use montecarlo::{
+    simulate_expected_work, simulate_expected_work_observed, simulate_expected_work_parallel,
+    simulate_expected_work_parallel_observed, MonteCarlo,
+};
 pub use policy::{
     run_policy_episode, ChunkPolicy, FixedSchedulePolicy, FixedSizePolicy, GreedyPolicy,
     GuidelinePolicy, PeriodOutcome,

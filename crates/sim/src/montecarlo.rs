@@ -9,10 +9,11 @@
 //! shard gets an independent deterministic RNG seeded by SplitMix64 from the
 //! master seed, so results are reproducible regardless of thread count.
 
-use crate::episode::run_episode;
+use crate::episode::run_episode_observed;
 use crate::stats::Summary;
 use cs_core::Schedule;
 use cs_life::LifeFunction;
+use cs_obs::{Event, EventKind, EventSink, NoopSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,19 +45,45 @@ fn run_trials(
     trials: u64,
     seed: u64,
 ) -> (Summary, u64, u64) {
+    run_trials_observed(schedule, p, c, trials, seed, NoopSink, 0)
+}
+
+/// The trial loop, with per-episode events routed to `sink` and an
+/// `mc_progress` tick every `progress_stride` trials (0 disables progress
+/// ticks). The sink never feeds back into the RNG or the episode, so the
+/// returned tallies are bit-identical to the unobserved loop.
+fn run_trials_observed<S: EventSink>(
+    schedule: &Schedule,
+    p: &dyn LifeFunction,
+    c: f64,
+    trials: u64,
+    seed: u64,
+    mut sink: S,
+    progress_stride: u64,
+) -> (Summary, u64, u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut work = Summary::new();
     let mut interrupted = 0u64;
     let mut periods = 0u64;
-    for _ in 0..trials {
+    for i in 0..trials {
         let u = rng.random::<f64>().clamp(1e-15, 1.0 - 1e-15);
         let r = p.inverse_survival(u);
-        let out = run_episode(schedule, c, r);
+        let out = run_episode_observed(schedule, c, r, &mut sink);
         work.push(out.work);
         if out.interrupted {
             interrupted += 1;
         }
         periods += out.periods_completed as u64;
+        let done = i + 1;
+        if progress_stride != 0 && (done % progress_stride == 0 || done == trials) {
+            sink.emit(&Event {
+                time: done as f64,
+                kind: EventKind::McProgress {
+                    done,
+                    total: trials,
+                },
+            });
+        }
     }
     (work, interrupted, periods)
 }
@@ -81,12 +108,48 @@ pub fn simulate_expected_work(
     trials: u64,
     seed: u64,
 ) -> MonteCarlo {
-    let (work, interrupted, periods) = run_trials(schedule, p, c, trials, seed);
-    MonteCarlo {
+    // Monomorphized over NoopSink — the unobserved path pays nothing.
+    simulate_expected_work_observed(schedule, p, c, trials, seed, NoopSink)
+}
+
+/// [`simulate_expected_work`] with a trace: `run_start`, the full episode
+/// lifecycle of every trial (episode times restart at 0 each trial),
+/// `mc_progress` every `max(1, trials/20)` trials, and a closing `run_end`.
+/// The sink is strictly pass-through: the returned [`MonteCarlo`] is
+/// bit-identical to the untraced run for the same `(trials, seed)`.
+pub fn simulate_expected_work_observed<S: EventSink>(
+    schedule: &Schedule,
+    p: &dyn LifeFunction,
+    c: f64,
+    trials: u64,
+    seed: u64,
+    mut sink: S,
+) -> MonteCarlo {
+    sink.emit(&Event {
+        time: 0.0,
+        kind: EventKind::RunStart {
+            seed,
+            workstations: 0,
+            tasks: 0,
+        },
+    });
+    let stride = (trials / 20).max(1);
+    let (work, interrupted, periods) =
+        run_trials_observed(schedule, p, c, trials, seed, &mut sink, stride);
+    let mc = MonteCarlo {
         work,
         interrupted_fraction: interrupted as f64 / trials.max(1) as f64,
         mean_periods: periods as f64 / trials.max(1) as f64,
-    }
+    };
+    sink.emit(&Event {
+        time: trials as f64,
+        kind: EventKind::RunEnd {
+            banked: mc.work.mean(),
+            lost: 0.0,
+            drained: false,
+        },
+    });
+    mc
 }
 
 /// Parallel Monte-Carlo estimate: trials are sharded across `threads`
@@ -102,10 +165,39 @@ pub fn simulate_expected_work_parallel(
     seed: u64,
     threads: usize,
 ) -> MonteCarlo {
+    simulate_expected_work_parallel_observed(schedule, p, c, trials, seed, threads, NoopSink)
+}
+
+/// [`simulate_expected_work_parallel`] with a trace. Worker shards run
+/// untraced (episode events would interleave nondeterministically across
+/// threads); the master emits `run_start`, one `mc_progress` per shard —
+/// merged in shard order, so the trace is deterministic for a fixed
+/// `(seed, threads)` — and a closing `run_end`. With `threads == 1` (or
+/// fewer than 2 trials) this falls back to the serial observed path, which
+/// also traces each episode's lifecycle. Either way the sink is strictly
+/// pass-through and the returned [`MonteCarlo`] is bit-identical to the
+/// untraced run.
+pub fn simulate_expected_work_parallel_observed<S: EventSink>(
+    schedule: &Schedule,
+    p: &dyn LifeFunction,
+    c: f64,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+    mut sink: S,
+) -> MonteCarlo {
     let threads = threads.max(1);
     if threads == 1 || trials < 2 {
-        return simulate_expected_work(schedule, p, c, trials, seed);
+        return simulate_expected_work_observed(schedule, p, c, trials, seed, sink);
     }
+    sink.emit(&Event {
+        time: 0.0,
+        kind: EventKind::RunStart {
+            seed,
+            workstations: 0,
+            tasks: 0,
+        },
+    });
     let mut seed_state = seed;
     let shard_seeds: Vec<u64> = (0..threads).map(|_| splitmix64(&mut seed_state)).collect();
     let base = trials / threads as u64;
@@ -128,16 +220,34 @@ pub fn simulate_expected_work_parallel(
     let mut work = Summary::new();
     let mut interrupted = 0u64;
     let mut periods = 0u64;
-    for (w, i, m) in results {
+    let mut done = 0u64;
+    for (i, (w, intr, m)) in results.into_iter().enumerate() {
+        done += base + u64::from((i as u64) < remainder);
+        sink.emit(&Event {
+            time: done as f64,
+            kind: EventKind::McProgress {
+                done,
+                total: trials,
+            },
+        });
         work.merge(&w);
-        interrupted += i;
+        interrupted += intr;
         periods += m;
     }
-    MonteCarlo {
+    let mc = MonteCarlo {
         work,
         interrupted_fraction: interrupted as f64 / trials.max(1) as f64,
         mean_periods: periods as f64 / trials.max(1) as f64,
-    }
+    };
+    sink.emit(&Event {
+        time: trials as f64,
+        kind: EventKind::RunEnd {
+            banked: mc.work.mean(),
+            lost: 0.0,
+            drained: false,
+        },
+    });
+    mc
 }
 
 #[cfg(test)]
@@ -230,6 +340,50 @@ mod tests {
         let a = simulate_expected_work_parallel(&s, &p, 1.0, 1000, 5, 1);
         let b = simulate_expected_work(&s, &p, 1.0, 1000, 5);
         assert_eq!(a.work.mean(), b.work.mean());
+    }
+
+    #[test]
+    fn observed_serial_is_passthrough_and_ticks_progress() {
+        use cs_obs::MemorySink;
+        let p = Uniform::new(100.0).unwrap();
+        let s = sched(&[30.0, 20.0]);
+        let plain = simulate_expected_work(&s, &p, 2.0, 400, 99);
+        let mut sink = MemorySink::new();
+        let traced = simulate_expected_work_observed(&s, &p, 2.0, 400, 99, &mut sink);
+        assert_eq!(plain.work.mean().to_bits(), traced.work.mean().to_bits());
+        assert_eq!(plain.work.count(), traced.work.count());
+        let progress: Vec<_> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                cs_obs::EventKind::McProgress { done, total } => Some((done, total)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(progress.len(), 20);
+        assert_eq!(progress.last(), Some(&(400, 400)));
+        assert!(matches!(
+            sink.events.last().unwrap().kind,
+            cs_obs::EventKind::RunEnd { .. }
+        ));
+    }
+
+    #[test]
+    fn observed_parallel_is_passthrough() {
+        use cs_obs::MemorySink;
+        let p = Uniform::new(200.0).unwrap();
+        let s = sched(&[60.0, 50.0]);
+        let plain = simulate_expected_work_parallel(&s, &p, 4.0, 8000, 7, 4);
+        let mut sink = MemorySink::new();
+        let traced = simulate_expected_work_parallel_observed(&s, &p, 4.0, 8000, 7, 4, &mut sink);
+        assert_eq!(plain.work.mean().to_bits(), traced.work.mean().to_bits());
+        assert_eq!(plain.work.max().to_bits(), traced.work.max().to_bits());
+        // run_start + one progress tick per shard + run_end.
+        assert_eq!(sink.events.len(), 6);
+        assert!(matches!(
+            sink.events[0].kind,
+            cs_obs::EventKind::RunStart { seed: 7, .. }
+        ));
     }
 
     #[test]

@@ -75,14 +75,26 @@ impl Summary {
         }
     }
 
-    /// Standard error of the mean.
+    /// Standard error of the mean (NaN with fewer than 2 observations —
+    /// prefer [`Summary::ci95`] when the value reaches a report).
     pub fn std_error(&self) -> f64 {
         (self.variance() / self.n as f64).sqrt()
     }
 
-    /// Half-width of the 95% normal confidence interval for the mean.
+    /// Half-width of the 95% normal confidence interval for the mean
+    /// (NaN with fewer than 2 observations — prefer [`Summary::ci95`] when
+    /// the value reaches a report).
     pub fn ci95_half_width(&self) -> f64 {
         1.959_963_984_540_054 * self.std_error()
+    }
+
+    /// Half-width of the 95% confidence interval, or `None` with fewer
+    /// than 2 observations (when the sample variance — and hence the CI —
+    /// is undefined). Use this at reporting sites so a single-sample run
+    /// renders "insufficient samples" instead of `NaN`, and so NaN's
+    /// always-false comparisons cannot masquerade as model disagreement.
+    pub fn ci95(&self) -> Option<f64> {
+        (self.n >= 2).then(|| self.ci95_half_width())
     }
 
     /// Smallest observation (infinite when empty).
@@ -106,6 +118,22 @@ mod tests {
         assert_eq!(s.count(), 0);
         assert!(s.mean().is_nan());
         assert!(s.variance().is_nan());
+        assert_eq!(s.ci95(), None);
+    }
+
+    #[test]
+    fn ci95_requires_two_samples() {
+        // Regression: `ci95_half_width()` is NaN for n = 1, which printed
+        // `± NaN` and made agreement checks silently false. `ci95()` makes
+        // the undefined case explicit.
+        let mut s = Summary::new();
+        s.push(5.0);
+        assert!(s.ci95_half_width().is_nan());
+        assert_eq!(s.ci95(), None);
+        s.push(7.0);
+        let ci = s.ci95().expect("defined for n >= 2");
+        assert!(ci.is_finite() && ci > 0.0);
+        assert_eq!(ci, s.ci95_half_width());
     }
 
     #[test]
