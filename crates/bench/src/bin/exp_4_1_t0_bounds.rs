@@ -1,87 +1,8 @@
-//! EXP-4.1a — §4.1 `t_0` bounds for the polynomial family `p_{d,L}`.
-//!
-//! Reproduces:
-//! * the closed-form bracket `(c/d)^{1/(d+1)} L^{d/(d+1)} ≤ t_0 ≤
-//!   2(c/d)^{1/(d+1)} L^{d/(d+1)} + 1` (eqs 4.2/4.3 simplified);
-//! * for `d = 1`: `√(cL) ≤ t_0 ≤ 2√(cL) + 1` (eq 4.4) against the true
-//!   optimum `√(2cL)` (eq 4.5);
-//! * the generic Theorem 3.2/3.3 bracket, checked to contain the
-//!   DP-oracle optimal `t_0`.
+//! Thin shim: runs the registered [`cs_bench::experiments::exp_4_1_t0_bounds`]
+//! experiment through the shared harness. All logic lives in the library.
 
-use cs_apps::{fmt, Table};
-use cs_bench::grids;
-use cs_core::{bounds, dp};
-use cs_life::Polynomial;
+use std::process::ExitCode;
 
-fn main() {
-    println!("EXP-4.1a: t0 bounds for p_{{d,L}}(t) = 1 - t^d/L^d (paper §4.1)\n");
-    let mut table = Table::new(&[
-        "d",
-        "L",
-        "c",
-        "closed lo",
-        "closed hi",
-        "thm lo",
-        "thm hi",
-        "t0* (DP)",
-        "in bracket",
-        "hi/lo",
-    ]);
-    for &d in &grids::DEGREES {
-        for &l in &grids::LIFESPANS[..3] {
-            for &c in &grids::OVERHEADS {
-                let p = Polynomial::new(d, l).expect("family");
-                let (clo, chi) = bounds::polynomial_t0_bounds(d, l, c);
-                let b = bounds::t0_bracket(&p, c).expect("bracket");
-                let oracle = dp::solve_auto(&p, c, 2000).expect("dp");
-                let t0 = oracle
-                    .schedule
-                    .periods()
-                    .first()
-                    .copied()
-                    .unwrap_or(f64::NAN);
-                let slack = 2.0 * oracle.step;
-                let inside = t0 >= b.lower - slack && t0 <= b.upper + slack;
-                table.row(&[
-                    d.to_string(),
-                    fmt(l, 0),
-                    fmt(c, 0),
-                    fmt(clo, 1),
-                    fmt(chi, 1),
-                    fmt(b.lower, 1),
-                    fmt(b.upper, 1),
-                    fmt(t0, 1),
-                    if inside { "yes".into() } else { "NO".into() },
-                    fmt(b.upper / b.lower, 2),
-                ]);
-            }
-        }
-    }
-    println!("{}", table.render());
-
-    println!("d = 1 special case (eq 4.4 vs the optimal sqrt(2cL), eq 4.5):");
-    let mut t1 = Table::new(&[
-        "L",
-        "c",
-        "sqrt(cL)",
-        "sqrt(2cL)",
-        "2 sqrt(cL)+1",
-        "t0 (exact)",
-    ]);
-    for &l in &grids::LIFESPANS {
-        let c = 5.0;
-        let opt = cs_core::optimal::uniform_optimal(l, c).expect("optimal");
-        t1.row(&[
-            fmt(l, 0),
-            fmt(c, 0),
-            fmt((c * l).sqrt(), 1),
-            fmt((2.0 * c * l).sqrt(), 1),
-            fmt(2.0 * (c * l).sqrt() + 1.0, 1),
-            fmt(opt.periods()[0], 1),
-        ]);
-    }
-    println!("{}", t1.render());
-    println!(
-        "Shape check: the optimal t0 tracks sqrt(2cL) and sits inside [sqrt(cL), 2 sqrt(cL)+1]."
-    );
+fn main() -> ExitCode {
+    cs_bench::harness::main_for(&cs_bench::experiments::exp_4_1_t0_bounds::Exp)
 }

@@ -1,78 +1,8 @@
-//! EXP-4.3 — geometric-increasing risk `(2^L − 2^t)/(2^L − 1)` (paper §4.3).
-//!
-//! Reproduces:
-//! * the guideline recurrence (4.7) `t_{k+1} = log₂((t_k − c)·ln2 + 1)` vs
-//!   \[3\]'s optimal recurrence `t_{k+1} = log₂(t_k − c + 2)`;
-//! * guideline-search efficiency vs the \[3\]-shape optimum and the DP
-//!   oracle;
-//! * the paper's displayed `t_0` inequality
-//!   `2^{t0/2}·t0² ≤ 2^L ≤ 2^{t0}·t0²` — and the discrepancy with its
-//!   stated conclusion `t_0 = L/log²L`.
+//! Thin shim: runs the registered [`cs_bench::experiments::exp_4_3_increasing`]
+//! experiment through the shared harness. All logic lives in the library.
 
-use cs_apps::{fmt, pct, Table};
-use cs_bench::grids;
-use cs_core::recurrence::geometric_increasing_step;
-use cs_core::{dp, optimal, search};
-use cs_life::GeometricIncreasing;
+use std::process::ExitCode;
 
-fn main() {
-    println!("EXP-4.3: geometric increasing risk (coffee break) — paper §4.3\n");
-
-    // Recurrence shapes side by side.
-    let c = 1.0;
-    println!("Recurrence comparison from t = 8 (c = {c}):");
-    let mut t = Table::new(&["step", "guideline (4.7)", "[3] optimal"]);
-    let mut g = 8.0f64;
-    let mut r = 8.0f64;
-    for k in 0..6 {
-        t.row(&[k.to_string(), fmt(g, 4), fmt(r, 4)]);
-        g = geometric_increasing_step(c, g).unwrap_or(f64::NAN);
-        r = optimal::geometric_increasing_step_ref3(c, r).unwrap_or(f64::NAN);
-        if !g.is_finite() || !r.is_finite() {
-            break;
-        }
-    }
-    println!("{}", t.render());
-
-    let mut t2 = Table::new(&[
-        "L",
-        "c",
-        "t0*",
-        "L - t0*",
-        "2 log2 t0*",
-        "L/log^2 L",
-        "E [3]-shape",
-        "E guideline",
-        "E DP",
-        "guide eff",
-    ]);
-    for &l in &grids::GEO_INC_LIFESPANS {
-        for &c in &[0.5, 1.0, 2.0] {
-            let p = GeometricIncreasing::new(l).expect("family");
-            let opt = optimal::geometric_increasing_optimal(l, c).expect("optimal");
-            let e_ref3 = opt.expected_work(&p, c);
-            let plan = search::best_guideline_schedule(&p, c).expect("plan");
-            let oracle = dp::solve_auto(&p, c, 2000).expect("dp");
-            let e_best = e_ref3.max(oracle.expected_work);
-            let t0 = opt.periods()[0];
-            t2.row(&[
-                fmt(l, 0),
-                fmt(c, 1),
-                fmt(t0, 2),
-                fmt(l - t0, 2),
-                fmt(2.0 * t0.log2(), 2),
-                fmt(l / (l.log2() * l.log2()), 2),
-                fmt(e_ref3, 3),
-                fmt(plan.expected_work, 3),
-                fmt(oracle.expected_work, 3),
-                pct(plan.expected_work / e_best),
-            ]);
-        }
-    }
-    println!("{}", t2.render());
-    println!(
-        "Measured: t0* = L - Θ(log L), matching the DISPLAYED inequality\n\
-         2^(t0/2) t0^2 <= 2^L <= 2^(t0) t0^2 — and contradicting the paper's stated\n\
-         conclusion t0 = L/log^2 L (compare columns 'L - t0*' ~ '2 log2 t0*' vs 'L/log^2 L')."
-    );
+fn main() -> ExitCode {
+    cs_bench::harness::main_for(&cs_bench::experiments::exp_4_3_increasing::Exp)
 }

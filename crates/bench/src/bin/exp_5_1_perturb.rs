@@ -1,86 +1,8 @@
-//! EXP-5.1 — Theorem 5.1: schedules satisfying the recurrence (3.6) on a
-//! concave life function beat every `[k, ±δ]`-perturbation.
-//!
-//! Prints the perturbation landscape: the best improvement any perturbation
-//! achieves (negative = theorem confirmed), per family and δ, plus a
-//! counter-example schedule showing the margin turns positive when (3.6)
-//! is violated.
+//! Thin shim: runs the registered [`cs_bench::experiments::exp_5_1_perturb`]
+//! experiment through the shared harness. All logic lives in the library.
 
-use cs_apps::{fmt, Table};
-use cs_core::{perturb, search, Schedule};
-use cs_life::{LifeFunction, Polynomial, Uniform};
+use std::process::ExitCode;
 
-fn main() {
-    println!("EXP-5.1: local optimality under perturbations (Thm 5.1)\n");
-    let deltas = [0.01, 0.1, 1.0, 5.0];
-    let mut t = Table::new(&[
-        "life function",
-        "periods",
-        "best perturbation gain",
-        "confirmed",
-    ]);
-    let cases: Vec<(String, Box<dyn LifeFunction>, f64)> = vec![
-        (
-            "uniform(L=1000)".into(),
-            Box::new(Uniform::new(1000.0).unwrap()),
-            5.0,
-        ),
-        (
-            "poly(d=2,L=1000)".into(),
-            Box::new(Polynomial::new(2, 1000.0).unwrap()),
-            5.0,
-        ),
-        (
-            "poly(d=4,L=1000)".into(),
-            Box::new(Polynomial::new(4, 1000.0).unwrap()),
-            5.0,
-        ),
-        (
-            "geo-inc(L=64)".into(),
-            Box::new(cs_life::GeometricIncreasing::new(64.0).unwrap()),
-            1.0,
-        ),
-    ];
-    for (name, p, c) in &cases {
-        let plan = search::best_guideline_schedule(p.as_ref(), *c).expect("plan");
-        let margin = perturb::local_optimality_margin(&plan.schedule, p.as_ref(), *c, &deltas);
-        t.row(&[
-            name.clone(),
-            plan.schedule.len().to_string(),
-            format!("{margin:+.3e}"),
-            if margin <= 1e-9 {
-                "yes".into()
-            } else {
-                "NO".into()
-            },
-        ]);
-    }
-    println!("{}", t.render());
-
-    // Degradation curve: E(S^{[k,+δ]}) - E(S) as δ grows, uniform case.
-    let l = 1000.0;
-    let c = 5.0;
-    let p = Uniform::new(l).unwrap();
-    let plan = search::best_guideline_schedule(&p, c).expect("plan");
-    let base = plan.expected_work;
-    println!("Perturbation degradation at k = 0 (uniform, L = {l}, c = {c}):");
-    let mut t2 = Table::new(&["delta", "E(S^[0,+d]) - E(S)", "E(S^[0,-d]) - E(S)"]);
-    for d in [0.5, 2.0, 8.0, 32.0] {
-        let up = perturb::perturb(&plan.schedule, 0, d)
-            .map(|s| s.expected_work(&p, c) - base)
-            .unwrap_or(f64::NAN);
-        let down = perturb::perturb(&plan.schedule, 0, -d)
-            .map(|s| s.expected_work(&p, c) - base)
-            .unwrap_or(f64::NAN);
-        t2.row(&[fmt(d, 1), format!("{up:+.4}"), format!("{down:+.4}")]);
-    }
-    println!("{}", t2.render());
-    println!("(Quadratic loss in delta — the -delta^2/L signature of the linear family.)\n");
-
-    // Counter-example: a schedule violating (3.6) is improvable.
-    let bad = Schedule::new(vec![100.0, 400.0]).unwrap();
-    let margin = perturb::local_optimality_margin(&bad, &p, c, &deltas);
-    println!(
-        "Control: schedule [100, 400] violates (3.6); best perturbation gain = {margin:+.3} (> 0, improvable)."
-    );
+fn main() -> ExitCode {
+    cs_bench::harness::main_for(&cs_bench::experiments::exp_5_1_perturb::Exp)
 }

@@ -1,129 +1,8 @@
-//! EXP-5.2 — Theorem 5.2 and Corollaries 5.1–5.3: period-growth laws and
-//! period-count bounds, measured on guideline, \[3\]-optimal and DP-oracle
-//! schedules.
+//! Thin shim: runs the registered [`cs_bench::experiments::exp_5_2_growth`]
+//! experiment through the shared harness. All logic lives in the library.
 
-use cs_apps::{fmt, Table};
-use cs_core::structure::{check_growth_law, check_strictly_decreasing};
-use cs_core::{bounds, dp, optimal, search};
-use cs_life::{GeometricDecreasing, GeometricIncreasing, Polynomial, Shape, Uniform};
+use std::process::ExitCode;
 
-fn main() {
-    println!("EXP-5.2: growth laws (Thm 5.2) and period counts (Cor 5.2/5.3)\n");
-
-    // Concave side: t_{i+1} <= t_i - c; m below the Cor 5.3 ceiling.
-    let mut t = Table::new(&[
-        "scenario",
-        "schedule",
-        "m",
-        "t0/c cap",
-        "Cor5.3 bound",
-        "thm 5.2",
-        "cor 5.1",
-    ]);
-    let concave: Vec<(String, Box<dyn cs_life::LifeFunction>, f64, f64)> = vec![
-        (
-            "uniform".into(),
-            Box::new(Uniform::new(1000.0).unwrap()),
-            1000.0,
-            5.0,
-        ),
-        (
-            "poly d=2".into(),
-            Box::new(Polynomial::new(2, 1000.0).unwrap()),
-            1000.0,
-            5.0,
-        ),
-        (
-            "poly d=4".into(),
-            Box::new(Polynomial::new(4, 1000.0).unwrap()),
-            1000.0,
-            5.0,
-        ),
-        (
-            "geo-inc".into(),
-            Box::new(GeometricIncreasing::new(256.0).unwrap()),
-            256.0,
-            2.0,
-        ),
-    ];
-    for (name, p, l, c) in &concave {
-        let plan = search::best_guideline_schedule(p.as_ref(), *c).expect("plan");
-        let oracle = dp::solve_auto(p.as_ref(), *c, 2000).expect("dp");
-        for (kind, s) in [
-            ("guideline", &plan.schedule),
-            ("dp oracle", &oracle.schedule),
-        ] {
-            let growth_ok = if kind == "dp oracle" {
-                // Grid rounding: allow one step of slack.
-                s.periods()
-                    .windows(2)
-                    .all(|w| w[1] <= w[0] - c + 2.0 * oracle.step)
-            } else {
-                check_growth_law(s, Shape::Concave, *c).is_ok()
-            };
-            let decreasing_ok = if kind == "dp oracle" {
-                s.periods()
-                    .windows(2)
-                    .all(|w| w[1] < w[0] + 2.0 * oracle.step)
-            } else {
-                check_strictly_decreasing(s).is_ok()
-            };
-            let m = s.len() as f64;
-            let cap = s.periods().first().copied().unwrap_or(0.0) / c;
-            let bound = bounds::cor_5_3_period_bound(*l, *c);
-            t.row(&[
-                name.clone(),
-                kind.into(),
-                fmt(m, 0),
-                fmt(cap, 1),
-                fmt(bound, 0),
-                if growth_ok {
-                    "holds".into()
-                } else {
-                    "VIOLATED".into()
-                },
-                if decreasing_ok {
-                    "holds".into()
-                } else {
-                    "VIOLATED".into()
-                },
-            ]);
-        }
-    }
-    println!("{}", t.render());
-
-    // Uniform meets equality: t_i - t_{i+1} = c exactly.
-    let c = 5.0;
-    let opt = optimal::uniform_optimal(1000.0, c).expect("optimal");
-    let max_dev = opt
-        .periods()
-        .windows(2)
-        .map(|w| ((w[0] - w[1]) - c).abs())
-        .fold(0.0f64, f64::max);
-    println!(
-        "Tightness (remark after Thm 5.2): uniform optimal has t_i - t_{{i+1}} = c exactly; \
-         max |dev| = {max_dev:.2e}\n"
-    );
-
-    // Convex side: geometric decreasing, t_{i+1} >= t_i - c (equal periods).
-    let a = 2.0;
-    let c = 1.0;
-    let p = GeometricDecreasing::new(a).unwrap();
-    let opt = optimal::geometric_decreasing_optimal(a, c).expect("optimal");
-    let s = opt.schedule(60);
-    let ok = check_growth_law(&s, Shape::Convex, c).is_ok();
-    println!(
-        "Convex side (geo-dec a = {a}): optimal equal periods t* = {:.4}; Thm 5.2 convex law: {}",
-        opt.period,
-        if ok { "holds" } else { "VIOLATED" }
-    );
-    let plan = search::best_guideline_schedule(&p, c).expect("plan");
-    let ok = check_growth_law(&plan.schedule, Shape::Convex, c).is_ok();
-    println!(
-        "Guideline schedule ({} periods): Thm 5.2 convex law: {}",
-        plan.schedule.len(),
-        if ok { "holds" } else { "VIOLATED" }
-    );
-    println!("\nInfinite-schedule contrast (Cor 5.1/5.2 fail for convex): the geo-dec optimum");
-    println!("has equal (non-decreasing) periods and is infinite — exactly as the paper notes.");
+fn main() -> ExitCode {
+    cs_bench::harness::main_for(&cs_bench::experiments::exp_5_2_growth::Exp)
 }

@@ -1,85 +1,8 @@
-//! EXP-6b — progressive (conditional-probability) scheduling (paper §6).
-//!
-//! Two measurements:
-//! 1. **Consistency** — under the exact life function, period-by-period
-//!    conditional re-planning reproduces the a-priori guideline schedule.
-//! 2. **Robustness value** — when the believed life function is a
-//!    trace-based estimate, the progressive scheduler's plan, judged under
-//!    the truth, tracks the oracle closely; planning the whole episode
-//!    up-front from the same estimate does no better.
+//! Thin shim: runs the registered [`cs_bench::experiments::exp_6_adaptive`]
+//! experiment through the shared harness. All logic lives in the library.
 
-use cs_apps::{fmt, pct, Table};
-use cs_core::{adaptive, search};
-use cs_life::{ArcLife, Polynomial, Uniform};
-use cs_trace::estimate::estimate_life;
-use cs_trace::owner::sample_absences;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::sync::Arc;
+use std::process::ExitCode;
 
-fn main() {
-    println!("EXP-6b: progressive scheduling with conditional probabilities (paper §6)\n");
-
-    // 1. Consistency under the exact life function.
-    println!("Consistency: progressive == a-priori under exact p");
-    let mut t = Table::new(&["scenario", "a-priori E", "progressive E", "match"]);
-    let cases: Vec<(String, ArcLife, f64)> = vec![
-        (
-            "uniform(L=400)".into(),
-            Arc::new(Uniform::new(400.0).unwrap()),
-            4.0,
-        ),
-        (
-            "poly(d=3,L=300)".into(),
-            Arc::new(Polynomial::new(3, 300.0).unwrap()),
-            2.0,
-        ),
-    ];
-    for (name, life, c) in &cases {
-        let apriori = search::best_guideline_schedule(life, *c).expect("plan");
-        let mut sched = adaptive::AdaptiveScheduler::new(life.clone(), *c).expect("adaptive");
-        let progressive = sched.run_to_completion(500).expect("run");
-        let ea = apriori.schedule.expected_work(life, *c);
-        let eb = progressive.expected_work(life, *c);
-        t.row(&[name.clone(), fmt(ea, 4), fmt(eb, 4), pct(eb / ea)]);
-    }
-    println!("{}", t.render());
-
-    // 2. Value under estimated life functions.
-    println!("Robustness: schedule from a trace estimate, judged under the truth");
-    let truth = Uniform::new(60.0).unwrap();
-    let c = 1.0;
-    let oracle = search::best_guideline_schedule(&truth, c).expect("oracle");
-    let e_oracle = oracle.schedule.expected_work(&truth, c);
-    let mut t2 = Table::new(&[
-        "trace size",
-        "up-front E",
-        "progressive E",
-        "oracle E",
-        "prog eff",
-    ]);
-    let mut rng = StdRng::seed_from_u64(606);
-    for n in [100usize, 1_000, 10_000] {
-        let samples = sample_absences(&truth, n, &mut rng).expect("samples");
-        let est: ArcLife = Arc::new(estimate_life(&samples, 24).expect("estimate"));
-        // Up-front: plan the whole episode from the estimate.
-        let upfront = search::best_guideline_schedule(&est, c).expect("plan");
-        let e_upfront = upfront.schedule.expected_work(&truth, c);
-        // Progressive: plan one period at a time from the (re-rooted)
-        // estimate.
-        let mut sched = adaptive::AdaptiveScheduler::new(est, c).expect("adaptive");
-        let progressive = sched.run_to_completion(500).expect("run");
-        let e_prog = progressive.expected_work(&truth, c);
-        t2.row(&[
-            n.to_string(),
-            fmt(e_upfront, 4),
-            fmt(e_prog, 4),
-            fmt(e_oracle, 4),
-            pct(e_prog / e_oracle),
-        ]);
-    }
-    println!("{}", t2.render());
-    println!("Shape: progressive efficiency rises with trace size toward 100%; with exact");
-    println!("knowledge the two planning modes coincide (the §6 observation that the");
-    println!("recurrence is progressive: t_{{i+1}} is needed only after period i ends).");
+fn main() -> ExitCode {
+    cs_bench::harness::main_for(&cs_bench::experiments::exp_6_adaptive::Exp)
 }

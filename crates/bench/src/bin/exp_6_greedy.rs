@@ -1,86 +1,8 @@
-//! EXP-6a — "How good are greedy schedules?" (paper §6).
-//!
-//! The paper asserts greedy is optimal for the geometric-decreasing
-//! scenario and suboptimal for uniform risk. We measure myopic greedy
-//! (each period maximizes its own expected contribution) against the
-//! guideline search and the best available optimum across all four
-//! canonical scenarios.
+//! Thin shim: runs the registered [`cs_bench::experiments::exp_6_greedy`]
+//! experiment through the shared harness. All logic lives in the library.
 
-use cs_apps::{fmt, pct, Table};
-use cs_bench::canonical_scenarios;
-use cs_core::greedy::{greedy_schedule, GreedyOptions};
-use cs_core::{dp, optimal, search};
-use cs_life::GeometricDecreasing;
+use std::process::ExitCode;
 
-fn main() {
-    println!("EXP-6a: greedy vs guideline vs optimal (paper §6)\n");
-    let mut t = Table::new(&[
-        "scenario",
-        "E optimal",
-        "E guideline",
-        "E greedy",
-        "guide eff",
-        "greedy eff",
-    ]);
-    for s in canonical_scenarios() {
-        let p = s.life.as_ref();
-        let c = s.c;
-        // Best available optimum: family closed form where known, else DP.
-        let e_opt = match s.name.as_str() {
-            "uniform(L=1000)" => optimal::uniform_optimal(1000.0, c)
-                .unwrap()
-                .expected_work(p, c),
-            "geo-dec(a=2)" => {
-                optimal::geometric_decreasing_optimal(2.0, c)
-                    .unwrap()
-                    .expected_work
-            }
-            "geo-inc(L=64)" => {
-                let r3 = optimal::geometric_increasing_optimal(64.0, c)
-                    .unwrap()
-                    .expected_work(p, c);
-                r3.max(dp::solve_auto(p, c, 2400).unwrap().expected_work)
-            }
-            _ => dp::solve_auto(p, c, 2400).unwrap().expected_work,
-        };
-        let plan = search::best_guideline_schedule(p, c).expect("plan");
-        let greedy = greedy_schedule(p, c, &GreedyOptions::default()).expect("greedy");
-        let e_greedy = greedy.expected_work(p, c);
-        t.row(&[
-            s.name.clone(),
-            fmt(e_opt, 3),
-            fmt(plan.expected_work, 3),
-            fmt(e_greedy, 3),
-            pct(plan.expected_work / e_opt),
-            pct(e_greedy / e_opt),
-        ]);
-    }
-    println!("{}", t.render());
-
-    // The §6 claim under the microscope: geometric-decreasing.
-    let a = 2.0;
-    let c = 1.0;
-    let p = GeometricDecreasing::new(a).unwrap();
-    let opt = optimal::geometric_decreasing_optimal(a, c).unwrap();
-    let greedy = greedy_schedule(&p, c, &GreedyOptions::default()).unwrap();
-    let greedy_period = greedy.periods()[0];
-    println!("Geometric-decreasing detail (a = {a}, c = {c}):");
-    println!(
-        "  greedy period  = c + 1/ln a           = {:.6}",
-        c + 1.0 / a.ln()
-    );
-    println!(
-        "  optimal period t*: t* + a^-t*/ln a = c + 1/ln a  ->  t* = {:.6}",
-        opt.period
-    );
-    println!("  measured greedy period = {greedy_period:.6}");
-    println!(
-        "  both are equal-period schedules; efficiency of greedy = {}",
-        pct(greedy.expected_work(&p, c) / opt.expected_work)
-    );
-    println!(
-        "\nReading of the paper's claim: myopic greedy recovers the optimal *structure*\n\
-         (constant periods) with a slightly longer period — near-optimal value, not exact.\n\
-         For uniform risk greedy is measurably suboptimal, as the paper asserts."
-    );
+fn main() -> ExitCode {
+    cs_bench::harness::main_for(&cs_bench::experiments::exp_6_greedy::Exp)
 }

@@ -1,150 +1,8 @@
-//! EXP-ABL — ablations of the guideline pipeline's design choices
-//! (DESIGN.md calls these out):
-//!
-//! 1. **Is the `t_0` bracket worth having?** The paper claims Thms 3.2/3.3
-//!    give "a manageably narrow search space". We search the same grid
-//!    resolution once inside the bracket and once over the whole
-//!    `(c, horizon)` range, counting life-function evaluations: the bracket
-//!    buys the same expected work at a fraction of the evaluations — or,
-//!    equivalently, far better `t_0` resolution per evaluation.
-//! 2. **How much search resolution is needed?** Sweep the `t_0` grid from
-//!    4 to 512 points: the expected-work curve is flat near the optimum
-//!    (Thm 5.1's stationarity), so coarse grids already capture ~all of E.
+//! Thin shim: runs the registered [`cs_bench::experiments::exp_ablation`]
+//! experiment through the shared harness. All logic lives in the library.
 
-use cs_apps::{fmt, pct, Table};
-use cs_core::bounds::{t0_bracket, T0Bracket};
-use cs_core::recurrence::GuidelineOptions;
-use cs_core::search::best_guideline_schedule_in;
-use cs_life::{GeometricIncreasing, LifeFunction, Polynomial, Shape, Uniform};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::process::ExitCode;
 
-/// A life function wrapper counting `survival` + `deriv` evaluations.
-struct Counting<'a> {
-    inner: &'a dyn LifeFunction,
-    calls: AtomicU64,
-}
-
-impl<'a> Counting<'a> {
-    fn new(inner: &'a dyn LifeFunction) -> Self {
-        Self {
-            inner,
-            calls: AtomicU64::new(0),
-        }
-    }
-    fn count(&self) -> u64 {
-        self.calls.load(Ordering::Relaxed)
-    }
-}
-
-impl LifeFunction for Counting<'_> {
-    fn survival(&self, t: f64) -> f64 {
-        self.calls.fetch_add(1, Ordering::Relaxed);
-        self.inner.survival(t)
-    }
-    fn deriv(&self, t: f64) -> f64 {
-        self.calls.fetch_add(1, Ordering::Relaxed);
-        self.inner.deriv(t)
-    }
-    fn lifespan(&self) -> Option<f64> {
-        self.inner.lifespan()
-    }
-    fn shape(&self) -> Shape {
-        self.inner.shape()
-    }
-    fn describe(&self) -> String {
-        self.inner.describe()
-    }
-}
-
-fn main() {
-    println!("EXP-ABL: ablating the guideline pipeline\n");
-    let opts = GuidelineOptions::default();
-
-    // --- Ablation 1: bracket vs full-horizon search --------------------
-    // The window width matters when the t0 scan is COARSE (few candidates,
-    // the cheap regime one wants in a progressive scheduler that re-plans
-    // every period): compare both windows at 3 and 64 grid points, with
-    // golden refinement disabled-equivalent coarseness, counting life-
-    // function evaluations. A wide window at 3 points places candidates
-    // hundreds of time units from the optimum; the bracket keeps them near
-    // it by construction.
-    println!("Ablation 1: search window x grid coarseness (p-evals counted)");
-    let cases: Vec<(String, Box<dyn LifeFunction>, f64)> = vec![
-        (
-            "uniform(L=1000)".into(),
-            Box::new(Uniform::new(1000.0).unwrap()),
-            5.0,
-        ),
-        (
-            "poly(d=3,L=1000)".into(),
-            Box::new(Polynomial::new(3, 1000.0).unwrap()),
-            5.0,
-        ),
-        (
-            "geo-inc(L=256)".into(),
-            Box::new(GeometricIncreasing::new(256.0).unwrap()),
-            2.0,
-        ),
-    ];
-    let mut t = Table::new(&[
-        "scenario", "window", "width", "grid", "E", "p-evals", "vs best",
-    ]);
-    for (name, p, c) in &cases {
-        let bracket = t0_bracket(p.as_ref(), *c).expect("bracket");
-        let horizon = p.horizon(1e-12);
-        let full = T0Bracket {
-            lower: *c,
-            upper: horizon,
-            upper_from_shape: false,
-        };
-        // Best-known E for normalization.
-        let best = best_guideline_schedule_in(p.as_ref(), *c, bracket, 256, &opts)
-            .expect("reference")
-            .expected_work;
-        for (label, window) in [("bracket", bracket), ("full horizon", full)] {
-            for grid in [3usize, 64] {
-                let counting = Counting::new(p.as_ref());
-                let plan =
-                    best_guideline_schedule_in(&counting, *c, window, grid, &opts).expect("search");
-                t.row(&[
-                    name.clone(),
-                    label.into(),
-                    fmt(window.upper - window.lower, 1),
-                    grid.to_string(),
-                    fmt(plan.expected_work, 3),
-                    counting.count().to_string(),
-                    pct(plan.expected_work / best),
-                ]);
-            }
-        }
-    }
-    println!("{}", t.render());
-    println!("Shape: at 64 grid points both windows find the optimum (E(t0) is flat near it,");
-    println!("so even wide windows recover after refinement, at comparable evaluation cost);");
-    println!("the bracket's value shows at coarse grids and as a certified region — 3 bracket");
-    println!("points already land on the optimum, and the paper's factor-2 width guarantees");
-    println!("that no scan resolution is wasted outside the feasible region.\n");
-
-    // --- Ablation 2: t0 grid resolution --------------------------------
-    println!("Ablation 2: t0 search resolution (uniform L=1000, c=5)");
-    let p = Uniform::new(1000.0).unwrap();
-    let c = 5.0;
-    let bracket = t0_bracket(&p, c).expect("bracket");
-    let reference = best_guideline_schedule_in(&p, c, bracket, 512, &opts)
-        .expect("reference")
-        .expected_work;
-    let mut t2 = Table::new(&["grid points", "t0", "E", "vs grid=512"]);
-    for grid in [4usize, 8, 16, 64, 256, 512] {
-        let plan = best_guideline_schedule_in(&p, c, bracket, grid, &opts).expect("search");
-        t2.row(&[
-            grid.to_string(),
-            fmt(plan.t0, 3),
-            fmt(plan.expected_work, 6),
-            pct(plan.expected_work / reference),
-        ]);
-    }
-    println!("{}", t2.render());
-    println!("Shape: E is within a fraction of a percent of the reference even at 4-8 grid");
-    println!("points — Thm 5.1's stationarity makes E(t0) flat near the optimum, so the");
-    println!("bracket midpoint alone is already an excellent schedule.");
+fn main() -> ExitCode {
+    cs_bench::harness::main_for(&cs_bench::experiments::exp_ablation::Exp)
 }

@@ -1,63 +1,8 @@
-//! EXP-COMP — worst-case/competitive cycle-stealing (extension: the
-//! sequel announced in the paper's footnote 1, and related work \[2\]).
-//!
-//! Measures the competitive ratio `ρ(S) = inf_r W_S(r)/(r − c)` of
-//! guideline, equal-period and geometric schedules against an adversarial
-//! reclaim time, and contrasts the expected-work and worst-case objectives
-//! on the same schedules.
+//! Thin shim: runs the registered [`cs_bench::experiments::exp_competitive`]
+//! experiment through the shared harness. All logic lives in the library.
 
-use cs_apps::{fmt, Table};
-use cs_core::competitive::{best_geometric, competitive_ratio, geometric_schedule};
-use cs_core::search;
-use cs_life::Uniform;
+use std::process::ExitCode;
 
-fn main() {
-    println!("EXP-COMP: adversarial (competitive) cycle-stealing — extension\n");
-    let c = 1.0;
-    let r_min = 10.0;
-    let r_max = 1000.0;
-    println!("Adversary picks the reclaim time r in [{r_min}, {r_max}]; c = {c}.");
-    println!("rho(S) = inf_r W_S(r)/(r - c); OPT knows r and uses one period.\n");
-
-    let best = best_geometric(c, r_min, r_max).expect("search");
-    let mut t = Table::new(&["schedule", "periods", "rho", "E under uniform p"]);
-    let p = Uniform::new(r_max).expect("uniform");
-    let mut add = |name: &str, s: &cs_core::Schedule| {
-        let rho = competitive_ratio(s, c, r_min, r_max).unwrap_or(f64::NAN);
-        t.row(&[
-            name.into(),
-            s.len().to_string(),
-            fmt(rho, 4),
-            fmt(s.expected_work(&p, c), 1),
-        ]);
-    };
-    add(
-        &format!(
-            "best geometric (first={:.2}, g={:.3})",
-            best.first, best.growth
-        ),
-        &best.schedule,
-    );
-    for (label, first, growth) in [
-        ("doubling (first=5, g=2)", 5.0, 2.0),
-        ("equal(5)", 5.0, 1.0),
-        ("equal(20)", 20.0, 1.0),
-        ("equal(100)", 100.0, 1.0),
-    ] {
-        let s = geometric_schedule(first, growth, r_max).expect("schedule");
-        add(label, &s);
-    }
-    // The expected-work guideline schedule, scored adversarially.
-    let plan = search::best_guideline_schedule(&p, c).expect("plan");
-    add("guideline (tuned for E, uniform p)", &plan.schedule);
-    println!("{}", t.render());
-
-    println!("Shapes:");
-    println!("  * near-equal periods are competitively optimal here: equal chunks of length t");
-    println!("    guarantee (t - c)/t asymptotically, while growth g > 1 drops the ratio toward");
-    println!("    1/g at period ends — the per-period overhead changes the classic doubling");
-    println!("    answer;");
-    println!("  * the expected-work guideline schedule (large early periods) has a much worse");
-    println!("    worst case than its expected case — the two objectives genuinely diverge,");
-    println!("    which is why the paper defers worst-case to the sequel (footnote 1).");
+fn main() -> ExitCode {
+    cs_bench::harness::main_for(&cs_bench::experiments::exp_competitive::Exp)
 }

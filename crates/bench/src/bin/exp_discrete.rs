@@ -1,63 +1,8 @@
-//! EXP-DISC — the §6 "discrete analogue" question, measured two ways:
-//!
-//! 1. **Task quantization**: how much of the fluid schedule's capacity is
-//!    lost when periods must be filled with indivisible tasks of grain `g`
-//!    (loss ≤ one grain per period; efficiency → 1 as `g → 0`).
-//! 2. **Grid discretization**: how fast the DP-on-a-grid optimum converges
-//!    to the continuous optimum as the grid refines — evidence that the
-//!    continuous guidelines *do* yield valuable discrete analogues.
+//! Thin shim: runs the registered [`cs_bench::experiments::exp_discrete`]
+//! experiment through the shared harness. All logic lives in the library.
 
-use cs_apps::{fmt, pct, Table};
-use cs_core::{dp, optimal, search};
-use cs_life::Uniform;
-use cs_tasks::quantization::fluid_vs_packed;
-use cs_tasks::workloads;
+use std::process::ExitCode;
 
-fn main() {
-    println!("EXP-DISC: discrete analogues of the continuous model (paper §6)\n");
-
-    // 1. Task-grain sweep.
-    let l = 1000.0;
-    let c = 5.0;
-    let p = Uniform::new(l).unwrap();
-    let plan = search::best_guideline_schedule(&p, c).expect("plan");
-    println!(
-        "Task quantization on the uniform guideline schedule ({} periods, fluid capacity {:.0}):",
-        plan.schedule.len(),
-        plan.schedule.max_work(c)
-    );
-    let mut t = Table::new(&["grain", "packed work", "efficiency", "bound 1-g*m/W"]);
-    for grain in [0.1, 0.5, 2.0, 8.0, 32.0] {
-        let mut bag = workloads::uniform(200_000, grain).expect("bag");
-        let r = fluid_vs_packed(&plan.schedule, &mut bag, c);
-        let m = plan.schedule.len() as f64;
-        let bound = 1.0 - grain * m / r.fluid_work;
-        t.row(&[
-            fmt(grain, 1),
-            fmt(r.packed_work, 1),
-            pct(r.efficiency),
-            pct(bound.max(0.0)),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("Shape: efficiency >= 1 - (one grain per period)/capacity, approaching 100% for");
-    println!("fine grains — the fluid model is the correct limit.\n");
-
-    // 2. DP grid refinement.
-    println!("Grid discretization: DP optimum vs continuous optimum (uniform, L = {l}, c = {c}):");
-    let e_star = optimal::uniform_optimal(l, c)
-        .expect("optimal")
-        .expected_work(&p, c);
-    let mut t2 = Table::new(&["grid cells", "E (DP grid)", "gap vs continuous"]);
-    for n in [100usize, 400, 1600, 6400] {
-        let sol = dp::solve_auto(&p, c, n).expect("dp");
-        t2.row(&[
-            n.to_string(),
-            fmt(sol.expected_work, 4),
-            format!("{:.3}%", 100.0 * (e_star - sol.expected_work) / e_star),
-        ]);
-    }
-    println!("{}", t2.render());
-    println!("Shape: the discrete optimum converges to the continuous one from below as the");
-    println!("grid refines; with ~10 grid cells per period the gap is already sub-percent.");
+fn main() -> ExitCode {
+    cs_bench::harness::main_for(&cs_bench::experiments::exp_discrete::Exp)
 }

@@ -1,109 +1,8 @@
-//! EXP-FAULT — graceful degradation of the NOW farm under escalating fault
-//! intensity.
-//!
-//! The paper's guidelines assume a well-behaved NOW. This experiment
-//! measures what its policies deliver when the NOW misbehaves: every
-//! workstation runs the canonical [`FaultPlan::scaled`] mix (message loss,
-//! stragglers, silent crashes, storm susceptibility) at intensity `x`, the
-//! farm adds periodic reclaim storms, and the resilient master (leases,
-//! backoff, quarantine, tail replication) routes around the failures.
-//!
-//! For each policy × intensity cell we replicate the farm across seeds and
-//! report the drained fraction, mean makespan, and the resilience
-//! machinery's activity. Shape to look for: throughput degrades smoothly —
-//! no cliff — and the guideline policy keeps its edge over naive fixed
-//! sizes even as the fault mix worsens, because its chunk sizes already
-//! hedge against mid-period loss.
+//! Thin shim: runs the registered [`cs_bench::experiments::exp_fault_tolerance`]
+//! experiment through the shared harness. All logic lives in the library.
 
-use cs_apps::{fmt, Table};
-use cs_life::{ArcLife, Uniform};
-use cs_now::farm::{FarmConfig, PolicyKind, WorkstationConfig};
-use cs_now::faults::FaultPlan;
-use cs_now::replicate::replicate_farm;
-use cs_obs::RunSummary;
-use cs_tasks::workloads;
-use std::sync::Arc;
+use std::process::ExitCode;
 
-fn farm_template(intensity: f64, seed: u64) -> FarmConfig {
-    let n_ws = 6;
-    let workstations = (0..n_ws)
-        .map(|i| {
-            let life: ArcLife = Arc::new(Uniform::new(120.0 + 20.0 * (i % 3) as f64).unwrap());
-            WorkstationConfig {
-                life: life.clone(),
-                believed: life,
-                c: 2.0,
-                policy: PolicyKind::Guideline,
-                gap_mean: 10.0,
-                faults: FaultPlan::scaled(intensity),
-            }
-        })
-        .collect();
-    let mut config = FarmConfig::new(workstations, 1e6, seed);
-    // The 9 a.m. login waves: correlated reclaim storms every 400 time
-    // units. Hit probability scales with the intensity via the plan.
-    config.storms = (1..=10).map(|k| 400.0 * k as f64).collect();
-    config
-}
-
-fn main() {
-    let tasks = 800usize;
-    let reps = 10u64;
-    let threads = 4;
-    println!(
-        "EXP-FAULT: policy x fault-intensity degradation \
-         (6 workstations, {tasks} unit tasks, c = 2, {reps} replications)\n"
-    );
-    println!("intensity x scales every fault class at once:");
-    println!("  loss = min(0.25x, 0.9), slowdown = 1+x, crash rate = 5e-4 x,");
-    println!("  storm hit = min(0.6x, 1); storms every 400 time units.\n");
-
-    for policy in [
-        PolicyKind::Guideline,
-        PolicyKind::Greedy,
-        PolicyKind::FixedSize(12.0),
-    ] {
-        let mut t = Table::new(&[
-            "intensity",
-            "drained",
-            "makespan mean",
-            "banked mean",
-            "lease timeouts",
-            "dup work",
-        ]);
-        for intensity in [0.0, 0.25, 0.5, 1.0, 2.0] {
-            let template = farm_template(intensity, 90_210);
-            let make_bag = move || workloads::uniform(tasks, 1.0).unwrap();
-            let rep = replicate_farm(&template, policy, &make_bag, reps, threads)
-                .expect("valid farm template");
-            t.row(&[
-                fmt(intensity, 2),
-                fmt(rep.drained_fraction, 2),
-                if rep.makespan.count() > 0 {
-                    fmt(rep.makespan.mean(), 1)
-                } else {
-                    "-".into()
-                },
-                fmt(rep.completed_work.mean(), 1),
-                fmt(rep.lease_timeouts.mean(), 1),
-                fmt(rep.duplicate_work.mean(), 1),
-            ]);
-            if intensity == 2.0 {
-                RunSummary::new("exp_fault_tolerance")
-                    .text("policy", &rep.policy)
-                    .num("intensity", intensity)
-                    .int("replications", reps)
-                    .num("drained_fraction", rep.drained_fraction)
-                    .num("banked_mean", rep.completed_work.mean())
-                    .num("lease_timeouts_mean", rep.lease_timeouts.mean())
-                    .emit();
-            }
-        }
-        println!("policy = {}:", policy.label());
-        println!("{}", t.render());
-    }
-    println!("Shape: degradation is smooth, not a cliff — leases requeue lost chunks,");
-    println!("quarantine shields the bag from black-hole workstations, and end-game");
-    println!("replication bounds the straggler tail. The guideline policy's edge over");
-    println!("naive fixed sizing persists across the intensity range.");
+fn main() -> ExitCode {
+    cs_bench::harness::main_for(&cs_bench::experiments::exp_fault_tolerance::Exp)
 }

@@ -1,85 +1,8 @@
-//! EXP-NOW — end-to-end NOW farm: aggregate work by chunk-sizing policy
-//! across heterogeneous borrowed workstations (the paper's §1 deployment,
-//! replicated and summarized).
+//! Thin shim: runs the registered [`cs_bench::experiments::exp_now_farm`]
+//! experiment through the shared harness. All logic lives in the library.
 
-use cs_apps::{fmt, fmt_opt, Table};
-use cs_life::{ArcLife, GeometricDecreasing, Polynomial, Uniform};
-use cs_now::farm::{FarmConfig, PolicyKind, WorkstationConfig};
-use cs_now::faults::FaultPlan;
-use cs_now::replicate::replicate_farm;
-use cs_obs::RunSummary;
-use cs_tasks::workloads;
-use std::sync::Arc;
+use std::process::ExitCode;
 
-fn heterogeneous_now(n: usize, c: f64) -> Vec<WorkstationConfig> {
-    (0..n)
-        .map(|i| {
-            let life: ArcLife = match i % 3 {
-                0 => Arc::new(Uniform::new(120.0 + 30.0 * (i % 4) as f64).unwrap()),
-                1 => Arc::new(GeometricDecreasing::from_half_life(35.0).unwrap()),
-                _ => Arc::new(Polynomial::new(2, 180.0).unwrap()),
-            };
-            WorkstationConfig {
-                life: life.clone(),
-                believed: life,
-                c,
-                policy: PolicyKind::Guideline,
-                gap_mean: 12.0,
-                faults: FaultPlan::none(),
-            }
-        })
-        .collect()
-}
-
-fn main() {
-    println!("EXP-NOW: multi-workstation farm, policy comparison (replicated)\n");
-    let c = 2.0;
-    let reps = 12u64;
-    let threads = 4;
-    for (n_ws, tasks) in [(4usize, 600usize), (16, 2400)] {
-        println!("{n_ws} workstations, {tasks} unit tasks, c = {c}, {reps} replications:");
-        let template = FarmConfig::new(heterogeneous_now(n_ws, c), 1e6, 31_337);
-        let make_bag = move || workloads::uniform(tasks, 1.0).unwrap();
-        let mut t = Table::new(&[
-            "policy",
-            "drained",
-            "makespan mean",
-            "makespan ci95",
-            "lost work mean",
-        ]);
-        for policy in [
-            PolicyKind::Guideline,
-            PolicyKind::Greedy,
-            PolicyKind::FixedSize(5.0),
-            PolicyKind::FixedSize(25.0),
-            PolicyKind::FixedSize(100.0),
-        ] {
-            let rep = replicate_farm(&template, policy, &make_bag, reps, threads)
-                .expect("valid farm template");
-            t.row(&[
-                rep.policy.clone(),
-                fmt(rep.drained_fraction, 2),
-                fmt(rep.makespan.mean(), 1),
-                // ci95() is None (rendered "n/a") when fewer than two
-                // replications drained — never NaN in the table.
-                fmt_opt(rep.makespan.ci95(), 1),
-                fmt(rep.lost_work.mean(), 1),
-            ]);
-            if n_ws == 16 && policy == PolicyKind::Guideline {
-                RunSummary::new("exp_now_farm")
-                    .text("policy", &rep.policy)
-                    .int("workstations", n_ws as u64)
-                    .int("replications", reps)
-                    .num("drained_fraction", rep.drained_fraction)
-                    .num("makespan_mean", rep.makespan.mean())
-                    .num("makespan_ci95", rep.makespan.ci95().unwrap_or(f64::NAN))
-                    .num("lost_work_mean", rep.lost_work.mean())
-                    .emit();
-            }
-        }
-        println!("{}", t.render());
-    }
-    println!("Shape: guideline chunk-sizing drains the bag fastest (or ties the best fixed");
-    println!("size, which must be hand-tuned per NOW); too-small chunks pay overhead, too-");
-    println!("large chunks pay reclamation losses — the paper's central tension, end to end.");
+fn main() -> ExitCode {
+    cs_bench::harness::main_for(&cs_bench::experiments::exp_now_farm::Exp)
 }

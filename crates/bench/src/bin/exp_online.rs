@@ -1,104 +1,8 @@
-//! EXP-ONLINE — learn-while-stealing: a scheduler that starts ignorant of
-//! the life function, observes one reclamation time per episode, and
-//! re-plans from the accumulating estimate.
-//!
-//! Measures the per-episode efficiency (banked work vs the oracle that
-//! knows `p` exactly) as episodes accumulate — the operational closure of
-//! the paper's "approximate knowledge from trace data" premise.
+//! Thin shim: runs the registered [`cs_bench::experiments::exp_online`]
+//! experiment through the shared harness. All logic lives in the library.
 
-use cs_apps::{pct, Table};
-use cs_core::search;
-use cs_life::{GeometricDecreasing, LifeFunction, Polynomial, Uniform};
-use cs_sim::policy::FixedSchedulePolicy;
-use cs_sim::run_policy_episode;
-use cs_trace::online::{EstimatorKind, OnlineEstimator};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
 
-const EPISODES: usize = 600;
-const BLOCK: usize = 100;
-
-fn run_learning(
-    truth: &dyn LifeFunction,
-    c: f64,
-    kind: EstimatorKind,
-    seed: u64,
-) -> Vec<(usize, f64, f64)> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let oracle_plan = search::best_guideline_schedule(truth, c).expect("oracle plan");
-    let mut estimator = OnlineEstimator::new(kind, 20);
-    let mut blocks = Vec::new();
-    let mut banked_block = 0.0;
-    let mut oracle_block = 0.0;
-    // Until the estimator warms up, use a conservative default: equal
-    // chunks of 4c (a practitioner's blind guess).
-    let horizon_guess = |est: &OnlineEstimator| -> f64 {
-        est.observations().iter().cloned().fold(8.0 * c, f64::max)
-    };
-    for ep in 1..=EPISODES {
-        let u = rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
-        let r = truth.inverse_survival(u);
-        // Plan from current knowledge.
-        let schedule = match estimator.current_life() {
-            Some(est) => search::best_guideline_schedule(&est, c)
-                .map(|plan| plan.schedule)
-                .unwrap_or_else(|_| cs_core::Schedule::empty()),
-            None => {
-                let h = horizon_guess(&estimator);
-                let n = (h / (4.0 * c)).ceil() as usize;
-                cs_core::Schedule::new(vec![4.0 * c; n.max(1)]).expect("blind schedule")
-            }
-        };
-        let mut pol = FixedSchedulePolicy::new(schedule, "online");
-        banked_block += run_policy_episode(&mut pol, c, r);
-        let mut oracle_pol = FixedSchedulePolicy::new(oracle_plan.schedule.clone(), "oracle");
-        oracle_block += run_policy_episode(&mut oracle_pol, c, r);
-        estimator.observe(r).expect("observe");
-        if ep % BLOCK == 0 {
-            blocks.push((ep, banked_block, oracle_block));
-            banked_block = 0.0;
-            oracle_block = 0.0;
-        }
-    }
-    blocks
-}
-
-fn main() {
-    println!("EXP-ONLINE: learning the life function while stealing ({EPISODES} episodes)\n");
-    let cases: Vec<(String, Box<dyn LifeFunction>, f64)> = vec![
-        (
-            "uniform(L=50)".into(),
-            Box::new(Uniform::new(50.0).unwrap()),
-            1.0,
-        ),
-        (
-            "poly(d=2,L=60)".into(),
-            Box::new(Polynomial::new(2, 60.0).unwrap()),
-            1.0,
-        ),
-        (
-            "geo-dec(a=1.5)".into(),
-            Box::new(GeometricDecreasing::new(1.5).unwrap()),
-            0.5,
-        ),
-    ];
-    for (name, truth, c) in &cases {
-        println!("{name} (c = {c}):");
-        let mut table = Table::new(&["episodes", "empirical est eff", "best-fit est eff"]);
-        let emp = run_learning(truth.as_ref(), *c, EstimatorKind::Empirical, 42);
-        let fit = run_learning(truth.as_ref(), *c, EstimatorKind::BestFit, 42);
-        for (i, &(ep, banked, oracle)) in emp.iter().enumerate() {
-            let (_, fb, fo) = fit[i];
-            table.row(&[
-                format!("{}-{}", ep - BLOCK + 1, ep),
-                pct(banked / oracle.max(1e-12)),
-                pct(fb / fo.max(1e-12)),
-            ]);
-        }
-        println!("{}", table.render());
-    }
-    println!("Shape: efficiency starts low (blind equal chunks), jumps once the estimator");
-    println!("warms up (8 observations), and climbs toward 100% of the oracle within a few");
-    println!("hundred episodes; the parametric estimator converges faster when the truth is");
-    println!("inside a fitted family.");
+fn main() -> ExitCode {
+    cs_bench::harness::main_for(&cs_bench::experiments::exp_online::Exp)
 }

@@ -1,85 +1,8 @@
-//! EXP-UTIL — long-run steal-rate: across many episodes, what fraction of
-//! the owner's total absence time does each chunk-sizing policy convert to
-//! banked work?
-//!
-//! This is the practitioner's summary number for the paper's whole
-//! enterprise: an upper bound is `E[R − c·(periods used)]/E[R]` and the
-//! fluid ceiling is `1`; naive policies leave large fractions on the floor
-//! either as per-period overhead (chunks too small) or as destroyed work
-//! (chunks too large).
+//! Thin shim: runs the registered [`cs_bench::experiments::exp_utilization`]
+//! experiment through the shared harness. All logic lives in the library.
 
-use cs_apps::{pct, Table};
-use cs_bench::canonical_scenarios;
-use cs_core::{optimal, search};
-use cs_life::LifeFunction;
-use cs_sim::policy::{ChunkPolicy, FixedSchedulePolicy, FixedSizePolicy, GreedyPolicy};
-use cs_sim::run_policy_episode;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
 
-const EPISODES: usize = 4000;
-
-/// Runs `EPISODES` episodes of a policy against reclaim times sampled from
-/// `p`; returns (total banked, total absence time).
-fn steal_rate(policy: &mut dyn ChunkPolicy, p: &dyn LifeFunction, c: f64, seed: u64) -> (f64, f64) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut banked = 0.0;
-    let mut absent = 0.0;
-    for _ in 0..EPISODES {
-        let u = rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
-        let r = p.inverse_survival(u);
-        absent += r;
-        banked += run_policy_episode(policy, c, r);
-    }
-    (banked, absent)
-}
-
-fn main() {
-    println!("EXP-UTIL: long-run steal-rate by policy ({EPISODES} episodes each)\n");
-    for s in canonical_scenarios() {
-        let p = s.life.as_ref();
-        let c = s.c;
-        println!(
-            "{} (c = {c}, mean absence {:.2}):",
-            s.name,
-            p.mean_lifetime()
-        );
-        let plan = search::best_guideline_schedule(p, c).expect("plan");
-        // Static guideline schedule replayed per episode (a-priori planning;
-        // identical to progressive planning under the exact p).
-        let mut policies: Vec<Box<dyn ChunkPolicy>> = vec![
-            Box::new(FixedSchedulePolicy::new(plan.schedule.clone(), "guideline")),
-            Box::new(GreedyPolicy::new(s.life.clone(), c)),
-        ];
-        // Fixed sizes spanning the sensible range.
-        let horizon = p.horizon(1e-9);
-        for factor in [0.02, 0.1, 0.4] {
-            let t = (horizon * factor).max(c * 1.5);
-            policies.push(Box::new(FixedSizePolicy::new(t, horizon)));
-        }
-        // The optimal baseline where closed forms exist.
-        if s.name.starts_with("uniform") {
-            let opt = optimal::uniform_optimal(1000.0, c).expect("optimal");
-            policies.push(Box::new(FixedSchedulePolicy::new(opt, "optimal [3]")));
-        } else if s.name.starts_with("geo-dec") {
-            let opt = optimal::geometric_decreasing_optimal(2.0, c).expect("optimal");
-            policies.push(Box::new(FixedSchedulePolicy::new(
-                opt.schedule(400),
-                "optimal [3]",
-            )));
-        }
-        let mut table = Table::new(&["policy", "steal rate", "banked/episode"]);
-        for pol in policies.iter_mut() {
-            let (banked, absent) = steal_rate(pol.as_mut(), p, c, 77);
-            table.row(&[
-                pol.name(),
-                pct(banked / absent),
-                format!("{:.3}", banked / EPISODES as f64),
-            ]);
-        }
-        println!("{}", table.render());
-    }
-    println!("Shape: the guideline policy tracks the optimal baseline's steal rate and");
-    println!("dominates fixed sizes outside their sweet spot; the rate itself is far below");
-    println!("100% — the overhead c and the draconian losses are intrinsic to the contract.");
+fn main() -> ExitCode {
+    cs_bench::harness::main_for(&cs_bench::experiments::exp_utilization::Exp)
 }

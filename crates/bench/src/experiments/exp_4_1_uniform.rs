@@ -1,0 +1,89 @@
+//! EXP-4.1b — uniform risk: the guideline recurrence equals \[3\]'s optimal
+//! recurrence (eq 4.1, `t_k = t_{k−1} − c`), and guideline-searched
+//! schedules match the optimal expected work.
+
+use crate::harness::{ExpContext, Experiment};
+use crate::{grids, outln};
+use cs_apps::{fmt, pct, Table};
+use cs_core::recurrence::{guideline_schedule, GuidelineOptions};
+use cs_core::{optimal, search};
+use cs_life::Uniform;
+
+/// Registration for `exp_4_1_uniform`.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "exp_4_1_uniform"
+    }
+
+    fn paper(&self) -> &'static str {
+        "§4.1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Uniform risk: guideline recurrence vs the optimal recurrence (eq 4.1)"
+    }
+
+    fn run(&self, ctx: &mut ExpContext<'_>) -> Result<(), String> {
+        outln!(
+            ctx,
+            "EXP-4.1b: uniform risk — guideline vs optimal [3] (paper §4.1, eq 4.1)\n"
+        );
+
+        // 1. Recurrence identity: generate from the optimal t0, compare periods.
+        let l = 1000.0;
+        let c = 5.0;
+        let p = Uniform::new(l).expect("uniform");
+        let opt = optimal::uniform_optimal(l, c).expect("optimal");
+        let guide = guideline_schedule(&p, c, opt.periods()[0], &GuidelineOptions::default())
+            .expect("guide");
+        outln!(
+            ctx,
+            "Recurrence check at t0 = {:.2} (L = {l}, c = {c}):",
+            opt.periods()[0]
+        );
+        let mut t = Table::new(&["k", "optimal t_k", "guideline t_k", "diff"]);
+        for k in 0..opt.len().min(guide.len()).min(8) {
+            t.row(&[
+                k.to_string(),
+                fmt(opt.periods()[k], 4),
+                fmt(guide.periods()[k], 4),
+                format!("{:.2e}", (opt.periods()[k] - guide.periods()[k]).abs()),
+            ]);
+        }
+        outln!(ctx, "{}", t.render());
+
+        // 2. Expected-work comparison across the sweep.
+        let mut t2 = Table::new(&[
+            "L",
+            "c",
+            "m (opt)",
+            "E optimal",
+            "E guideline",
+            "efficiency",
+        ]);
+        for &l in &grids::LIFESPANS {
+            for &c in &grids::OVERHEADS {
+                let p = Uniform::new(l).expect("uniform");
+                let opt = optimal::uniform_optimal(l, c).expect("optimal");
+                let e_opt = opt.expected_work(&p, c);
+                let plan = search::best_guideline_schedule(&p, c).expect("plan");
+                t2.row(&[
+                    fmt(l, 0),
+                    fmt(c, 0),
+                    opt.len().to_string(),
+                    fmt(e_opt, 2),
+                    fmt(plan.expected_work, 2),
+                    pct(plan.expected_work / e_opt),
+                ]);
+            }
+        }
+        outln!(ctx, "{}", t2.render());
+        outln!(
+            ctx,
+            "Expected shape: efficiency = 100.0% everywhere (identical recurrences)."
+        );
+        Ok(())
+    }
+}

@@ -1,0 +1,110 @@
+//! EXP-6a — "How good are greedy schedules?" (paper §6).
+//!
+//! The paper asserts greedy is optimal for the geometric-decreasing
+//! scenario and suboptimal for uniform risk. We measure myopic greedy
+//! (each period maximizes its own expected contribution) against the
+//! guideline search and the best available optimum across all four
+//! canonical scenarios.
+
+use crate::harness::{ExpContext, Experiment};
+use crate::{canonical_scenarios, outln};
+use cs_apps::{fmt, pct, Table};
+use cs_core::greedy::{greedy_schedule, GreedyOptions};
+use cs_core::{dp, optimal, search};
+use cs_life::GeometricDecreasing;
+
+/// Registration for `exp_6_greedy`.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "exp_6_greedy"
+    }
+
+    fn paper(&self) -> &'static str {
+        "§6"
+    }
+
+    fn title(&self) -> &'static str {
+        "Greedy vs guideline vs optimal across the canonical scenarios"
+    }
+
+    fn run(&self, ctx: &mut ExpContext<'_>) -> Result<(), String> {
+        outln!(ctx, "EXP-6a: greedy vs guideline vs optimal (paper §6)\n");
+        let dp_grid = ctx.budget(2400, 600);
+        let mut t = Table::new(&[
+            "scenario",
+            "E optimal",
+            "E guideline",
+            "E greedy",
+            "guide eff",
+            "greedy eff",
+        ]);
+        for s in canonical_scenarios() {
+            let p = s.life.as_ref();
+            let c = s.c;
+            // Best available optimum: family closed form where known, else DP.
+            let e_opt = match s.name.as_str() {
+                "uniform(L=1000)" => optimal::uniform_optimal(1000.0, c)
+                    .unwrap()
+                    .expected_work(p, c),
+                "geo-dec(a=2)" => {
+                    optimal::geometric_decreasing_optimal(2.0, c)
+                        .unwrap()
+                        .expected_work
+                }
+                "geo-inc(L=64)" => {
+                    let r3 = optimal::geometric_increasing_optimal(64.0, c)
+                        .unwrap()
+                        .expected_work(p, c);
+                    r3.max(dp::solve_auto(p, c, dp_grid).unwrap().expected_work)
+                }
+                _ => dp::solve_auto(p, c, dp_grid).unwrap().expected_work,
+            };
+            let plan = search::best_guideline_schedule(p, c).expect("plan");
+            let greedy = greedy_schedule(p, c, &GreedyOptions::default()).expect("greedy");
+            let e_greedy = greedy.expected_work(p, c);
+            t.row(&[
+                s.name.clone(),
+                fmt(e_opt, 3),
+                fmt(plan.expected_work, 3),
+                fmt(e_greedy, 3),
+                pct(plan.expected_work / e_opt),
+                pct(e_greedy / e_opt),
+            ]);
+        }
+        outln!(ctx, "{}", t.render());
+
+        // The §6 claim under the microscope: geometric-decreasing.
+        let a = 2.0;
+        let c = 1.0;
+        let p = GeometricDecreasing::new(a).unwrap();
+        let opt = optimal::geometric_decreasing_optimal(a, c).unwrap();
+        let greedy = greedy_schedule(&p, c, &GreedyOptions::default()).unwrap();
+        let greedy_period = greedy.periods()[0];
+        outln!(ctx, "Geometric-decreasing detail (a = {a}, c = {c}):");
+        outln!(
+            ctx,
+            "  greedy period  = c + 1/ln a           = {:.6}",
+            c + 1.0 / a.ln()
+        );
+        outln!(
+            ctx,
+            "  optimal period t*: t* + a^-t*/ln a = c + 1/ln a  ->  t* = {:.6}",
+            opt.period
+        );
+        outln!(ctx, "  measured greedy period = {greedy_period:.6}");
+        outln!(
+            ctx,
+            "  both are equal-period schedules; efficiency of greedy = {}",
+            pct(greedy.expected_work(&p, c) / opt.expected_work)
+        );
+        outln!(
+            ctx,
+            "\nReading of the paper's claim: myopic greedy recovers the optimal *structure*\n\
+             (constant periods) with a slightly longer period — near-optimal value, not exact.\n\
+             For uniform risk greedy is measurably suboptimal, as the paper asserts."
+        );
+        Ok(())
+    }
+}

@@ -1,0 +1,101 @@
+//! EXP-DISC — the §6 "discrete analogue" question, measured two ways:
+//!
+//! 1. **Task quantization**: how much of the fluid schedule's capacity is
+//!    lost when periods must be filled with indivisible tasks of grain `g`
+//!    (loss ≤ one grain per period; efficiency → 1 as `g → 0`).
+//! 2. **Grid discretization**: how fast the DP-on-a-grid optimum converges
+//!    to the continuous optimum as the grid refines — evidence that the
+//!    continuous guidelines *do* yield valuable discrete analogues.
+
+use crate::harness::{ExpContext, Experiment};
+use crate::outln;
+use cs_apps::{fmt, pct, Table};
+use cs_core::{dp, optimal, search};
+use cs_life::Uniform;
+use cs_tasks::quantization::fluid_vs_packed;
+use cs_tasks::workloads;
+
+/// Registration for `exp_discrete`.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "exp_discrete"
+    }
+
+    fn paper(&self) -> &'static str {
+        "§6"
+    }
+
+    fn title(&self) -> &'static str {
+        "Discrete analogues: task quantization and DP-grid convergence"
+    }
+
+    fn run(&self, ctx: &mut ExpContext<'_>) -> Result<(), String> {
+        outln!(
+            ctx,
+            "EXP-DISC: discrete analogues of the continuous model (paper §6)\n"
+        );
+
+        // 1. Task-grain sweep.
+        let l = 1000.0;
+        let c = 5.0;
+        let p = Uniform::new(l).unwrap();
+        let plan = search::best_guideline_schedule(&p, c).expect("plan");
+        outln!(
+            ctx,
+            "Task quantization on the uniform guideline schedule ({} periods, fluid capacity {:.0}):",
+            plan.schedule.len(),
+            plan.schedule.max_work(c)
+        );
+        let bag_tasks = ctx.budget(200_000, 40_000);
+        let mut t = Table::new(&["grain", "packed work", "efficiency", "bound 1-g*m/W"]);
+        for grain in [0.1, 0.5, 2.0, 8.0, 32.0] {
+            let mut bag = workloads::uniform(bag_tasks, grain).expect("bag");
+            let r = fluid_vs_packed(&plan.schedule, &mut bag, c);
+            let m = plan.schedule.len() as f64;
+            let bound = 1.0 - grain * m / r.fluid_work;
+            t.row(&[
+                fmt(grain, 1),
+                fmt(r.packed_work, 1),
+                pct(r.efficiency),
+                pct(bound.max(0.0)),
+            ]);
+        }
+        outln!(ctx, "{}", t.render());
+        outln!(
+            ctx,
+            "Shape: efficiency >= 1 - (one grain per period)/capacity, approaching 100% for"
+        );
+        outln!(ctx, "fine grains — the fluid model is the correct limit.\n");
+
+        // 2. DP grid refinement.
+        outln!(
+            ctx,
+            "Grid discretization: DP optimum vs continuous optimum (uniform, L = {l}, c = {c}):"
+        );
+        let e_star = optimal::uniform_optimal(l, c)
+            .expect("optimal")
+            .expected_work(&p, c);
+        let grid_cells = ctx.budget([100usize, 400, 1600, 6400], [100usize, 200, 400, 800]);
+        let mut t2 = Table::new(&["grid cells", "E (DP grid)", "gap vs continuous"]);
+        for n in grid_cells {
+            let sol = dp::solve_auto(&p, c, n).expect("dp");
+            t2.row(&[
+                n.to_string(),
+                fmt(sol.expected_work, 4),
+                format!("{:.3}%", 100.0 * (e_star - sol.expected_work) / e_star),
+            ]);
+        }
+        outln!(ctx, "{}", t2.render());
+        outln!(
+            ctx,
+            "Shape: the discrete optimum converges to the continuous one from below as the"
+        );
+        outln!(
+            ctx,
+            "grid refines; with ~10 grid cells per period the gap is already sub-percent."
+        );
+        Ok(())
+    }
+}

@@ -1,0 +1,149 @@
+//! EXP-FAULT — graceful degradation of the NOW farm under escalating fault
+//! intensity.
+//!
+//! The paper's guidelines assume a well-behaved NOW. This experiment
+//! measures what its policies deliver when the NOW misbehaves: every
+//! workstation runs the canonical [`FaultPlan::scaled`] mix (message loss,
+//! stragglers, silent crashes, storm susceptibility) at intensity `x`, the
+//! farm adds periodic reclaim storms, and the resilient master (leases,
+//! backoff, quarantine, tail replication) routes around the failures.
+//!
+//! For each policy × intensity cell we replicate the farm across seeds and
+//! report the drained fraction, mean makespan, and the resilience
+//! machinery's activity. Shape to look for: throughput degrades smoothly —
+//! no cliff — and the guideline policy keeps its edge over naive fixed
+//! sizes even as the fault mix worsens, because its chunk sizes already
+//! hedge against mid-period loss.
+
+use crate::harness::{ExpContext, Experiment};
+use crate::outln;
+use cs_apps::{fmt, Table};
+use cs_life::{ArcLife, Uniform};
+use cs_now::farm::{FarmConfig, PolicySpec, WorkstationConfig};
+use cs_now::faults::FaultPlan;
+use cs_now::replicate::replicate_farm;
+use cs_obs::RunSummary;
+use cs_tasks::workloads;
+use std::sync::Arc;
+
+fn farm_template(intensity: f64, seed: u64) -> FarmConfig {
+    let n_ws = 6;
+    let workstations = (0..n_ws)
+        .map(|i| {
+            let life: ArcLife = Arc::new(Uniform::new(120.0 + 20.0 * (i % 3) as f64).unwrap());
+            WorkstationConfig {
+                life: life.clone(),
+                believed: life,
+                c: 2.0,
+                policy: PolicySpec::Guideline,
+                gap_mean: 10.0,
+                faults: FaultPlan::scaled(intensity),
+            }
+        })
+        .collect();
+    let mut config = FarmConfig::new(workstations, 1e6, seed);
+    // The 9 a.m. login waves: correlated reclaim storms every 400 time
+    // units. Hit probability scales with the intensity via the plan.
+    config.storms = (1..=10).map(|k| 400.0 * k as f64).collect();
+    config
+}
+
+/// Registration for `exp_fault_tolerance`.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "exp_fault_tolerance"
+    }
+
+    fn paper(&self) -> &'static str {
+        "§1 (NOW assumptions, stressed)"
+    }
+
+    fn title(&self) -> &'static str {
+        "Graceful degradation of the farm under escalating fault intensity"
+    }
+
+    fn run(&self, ctx: &mut ExpContext<'_>) -> Result<(), String> {
+        let tasks = 800usize;
+        let reps = ctx.budget(10u64, 3);
+        let threads = 4;
+        outln!(
+            ctx,
+            "EXP-FAULT: policy x fault-intensity degradation \
+             (6 workstations, {tasks} unit tasks, c = 2, {reps} replications)\n"
+        );
+        outln!(ctx, "intensity x scales every fault class at once:");
+        outln!(
+            ctx,
+            "  loss = min(0.25x, 0.9), slowdown = 1+x, crash rate = 5e-4 x,"
+        );
+        outln!(
+            ctx,
+            "  storm hit = min(0.6x, 1); storms every 400 time units.\n"
+        );
+
+        for policy in [
+            PolicySpec::Guideline,
+            PolicySpec::Greedy,
+            PolicySpec::FixedSize(12.0),
+        ] {
+            let mut t = Table::new(&[
+                "intensity",
+                "drained",
+                "makespan mean",
+                "banked mean",
+                "lease timeouts",
+                "dup work",
+            ]);
+            for intensity in [0.0, 0.25, 0.5, 1.0, 2.0] {
+                let template = farm_template(intensity, 90_210);
+                let make_bag = move || workloads::uniform(tasks, 1.0).unwrap();
+                let rep = replicate_farm(&template, policy, &make_bag, reps, threads)
+                    .expect("valid farm template");
+                t.row(&[
+                    fmt(intensity, 2),
+                    fmt(rep.drained_fraction, 2),
+                    if rep.makespan.count() > 0 {
+                        fmt(rep.makespan.mean(), 1)
+                    } else {
+                        "-".into()
+                    },
+                    fmt(rep.completed_work.mean(), 1),
+                    fmt(rep.lease_timeouts.mean(), 1),
+                    fmt(rep.duplicate_work.mean(), 1),
+                ]);
+                if intensity == 2.0 {
+                    RunSummary::new("exp_fault_tolerance")
+                        .text("policy", &rep.policy)
+                        .num("intensity", intensity)
+                        .int("replications", reps)
+                        .num("drained_fraction", rep.drained_fraction)
+                        .num("banked_mean", rep.completed_work.mean())
+                        .num("lease_timeouts_mean", rep.lease_timeouts.mean())
+                        .emit_to(ctx.out)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            outln!(ctx, "policy = {}:", policy.label());
+            outln!(ctx, "{}", t.render());
+        }
+        outln!(
+            ctx,
+            "Shape: degradation is smooth, not a cliff — leases requeue lost chunks,"
+        );
+        outln!(
+            ctx,
+            "quarantine shields the bag from black-hole workstations, and end-game"
+        );
+        outln!(
+            ctx,
+            "replication bounds the straggler tail. The guideline policy's edge over"
+        );
+        outln!(
+            ctx,
+            "naive fixed sizing persists across the intensity range."
+        );
+        Ok(())
+    }
+}

@@ -1,0 +1,120 @@
+//! EXP-SAVES — the paper's Remark: adapting the cycle-stealing machinery to
+//! scheduling saves in fault-prone computations (ref \[7\]).
+//!
+//! Compares three save intervals under Poisson faults:
+//! * the exact makespan-optimal interval,
+//! * Young's classical approximation `sqrt(2c/λ)`,
+//! * the transplanted cycle-stealing guideline (the optimal period of the
+//!   memoryless scenario `p = e^{−λt}`),
+//!
+//! and validates expected makespans by simulation.
+
+use crate::harness::{ExpContext, Experiment};
+use crate::outln;
+use cs_apps::{fmt, pct, Table};
+use cs_saves::{
+    expected_interval_time, guideline_interval, optimal_interval, optimal_schedule,
+    simulate_makespan, uniform_makespan, young_interval,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Registration for `exp_saves`.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "exp_saves"
+    }
+
+    fn paper(&self) -> &'static str {
+        "Remark / [7]"
+    }
+
+    fn title(&self) -> &'static str {
+        "Checkpoint intervals under Poisson faults via the cycle-stealing guideline"
+    }
+
+    fn run(&self, ctx: &mut ExpContext<'_>) -> Result<(), String> {
+        outln!(
+            ctx,
+            "EXP-SAVES: checkpoint intervals under Poisson faults (paper Remark / [7])\n"
+        );
+        let mut t = Table::new(&[
+            "c",
+            "lambda",
+            "s* exact",
+            "young sqrt(2c/l)",
+            "cyc-steal guideline",
+            "young penalty",
+            "guideline penalty",
+        ]);
+        for &(c, lambda) in &[
+            (0.01f64, 0.001f64),
+            (0.1, 0.01),
+            (0.5, 0.05),
+            (1.0, 0.1),
+            (1.0, 0.5),
+        ] {
+            let s_opt = optimal_interval(c, lambda).expect("optimal");
+            let s_young = young_interval(c, lambda);
+            let s_guide = guideline_interval(c, lambda).expect("guideline");
+            let rate = |s: f64| expected_interval_time(s, c, lambda) / s;
+            t.row(&[
+                fmt(c, 2),
+                fmt(lambda, 3),
+                fmt(s_opt, 3),
+                fmt(s_young, 3),
+                fmt(s_guide, 3),
+                pct(rate(s_young) / rate(s_opt) - 1.0),
+                pct(rate(s_guide) / rate(s_opt) - 1.0),
+            ]);
+        }
+        outln!(ctx, "{}", t.render());
+        outln!(
+            ctx,
+            "Shape: all three agree in the low-risk regime (λ(s+c) << 1); at high risk the"
+        );
+        outln!(
+            ctx,
+            "exact optimum shrinks below Young's formula, and the transplanted guideline"
+        );
+        outln!(
+            ctx,
+            "interval stays within a few percent of optimal makespan — the paper's Remark"
+        );
+        outln!(
+            ctx,
+            "('our results can be adapted to apply in that setting') holds quantitatively.\n"
+        );
+
+        // Finite job + simulation validation.
+        let w = 200.0;
+        let c = 0.5;
+        let lambda = 0.05;
+        let (n, analytic) = optimal_schedule(w, c, lambda).expect("schedule");
+        outln!(
+            ctx,
+            "Finite job w = {w}, c = {c}, lambda = {lambda}: optimal n = {n} saves"
+        );
+        let intervals = vec![w / n as f64; n];
+        let mut rng = StdRng::seed_from_u64(2026);
+        let trials = ctx.budget(20_000, 4_000);
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            acc += simulate_makespan(&intervals, c, lambda, &mut rng).expect("sim");
+        }
+        let sim = acc / trials as f64;
+        outln!(
+            ctx,
+            "expected makespan {analytic:.2} vs simulated {sim:.2} ({trials} runs)"
+        );
+        let naive = uniform_makespan(w, 1, c, lambda).expect("naive");
+        outln!(
+            ctx,
+            "no-checkpoint makespan {naive:.1} — checkpointing wins by {:.1}x",
+            naive / analytic
+        );
+        Ok(())
+    }
+}

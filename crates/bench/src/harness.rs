@@ -1,0 +1,177 @@
+//! The registry-driven experiment harness.
+//!
+//! Every `exp_*` experiment is a [`Experiment`] implementation registered
+//! in [`crate::experiments::all`]. The standalone binaries and the
+//! `cyclesteal exp` subcommand both run experiments through this module,
+//! so a new experiment is a ~50-line registration in
+//! `crates/bench/src/experiments/` instead of a new binary with its own
+//! plumbing.
+//!
+//! Output discipline: experiments never print directly — they write through
+//! [`ExpContext::out`] (see the [`outln!`](crate::outln) macro), which is
+//! stdout for the binaries, a capture buffer for the golden-output tests,
+//! and stdout-behind-a-header for `cyclesteal exp`. Observable runs (the
+//! farm and episode simulators) should route through [`ExpContext::sink`]
+//! so `--trace-out` captures an event stream; the observation layer's
+//! pass-through guarantee keeps the printed numbers bit-identical either
+//! way.
+
+use cs_obs::{EventSink, JsonlSink, NoopSink};
+use std::io::Write;
+
+/// Options for one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct ExpOptions {
+    /// Shrink Monte-Carlo budgets for a fast smoke run (CI). Tables keep
+    /// their shape; the numbers are noisier.
+    pub quick: bool,
+    /// Write the run's event stream to this JSONL path.
+    pub trace_out: Option<String>,
+    /// Positional input (used by `exp_obs_validate` to validate a trace
+    /// file instead of running its self-test).
+    pub input: Option<String>,
+}
+
+/// Execution context handed to [`Experiment::run`].
+pub struct ExpContext<'a> {
+    /// Where all report text goes (never print directly).
+    pub out: &'a mut dyn Write,
+    /// Event sink for observable runs (`NoopSink` unless `--trace-out`).
+    pub sink: &'a mut dyn EventSink,
+    /// The run options.
+    pub opts: &'a ExpOptions,
+}
+
+impl ExpContext<'_> {
+    /// The Monte-Carlo budget scale: picks `quick` in smoke runs, `full`
+    /// otherwise. Keeps the quick-mode branches in experiment bodies
+    /// one-liners.
+    pub fn budget<T>(&self, full: T, quick: T) -> T {
+        if self.opts.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Writes one line to the experiment context (the harness `println!`).
+///
+/// Usable only inside functions returning `Result<_, String>`.
+#[macro_export]
+macro_rules! outln {
+    ($ctx:expr) => {
+        writeln!($ctx.out).map_err(|e| e.to_string())?
+    };
+    ($ctx:expr, $($arg:tt)*) => {
+        writeln!($ctx.out, $($arg)*).map_err(|e| e.to_string())?
+    };
+}
+
+/// One registered experiment: a paper table/claim reproduced by `run`.
+pub trait Experiment: Sync {
+    /// Stable identifier (`exp_4_2_geometric`), also the binary name.
+    fn id(&self) -> &'static str;
+    /// Where in the paper the claim lives (e.g. `§4.2`).
+    fn paper(&self) -> &'static str;
+    /// One-line description for `exp --list`.
+    fn title(&self) -> &'static str;
+    /// Produces the report tables on `ctx.out`.
+    fn run(&self, ctx: &mut ExpContext<'_>) -> Result<(), String>;
+}
+
+/// Looks up a registered experiment by id.
+pub fn by_id(id: &str) -> Option<&'static dyn Experiment> {
+    crate::experiments::all().into_iter().find(|e| e.id() == id)
+}
+
+/// Runs one experiment with the given options, writing the report to
+/// `out`. Builds the event sink from `opts.trace_out`.
+pub fn run_to_writer(
+    exp: &dyn Experiment,
+    opts: &ExpOptions,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    match &opts.trace_out {
+        None => exp.run(&mut ExpContext {
+            out,
+            sink: &mut NoopSink,
+            opts,
+        }),
+        Some(path) => {
+            let mut sink =
+                JsonlSink::create(path).map_err(|e| format!("--trace-out {path}: {e}"))?;
+            exp.run(&mut ExpContext {
+                out,
+                sink: &mut sink,
+                opts,
+            })?;
+            let lines = sink
+                .finish()
+                .map_err(|e| format!("--trace-out {path}: {e}"))?;
+            writeln!(out, "trace-out: {lines} events -> {path}").map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Entry point for the thin `exp_*` binaries: parses `[--quick]
+/// [--trace-out <path>] [input]` from the command line, runs the
+/// experiment on stdout, and maps errors to a failing exit code.
+pub fn main_for(exp: &dyn Experiment) -> std::process::ExitCode {
+    let mut opts = ExpOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--trace-out" => match args.next() {
+                Some(path) => opts.trace_out = Some(path),
+                None => {
+                    eprintln!("error: --trace-out needs a path");
+                    return std::process::ExitCode::FAILURE;
+                }
+            },
+            other if !other.starts_with("--") && opts.input.is_none() => {
+                opts.input = Some(other.to_string());
+            }
+            other => {
+                eprintln!(
+                    "error: unknown argument {other:?} (expected [--quick] \
+                     [--trace-out <path>] [input])"
+                );
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match run_to_writer(exp, &opts, &mut out) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_listable() {
+        let all = crate::experiments::all();
+        assert_eq!(all.len(), 21, "all 21 experiments registered");
+        let mut ids: Vec<&str> = all.iter().map(|e| e.id()).collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate experiment id");
+        for e in &all {
+            assert!(e.id().starts_with("exp_"), "{}", e.id());
+            assert!(!e.title().is_empty(), "{}", e.id());
+            assert!(!e.paper().is_empty(), "{}", e.id());
+            assert!(by_id(e.id()).is_some());
+        }
+        assert!(by_id("exp_nope").is_none());
+    }
+}

@@ -1,68 +1,31 @@
 //! # cs-bench
 //!
-//! Experiment harness for the reproduction. Each `exp_*` binary regenerates
-//! one comparison or claim from the paper (see DESIGN.md §5 for the index
-//! and EXPERIMENTS.md for paper-vs-measured); the Criterion benches time
-//! the computational kernels behind each experiment group.
+//! Experiment harness for the reproduction. Every experiment (one
+//! comparison or claim from the paper; see DESIGN.md §5 for the index and
+//! EXPERIMENTS.md for paper-vs-measured) lives in [`experiments`] as an
+//! implementation of [`harness::Experiment`], registered in
+//! [`experiments::all`]. The `exp_*` binaries are thin launchers over the
+//! registry, and `cyclesteal exp` runs the same registrations; the
+//! Criterion benches time the computational kernels behind each experiment
+//! group.
 //!
-//! This library hosts the shared scenario definitions so binaries and
-//! benches stay in lockstep.
+//! Scenario definitions (life-function specs, policies, the canonical
+//! named scenarios, parameter grids) come from `cs-scenarios`, so
+//! binaries, benches and the CLI stay in lockstep.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cs_life::{ArcLife, GeometricDecreasing, GeometricIncreasing, Polynomial, Uniform};
-use std::sync::Arc;
+pub mod experiments;
+pub mod harness;
 
-/// The standard parameter grid the Section-4 experiments sweep.
-pub mod grids {
-    /// Lifespans for the polynomial/uniform sweeps.
-    pub const LIFESPANS: [f64; 4] = [100.0, 1_000.0, 10_000.0, 100_000.0];
-    /// Overheads for the polynomial/uniform sweeps.
-    pub const OVERHEADS: [f64; 3] = [1.0, 5.0, 20.0];
-    /// Degrees for the §4.1 polynomial family.
-    pub const DEGREES: [u32; 4] = [1, 2, 3, 4];
-    /// Risk factors for the §4.2 geometric family.
-    pub const RISK_FACTORS: [f64; 4] = [2.0, std::f64::consts::E, 4.0, 10.0];
-    /// Lifespans for the §4.3 geometric-increasing family.
-    pub const GEO_INC_LIFESPANS: [f64; 4] = [16.0, 64.0, 256.0, 1024.0];
-}
-
-/// A named scenario: life function + overhead, as used across experiments.
-pub struct Scenario {
-    /// Short identifier for tables.
-    pub name: String,
-    /// The life function.
-    pub life: ArcLife,
-    /// The communication overhead.
-    pub c: f64,
-}
+pub use cs_scenarios::{grids, Scenario, ScenarioSpec};
 
 /// The canonical trio of \[3\] scenarios (plus a concave polynomial), at
-/// representative parameters — used by the §5/§6 experiments.
+/// representative parameters — used by the §5/§6 experiments. Realized
+/// from the `cs-scenarios` registry.
 pub fn canonical_scenarios() -> Vec<Scenario> {
-    vec![
-        Scenario {
-            name: "uniform(L=1000)".into(),
-            life: Arc::new(Uniform::new(1000.0).expect("uniform")),
-            c: 5.0,
-        },
-        Scenario {
-            name: "poly(d=3,L=1000)".into(),
-            life: Arc::new(Polynomial::new(3, 1000.0).expect("polynomial")),
-            c: 5.0,
-        },
-        Scenario {
-            name: "geo-dec(a=2)".into(),
-            life: Arc::new(GeometricDecreasing::new(2.0).expect("geometric")),
-            c: 1.0,
-        },
-        Scenario {
-            name: "geo-inc(L=64)".into(),
-            life: Arc::new(GeometricIncreasing::new(64.0).expect("geo-inc")),
-            c: 1.0,
-        },
-    ]
+    cs_scenarios::registry::canonical_scenarios()
 }
 
 #[cfg(test)]

@@ -6,24 +6,25 @@
 //! cyclesteal fit      --input absences.txt --c 1
 //! cyclesteal fit      --synthetic diurnal --days 60 --c 0.05
 //! cyclesteal farm     --workstations 8 --tasks 2000 --l 150 --c 2 --policy guideline
+//! cyclesteal exp      --id exp_4_2_geometric --quick
 //! ```
 //!
 //! See `cyclesteal help` for the full option list.
 
 mod args;
-mod life_spec;
 
 use args::Args;
 use cs_apps::{fmt, pct, Table};
+use cs_bench::harness::{by_id, run_to_writer, ExpOptions, Experiment};
 use cs_core::{dp, search};
 use cs_life::LifeFunction;
-use cs_now::farm::{Farm, FarmConfig, PolicyKind, WorkstationConfig};
+use cs_now::farm::{Farm, FarmConfig, PolicySpec, WorkstationConfig};
 use cs_now::faults::FaultPlan;
 use cs_obs::{JsonlSink, MetricsSink, TeeSink};
+use cs_scenarios::{LifeSpec, PolicyParseError, LIFE_OPTS};
 use cs_sim::simulate_expected_work_parallel_observed;
 use cs_tasks::workloads;
 use cs_trace::{estimate::estimate_life, fit::fit_all, owner::DiurnalOwner};
-use life_spec::parse_life;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
@@ -62,6 +63,13 @@ COMMANDS:
                --metrics                print the folded metrics registry
     saves      Checkpoint-interval planning under Poisson faults.
                --work <w> --c <save cost> --lambda <fault rate>
+    exp        Run registered paper experiments (crates/bench registry).
+               --list                   show every experiment id
+               --id <exp_id>            run one experiment by id
+               --all                    run every experiment in paper order
+               --quick                  shrink Monte-Carlo budgets (CI smoke)
+               --trace-out <file>       write the event stream as JSONL
+               --input <file>           experiment input (exp_obs_validate)
     help       Show this message.
 ";
 
@@ -79,6 +87,7 @@ fn main() -> ExitCode {
         Some("fit") => cmd_fit(&args),
         Some("farm") => cmd_farm(&args),
         Some("saves") => cmd_saves(&args),
+        Some("exp") => cmd_exp(&args),
         Some("help") | None => {
             println!("{HELP}");
             Ok(())
@@ -94,8 +103,12 @@ fn main() -> ExitCode {
     }
 }
 
-/// Options every life-function spec may carry (see [`life_spec`]).
-const LIFE_OPTS: &[&str] = &["family", "l", "d", "a", "half-life", "k", "lambda"];
+/// Builds a life function from `--family` + parameter flags. The grammar,
+/// defaults and error messages live in [`cs_scenarios::LifeSpec`] now; this
+/// wrapper just feeds it the argument table.
+fn parse_life(args: &Args) -> Result<cs_life::ArcLife, String> {
+    LifeSpec::from_lookup(|key| args.get(key))?.build()
+}
 
 /// Rejects unknown options, allowing the life-spec options plus `extra`.
 fn check_known_with_life(args: &Args, extra: &[&str]) -> Result<(), String> {
@@ -374,21 +387,14 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
                 .collect::<Result<_, _>>()?
         }
     };
-    let policy = match args.get("policy").unwrap_or("guideline") {
-        "guideline" => PolicyKind::Guideline,
-        "greedy" => PolicyKind::Greedy,
-        other => {
-            let Some(t) = other.strip_prefix("fixed:") else {
-                return Err(format!(
-                    "--policy: expected guideline | greedy | fixed:<t>, got {other:?}"
-                ));
-            };
-            PolicyKind::FixedSize(
-                t.parse()
-                    .map_err(|_| format!("--policy fixed: bad number {t:?}"))?,
-            )
-        }
-    };
+    let policy = PolicySpec::parse(args.get("policy").unwrap_or("guideline")).map_err(
+        // Reconstruct the exact option-prefixed messages this command has
+        // always printed.
+        |e| match e {
+            PolicyParseError::Unknown(_) => format!("--policy: {e}"),
+            PolicyParseError::BadNumber(t) => format!("--policy fixed: bad number {t:?}"),
+        },
+    )?;
     let life: cs_life::ArcLife =
         std::sync::Arc::new(cs_life::Uniform::new(l).map_err(|e| e.to_string())?);
     let workstations = (0..n_ws)
@@ -449,6 +455,51 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
     }
     println!("{}", table.render());
     trace.finish()
+}
+
+fn cmd_exp(args: &Args) -> Result<(), String> {
+    args.check_known(&["list", "id", "all", "quick", "trace-out", "input"])?;
+    let registry = cs_bench::experiments::all();
+    if args.flag("list") {
+        let mut table = Table::new(&["id", "paper", "title"]);
+        for e in &registry {
+            table.row(&[
+                e.id().to_string(),
+                e.paper().to_string(),
+                e.title().to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+        println!(
+            "{} experiments; run one with `cyclesteal exp --id <id>`",
+            registry.len()
+        );
+        return Ok(());
+    }
+    let opts = ExpOptions {
+        quick: args.flag("quick"),
+        trace_out: args.get("trace-out").map(String::from),
+        input: args.get("input").map(String::from),
+    };
+    let to_run: Vec<&dyn Experiment> = if args.flag("all") {
+        registry
+    } else {
+        let id = args
+            .get("id")
+            .ok_or("exp needs --list, --all or --id <experiment>")?;
+        vec![by_id(id).ok_or_else(|| {
+            format!("unknown experiment {id:?}; `cyclesteal exp --list` shows the registry")
+        })?]
+    };
+    let stdout = std::io::stdout();
+    for exp in to_run {
+        // The one header line the shared harness adds over the standalone
+        // binaries; everything below it is byte-identical to them.
+        println!("== {} [{}] {}", exp.id(), exp.paper(), exp.title());
+        let mut out = stdout.lock();
+        run_to_writer(exp, &opts, &mut out).map_err(|e| format!("{}: {e}", exp.id()))?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

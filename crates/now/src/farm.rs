@@ -41,46 +41,18 @@
 use crate::faults::{FaultPlan, ResilienceConfig};
 use cs_life::{ArcLife, LifeFunction};
 use cs_obs::{Event as ObsEvent, EventKind as ObsKind, EventSink, NoopSink};
-use cs_sim::policy::{ChunkPolicy, FixedSizePolicy, GreedyPolicy, GuidelinePolicy, PeriodOutcome};
+use cs_sim::policy::{ChunkPolicy, PeriodOutcome};
 use cs_tasks::{Chunk, Task, TaskBag};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, HashSet};
 
-/// Which chunk-sizing policy a workstation runs.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum PolicyKind {
-    /// The paper's guideline scheduler (progressive, conditional).
-    Guideline,
-    /// Myopic greedy (§6).
-    Greedy,
-    /// Constant period length.
-    FixedSize(f64),
-}
+pub use cs_scenarios::PolicySpec;
 
-impl PolicyKind {
-    /// Instantiates the policy against a believed life function.
-    fn build(&self, life: ArcLife, c: f64) -> Box<dyn ChunkPolicy> {
-        match *self {
-            PolicyKind::Guideline => Box::new(GuidelinePolicy::new(life, c)),
-            PolicyKind::Greedy => Box::new(GreedyPolicy::new(life, c)),
-            PolicyKind::FixedSize(t) => {
-                let horizon = life.horizon(1e-9);
-                Box::new(FixedSizePolicy::new(t, horizon))
-            }
-        }
-    }
-
-    /// Label for reports.
-    pub fn label(&self) -> String {
-        match *self {
-            PolicyKind::Guideline => "guideline".into(),
-            PolicyKind::Greedy => "greedy".into(),
-            PolicyKind::FixedSize(t) => format!("fixed({t})"),
-        }
-    }
-}
+/// Back-compat alias: the policy enum now lives in `cs-scenarios` as
+/// [`PolicySpec`], the single source of parsing, labels and construction.
+pub type PolicyKind = PolicySpec;
 
 /// Configuration of one borrowed workstation.
 #[derive(Clone)]
@@ -93,7 +65,7 @@ pub struct WorkstationConfig {
     /// Communication overhead `c` for this workstation.
     pub c: f64,
     /// Chunk-sizing policy.
-    pub policy: PolicyKind,
+    pub policy: PolicySpec,
     /// Mean of the exponential owner-presence gap between episodes.
     pub gap_mean: f64,
     /// Injected faults ([`FaultPlan::none`] leaves the workstation
@@ -1139,7 +1111,7 @@ mod tests {
     use cs_tasks::workloads;
     use std::sync::Arc;
 
-    fn uniform_ws(l: f64, c: f64, policy: PolicyKind) -> WorkstationConfig {
+    fn uniform_ws(l: f64, c: f64, policy: PolicySpec) -> WorkstationConfig {
         let life: ArcLife = Arc::new(Uniform::new(l).unwrap());
         WorkstationConfig {
             life: life.clone(),
@@ -1151,7 +1123,7 @@ mod tests {
         }
     }
 
-    fn run_farm(n_ws: usize, policy: PolicyKind, tasks: usize, seed: u64) -> FarmReport {
+    fn run_farm(n_ws: usize, policy: PolicySpec, tasks: usize, seed: u64) -> FarmReport {
         let bag = workloads::uniform(tasks, 1.0).unwrap();
         let config = FarmConfig::new(
             (0..n_ws).map(|_| uniform_ws(200.0, 2.0, policy)).collect(),
@@ -1163,7 +1135,7 @@ mod tests {
 
     #[test]
     fn farm_drains_the_bag() {
-        let r = run_farm(4, PolicyKind::FixedSize(20.0), 500, 7);
+        let r = run_farm(4, PolicySpec::FixedSize(20.0), 500, 7);
         assert!(r.drained, "remaining = {}", r.remaining_work);
         assert!((r.completed_work - 500.0).abs() < 1e-9);
         assert!(r.makespan.is_finite() && r.makespan > 0.0);
@@ -1171,19 +1143,19 @@ mod tests {
 
     #[test]
     fn farm_is_deterministic_per_seed() {
-        let a = run_farm(3, PolicyKind::Greedy, 300, 11);
-        let b = run_farm(3, PolicyKind::Greedy, 300, 11);
+        let a = run_farm(3, PolicySpec::Greedy, 300, 11);
+        let b = run_farm(3, PolicySpec::Greedy, 300, 11);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.lost_work, b.lost_work);
-        let c = run_farm(3, PolicyKind::Greedy, 300, 12);
+        let c = run_farm(3, PolicySpec::Greedy, 300, 12);
         // Different seed, almost surely different outcome.
         assert!(a.makespan != c.makespan || a.lost_work != c.lost_work);
     }
 
     #[test]
     fn more_workstations_finish_sooner() {
-        let slow = run_farm(2, PolicyKind::FixedSize(20.0), 800, 3);
-        let fast = run_farm(8, PolicyKind::FixedSize(20.0), 800, 3);
+        let slow = run_farm(2, PolicySpec::FixedSize(20.0), 800, 3);
+        let fast = run_farm(8, PolicySpec::FixedSize(20.0), 800, 3);
         assert!(slow.drained && fast.drained);
         assert!(
             fast.makespan < slow.makespan,
@@ -1199,7 +1171,7 @@ mod tests {
         let bag = workloads::uniform(400, 1.0).unwrap();
         let config = FarmConfig::new(
             (0..4)
-                .map(|_| uniform_ws(30.0, 2.0, PolicyKind::FixedSize(15.0)))
+                .map(|_| uniform_ws(30.0, 2.0, PolicySpec::FixedSize(15.0)))
                 .collect(),
             1e6,
             21,
@@ -1214,7 +1186,7 @@ mod tests {
     fn horizon_stops_unfinished_farm() {
         let bag = workloads::uniform(100_000, 1.0).unwrap();
         let config = FarmConfig::new(
-            vec![uniform_ws(100.0, 2.0, PolicyKind::FixedSize(10.0))],
+            vec![uniform_ws(100.0, 2.0, PolicySpec::FixedSize(10.0))],
             50.0,
             5,
         );
@@ -1228,9 +1200,9 @@ mod tests {
         // The headline end-to-end claim: guideline chunk-sizing banks work
         // faster than badly-sized fixed chunks on the same NOW.
         let tasks = 600;
-        let guideline = run_farm(4, PolicyKind::Guideline, tasks, 17);
-        let tiny = run_farm(4, PolicyKind::FixedSize(4.0), tasks, 17);
-        let huge = run_farm(4, PolicyKind::FixedSize(190.0), tasks, 17);
+        let guideline = run_farm(4, PolicySpec::Guideline, tasks, 17);
+        let tiny = run_farm(4, PolicySpec::FixedSize(4.0), tasks, 17);
+        let huge = run_farm(4, PolicySpec::FixedSize(190.0), tasks, 17);
         assert!(guideline.drained);
         assert!(
             guideline.makespan < tiny.makespan,
@@ -1249,7 +1221,7 @@ mod tests {
 
     #[test]
     fn per_workstation_stats_consistent() {
-        let r = run_farm(3, PolicyKind::FixedSize(20.0), 300, 9);
+        let r = run_farm(3, PolicySpec::FixedSize(20.0), 300, 9);
         let sum: f64 = r.per_workstation.iter().map(|w| w.completed_work).sum();
         assert!((sum - r.completed_work).abs() < 1e-9);
         for w in &r.per_workstation {
@@ -1259,9 +1231,9 @@ mod tests {
 
     #[test]
     fn policy_kind_labels() {
-        assert_eq!(PolicyKind::Guideline.label(), "guideline");
-        assert_eq!(PolicyKind::Greedy.label(), "greedy");
-        assert!(PolicyKind::FixedSize(3.0).label().contains("3"));
+        assert_eq!(PolicySpec::Guideline.label(), "guideline");
+        assert_eq!(PolicySpec::Greedy.label(), "greedy");
+        assert!(PolicySpec::FixedSize(3.0).label().contains("3"));
     }
 
     #[test]
@@ -1320,7 +1292,7 @@ mod tests {
     #[test]
     fn farm_config_validation_rejects_bad_inputs() {
         let bag = || workloads::uniform(10, 1.0).unwrap();
-        let good = || FarmConfig::new(vec![uniform_ws(100.0, 2.0, PolicyKind::Greedy)], 1e4, 1);
+        let good = || FarmConfig::new(vec![uniform_ws(100.0, 2.0, PolicySpec::Greedy)], 1e4, 1);
 
         let empty = FarmConfig::new(vec![], 1e4, 1);
         assert_eq!(
@@ -1390,11 +1362,11 @@ mod tests {
         // The fault layer must be invisible at zero intensity: storms that
         // nothing is susceptible to and a different resilience config leave
         // every report field bit-identical.
-        let base = run_farm(3, PolicyKind::Greedy, 300, 11);
+        let base = run_farm(3, PolicySpec::Greedy, 300, 11);
         let bag = workloads::uniform(300, 1.0).unwrap();
         let mut config = FarmConfig::new(
             (0..3)
-                .map(|_| uniform_ws(200.0, 2.0, PolicyKind::Greedy))
+                .map(|_| uniform_ws(200.0, 2.0, PolicySpec::Greedy))
                 .collect(),
             1e6,
             11,
@@ -1425,9 +1397,9 @@ mod tests {
     #[test]
     fn message_loss_is_survived_and_counted() {
         let bag = workloads::uniform(200, 1.0).unwrap();
-        let mut lossy = uniform_ws(200.0, 2.0, PolicyKind::FixedSize(20.0));
+        let mut lossy = uniform_ws(200.0, 2.0, PolicySpec::FixedSize(20.0));
         lossy.faults.loss_prob = 1.0;
-        let healthy = uniform_ws(200.0, 2.0, PolicyKind::FixedSize(20.0));
+        let healthy = uniform_ws(200.0, 2.0, PolicySpec::FixedSize(20.0));
         let config = FarmConfig::new(vec![lossy, healthy], 1e6, 13);
         let r = Farm::new(config, bag).unwrap().run();
         assert!(r.drained, "healthy workstation should drain the bag");
@@ -1444,12 +1416,12 @@ mod tests {
         let bag = workloads::uniform(150, 1.0).unwrap();
         let mut workstations: Vec<WorkstationConfig> = (0..3)
             .map(|_| {
-                let mut w = uniform_ws(200.0, 2.0, PolicyKind::FixedSize(15.0));
+                let mut w = uniform_ws(200.0, 2.0, PolicySpec::FixedSize(15.0));
                 w.faults.crash_rate = 0.05; // mean crash time 20
                 w
             })
             .collect();
-        workstations.push(uniform_ws(200.0, 2.0, PolicyKind::FixedSize(15.0)));
+        workstations.push(uniform_ws(200.0, 2.0, PolicySpec::FixedSize(15.0)));
         let config = FarmConfig::new(workstations, 1e6, 29);
         let r = Farm::new(config, bag).unwrap().run();
         assert!(
@@ -1464,9 +1436,9 @@ mod tests {
     #[test]
     fn stragglers_bank_late_or_get_replicated() {
         let bag = workloads::uniform(200, 1.0).unwrap();
-        let mut slow = uniform_ws(500.0, 2.0, PolicyKind::FixedSize(20.0));
+        let mut slow = uniform_ws(500.0, 2.0, PolicySpec::FixedSize(20.0));
         slow.faults.slowdown = 5.0; // stretches past the 3x lease factor
-        let healthy = uniform_ws(500.0, 2.0, PolicyKind::FixedSize(20.0));
+        let healthy = uniform_ws(500.0, 2.0, PolicySpec::FixedSize(20.0));
         let config = FarmConfig::new(vec![slow, healthy], 1e6, 37);
         let r = Farm::new(config, bag).unwrap().run();
         assert!(r.drained);
@@ -1483,7 +1455,7 @@ mod tests {
         let mut config = FarmConfig::new(
             (0..3)
                 .map(|_| {
-                    let mut w = uniform_ws(200.0, 2.0, PolicyKind::FixedSize(10.0));
+                    let mut w = uniform_ws(200.0, 2.0, PolicySpec::FixedSize(10.0));
                     w.faults.storm_hit_prob = 1.0;
                     w
                 })
@@ -1504,7 +1476,7 @@ mod tests {
         // the start. Expect plenty of kills but correct accounting.
         let bag = workloads::uniform(200, 1.0).unwrap();
         let short: ArcLife = Arc::new(Uniform::new(30.0).unwrap());
-        let mut w = uniform_ws(200.0, 2.0, PolicyKind::FixedSize(20.0));
+        let mut w = uniform_ws(200.0, 2.0, PolicySpec::FixedSize(20.0));
         w.faults.drift = Some(crate::faults::BeliefDrift {
             at: 0.0,
             new_life: short,
@@ -1521,9 +1493,9 @@ mod tests {
         // ws0 loses every dispatch; near the end ws1 goes idle while ws0
         // holds the last tasks under lease, so ws1 replicates them.
         let bag = workloads::uniform(120, 1.0).unwrap();
-        let mut lossy = uniform_ws(400.0, 2.0, PolicyKind::FixedSize(25.0));
+        let mut lossy = uniform_ws(400.0, 2.0, PolicySpec::FixedSize(25.0));
         lossy.faults.loss_prob = 1.0;
-        let healthy = uniform_ws(400.0, 2.0, PolicyKind::FixedSize(25.0));
+        let healthy = uniform_ws(400.0, 2.0, PolicySpec::FixedSize(25.0));
         let config = FarmConfig::new(vec![lossy, healthy], 1e6, 47);
         let r = Farm::new(config, bag).unwrap().run();
         assert!(r.drained);
@@ -1543,9 +1515,9 @@ mod tests {
     #[test]
     fn replication_can_be_disabled() {
         let bag = workloads::uniform(120, 1.0).unwrap();
-        let mut lossy = uniform_ws(400.0, 2.0, PolicyKind::FixedSize(25.0));
+        let mut lossy = uniform_ws(400.0, 2.0, PolicySpec::FixedSize(25.0));
         lossy.faults.loss_prob = 1.0;
-        let healthy = uniform_ws(400.0, 2.0, PolicyKind::FixedSize(25.0));
+        let healthy = uniform_ws(400.0, 2.0, PolicySpec::FixedSize(25.0));
         let mut config = FarmConfig::new(vec![lossy, healthy], 1e6, 47);
         config.resilience.replicate_tail = false;
         let r = Farm::new(config, bag).unwrap().run();
@@ -1559,9 +1531,9 @@ mod tests {
         // A faulty farm exercises the whole event vocabulary.
         let mk = || {
             let bag = workloads::uniform(200, 1.0).unwrap();
-            let mut lossy = uniform_ws(200.0, 2.0, PolicyKind::FixedSize(20.0));
+            let mut lossy = uniform_ws(200.0, 2.0, PolicySpec::FixedSize(20.0));
             lossy.faults.loss_prob = 0.5;
-            let healthy = uniform_ws(200.0, 2.0, PolicyKind::FixedSize(20.0));
+            let healthy = uniform_ws(200.0, 2.0, PolicySpec::FixedSize(20.0));
             Farm::new(FarmConfig::new(vec![lossy, healthy], 1e6, 13), bag).unwrap()
         };
         let plain = mk().run();
@@ -1641,7 +1613,7 @@ mod tests {
                             life: life.clone(),
                             believed: life.clone(),
                             c,
-                            policy: PolicyKind::FixedSize(chunk),
+                            policy: PolicySpec::FixedSize(chunk),
                             gap_mean: 5.0,
                             faults: FaultPlan::none(),
                         })
@@ -1688,7 +1660,7 @@ mod tests {
                             life: life.clone(),
                             believed: life.clone(),
                             c: 1.0,
-                            policy: PolicyKind::FixedSize(8.0),
+                            policy: PolicySpec::FixedSize(8.0),
                             gap_mean: 5.0,
                             faults: FaultPlan {
                                 loss_prob: loss,

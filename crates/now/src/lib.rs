@@ -45,8 +45,8 @@ pub mod live;
 pub mod replicate;
 
 pub use farm::{
-    Farm, FarmConfig, FarmConfigError, FarmReport, PolicyKind, RobustnessTotals, WorkstationConfig,
-    WorkstationStats,
+    Farm, FarmConfig, FarmConfigError, FarmReport, PolicyKind, PolicySpec, RobustnessTotals,
+    WorkstationConfig, WorkstationStats,
 };
 pub use faults::{BeliefDrift, FaultPlan, ResilienceConfig};
 pub use replicate::{replicate_farm, ReplicationReport};

@@ -6,7 +6,7 @@
 //! and merges the per-replication outcomes into summary statistics —
 //! reproducible for a fixed master seed regardless of thread count.
 
-use crate::farm::{Farm, FarmConfig, FarmConfigError, PolicyKind, WorkstationConfig};
+use crate::farm::{Farm, FarmConfig, FarmConfigError, PolicySpec, WorkstationConfig};
 use cs_sim::Summary;
 use cs_tasks::TaskBag;
 
@@ -45,7 +45,7 @@ pub struct ReplicationReport {
 /// inside a worker thread.
 pub fn replicate_farm(
     template: &FarmConfig,
-    policy: PolicyKind,
+    policy: PolicySpec,
     make_bag: &(dyn Fn() -> TaskBag + Sync),
     replications: u64,
     threads: usize,
@@ -161,7 +161,7 @@ mod tests {
                     life: life.clone(),
                     believed: life,
                     c: 2.0,
-                    policy: PolicyKind::FixedSize(15.0),
+                    policy: PolicySpec::FixedSize(15.0),
                     gap_mean: 5.0,
                     faults: FaultPlan::none(),
                 }
@@ -175,7 +175,7 @@ mod tests {
         let make_bag = || workloads::uniform(200, 1.0).unwrap();
         let rep = replicate_farm(
             &template(4, 42),
-            PolicyKind::FixedSize(15.0),
+            PolicySpec::FixedSize(15.0),
             &make_bag,
             16,
             4,
@@ -191,8 +191,8 @@ mod tests {
     #[test]
     fn reproducible_across_thread_counts() {
         let make_bag = || workloads::uniform(100, 1.0).unwrap();
-        let a = replicate_farm(&template(2, 7), PolicyKind::Greedy, &make_bag, 8, 1).unwrap();
-        let b = replicate_farm(&template(2, 7), PolicyKind::Greedy, &make_bag, 8, 4).unwrap();
+        let a = replicate_farm(&template(2, 7), PolicySpec::Greedy, &make_bag, 8, 1).unwrap();
+        let b = replicate_farm(&template(2, 7), PolicySpec::Greedy, &make_bag, 8, 4).unwrap();
         assert_eq!(a.makespan.count(), b.makespan.count());
         assert!((a.makespan.mean() - b.makespan.mean()).abs() < 1e-12);
         assert!((a.lost_work.mean() - b.lost_work.mean()).abs() < 1e-12);
@@ -201,7 +201,7 @@ mod tests {
     #[test]
     fn policy_override_applied() {
         let make_bag = || workloads::uniform(50, 1.0).unwrap();
-        let rep = replicate_farm(&template(2, 3), PolicyKind::Greedy, &make_bag, 2, 1).unwrap();
+        let rep = replicate_farm(&template(2, 3), PolicySpec::Greedy, &make_bag, 2, 1).unwrap();
         assert_eq!(rep.policy, "greedy");
     }
 
@@ -210,7 +210,7 @@ mod tests {
         let make_bag = || workloads::uniform(10, 1.0).unwrap();
         let mut bad = template(2, 1);
         bad.max_virtual_time = -5.0;
-        let err = replicate_farm(&bad, PolicyKind::Greedy, &make_bag, 2, 1).err();
+        let err = replicate_farm(&bad, PolicySpec::Greedy, &make_bag, 2, 1).err();
         assert!(matches!(err, Some(FarmConfigError::InvalidHorizon { .. })));
     }
 
@@ -219,7 +219,7 @@ mod tests {
         let make_bag = || workloads::uniform(80, 1.0).unwrap();
         let mut t = template(3, 19);
         t.workstations[0].faults.loss_prob = 0.8;
-        let rep = replicate_farm(&t, PolicyKind::FixedSize(15.0), &make_bag, 6, 2).unwrap();
+        let rep = replicate_farm(&t, PolicySpec::FixedSize(15.0), &make_bag, 6, 2).unwrap();
         assert!(rep.drained_fraction > 0.0, "healthy peers should drain");
         assert!(rep.lease_timeouts.mean() > 0.0);
     }

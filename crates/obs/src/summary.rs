@@ -77,6 +77,12 @@ impl RunSummary {
     pub fn emit(&self) {
         println!("RUN-SUMMARY {}", self.to_json());
     }
+
+    /// Writes the `RUN-SUMMARY {...}` line to the given writer (the
+    /// experiment-harness equivalent of [`RunSummary::emit`]).
+    pub fn emit_to(&self, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+        writeln!(out, "RUN-SUMMARY {}", self.to_json())
+    }
 }
 
 fn escape_into(out: &mut String, s: &str) {
