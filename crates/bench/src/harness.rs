@@ -16,7 +16,7 @@
 //! pass-through guarantee keeps the printed numbers bit-identical either
 //! way.
 
-use cs_obs::{EventSink, JsonlSink, NoopSink};
+use cs_obs::{EventSink, JsonlSink, MetricsRegistry, NoopSink, SpanProfiler};
 use std::io::Write;
 
 /// Options for one experiment run.
@@ -92,26 +92,53 @@ pub fn run_to_writer(
     opts: &ExpOptions,
     out: &mut dyn Write,
 ) -> Result<(), String> {
+    run_to_writer_profiled(exp, opts, out).map(drop)
+}
+
+/// Like [`run_to_writer`], but times the experiment under a span named
+/// after `exp.id()` and returns the profiler's registry (one
+/// `span_ns.<id>` histogram sample) — the raw material for
+/// `bench_profile`'s BENCH.json. The span's events go to a local
+/// [`NoopSink`], not the trace: an on-disk trace keeps its
+/// `run_start`-first / `run_end`-last layout, which `exp_obs_validate`
+/// and `cyclesteal obs check` both enforce.
+pub fn run_to_writer_profiled(
+    exp: &dyn Experiment,
+    opts: &ExpOptions,
+    out: &mut dyn Write,
+) -> Result<MetricsRegistry, String> {
+    let mut prof = SpanProfiler::new();
+    let mut span_sink = NoopSink;
     match &opts.trace_out {
-        None => exp.run(&mut ExpContext {
-            out,
-            sink: &mut NoopSink,
-            opts,
-        }),
+        None => {
+            let span = prof.start(exp.id(), &mut span_sink);
+            let result = exp.run(&mut ExpContext {
+                out,
+                sink: &mut NoopSink,
+                opts,
+            });
+            prof.end(span, &mut span_sink);
+            result?;
+        }
         Some(path) => {
             let mut sink =
                 JsonlSink::create(path).map_err(|e| format!("--trace-out {path}: {e}"))?;
-            exp.run(&mut ExpContext {
+            let span = prof.start(exp.id(), &mut span_sink);
+            let result = exp.run(&mut ExpContext {
                 out,
                 sink: &mut sink,
                 opts,
-            })?;
+            });
+            prof.end(span, &mut span_sink);
+            result?;
             let lines = sink
                 .finish()
                 .map_err(|e| format!("--trace-out {path}: {e}"))?;
-            writeln!(out, "trace-out: {lines} events -> {path}").map_err(|e| e.to_string())
+            prof.bump("trace_events", lines);
+            writeln!(out, "trace-out: {lines} events -> {path}").map_err(|e| e.to_string())?;
         }
     }
+    Ok(prof.take_registry())
 }
 
 /// Entry point for the thin `exp_*` binaries: parses `[--quick]
@@ -173,5 +200,26 @@ mod tests {
             assert!(by_id(e.id()).is_some());
         }
         assert!(by_id("exp_nope").is_none());
+    }
+
+    #[test]
+    fn profiled_run_records_an_experiment_span() {
+        let exp = by_id("exp_3_2_existence").unwrap();
+        let opts = ExpOptions {
+            quick: true,
+            ..Default::default()
+        };
+        let mut out = Vec::new();
+        let reg = run_to_writer_profiled(exp, &opts, &mut out).unwrap();
+        let hist = reg
+            .histogram(&format!("span_ns.{}", exp.id()))
+            .expect("experiment span histogram");
+        assert_eq!(hist.count(), 1);
+        assert!(hist.sum() > 0.0);
+        assert!(!out.is_empty(), "report text captured");
+        // Profiling must not change the report text.
+        let mut plain = Vec::new();
+        run_to_writer(exp, &opts, &mut plain).unwrap();
+        assert_eq!(out, plain);
     }
 }

@@ -18,6 +18,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod profile;
 
 pub use cs_scenarios::{grids, Scenario, ScenarioSpec};
 

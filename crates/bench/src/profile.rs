@@ -1,0 +1,340 @@
+//! The perf-baseline harness behind the `bench_profile` binary.
+//!
+//! Runs a pinned grid of scenarios — serial/parallel Monte-Carlo, a clean
+//! and a faulty farm, and the trace analyzer itself — under the span
+//! profiler, and renders the result as `BENCH.json`: a machine-readable
+//! baseline (`{commit, date, scenarios: [...]}`) that `cyclesteal obs
+//! diff --bench old.json new.json` compares across commits, flagging only
+//! regressions (wall time up, throughput down).
+//!
+//! Unlike the Criterion benches (statistical, minutes), this is one
+//! timed pass per scenario: coarse numbers, but cheap enough for CI and
+//! stable enough for a >20% regression gate.
+
+use cs_life::{ArcLife, Uniform};
+use cs_now::farm::{Farm, FarmConfig, PolicySpec, WorkstationConfig};
+use cs_now::faults::FaultPlan;
+use cs_obs::{check_lines, Event, EventSink, MemorySink, MetricsRegistry, SpanProfiler};
+use cs_sim::{simulate_expected_work_parallel_profiled, simulate_expected_work_profiled};
+use cs_tasks::workloads;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Options for one baseline run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProfileOptions {
+    /// Shrink workloads for a CI smoke pass (numbers are noisier; the
+    /// JSON shape is identical).
+    pub quick: bool,
+}
+
+/// Counts events without storing them (throughput denominator).
+#[derive(Debug, Default)]
+struct CountingSink {
+    events: u64,
+}
+
+impl EventSink for CountingSink {
+    fn emit(&mut self, _event: &Event) {
+        self.events += 1;
+    }
+}
+
+/// Per-span timing summary inside one scenario.
+#[derive(Debug, Clone)]
+pub struct SpanStat {
+    /// Span name (`mc.trial_batch`, `farm.dispatch`, …).
+    pub name: String,
+    /// Spans recorded under this name.
+    pub count: u64,
+    /// Total nanoseconds across all spans of this name.
+    pub total_ns: f64,
+    /// Mean duration (ns).
+    pub mean_ns: f64,
+    /// Median duration (ns).
+    pub p50_ns: f64,
+    /// 99th-percentile duration (ns).
+    pub p99_ns: f64,
+}
+
+/// One scenario's measured baseline numbers.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Stable scenario id (the diff key).
+    pub id: &'static str,
+    /// Wall-clock nanoseconds for the whole scenario.
+    pub wall_ns: u64,
+    /// Events emitted per second (`None` where no stream is produced).
+    pub events_per_sec: Option<f64>,
+    /// Monte-Carlo trials per second (`None` for non-MC scenarios).
+    pub mc_trials_per_sec: Option<f64>,
+    /// Span timing summaries from the profiler registry.
+    pub spans: Vec<SpanStat>,
+}
+
+fn span_stats(registry: &MetricsRegistry) -> Vec<SpanStat> {
+    registry
+        .histograms()
+        .filter_map(|(name, h)| {
+            let short = name.strip_prefix("span_ns.")?;
+            Some(SpanStat {
+                name: short.to_string(),
+                count: h.count(),
+                total_ns: h.sum(),
+                mean_ns: h.mean().unwrap_or(0.0),
+                p50_ns: h.quantile(0.5).unwrap_or(0.0),
+                p99_ns: h.quantile(0.99).unwrap_or(0.0),
+            })
+        })
+        .collect()
+}
+
+fn per_sec(n: u64, wall_ns: u64) -> Option<f64> {
+    (wall_ns > 0).then(|| n as f64 * 1e9 / wall_ns as f64)
+}
+
+fn guideline_schedule(l: f64, c: f64) -> Result<cs_core::Schedule, String> {
+    let life: ArcLife = Arc::new(Uniform::new(l).map_err(|e| e.to_string())?);
+    Ok(cs_core::search::best_guideline_schedule(&life, c)
+        .map_err(|e| e.to_string())?
+        .schedule)
+}
+
+fn mc_scenario(
+    id: &'static str,
+    trials: u64,
+    threads: Option<usize>,
+) -> Result<ScenarioResult, String> {
+    let life: ArcLife = Arc::new(Uniform::new(1000.0).map_err(|e| e.to_string())?);
+    let schedule = guideline_schedule(1000.0, 5.0)?;
+    let mut sink = CountingSink::default();
+    let mut prof = SpanProfiler::new();
+    let start = Instant::now();
+    match threads {
+        None => {
+            simulate_expected_work_profiled(&schedule, &life, 5.0, trials, 42, &mut sink, &mut prof)
+        }
+        Some(t) => simulate_expected_work_parallel_profiled(
+            &schedule, &life, 5.0, trials, 42, t, &mut sink, &mut prof,
+        ),
+    };
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    Ok(ScenarioResult {
+        id,
+        wall_ns,
+        events_per_sec: per_sec(sink.events, wall_ns),
+        mc_trials_per_sec: per_sec(trials, wall_ns),
+        spans: span_stats(prof.registry()),
+    })
+}
+
+fn farm_scenario(
+    id: &'static str,
+    tasks: usize,
+    faults: FaultPlan,
+) -> Result<(ScenarioResult, Vec<String>), String> {
+    let life: ArcLife = Arc::new(Uniform::new(150.0).map_err(|e| e.to_string())?);
+    let workstations = (0..8)
+        .map(|_| WorkstationConfig {
+            life: life.clone(),
+            believed: life.clone(),
+            c: 2.0,
+            policy: PolicySpec::Guideline,
+            gap_mean: 10.0,
+            faults: faults.clone(),
+        })
+        .collect();
+    let bag = workloads::uniform(tasks, 1.0).map_err(|e| e.to_string())?;
+    let config = FarmConfig::new(workstations, 1e7, 42);
+    let farm = Farm::new(config, bag).map_err(|e| e.to_string())?;
+    let mut sink = MemorySink::new();
+    let mut prof = SpanProfiler::new();
+    let start = Instant::now();
+    farm.run_profiled(&mut sink, &mut prof);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let lines: Vec<String> = sink.events.iter().map(Event::to_jsonl).collect();
+    Ok((
+        ScenarioResult {
+            id,
+            wall_ns,
+            events_per_sec: per_sec(lines.len() as u64, wall_ns),
+            mc_trials_per_sec: None,
+            spans: span_stats(prof.registry()),
+        },
+        lines,
+    ))
+}
+
+/// Times [`check_lines`] over a recorded trace (the analyzer is itself a
+/// perf surface: `obs check` gates CI).
+fn analyzer_scenario(lines: &[String]) -> ScenarioResult {
+    let start = Instant::now();
+    let summary = check_lines(lines.iter().map(String::as_str));
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    ScenarioResult {
+        id: "analyzer_check",
+        wall_ns,
+        events_per_sec: per_sec(summary.lines as u64, wall_ns),
+        mc_trials_per_sec: None,
+        spans: Vec::new(),
+    }
+}
+
+/// Runs the pinned scenario grid and returns the measured baselines, in
+/// grid order.
+pub fn run_profile(opts: ProfileOptions) -> Result<Vec<ScenarioResult>, String> {
+    let trials = if opts.quick { 5_000 } else { 100_000 };
+    let tasks = if opts.quick { 400 } else { 4_000 };
+    let mut out = Vec::new();
+    out.push(mc_scenario("mc_serial_uniform", trials, None)?);
+    out.push(mc_scenario("mc_parallel4_uniform", trials, Some(4))?);
+    let (clean, _) = farm_scenario("farm_clean", tasks, FaultPlan::none())?;
+    out.push(clean);
+    let (faulty, trace) = farm_scenario("farm_faulty", tasks, FaultPlan::scaled(0.5))?;
+    out.push(faulty);
+    out.push(analyzer_scenario(&trace));
+    Ok(out)
+}
+
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.3}"),
+        _ => "null".to_string(),
+    }
+}
+
+/// Renders results as the `BENCH.json` document (parseable back by
+/// `cs_obs::parse_json`, diffable by `cyclesteal obs diff --bench`).
+pub fn render_bench_json(
+    results: &[ScenarioResult],
+    commit: &str,
+    date: &str,
+    quick: bool,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"commit\": \"{}\",\n  \"date\": \"{}\",\n  \"quick\": {},\n  \"scenarios\": [\n",
+        commit.replace(['"', '\\'], "?"),
+        date.replace(['"', '\\'], "?"),
+        quick
+    ));
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"wall_ns\": {}, \"events_per_sec\": {}, \
+             \"mc_trials_per_sec\": {}, \"spans\": {{",
+            r.id,
+            r.wall_ns,
+            json_f64(r.events_per_sec),
+            json_f64(r.mc_trials_per_sec)
+        ));
+        for (j, sp) in r.spans.iter().enumerate() {
+            s.push_str(&format!(
+                "{}\"{}\": {{\"count\": {}, \"total_ns\": {}, \"mean_ns\": {}, \
+                 \"p50_ns\": {}, \"p99_ns\": {}}}",
+                if j == 0 { "" } else { ", " },
+                sp.name,
+                sp.count,
+                json_f64(Some(sp.total_ns)),
+                json_f64(Some(sp.mean_ns)),
+                json_f64(Some(sp.p50_ns)),
+                json_f64(Some(sp.p99_ns))
+            ));
+        }
+        s.push_str(if i + 1 == results.len() {
+            "}}\n"
+        } else {
+            "}},\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_obs::{diff_bench, parse_json, Json};
+
+    fn tiny_results() -> Vec<ScenarioResult> {
+        vec![
+            ScenarioResult {
+                id: "s1",
+                wall_ns: 1_000_000,
+                events_per_sec: Some(123456.789),
+                mc_trials_per_sec: None,
+                spans: vec![SpanStat {
+                    name: "mc.trials".into(),
+                    count: 1,
+                    total_ns: 900000.0,
+                    mean_ns: 900000.0,
+                    p50_ns: 900000.0,
+                    p99_ns: 900000.0,
+                }],
+            },
+            ScenarioResult {
+                id: "s2",
+                wall_ns: 2_000_000,
+                events_per_sec: None,
+                mc_trials_per_sec: Some(5000.0),
+                spans: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_the_parser() {
+        let text = render_bench_json(&tiny_results(), "abc1234", "2026-08-06", false);
+        let doc = parse_json(&text).unwrap();
+        assert_eq!(doc.get("commit").and_then(Json::as_str), Some("abc1234"));
+        let scenarios = doc.get("scenarios").and_then(Json::as_arr).unwrap();
+        assert_eq!(scenarios.len(), 2);
+        let s1 = &scenarios[0];
+        assert_eq!(s1.get("id").and_then(Json::as_str), Some("s1"));
+        assert_eq!(s1.get("wall_ns").and_then(Json::as_f64), Some(1_000_000.0));
+        // null -> NaN through the parser's as_f64.
+        assert!(s1
+            .get("mc_trials_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap()
+            .is_nan());
+        let spans = s1.get("spans").and_then(Json::as_obj).unwrap();
+        assert!(spans.contains_key("mc.trials"));
+    }
+
+    #[test]
+    fn bench_json_diffs_against_itself_clean() {
+        let a = render_bench_json(&tiny_results(), "aaa", "2026-08-05", false);
+        let mut worse = tiny_results();
+        worse[0].wall_ns *= 2; // 2x wall regression on s1
+        let b = render_bench_json(&worse, "bbb", "2026-08-06", false);
+        let same = diff_bench(&a, &a, 0.2).unwrap();
+        assert!(same.iter().all(|r| !r.flagged), "{same:?}");
+        let rows = diff_bench(&a, &b, 0.2).unwrap();
+        assert!(rows.iter().any(|r| r.name == "s1.wall_ns" && r.flagged));
+    }
+
+    #[test]
+    fn quick_profile_produces_the_pinned_grid() {
+        let results = run_profile(ProfileOptions { quick: true }).unwrap();
+        let ids: Vec<&str> = results.iter().map(|r| r.id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "mc_serial_uniform",
+                "mc_parallel4_uniform",
+                "farm_clean",
+                "farm_faulty",
+                "analyzer_check"
+            ]
+        );
+        for r in &results {
+            assert!(r.wall_ns > 0, "{}: zero wall time", r.id);
+        }
+        // MC scenarios report trial throughput; farm scenarios event
+        // throughput; both MC and farm carry spans.
+        assert!(results[0].mc_trials_per_sec.unwrap() > 0.0);
+        assert!(results[2].events_per_sec.unwrap() > 0.0);
+        assert!(results[0].spans.iter().any(|s| s.name == "mc.trial_batch"));
+        assert!(results[3].spans.iter().any(|s| s.name == "farm.dispatch"));
+    }
+}

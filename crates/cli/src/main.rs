@@ -12,6 +12,7 @@
 //! See `cyclesteal help` for the full option list.
 
 mod args;
+mod obs_cmd;
 
 use args::Args;
 use cs_apps::{fmt, pct, Table};
@@ -20,9 +21,8 @@ use cs_core::{dp, search};
 use cs_life::LifeFunction;
 use cs_now::farm::{Farm, FarmConfig, PolicySpec, WorkstationConfig};
 use cs_now::faults::FaultPlan;
-use cs_obs::{JsonlSink, MetricsSink, TeeSink};
+use cs_obs::{JsonlSink, MetricsSink, SpanProfiler, TeeSink};
 use cs_scenarios::{LifeSpec, PolicyParseError, LIFE_OPTS};
-use cs_sim::simulate_expected_work_parallel_observed;
 use cs_tasks::workloads;
 use cs_trace::{estimate::estimate_life, fit::fit_all, owner::DiurnalOwner};
 use rand::rngs::StdRng;
@@ -46,6 +46,7 @@ COMMANDS:
                (plan options) --trials <n> --threads <k> --seed <s>
                --trace-out <file>       write the event stream as JSONL
                --metrics                print the folded metrics registry
+               --profile                time internal phases (span profiler)
     fit        Fit life functions to absence durations.
                --input <file>           one duration per line
                --synthetic diurnal --days <n> [--seed <s>]
@@ -61,6 +62,7 @@ COMMANDS:
                --storms <t1,t2,...>     correlated reclaim-storm times
                --trace-out <file>       write the event stream as JSONL
                --metrics                print the folded metrics registry
+               --profile                time master phases (span profiler)
     saves      Checkpoint-interval planning under Poisson faults.
                --work <w> --c <save cost> --lambda <fault rate>
     exp        Run registered paper experiments (crates/bench registry).
@@ -70,11 +72,28 @@ COMMANDS:
                --quick                  shrink Monte-Carlo budgets (CI smoke)
                --trace-out <file>       write the event stream as JSONL
                --input <file>           experiment input (exp_obs_validate)
+    obs        Analyze recorded traces and perf baselines.
+               report <trace.jsonl>     event counts, span tree, attribution
+               check  <trace.jsonl>     invariant gate (non-zero exit on fail)
+               diff [--threshold <rel>] [--bench] <a> <b>
+                                        flag metric/baseline regressions
     help       Show this message.
 ";
 
 fn main() -> ExitCode {
-    let args = match Args::parse(std::env::args().skip(1)) {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `obs` takes positional file arguments, which the `--key value`
+    // grammar of Args rejects — dispatch it on the raw argv.
+    if raw.first().map(String::as_str) == Some("obs") {
+        return match obs_cmd::run(&raw[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let args = match Args::parse(raw) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{HELP}");
@@ -188,6 +207,25 @@ impl TraceOutputs {
     }
 }
 
+/// The span profiler behind `--profile` (inert when the flag is absent).
+fn profiler_from_args(args: &Args) -> SpanProfiler {
+    if args.flag("profile") {
+        SpanProfiler::new()
+    } else {
+        SpanProfiler::disabled()
+    }
+}
+
+/// Prints the `--profile` span registry (no-op for a disabled profiler).
+fn print_profile(mut prof: SpanProfiler) {
+    if prof.is_enabled() {
+        print!(
+            "-- span profile (wall clock) --\n{}",
+            prof.take_registry().render()
+        );
+    }
+}
+
 fn cmd_plan(args: &Args) -> Result<(), String> {
     check_known_with_life(args, &["c", "oracle"])?;
     let life = parse_life(args)?;
@@ -223,7 +261,15 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     check_known_with_life(
         args,
-        &["c", "trials", "threads", "seed", "trace-out", "metrics"],
+        &[
+            "c",
+            "trials",
+            "threads",
+            "seed",
+            "trace-out",
+            "metrics",
+            "profile",
+        ],
     )?;
     let life = parse_life(args)?;
     let c: f64 = args.require_f64("c")?;
@@ -232,7 +278,8 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let seed = args.u64_or("seed", 42)?;
     let plan = search::best_guideline_schedule(&life, c).map_err(|e| e.to_string())?;
     let mut trace = TraceOutputs::from_args(args)?;
-    let mc = simulate_expected_work_parallel_observed(
+    let mut prof = profiler_from_args(args);
+    let mc = cs_sim::simulate_expected_work_parallel_profiled(
         &plan.schedule,
         &life,
         c,
@@ -240,6 +287,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         seed,
         threads,
         trace.tee(),
+        &mut prof,
     );
     println!("life function  : {}", life.describe());
     println!("schedule       : {}", plan.schedule);
@@ -262,6 +310,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             mc.work.count()
         )
     );
+    print_profile(prof);
     trace.finish()
 }
 
@@ -352,6 +401,7 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
         "storms",
         "trace-out",
         "metrics",
+        "profile",
     ])?;
     let n_ws = args.usize_or("workstations", 4)?;
     let tasks = args.usize_or("tasks", 1000)?;
@@ -413,11 +463,12 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
     config.validate().map_err(|e| e.to_string())?;
     let injecting = !faults.is_zero() || !config.storms.is_empty();
     let mut trace = TraceOutputs::from_args(args)?;
+    let mut prof = profiler_from_args(args);
     let report = {
         let mut tee = trace.tee();
         Farm::new(config, bag)
             .map_err(|e| e.to_string())?
-            .run_observed(&mut tee)
+            .run_profiled(&mut tee, &mut prof)
     };
     println!("policy        : {}", policy.label());
     println!("workstations  : {n_ws} (uniform L = {l}, c = {c}, gap mean = {gap})");
@@ -454,6 +505,7 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
         ]);
     }
     println!("{}", table.render());
+    print_profile(prof);
     trace.finish()
 }
 

@@ -1,0 +1,224 @@
+//! The `cyclesteal obs` subcommand: trace reports, invariant checks and
+//! regression diffs over `--trace-out` JSONL files and `BENCH.json`
+//! baselines. Thin shell over `cs_obs::{analyze_lines, check_lines,
+//! diff_registries, diff_bench}`; all the logic (and its tests) lives in
+//! the library.
+
+use cs_apps::{fmt, fmt_opt, Table};
+use cs_obs::{analyze_lines, check_lines, diff_bench, diff_registries, DiffRow, TraceAnalysis};
+
+const USAGE: &str = "\
+usage:
+    cyclesteal obs report <trace.jsonl>
+        Event counts, span timing tree (p50/p90/p99) and per-workstation
+        bank/loss attribution for one trace.
+    cyclesteal obs check <trace.jsonl>
+        Schema + invariant gate: run bracketing, balanced spans, monotone
+        span/progress stamps, bitwise bank reconciliation. Non-zero exit
+        on any violation.
+    cyclesteal obs diff [--threshold <rel>] [--bench] <a> <b>
+        Compare two traces' folded metrics (or, with --bench, two
+        BENCH.json baselines, flagging only regressions). Non-zero exit
+        when a change beyond the threshold (default 0.2) is flagged.";
+
+/// Entry point: `args` is everything after the `obs` token. Returns
+/// `Err` (non-zero exit) on usage errors, check violations, and flagged
+/// diffs.
+pub fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("report") => cmd_report(one_path(&args[1..], "obs report")?),
+        Some("check") => cmd_check(one_path(&args[1..], "obs check")?),
+        Some("diff") => cmd_diff(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn one_path<'a>(rest: &'a [String], what: &str) -> Result<&'a str, String> {
+    match rest {
+        [path] if !path.starts_with("--") => Ok(path),
+        _ => Err(format!("{what} takes exactly one trace file\n\n{USAGE}")),
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn analyze_file(path: &str) -> Result<TraceAnalysis, String> {
+    let text = read(path)?;
+    analyze_lines(text.lines()).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_report(path: &str) -> Result<(), String> {
+    let a = analyze_file(path)?;
+    println!("trace         : {path}");
+    println!(
+        "events        : {} lines, {} complete runs (schema v{})",
+        a.lines,
+        a.runs,
+        cs_obs::SCHEMA_VERSION
+    );
+    let mut kinds = Table::new(&["event kind", "count"]);
+    for (kind, n) in &a.kind_counts {
+        kinds.row(&[kind.clone(), n.to_string()]);
+    }
+    println!("{}", kinds.render());
+    if !a.per_ws.is_empty() {
+        let mut ws = Table::new(&["ws", "banked", "duplicate", "lost", "banks", "dispatches"]);
+        for (id, row) in &a.per_ws {
+            ws.row(&[
+                id.to_string(),
+                fmt(row.banked, 1),
+                fmt(row.duplicate, 1),
+                fmt(row.lost, 1),
+                row.banks.to_string(),
+                row.dispatches.to_string(),
+            ]);
+        }
+        println!("per-workstation attribution:\n{}", ws.render());
+    }
+    if !a.span_tree.is_empty() {
+        let mut spans = Table::new(&[
+            "span", "count", "total ms", "mean ms", "p50 ms", "p90 ms", "p99 ms",
+        ]);
+        for node in &a.span_tree {
+            let h = &node.hist;
+            let ms = |v: Option<f64>| fmt_opt(v.map(|ns| ns / 1e6), 3);
+            spans.row(&[
+                format!("{}{}", "  ".repeat(node.depth), node.name),
+                h.count().to_string(),
+                fmt(h.sum() / 1e6, 3),
+                ms(h.mean()),
+                ms(h.quantile(0.50)),
+                ms(h.quantile(0.90)),
+                ms(h.quantile(0.99)),
+            ]);
+        }
+        println!("span timing tree (wall clock):\n{}", spans.render());
+    }
+    Ok(())
+}
+
+fn cmd_check(path: &str) -> Result<(), String> {
+    let text = read(path)?;
+    let s = check_lines(text.lines());
+    println!(
+        "checked       : {} events, {} runs ({} bank-reconciled), {} spans",
+        s.lines, s.runs, s.reconciled_runs, s.spans
+    );
+    if s.ok() {
+        println!("PASS: every invariant holds");
+        Ok(())
+    } else {
+        for v in &s.violations {
+            println!("VIOLATION: {v}");
+        }
+        Err(format!(
+            "{path}: {} invariant violation(s)",
+            s.violations.len()
+        ))
+    }
+}
+
+fn cmd_diff(rest: &[String]) -> Result<(), String> {
+    let mut threshold = 0.2f64;
+    let mut bench = false;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--bench" => bench = true,
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a value")?;
+                threshold = v
+                    .parse()
+                    .map_err(|_| format!("--threshold: bad number {v:?}"))?;
+            }
+            p if !p.starts_with("--") => paths.push(p),
+            other => return Err(format!("obs diff: unknown option {other}\n\n{USAGE}")),
+        }
+    }
+    let [a, b] = paths[..] else {
+        return Err(format!("obs diff takes exactly two files\n\n{USAGE}"));
+    };
+    let rows = if bench {
+        diff_bench(&read(a)?, &read(b)?, threshold)?
+    } else {
+        diff_registries(
+            &analyze_file(a)?.registry,
+            &analyze_file(b)?.registry,
+            threshold,
+        )
+    };
+    let flagged = rows.iter().filter(|r| r.flagged).count();
+    if flagged > 0 {
+        let mut table = Table::new(&["metric", "baseline", "candidate", "change"]);
+        for row in rows.iter().filter(|r| r.flagged) {
+            table.row(&[
+                row.name.clone(),
+                fmt(row.a, 4),
+                fmt(row.b, 4),
+                rel_display(row),
+            ]);
+        }
+        println!("flagged changes:\n{}", table.render());
+    }
+    if flagged == 0 {
+        println!(
+            "PASS: {} metrics compared, none beyond threshold {threshold}",
+            rows.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "{flagged} of {} metrics beyond threshold {threshold}",
+            rows.len()
+        ))
+    }
+}
+
+fn rel_display(row: &DiffRow) -> String {
+    if row.rel.is_nan() {
+        "n/a".to_string()
+    } else if row.rel.is_infinite() {
+        format!("{}inf", if row.rel > 0.0 { "+" } else { "-" })
+    } else {
+        format!("{:+.1}%", row.rel * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_errors_name_the_subcommand() {
+        let err = run(&[]).unwrap_err();
+        assert!(err.contains("obs report"), "{err}");
+        let err = run(&["report".to_string()]).unwrap_err();
+        assert!(err.contains("exactly one trace file"), "{err}");
+        let err = run(&["diff".to_string(), "a".to_string()]).unwrap_err();
+        assert!(err.contains("exactly two files"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = run(&["check".to_string(), "/no/such/trace.jsonl".to_string()]).unwrap_err();
+        assert!(err.contains("/no/such/trace.jsonl"), "{err}");
+    }
+
+    #[test]
+    fn rel_display_handles_special_values() {
+        let row = |rel: f64| DiffRow {
+            name: String::new(),
+            a: 0.0,
+            b: 0.0,
+            rel,
+            flagged: false,
+        };
+        assert_eq!(rel_display(&row(0.5)), "+50.0%");
+        assert_eq!(rel_display(&row(-0.25)), "-25.0%");
+        assert_eq!(rel_display(&row(f64::INFINITY)), "+inf");
+        assert_eq!(rel_display(&row(f64::NAN)), "n/a");
+    }
+}

@@ -40,7 +40,7 @@
 
 use crate::faults::{FaultPlan, ResilienceConfig};
 use cs_life::{ArcLife, LifeFunction};
-use cs_obs::{Event as ObsEvent, EventKind as ObsKind, EventSink, NoopSink};
+use cs_obs::{Event as ObsEvent, EventKind as ObsKind, EventSink, NoopSink, SpanProfiler};
 use cs_sim::policy::{ChunkPolicy, PeriodOutcome};
 use cs_tasks::{Chunk, Task, TaskBag};
 use rand::rngs::StdRng;
@@ -583,6 +583,22 @@ impl Farm {
     /// `completed_work` bit for bit, and `run_end.banked` equals the
     /// report's `completed_work`.
     pub fn run_observed(self, sink: &mut dyn EventSink) -> FarmReport {
+        self.run_profiled(sink, &mut SpanProfiler::disabled())
+    }
+
+    /// [`Farm::run_observed`] plus wall-clock span profiling of the
+    /// master's own hot path: setup, then one phase span per event-queue
+    /// pop — `farm.dispatch` (or `farm.end_game` once the bag is drained
+    /// and only outstanding leases remain), `farm.wait` for result
+    /// arrivals, `farm.requeue` for lease expiries — and `farm.account`
+    /// for the final reconciliation, all under a `farm.run` root span.
+    /// Durations land in `prof`'s `span_ns.*` histograms and the span
+    /// events go to `sink` strictly between `run_start` and `run_end`.
+    ///
+    /// Like the sink, the profiler is pass-through: it only reads the
+    /// wall clock, so the returned [`FarmReport`] is bit-identical to
+    /// [`Farm::run`] for the same configuration.
+    pub fn run_profiled(self, sink: &mut dyn EventSink, prof: &mut SpanProfiler) -> FarmReport {
         let Farm {
             config,
             bag,
@@ -597,6 +613,8 @@ impl Farm {
                 tasks: initial_tasks as u64,
             },
         });
+        let root_span = prof.start("farm.run", &mut *sink);
+        let setup_span = prof.start("farm.setup", &mut *sink);
         let mut eng = Engine {
             bag,
             queue: BinaryHeap::new(),
@@ -647,6 +665,7 @@ impl Farm {
                 kind: EventKind::Dispatch(i),
             });
         }
+        prof.end(setup_span, &mut *sink);
 
         while let Some(Event { time, kind }) = eng.queue.pop() {
             if time > config.max_virtual_time {
@@ -659,34 +678,48 @@ impl Farm {
             }
             match kind {
                 EventKind::Dispatch(ws) => {
+                    // Once the bag is empty but leases are still out, a
+                    // dispatch opportunity is end-game territory (tail
+                    // replication) rather than ordinary parceling.
+                    let phase = if eng.bag.pending_count() == 0 && !eng.in_flight.is_empty() {
+                        "farm.end_game"
+                    } else {
+                        "farm.dispatch"
+                    };
+                    let span = prof.start(phase, &mut *sink);
                     dispatch(&mut eng, &config, &mut states[ws], ws, time, sink);
+                    prof.end(span, &mut *sink);
                 }
                 EventKind::LeaseExpiry(id) => {
+                    let span = prof.start("farm.requeue", &mut *sink);
                     expire_lease(&mut eng, &config, &mut states, id, time, sink);
+                    prof.end(span, &mut *sink);
                 }
                 EventKind::Arrival(id) => {
-                    let Some(lease) = eng.in_flight.remove(&id) else {
-                        continue;
-                    };
-                    let st = &mut states[lease.ws];
-                    let total = lease.chunk.total_duration();
-                    let work = eng.bank(lease.chunk, st, time);
-                    sink.emit(&ObsEvent {
-                        time,
-                        kind: ObsKind::Bank {
-                            ws: lease.ws as u64,
-                            work,
-                            duplicate: total - work,
-                        },
-                    });
-                    st.stats.chunks_completed += 1;
-                    if work > 0.0 {
-                        st.stats.late_banks += 1;
+                    let span = prof.start("farm.wait", &mut *sink);
+                    if let Some(lease) = eng.in_flight.remove(&id) {
+                        let st = &mut states[lease.ws];
+                        let total = lease.chunk.total_duration();
+                        let work = eng.bank(lease.chunk, st, time);
+                        sink.emit(&ObsEvent {
+                            time,
+                            kind: ObsKind::Bank {
+                                ws: lease.ws as u64,
+                                work,
+                                duplicate: total - work,
+                            },
+                        });
+                        st.stats.chunks_completed += 1;
+                        if work > 0.0 {
+                            st.stats.late_banks += 1;
+                        }
                     }
+                    prof.end(span, &mut *sink);
                 }
             }
         }
 
+        let account_span = prof.start("farm.account", &mut *sink);
         let completed_work: f64 = states.iter().map(|s| s.stats.completed_work).sum();
         let lost_work: f64 = states.iter().map(|s| s.stats.lost_work).sum();
         let remaining_work = if eng.in_flight.is_empty() {
@@ -727,6 +760,8 @@ impl Farm {
             robustness.duplicate_work += s.stats.duplicate_work;
         }
         let drained = eng.banked.len() == initial_tasks;
+        prof.end(account_span, &mut *sink);
+        prof.end(root_span, &mut *sink);
         sink.emit(&ObsEvent {
             time: eng.makespan,
             kind: ObsKind::RunEnd {
@@ -1217,6 +1252,66 @@ mod tests {
             huge.makespan,
             huge.drained
         );
+    }
+
+    #[test]
+    fn run_profiled_is_passthrough_with_phase_spans() {
+        let mk = || {
+            let bag = workloads::uniform(300, 1.0).unwrap();
+            let config = FarmConfig::new(
+                (0..3)
+                    .map(|_| uniform_ws(200.0, 2.0, PolicySpec::Guideline))
+                    .collect(),
+                1e6,
+                11,
+            );
+            Farm::new(config, bag).unwrap()
+        };
+        let plain = mk().run();
+        let mut sink = cs_obs::MemorySink::new();
+        let mut prof = SpanProfiler::new();
+        let profiled = mk().run_profiled(&mut sink, &mut prof);
+        // Pass-through: profiling must not perturb a single bit.
+        assert_eq!(plain.makespan.to_bits(), profiled.makespan.to_bits());
+        assert_eq!(
+            plain.completed_work.to_bits(),
+            profiled.completed_work.to_bits()
+        );
+        assert_eq!(plain.lost_work.to_bits(), profiled.lost_work.to_bits());
+        assert_eq!(plain.per_workstation.len(), profiled.per_workstation.len());
+        // Phase spans recorded: setup/account/run once, dispatch and wait
+        // once per queue event of that class.
+        assert_eq!(prof.open_spans(), 0);
+        let reg = prof.registry();
+        assert_eq!(reg.histogram("span_ns.farm.run").unwrap().count(), 1);
+        assert_eq!(reg.histogram("span_ns.farm.setup").unwrap().count(), 1);
+        assert_eq!(reg.histogram("span_ns.farm.account").unwrap().count(), 1);
+        // Waits/requeues need stragglers or faults; a clean run may have
+        // none, but it always dispatches.
+        let dispatches = reg.histogram("span_ns.farm.dispatch").unwrap().count();
+        assert!(dispatches > 0, "no dispatch spans recorded");
+        // Trace layout: run bookkeeping brackets the span stream, and every
+        // line (span events included) validates under the v2 schema.
+        use cs_obs::EventKind as K;
+        assert!(matches!(
+            sink.events.first().unwrap().kind,
+            K::RunStart { .. }
+        ));
+        assert!(matches!(sink.events.last().unwrap().kind, K::RunEnd { .. }));
+        let starts = sink
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, K::SpanStart { .. }))
+            .count();
+        let ends = sink
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, K::SpanEnd { .. }))
+            .count();
+        assert!(starts > 0 && starts == ends, "{starts} starts, {ends} ends");
+        for e in sink.events.iter().take(50) {
+            cs_obs::validate_line(&e.to_jsonl()).unwrap();
+        }
     }
 
     #[test]

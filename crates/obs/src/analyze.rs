@@ -1,0 +1,841 @@
+//! The trace analyzer: reads `--trace-out` JSONL back in and turns it
+//! into reports, invariant checks and regression diffs. This is the
+//! consumer half of the observability loop; `cyclesteal obs` is a thin
+//! CLI shell over these functions.
+//!
+//! * [`analyze_lines`] — folds a validated trace into a [`TraceAnalysis`]:
+//!   per-kind counts, the span timing tree (rebuilt from
+//!   `span_start`/`span_end` parent links, one [`Histogram`] per tree
+//!   path), per-workstation bank/loss attribution and a
+//!   [`MetricsRegistry`] equivalent to what a live
+//!   [`crate::MetricsSink`] would have folded.
+//! * [`check_lines`] — the invariant gate behind `obs check`: schema
+//!   validation plus structural checks (run bracketing, monotone span
+//!   timestamps and Monte-Carlo progress, balanced span nesting,
+//!   bitwise bank-sum reconciliation against `run_end`).
+//! * [`diff_registries`] / [`diff_bench`] — compare two runs' metrics or
+//!   two `BENCH.json` baselines and flag changes beyond a threshold.
+//!
+//! On timestamp monotonicity: farm events carry *virtual* time and the
+//! master deliberately schedules look-ahead events (an `episode_start`
+//! can be timestamped later than events it precedes in the file), so the
+//! checker does not demand a globally sorted file. What it does demand is
+//! monotone wall-clock span timestamps, monotone `mc_progress.done`
+//! within a run, and well-bracketed runs.
+
+use crate::event::SCHEMA_VERSION;
+use crate::json::{parse_json, Json};
+use crate::metrics::{Histogram, MetricsRegistry};
+use crate::schema::{validate_line, ValidatedEvent};
+use std::collections::BTreeMap;
+
+/// Per-workstation attribution folded from the event stream.
+#[derive(Debug, Clone, Default)]
+pub struct WsRow {
+    /// Task time banked by this workstation (first-bank-wins).
+    pub banked: f64,
+    /// Task time it computed that another copy banked first.
+    pub duplicate: f64,
+    /// Task time destroyed on it (period interrupts).
+    pub lost: f64,
+    /// Chunks banked.
+    pub banks: u64,
+    /// Chunks dispatched to it.
+    pub dispatches: u64,
+}
+
+/// One node of the span timing tree: a unique root-to-node name path and
+/// the durations of every span that ran at that path.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Slash-joined path (`farm.run/farm.dispatch`).
+    pub path: String,
+    /// Leaf name (`farm.dispatch`).
+    pub name: String,
+    /// Nesting depth (0 for roots).
+    pub depth: usize,
+    /// Durations (ns) of all spans at this path.
+    pub hist: Histogram,
+}
+
+/// Everything [`analyze_lines`] extracts from one trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceAnalysis {
+    /// Number of event lines.
+    pub lines: usize,
+    /// Events per kind.
+    pub kind_counts: BTreeMap<String, u64>,
+    /// Complete `run_start`..`run_end` pairs seen.
+    pub runs: usize,
+    /// Per-workstation attribution (farm traces; empty for pure MC).
+    pub per_ws: BTreeMap<u64, WsRow>,
+    /// Span timing tree in pre-order (parents before children).
+    pub span_tree: Vec<SpanNode>,
+    /// The metrics a live [`crate::MetricsSink`] would have folded.
+    pub registry: MetricsRegistry,
+}
+
+/// Folds one validated event into a registry, mirroring what
+/// [`crate::MetricsSink`] does on the live stream (so `obs diff` compares
+/// like with like, including for v1 traces).
+fn fold_metrics(r: &mut MetricsRegistry, ev: &ValidatedEvent) {
+    let f = |key: &str| ev.f64(key).unwrap_or(f64::NAN);
+    let u = |key: &str| ev.u64(key).unwrap_or(0);
+    match ev.kind.as_str() {
+        "run_start" => {
+            r.gauge_set("workstations", u("workstations") as f64);
+            r.gauge_set("tasks", u("tasks") as f64);
+        }
+        "episode_start" => r.counter_add("episodes", 1),
+        "period_start" => {
+            r.counter_add("periods", 1);
+            r.observe("period_len", f("len"));
+        }
+        "period_commit" => {
+            r.counter_add("periods_committed", 1);
+            r.observe("period_work", f("work"));
+        }
+        "period_interrupt" => {
+            r.counter_add("periods_interrupted", 1);
+            r.observe("period_lost", f("lost"));
+        }
+        "dispatch" => {
+            r.counter_add("dispatches", 1);
+            r.counter_add("tasks_dispatched", u("tasks"));
+            r.observe("chunk_work", f("work"));
+        }
+        "bank" => {
+            r.counter_add("chunks_banked", 1);
+            r.gauge_add("banked_work", f("work"));
+            r.gauge_add("duplicate_work", f("duplicate"));
+            r.observe("bank_work", f("work"));
+        }
+        "lease_timeout" => r.counter_add("lease_timeouts", 1),
+        "requeue" => {
+            r.counter_add("requeues", 1);
+            r.counter_add("tasks_requeued", u("tasks"));
+        }
+        "backoff" => {
+            r.counter_add("backoff_delays", 1);
+            r.observe("backoff_delay", f("delay"));
+        }
+        "quarantine" => r.counter_add("quarantines", 1),
+        "storm_kill" => r.counter_add("storm_kills", 1),
+        "crash" => r.counter_add("crashes", 1),
+        "message_lost" => r.counter_add("messages_lost", 1),
+        "straggle" => r.counter_add("straggled_chunks", 1),
+        "replica" => {
+            r.counter_add("replicas_dispatched", 1);
+            r.counter_add("replica_tasks", u("tasks"));
+        }
+        "mc_progress" => {
+            r.gauge_set("mc_done", u("done") as f64);
+            r.gauge_set("mc_total", u("total") as f64);
+        }
+        "run_end" => {
+            r.gauge_set("run_banked", f("banked"));
+            r.gauge_set("run_lost", f("lost"));
+            let drained = ev
+                .fields
+                .get("drained")
+                .and_then(crate::json::JsonValue::as_bool);
+            r.gauge_set("run_drained", if drained == Some(true) { 1.0 } else { 0.0 });
+            r.gauge_set("run_end_time", ev.time);
+        }
+        "span_start" => r.counter_add("spans_opened", 1),
+        "span_end" => {
+            r.counter_add("spans_closed", 1);
+            if let Some(name) = ev
+                .fields
+                .get("name")
+                .and_then(crate::json::JsonValue::as_str)
+            {
+                r.observe(&format!("span_ns.{name}"), f("dur_ns"));
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Open-span bookkeeping shared by the analyzer and the checker.
+#[derive(Debug, Default)]
+struct SpanState {
+    /// Stack of open spans: `(id, path)`.
+    stack: Vec<(u64, String)>,
+    /// Histogram per tree path.
+    by_path: BTreeMap<String, Histogram>,
+}
+
+impl SpanState {
+    fn start(&mut self, id: u64, name: &str) {
+        let path = match self.stack.last() {
+            Some((_, parent_path)) => format!("{parent_path}/{name}"),
+            None => name.to_string(),
+        };
+        self.stack.push((id, path));
+    }
+
+    /// Closes span `id` if it is the innermost open span; returns the
+    /// path, or `None` on a nesting violation (the span is still removed
+    /// if present, so one bad line doesn't cascade).
+    fn end(&mut self, id: u64, dur_ns: f64) -> Option<String> {
+        match self.stack.last() {
+            Some((top, _)) if *top == id => {
+                let (_, path) = self.stack.pop().expect("non-empty");
+                self.by_path
+                    .entry(path.clone())
+                    .or_default()
+                    .observe(dur_ns);
+                Some(path)
+            }
+            _ => {
+                if let Some(pos) = self.stack.iter().rposition(|(sid, _)| *sid == id) {
+                    let (_, path) = self.stack.remove(pos);
+                    self.by_path.entry(path).or_default().observe(dur_ns);
+                }
+                None
+            }
+        }
+    }
+
+    fn into_tree(self) -> Vec<SpanNode> {
+        self.by_path
+            .into_iter()
+            .map(|(path, hist)| {
+                let depth = path.matches('/').count();
+                let name = path.rsplit('/').next().unwrap_or(&path).to_string();
+                SpanNode {
+                    path,
+                    name,
+                    depth,
+                    hist,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Validates and folds a trace into a [`TraceAnalysis`]. The first
+/// malformed line aborts with `Err` naming the line number; structural
+/// oddities (unbalanced spans, odd nesting) are tolerated here — use
+/// [`check_lines`] to gate on them.
+pub fn analyze_lines<'a>(
+    lines: impl IntoIterator<Item = &'a str>,
+) -> Result<TraceAnalysis, String> {
+    let mut a = TraceAnalysis::default();
+    let mut spans = SpanState::default();
+    for (i, line) in lines.into_iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = validate_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        a.lines += 1;
+        *a.kind_counts.entry(ev.kind.clone()).or_insert(0) += 1;
+        fold_metrics(&mut a.registry, &ev);
+        match ev.kind.as_str() {
+            "run_end" => a.runs += 1,
+            "dispatch" => a.per_ws.entry(ev.u64("ws")?).or_default().dispatches += 1,
+            "bank" => {
+                let row = a.per_ws.entry(ev.u64("ws")?).or_default();
+                row.banks += 1;
+                row.banked += ev.f64("work")?;
+                row.duplicate += ev.f64("duplicate")?;
+            }
+            "period_interrupt" => {
+                a.per_ws.entry(ev.u64("ws")?).or_default().lost += ev.f64("lost")?;
+            }
+            "span_start" => spans.start(ev.u64("id")?, span_name(&ev)),
+            "span_end" => {
+                spans.end(ev.u64("id")?, ev.f64("dur_ns")?);
+            }
+            _ => {}
+        }
+    }
+    a.span_tree = spans.into_tree();
+    Ok(a)
+}
+
+fn span_name(ev: &ValidatedEvent) -> &str {
+    ev.fields
+        .get("name")
+        .and_then(crate::json::JsonValue::as_str)
+        .unwrap_or("?")
+}
+
+/// What [`check_lines`] verified, plus every violation found.
+#[derive(Debug, Clone, Default)]
+pub struct CheckSummary {
+    /// Event lines checked.
+    pub lines: usize,
+    /// Complete runs seen.
+    pub runs: usize,
+    /// Spans opened.
+    pub spans: u64,
+    /// Farm runs whose bank sums reconciled bitwise with `run_end`.
+    pub reconciled_runs: usize,
+    /// Every invariant violation, in file order (capped).
+    pub violations: Vec<String>,
+}
+
+impl CheckSummary {
+    /// True when the trace passed every check.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+const MAX_VIOLATIONS: usize = 25;
+
+/// Runs the full invariant suite over a trace (see the module docs for
+/// the invariant list). Never aborts early: all violations up to a cap
+/// are collected so one bad line still yields a useful report.
+pub fn check_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> CheckSummary {
+    let mut s = CheckSummary::default();
+    let violate = |s: &mut CheckSummary, msg: String| {
+        if s.violations.len() < MAX_VIOLATIONS {
+            s.violations.push(msg);
+        }
+    };
+
+    // Run bracketing state.
+    let mut in_run = false;
+    let mut run_is_farm = false;
+    let mut workstations = 0u64;
+    let mut bank_sums: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut last_mc_done: Option<u64> = None;
+    // Span state.
+    let mut spans = SpanState::default();
+    let mut open_ids: BTreeMap<u64, usize> = BTreeMap::new(); // id -> start line
+    let mut last_span_time = f64::NEG_INFINITY;
+
+    for (i, line) in lines.into_iter().enumerate() {
+        let n = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = match validate_line(line) {
+            Ok(ev) => ev,
+            Err(e) => {
+                violate(&mut s, format!("line {n}: schema: {e}"));
+                continue;
+            }
+        };
+        s.lines += 1;
+        match ev.kind.as_str() {
+            "run_start" => {
+                if in_run {
+                    violate(&mut s, format!("line {n}: run_start inside an open run"));
+                }
+                in_run = true;
+                workstations = ev.u64("workstations").unwrap_or(0);
+                run_is_farm = workstations > 0;
+                bank_sums.clear();
+                last_mc_done = None;
+            }
+            "run_end" => {
+                if !in_run {
+                    violate(&mut s, format!("line {n}: run_end without run_start"));
+                } else {
+                    s.runs += 1;
+                    if run_is_farm {
+                        // The farm's completed_work is Σ over workstations
+                        // (in index order) of per-ws bank sums (in event
+                        // order); f64 addition is order-sensitive, so this
+                        // recomputation is bitwise, not approximate.
+                        let banked = ev.f64("banked").unwrap_or(f64::NAN);
+                        let mut total = 0.0f64;
+                        for ws in 0..workstations {
+                            total += bank_sums.get(&ws).copied().unwrap_or(0.0);
+                        }
+                        if total.to_bits() != banked.to_bits() {
+                            violate(
+                                &mut s,
+                                format!(
+                                    "line {n}: bank sums do not reconcile with run_end: \
+                                     Σ bank.work = {total:?}, run_end.banked = {banked:?}"
+                                ),
+                            );
+                        } else {
+                            s.reconciled_runs += 1;
+                        }
+                    }
+                }
+                in_run = false;
+            }
+            "bank" => {
+                let ws = ev.u64("ws").unwrap_or(0);
+                let work = ev.f64("work").unwrap_or(f64::NAN);
+                if work < 0.0 || work.is_nan() {
+                    violate(
+                        &mut s,
+                        format!("line {n}: bank.work = {work:?} (negative or NaN)"),
+                    );
+                }
+                *bank_sums.entry(ws).or_insert(0.0) += work;
+                if run_is_farm && ws >= workstations {
+                    violate(
+                        &mut s,
+                        format!("line {n}: bank.ws = {ws} out of range (run has {workstations})"),
+                    );
+                }
+            }
+            "mc_progress" => {
+                let done = ev.u64("done").unwrap_or(0);
+                let total = ev.u64("total").unwrap_or(0);
+                if done > total {
+                    violate(
+                        &mut s,
+                        format!("line {n}: mc_progress done {done} > total {total}"),
+                    );
+                }
+                if let Some(prev) = last_mc_done {
+                    if done <= prev {
+                        violate(
+                            &mut s,
+                            format!("line {n}: mc_progress done {done} not after {prev}"),
+                        );
+                    }
+                }
+                last_mc_done = Some(done);
+            }
+            "span_start" => {
+                s.spans += 1;
+                let id = ev.u64("id").unwrap_or(0);
+                if open_ids.insert(id, n).is_some() {
+                    violate(
+                        &mut s,
+                        format!("line {n}: span id {id} reopened while open"),
+                    );
+                }
+                if ev.time < last_span_time {
+                    violate(
+                        &mut s,
+                        format!(
+                            "line {n}: span timestamp {} before previous span event {}",
+                            ev.time, last_span_time
+                        ),
+                    );
+                }
+                last_span_time = ev.time;
+                spans.start(id, span_name(&ev));
+            }
+            "span_end" => {
+                let id = ev.u64("id").unwrap_or(0);
+                let dur = ev.f64("dur_ns").unwrap_or(f64::NAN);
+                if dur < 0.0 || dur.is_nan() {
+                    violate(&mut s, format!("line {n}: span_end dur_ns = {dur:?}"));
+                }
+                if ev.time < last_span_time {
+                    violate(
+                        &mut s,
+                        format!(
+                            "line {n}: span timestamp {} before previous span event {}",
+                            ev.time, last_span_time
+                        ),
+                    );
+                }
+                last_span_time = ev.time;
+                if open_ids.remove(&id).is_none() {
+                    violate(
+                        &mut s,
+                        format!("line {n}: span_end for id {id} that is not open"),
+                    );
+                } else if spans.end(id, dur).is_none() {
+                    violate(
+                        &mut s,
+                        format!("line {n}: span id {id} closed out of nesting order"),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    if in_run {
+        violate(
+            &mut s,
+            "end of trace: run_start without run_end".to_string(),
+        );
+    }
+    for (id, start_line) in &open_ids {
+        violate(
+            &mut s,
+            format!("end of trace: span id {id} (opened line {start_line}) never closed"),
+        );
+    }
+    s
+}
+
+/// One row of a metrics or baseline diff.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// Metric name (`counter dispatches`, `sim_serial.wall_ns`, …).
+    pub name: String,
+    /// Value in the first (baseline) input.
+    pub a: f64,
+    /// Value in the second (candidate) input.
+    pub b: f64,
+    /// Signed relative change `(b - a) / |a|` (infinite when `a` is 0 and
+    /// `b` is not; NaN when either side is missing/NaN).
+    pub rel: f64,
+    /// True when the change trips the threshold (for perf baselines, only
+    /// in the regression direction).
+    pub flagged: bool,
+}
+
+fn rel_change(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        return if a.is_nan() && b.is_nan() {
+            0.0
+        } else {
+            f64::NAN
+        };
+    }
+    if a == b {
+        return 0.0;
+    }
+    if a == 0.0 {
+        return if b > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        };
+    }
+    (b - a) / a.abs()
+}
+
+/// Compares two metric registries (e.g. folded from two traces of the
+/// same scenario). Every counter, gauge, and histogram (count and mean)
+/// present in either side becomes a row; rows whose absolute relative
+/// change exceeds `threshold` are flagged.
+pub fn diff_registries(a: &MetricsRegistry, b: &MetricsRegistry, threshold: f64) -> Vec<DiffRow> {
+    let mut rows = Vec::new();
+    let mut keys: Vec<(String, f64, f64)> = Vec::new();
+
+    let mut names: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    names.extend(a.counters().map(|(k, _)| format!("counter {k}")));
+    names.extend(b.counters().map(|(k, _)| format!("counter {k}")));
+    for name in &names {
+        let k = &name["counter ".len()..];
+        keys.push((name.clone(), a.counter(k) as f64, b.counter(k) as f64));
+    }
+    let mut gnames: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    gnames.extend(a.gauges().map(|(k, _)| k.to_string()));
+    gnames.extend(b.gauges().map(|(k, _)| k.to_string()));
+    for k in &gnames {
+        keys.push((
+            format!("gauge {k}"),
+            a.gauge(k).unwrap_or(f64::NAN),
+            b.gauge(k).unwrap_or(f64::NAN),
+        ));
+    }
+    let mut hnames: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    hnames.extend(a.histograms().map(|(k, _)| k.to_string()));
+    hnames.extend(b.histograms().map(|(k, _)| k.to_string()));
+    for k in &hnames {
+        let (ac, am) = a.histogram(k).map_or((0.0, f64::NAN), |h| {
+            (h.count() as f64, h.mean().unwrap_or(f64::NAN))
+        });
+        let (bc, bm) = b.histogram(k).map_or((0.0, f64::NAN), |h| {
+            (h.count() as f64, h.mean().unwrap_or(f64::NAN))
+        });
+        keys.push((format!("histogram {k}.count"), ac, bc));
+        keys.push((format!("histogram {k}.mean"), am, bm));
+    }
+
+    for (name, av, bv) in keys {
+        let rel = rel_change(av, bv);
+        let flagged = rel.is_nan() || rel.abs() > threshold;
+        rows.push(DiffRow {
+            name,
+            a: av,
+            b: bv,
+            rel,
+            flagged,
+        });
+    }
+    rows
+}
+
+/// Reads one scenario's perf numbers out of a parsed `BENCH.json`.
+fn bench_scenarios(doc: &Json) -> Result<BTreeMap<String, BTreeMap<String, f64>>, String> {
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("BENCH.json: missing \"scenarios\" array")?;
+    let mut out = BTreeMap::new();
+    for sc in scenarios {
+        let id = sc
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("BENCH.json: scenario missing \"id\"")?
+            .to_string();
+        let mut nums = BTreeMap::new();
+        for key in ["wall_ns", "events_per_sec", "mc_trials_per_sec"] {
+            if let Some(v) = sc.get(key).and_then(Json::as_f64) {
+                nums.insert(key.to_string(), v);
+            }
+        }
+        out.insert(id, nums);
+    }
+    Ok(out)
+}
+
+/// Compares two `BENCH.json` baselines (`a` = baseline, `b` = candidate).
+/// Rows are flagged only for *regressions* beyond `threshold`: wall time
+/// going up, throughput going down. Scenario sets may differ; a scenario
+/// present on one side only is flagged.
+pub fn diff_bench(a_text: &str, b_text: &str, threshold: f64) -> Result<Vec<DiffRow>, String> {
+    let a = bench_scenarios(&parse_json(a_text)?)?;
+    let b = bench_scenarios(&parse_json(b_text)?)?;
+    let mut ids: std::collections::BTreeSet<&String> = a.keys().collect();
+    ids.extend(b.keys());
+    let mut rows = Vec::new();
+    for id in ids {
+        match (a.get(id), b.get(id)) {
+            (Some(am), Some(bm)) => {
+                for key in ["wall_ns", "events_per_sec", "mc_trials_per_sec"] {
+                    let av = am.get(key).copied().unwrap_or(f64::NAN);
+                    let bv = bm.get(key).copied().unwrap_or(f64::NAN);
+                    if av.is_nan() && bv.is_nan() {
+                        continue; // metric not applicable to this scenario
+                    }
+                    let rel = rel_change(av, bv);
+                    // Regression direction: wall time up, throughput down.
+                    let regression = if key == "wall_ns" { rel } else { -rel };
+                    let flagged = rel.is_nan() || regression > threshold;
+                    rows.push(DiffRow {
+                        name: format!("{id}.{key}"),
+                        a: av,
+                        b: bv,
+                        rel,
+                        flagged,
+                    });
+                }
+            }
+            (only_a, _) => {
+                rows.push(DiffRow {
+                    name: format!(
+                        "{id} (only in {})",
+                        if only_a.is_some() {
+                            "baseline"
+                        } else {
+                            "candidate"
+                        }
+                    ),
+                    a: f64::NAN,
+                    b: f64::NAN,
+                    rel: f64::NAN,
+                    flagged: true,
+                });
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// The schema version the analyzer writes and understands (re-exported
+/// so CLI help text stays in one place).
+pub fn analyzer_schema_version() -> u32 {
+    SCHEMA_VERSION
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+    use crate::sink::{EventSink, MemorySink};
+    use crate::span::SpanProfiler;
+
+    fn farm_like_trace() -> Vec<String> {
+        // A tiny hand-built farm trace: 2 workstations, profiled.
+        let mut sink = MemorySink::new();
+        let mut prof = SpanProfiler::new();
+        let run = prof.start("farm.run", &mut sink);
+        sink.emit(&Event {
+            time: 0.0,
+            kind: EventKind::RunStart {
+                seed: 1,
+                workstations: 2,
+                tasks: 10,
+            },
+        });
+        let d = prof.start("farm.dispatch", &mut sink);
+        sink.emit(&Event {
+            time: 0.0,
+            kind: EventKind::Dispatch {
+                ws: 0,
+                tasks: 5,
+                work: 5.0,
+            },
+        });
+        prof.end(d, &mut sink);
+        for (ws, work) in [(0u64, 3.0f64), (1, 4.0), (0, 2.5)] {
+            sink.emit(&Event {
+                time: 1.0,
+                kind: EventKind::Bank {
+                    ws,
+                    work,
+                    duplicate: 0.0,
+                },
+            });
+        }
+        sink.emit(&Event {
+            time: 2.0,
+            kind: EventKind::PeriodInterrupt { ws: 1, lost: 0.5 },
+        });
+        prof.end(run, &mut sink);
+        sink.emit(&Event {
+            time: 9.0,
+            kind: EventKind::RunEnd {
+                banked: (3.0 + 2.5) + 4.0,
+                lost: 0.5,
+                drained: true,
+            },
+        });
+        sink.events.iter().map(Event::to_jsonl).collect()
+    }
+
+    #[test]
+    fn analyze_folds_counts_spans_and_attribution() {
+        let lines = farm_like_trace();
+        let a = analyze_lines(lines.iter().map(String::as_str)).unwrap();
+        assert_eq!(a.lines, lines.len());
+        assert_eq!(a.runs, 1);
+        assert_eq!(a.kind_counts["bank"], 3);
+        assert_eq!(a.kind_counts["span_start"], 2);
+        assert_eq!(a.per_ws[&0].banks, 2);
+        assert_eq!(a.per_ws[&0].banked, 5.5);
+        assert_eq!(a.per_ws[&1].lost, 0.5);
+        assert_eq!(a.per_ws[&0].dispatches, 1);
+        // Span tree: farm.run root with farm.dispatch child.
+        let paths: Vec<&str> = a.span_tree.iter().map(|n| n.path.as_str()).collect();
+        assert_eq!(paths, vec!["farm.run", "farm.run/farm.dispatch"]);
+        assert_eq!(a.span_tree[1].depth, 1);
+        assert_eq!(a.span_tree[1].name, "farm.dispatch");
+        // Registry mirrors MetricsSink.
+        assert_eq!(a.registry.counter("chunks_banked"), 3);
+        assert_eq!(a.registry.gauge("banked_work"), Some(9.5));
+        assert!(a.registry.histogram("span_ns.farm.dispatch").is_some());
+    }
+
+    #[test]
+    fn check_passes_a_well_formed_trace() {
+        let lines = farm_like_trace();
+        let s = check_lines(lines.iter().map(String::as_str));
+        assert!(s.ok(), "{:?}", s.violations);
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.reconciled_runs, 1);
+        assert_eq!(s.spans, 2);
+    }
+
+    #[test]
+    fn check_catches_corruption() {
+        let mut lines = farm_like_trace();
+        // Tamper with one bank amount: reconciliation must break.
+        let idx = lines.iter().position(|l| l.contains("\"bank\"")).unwrap();
+        lines[idx] = lines[idx].replace("\"work\":3", "\"work\":2.75");
+        let s = check_lines(lines.iter().map(String::as_str));
+        assert!(!s.ok());
+        assert!(
+            s.violations.iter().any(|v| v.contains("reconcile")),
+            "{:?}",
+            s.violations
+        );
+
+        // Truncation: drop the tail (run_end + span ends) — must be caught.
+        let lines = farm_like_trace();
+        let cut = &lines[..lines.len() - 2];
+        let s = check_lines(cut.iter().map(String::as_str));
+        assert!(!s.ok());
+        assert!(
+            s.violations.iter().any(|v| v.contains("never closed"))
+                || s.violations.iter().any(|v| v.contains("without run_end")),
+            "{:?}",
+            s.violations
+        );
+
+        // Garbage line: schema violation.
+        let mut lines = farm_like_trace();
+        lines[2] = "{not json".to_string();
+        let s = check_lines(lines.iter().map(String::as_str));
+        assert!(
+            s.violations.iter().any(|v| v.contains("schema")),
+            "{:?}",
+            s.violations
+        );
+    }
+
+    #[test]
+    fn check_accepts_v1_traces() {
+        let lines = [
+            r#"{"v":1,"t":0,"type":"run_start","seed":1,"workstations":0,"tasks":0}"#,
+            r#"{"v":1,"t":5,"type":"mc_progress","done":5,"total":10}"#,
+            r#"{"v":1,"t":10,"type":"mc_progress","done":10,"total":10}"#,
+            r#"{"v":1,"t":10,"type":"run_end","banked":4.5,"lost":1.5,"drained":false}"#,
+        ];
+        let s = check_lines(lines);
+        assert!(s.ok(), "{:?}", s.violations);
+        assert_eq!(s.runs, 1);
+    }
+
+    #[test]
+    fn check_catches_non_monotone_mc_progress() {
+        let lines = [
+            r#"{"v":1,"t":0,"type":"run_start","seed":1,"workstations":0,"tasks":0}"#,
+            r#"{"v":1,"t":8,"type":"mc_progress","done":8,"total":10}"#,
+            r#"{"v":1,"t":5,"type":"mc_progress","done":5,"total":10}"#,
+            r#"{"v":1,"t":10,"type":"run_end","banked":4.5,"lost":1.5,"drained":false}"#,
+        ];
+        let s = check_lines(lines);
+        assert!(
+            s.violations.iter().any(|v| v.contains("not after")),
+            "{:?}",
+            s.violations
+        );
+    }
+
+    #[test]
+    fn diff_flags_changes_beyond_threshold() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("dispatches", 100);
+        a.gauge_set("banked_work", 50.0);
+        a.observe("bank_work", 2.0);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("dispatches", 104); // +4% — under a 10% threshold
+        b.gauge_set("banked_work", 80.0); // +60% — flagged
+        b.observe("bank_work", 2.0);
+        b.observe("bank_work", 2.0); // count doubles — flagged
+        let rows = diff_registries(&a, &b, 0.10);
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        assert!(!by_name("counter dispatches").flagged);
+        assert!(by_name("gauge banked_work").flagged);
+        assert!(by_name("histogram bank_work.count").flagged);
+        assert!(!by_name("histogram bank_work.mean").flagged);
+    }
+
+    #[test]
+    fn diff_bench_flags_regressions_only() {
+        let a = r#"{"commit":"aaa","date":"2026-01-01","scenarios":[
+            {"id":"s1","wall_ns":1000000,"events_per_sec":500000,"mc_trials_per_sec":null},
+            {"id":"s2","wall_ns":2000000,"events_per_sec":100,"mc_trials_per_sec":800}]}"#;
+        let b = r#"{"commit":"bbb","date":"2026-01-02","scenarios":[
+            {"id":"s1","wall_ns":1500000,"events_per_sec":900000,"mc_trials_per_sec":null},
+            {"id":"s3","wall_ns":1,"events_per_sec":1,"mc_trials_per_sec":1}]}"#;
+        let rows = diff_bench(a, b, 0.20).unwrap();
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        // Wall time +50% — regression, flagged.
+        assert!(by_name("s1.wall_ns").flagged);
+        // Throughput +80% — an improvement, not flagged.
+        assert!(!by_name("s1.events_per_sec").flagged);
+        // Scenario set drift is flagged both ways.
+        assert!(rows.iter().any(|r| r.name.contains("s2") && r.flagged));
+        assert!(rows.iter().any(|r| r.name.contains("s3") && r.flagged));
+        // mc_trials_per_sec null on both sides of s1: no row at all.
+        assert!(!rows.iter().any(|r| r.name == "s1.mc_trials_per_sec"));
+    }
+
+    #[test]
+    fn schema_version_accessor_matches() {
+        assert_eq!(analyzer_schema_version(), crate::SCHEMA_VERSION);
+    }
+}

@@ -12,7 +12,16 @@
 
 /// Version stamped into every emitted line as `"v"`. Bump on any change to
 /// an existing event's fields; adding a new event type is also a bump.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 = the original 18 kinds (PR 2); v2 adds the span profiler
+/// kinds `span_start`/`span_end`. Consumers ([`crate::validate_line`])
+/// accept every version from [`MIN_SCHEMA_VERSION`] up, rejecting only
+/// kinds newer than the line's declared version.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest schema version consumers still accept. v1 traces (no span
+/// events) validate unchanged.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// Every event type name the schema admits, in declaration order. JSONL
 /// validation checks membership against this list.
@@ -35,6 +44,8 @@ pub const ALL_KINDS: &[&str] = &[
     "replica",
     "mc_progress",
     "run_end",
+    "span_start",
+    "span_end",
 ];
 
 /// One observable fact about a run.
@@ -180,6 +191,27 @@ pub enum EventKind {
         /// True when every task banked before the horizon.
         drained: bool,
     },
+    /// A profiler span opened (v2). Span times are wall-clock seconds
+    /// since the profiler's epoch, not virtual time.
+    SpanStart {
+        /// Span id, unique within the emitting profiler (never 0).
+        id: u64,
+        /// Enclosing span's id, or 0 for a root span.
+        parent: u64,
+        /// Span name (static identifier, e.g. `farm.dispatch`).
+        name: &'static str,
+    },
+    /// A profiler span closed (v2).
+    SpanEnd {
+        /// Span id matching the corresponding [`EventKind::SpanStart`].
+        id: u64,
+        /// Enclosing span's id, or 0 for a root span.
+        parent: u64,
+        /// Span name (same as the start event's).
+        name: &'static str,
+        /// Inclusive wall-clock duration in nanoseconds.
+        dur_ns: f64,
+    },
 }
 
 impl EventKind {
@@ -204,6 +236,8 @@ impl EventKind {
             EventKind::Replica { .. } => "replica",
             EventKind::McProgress { .. } => "mc_progress",
             EventKind::RunEnd { .. } => "run_end",
+            EventKind::SpanStart { .. } => "span_start",
+            EventKind::SpanEnd { .. } => "span_end",
         }
     }
 }
@@ -305,10 +339,37 @@ impl Event {
                 num(&mut s, "lost", lost);
                 write!(s, ",\"drained\":{drained}").expect("write to String");
             }
+            EventKind::SpanStart { id, parent, name } => {
+                int(&mut s, "id", id);
+                int(&mut s, "parent", parent);
+                debug_assert!(span_name_is_plain(name), "span name {name:?}");
+                write!(s, ",\"name\":\"{name}\"").expect("write to String");
+            }
+            EventKind::SpanEnd {
+                id,
+                parent,
+                name,
+                dur_ns,
+            } => {
+                int(&mut s, "id", id);
+                int(&mut s, "parent", parent);
+                debug_assert!(span_name_is_plain(name), "span name {name:?}");
+                write!(s, ",\"name\":\"{name}\"").expect("write to String");
+                num(&mut s, "dur_ns", dur_ns);
+            }
         }
         s.push('}');
         s
     }
+}
+
+/// Span names are static identifiers chosen in code; they must not need
+/// JSON escaping (checked in debug builds at serialization time).
+pub(crate) fn span_name_is_plain(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_graphic() && c != '"' && c != '\\')
 }
 
 #[cfg(test)]
@@ -352,6 +413,17 @@ mod tests {
                 lost: 1.0,
                 drained: true,
             },
+            EventKind::SpanStart {
+                id: 1,
+                parent: 0,
+                name: "farm.run",
+            },
+            EventKind::SpanEnd {
+                id: 1,
+                parent: 0,
+                name: "farm.run",
+                dur_ns: 1500.0,
+            },
         ];
         assert_eq!(kinds.len(), ALL_KINDS.len());
         for k in kinds {
@@ -371,7 +443,24 @@ mod tests {
         };
         assert_eq!(
             e.to_jsonl(),
-            r#"{"v":1,"t":12.5,"type":"bank","ws":3,"work":18,"duplicate":0.5}"#
+            r#"{"v":2,"t":12.5,"type":"bank","ws":3,"work":18,"duplicate":0.5}"#
+        );
+    }
+
+    #[test]
+    fn span_jsonl_shape() {
+        let e = Event {
+            time: 0.25,
+            kind: EventKind::SpanEnd {
+                id: 7,
+                parent: 2,
+                name: "mc.trial_batch",
+                dur_ns: 12000.0,
+            },
+        };
+        assert_eq!(
+            e.to_jsonl(),
+            r#"{"v":2,"t":0.25,"type":"span_end","id":7,"parent":2,"name":"mc.trial_batch","dur_ns":12000}"#
         );
     }
 

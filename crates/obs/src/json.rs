@@ -1,8 +1,12 @@
-//! A minimal JSON parser for **flat objects** — exactly the shape this
-//! crate emits: one object per line, string keys, scalar values (number,
-//! string, bool, null). Nested containers are rejected; the event schema
-//! has none, and refusing them keeps the parser ~100 lines and the crate
-//! dependency-free.
+//! A minimal JSON parser, two entry points:
+//!
+//! * [`parse_object`] — **flat objects only**, exactly the shape the event
+//!   stream emits: one object per line, string keys, scalar values
+//!   (number, string, bool, null). Nested containers are rejected, which
+//!   keeps the event-line fast path strict and simple.
+//! * [`parse_json`] — full nested values ([`Json`]), used by the analyzer
+//!   to read `BENCH.json` perf baselines. Same scalar grammar, plus
+//!   arrays and objects.
 
 use std::collections::BTreeMap;
 
@@ -51,6 +55,67 @@ impl JsonValue {
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A full JSON value, containers included (used for `BENCH.json`; event
+/// lines stay on the strict flat [`parse_object`] path).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (key order normalized).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member `key` of an object, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (`null` reads as NaN, like the event parser).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
             _ => None,
         }
     }
@@ -159,6 +224,70 @@ impl<'a> Cursor<'a> {
             other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
         }
     }
+
+    fn parse_value(&mut self, depth: u32) -> Result<Json, String> {
+        if depth > 64 {
+            return Err("JSON nesting too deep".into());
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut out = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value(depth + 1)?;
+                    if out.insert(key.clone(), value).is_some() {
+                        return Err(format!("duplicate key {key:?}"));
+                    }
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(out));
+                        }
+                        other => return Err(format!("expected ',' or '}}', found {other:?}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut out = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                loop {
+                    out.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(out));
+                        }
+                        other => return Err(format!("expected ',' or ']', found {other:?}")),
+                    }
+                }
+            }
+            _ => Ok(match self.parse_scalar()? {
+                JsonValue::Num(v) => Json::Num(v),
+                JsonValue::Str(s) => Json::Str(s),
+                JsonValue::Bool(b) => Json::Bool(b),
+                JsonValue::Null => Json::Null,
+            }),
+        }
+    }
 }
 
 /// Parses one flat JSON object (`{"k": scalar, ...}`) into a key → value
@@ -202,9 +331,52 @@ pub fn parse_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
     Ok(out)
 }
 
+/// Parses one complete JSON value of any shape (nested objects/arrays
+/// allowed). Trailing garbage is an error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut cur = Cursor {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = cur.parse_value(0)?;
+    cur.skip_ws();
+    if cur.pos != cur.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", cur.pos));
+    }
+    Ok(value)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parses_nested_json() {
+        let j = parse_json(r#"{"a":[1,2,{"b":"x"}],"c":{"d":null},"e":true}"#).unwrap();
+        let arr = j.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[2].get("b").unwrap().as_str(), Some("x"));
+        assert!(j
+            .get("c")
+            .unwrap()
+            .get("d")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .is_nan());
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(parse_json("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(parse_json(" 3.5 ").unwrap(), Json::Num(3.5));
+    }
+
+    #[test]
+    fn nested_parser_rejects_malformed_input() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("[1,2").is_err());
+        assert!(parse_json(r#"{"a":}"#).is_err());
+        assert!(parse_json(r#"{"a":1} x"#).is_err());
+        assert!(parse_json(&("[".repeat(100) + &"]".repeat(100))).is_err()); // too deep
+    }
 
     #[test]
     fn parses_flat_object() {

@@ -15,29 +15,44 @@
 //!   registry).
 //! * [`metrics`] — [`MetricsRegistry`] of counters, gauges and streaming
 //!   power-of-two-bucket [`Histogram`]s.
-//! * [`json`] / [`schema`] — a minimal flat-object JSON parser and the
+//! * [`json`] / [`schema`] — a minimal JSON parser (strict flat objects
+//!   for event lines, nested values for `BENCH.json`) and the
 //!   consumer-side line validator ([`validate_line`]) used by CI smoke
 //!   checks.
+//! * [`span`] — the **span profiler** ([`SpanProfiler`]): hierarchical
+//!   wall-clock spans recorded as `span_ns.*` histograms and emitted as
+//!   v2 `span_start`/`span_end` events.
+//! * [`analyze`] — the **trace analyzer** behind `cyclesteal obs`:
+//!   [`analyze_lines`] (report), [`check_lines`] (invariant gate) and
+//!   [`diff_registries`]/[`diff_bench`] (regression flagging).
 //! * [`summary`] — the shared `RUN-SUMMARY` JSON emitter for `exp_*`
 //!   binaries.
 //!
-//! **Pass-through contract:** sinks never feed back into producers. A
-//! seeded simulation run with tracing enabled is bit-identical in results
-//! to the same run with tracing disabled, and the no-op sink's cost is
-//! inside benchmark noise (`bench_now` guards ≤ 2%).
+//! **Pass-through contract:** sinks never feed back into producers, and
+//! the span profiler only reads the wall clock. A seeded simulation run
+//! with tracing and/or profiling enabled is bit-identical in results to
+//! the same run with both disabled, and the no-op sink's cost is inside
+//! benchmark noise (`bench_now` guards ≤ 2%).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod schema;
 pub mod sink;
+pub mod span;
 pub mod summary;
 
-pub use event::{Event, EventKind, ALL_KINDS, SCHEMA_VERSION};
+pub use analyze::{
+    analyze_lines, check_lines, diff_bench, diff_registries, CheckSummary, DiffRow, TraceAnalysis,
+};
+pub use event::{Event, EventKind, ALL_KINDS, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
+pub use json::{parse_json, Json};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use schema::{validate_line, ValidatedEvent};
 pub use sink::{EventSink, JsonlSink, MemorySink, MetricsSink, NoopSink, TeeSink};
+pub use span::{SpanGuard, SpanId, SpanProfiler};
 pub use summary::RunSummary;

@@ -100,22 +100,44 @@ impl Histogram {
         (self.count > 0).then_some(self.max)
     }
 
-    /// Bucket-resolution quantile estimate (upper bound of the bucket the
-    /// `q`-quantile observation falls in). `None` when empty.
+    /// Quantile estimate via within-bucket linear interpolation: the
+    /// `q`-quantile rank is located in its power-of-two bucket and the
+    /// value interpolated between the bucket's edges by the rank's fraction
+    /// of the bucket's population, clamped to the observed `[min, max]`.
+    /// The tails are exact: `q <= 0` returns `min`, `q >= 1` returns `max`.
+    /// `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
         let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                // Upper edge of bucket i, clamped to the observed range.
-                let upper = 2f64.powi(i as i32 - OFFSET + 1);
-                return Some(upper.min(self.max).max(self.min));
+            if n == 0 {
+                continue;
             }
+            if seen + n >= target {
+                // Interpolate between the bucket's edges by how far into
+                // its population the target rank falls. Bucket 0 also
+                // absorbs non-positive values, so its lower edge is the
+                // observed min rather than 2^-OFFSET.
+                let lower = if i == 0 {
+                    self.min.min(2f64.powi(-OFFSET))
+                } else {
+                    2f64.powi(i as i32 - OFFSET)
+                };
+                let upper = 2f64.powi(i as i32 - OFFSET + 1);
+                let frac = (target - seen) as f64 / n as f64;
+                let v = lower + frac * (upper - lower);
+                return Some(v.min(self.max).max(self.min));
+            }
+            seen += n;
         }
         Some(self.max)
     }
@@ -176,6 +198,21 @@ impl MetricsRegistry {
     /// Reads histogram `name` (`None` when absent).
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Iterates all counters in name order (used by `obs diff`).
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates all gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates all histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
     }
 
     /// Merges another registry into this one (counters and histograms add,
@@ -300,6 +337,91 @@ mod tests {
         let p50 = h.quantile(0.5).unwrap();
         assert!((1.0..=4.0).contains(&p50), "{p50}");
         assert_eq!(h.quantile(1.0), Some(8.0));
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_none() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert!(h.quantile(q).is_none());
+        }
+    }
+
+    #[test]
+    fn quantile_single_sample_is_exact_everywhere() {
+        let mut h = Histogram::new();
+        h.observe(3.7);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(3.7), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_tails_are_exact_min_max() {
+        let mut h = Histogram::new();
+        for v in [0.3, 1.7, 5.0, 100.0, 6543.2] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0.3));
+        assert_eq!(h.quantile(-1.0), Some(0.3));
+        assert_eq!(h.quantile(1.0), Some(6543.2));
+        assert_eq!(h.quantile(2.0), Some(6543.2));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        // 100 samples spread across [16, 32): one bucket. The p-th
+        // quantile should move smoothly through the bucket instead of
+        // pinning to an edge.
+        let mut h = Histogram::new();
+        for i in 0..100 {
+            h.observe(16.0 + 0.16 * i as f64);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p90 = h.quantile(0.9).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 > 16.0 && p50 < 32.0, "{p50}");
+        assert!(p90 > p50, "p90={p90} p50={p50}");
+        assert!(p99 >= p90, "p99={p99} p90={p90}");
+        // Within-bucket interpolation is linear in rank: p50 lands near
+        // the middle of the bucket's population.
+        assert!((p50 - 24.0).abs() < 1.0, "{p50}");
+    }
+
+    #[test]
+    fn quantile_of_merged_histograms_matches_sequential() {
+        let mut all = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..200 {
+            let v = 0.5 + (i as f64) * 0.37;
+            all.observe(v);
+            if i % 2 == 0 {
+                a.observe(v)
+            } else {
+                b.observe(v)
+            }
+        }
+        a.merge(&b);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn registry_iterators_cover_all_metrics() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("a", 1);
+        r.counter_add("b", 2);
+        r.gauge_set("g", 0.5);
+        r.observe("h", 1.0);
+        assert_eq!(
+            r.counters().collect::<Vec<_>>(),
+            vec![("a", 1u64), ("b", 2u64)]
+        );
+        assert_eq!(r.gauges().collect::<Vec<_>>(), vec![("g", 0.5)]);
+        let hists: Vec<&str> = r.histograms().map(|(k, _)| k).collect();
+        assert_eq!(hists, vec!["h"]);
     }
 
     #[test]

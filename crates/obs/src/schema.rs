@@ -1,12 +1,15 @@
 //! JSONL validation against the event schema.
 //!
 //! [`validate_line`] is the consumer-side contract check: every line a sink
-//! emitted must parse, carry the current [`SCHEMA_VERSION`], name a type in
-//! [`ALL_KINDS`] and provide that type's required fields with the right
-//! scalar kinds. The CI smoke step and `exp_obs_validate` run this over
-//! real trace files.
+//! emitted must parse, carry a supported schema version
+//! ([`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`] — v1 traces without span
+//! events still validate), name a type in [`ALL_KINDS`] introduced no later
+//! than the line's declared version, and provide that type's required
+//! fields with the right scalar kinds. The CI smoke step,
+//! `exp_obs_validate` and `cyclesteal obs check` run this over real trace
+//! files.
 
-use crate::event::{ALL_KINDS, SCHEMA_VERSION};
+use crate::event::{ALL_KINDS, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 use crate::json::{parse_object, JsonValue};
 use std::collections::BTreeMap;
 
@@ -56,7 +59,18 @@ fn required_fields(kind: &str) -> &'static [(&'static str, bool)] {
         "quarantine" => &[("ws", true), ("until", false)],
         "mc_progress" => &[("done", true), ("total", true)],
         "run_end" => &[("banked", false), ("lost", false)],
+        "span_start" => &[("id", true), ("parent", true)],
+        "span_end" => &[("id", true), ("parent", true), ("dur_ns", false)],
         _ => &[],
+    }
+}
+
+/// The schema version that introduced `kind`. A line may only carry kinds
+/// no newer than its declared `"v"`.
+fn kind_min_version(kind: &str) -> u32 {
+    match kind {
+        "span_start" | "span_end" => 2,
+        _ => 1,
     }
 }
 
@@ -68,9 +82,10 @@ pub fn validate_line(line: &str) -> Result<ValidatedEvent, String> {
         .get("v")
         .and_then(JsonValue::as_u64)
         .ok_or("missing schema version \"v\"")?;
-    if version != u64::from(SCHEMA_VERSION) {
+    if version < u64::from(MIN_SCHEMA_VERSION) || version > u64::from(SCHEMA_VERSION) {
         return Err(format!(
-            "schema version {version} (this validator understands {SCHEMA_VERSION})"
+            "schema version {version} (this validator understands \
+             {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
         ));
     }
     let kind = fields
@@ -80,6 +95,12 @@ pub fn validate_line(line: &str) -> Result<ValidatedEvent, String> {
         .to_string();
     if !ALL_KINDS.contains(&kind.as_str()) {
         return Err(format!("unknown event type {kind:?}"));
+    }
+    if u64::from(kind_min_version(&kind)) > version {
+        return Err(format!(
+            "event type {kind:?} needs schema version {} but the line declares v{version}",
+            kind_min_version(&kind)
+        ));
     }
     if !fields.contains_key("t") {
         return Err(format!("{kind}: missing timestamp \"t\""));
@@ -104,6 +125,19 @@ pub fn validate_line(line: &str) -> Result<ValidatedEvent, String> {
             .get("drained")
             .and_then(JsonValue::as_bool)
             .ok_or("run_end: missing boolean \"drained\"")?;
+    }
+    if kind.starts_with("span_") {
+        let name = fields
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{kind}: missing string \"name\""))?;
+        if name.is_empty() {
+            return Err(format!("{kind}: empty span name"));
+        }
+        let id = fields["id"].as_u64().unwrap_or(0);
+        if id == 0 {
+            return Err(format!("{kind}: span id must be non-zero"));
+        }
     }
     Ok(ValidatedEvent { time, kind, fields })
 }
@@ -150,6 +184,17 @@ mod tests {
                 lost: 1.0,
                 drained: true,
             },
+            EventKind::SpanStart {
+                id: 1,
+                parent: 0,
+                name: "farm.run",
+            },
+            EventKind::SpanEnd {
+                id: 1,
+                parent: 0,
+                name: "farm.run",
+                dur_ns: 9.5,
+            },
         ];
         for kind in events {
             let line = Event { time: 1.25, kind }.to_jsonl();
@@ -166,11 +211,36 @@ mod tests {
         assert!(
             validate_line(r#"{"v":99,"t":1,"type":"bank","ws":0,"work":1,"duplicate":0}"#).is_err()
         ); // future version
+        assert!(validate_line(r#"{"v":0,"t":1,"type":"crash","ws":0}"#).is_err()); // version 0
         assert!(validate_line(r#"{"v":1,"t":1,"type":"martian"}"#).is_err());
         assert!(validate_line(r#"{"v":1,"t":1,"type":"bank","ws":0}"#).is_err()); // missing fields
         assert!(validate_line(r#"{"v":1,"type":"crash","ws":0}"#).is_err()); // no timestamp
         assert!(validate_line(r#"{"v":1,"t":1,"type":"crash","ws":-1}"#).is_err());
         // bad int
+    }
+
+    #[test]
+    fn version_back_compat_and_span_gating() {
+        // A v1 line with a v1 kind still validates under the v2 validator.
+        let v1 = r#"{"v":1,"t":1,"type":"bank","ws":0,"work":1,"duplicate":0}"#;
+        assert_eq!(validate_line(v1).unwrap().kind, "bank");
+        // Span kinds were introduced in v2: a v1 line may not carry them.
+        let v1_span = r#"{"v":1,"t":0,"type":"span_start","id":1,"parent":0,"name":"x"}"#;
+        let err = validate_line(v1_span).unwrap_err();
+        assert!(err.contains("schema version 2"), "{err}");
+        // The same kind under v2 is fine.
+        let v2_span = r#"{"v":2,"t":0,"type":"span_start","id":1,"parent":0,"name":"x"}"#;
+        assert_eq!(validate_line(v2_span).unwrap().kind, "span_start");
+        // Span structural checks: non-empty name, non-zero id.
+        assert!(
+            validate_line(r#"{"v":2,"t":0,"type":"span_start","id":1,"parent":0,"name":""}"#)
+                .is_err()
+        );
+        assert!(
+            validate_line(r#"{"v":2,"t":0,"type":"span_start","id":0,"parent":0,"name":"x"}"#)
+                .is_err()
+        );
+        assert!(validate_line(r#"{"v":2,"t":0,"type":"span_start","id":1,"parent":0}"#).is_err());
     }
 
     #[test]

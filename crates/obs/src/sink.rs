@@ -65,46 +65,104 @@ impl EventSink for MemorySink {
 }
 
 /// Writes each event as one JSON line through a buffered file writer.
+///
+/// I/O discipline: `emit` stays infallible (pass-through contract — the
+/// simulation must not branch on sink health), so the first write error is
+/// *latched* and surfaced by [`JsonlSink::finish`]. Dropping the sink
+/// without calling `finish` still flushes the buffer (so traces are never
+/// silently truncated) and reports any failure on stderr, but callers that
+/// care about trace integrity should call `finish` and check the result.
 #[derive(Debug)]
 pub struct JsonlSink {
-    writer: BufWriter<File>,
+    writer: Option<BufWriter<File>>,
     lines: u64,
+    error: Option<std::io::Error>,
 }
 
 impl JsonlSink {
     /// Creates (truncating) `path` and returns a sink writing to it.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        Ok(Self {
-            writer: BufWriter::new(File::create(path)?),
-            lines: 0,
-        })
+        Ok(Self::from_file(File::create(path)?))
     }
 
-    /// Lines written so far.
+    /// Wraps an already-open file (useful for tests and special handles).
+    pub fn from_file(file: File) -> Self {
+        Self {
+            writer: Some(BufWriter::new(file)),
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully handed to the writer so far.
     pub fn lines(&self) -> u64 {
         self.lines
     }
 
-    /// Flushes and surfaces any buffered I/O error (errors inside `emit`
-    /// are deferred here so the hot path stays infallible).
+    /// Flushes and surfaces the first deferred I/O error (errors inside
+    /// `emit` are latched so the hot path stays infallible). Returns the
+    /// number of lines written.
     pub fn finish(mut self) -> std::io::Result<u64> {
-        self.writer.flush()?;
-        Ok(self.lines)
+        if let Some(mut w) = self.writer.take() {
+            if self.error.is_none() {
+                if let Err(e) = w.flush() {
+                    self.error = Some(e);
+                }
+            }
+        }
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(self.lines),
+        }
     }
 }
 
 impl EventSink for JsonlSink {
     fn emit(&mut self, event: &Event) {
-        // I/O errors surface at `finish`; the simulation must not branch on
-        // sink health (pass-through contract).
+        // After the first failure the sink goes quiet: the error is latched
+        // for `finish` and later events are dropped rather than spamming
+        // further syscalls against a broken file.
+        if self.error.is_some() {
+            return;
+        }
+        let Some(w) = self.writer.as_mut() else {
+            return;
+        };
         let mut line = event.to_jsonl();
         line.push('\n');
-        let _ = self.writer.write_all(line.as_bytes());
-        self.lines += 1;
+        match w.write_all(line.as_bytes()) {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
     }
 
     fn flush_sink(&mut self) {
-        let _ = self.writer.flush();
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        // `finish` already took the writer on the happy path; this only
+        // runs for sinks dropped early (panics, error returns). Flush so
+        // the tail of the trace survives, and fail loudly — stderr is the
+        // only channel left in a destructor.
+        if let Some(mut w) = self.writer.take() {
+            let flush_err = w.flush().err();
+            if let Some(e) = self.error.take().or(flush_err) {
+                eprintln!(
+                    "warning: trace file incomplete ({} lines kept): {e}",
+                    self.lines
+                );
+            }
+        }
     }
 }
 
@@ -229,6 +287,11 @@ impl EventSink for MetricsSink {
                 r.gauge_set("run_drained", if drained { 1.0 } else { 0.0 });
                 r.gauge_set("run_end_time", event.time);
             }
+            K::SpanStart { .. } => r.counter_add("spans_opened", 1),
+            K::SpanEnd { name, dur_ns, .. } => {
+                r.counter_add("spans_closed", 1);
+                r.observe(&format!("span_ns.{name}"), dur_ns);
+            }
         }
     }
 }
@@ -304,6 +367,58 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        let path = std::env::temp_dir().join("cs_obs_sink_drop_test.jsonl");
+        {
+            let mut s = JsonlSink::create(&path).unwrap();
+            // Well under BufWriter's default buffer size, so without the
+            // Drop flush these lines would be lost.
+            s.emit(&ev(EventKind::Crash { ws: 7 }));
+            // Dropped without finish() — e.g. the caller returned early.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "{text:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_surfaces_write_errors_at_finish() {
+        // A read-only handle makes every write fail deterministically.
+        let path = std::env::temp_dir().join("cs_obs_sink_err_test.jsonl");
+        std::fs::write(&path, b"").unwrap();
+        let file = File::open(&path).unwrap(); // read-only
+        let mut s = JsonlSink::from_file(file);
+        // BufWriter defers the failure to flush time; emit must not panic.
+        for _ in 0..4 {
+            s.emit(&ev(EventKind::Crash { ws: 0 }));
+        }
+        s.flush_sink();
+        assert!(s.finish().is_err(), "write to read-only file must surface");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_sink_folds_span_events() {
+        let mut s = MetricsSink::new();
+        s.emit(&ev(EventKind::SpanStart {
+            id: 1,
+            parent: 0,
+            name: "farm.dispatch",
+        }));
+        s.emit(&ev(EventKind::SpanEnd {
+            id: 1,
+            parent: 0,
+            name: "farm.dispatch",
+            dur_ns: 250.0,
+        }));
+        assert_eq!(s.registry.counter("spans_opened"), 1);
+        assert_eq!(s.registry.counter("spans_closed"), 1);
+        let h = s.registry.histogram("span_ns.farm.dispatch").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 250.0);
     }
 
     #[test]

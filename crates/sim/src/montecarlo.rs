@@ -13,7 +13,7 @@ use crate::episode::run_episode_observed;
 use crate::stats::Summary;
 use cs_core::Schedule;
 use cs_life::LifeFunction;
-use cs_obs::{Event, EventKind, EventSink, NoopSink};
+use cs_obs::{Event, EventKind, EventSink, NoopSink, SpanId, SpanProfiler};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,13 +58,43 @@ fn run_trials_observed<S: EventSink>(
     c: f64,
     trials: u64,
     seed: u64,
+    sink: S,
+    progress_stride: u64,
+) -> (Summary, u64, u64) {
+    run_trials_profiled(
+        schedule,
+        p,
+        c,
+        trials,
+        seed,
+        sink,
+        progress_stride,
+        &mut SpanProfiler::disabled(),
+    )
+}
+
+/// [`run_trials_observed`] plus span profiling: each stride of trials
+/// (one `mc_progress` interval) runs inside an `mc.trial_batch` span, so
+/// the profiler's `span_ns.mc.trial_batch` histogram shows how batch
+/// latency is distributed across the run. The profiler only reads the
+/// wall clock — trial order, RNG draws and tallies are untouched.
+#[allow(clippy::too_many_arguments)]
+fn run_trials_profiled<S: EventSink>(
+    schedule: &Schedule,
+    p: &dyn LifeFunction,
+    c: f64,
+    trials: u64,
+    seed: u64,
     mut sink: S,
     progress_stride: u64,
+    prof: &mut SpanProfiler,
 ) -> (Summary, u64, u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut work = Summary::new();
     let mut interrupted = 0u64;
     let mut periods = 0u64;
+    let mut batch = prof.start("mc.trial_batch", &mut sink);
+    let mut batch_trials = 0u64;
     for i in 0..trials {
         let u = rng.random::<f64>().clamp(1e-15, 1.0 - 1e-15);
         let r = p.inverse_survival(u);
@@ -74,8 +104,10 @@ fn run_trials_observed<S: EventSink>(
             interrupted += 1;
         }
         periods += out.periods_completed as u64;
+        batch_trials += 1;
         let done = i + 1;
-        if progress_stride != 0 && (done % progress_stride == 0 || done == trials) {
+        let tick = progress_stride != 0 && (done % progress_stride == 0 || done == trials);
+        if tick {
             sink.emit(&Event {
                 time: done as f64,
                 kind: EventKind::McProgress {
@@ -84,7 +116,19 @@ fn run_trials_observed<S: EventSink>(
                 },
             });
         }
+        if tick || done == trials {
+            prof.bump("trials", batch_trials);
+            batch_trials = 0;
+            prof.end(batch, &mut sink);
+            batch = if done < trials {
+                prof.start("mc.trial_batch", &mut sink)
+            } else {
+                SpanId::NONE
+            };
+        }
     }
+    // Zero-trial runs leave the opening batch span dangling; close it.
+    prof.end(batch, &mut sink);
     (work, interrupted, periods)
 }
 
@@ -123,7 +167,46 @@ pub fn simulate_expected_work_observed<S: EventSink>(
     c: f64,
     trials: u64,
     seed: u64,
+    sink: S,
+) -> MonteCarlo {
+    serial_inner(
+        schedule,
+        p,
+        c,
+        trials,
+        seed,
+        sink,
+        &mut SpanProfiler::disabled(),
+    )
+}
+
+/// [`simulate_expected_work_observed`] plus span profiling: the trial
+/// loop runs under an `mc.trials` root span with one `mc.trial_batch`
+/// child per progress stride, all recorded into `prof` and emitted to the
+/// sink as v2 span events. The span events sit strictly between
+/// `run_start` and `run_end` (a trace's first and last lines stay run
+/// bookkeeping), and the profiler is pass-through: the returned
+/// [`MonteCarlo`] is bit-identical with profiling on or off.
+pub fn simulate_expected_work_profiled<S: EventSink>(
+    schedule: &Schedule,
+    p: &dyn LifeFunction,
+    c: f64,
+    trials: u64,
+    seed: u64,
+    sink: S,
+    prof: &mut SpanProfiler,
+) -> MonteCarlo {
+    serial_inner(schedule, p, c, trials, seed, sink, prof)
+}
+
+fn serial_inner<S: EventSink>(
+    schedule: &Schedule,
+    p: &dyn LifeFunction,
+    c: f64,
+    trials: u64,
+    seed: u64,
     mut sink: S,
+    prof: &mut SpanProfiler,
 ) -> MonteCarlo {
     sink.emit(&Event {
         time: 0.0,
@@ -134,8 +217,10 @@ pub fn simulate_expected_work_observed<S: EventSink>(
         },
     });
     let stride = (trials / 20).max(1);
+    let root = prof.start("mc.trials", &mut sink);
     let (work, interrupted, periods) =
-        run_trials_observed(schedule, p, c, trials, seed, &mut sink, stride);
+        run_trials_profiled(schedule, p, c, trials, seed, &mut sink, stride, prof);
+    prof.end(root, &mut sink);
     let mc = MonteCarlo {
         work,
         interrupted_fraction: interrupted as f64 / trials.max(1) as f64,
@@ -184,11 +269,55 @@ pub fn simulate_expected_work_parallel_observed<S: EventSink>(
     trials: u64,
     seed: u64,
     threads: usize,
+    sink: S,
+) -> MonteCarlo {
+    parallel_inner(
+        schedule,
+        p,
+        c,
+        trials,
+        seed,
+        threads,
+        sink,
+        &mut SpanProfiler::disabled(),
+    )
+}
+
+/// [`simulate_expected_work_parallel_observed`] plus span profiling: the
+/// fan-out/join sits under an `mc.shards` span and the exact merge under
+/// `mc.merge`, both children of the `mc.trials` root. Shards themselves
+/// run unprofiled (the profiler is not shared across threads). With one
+/// thread this falls back to the serial profiled path, batch spans
+/// included. Pass-through: results are bit-identical with profiling on
+/// or off.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_expected_work_parallel_profiled<S: EventSink>(
+    schedule: &Schedule,
+    p: &dyn LifeFunction,
+    c: f64,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+    sink: S,
+    prof: &mut SpanProfiler,
+) -> MonteCarlo {
+    parallel_inner(schedule, p, c, trials, seed, threads, sink, prof)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parallel_inner<S: EventSink>(
+    schedule: &Schedule,
+    p: &dyn LifeFunction,
+    c: f64,
+    trials: u64,
+    seed: u64,
+    threads: usize,
     mut sink: S,
+    prof: &mut SpanProfiler,
 ) -> MonteCarlo {
     let threads = threads.max(1);
     if threads == 1 || trials < 2 {
-        return simulate_expected_work_observed(schedule, p, c, trials, seed, sink);
+        return serial_inner(schedule, p, c, trials, seed, sink, prof);
     }
     sink.emit(&Event {
         time: 0.0,
@@ -198,10 +327,12 @@ pub fn simulate_expected_work_parallel_observed<S: EventSink>(
             tasks: 0,
         },
     });
+    let root = prof.start("mc.trials", &mut sink);
     let mut seed_state = seed;
     let shard_seeds: Vec<u64> = (0..threads).map(|_| splitmix64(&mut seed_state)).collect();
     let base = trials / threads as u64;
     let remainder = trials % threads as u64;
+    let shards_span = prof.start("mc.shards", &mut sink);
     let results: Vec<(Summary, u64, u64)> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = shard_seeds
             .iter()
@@ -217,6 +348,9 @@ pub fn simulate_expected_work_parallel_observed<S: EventSink>(
             .collect()
     })
     .expect("scope panicked");
+    prof.bump("shards", threads as u64);
+    prof.end(shards_span, &mut sink);
+    let merge_span = prof.start("mc.merge", &mut sink);
     let mut work = Summary::new();
     let mut interrupted = 0u64;
     let mut periods = 0u64;
@@ -234,6 +368,8 @@ pub fn simulate_expected_work_parallel_observed<S: EventSink>(
         interrupted += intr;
         periods += m;
     }
+    prof.end(merge_span, &mut sink);
+    prof.end(root, &mut sink);
     let mc = MonteCarlo {
         work,
         interrupted_fraction: interrupted as f64 / trials.max(1) as f64,
@@ -384,6 +520,77 @@ mod tests {
             sink.events[0].kind,
             cs_obs::EventKind::RunStart { seed: 7, .. }
         ));
+    }
+
+    #[test]
+    fn profiled_serial_is_passthrough_with_batch_spans() {
+        use cs_obs::{EventKind as K, MemorySink};
+        let p = Uniform::new(100.0).unwrap();
+        let s = sched(&[30.0, 20.0]);
+        let plain = simulate_expected_work(&s, &p, 2.0, 400, 99);
+        let mut sink = MemorySink::new();
+        let mut prof = SpanProfiler::new();
+        let profiled = simulate_expected_work_profiled(&s, &p, 2.0, 400, 99, &mut sink, &mut prof);
+        // Pass-through: bit-identical tallies.
+        assert_eq!(plain.work.mean().to_bits(), profiled.work.mean().to_bits());
+        assert_eq!(plain.work.count(), profiled.work.count());
+        assert_eq!(plain.interrupted_fraction, profiled.interrupted_fraction);
+        // 20 progress strides → 20 batch spans under one mc.trials root.
+        assert_eq!(prof.open_spans(), 0);
+        let batches = prof.registry().histogram("span_ns.mc.trial_batch").unwrap();
+        assert_eq!(batches.count(), 20);
+        assert_eq!(
+            prof.registry()
+                .histogram("span_ns.mc.trials")
+                .unwrap()
+                .count(),
+            1
+        );
+        assert_eq!(prof.registry().counter("span.mc.trial_batch.trials"), 400);
+        // Trace layout: run_start first, run_end last, spans balanced.
+        assert!(matches!(
+            sink.events.first().unwrap().kind,
+            K::RunStart { .. }
+        ));
+        assert!(matches!(sink.events.last().unwrap().kind, K::RunEnd { .. }));
+        let starts = sink
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, K::SpanStart { .. }))
+            .count();
+        let ends = sink
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, K::SpanEnd { .. }))
+            .count();
+        assert_eq!(starts, 21);
+        assert_eq!(starts, ends);
+    }
+
+    #[test]
+    fn profiled_parallel_is_passthrough_with_shard_spans() {
+        use cs_obs::MemorySink;
+        let p = Uniform::new(200.0).unwrap();
+        let s = sched(&[60.0, 50.0]);
+        let plain = simulate_expected_work_parallel(&s, &p, 4.0, 8000, 7, 4);
+        let mut sink = MemorySink::new();
+        let mut prof = SpanProfiler::new();
+        let profiled =
+            simulate_expected_work_parallel_profiled(&s, &p, 4.0, 8000, 7, 4, &mut sink, &mut prof);
+        assert_eq!(plain.work.mean().to_bits(), profiled.work.mean().to_bits());
+        assert_eq!(plain.work.max().to_bits(), profiled.work.max().to_bits());
+        assert_eq!(prof.open_spans(), 0);
+        for span in ["span_ns.mc.trials", "span_ns.mc.shards", "span_ns.mc.merge"] {
+            assert_eq!(
+                prof.registry().histogram(span).unwrap().count(),
+                1,
+                "{span}"
+            );
+        }
+        // Every emitted line validates under the v2 schema.
+        for e in &sink.events {
+            cs_obs::validate_line(&e.to_jsonl()).unwrap();
+        }
     }
 
     #[test]
