@@ -1,0 +1,8 @@
+//! Thin shim: runs the registered [`cs_bench::experiments::exp_chaos`]
+//! experiment through the shared harness. All logic lives in the library.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    cs_bench::harness::main_for(&cs_bench::experiments::exp_chaos::Exp)
+}

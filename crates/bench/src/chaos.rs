@@ -1,0 +1,282 @@
+//! The deterministic chaos harness: kill the master everywhere, prove
+//! recovery is exact.
+//!
+//! The journal layer (`cs_obs::journal` + `cs_now::journal`) promises a
+//! *kill-anywhere* guarantee: crash the master at any journal record
+//! boundary — even mid-write, leaving a torn final record — and
+//! [`cs_now::Farm::resume`] finishes the episode with a `FarmReport`
+//! **bitwise identical** to the uninterrupted run, stitching the journal
+//! into the exact byte stream the uninterrupted run would have written.
+//!
+//! [`run_chaos`] enforces that promise exhaustively: it journals one
+//! seeded faulty reference run, then for every (or every `sample`-th)
+//! record boundary truncates the journal there — alternately appending a
+//! torn record fragment, the signature of a real mid-write crash — resumes,
+//! and byte/bit-compares. Any deviation is collected as a mismatch, and
+//! mismatches fail the `exp_chaos` experiment and the `cyclesteal chaos`
+//! CI step. Everything is seeded and virtual-time: no sleeps, no real
+//! signals, fully reproducible.
+
+use cs_life::{ArcLife, Uniform};
+use cs_now::farm::{Farm, FarmConfig, FarmReport, PolicySpec, WorkstationConfig};
+use cs_now::faults::FaultPlan;
+use cs_tasks::{workloads, TaskBag};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Scenario knobs for one chaos sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Borrowed workstations in the farm.
+    pub workstations: usize,
+    /// Unit tasks in the bag.
+    pub tasks: usize,
+    /// Run seed (fixes the whole fault schedule).
+    pub seed: u64,
+    /// [`FaultPlan::scaled`] intensity for every workstation.
+    pub intensity: f64,
+    /// Kill at this many evenly spaced record boundaries instead of every
+    /// one (`None` = every boundary — the full kill-anywhere proof).
+    pub sample: Option<usize>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            workstations: 4,
+            tasks: 200,
+            seed: 4242,
+            intensity: 0.6,
+            sample: None,
+        }
+    }
+}
+
+/// What a chaos sweep found.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosOutcome {
+    /// Records in the uninterrupted reference journal.
+    pub records: usize,
+    /// Kill points exercised.
+    pub kill_points: usize,
+    /// Kill points that additionally injected a torn record fragment.
+    pub torn_trials: usize,
+    /// Resumes whose report and stitched journal matched exactly.
+    pub resumed_ok: usize,
+    /// Every deviation found (empty = kill-anywhere guarantee holds).
+    pub mismatches: Vec<String>,
+}
+
+impl ChaosOutcome {
+    /// True when every kill point recovered exactly.
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty() && self.resumed_ok == self.kill_points
+    }
+}
+
+/// The chaos scenario's farm: a mildly heterogeneous NOW under the
+/// canonical scaled fault mix with periodic reclaim storms (the
+/// `exp_fault_tolerance` shape, sized for exhaustive killing).
+pub fn chaos_farm_config(cfg: &ChaosConfig) -> FarmConfig {
+    let workstations = (0..cfg.workstations)
+        .map(|i| {
+            let life: ArcLife = Arc::new(Uniform::new(120.0 + 20.0 * (i % 3) as f64).unwrap());
+            WorkstationConfig {
+                life: life.clone(),
+                believed: life,
+                c: 2.0,
+                policy: PolicySpec::Guideline,
+                gap_mean: 10.0,
+                faults: FaultPlan::scaled(cfg.intensity),
+            }
+        })
+        .collect();
+    let mut config = FarmConfig::new(workstations, 1e6, cfg.seed);
+    config.storms = (1..=10).map(|k| 400.0 * k as f64).collect();
+    config
+}
+
+fn chaos_bag(cfg: &ChaosConfig) -> TaskBag {
+    workloads::uniform(cfg.tasks, 1.0).expect("positive task count")
+}
+
+/// Bitwise comparison of two farm reports; returns the first difference.
+fn report_diff(a: &FarmReport, b: &FarmReport) -> Option<String> {
+    let f = |name: &str, x: f64, y: f64| {
+        (x.to_bits() != y.to_bits()).then(|| format!("{name}: {x:?} != {y:?}"))
+    };
+    f("makespan", a.makespan, b.makespan)
+        .or_else(|| f("completed_work", a.completed_work, b.completed_work))
+        .or_else(|| f("lost_work", a.lost_work, b.lost_work))
+        .or_else(|| f("remaining_work", a.remaining_work, b.remaining_work))
+        .or_else(|| (a.drained != b.drained).then(|| "drained differs".to_string()))
+        .or_else(|| (a.robustness != b.robustness).then(|| "robustness differs".to_string()))
+        .or_else(|| {
+            a.per_workstation
+                .iter()
+                .zip(&b.per_workstation)
+                .enumerate()
+                .find_map(|(ws, (x, y))| {
+                    f(
+                        &format!("ws {ws} completed_work"),
+                        x.completed_work,
+                        y.completed_work,
+                    )
+                    .or_else(|| f(&format!("ws {ws} lost_work"), x.lost_work, y.lost_work))
+                    .or_else(|| {
+                        (x.chunks_completed != y.chunks_completed
+                            || x.episodes != y.episodes
+                            || x.lease_timeouts != y.lease_timeouts)
+                            .then(|| format!("ws {ws} counters differ"))
+                    })
+                })
+        })
+}
+
+fn scratch_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cs_chaos_{tag}_{}.jsonl", std::process::id()))
+}
+
+/// Runs one full chaos sweep: reference journaled run, then kill + resume
+/// at each selected record boundary. Returns the outcome; hard setup
+/// failures (unwritable temp dir, invalid scenario) are `Err`.
+pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
+    let ref_path = scratch_path(&format!("ref_{}", cfg.seed));
+    let farm = Farm::new(chaos_farm_config(cfg), chaos_bag(cfg)).map_err(|e| e.to_string())?;
+    let (ref_report, _stats) = farm
+        .run_journaled(&ref_path)
+        .map_err(|e| format!("reference journaled run: {e}"))?;
+    let ref_bytes = std::fs::read(&ref_path).map_err(|e| e.to_string())?;
+    let records: Vec<&[u8]> = ref_bytes.split_inclusive(|&b| b == b'\n').collect();
+    let n = records.len();
+    if n < 3 {
+        return Err(format!("degenerate scenario: only {n} journal records"));
+    }
+
+    // The uninterrupted journal itself must pass the strict invariant gate.
+    let mut out = ChaosOutcome {
+        records: n,
+        ..Default::default()
+    };
+    let ref_text = String::from_utf8_lossy(&ref_bytes);
+    let check = cs_obs::check_text(&ref_text, true);
+    if !check.ok() {
+        out.mismatches.push(format!(
+            "reference journal fails obs check: {:?}",
+            check.violations
+        ));
+    }
+
+    // Kill boundaries: after k committed records, k in 1..n (killing after
+    // all n records is the complete-journal verification case, also
+    // exercised).
+    let kill_points: Vec<usize> = match cfg.sample {
+        None => (1..=n).collect(),
+        Some(s) if s >= n => (1..=n).collect(),
+        Some(s) => {
+            let s = s.max(2);
+            // Evenly spaced over [1, n], endpoints included.
+            (0..s).map(|i| 1 + i * (n - 1) / (s - 1)).collect()
+        }
+    };
+    let trial_path = scratch_path(&format!("trial_{}", cfg.seed));
+    let total_work = cfg.tasks as f64;
+    for (trial, &k) in kill_points.iter().enumerate() {
+        let torn = trial % 2 == 1 && k < n;
+        let mut prefix: Vec<u8> = records[..k].concat();
+        if torn {
+            // A mid-write crash: the next record got partially out.
+            prefix.extend_from_slice(b"{\"v\":2,\"t\":17.25,\"typ");
+            out.torn_trials += 1;
+        }
+        std::fs::write(&trial_path, &prefix).map_err(|e| e.to_string())?;
+        match Farm::resume(chaos_farm_config(cfg), chaos_bag(cfg), &trial_path) {
+            Ok((report, info)) => {
+                let mut bad = false;
+                if let Some(d) = report_diff(&ref_report, &report) {
+                    out.mismatches
+                        .push(format!("kill after {k} records: report differs: {d}"));
+                    bad = true;
+                }
+                match std::fs::read(&trial_path) {
+                    Ok(stitched) if stitched != ref_bytes => {
+                        out.mismatches.push(format!(
+                            "kill after {k} records: stitched journal differs \
+                             ({} vs {} bytes)",
+                            stitched.len(),
+                            ref_bytes.len()
+                        ));
+                        bad = true;
+                    }
+                    Err(e) => {
+                        out.mismatches
+                            .push(format!("kill after {k} records: reread failed: {e}"));
+                        bad = true;
+                    }
+                    _ => {}
+                }
+                // Work conservation, independent of the reference run.
+                let mass = report.completed_work + report.remaining_work;
+                if (mass - total_work).abs() > 1e-6 {
+                    out.mismatches.push(format!(
+                        "kill after {k} records: work not conserved: \
+                         banked {} + remaining {} != {total_work}",
+                        report.completed_work, report.remaining_work
+                    ));
+                    bad = true;
+                }
+                if info.records_replayed != k as u64 {
+                    out.mismatches.push(format!(
+                        "kill after {k} records: replayed {} records",
+                        info.records_replayed
+                    ));
+                    bad = true;
+                }
+                if !bad {
+                    out.resumed_ok += 1;
+                }
+            }
+            Err(e) => out
+                .mismatches
+                .push(format!("kill after {k} records: resume failed: {e}")),
+        }
+    }
+    out.kill_points = kill_points.len();
+    std::fs::remove_file(&trial_path).ok();
+    std::fs::remove_file(&ref_path).ok();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_chaos_sweep_holds_the_kill_anywhere_guarantee() {
+        let cfg = ChaosConfig {
+            tasks: 80,
+            sample: Some(7),
+            ..Default::default()
+        };
+        let out = run_chaos(&cfg).unwrap();
+        assert!(out.ok(), "mismatches: {:#?}", out.mismatches);
+        assert_eq!(out.kill_points, 7);
+        assert!(out.torn_trials >= 2, "{out:?}");
+        assert!(out.records > 10);
+    }
+
+    #[test]
+    fn exhaustive_chaos_on_a_tiny_farm() {
+        // Small enough to kill at EVERY record boundary in test time.
+        let cfg = ChaosConfig {
+            workstations: 2,
+            tasks: 25,
+            seed: 99,
+            intensity: 0.8,
+            sample: None,
+        };
+        let out = run_chaos(&cfg).unwrap();
+        assert!(out.ok(), "mismatches: {:#?}", out.mismatches);
+        assert_eq!(out.kill_points, out.records);
+    }
+}

@@ -17,6 +17,7 @@ pub mod exp_5_2_growth;
 pub mod exp_6_adaptive;
 pub mod exp_6_greedy;
 pub mod exp_ablation;
+pub mod exp_chaos;
 pub mod exp_competitive;
 pub mod exp_discrete;
 pub mod exp_fault_tolerance;
@@ -54,6 +55,7 @@ pub fn all() -> Vec<&'static dyn Experiment> {
         &exp_saves::Exp,
         &exp_now_farm::Exp,
         &exp_fault_tolerance::Exp,
+        &exp_chaos::Exp,
         &exp_obs_validate::Exp,
     ]
 }

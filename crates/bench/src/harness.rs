@@ -187,7 +187,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_listable() {
         let all = crate::experiments::all();
-        assert_eq!(all.len(), 21, "all 21 experiments registered");
+        assert_eq!(all.len(), 22, "all 22 experiments registered");
         let mut ids: Vec<&str> = all.iter().map(|e| e.id()).collect();
         ids.sort_unstable();
         let n = ids.len();

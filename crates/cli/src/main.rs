@@ -21,6 +21,7 @@ use cs_core::{dp, search};
 use cs_life::LifeFunction;
 use cs_now::farm::{Farm, FarmConfig, PolicySpec, WorkstationConfig};
 use cs_now::faults::FaultPlan;
+use cs_now::{guideline_fsync_policy, JournalOptions};
 use cs_obs::{JsonlSink, MetricsSink, SpanProfiler, TeeSink};
 use cs_scenarios::{LifeSpec, PolicyParseError, LIFE_OPTS};
 use cs_tasks::workloads;
@@ -63,6 +64,20 @@ COMMANDS:
                --trace-out <file>       write the event stream as JSONL
                --metrics                print the folded metrics registry
                --profile                time master phases (span profiler)
+               durability (journal and resume are mutually exclusive, and
+               neither combines with --trace-out/--metrics/--profile):
+               --journal <file>         run with a durable write-ahead journal
+               --resume <file>          recover an interrupted journaled run
+               --kill-after <n>         crash drill: abort the process after
+                                        n committed journal records
+    chaos      Kill-anywhere proof: journal a faulty farm, kill the master
+               at record boundaries, resume, and demand bitwise-identical
+               reports and a byte-identical stitched journal.
+               --workstations <n> --tasks <m> --seed <s>
+               --faults <intensity>     canonical escalation (as farm)
+               --sample <k>             kill at k spread boundaries (default:
+                                        every record boundary)
+               --quick                  small farm + sampled kills (CI smoke)
     saves      Checkpoint-interval planning under Poisson faults.
                --work <w> --c <save cost> --lambda <fault rate>
     exp        Run registered paper experiments (crates/bench registry).
@@ -74,7 +89,10 @@ COMMANDS:
                --input <file>           experiment input (exp_obs_validate)
     obs        Analyze recorded traces and perf baselines.
                report <trace.jsonl>     event counts, span tree, attribution
-               check  <trace.jsonl>     invariant gate (non-zero exit on fail)
+               check [--strict] <trace.jsonl>
+                                        invariant gate (non-zero exit on fail);
+                                        a torn final record is a warning
+                                        unless --strict
                diff [--threshold <rel>] [--bench] <a> <b>
                                         flag metric/baseline regressions
     help       Show this message.
@@ -105,6 +123,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args),
         Some("fit") => cmd_fit(&args),
         Some("farm") => cmd_farm(&args),
+        Some("chaos") => cmd_chaos(&args),
         Some("saves") => cmd_saves(&args),
         Some("exp") => cmd_exp(&args),
         Some("help") | None => {
@@ -402,7 +421,35 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
         "trace-out",
         "metrics",
         "profile",
+        "journal",
+        "resume",
+        "kill-after",
     ])?;
+    let journal = args.get("journal").map(String::from);
+    let resume = args.get("resume").map(String::from);
+    if journal.is_some() && resume.is_some() {
+        return Err("--journal and --resume are mutually exclusive".into());
+    }
+    let kill_after = match args.get("kill-after") {
+        None => None,
+        Some(_) => Some(args.u64_or("kill-after", 0)?),
+    };
+    if journal.is_some() || resume.is_some() {
+        // Journaled runs must replay deterministically on resume; the span
+        // profiler stamps wall-clock events and the tee sinks would observe
+        // a second, unjournaled copy of the stream.
+        for opt in ["trace-out", "metrics", "profile"] {
+            if args.get(opt).is_some() {
+                return Err(format!(
+                    "--{opt} cannot be combined with --journal/--resume \
+                     (the journal itself is the trace; replay must be \
+                     deterministic)"
+                ));
+            }
+        }
+    } else if kill_after.is_some() {
+        return Err("--kill-after needs --journal or --resume".into());
+    }
     let n_ws = args.usize_or("workstations", 4)?;
     let tasks = args.usize_or("tasks", 1000)?;
     let l = args.f64_or("l", 150.0)?;
@@ -437,6 +484,11 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
                 .collect::<Result<_, _>>()?
         }
     };
+    // Surface the typed per-field diagnosis now, before the plan is cloned
+    // into every workstation and re-validated behind FarmConfigError.
+    faults
+        .validate()
+        .map_err(|e| format!("invalid fault plan: {e}"))?;
     let policy = PolicySpec::parse(args.get("policy").unwrap_or("guideline")).map_err(
         // Reconstruct the exact option-prefixed messages this command has
         // always printed.
@@ -464,7 +516,39 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
     let injecting = !faults.is_zero() || !config.storms.is_empty();
     let mut trace = TraceOutputs::from_args(args)?;
     let mut prof = profiler_from_args(args);
-    let report = {
+    // `durable_lines` carries the journal/recovery stats printed after the
+    // standard report (empty for plain runs).
+    let mut durable_lines: Vec<String> = Vec::new();
+    let report = if let Some(path) = resume {
+        let (report, info) =
+            Farm::resume_with(config, bag, &path, kill_after).map_err(|e| e.to_string())?;
+        durable_lines.push(format!(
+            "resumed       : {} records replayed, {} appended -> {path}",
+            info.records_replayed, info.records_appended
+        ));
+        if info.torn_bytes_discarded > 0 {
+            durable_lines.push(format!(
+                "torn tail     : {} bytes of a half-written record discarded",
+                info.torn_bytes_discarded
+            ));
+        }
+        report
+    } else if let Some(path) = journal {
+        let fsync = guideline_fsync_policy(&config);
+        let cadence = match fsync {
+            cs_obs::FsyncPolicy::EveryRecord => "every record".to_string(),
+            cs_obs::FsyncPolicy::Interval(dt) => format!("cadence {dt:.2} virtual time"),
+        };
+        let (report, stats) = Farm::new(config, bag)
+            .map_err(|e| e.to_string())?
+            .run_journaled_with(&path, JournalOptions { fsync, kill_after })
+            .map_err(|e| e.to_string())?;
+        durable_lines.push(format!(
+            "journal       : {} records, {} fsyncs ({cadence}) -> {path}",
+            stats.records, stats.syncs
+        ));
+        report
+    } else {
         let mut tee = trace.tee();
         Farm::new(config, bag)
             .map_err(|e| e.to_string())?
@@ -505,8 +589,54 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
         ]);
     }
     println!("{}", table.render());
+    for line in &durable_lines {
+        println!("{line}");
+    }
     print_profile(prof);
     trace.finish()
+}
+
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    args.check_known(&["workstations", "tasks", "seed", "faults", "sample", "quick"])?;
+    let quick = args.flag("quick");
+    let cfg = cs_bench::chaos::ChaosConfig {
+        workstations: args.usize_or("workstations", if quick { 2 } else { 4 })?,
+        tasks: args.usize_or("tasks", if quick { 60 } else { 200 })?,
+        seed: args.u64_or("seed", 4242)?,
+        intensity: args.f64_or("faults", 0.6)?,
+        sample: match args.get("sample") {
+            Some(_) => Some(args.usize_or("sample", 0)?),
+            None if quick => Some(16),
+            None => None,
+        },
+    };
+    let out = cs_bench::chaos::run_chaos(&cfg)?;
+    println!(
+        "farm          : {} workstations, {} tasks, seed {}, fault intensity {}",
+        cfg.workstations, cfg.tasks, cfg.seed, cfg.intensity
+    );
+    println!(
+        "journal       : {} records in the uninterrupted reference",
+        out.records
+    );
+    println!(
+        "kill points   : {} exercised ({} with a torn half-record)",
+        out.kill_points, out.torn_trials
+    );
+    println!("exact resumes : {}", out.resumed_ok);
+    for m in &out.mismatches {
+        println!("MISMATCH: {m}");
+    }
+    if out.ok() {
+        println!("PASS: every kill point recovered bitwise-identically");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} mismatch(es) across {} kill points",
+            out.mismatches.len(),
+            out.kill_points
+        ))
+    }
 }
 
 fn cmd_exp(args: &Args) -> Result<(), String> {
@@ -574,6 +704,34 @@ mod tests {
         assert!(v.contains("insufficient samples"), "{v}");
         assert_eq!(agreement_verdict(5.0, 5.0, 0.1, 100), "yes (within 3 s.e.)");
         assert_eq!(agreement_verdict(5.0, 9.0, 0.1, 100), "NO");
+    }
+
+    fn farm_args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn farm_rejects_contradictory_durability_flags() {
+        let err = cmd_farm(&farm_args("farm --journal a.jsonl --resume b.jsonl")).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        for opt in ["--trace-out t.jsonl", "--metrics", "--profile"] {
+            let err = cmd_farm(&farm_args(&format!("farm --journal a.jsonl {opt}"))).unwrap_err();
+            assert!(err.contains("--journal/--resume"), "{err}");
+            let err = cmd_farm(&farm_args(&format!("farm --resume a.jsonl {opt}"))).unwrap_err();
+            assert!(err.contains("--journal/--resume"), "{err}");
+        }
+        let err = cmd_farm(&farm_args("farm --kill-after 5")).unwrap_err();
+        assert!(err.contains("needs --journal or --resume"), "{err}");
+    }
+
+    #[test]
+    fn farm_surfaces_the_typed_fault_plan_error() {
+        let err = cmd_farm(&farm_args("farm --loss 1.5")).unwrap_err();
+        assert!(err.contains("invalid fault plan"), "{err}");
+        assert!(err.contains("loss_prob"), "{err}");
+        assert!(err.contains("1.5"), "{err}");
+        let err = cmd_farm(&farm_args("farm --slowdown 0.5")).unwrap_err();
+        assert!(err.contains("slowdown"), "{err}");
     }
 
     #[test]

@@ -5,17 +5,20 @@
 //! the library.
 
 use cs_apps::{fmt, fmt_opt, Table};
-use cs_obs::{analyze_lines, check_lines, diff_bench, diff_registries, DiffRow, TraceAnalysis};
+use cs_obs::{analyze_lines, check_text, diff_bench, diff_registries, DiffRow, TraceAnalysis};
 
 const USAGE: &str = "\
 usage:
     cyclesteal obs report <trace.jsonl>
         Event counts, span timing tree (p50/p90/p99) and per-workstation
         bank/loss attribution for one trace.
-    cyclesteal obs check <trace.jsonl>
+    cyclesteal obs check [--strict] <trace.jsonl>
         Schema + invariant gate: run bracketing, balanced spans, monotone
         span/progress stamps, bitwise bank reconciliation. Non-zero exit
-        on any violation.
+        on any violation. A torn final record (a crash mid-write, e.g. a
+        killed journaled run) is reported as a warning and the rest of the
+        trace is checked as an interrupted prefix; --strict makes the torn
+        tail itself a failure.
     cyclesteal obs diff [--threshold <rel>] [--bench] <a> <b>
         Compare two traces' folded metrics (or, with --bench, two
         BENCH.json baselines, flagging only regressions). Non-zero exit
@@ -27,7 +30,7 @@ usage:
 pub fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("report") => cmd_report(one_path(&args[1..], "obs report")?),
-        Some("check") => cmd_check(one_path(&args[1..], "obs check")?),
+        Some("check") => cmd_check(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         _ => Err(USAGE.to_string()),
     }
@@ -99,13 +102,29 @@ fn cmd_report(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_check(path: &str) -> Result<(), String> {
+fn cmd_check(rest: &[String]) -> Result<(), String> {
+    let mut strict = false;
+    let mut path: Option<&str> = None;
+    for tok in rest {
+        match tok.as_str() {
+            "--strict" => strict = true,
+            p if p.starts_with("--") => {
+                return Err(format!("obs check: unknown option {p}\n\n{USAGE}"))
+            }
+            p if path.is_none() => path = Some(p),
+            _ => return Err(format!("obs check takes exactly one trace file\n\n{USAGE}")),
+        }
+    }
+    let path = path.ok_or_else(|| format!("obs check takes exactly one trace file\n\n{USAGE}"))?;
     let text = read(path)?;
-    let s = check_lines(text.lines());
+    let s = check_text(&text, strict);
     println!(
         "checked       : {} events, {} runs ({} bank-reconciled), {} spans",
         s.lines, s.runs, s.reconciled_runs, s.spans
     );
+    if let Some(warn) = &s.torn_tail {
+        println!("WARNING: {warn} (interrupted-run prefix tolerated; --strict fails)");
+    }
     if s.ok() {
         println!("PASS: every invariant holds");
         Ok(())
@@ -199,6 +218,34 @@ mod tests {
         assert!(err.contains("exactly one trace file"), "{err}");
         let err = run(&["diff".to_string(), "a".to_string()]).unwrap_err();
         assert!(err.contains("exactly two files"), "{err}");
+    }
+
+    #[test]
+    fn check_parses_strict_and_rejects_extras() {
+        let err = run(&["check".to_string()]).unwrap_err();
+        assert!(err.contains("exactly one trace file"), "{err}");
+        let err = run(&[
+            "check".to_string(),
+            "a.jsonl".to_string(),
+            "b.jsonl".to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("exactly one trace file"), "{err}");
+        let err = run(&[
+            "check".to_string(),
+            "--struct".to_string(),
+            "a.jsonl".to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown option --struct"), "{err}");
+        // --strict itself parses; the error is then the missing file.
+        let err = run(&[
+            "check".to_string(),
+            "--strict".to_string(),
+            "/no/such/trace.jsonl".to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("/no/such/trace.jsonl"), "{err}");
     }
 
     #[test]

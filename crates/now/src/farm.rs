@@ -125,7 +125,7 @@ impl FarmConfig {
             }
             w.faults
                 .validate()
-                .map_err(|reason| FarmConfigError::InvalidFaultPlan { ws, reason })?;
+                .map_err(|source| FarmConfigError::InvalidFaultPlan { ws, source })?;
         }
         self.resilience
             .validate()
@@ -167,8 +167,8 @@ pub enum FarmConfigError {
     InvalidFaultPlan {
         /// Index of the offending workstation.
         ws: usize,
-        /// What is wrong with the plan.
-        reason: &'static str,
+        /// The typed per-field error from [`FaultPlan::validate`].
+        source: crate::faults::FaultPlanError,
     },
     /// The resilience configuration has an out-of-range parameter.
     InvalidResilience {
@@ -206,8 +206,8 @@ impl std::fmt::Display for FarmConfigError {
                     "workstation {ws}: gap_mean must be finite and positive, got {gap_mean}"
                 )
             }
-            FarmConfigError::InvalidFaultPlan { ws, reason } => {
-                write!(f, "workstation {ws}: invalid fault plan: {reason}")
+            FarmConfigError::InvalidFaultPlan { ws, source } => {
+                write!(f, "workstation {ws}: invalid fault plan: {source}")
             }
             FarmConfigError::InvalidResilience { reason } => {
                 write!(f, "invalid resilience config: {reason}")
@@ -219,7 +219,14 @@ impl std::fmt::Display for FarmConfigError {
     }
 }
 
-impl std::error::Error for FarmConfigError {}
+impl std::error::Error for FarmConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FarmConfigError::InvalidFaultPlan { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Per-workstation outcome.
 #[derive(Debug, Clone, Copy, Default)]
@@ -541,12 +548,14 @@ impl Engine {
     }
 }
 
-/// The farm simulator. Construct with [`Farm::new`], then [`Farm::run`].
+/// The farm simulator. Construct with [`Farm::new`], then [`Farm::run`]
+/// (or the durable [`Farm::run_journaled`] / [`Farm::resume`] pair in
+/// [`crate::journal`]).
 pub struct Farm {
-    config: FarmConfig,
-    bag: TaskBag,
+    pub(crate) config: FarmConfig,
+    pub(crate) bag: TaskBag,
     /// Sorted copy of `config.storms`.
-    storms: Vec<f64>,
+    pub(crate) storms: Vec<f64>,
 }
 
 impl Farm {

@@ -130,27 +130,94 @@ impl FaultPlan {
     }
 
     /// Validates the plan's numeric ranges.
-    pub fn validate(&self) -> Result<(), &'static str> {
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
         if !(self.loss_prob.is_finite() && (0.0..=1.0).contains(&self.loss_prob)) {
-            return Err("loss_prob must be a probability in [0, 1]");
+            return Err(FaultPlanError::LossProb {
+                value: self.loss_prob,
+            });
         }
         if !(self.slowdown.is_finite() && self.slowdown >= 1.0) {
-            return Err("slowdown must be finite and >= 1");
+            return Err(FaultPlanError::Slowdown {
+                value: self.slowdown,
+            });
         }
         if !(self.crash_rate.is_finite() && self.crash_rate >= 0.0) {
-            return Err("crash_rate must be finite and >= 0");
+            return Err(FaultPlanError::CrashRate {
+                value: self.crash_rate,
+            });
         }
         if !(self.storm_hit_prob.is_finite() && (0.0..=1.0).contains(&self.storm_hit_prob)) {
-            return Err("storm_hit_prob must be a probability in [0, 1]");
+            return Err(FaultPlanError::StormHitProb {
+                value: self.storm_hit_prob,
+            });
         }
         if let Some(d) = &self.drift {
             if !(d.at.is_finite() && d.at >= 0.0) {
-                return Err("drift time must be finite and >= 0");
+                return Err(FaultPlanError::DriftAt { value: d.at });
             }
         }
         Ok(())
     }
 }
+
+/// Which [`FaultPlan`] parameter is out of range, mirroring the typed
+/// [`crate::farm::FarmConfigError`] so CLI and library callers can name
+/// the offending field and value instead of matching on message strings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// `loss_prob` is not a probability.
+    LossProb {
+        /// The offending value.
+        value: f64,
+    },
+    /// `slowdown` is below nominal speed or not finite.
+    Slowdown {
+        /// The offending value.
+        value: f64,
+    },
+    /// `crash_rate` is negative or not finite.
+    CrashRate {
+        /// The offending value.
+        value: f64,
+    },
+    /// `storm_hit_prob` is not a probability.
+    StormHitProb {
+        /// The offending value.
+        value: f64,
+    },
+    /// A [`BeliefDrift::at`] time is negative or not finite.
+    DriftAt {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::LossProb { value } => {
+                write!(f, "loss_prob must be a probability in [0, 1], got {value}")
+            }
+            FaultPlanError::Slowdown { value } => {
+                write!(f, "slowdown must be finite and >= 1, got {value}")
+            }
+            FaultPlanError::CrashRate { value } => {
+                write!(f, "crash_rate must be finite and >= 0, got {value}")
+            }
+            FaultPlanError::StormHitProb { value } => {
+                write!(
+                    f,
+                    "storm_hit_prob must be a probability in [0, 1], got {value}"
+                )
+            }
+            FaultPlanError::DriftAt { value } => {
+                write!(f, "drift time must be finite and >= 0, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// The resilient master's knobs: how it detects and routes around the
 /// faults a [`FaultPlan`] injects. The `Default` is a sane middle ground;
@@ -249,26 +316,49 @@ mod tests {
     }
 
     #[test]
-    fn plan_validation_rejects_bad_ranges() {
+    fn plan_validation_rejects_bad_ranges_with_typed_errors() {
         let bad = |f: fn(&mut FaultPlan)| {
             let mut p = FaultPlan::none();
             f(&mut p);
             p.validate()
         };
-        assert!(bad(|p| p.loss_prob = -0.1).is_err());
-        assert!(bad(|p| p.loss_prob = 1.5).is_err());
-        assert!(bad(|p| p.loss_prob = f64::NAN).is_err());
-        assert!(bad(|p| p.slowdown = 0.5).is_err());
-        assert!(bad(|p| p.crash_rate = -1.0).is_err());
-        assert!(bad(|p| p.storm_hit_prob = 2.0).is_err());
-        assert!(bad(|p| {
-            p.drift = Some(BeliefDrift {
-                at: f64::NAN,
-                new_life: Arc::new(Uniform::new(10.0).unwrap()),
-            })
-        })
-        .is_err());
+        assert_eq!(
+            bad(|p| p.loss_prob = -0.1),
+            Err(FaultPlanError::LossProb { value: -0.1 })
+        );
+        assert_eq!(
+            bad(|p| p.loss_prob = 1.5),
+            Err(FaultPlanError::LossProb { value: 1.5 })
+        );
+        assert!(matches!(
+            bad(|p| p.loss_prob = f64::NAN),
+            Err(FaultPlanError::LossProb { value }) if value.is_nan()
+        ));
+        assert_eq!(
+            bad(|p| p.slowdown = 0.5),
+            Err(FaultPlanError::Slowdown { value: 0.5 })
+        );
+        assert_eq!(
+            bad(|p| p.crash_rate = -1.0),
+            Err(FaultPlanError::CrashRate { value: -1.0 })
+        );
+        assert_eq!(
+            bad(|p| p.storm_hit_prob = 2.0),
+            Err(FaultPlanError::StormHitProb { value: 2.0 })
+        );
+        assert!(matches!(
+            bad(|p| {
+                p.drift = Some(BeliefDrift {
+                    at: f64::NAN,
+                    new_life: Arc::new(Uniform::new(10.0).unwrap()),
+                })
+            }),
+            Err(FaultPlanError::DriftAt { value }) if value.is_nan()
+        ));
         assert!(FaultPlan::none().validate().is_ok());
+        // The typed error names the field and the offending value.
+        let msg = FaultPlanError::LossProb { value: 1.5 }.to_string();
+        assert!(msg.contains("loss_prob") && msg.contains("1.5"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,682 @@
+//! Durable episodes: journaled farm runs and crash recovery.
+//!
+//! [`Farm::run_journaled`] runs the virtual-time farm with every master
+//! state transition written to a [`cs_obs::JournalWriter`] — the same v2
+//! JSONL stream [`Farm::run_observed`] emits, made durable with
+//! fsync-on-commit. If the master dies (power cut, OOM kill, `--kill-after`
+//! in the chaos harness), [`Farm::resume`] picks the episode back up from
+//! the journal and the final [`FarmReport`] is **bitwise identical** to the
+//! uninterrupted run.
+//!
+//! # Recovery by deterministic redo
+//!
+//! The farm is a deterministic function of `(FarmConfig, TaskBag)`: the
+//! seed fixes the master RNG and every per-workstation fault stream, and
+//! the event queue breaks ties totally. Rather than snapshotting live
+//! master state (the lease table, the policy's internal state behind
+//! `Box<dyn ChunkPolicy>`, the RNG cursors), resume **re-runs the seeded
+//! engine** and verifies it against the journal: each regenerated event is
+//! string-compared with the corresponding journal record, and once the
+//! committed prefix is exhausted the sink switches to appending (and
+//! fsyncing) new records. Any divergence — wrong config, wrong seed, a
+//! different task bag, corrupted journal — is a typed [`JournalError`],
+//! never a silently different answer. Bitwise equality of the resumed
+//! report is then true by construction *and* independently enforced by the
+//! chaos harness in `cs-bench`.
+//!
+//! A torn final record (the crash landed mid-write) is detected by
+//! [`cs_obs::read_journal`], discarded, and the file truncated to the last
+//! complete record before appending resumes.
+//!
+//! # The paper picks its own checkpoint period
+//!
+//! How often should the journal fsync? This is exactly the question the
+//! paper's §4.2 Remark poses for *scheduling saves in a fault-prone
+//! system*: committing state costs overhead `c` (here: an `fdatasync`),
+//! faults arrive at rate λ, and the optimal save interval is the same
+//! geometric-decreasing guideline as cycle-stealing chunk sizing.
+//! [`guideline_fsync_policy`] reuses `cs_saves::guideline_interval` with
+//! the farm's own parameters — `c` as the mean workstation overhead and λ
+//! as the mean owner-interruption rate `1 / gap_mean`, the farm's
+//! observable interruption intensity (the episode life functions expose no
+//! closed-form mean) — so the flush cadence in virtual time is the
+//! theory's own answer.
+
+use crate::farm::{Farm, FarmConfig, FarmConfigError, FarmReport};
+use cs_obs::{
+    read_journal, Event, EventKind, EventSink, FsyncPolicy, JournalReadError, JournalStats,
+    JournalWriter,
+};
+use std::path::Path;
+
+/// Knobs for [`Farm::run_journaled_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct JournalOptions {
+    /// When committed records are forced to stable storage.
+    pub fsync: FsyncPolicy,
+    /// Chaos hook: after this many records are committed, write a torn
+    /// record fragment and `abort()` the process — a deterministic stand-in
+    /// for SIGKILL used by `cyclesteal farm --kill-after` and CI.
+    pub kill_after: Option<u64>,
+}
+
+/// What [`Farm::resume`] did to finish the episode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Committed records replayed and verified against the journal.
+    pub records_replayed: u64,
+    /// New records appended after the prefix was exhausted.
+    pub records_appended: u64,
+    /// Bytes of torn final record discarded before appending.
+    pub torn_bytes_discarded: u64,
+}
+
+/// Why a journaled run or a resume failed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The farm configuration itself is invalid.
+    Config(FarmConfigError),
+    /// The journal file could not be read or is corrupt mid-file.
+    Read(JournalReadError),
+    /// Creating, syncing or appending the journal failed.
+    Io(std::io::Error),
+    /// The journal's `run_start` does not match this farm (wrong seed,
+    /// workstation count, or task bag).
+    HeaderMismatch {
+        /// The `run_start` record this farm would write.
+        expected: String,
+        /// The `run_start` record found in the journal.
+        found: String,
+    },
+    /// Replay regenerated a different event than the journal holds — the
+    /// config/bag do not reproduce the journaled run.
+    Diverged {
+        /// 1-based index of the mismatching record.
+        record: u64,
+        /// The journal's version.
+        journal: String,
+        /// The replay's version.
+        replayed: String,
+    },
+    /// The journal holds more committed records than the replay produced —
+    /// it belongs to a longer run than this configuration generates.
+    JournalAhead {
+        /// Committed records in the journal.
+        journal_records: u64,
+        /// Records the replay produced.
+        replayed: u64,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Config(e) => write!(f, "invalid farm config: {e}"),
+            JournalError::Read(e) => write!(f, "{e}"),
+            JournalError::Io(e) => write!(f, "journal I/O failed: {e}"),
+            JournalError::HeaderMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different run: expected header {expected}, found {found}"
+            ),
+            JournalError::Diverged {
+                record,
+                journal,
+                replayed,
+            } => write!(
+                f,
+                "replay diverged from journal at record {record}: journal has {journal}, \
+                 replay produced {replayed}"
+            ),
+            JournalError::JournalAhead {
+                journal_records,
+                replayed,
+            } => write!(
+                f,
+                "journal has {journal_records} committed records but the replay produced only \
+                 {replayed}: the journal belongs to a longer run"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Config(e) => Some(e),
+            JournalError::Read(e) => Some(e),
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FarmConfigError> for JournalError {
+    fn from(e: FarmConfigError) -> Self {
+        JournalError::Config(e)
+    }
+}
+
+impl From<JournalReadError> for JournalError {
+    fn from(e: JournalReadError) -> Self {
+        JournalError::Read(e)
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// The §4.2-guideline fsync cadence for this farm: group-commit every
+/// `guideline_interval(c̄, λ̄)` virtual time units, with `c̄` the mean
+/// workstation overhead and `λ̄ = 1 / mean(gap_mean)` the mean
+/// owner-interruption rate (see the module docs for why this stands in
+/// for the fault rate). Falls back to [`FsyncPolicy::EveryRecord`] when
+/// the guideline has no finite answer (e.g. a zero-overhead farm, where
+/// saving is free and the theory says save constantly).
+pub fn guideline_fsync_policy(config: &FarmConfig) -> FsyncPolicy {
+    let n = config.workstations.len();
+    if n == 0 {
+        return FsyncPolicy::EveryRecord;
+    }
+    let c_bar = config.workstations.iter().map(|w| w.c).sum::<f64>() / n as f64;
+    let gap_bar = config.workstations.iter().map(|w| w.gap_mean).sum::<f64>() / n as f64;
+    let lambda = 1.0 / gap_bar;
+    match cs_saves::guideline_interval(c_bar, lambda) {
+        Ok(dt) if dt.is_finite() && dt > 0.0 => FsyncPolicy::Interval(dt),
+        _ => FsyncPolicy::EveryRecord,
+    }
+}
+
+/// The sink driving a journaled (or resuming) run: verifies replayed
+/// events against the committed prefix, then appends; optionally pulls the
+/// kill switch for the chaos harness.
+struct JournalSink {
+    writer: JournalWriter,
+    /// Committed records to verify against (empty for a fresh run).
+    prefix: Vec<String>,
+    /// Records of the prefix verified so far.
+    pos: u64,
+    /// First replay/journal mismatch, latched (the run itself cannot be
+    /// stopped mid-flight; the caller turns this into an error).
+    diverged: Option<(u64, String, String)>,
+    kill_after: Option<u64>,
+}
+
+impl JournalSink {
+    fn committed(&self) -> u64 {
+        self.pos + self.writer.records()
+    }
+}
+
+impl EventSink for JournalSink {
+    fn emit(&mut self, event: &Event) {
+        if self.diverged.is_some() {
+            return;
+        }
+        let line = event.to_jsonl();
+        if (self.pos as usize) < self.prefix.len() {
+            let expected = &self.prefix[self.pos as usize];
+            if *expected != line {
+                self.diverged = Some((self.pos + 1, expected.clone(), line));
+                return;
+            }
+            self.pos += 1;
+        } else {
+            self.writer.emit(event);
+        }
+        if let Some(kill_at) = self.kill_after {
+            if self.committed() >= kill_at {
+                // Deterministic SIGKILL stand-in: make sure every committed
+                // record is on stable storage, leave a genuine torn tail,
+                // and die without unwinding.
+                self.writer.flush_sink();
+                self.writer.write_raw(b"{\"v\":2,\"t\":");
+                std::process::abort();
+            }
+        }
+    }
+
+    fn flush_sink(&mut self) {
+        self.writer.flush_sink();
+    }
+}
+
+impl Farm {
+    /// [`Farm::run_observed`] with the event stream written as a durable
+    /// write-ahead journal at `path`, fsynced on the
+    /// [`guideline_fsync_policy`] cadence. The journal is strictly
+    /// pass-through: the returned [`FarmReport`] is bit-identical to
+    /// [`Farm::run`] for the same configuration. If the process dies
+    /// mid-run, [`Farm::resume`] with the same `(config, bag)` finishes
+    /// the episode.
+    pub fn run_journaled(
+        self,
+        path: impl AsRef<Path>,
+    ) -> Result<(FarmReport, JournalStats), JournalError> {
+        let fsync = guideline_fsync_policy(&self.config);
+        self.run_journaled_with(
+            path,
+            JournalOptions {
+                fsync,
+                kill_after: None,
+            },
+        )
+    }
+
+    /// [`Farm::run_journaled`] with explicit fsync policy and the chaos
+    /// kill switch.
+    pub fn run_journaled_with(
+        self,
+        path: impl AsRef<Path>,
+        opts: JournalOptions,
+    ) -> Result<(FarmReport, JournalStats), JournalError> {
+        let writer = JournalWriter::create(path, opts.fsync)?;
+        let mut sink = JournalSink {
+            writer,
+            prefix: Vec::new(),
+            pos: 0,
+            diverged: None,
+            kill_after: opts.kill_after,
+        };
+        let report = self.run_observed(&mut sink);
+        let stats = sink.writer.finish()?;
+        Ok((report, stats))
+    }
+
+    /// Resumes a journaled run that died mid-episode.
+    ///
+    /// `config` and `bag` must be exactly what the original
+    /// [`Farm::run_journaled`] was given — the journal records the run's
+    /// transitions, not its inputs, and recovery replays the seeded engine
+    /// against the committed prefix (see the module docs). A torn final
+    /// record is discarded; the journal is then extended in place, ending
+    /// with the same bytes an uninterrupted journaled run would have
+    /// written, and the returned [`FarmReport`] is bitwise identical to
+    /// that run's. Resuming a journal that already holds a complete run
+    /// verifies it end to end and appends nothing.
+    ///
+    /// Mismatched inputs surface as [`JournalError::HeaderMismatch`] (seed,
+    /// workstation count or task count differ) or
+    /// [`JournalError::Diverged`] / [`JournalError::JournalAhead`] (anything
+    /// subtler).
+    pub fn resume(
+        config: FarmConfig,
+        bag: cs_tasks::TaskBag,
+        path: impl AsRef<Path>,
+    ) -> Result<(FarmReport, RecoveryInfo), JournalError> {
+        Self::resume_with(config, bag, path, None)
+    }
+
+    /// [`Farm::resume`] with the chaos kill switch: `kill_after` counts
+    /// total committed records (replayed + appended), so a chaos run can
+    /// kill the master again at a later boundary.
+    pub fn resume_with(
+        config: FarmConfig,
+        bag: cs_tasks::TaskBag,
+        path: impl AsRef<Path>,
+        kill_after: Option<u64>,
+    ) -> Result<(FarmReport, RecoveryInfo), JournalError> {
+        let fsync = guideline_fsync_policy(&config);
+        let farm = Farm::new(config, bag)?;
+        let journal = read_journal(&path)?;
+        if let Some(first) = journal.records.first() {
+            let expected = Event {
+                time: 0.0,
+                kind: EventKind::RunStart {
+                    seed: farm.config.seed,
+                    workstations: farm.config.workstations.len() as u64,
+                    tasks: farm.bag.pending_count() as u64,
+                },
+            }
+            .to_jsonl();
+            if *first != expected {
+                return Err(JournalError::HeaderMismatch {
+                    expected,
+                    found: first.clone(),
+                });
+            }
+        }
+        let writer = JournalWriter::append_at(&path, journal.complete_bytes, fsync)?;
+        let prefix_len = journal.records.len() as u64;
+        let mut sink = JournalSink {
+            writer,
+            prefix: journal.records,
+            pos: 0,
+            diverged: None,
+            kill_after,
+        };
+        let report = farm.run_observed(&mut sink);
+        if let Some((record, journal_line, replayed)) = sink.diverged {
+            return Err(JournalError::Diverged {
+                record,
+                journal: journal_line,
+                replayed,
+            });
+        }
+        if sink.pos < prefix_len {
+            return Err(JournalError::JournalAhead {
+                journal_records: prefix_len,
+                replayed: sink.pos,
+            });
+        }
+        let stats = sink.writer.finish()?;
+        Ok((
+            report,
+            RecoveryInfo {
+                records_replayed: prefix_len,
+                records_appended: stats.records,
+                torn_bytes_discarded: journal.torn_bytes,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::farm::{PolicySpec, WorkstationConfig};
+    use crate::faults::FaultPlan;
+    use cs_life::{ArcLife, Uniform};
+    use cs_tasks::workloads;
+    use std::sync::Arc;
+
+    pub(super) fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "cs_now_journal_{name}_{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    /// A small faulty farm exercising loss, stragglers, requeues and
+    /// end-game replication — the full journal vocabulary.
+    fn faulty_config(seed: u64) -> FarmConfig {
+        let life: ArcLife = Arc::new(Uniform::new(200.0).unwrap());
+        let ws = |faults: FaultPlan| WorkstationConfig {
+            life: life.clone(),
+            believed: life.clone(),
+            c: 2.0,
+            policy: PolicySpec::FixedSize(20.0),
+            gap_mean: 5.0,
+            faults,
+        };
+        let mut lossy = FaultPlan::none();
+        lossy.loss_prob = 0.4;
+        lossy.slowdown = 1.5;
+        let mut config = FarmConfig::new(
+            vec![ws(lossy), ws(FaultPlan::none()), ws(FaultPlan::none())],
+            1e6,
+            seed,
+        );
+        config.storms = vec![100.0, 250.0];
+        config
+    }
+
+    fn bag() -> cs_tasks::TaskBag {
+        workloads::uniform(120, 1.0).unwrap()
+    }
+
+    pub(super) fn assert_reports_bitwise_equal(a: &FarmReport, b: &FarmReport) {
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.completed_work.to_bits(), b.completed_work.to_bits());
+        assert_eq!(a.lost_work.to_bits(), b.lost_work.to_bits());
+        assert_eq!(a.remaining_work.to_bits(), b.remaining_work.to_bits());
+        assert_eq!(a.drained, b.drained);
+        assert_eq!(a.robustness, b.robustness);
+        assert_eq!(a.per_workstation.len(), b.per_workstation.len());
+        for (x, y) in a.per_workstation.iter().zip(&b.per_workstation) {
+            assert_eq!(x.completed_work.to_bits(), y.completed_work.to_bits());
+            assert_eq!(x.lost_work.to_bits(), y.lost_work.to_bits());
+            assert_eq!(x.chunks_completed, y.chunks_completed);
+            assert_eq!(x.episodes, y.episodes);
+            assert_eq!(x.lease_timeouts, y.lease_timeouts);
+            assert_eq!(x.duplicate_work.to_bits(), y.duplicate_work.to_bits());
+        }
+    }
+
+    #[test]
+    fn journaled_run_is_passthrough_and_matches_observed_trace() {
+        let path = tmp("passthrough");
+        let plain = Farm::new(faulty_config(13), bag()).unwrap().run();
+        let (journaled, stats) = Farm::new(faulty_config(13), bag())
+            .unwrap()
+            .run_journaled(&path)
+            .unwrap();
+        assert_reports_bitwise_equal(&plain, &journaled);
+        assert!(stats.records > 0 && stats.syncs > 0, "{stats:?}");
+
+        // The journal is byte-for-byte the run_observed trace.
+        let mut mem = cs_obs::MemorySink::new();
+        Farm::new(faulty_config(13), bag())
+            .unwrap()
+            .run_observed(&mut mem);
+        let expected: String = mem.events.iter().map(|e| e.to_jsonl() + "\n").collect();
+        let actual = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(actual, expected);
+
+        // And it reads back clean and passes the invariant gate.
+        let j = read_journal(&path).unwrap();
+        assert!(!j.is_torn());
+        assert_eq!(j.records.len() as u64, stats.records);
+        let check = cs_obs::check_text(&actual, true);
+        assert!(check.ok(), "{:?}", check.violations);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_from_torn_prefix_is_bitwise_identical() {
+        let ref_path = tmp("resume_ref");
+        let (full_report, _) = Farm::new(faulty_config(29), bag())
+            .unwrap()
+            .run_journaled(&ref_path)
+            .unwrap();
+        let full_bytes = std::fs::read(&ref_path).unwrap();
+        let records: Vec<&[u8]> = full_bytes.split_inclusive(|&b| b == b'\n').collect();
+        assert!(records.len() > 20, "want a non-trivial journal");
+
+        for kill_at in [1, records.len() / 3, records.len() / 2, records.len() - 1] {
+            let path = tmp(&format!("resume_{kill_at}"));
+            // Crash the master after `kill_at` records, mid-write of the
+            // next one.
+            let mut torn: Vec<u8> = records[..kill_at].concat();
+            torn.extend_from_slice(b"{\"v\":2,\"t\":9");
+            std::fs::write(&path, &torn).unwrap();
+
+            let (resumed, info) = Farm::resume(faulty_config(29), bag(), &path).unwrap();
+            assert_reports_bitwise_equal(&full_report, &resumed);
+            assert_eq!(info.records_replayed, kill_at as u64);
+            assert!(info.records_appended > 0);
+            assert!(info.torn_bytes_discarded > 0);
+            // The stitched journal is byte-identical to the uninterrupted
+            // one.
+            assert_eq!(std::fs::read(&path).unwrap(), full_bytes);
+            std::fs::remove_file(&path).ok();
+        }
+        std::fs::remove_file(&ref_path).ok();
+    }
+
+    #[test]
+    fn resume_of_a_complete_journal_verifies_and_appends_nothing() {
+        let path = tmp("complete");
+        let (report, stats) = Farm::new(faulty_config(7), bag())
+            .unwrap()
+            .run_journaled(&path)
+            .unwrap();
+        let (resumed, info) = Farm::resume(faulty_config(7), bag(), &path).unwrap();
+        assert_reports_bitwise_equal(&report, &resumed);
+        assert_eq!(info.records_replayed, stats.records);
+        assert_eq!(info.records_appended, 0);
+        assert_eq!(info.torn_bytes_discarded, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_journal() {
+        let path = tmp("foreign");
+        Farm::new(faulty_config(1), bag())
+            .unwrap()
+            .run_journaled(&path)
+            .unwrap();
+        // Wrong seed → different run_start → header mismatch.
+        match Farm::resume(faulty_config(2), bag(), &path) {
+            Err(JournalError::HeaderMismatch { expected, found }) => {
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected HeaderMismatch, got {other:?}"),
+        }
+        // Same header but a doctored interior record → divergence.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doctored = text.replacen("\"duplicate\":0}", "\"duplicate\":0.125}", 1);
+        assert_ne!(text, doctored, "fixture must contain a bank record");
+        std::fs::write(&path, doctored).unwrap();
+        match Farm::resume(faulty_config(1), bag(), &path) {
+            Err(JournalError::Diverged { record, .. }) => assert!(record > 1),
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_journal_from_a_longer_run() {
+        let path = tmp("ahead");
+        Farm::new(faulty_config(5), bag())
+            .unwrap()
+            .run_journaled(&path)
+            .unwrap();
+        // A journal strictly longer than what replay regenerates: append a
+        // copy of the final run_end record.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let last = text.lines().last().unwrap().to_string();
+        std::fs::write(&path, format!("{text}{last}\n")).unwrap();
+        match Farm::resume(faulty_config(5), bag(), &path) {
+            Err(JournalError::JournalAhead {
+                journal_records,
+                replayed,
+            }) => assert_eq!(journal_records, replayed + 1),
+            other => panic!("expected JournalAhead, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn guideline_policy_has_a_finite_cadence_for_real_farms() {
+        match guideline_fsync_policy(&faulty_config(1)) {
+            FsyncPolicy::Interval(dt) => assert!(dt.is_finite() && dt > 0.0, "dt = {dt}"),
+            p => panic!("expected an interval cadence, got {p:?}"),
+        }
+        // Zero overhead: saving is free, sync every record.
+        let mut free = faulty_config(1);
+        for w in &mut free.workstations {
+            w.c = 0.0;
+        }
+        assert_eq!(guideline_fsync_policy(&free), FsyncPolicy::EveryRecord);
+    }
+
+    #[test]
+    fn journal_errors_render() {
+        for e in [
+            JournalError::Config(FarmConfigError::NoWorkstations),
+            JournalError::HeaderMismatch {
+                expected: "a".into(),
+                found: "b".into(),
+            },
+            JournalError::Diverged {
+                record: 3,
+                journal: "x".into(),
+                replayed: "y".into(),
+            },
+            JournalError::JournalAhead {
+                journal_records: 9,
+                replayed: 4,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::tests::{assert_reports_bitwise_equal, tmp};
+    use super::*;
+    use crate::farm::{PolicySpec, WorkstationConfig};
+    use crate::faults::FaultPlan;
+    use cs_life::{ArcLife, Uniform};
+    use cs_tasks::workloads;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    /// A farm shaped by the proptest case: mild heterogeneity, the whole
+    /// fault vocabulary scaled by `intensity`, two reclaim storms.
+    fn prop_config(seed: u64, intensity: f64, workstations: usize) -> FarmConfig {
+        let workstations = (0..workstations)
+            .map(|i| {
+                let life: ArcLife = Arc::new(Uniform::new(150.0 + 25.0 * (i % 3) as f64).unwrap());
+                WorkstationConfig {
+                    life: life.clone(),
+                    believed: life,
+                    c: 2.0,
+                    policy: PolicySpec::Guideline,
+                    gap_mean: 8.0,
+                    faults: FaultPlan::scaled(intensity),
+                }
+            })
+            .collect();
+        let mut config = FarmConfig::new(workstations, 1e6, seed);
+        config.storms = vec![150.0, 400.0];
+        config
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The kill-anywhere guarantee, property-tested: for any seed,
+        /// fault intensity, farm size, workload size and kill point,
+        /// resuming a journal truncated at that record boundary
+        /// (optionally with a torn half-record appended) reproduces the
+        /// uninterrupted report bitwise and re-creates the journal
+        /// byte-for-byte.
+        #[test]
+        fn resume_from_any_kill_point_is_bitwise_identical(
+            seed in 0u64..10_000,
+            intensity in 0.0f64..1.5,
+            workstations in 2usize..5,
+            tasks in 30usize..110,
+            kill_frac in 0.0f64..1.0,
+            torn_bit in 0u8..2,
+        ) {
+            let torn = torn_bit == 1;
+            let path = tmp(&format!("prop_{seed}_{tasks}_{}", intensity.to_bits()));
+            let mk_bag = || workloads::uniform(tasks, 1.0).unwrap();
+            let (reference, _) = Farm::new(prop_config(seed, intensity, workstations), mk_bag())
+                .unwrap()
+                .run_journaled(&path)
+                .unwrap();
+            let full = std::fs::read(&path).unwrap();
+            let offsets: Vec<usize> = full
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &b)| (b == b'\n').then_some(i + 1))
+                .collect();
+            let n = offsets.len();
+            prop_assume!(n >= 3);
+            // Keep k in 1 ..= n-1: always at least the run_start header,
+            // always at least one record to regenerate.
+            let k = 1 + ((kill_frac * (n - 2) as f64) as usize).min(n - 2);
+            let mut prefix = full[..offsets[k - 1]].to_vec();
+            if torn {
+                prefix.extend_from_slice(b"{\"v\":2,\"t\":33.5,\"ty");
+            }
+            std::fs::write(&path, &prefix).unwrap();
+            let (resumed, info) =
+                Farm::resume(prop_config(seed, intensity, workstations), mk_bag(), &path).unwrap();
+            prop_assert_eq!(info.records_replayed, k as u64);
+            prop_assert_eq!(info.torn_bytes_discarded > 0, torn);
+            let stitched = std::fs::read(&path).unwrap();
+            prop_assert!(stitched == full, "stitched journal differs from the reference");
+            assert_reports_bitwise_equal(&reference, &resumed);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}

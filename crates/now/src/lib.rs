@@ -28,6 +28,12 @@
 //! * [`faults`] — deterministic fault injection (message loss, stragglers,
 //!   crashes, reclaim storms, belief drift) plus the resilient master's
 //!   countermeasure knobs (leases, backoff, quarantine, tail replication).
+//! * [`journal`] — **durable episodes**: [`farm::Farm::run_journaled`]
+//!   writes every master transition to a fsync-on-commit write-ahead
+//!   journal ([`cs_obs::journal`]) and [`farm::Farm::resume`] finishes a
+//!   crashed run with a [`farm::FarmReport`] bitwise identical to the
+//!   uninterrupted one, the flush cadence chosen by the paper's own §4.2
+//!   save-scheduling guideline ([`guideline_fsync_policy`]).
 //!
 //! Every master action can be traced through [`cs_obs`]: run the simulator
 //! via [`farm::Farm::run_observed`] with any [`cs_obs::EventSink`] to get a
@@ -41,6 +47,7 @@
 
 pub mod farm;
 pub mod faults;
+pub mod journal;
 pub mod live;
 pub mod replicate;
 
@@ -48,5 +55,6 @@ pub use farm::{
     Farm, FarmConfig, FarmConfigError, FarmReport, PolicyKind, PolicySpec, RobustnessTotals,
     WorkstationConfig, WorkstationStats,
 };
-pub use faults::{BeliefDrift, FaultPlan, ResilienceConfig};
+pub use faults::{BeliefDrift, FaultPlan, FaultPlanError, ResilienceConfig};
+pub use journal::{guideline_fsync_policy, JournalError, JournalOptions, RecoveryInfo};
 pub use replicate::{replicate_farm, ReplicationReport};

@@ -18,8 +18,9 @@
 //! microsecond scales so the suite stays fast.
 
 use cs_core::Schedule;
-use cs_tasks::TaskBag;
+use cs_tasks::{Task, TaskBag};
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// One live borrowed workstation: the schedule its master-side driver will
@@ -45,6 +46,10 @@ pub struct LiveOutcome {
     pub tasks_completed: u64,
     /// Chunks destroyed.
     pub chunks_lost: u64,
+    /// Worker episodes ended by a panicking task. The panicking chunk's
+    /// tasks are requeued (not lost), so they stay claimable by surviving
+    /// workers.
+    pub worker_panics: u64,
     /// Wall-clock duration of the run.
     pub wall: Duration,
 }
@@ -58,16 +63,45 @@ fn spin_for(d: Duration) {
     }
 }
 
+/// Per-worker tally returned from each thread.
+#[derive(Default)]
+struct WorkerTally {
+    completed: f64,
+    lost: f64,
+    tasks: u64,
+    chunks_lost: u64,
+    panics: u64,
+}
+
 /// Runs one episode per worker concurrently over the shared bag.
 ///
 /// `time_scale` converts virtual time units to wall time (e.g. `50 µs` per
 /// unit in tests). Returns the aggregate outcome; the bag reflects completed
 /// and returned tasks afterwards.
 pub fn run_live(bag: &mut TaskBag, workers: &[LiveWorker], time_scale: Duration) -> LiveOutcome {
+    let exec = move |task: &Task| spin_for(time_scale.mul_f64(task.duration.max(0.0)));
+    run_live_with(bag, workers, time_scale, &exec)
+}
+
+/// [`run_live`] with a custom task executor (tests inject panicking or
+/// instrumented tasks; `run_live` passes the synthetic spin loop).
+///
+/// Workers are **supervised**: a panic in `exec` is caught at the task
+/// boundary, the in-flight chunk's tasks are requeued — still claimable by
+/// surviving workers, not lost work — the panicking worker's episode ends,
+/// and the panic is tallied in [`LiveOutcome::worker_panics`]. A panic
+/// never propagates to the master thread. (`parking_lot` mutexes don't
+/// poison, so the shared bag stays usable by design.)
+pub fn run_live_with(
+    bag: &mut TaskBag,
+    workers: &[LiveWorker],
+    time_scale: Duration,
+    exec: &(dyn Fn(&Task) + Sync),
+) -> LiveOutcome {
     let start = Instant::now();
     let shared = Mutex::new(std::mem::take(bag));
     let scale = |v: f64| time_scale.mul_f64(v.max(0.0));
-    let outcomes: Vec<(f64, f64, u64, u64)> = crossbeam::thread::scope(|scope| {
+    let outcomes: Vec<WorkerTally> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = workers
             .iter()
             .map(|w| {
@@ -75,10 +109,7 @@ pub fn run_live(bag: &mut TaskBag, workers: &[LiveWorker], time_scale: Duration)
                 scope.spawn(move |_| {
                     let episode_start = Instant::now();
                     let deadline = episode_start + scale(w.reclaim_at);
-                    let mut completed = 0.0f64;
-                    let mut lost = 0.0f64;
-                    let mut tasks = 0u64;
-                    let mut chunks_lost = 0u64;
+                    let mut tally = WorkerTally::default();
                     'episode: for &t in w.schedule.periods() {
                         // Communication setup (send work + receive results).
                         spin_for(scale(w.c));
@@ -99,25 +130,41 @@ pub fn run_live(bag: &mut TaskBag, workers: &[LiveWorker], time_scale: Duration)
                         // Execute task by task; a reclamation mid-chunk
                         // destroys the whole chunk (draconian kill).
                         for task in chunk.tasks() {
-                            spin_for(scale(task.duration));
+                            if catch_unwind(AssertUnwindSafe(|| exec(task))).is_err() {
+                                // Supervised worker: the chunk was neither
+                                // destroyed nor delivered, so requeue it and
+                                // retire this worker.
+                                tally.panics += 1;
+                                shared.lock().requeue(chunk);
+                                break 'episode;
+                            }
                             if Instant::now() >= deadline {
-                                lost += chunk.total_duration();
-                                chunks_lost += 1;
+                                tally.lost += chunk.total_duration();
+                                tally.chunks_lost += 1;
                                 shared.lock().abandon(chunk);
                                 break 'episode;
                             }
                         }
-                        completed += chunk.total_duration();
-                        tasks += chunk.len() as u64;
+                        tally.completed += chunk.total_duration();
+                        tally.tasks += chunk.len() as u64;
                         shared.lock().complete(chunk);
                     }
-                    (completed, lost, tasks, chunks_lost)
+                    tally
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| {
+                // Per-task catch_unwind means worker threads don't die of
+                // task panics; anything that still kills one (a panicking
+                // Schedule iterator, a bug in the loop itself) is tallied
+                // rather than taking the master down with it.
+                h.join().unwrap_or_else(|_| WorkerTally {
+                    panics: 1,
+                    ..Default::default()
+                })
+            })
             .collect()
     })
     .expect("scope panicked");
@@ -126,11 +173,12 @@ pub fn run_live(bag: &mut TaskBag, workers: &[LiveWorker], time_scale: Duration)
         wall: start.elapsed(),
         ..Default::default()
     };
-    for (c, l, t, k) in outcomes {
-        out.completed_work += c;
-        out.lost_work += l;
-        out.tasks_completed += t;
-        out.chunks_lost += k;
+    for t in outcomes {
+        out.completed_work += t.completed;
+        out.lost_work += t.lost;
+        out.tasks_completed += t.tasks;
+        out.chunks_lost += t.chunks_lost;
+        out.worker_panics += t.panics;
     }
     out
 }
@@ -214,5 +262,67 @@ mod tests {
         let out = run_live(&mut bag, &[], SCALE);
         assert_eq!(out.tasks_completed, 0);
         assert_eq!(bag.pending_count(), 5);
+        assert_eq!(out.worker_panics, 0);
+    }
+
+    #[test]
+    fn panicking_task_is_requeued_and_counted() {
+        // Two workers; the injected executor panics on one marker task.
+        // The panicking worker's chunk must be requeued (not lost) and the
+        // survivor must still drain the whole bag.
+        let mut bag = workloads::uniform(30, 1.0).unwrap();
+        let marker = bag.pending_tasks().next().unwrap().id;
+        let panicking = std::sync::atomic::AtomicBool::new(true);
+        let exec = move |task: &cs_tasks::Task| {
+            // Panic exactly once so the requeued marker task can complete
+            // on the surviving worker.
+            if task.id == marker && panicking.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                panic!("injected task failure");
+            }
+            spin_for(SCALE.mul_f64(task.duration));
+        };
+        let workers = vec![
+            LiveWorker {
+                schedule: sched(&[10.0; 6]),
+                c: 1.0,
+                reclaim_at: 1e9,
+            },
+            LiveWorker {
+                schedule: sched(&[10.0; 6]),
+                c: 1.0,
+                reclaim_at: 1e9,
+            },
+        ];
+        let out = run_live_with(&mut bag, &workers, SCALE, &exec);
+        assert_eq!(out.worker_panics, 1);
+        // Nothing destroyed: the panicking chunk went back to the bag.
+        assert_eq!(out.lost_work, 0.0);
+        assert!(bag.is_drained(), "survivor should finish the requeued work");
+        assert_eq!(bag.completed_count(), 30);
+        assert!((out.completed_work - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_workers_panicking_still_returns_and_conserves_tasks() {
+        let mut bag = workloads::uniform(20, 1.0).unwrap();
+        let exec = |_: &cs_tasks::Task| panic!("always fails");
+        let workers = vec![
+            LiveWorker {
+                schedule: sched(&[10.0; 3]),
+                c: 1.0,
+                reclaim_at: 1e9,
+            },
+            LiveWorker {
+                schedule: sched(&[10.0; 3]),
+                c: 1.0,
+                reclaim_at: 1e9,
+            },
+        ];
+        let out = run_live_with(&mut bag, &workers, SCALE, &exec);
+        assert_eq!(out.worker_panics, 2);
+        assert_eq!(out.tasks_completed, 0);
+        assert_eq!(out.lost_work, 0.0);
+        // Every checked-out task is back in the bag.
+        assert_eq!(bag.pending_count(), 20);
     }
 }

@@ -275,10 +275,15 @@ pub struct CheckSummary {
     pub reconciled_runs: usize,
     /// Every invariant violation, in file order (capped).
     pub violations: Vec<String>,
+    /// Set by [`check_text`] (non-strict) when the trace ends in a torn
+    /// final record — a warning, not a violation: a run killed mid-write
+    /// legitimately leaves one, and the journal reader truncates it.
+    pub torn_tail: Option<String>,
 }
 
 impl CheckSummary {
-    /// True when the trace passed every check.
+    /// True when the trace passed every check (a torn tail alone, being a
+    /// warning, does not fail the check).
     pub fn ok(&self) -> bool {
         self.violations.is_empty()
     }
@@ -290,6 +295,52 @@ const MAX_VIOLATIONS: usize = 25;
 /// the invariant list). Never aborts early: all violations up to a cap
 /// are collected so one bad line still yields a useful report.
 pub fn check_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> CheckSummary {
+    check_impl(lines, false)
+}
+
+/// [`check_lines`] over raw trace text, with torn-tail awareness.
+///
+/// A process killed mid-write (the crash the `cs-obs` journal exists to
+/// survive) leaves a final partial JSONL line. In the default lenient
+/// mode that tail is reported as a [`CheckSummary::torn_tail`] *warning*,
+/// the remaining trace is checked as a known prefix of a run (so an
+/// unfinished run bracket or still-open spans are expected, not
+/// violations), and mid-trace damage still fails. With `strict` the torn
+/// line is a schema violation and incompleteness fails, exactly as
+/// [`check_lines`] behaves.
+pub fn check_text(text: &str, strict: bool) -> CheckSummary {
+    let tail_is_torn = match text.rsplit('\n').next() {
+        Some(tail) if !tail.trim().is_empty() => validate_line(tail).is_err(),
+        _ => false, // empty text or newline-terminated
+    };
+    if !tail_is_torn || strict {
+        return check_impl(text.lines(), false);
+    }
+    let head_end = text.rfind('\n').map_or(0, |i| i + 1);
+    let tail = &text[head_end..];
+    let mut s = check_impl(text[..head_end].lines(), true);
+    s.torn_tail = Some(format!(
+        "torn final record ({} bytes): {}",
+        tail.len(),
+        preview(tail)
+    ));
+    s
+}
+
+/// First few characters of a torn fragment, for the warning message.
+fn preview(tail: &str) -> String {
+    let cut = tail.char_indices().nth(40).map_or(tail.len(), |(i, _)| i);
+    if cut < tail.len() {
+        format!("{}…", &tail[..cut])
+    } else {
+        tail.to_string()
+    }
+}
+
+/// Shared body of [`check_lines`] / [`check_text`]. With
+/// `tolerate_prefix`, end-of-trace incompleteness (open run, open spans)
+/// is not a violation — the caller knows the trace is a torn prefix.
+fn check_impl<'a>(lines: impl IntoIterator<Item = &'a str>, tolerate_prefix: bool) -> CheckSummary {
     let mut s = CheckSummary::default();
     let violate = |s: &mut CheckSummary, msg: String| {
         if s.violations.len() < MAX_VIOLATIONS {
@@ -450,17 +501,19 @@ pub fn check_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> CheckSummary
             _ => {}
         }
     }
-    if in_run {
-        violate(
-            &mut s,
-            "end of trace: run_start without run_end".to_string(),
-        );
-    }
-    for (id, start_line) in &open_ids {
-        violate(
-            &mut s,
-            format!("end of trace: span id {id} (opened line {start_line}) never closed"),
-        );
+    if !tolerate_prefix {
+        if in_run {
+            violate(
+                &mut s,
+                "end of trace: run_start without run_end".to_string(),
+            );
+        }
+        for (id, start_line) in &open_ids {
+            violate(
+                &mut s,
+                format!("end of trace: span id {id} (opened line {start_line}) never closed"),
+            );
+        }
     }
     s
 }
@@ -837,5 +890,82 @@ mod tests {
     #[test]
     fn schema_version_accessor_matches() {
         assert_eq!(analyzer_schema_version(), crate::SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn check_text_reports_a_torn_tail_as_a_warning() {
+        // A run killed mid-episode: run_start + one bank, then a partial
+        // record with no newline.
+        let text = concat!(
+            r#"{"v":2,"t":0,"type":"run_start","seed":1,"workstations":1,"tasks":4}"#,
+            "\n",
+            r#"{"v":2,"t":1,"type":"bank","ws":0,"work":2,"duplicate":0}"#,
+            "\n",
+            r#"{"v":2,"t":3,"ty"#,
+        );
+        let s = check_text(text, false);
+        assert!(s.ok(), "lenient mode must pass: {:?}", s.violations);
+        assert_eq!(s.lines, 2);
+        let warn = s.torn_tail.expect("torn tail reported");
+        assert!(warn.contains("torn final record"), "{warn}");
+        // The open run is expected in a torn prefix, not a violation.
+        assert!(!s.violations.iter().any(|v| v.contains("without run_end")));
+    }
+
+    #[test]
+    fn check_text_strict_fails_on_a_torn_tail() {
+        let text = concat!(
+            r#"{"v":2,"t":0,"type":"run_start","seed":1,"workstations":0,"tasks":0}"#,
+            "\n",
+            r#"{"v":2,"t":10,"type":"run_end","banked":4,"lost":0,"drained":true}"#,
+            "\n",
+            r#"{"v":2,"t":11,"type":"run_sta"#,
+        );
+        let s = check_text(text, true);
+        assert!(!s.ok());
+        assert!(
+            s.violations.iter().any(|v| v.contains("schema")),
+            "{:?}",
+            s.violations
+        );
+        assert!(
+            s.torn_tail.is_none(),
+            "strict mode fails instead of warning"
+        );
+    }
+
+    #[test]
+    fn check_text_on_a_clean_trace_matches_check_lines() {
+        let lines = farm_like_trace();
+        let mut text = lines.join("\n");
+        text.push('\n');
+        let s = check_text(&text, false);
+        assert!(s.ok(), "{:?}", s.violations);
+        assert!(s.torn_tail.is_none());
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.reconciled_runs, 1);
+        // Strict on a clean trace is identical.
+        let s = check_text(&text, true);
+        assert!(s.ok(), "{:?}", s.violations);
+
+        // Mid-trace damage still fails even in lenient mode.
+        let damaged = text.replacen("\"type\":\"bank\"", "\"type\":\"bnak\"", 1);
+        let s = check_text(&damaged, false);
+        assert!(!s.ok());
+    }
+
+    #[test]
+    fn check_text_truncated_but_valid_final_line_is_not_torn() {
+        // No trailing newline, but the final line is a complete record:
+        // not a torn tail, and normal incompleteness rules apply.
+        let text = concat!(
+            r#"{"v":2,"t":0,"type":"run_start","seed":1,"workstations":0,"tasks":0}"#,
+            "\n",
+            r#"{"v":2,"t":10,"type":"run_end","banked":4,"lost":0,"drained":true}"#,
+        );
+        let s = check_text(text, false);
+        assert!(s.ok(), "{:?}", s.violations);
+        assert!(s.torn_tail.is_none());
+        assert_eq!(s.runs, 1);
     }
 }

@@ -19,6 +19,10 @@
 //!   for event lines, nested values for `BENCH.json`) and the
 //!   consumer-side line validator ([`validate_line`]) used by CI smoke
 //!   checks.
+//! * [`journal`] — a **durable write-ahead journal** over the same event
+//!   schema: [`JournalWriter`] (fsync-on-commit [`EventSink`]) and
+//!   [`read_journal`] (torn-tail-tolerant reader), the substrate for
+//!   `cs-now`'s crash-recovery (`Farm::run_journaled` / `Farm::resume`).
 //! * [`span`] — the **span profiler** ([`SpanProfiler`]): hierarchical
 //!   wall-clock spans recorded as `span_ns.*` histograms and emitted as
 //!   v2 `span_start`/`span_end` events.
@@ -39,6 +43,7 @@
 
 pub mod analyze;
 pub mod event;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod schema;
@@ -47,9 +52,13 @@ pub mod span;
 pub mod summary;
 
 pub use analyze::{
-    analyze_lines, check_lines, diff_bench, diff_registries, CheckSummary, DiffRow, TraceAnalysis,
+    analyze_lines, check_lines, check_text, diff_bench, diff_registries, CheckSummary, DiffRow,
+    TraceAnalysis,
 };
 pub use event::{Event, EventKind, ALL_KINDS, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
+pub use journal::{
+    read_journal, FsyncPolicy, JournalContents, JournalReadError, JournalStats, JournalWriter,
+};
 pub use json::{parse_json, Json};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use schema::{validate_line, ValidatedEvent};
