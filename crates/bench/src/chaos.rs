@@ -9,17 +9,27 @@
 //! into the exact byte stream the uninterrupted run would have written.
 //!
 //! [`run_chaos`] enforces that promise exhaustively: it journals one
-//! seeded faulty reference run, then for every (or every `sample`-th)
-//! record boundary truncates the journal there — alternately appending a
-//! torn record fragment, the signature of a real mid-write crash — resumes,
-//! and byte/bit-compares. Any deviation is collected as a mismatch, and
-//! mismatches fail the `exp_chaos` experiment and the `cyclesteal chaos`
-//! CI step. Everything is seeded and virtual-time: no sleeps, no real
-//! signals, fully reproducible.
+//! seeded faulty reference run (with state snapshots on a fixed cadence),
+//! then for every (or every `sample`-th) record boundary truncates the
+//! journal there — alternately appending a torn record fragment, the
+//! signature of a real mid-write crash — resumes, and byte/bit-compares.
+//! Each kill point also cycles the snapshot sidecar through its three
+//! recovery modes: intact (the O(snapshot-interval) fast path, or a
+//! `journal-ahead` fallback when the snapshot outruns the truncated
+//! journal), deliberately corrupted (graceful fallback to full redo), and
+//! absent (plain redo). The *same* bitwise guarantees must hold in every
+//! mode. Any deviation is collected as a mismatch, and mismatches fail
+//! the `exp_chaos` experiment and the `cyclesteal chaos` CI step.
+//! Everything is seeded and virtual-time: no sleeps, no real signals,
+//! fully reproducible.
 
 use cs_life::{ArcLife, Uniform};
 use cs_now::farm::{Farm, FarmConfig, FarmReport, PolicySpec, WorkstationConfig};
 use cs_now::faults::FaultPlan;
+use cs_now::{
+    default_snapshot_path, guideline_fsync_policy, inspect_snapshot, JournalOptions,
+    SnapshotErrorKind, SnapshotOutcome,
+};
 use cs_tasks::{workloads, TaskBag};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -38,6 +48,8 @@ pub struct ChaosConfig {
     /// Kill at this many evenly spaced record boundaries instead of every
     /// one (`None` = every boundary — the full kill-anywhere proof).
     pub sample: Option<usize>,
+    /// Snapshot cadence (virtual time) for the reference run's sidecar.
+    pub snapshot_every: f64,
 }
 
 impl Default for ChaosConfig {
@@ -48,6 +60,7 @@ impl Default for ChaosConfig {
             seed: 4242,
             intensity: 0.6,
             sample: None,
+            snapshot_every: 10.0,
         }
     }
 }
@@ -61,6 +74,12 @@ pub struct ChaosOutcome {
     pub kill_points: usize,
     /// Kill points that additionally injected a torn record fragment.
     pub torn_trials: usize,
+    /// Trials whose sidecar was deliberately corrupted before resuming.
+    pub corrupt_trials: usize,
+    /// Resumes that took the snapshot fast path (prefix skipped).
+    pub snapshot_resumes: usize,
+    /// Resumes that fell back to full redo after a sidecar problem.
+    pub snapshot_fallbacks: usize,
     /// Resumes whose report and stitched journal matched exactly.
     pub resumed_ok: usize,
     /// Every deviation found (empty = kill-anywhere guarantee holds).
@@ -142,11 +161,30 @@ fn scratch_path(tag: &str) -> PathBuf {
 /// failures (unwritable temp dir, invalid scenario) are `Err`.
 pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
     let ref_path = scratch_path(&format!("ref_{}", cfg.seed));
-    let farm = Farm::new(chaos_farm_config(cfg), chaos_bag(cfg)).map_err(|e| e.to_string())?;
+    let ref_snap = default_snapshot_path(&ref_path);
+    let config = chaos_farm_config(cfg);
+    let opts = JournalOptions {
+        fsync: guideline_fsync_policy(&config),
+        kill_after: None,
+        snapshot_every: Some(cfg.snapshot_every),
+    };
+    let farm = Farm::new(config, chaos_bag(cfg)).map_err(|e| e.to_string())?;
     let (ref_report, _stats) = farm
-        .run_journaled(&ref_path)
+        .run_journaled_with(&ref_path, opts)
         .map_err(|e| format!("reference journaled run: {e}"))?;
     let ref_bytes = std::fs::read(&ref_path).map_err(|e| e.to_string())?;
+    // The reference run's final sidecar: which journal prefix it covers
+    // decides whether an intact copy is a fast path or a journal-ahead
+    // fallback at each kill point.
+    let snap_bytes = std::fs::read(&ref_snap).ok();
+    let snap_records = match &snap_bytes {
+        Some(_) => Some(
+            inspect_snapshot(&ref_snap)
+                .map_err(|e| format!("reference sidecar unreadable: {e}"))?
+                .journal_records,
+        ),
+        None => None,
+    };
     let records: Vec<&[u8]> = ref_bytes.split_inclusive(|&b| b == b'\n').collect();
     let n = records.len();
     if n < 3 {
@@ -180,6 +218,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
         }
     };
     let trial_path = scratch_path(&format!("trial_{}", cfg.seed));
+    let trial_snap = default_snapshot_path(&trial_path);
     let total_work = cfg.tasks as f64;
     for (trial, &k) in kill_points.iter().enumerate() {
         let torn = trial % 2 == 1 && k < n;
@@ -190,7 +229,38 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
             out.torn_trials += 1;
         }
         std::fs::write(&trial_path, &prefix).map_err(|e| e.to_string())?;
-        match Farm::resume(chaos_farm_config(cfg), chaos_bag(cfg), &trial_path) {
+        // Cycle the sidecar through its three recovery modes: intact copy
+        // of the reference snapshot, corrupted copy, and no sidecar. The
+        // complete-journal trial (k = n) always gets the intact sidecar —
+        // it is the one kill point guaranteed to satisfy the fast path's
+        // snapshot-not-ahead precondition, so the sweep always exercises
+        // an O(snapshot-interval) resume.
+        let mode = if k == n { 0 } else { trial % 3 };
+        std::fs::remove_file(&trial_snap).ok();
+        match (mode, &snap_bytes) {
+            (0, Some(bytes)) => {
+                std::fs::write(&trial_snap, bytes).map_err(|e| e.to_string())?;
+            }
+            (1, Some(bytes)) => {
+                let mut bad_bytes = bytes.clone();
+                let mid = bad_bytes.len() / 2;
+                bad_bytes[mid] ^= 0x01;
+                std::fs::write(&trial_snap, &bad_bytes).map_err(|e| e.to_string())?;
+                out.corrupt_trials += 1;
+            }
+            _ => {}
+        }
+        let trial_opts = JournalOptions {
+            fsync: opts.fsync,
+            kill_after: None,
+            snapshot_every: Some(cfg.snapshot_every),
+        };
+        match Farm::resume_with(
+            chaos_farm_config(cfg),
+            chaos_bag(cfg),
+            &trial_path,
+            trial_opts,
+        ) {
             Ok((report, info)) => {
                 let mut bad = false;
                 if let Some(d) = report_diff(&ref_report, &report) {
@@ -225,10 +295,42 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
                     ));
                     bad = true;
                 }
-                if info.records_replayed != k as u64 {
+                // Snapshot accounting: skipped prefix + replayed tail must
+                // cover exactly the k committed records, and the outcome
+                // must match the sidecar mode we staged.
+                let skipped = match info.snapshot {
+                    SnapshotOutcome::Used { records_skipped } => {
+                        out.snapshot_resumes += 1;
+                        records_skipped
+                    }
+                    SnapshotOutcome::Fallback(_) => {
+                        out.snapshot_fallbacks += 1;
+                        0
+                    }
+                    SnapshotOutcome::None => 0,
+                };
+                if skipped + info.records_replayed != k as u64 {
                     out.mismatches.push(format!(
-                        "kill after {k} records: replayed {} records",
+                        "kill after {k} records: skipped {skipped} + replayed {} != {k}",
                         info.records_replayed
+                    ));
+                    bad = true;
+                }
+                let outcome_ok = match (mode, snap_records) {
+                    (0, Some(r)) if r <= k as u64 => {
+                        matches!(info.snapshot, SnapshotOutcome::Used { .. })
+                    }
+                    (0, Some(_)) => {
+                        info.snapshot == SnapshotOutcome::Fallback(SnapshotErrorKind::JournalAhead)
+                    }
+                    (1, Some(_)) => matches!(info.snapshot, SnapshotOutcome::Fallback(_)),
+                    _ => info.snapshot == SnapshotOutcome::None,
+                };
+                if !outcome_ok {
+                    out.mismatches.push(format!(
+                        "kill after {k} records (sidecar mode {mode}): \
+                         unexpected snapshot outcome {:?}",
+                        info.snapshot
                     ));
                     bad = true;
                 }
@@ -243,7 +345,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
     }
     out.kill_points = kill_points.len();
     std::fs::remove_file(&trial_path).ok();
+    std::fs::remove_file(&trial_snap).ok();
     std::fs::remove_file(&ref_path).ok();
+    std::fs::remove_file(&ref_snap).ok();
     Ok(out)
 }
 
@@ -263,6 +367,11 @@ mod tests {
         assert_eq!(out.kill_points, 7);
         assert!(out.torn_trials >= 2, "{out:?}");
         assert!(out.records > 10);
+        // All three sidecar modes must have been exercised: the last kill
+        // point (k = n, sidecar mode 0) always takes the fast path.
+        assert!(out.snapshot_resumes >= 1, "{out:?}");
+        assert!(out.corrupt_trials >= 1, "{out:?}");
+        assert!(out.snapshot_fallbacks >= out.corrupt_trials, "{out:?}");
     }
 
     #[test]
@@ -274,9 +383,12 @@ mod tests {
             seed: 99,
             intensity: 0.8,
             sample: None,
+            ..Default::default()
         };
         let out = run_chaos(&cfg).unwrap();
         assert!(out.ok(), "mismatches: {:#?}", out.mismatches);
         assert_eq!(out.kill_points, out.records);
+        assert!(out.snapshot_resumes >= 1, "{out:?}");
+        assert!(out.corrupt_trials >= 1, "{out:?}");
     }
 }

@@ -1,15 +1,21 @@
 //! EXP-CHAOS — the kill-anywhere crash-recovery guarantee, enforced.
 //!
-//! Journals a seeded faulty farm run, then kills the master at (sampled)
-//! journal record boundaries — half the trials additionally leave a torn
-//! half-written record, the signature of a real mid-write crash — resumes
-//! from the journal, and demands three exact properties per kill point:
+//! Journals a seeded faulty farm run (with snapshot sidecars on a fixed
+//! cadence), then kills the master at (sampled) journal record boundaries
+//! — half the trials additionally leave a torn half-written record, the
+//! signature of a real mid-write crash, and each trial cycles the sidecar
+//! through intact / corrupted / absent — resumes from the journal, and
+//! demands four exact properties per kill point:
 //!
 //! 1. the resumed `FarmReport` is **bitwise identical** to the
 //!    uninterrupted run's,
 //! 2. the stitched journal is **byte identical** to the uninterrupted
 //!    journal,
-//! 3. work is conserved (banked + remaining equals the initial bag mass).
+//! 3. work is conserved (banked + remaining equals the initial bag mass),
+//! 4. the snapshot outcome matches the staged sidecar: intact →
+//!    O(snapshot-interval) fast path (or `journal-ahead` fallback when the
+//!    snapshot outruns the truncated journal), corrupted → graceful
+//!    full-redo fallback, absent → plain redo.
 //!
 //! Any deviation fails the experiment — this is the CI tripwire behind the
 //! durability layer, not a statistical study. See `cs_bench::chaos` for
@@ -47,6 +53,7 @@ impl Experiment for Exp {
                 seed: 99,
                 intensity: 0.8,
                 sample: ctx.budget(None, Some(16)),
+                ..Default::default()
             },
             ChaosConfig {
                 workstations: 4,
@@ -54,6 +61,7 @@ impl Experiment for Exp {
                 seed: 4242,
                 intensity: 0.6,
                 sample: ctx.budget(Some(64), Some(12)),
+                ..Default::default()
             },
             ChaosConfig {
                 workstations: 6,
@@ -61,6 +69,7 @@ impl Experiment for Exp {
                 seed: 7,
                 intensity: 1.2,
                 sample: ctx.budget(Some(64), Some(12)),
+                ..Default::default()
             },
         ];
         outln!(
@@ -82,6 +91,8 @@ impl Experiment for Exp {
             "records",
             "kills",
             "torn",
+            "snap",
+            "fallback",
             "exact",
         ]);
         let mut failures = Vec::new();
@@ -94,6 +105,8 @@ impl Experiment for Exp {
                 out.records.to_string(),
                 out.kill_points.to_string(),
                 out.torn_trials.to_string(),
+                out.snapshot_resumes.to_string(),
+                out.snapshot_fallbacks.to_string(),
                 format!("{}/{}", out.resumed_ok, out.kill_points),
             ]);
             if !out.ok() {
@@ -108,6 +121,9 @@ impl Experiment for Exp {
                     .int("records", out.records as u64)
                     .int("kill_points", out.kill_points as u64)
                     .int("torn_trials", out.torn_trials as u64)
+                    .int("corrupt_trials", out.corrupt_trials as u64)
+                    .int("snapshot_resumes", out.snapshot_resumes as u64)
+                    .int("snapshot_fallbacks", out.snapshot_fallbacks as u64)
                     .int("resumed_ok", out.resumed_ok as u64)
                     .int("mismatches", out.mismatches.len() as u64)
                     .emit_to(ctx.out)
@@ -124,7 +140,14 @@ impl Experiment for Exp {
                 ctx,
                 "run exactly — the journal cadence (the paper's own §4.2 save guideline)"
             );
-            outln!(ctx, "loses nothing a resume cannot regenerate.");
+            outln!(
+                ctx,
+                "loses nothing a resume cannot regenerate, and a snapshot sidecar only"
+            );
+            outln!(
+                ctx,
+                "shortens recovery (corrupt or stale sidecars degrade to full redo)."
+            );
             Ok(())
         } else {
             for f in &failures {

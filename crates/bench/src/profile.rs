@@ -1,11 +1,18 @@
 //! The perf-baseline harness behind the `bench_profile` binary.
 //!
 //! Runs a pinned grid of scenarios — serial/parallel Monte-Carlo, a clean
-//! and a faulty farm, and the trace analyzer itself — under the span
-//! profiler, and renders the result as `BENCH.json`: a machine-readable
-//! baseline (`{commit, date, scenarios: [...]}`) that `cyclesteal obs
-//! diff --bench old.json new.json` compares across commits, flagging only
-//! regressions (wall time up, throughput down).
+//! and a faulty farm, crash-recovery latency at three journaled run
+//! lengths (snapshot fast path vs full redo replay), and the trace
+//! analyzer itself — under the span profiler, and renders the result as
+//! `BENCH.json`: a machine-readable baseline
+//! (`{commit, date, scenarios: [...]}`) that `cyclesteal obs diff --bench
+//! old.json new.json` compares across commits, flagging only regressions
+//! (wall time up, throughput down).
+//!
+//! The `recovery_snapshot_*` / `recovery_redo_*` pairs document the O(1)
+//! recovery claim: snapshot-path resume cost stays flat as the run length
+//! grows (it replays only the records after the last sidecar), while redo
+//! resume cost scales with the whole journal.
 //!
 //! Unlike the Criterion benches (statistical, minutes), this is one
 //! timed pass per scenario: coarse numbers, but cheap enough for CI and
@@ -14,9 +21,14 @@
 use cs_life::{ArcLife, Uniform};
 use cs_now::farm::{Farm, FarmConfig, PolicySpec, WorkstationConfig};
 use cs_now::faults::FaultPlan;
+use cs_now::{
+    default_snapshot_path, guideline_fsync_policy, guideline_snapshot_interval, JournalOptions,
+    SnapshotOutcome,
+};
 use cs_obs::{check_lines, Event, EventSink, MemorySink, MetricsRegistry, SpanProfiler};
 use cs_sim::{simulate_expected_work_parallel_profiled, simulate_expected_work_profiled};
-use cs_tasks::workloads;
+use cs_tasks::{workloads, TaskBag};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -165,6 +177,99 @@ fn farm_scenario(
     ))
 }
 
+/// The recovery-latency farm: the `farm_faulty` shape at a configurable
+/// run length, rebuilt per resume (resuming consumes the config).
+fn recovery_farm(tasks: usize) -> Result<(FarmConfig, TaskBag), String> {
+    let life: ArcLife = Arc::new(Uniform::new(150.0).map_err(|e| e.to_string())?);
+    let workstations = (0..8)
+        .map(|_| WorkstationConfig {
+            life: life.clone(),
+            believed: life.clone(),
+            c: 2.0,
+            policy: PolicySpec::Guideline,
+            gap_mean: 10.0,
+            faults: FaultPlan::scaled(0.5),
+        })
+        .collect();
+    let bag = workloads::uniform(tasks, 1.0).map_err(|e| e.to_string())?;
+    Ok((FarmConfig::new(workstations, 1e7, 42), bag))
+}
+
+/// Times one resume of a complete journal. With the journal already
+/// complete there is nothing to append, so the wall clock is pure
+/// recovery cost; `records_replayed` is the throughput denominator.
+fn time_resume(
+    id: &'static str,
+    tasks: usize,
+    path: &Path,
+    expect_snapshot: bool,
+) -> Result<ScenarioResult, String> {
+    let (config, bag) = recovery_farm(tasks)?;
+    let opts = JournalOptions {
+        fsync: guideline_fsync_policy(&config),
+        kill_after: None,
+        // Writing fresh sidecars during the timed replay would charge
+        // snapshot *production* to recovery; measure restoration only.
+        snapshot_every: None,
+    };
+    let start = Instant::now();
+    let (_report, info) =
+        Farm::resume_with(config, bag, path, opts).map_err(|e| format!("{id}: {e}"))?;
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let outcome_ok = match info.snapshot {
+        SnapshotOutcome::Used { .. } => expect_snapshot,
+        SnapshotOutcome::None => !expect_snapshot,
+        SnapshotOutcome::Fallback(_) => false,
+    };
+    if !outcome_ok {
+        return Err(format!(
+            "{id}: unexpected snapshot outcome {:?} (expected {})",
+            info.snapshot,
+            if expect_snapshot { "fast path" } else { "redo" }
+        ));
+    }
+    Ok(ScenarioResult {
+        id,
+        wall_ns,
+        events_per_sec: per_sec(info.records_replayed, wall_ns),
+        mc_trials_per_sec: None,
+        spans: Vec::new(),
+    })
+}
+
+/// One recovery-latency pair at a given run length: journal a reference
+/// run with guideline-cadence snapshots, then time resuming the complete
+/// journal through the sidecar fast path and through full redo replay.
+fn recovery_pair(
+    id_snapshot: &'static str,
+    id_redo: &'static str,
+    tasks: usize,
+) -> Result<(ScenarioResult, ScenarioResult), String> {
+    let path = std::env::temp_dir().join(format!(
+        "cs_bench_recovery_{tasks}_{}.jsonl",
+        std::process::id()
+    ));
+    let snap = default_snapshot_path(&path);
+    let (config, bag) = recovery_farm(tasks)?;
+    let opts = JournalOptions {
+        fsync: guideline_fsync_policy(&config),
+        kill_after: None,
+        snapshot_every: guideline_snapshot_interval(&config),
+    };
+    Farm::new(config, bag)
+        .map_err(|e| e.to_string())?
+        .run_journaled_with(&path, opts)
+        .map_err(|e| format!("{id_snapshot}: reference journaled run: {e}"))?;
+    std::fs::metadata(&snap)
+        .map_err(|e| format!("{id_snapshot}: reference run left no sidecar: {e}"))?;
+    let fast = time_resume(id_snapshot, tasks, &path, true);
+    // Redo: same journal, sidecar deleted.
+    std::fs::remove_file(&snap).ok();
+    let redo = time_resume(id_redo, tasks, &path, false);
+    std::fs::remove_file(&path).ok();
+    Ok((fast?, redo?))
+}
+
 /// Times [`check_lines`] over a recorded trace (the analyzer is itself a
 /// perf surface: `obs check` gates CI).
 fn analyzer_scenario(lines: &[String]) -> ScenarioResult {
@@ -193,6 +298,26 @@ pub fn run_profile(opts: ProfileOptions) -> Result<Vec<ScenarioResult>, String> 
     let (faulty, trace) = farm_scenario("farm_faulty", tasks, FaultPlan::scaled(0.5))?;
     out.push(faulty);
     out.push(analyzer_scenario(&trace));
+    // Crash-recovery latency at three run lengths: the snapshot column
+    // should stay flat while the redo column scales with the journal.
+    let recovery: [(usize, &'static str, &'static str); 3] = if opts.quick {
+        [
+            (150, "recovery_snapshot_short", "recovery_redo_short"),
+            (400, "recovery_snapshot_medium", "recovery_redo_medium"),
+            (900, "recovery_snapshot_long", "recovery_redo_long"),
+        ]
+    } else {
+        [
+            (1_000, "recovery_snapshot_short", "recovery_redo_short"),
+            (4_000, "recovery_snapshot_medium", "recovery_redo_medium"),
+            (12_000, "recovery_snapshot_long", "recovery_redo_long"),
+        ]
+    };
+    for (len, id_snapshot, id_redo) in recovery {
+        let (fast, redo) = recovery_pair(id_snapshot, id_redo, len)?;
+        out.push(fast);
+        out.push(redo);
+    }
     Ok(out)
 }
 
@@ -324,7 +449,13 @@ mod tests {
                 "mc_parallel4_uniform",
                 "farm_clean",
                 "farm_faulty",
-                "analyzer_check"
+                "analyzer_check",
+                "recovery_snapshot_short",
+                "recovery_redo_short",
+                "recovery_snapshot_medium",
+                "recovery_redo_medium",
+                "recovery_snapshot_long",
+                "recovery_redo_long",
             ]
         );
         for r in &results {
@@ -336,5 +467,10 @@ mod tests {
         assert!(results[2].events_per_sec.unwrap() > 0.0);
         assert!(results[0].spans.iter().any(|s| s.name == "mc.trial_batch"));
         assert!(results[3].spans.iter().any(|s| s.name == "farm.dispatch"));
+        // Recovery scenarios report replayed-record throughput; the redo
+        // path replays the whole journal so it can never be faster than
+        // the snapshot path on replayed records.
+        assert!(results[5].events_per_sec.unwrap() > 0.0);
+        assert!(results[6].events_per_sec.unwrap() > 0.0);
     }
 }

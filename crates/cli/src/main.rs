@@ -21,10 +21,12 @@ use cs_core::{dp, search};
 use cs_life::LifeFunction;
 use cs_now::farm::{Farm, FarmConfig, PolicySpec, WorkstationConfig};
 use cs_now::faults::FaultPlan;
-use cs_now::{guideline_fsync_policy, JournalOptions};
+use cs_now::{
+    guideline_fsync_policy, guideline_snapshot_interval, JournalOptions, SnapshotOutcome,
+};
 use cs_obs::{JsonlSink, MetricsSink, SpanProfiler, TeeSink};
 use cs_scenarios::{LifeSpec, PolicyParseError, LIFE_OPTS};
-use cs_tasks::workloads;
+use cs_tasks::{workloads, TaskBag};
 use cs_trace::{estimate::estimate_life, fit::fit_all, owner::DiurnalOwner};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -68,15 +70,25 @@ COMMANDS:
                neither combines with --trace-out/--metrics/--profile):
                --journal <file>         run with a durable write-ahead journal
                --resume <file>          recover an interrupted journaled run
+                                        (restores <file>.snap when present;
+                                        falls back to full replay with a
+                                        warning when missing or corrupt)
                --kill-after <n>         crash drill: abort the process after
                                         n committed journal records
+               --snapshot-every <dt>    state-snapshot cadence in virtual
+                                        time (needs --journal or --resume;
+                                        default: the saves guideline)
     chaos      Kill-anywhere proof: journal a faulty farm, kill the master
-               at record boundaries, resume, and demand bitwise-identical
-               reports and a byte-identical stitched journal.
+               at record boundaries, resume — through the snapshot fast
+               path, a corrupted sidecar, and full redo — and demand
+               bitwise-identical reports and a byte-identical stitched
+               journal.
                --workstations <n> --tasks <m> --seed <s>
                --faults <intensity>     canonical escalation (as farm)
                --sample <k>             kill at k spread boundaries (default:
                                         every record boundary)
+               --snapshot-every <dt>    reference-run snapshot cadence in
+                                        virtual time (default 10)
                --quick                  small farm + sampled kills (CI smoke)
     saves      Checkpoint-interval planning under Poisson faults.
                --work <w> --c <save cost> --lambda <fault rate>
@@ -95,6 +107,13 @@ COMMANDS:
                                         unless --strict
                diff [--threshold <rel>] [--bench] <a> <b>
                                         flag metric/baseline regressions
+               replay --journal <file> --to <record> [farm scenario flags]
+                                        time travel: reconstruct the farm's
+                                        state as of a journal record
+               replay --journal <file> --fork [farm scenario flags]
+                                        what-if: restore <file>.snap under a
+                                        (possibly perturbed) fault plan and
+                                        run the rest of the episode
     help       Show this message.
 ";
 
@@ -404,52 +423,40 @@ fn cmd_saves(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_farm(args: &Args) -> Result<(), String> {
-    args.check_known(&[
-        "workstations",
-        "tasks",
-        "l",
-        "c",
-        "gap",
-        "seed",
-        "policy",
-        "faults",
-        "loss",
-        "slowdown",
-        "crash",
-        "storms",
-        "trace-out",
-        "metrics",
-        "profile",
-        "journal",
-        "resume",
-        "kill-after",
-    ])?;
-    let journal = args.get("journal").map(String::from);
-    let resume = args.get("resume").map(String::from);
-    if journal.is_some() && resume.is_some() {
-        return Err("--journal and --resume are mutually exclusive".into());
-    }
-    let kill_after = match args.get("kill-after") {
-        None => None,
-        Some(_) => Some(args.u64_or("kill-after", 0)?),
-    };
-    if journal.is_some() || resume.is_some() {
-        // Journaled runs must replay deterministically on resume; the span
-        // profiler stamps wall-clock events and the tee sinks would observe
-        // a second, unjournaled copy of the stream.
-        for opt in ["trace-out", "metrics", "profile"] {
-            if args.get(opt).is_some() {
-                return Err(format!(
-                    "--{opt} cannot be combined with --journal/--resume \
-                     (the journal itself is the trace; replay must be \
-                     deterministic)"
-                ));
-            }
-        }
-    } else if kill_after.is_some() {
-        return Err("--kill-after needs --journal or --resume".into());
-    }
+/// The farm-scenario options shared by `farm` and `obs replay` (a journal
+/// header pins the scenario, so replaying or forking one needs the same
+/// flags that produced it).
+pub(crate) const FARM_SCENARIO_OPTS: &[&str] = &[
+    "workstations",
+    "tasks",
+    "l",
+    "c",
+    "gap",
+    "seed",
+    "policy",
+    "faults",
+    "loss",
+    "slowdown",
+    "crash",
+    "storms",
+];
+
+/// A fully built farm scenario plus the display facts the CLI prints.
+pub(crate) struct FarmScenario {
+    pub config: FarmConfig,
+    pub bag: TaskBag,
+    pub policy: PolicySpec,
+    pub n_ws: usize,
+    pub tasks: usize,
+    pub l: f64,
+    pub c: f64,
+    pub gap: f64,
+    pub injecting: bool,
+}
+
+/// Builds the farm scenario from [`FARM_SCENARIO_OPTS`] flags — identical
+/// defaults and error messages wherever the scenario grammar appears.
+pub(crate) fn farm_scenario_from_args(args: &Args) -> Result<FarmScenario, String> {
     let n_ws = args.usize_or("workstations", 4)?;
     let tasks = args.usize_or("tasks", 1000)?;
     let l = args.f64_or("l", 150.0)?;
@@ -514,14 +521,102 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
     config.storms = storms;
     config.validate().map_err(|e| e.to_string())?;
     let injecting = !faults.is_zero() || !config.storms.is_empty();
+    Ok(FarmScenario {
+        config,
+        bag,
+        policy,
+        n_ws,
+        tasks,
+        l,
+        c,
+        gap,
+        injecting,
+    })
+}
+
+fn cmd_farm(args: &Args) -> Result<(), String> {
+    let mut allowed: Vec<&str> = FARM_SCENARIO_OPTS.to_vec();
+    allowed.extend_from_slice(&[
+        "trace-out",
+        "metrics",
+        "profile",
+        "journal",
+        "resume",
+        "kill-after",
+        "snapshot-every",
+    ]);
+    args.check_known(&allowed)?;
+    let journal = args.get("journal").map(String::from);
+    let resume = args.get("resume").map(String::from);
+    if journal.is_some() && resume.is_some() {
+        return Err("--journal and --resume are mutually exclusive".into());
+    }
+    let kill_after = match args.get("kill-after") {
+        None => None,
+        Some(_) => Some(args.u64_or("kill-after", 0)?),
+    };
+    let snapshot_every = match args.get("snapshot-every") {
+        None => None,
+        Some(_) => {
+            let dt = args.f64_or("snapshot-every", 0.0)?;
+            if !dt.is_finite() || dt <= 0.0 {
+                return Err("--snapshot-every: cadence must be a finite positive time".into());
+            }
+            Some(dt)
+        }
+    };
+    if journal.is_some() || resume.is_some() {
+        // Journaled runs must replay deterministically on resume; the span
+        // profiler stamps wall-clock events and the tee sinks would observe
+        // a second, unjournaled copy of the stream.
+        for opt in ["trace-out", "metrics", "profile"] {
+            if args.get(opt).is_some() {
+                return Err(format!(
+                    "--{opt} cannot be combined with --journal/--resume \
+                     (the journal itself is the trace; replay must be \
+                     deterministic)"
+                ));
+            }
+        }
+    } else if kill_after.is_some() {
+        return Err("--kill-after needs --journal or --resume".into());
+    } else if snapshot_every.is_some() {
+        return Err("--snapshot-every needs --journal or --resume".into());
+    }
+    let FarmScenario {
+        config,
+        bag,
+        policy,
+        n_ws,
+        tasks,
+        l,
+        c,
+        gap,
+        injecting,
+    } = farm_scenario_from_args(args)?;
     let mut trace = TraceOutputs::from_args(args)?;
     let mut prof = profiler_from_args(args);
     // `durable_lines` carries the journal/recovery stats printed after the
     // standard report (empty for plain runs).
     let mut durable_lines: Vec<String> = Vec::new();
     let report = if let Some(path) = resume {
+        let opts = JournalOptions {
+            fsync: guideline_fsync_policy(&config),
+            kill_after,
+            snapshot_every: snapshot_every.or_else(|| guideline_snapshot_interval(&config)),
+        };
         let (report, info) =
-            Farm::resume_with(config, bag, &path, kill_after).map_err(|e| e.to_string())?;
+            Farm::resume_with(config, bag, &path, opts).map_err(|e| e.to_string())?;
+        match info.snapshot {
+            SnapshotOutcome::Used { records_skipped } => durable_lines.push(format!(
+                "snapshot      : restored {path}.snap, {records_skipped} records skipped"
+            )),
+            SnapshotOutcome::Fallback(kind) => eprintln!(
+                "warning: snapshot {path}.snap unusable ({kind}); \
+                 falling back to full redo replay"
+            ),
+            SnapshotOutcome::None => {}
+        }
         durable_lines.push(format!(
             "resumed       : {} records replayed, {} appended -> {path}",
             info.records_replayed, info.records_appended
@@ -539,14 +634,24 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
             cs_obs::FsyncPolicy::EveryRecord => "every record".to_string(),
             cs_obs::FsyncPolicy::Interval(dt) => format!("cadence {dt:.2} virtual time"),
         };
+        let opts = JournalOptions {
+            fsync,
+            kill_after,
+            snapshot_every: snapshot_every.or_else(|| guideline_snapshot_interval(&config)),
+        };
+        let snap_line = match opts.snapshot_every {
+            Some(dt) => format!("snapshots     : every {dt:.2} virtual time -> {path}.snap"),
+            None => "snapshots     : disabled (fsync-every-record farms)".to_string(),
+        };
         let (report, stats) = Farm::new(config, bag)
             .map_err(|e| e.to_string())?
-            .run_journaled_with(&path, JournalOptions { fsync, kill_after })
+            .run_journaled_with(&path, opts)
             .map_err(|e| e.to_string())?;
         durable_lines.push(format!(
             "journal       : {} records, {} fsyncs ({cadence}) -> {path}",
             stats.records, stats.syncs
         ));
+        durable_lines.push(snap_line);
         report
     } else {
         let mut tee = trace.tee();
@@ -597,8 +702,20 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_chaos(args: &Args) -> Result<(), String> {
-    args.check_known(&["workstations", "tasks", "seed", "faults", "sample", "quick"])?;
+    args.check_known(&[
+        "workstations",
+        "tasks",
+        "seed",
+        "faults",
+        "sample",
+        "quick",
+        "snapshot-every",
+    ])?;
     let quick = args.flag("quick");
+    let snapshot_every = args.f64_or("snapshot-every", 10.0)?;
+    if !snapshot_every.is_finite() || snapshot_every <= 0.0 {
+        return Err("--snapshot-every: cadence must be a finite positive time".into());
+    }
     let cfg = cs_bench::chaos::ChaosConfig {
         workstations: args.usize_or("workstations", if quick { 2 } else { 4 })?,
         tasks: args.usize_or("tasks", if quick { 60 } else { 200 })?,
@@ -609,6 +726,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
             None if quick => Some(16),
             None => None,
         },
+        snapshot_every,
     };
     let out = cs_bench::chaos::run_chaos(&cfg)?;
     println!(
@@ -620,8 +738,13 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         out.records
     );
     println!(
-        "kill points   : {} exercised ({} with a torn half-record)",
-        out.kill_points, out.torn_trials
+        "kill points   : {} exercised ({} with a torn half-record, \
+         {} with a corrupted snapshot sidecar)",
+        out.kill_points, out.torn_trials, out.corrupt_trials
+    );
+    println!(
+        "snapshots     : {} fast-path resumes, {} graceful fallbacks to full redo",
+        out.snapshot_resumes, out.snapshot_fallbacks
     );
     println!("exact resumes : {}", out.resumed_ok);
     for m in &out.mismatches {

@@ -1,11 +1,17 @@
-//! The `cyclesteal obs` subcommand: trace reports, invariant checks and
+//! The `cyclesteal obs` subcommand: trace reports, invariant checks,
 //! regression diffs over `--trace-out` JSONL files and `BENCH.json`
-//! baselines. Thin shell over `cs_obs::{analyze_lines, check_lines,
-//! diff_registries, diff_bench}`; all the logic (and its tests) lives in
-//! the library.
+//! baselines, and time-travel replay over journals. Thin shell over
+//! `cs_obs::{analyze_lines, check_lines, diff_registries, diff_bench}`
+//! and `cs_now::{Farm::replay_to, Farm::fork_from_snapshot}`; all the
+//! logic (and its tests) lives in the libraries.
 
+use crate::args::Args;
+use crate::{farm_scenario_from_args, FarmScenario, FARM_SCENARIO_OPTS};
 use cs_apps::{fmt, fmt_opt, Table};
+use cs_now::default_snapshot_path;
+use cs_now::farm::Farm;
 use cs_obs::{analyze_lines, check_text, diff_bench, diff_registries, DiffRow, TraceAnalysis};
+use std::path::Path;
 
 const USAGE: &str = "\
 usage:
@@ -22,7 +28,19 @@ usage:
     cyclesteal obs diff [--threshold <rel>] [--bench] <a> <b>
         Compare two traces' folded metrics (or, with --bench, two
         BENCH.json baselines, flagging only regressions). Non-zero exit
-        when a change beyond the threshold (default 0.2) is flagged.";
+        when a change beyond the threshold (default 0.2) is flagged.
+    cyclesteal obs replay --journal <file> --to <record> [scenario flags]
+        Time travel: deterministically re-execute the journaled run up to
+        (and including) record <record>, verifying every record against
+        the journal, and print the farm's reconstructed state there. The
+        scenario flags (--workstations, --tasks, --seed, --faults, ...)
+        must match the run that wrote the journal.
+    cyclesteal obs replay --journal <file> --fork [scenario flags]
+        What-if fork: restore <file>.snap and run the rest of the episode
+        under the scenario the flags describe. Pass the original flags to
+        reproduce the recorded outcome bitwise; perturb the fault flags
+        (--faults, --loss, --slowdown, --crash) to ask what the same
+        mid-run state would have done under different conditions.";
 
 /// Entry point: `args` is everything after the `obs` token. Returns
 /// `Err` (non-zero exit) on usage errors, check violations, and flagged
@@ -32,8 +50,84 @@ pub fn run(args: &[String]) -> Result<(), String> {
         Some("report") => cmd_report(one_path(&args[1..], "obs report")?),
         Some("check") => cmd_check(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
         _ => Err(USAGE.to_string()),
     }
+}
+
+fn cmd_replay(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest.iter().cloned()).map_err(|e| format!("obs replay: {e}"))?;
+    if args.command.is_some() {
+        return Err(format!(
+            "obs replay takes only --key value options\n\n{USAGE}"
+        ));
+    }
+    let mut allowed: Vec<&str> = FARM_SCENARIO_OPTS.to_vec();
+    allowed.extend_from_slice(&["journal", "to", "fork"]);
+    args.check_known(&allowed)?;
+    let journal = args.require("journal")?.to_string();
+    let fork = args.flag("fork");
+    let to = match args.get("to") {
+        None => None,
+        Some(_) => Some(args.u64_or("to", 0)?),
+    };
+    if fork == to.is_some() {
+        return Err(format!(
+            "obs replay needs exactly one of --to <record> or --fork\n\n{USAGE}"
+        ));
+    }
+    let FarmScenario {
+        config,
+        bag,
+        policy,
+        ..
+    } = farm_scenario_from_args(&args)?;
+    if let Some(to) = to {
+        let state = Farm::replay_to(config, bag, Path::new(&journal), to)
+            .map_err(|e| format!("obs replay: {e}"))?;
+        println!(
+            "journal       : {journal} ({} records)",
+            state.total_records
+        );
+        println!("policy        : {}", policy.label());
+        println!(
+            "replayed to   : record {} (virtual time {:.2})",
+            state.records, state.virtual_time
+        );
+        println!("episodes      : {} started", state.episodes);
+        println!(
+            "task bag      : {} pending, {} banked, {} chunks in flight",
+            state.pending_tasks, state.banked_tasks, state.in_flight_chunks
+        );
+        println!(
+            "work          : {:.1} banked, {:.1} lost",
+            state.completed_work, state.lost_work
+        );
+    } else {
+        let snap = default_snapshot_path(Path::new(&journal));
+        let (report, meta) =
+            Farm::fork_from_snapshot(config, &snap).map_err(|e| format!("obs replay: {e}"))?;
+        println!(
+            "fork point    : {} (virtual time {:.2})",
+            snap.display(),
+            meta.virtual_time
+        );
+        println!(
+            "snapshot      : seed {}, {} workstations, {} tasks, {} journal records",
+            meta.seed, meta.workstations, meta.tasks, meta.journal_records
+        );
+        println!("policy        : {}", policy.label());
+        println!("drained       : {}", report.drained);
+        println!("makespan      : {:.2}", report.makespan);
+        println!("banked work   : {:.1}", report.completed_work);
+        println!("lost work     : {:.1}", report.lost_work);
+        let rb = &report.robustness;
+        println!(
+            "faults        : {} lost msgs, {} stragglers, {} crashes, {} storm kills",
+            rb.messages_lost, rb.straggled_chunks, rb.crashes, rb.storm_kills
+        );
+    }
+    Ok(())
 }
 
 fn one_path<'a>(rest: &'a [String], what: &str) -> Result<&'a str, String> {
@@ -246,6 +340,29 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("/no/such/trace.jsonl"), "{err}");
+    }
+
+    #[test]
+    fn replay_validates_its_flag_grammar() {
+        let to_args = |s: &str| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+        let err = run(&to_args("replay")).unwrap_err();
+        assert!(err.contains("--journal"), "{err}");
+        let err = run(&to_args("replay --journal j.jsonl")).unwrap_err();
+        assert!(
+            err.contains("exactly one of --to <record> or --fork"),
+            "{err}"
+        );
+        let err = run(&to_args("replay --journal j.jsonl --to 3 --fork")).unwrap_err();
+        assert!(
+            err.contains("exactly one of --to <record> or --fork"),
+            "{err}"
+        );
+        // Scenario flags get the same did-you-mean treatment as `farm`.
+        let err = run(&to_args("replay --journal j.jsonl --to 3 --taskss 50")).unwrap_err();
+        assert!(err.contains("did you mean --tasks?"), "{err}");
+        // A well-formed invocation over a missing journal is a clean error.
+        let err = run(&to_args("replay --journal /no/such/j.jsonl --to 3")).unwrap_err();
+        assert!(err.contains("obs replay"), "{err}");
     }
 
     #[test]

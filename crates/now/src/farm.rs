@@ -40,7 +40,7 @@
 
 use crate::faults::{FaultPlan, ResilienceConfig};
 use cs_life::{ArcLife, LifeFunction};
-use cs_obs::{Event as ObsEvent, EventKind as ObsKind, EventSink, NoopSink, SpanProfiler};
+use cs_obs::{Event as ObsEvent, EventKind as ObsKind, EventSink, NoopSink, SpanId, SpanProfiler};
 use cs_sim::policy::{ChunkPolicy, PeriodOutcome};
 use cs_tasks::{Chunk, Task, TaskBag};
 use rand::rngs::StdRng;
@@ -317,7 +317,7 @@ pub struct FarmReport {
 
 /// An event in the farm's virtual-time queue.
 #[derive(Debug, Clone, Copy)]
-enum EventKind {
+pub(crate) enum EventKind {
     /// A completed straggler chunk's results reach the master (lease id).
     Arrival(u64),
     /// A dispatched chunk's lease times out (lease id).
@@ -331,7 +331,7 @@ impl EventKind {
     /// exactly at its lease expiry still banks), then expiries (freed tasks
     /// are requeued before dispatches look at the bag), then dispatches in
     /// workstation order.
-    fn rank(&self) -> (u8, u64) {
+    pub(crate) fn rank(&self) -> (u8, u64) {
         match *self {
             EventKind::Arrival(id) => (0, id),
             EventKind::LeaseExpiry(id) => (1, id),
@@ -340,9 +340,9 @@ impl EventKind {
     }
 }
 
-struct Event {
-    time: f64,
-    kind: EventKind,
+pub(crate) struct Event {
+    pub(crate) time: f64,
+    pub(crate) kind: EventKind,
 }
 
 impl PartialEq for Event {
@@ -371,53 +371,53 @@ impl Ord for Event {
 
 /// An outstanding chunk the master has not yet accounted for: dispatched,
 /// but neither banked nor abandoned.
-struct Lease {
-    ws: usize,
-    chunk: Chunk,
-    expiry: f64,
+pub(crate) struct Lease {
+    pub(crate) ws: usize,
+    pub(crate) chunk: Chunk,
+    pub(crate) expiry: f64,
     /// A straggler arrival will still deliver this lease's results.
-    arrives: bool,
+    pub(crate) arrives: bool,
     /// The lease timed out (tasks requeued); kept only to receive a late
     /// arrival.
-    expired: bool,
+    pub(crate) expired: bool,
     /// End-game replicas dispatched against this chunk.
-    replicas: u32,
+    pub(crate) replicas: u32,
 }
 
-struct WorkstationState {
-    policy: Box<dyn ChunkPolicy>,
+pub(crate) struct WorkstationState {
+    pub(crate) policy: Box<dyn ChunkPolicy>,
     /// Virtual time the current episode started.
-    episode_start: f64,
+    pub(crate) episode_start: f64,
     /// Absolute virtual time the owner reclaims in the current episode
     /// (already truncated by any storm hit).
-    reclaim_at: f64,
+    pub(crate) reclaim_at: f64,
     /// Fault stream, separate from the episode stream so zero-intensity
     /// plans stay bit-identical.
-    fault_rng: StdRng,
+    pub(crate) fault_rng: StdRng,
     /// Absolute virtual time of the permanent crash (infinity if none).
-    crash_at: f64,
-    crashed: bool,
+    pub(crate) crash_at: f64,
+    pub(crate) crashed: bool,
     /// Consecutive lease timeouts; reset by a successful bank or
     /// quarantine.
-    fail_streak: u32,
+    pub(crate) fail_streak: u32,
     /// The next dispatch must first serve a backoff delay.
-    backoff_pending: bool,
+    pub(crate) backoff_pending: bool,
     /// The master refuses this workstation work until this time.
-    quarantined_until: f64,
-    stats: WorkstationStats,
+    pub(crate) quarantined_until: f64,
+    pub(crate) stats: WorkstationStats,
 }
 
 /// The master's run state: the bag, the lease table, the set of banked task
 /// ids (first bank wins) and the event queue.
-struct Engine {
-    bag: TaskBag,
-    queue: BinaryHeap<Event>,
-    rng: StdRng,
-    storms: Vec<f64>,
-    in_flight: BTreeMap<u64, Lease>,
-    banked: HashSet<u64>,
-    next_lease: u64,
-    makespan: f64,
+pub(crate) struct Engine {
+    pub(crate) bag: TaskBag,
+    pub(crate) queue: BinaryHeap<Event>,
+    pub(crate) rng: StdRng,
+    pub(crate) storms: Vec<f64>,
+    pub(crate) in_flight: BTreeMap<u64, Lease>,
+    pub(crate) banked: HashSet<u64>,
+    pub(crate) next_lease: u64,
+    pub(crate) makespan: f64,
 }
 
 impl Engine {
@@ -608,11 +608,39 @@ impl Farm {
     /// wall clock, so the returned [`FarmReport`] is bit-identical to
     /// [`Farm::run`] for the same configuration.
     pub fn run_profiled(self, sink: &mut dyn EventSink, prof: &mut SpanProfiler) -> FarmReport {
+        let mut run = FarmRun::start(self, sink, prof);
+        while run.step(sink, prof) {}
+        run.finish(sink, prof)
+    }
+}
+
+/// A farm run paused between virtual-time events: the steppable core behind
+/// [`Farm::run_profiled`] and the unit of state the snapshot subsystem
+/// ([`crate::snapshot`]) captures. [`FarmRun::start`] emits `run_start` and
+/// seeds the engine, each [`FarmRun::step`] pops and handles one queue
+/// event, [`FarmRun::finish`] reconciles and emits `run_end`. Driving the
+/// three in sequence is byte-for-byte the monolithic loop this replaced.
+pub(crate) struct FarmRun {
+    pub(crate) config: FarmConfig,
+    pub(crate) initial_tasks: usize,
+    pub(crate) eng: Engine,
+    pub(crate) states: Vec<WorkstationState>,
+    /// Virtual time of the last handled event.
+    pub(crate) now: f64,
+    /// The `farm.run` root span. [`SpanId::NONE`] for snapshot-restored
+    /// runs: their profiler never opened one, and ending NONE is a no-op.
+    pub(crate) root_span: SpanId,
+}
+
+impl FarmRun {
+    /// Emits `run_start`, seeds the engine and schedules the initial
+    /// dispatches — everything up to the first queue pop.
+    pub(crate) fn start(farm: Farm, sink: &mut dyn EventSink, prof: &mut SpanProfiler) -> Self {
         let Farm {
             config,
             bag,
             storms,
-        } = self;
+        } = farm;
         let initial_tasks = bag.pending_count();
         sink.emit(&ObsEvent {
             time: 0.0,
@@ -675,59 +703,99 @@ impl Farm {
             });
         }
         prof.end(setup_span, &mut *sink);
+        Self {
+            config,
+            initial_tasks,
+            eng,
+            states,
+            now: 0.0,
+            root_span,
+        }
+    }
 
-        while let Some(Event { time, kind }) = eng.queue.pop() {
-            if time > config.max_virtual_time {
-                continue;
+    /// Pops and handles the next queue event. Returns `false` once the run
+    /// is over (queue empty, or every task banked); the caller then calls
+    /// [`FarmRun::finish`].
+    pub(crate) fn step(&mut self, sink: &mut dyn EventSink, prof: &mut SpanProfiler) -> bool {
+        let Some(Event { time, kind }) = self.eng.queue.pop() else {
+            return false;
+        };
+        if time > self.config.max_virtual_time {
+            return true;
+        }
+        if self.eng.banked.len() == self.initial_tasks {
+            // Every task banked; outstanding leases carry only duplicates.
+            return false;
+        }
+        self.now = time;
+        match kind {
+            EventKind::Dispatch(ws) => {
+                // Once the bag is empty but leases are still out, a
+                // dispatch opportunity is end-game territory (tail
+                // replication) rather than ordinary parceling.
+                let phase = if self.eng.bag.pending_count() == 0 && !self.eng.in_flight.is_empty() {
+                    "farm.end_game"
+                } else {
+                    "farm.dispatch"
+                };
+                let span = prof.start(phase, &mut *sink);
+                dispatch(
+                    &mut self.eng,
+                    &self.config,
+                    &mut self.states[ws],
+                    ws,
+                    time,
+                    sink,
+                );
+                prof.end(span, &mut *sink);
             }
-            if eng.banked.len() == initial_tasks {
-                // Every task banked; outstanding leases carry only
-                // duplicates.
-                break;
+            EventKind::LeaseExpiry(id) => {
+                let span = prof.start("farm.requeue", &mut *sink);
+                expire_lease(
+                    &mut self.eng,
+                    &self.config,
+                    &mut self.states,
+                    id,
+                    time,
+                    sink,
+                );
+                prof.end(span, &mut *sink);
             }
-            match kind {
-                EventKind::Dispatch(ws) => {
-                    // Once the bag is empty but leases are still out, a
-                    // dispatch opportunity is end-game territory (tail
-                    // replication) rather than ordinary parceling.
-                    let phase = if eng.bag.pending_count() == 0 && !eng.in_flight.is_empty() {
-                        "farm.end_game"
-                    } else {
-                        "farm.dispatch"
-                    };
-                    let span = prof.start(phase, &mut *sink);
-                    dispatch(&mut eng, &config, &mut states[ws], ws, time, sink);
-                    prof.end(span, &mut *sink);
-                }
-                EventKind::LeaseExpiry(id) => {
-                    let span = prof.start("farm.requeue", &mut *sink);
-                    expire_lease(&mut eng, &config, &mut states, id, time, sink);
-                    prof.end(span, &mut *sink);
-                }
-                EventKind::Arrival(id) => {
-                    let span = prof.start("farm.wait", &mut *sink);
-                    if let Some(lease) = eng.in_flight.remove(&id) {
-                        let st = &mut states[lease.ws];
-                        let total = lease.chunk.total_duration();
-                        let work = eng.bank(lease.chunk, st, time);
-                        sink.emit(&ObsEvent {
-                            time,
-                            kind: ObsKind::Bank {
-                                ws: lease.ws as u64,
-                                work,
-                                duplicate: total - work,
-                            },
-                        });
-                        st.stats.chunks_completed += 1;
-                        if work > 0.0 {
-                            st.stats.late_banks += 1;
-                        }
+            EventKind::Arrival(id) => {
+                let span = prof.start("farm.wait", &mut *sink);
+                if let Some(lease) = self.eng.in_flight.remove(&id) {
+                    let st = &mut self.states[lease.ws];
+                    let total = lease.chunk.total_duration();
+                    let work = self.eng.bank(lease.chunk, st, time);
+                    sink.emit(&ObsEvent {
+                        time,
+                        kind: ObsKind::Bank {
+                            ws: lease.ws as u64,
+                            work,
+                            duplicate: total - work,
+                        },
+                    });
+                    st.stats.chunks_completed += 1;
+                    if work > 0.0 {
+                        st.stats.late_banks += 1;
                     }
-                    prof.end(span, &mut *sink);
                 }
+                prof.end(span, &mut *sink);
             }
         }
+        true
+    }
 
+    /// Reconciles the final accounts, closes the root span and emits
+    /// `run_end`.
+    pub(crate) fn finish(self, sink: &mut dyn EventSink, prof: &mut SpanProfiler) -> FarmReport {
+        let FarmRun {
+            initial_tasks,
+            eng,
+            states,
+            root_span,
+            ..
+        } = self;
         let account_span = prof.start("farm.account", &mut *sink);
         let completed_work: f64 = states.iter().map(|s| s.stats.completed_work).sum();
         let lost_work: f64 = states.iter().map(|s| s.stats.lost_work).sum();

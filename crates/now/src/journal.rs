@@ -28,6 +28,20 @@
 //! [`cs_obs::read_journal`], discarded, and the file truncated to the last
 //! complete record before appending resumes.
 //!
+//! # Snapshots: O(snapshot-interval) recovery
+//!
+//! Full redo replay costs time proportional to the whole journaled run.
+//! Journaled runs therefore also write periodic state snapshots (see
+//! [`crate::snapshot`]) to a sidecar next to the journal, and resume first
+//! tries the sidecar: restore the captured state, verify and replay only
+//! the records *after* the snapshot, then append — recovery cost drops to
+//! O(snapshot interval), independent of run length. The sidecar is
+//! advisory: if it is missing, corrupt, truncated past the journal, for a
+//! different farm, or fails any checksum, resume reports a typed
+//! [`SnapshotOutcome::Fallback`] and silently degrades to full redo — the
+//! answer is never wrong, only slower. Equally, a failed snapshot *write*
+//! never kills a healthy run; snapshotting just stops.
+//!
 //! # The paper picks its own checkpoint period
 //!
 //! How often should the journal fsync? This is exactly the question the
@@ -42,10 +56,13 @@
 //! closed-form mean) — so the flush cadence in virtual time is the
 //! theory's own answer.
 
-use crate::farm::{Farm, FarmConfig, FarmConfigError, FarmReport};
+use crate::farm::{Farm, FarmConfig, FarmConfigError, FarmReport, FarmRun};
+use crate::snapshot::{
+    default_snapshot_path, fnv1a64, FarmSnapshot, SnapshotError, SnapshotOutcome, FNV_OFFSET,
+};
 use cs_obs::{
     read_journal, Event, EventKind, EventSink, FsyncPolicy, JournalReadError, JournalStats,
-    JournalWriter,
+    JournalWriter, SpanProfiler,
 };
 use std::path::Path;
 
@@ -58,17 +75,26 @@ pub struct JournalOptions {
     /// record fragment and `abort()` the process — a deterministic stand-in
     /// for SIGKILL used by `cyclesteal farm --kill-after` and CI.
     pub kill_after: Option<u64>,
+    /// Virtual-time cadence for state snapshots written next to the journal
+    /// ([`default_snapshot_path`]); `None` disables them. With snapshots,
+    /// resume re-executes only the journal tail after the last snapshot —
+    /// O(snapshot interval) instead of O(run length).
+    pub snapshot_every: Option<f64>,
 }
 
 /// What [`Farm::resume`] did to finish the episode.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryInfo {
-    /// Committed records replayed and verified against the journal.
+    /// Committed records replayed and verified against the journal (when a
+    /// snapshot restored, only the tail after it).
     pub records_replayed: u64,
     /// New records appended after the prefix was exhausted.
     pub records_appended: u64,
     /// Bytes of torn final record discarded before appending.
     pub torn_bytes_discarded: u64,
+    /// Whether the snapshot sidecar restored, was absent, or was rejected
+    /// (and recovery fell back to full redo replay).
+    pub snapshot: SnapshotOutcome,
 }
 
 /// Why a journaled run or a resume failed.
@@ -189,15 +215,36 @@ pub fn guideline_fsync_policy(config: &FarmConfig) -> FsyncPolicy {
     }
 }
 
+/// The snapshot cadence for this farm: the same §4.2-guideline interval
+/// the fsync policy group-commits on — the paper prices a state save
+/// exactly like a cycle-stealing chunk, and both durability knobs take its
+/// answer. `None` when the guideline says save constantly
+/// ([`FsyncPolicy::EveryRecord`], e.g. a zero-overhead farm): per-event
+/// snapshots would dwarf the work they save, and redo replay is already
+/// exact, so such farms skip snapshots entirely.
+pub fn guideline_snapshot_interval(config: &FarmConfig) -> Option<f64> {
+    match guideline_fsync_policy(config) {
+        FsyncPolicy::Interval(dt) => Some(dt),
+        _ => None,
+    }
+}
+
 /// The sink driving a journaled (or resuming) run: verifies replayed
 /// events against the committed prefix, then appends; optionally pulls the
 /// kill switch for the chaos harness.
 struct JournalSink {
     writer: JournalWriter,
-    /// Committed records to verify against (empty for a fresh run).
+    /// Committed records to verify against (empty for a fresh run; for a
+    /// snapshot restore, only the tail after the snapshot).
     prefix: Vec<String>,
     /// Records of the prefix verified so far.
     pos: u64,
+    /// Committed records *before* the prefix — skipped via a snapshot
+    /// restore instead of replayed. Zero for fresh runs and full redo.
+    base: u64,
+    /// Running FNV-1a 64 over every committed record's bytes (line + `\n`),
+    /// from the start of the journal; snapshots bind to it.
+    hash: u64,
     /// First replay/journal mismatch, latched (the run itself cannot be
     /// stopped mid-flight; the caller turns this into an error).
     diverged: Option<(u64, String, String)>,
@@ -206,7 +253,7 @@ struct JournalSink {
 
 impl JournalSink {
     fn committed(&self) -> u64 {
-        self.pos + self.writer.records()
+        self.base + self.pos + self.writer.records()
     }
 }
 
@@ -226,6 +273,8 @@ impl EventSink for JournalSink {
         } else {
             self.writer.emit(event);
         }
+        self.hash = fnv1a64(self.hash, line.as_bytes());
+        self.hash = fnv1a64(self.hash, b"\n");
         if let Some(kill_at) = self.kill_after {
             if self.committed() >= kill_at {
                 // Deterministic SIGKILL stand-in: make sure every committed
@@ -256,31 +305,46 @@ impl Farm {
         path: impl AsRef<Path>,
     ) -> Result<(FarmReport, JournalStats), JournalError> {
         let fsync = guideline_fsync_policy(&self.config);
+        let snapshot_every = guideline_snapshot_interval(&self.config);
         self.run_journaled_with(
             path,
             JournalOptions {
                 fsync,
                 kill_after: None,
+                snapshot_every,
             },
         )
     }
 
-    /// [`Farm::run_journaled`] with explicit fsync policy and the chaos
-    /// kill switch.
+    /// [`Farm::run_journaled`] with explicit fsync policy, snapshot
+    /// cadence, and the chaos kill switch.
     pub fn run_journaled_with(
         self,
         path: impl AsRef<Path>,
         opts: JournalOptions,
     ) -> Result<(FarmReport, JournalStats), JournalError> {
+        let path = path.as_ref();
+        let snap_path = default_snapshot_path(path);
         let writer = JournalWriter::create(path, opts.fsync)?;
         let mut sink = JournalSink {
             writer,
             prefix: Vec::new(),
             pos: 0,
+            base: 0,
+            hash: FNV_OFFSET,
             diverged: None,
             kill_after: opts.kill_after,
         };
-        let report = self.run_observed(&mut sink);
+        let mut prof = SpanProfiler::disabled();
+        let run = FarmRun::start(self, &mut sink, &mut prof);
+        let report = drive(
+            run,
+            &mut sink,
+            &mut prof,
+            opts.snapshot_every,
+            &snap_path,
+            0.0,
+        );
         let stats = sink.writer.finish()?;
         Ok((report, stats))
     }
@@ -306,59 +370,104 @@ impl Farm {
         bag: cs_tasks::TaskBag,
         path: impl AsRef<Path>,
     ) -> Result<(FarmReport, RecoveryInfo), JournalError> {
-        Self::resume_with(config, bag, path, None)
+        let opts = JournalOptions {
+            fsync: guideline_fsync_policy(&config),
+            kill_after: None,
+            snapshot_every: guideline_snapshot_interval(&config),
+        };
+        Self::resume_with(config, bag, path, opts)
     }
 
-    /// [`Farm::resume`] with the chaos kill switch: `kill_after` counts
-    /// total committed records (replayed + appended), so a chaos run can
-    /// kill the master again at a later boundary.
+    /// [`Farm::resume`] with explicit fsync/snapshot cadences and the chaos
+    /// kill switch: `kill_after` counts total committed records (skipped +
+    /// replayed + appended), so a chaos run can kill the master again at a
+    /// later boundary.
     pub fn resume_with(
         config: FarmConfig,
         bag: cs_tasks::TaskBag,
         path: impl AsRef<Path>,
-        kill_after: Option<u64>,
+        opts: JournalOptions,
     ) -> Result<(FarmReport, RecoveryInfo), JournalError> {
-        let fsync = guideline_fsync_policy(&config);
+        let path = path.as_ref();
+        let restore_config = config.clone();
         let farm = Farm::new(config, bag)?;
-        let journal = read_journal(&path)?;
-        if let Some(first) = journal.records.first() {
-            let expected = Event {
-                time: 0.0,
-                kind: EventKind::RunStart {
-                    seed: farm.config.seed,
-                    workstations: farm.config.workstations.len() as u64,
-                    tasks: farm.bag.pending_count() as u64,
-                },
+        let journal = read_journal(path)?;
+        check_header(&farm, &journal.records)?;
+        let torn_bytes = journal.torn_bytes;
+        let snap_path = default_snapshot_path(path);
+
+        // Snapshot-first: a valid sidecar bound to this journal's committed
+        // prefix skips straight to the captured state. Anything wrong with
+        // it degrades to full redo replay — slower, never incorrect.
+        let (outcome, restored) = if snap_path.exists() {
+            match load_and_bind_snapshot(&snap_path, &farm, &journal.records) {
+                Ok(snap) => {
+                    let (skipped, hash, at) = (snap.journal_records, snap.journal_hash, snap.now);
+                    match snap.restore(restore_config) {
+                        Ok(run) => (
+                            SnapshotOutcome::Used {
+                                records_skipped: skipped,
+                            },
+                            Some((run, skipped, hash, at)),
+                        ),
+                        Err(e) => (SnapshotOutcome::Fallback(e.kind()), None),
+                    }
+                }
+                Err(e) => (SnapshotOutcome::Fallback(e.kind()), None),
             }
-            .to_jsonl();
-            if *first != expected {
-                return Err(JournalError::HeaderMismatch {
-                    expected,
-                    found: first.clone(),
-                });
-            }
-        }
-        let writer = JournalWriter::append_at(&path, journal.complete_bytes, fsync)?;
-        let prefix_len = journal.records.len() as u64;
-        let mut sink = JournalSink {
-            writer,
-            prefix: journal.records,
-            pos: 0,
-            diverged: None,
-            kill_after,
+        } else {
+            (SnapshotOutcome::None, None)
         };
-        let report = farm.run_observed(&mut sink);
+
+        let writer = JournalWriter::append_at(path, journal.complete_bytes, opts.fsync)?;
+        let mut prof = SpanProfiler::disabled();
+        let (run, mut sink, last_snapshot) = match restored {
+            Some((run, skipped, hash, at)) => {
+                let sink = JournalSink {
+                    writer,
+                    prefix: journal.records[skipped as usize..].to_vec(),
+                    pos: 0,
+                    base: skipped,
+                    hash,
+                    diverged: None,
+                    kill_after: opts.kill_after,
+                };
+                (run, sink, at)
+            }
+            None => {
+                let mut sink = JournalSink {
+                    writer,
+                    prefix: journal.records,
+                    pos: 0,
+                    base: 0,
+                    hash: FNV_OFFSET,
+                    diverged: None,
+                    kill_after: opts.kill_after,
+                };
+                let run = FarmRun::start(farm, &mut sink, &mut prof);
+                (run, sink, 0.0)
+            }
+        };
+        let report = drive(
+            run,
+            &mut sink,
+            &mut prof,
+            opts.snapshot_every,
+            &snap_path,
+            last_snapshot,
+        );
         if let Some((record, journal_line, replayed)) = sink.diverged {
             return Err(JournalError::Diverged {
-                record,
+                record: sink.base + record,
                 journal: journal_line,
                 replayed,
             });
         }
+        let prefix_len = sink.prefix.len() as u64;
         if sink.pos < prefix_len {
             return Err(JournalError::JournalAhead {
-                journal_records: prefix_len,
-                replayed: sink.pos,
+                journal_records: sink.base + prefix_len,
+                replayed: sink.base + sink.pos,
             });
         }
         let stats = sink.writer.finish()?;
@@ -367,14 +476,232 @@ impl Farm {
             RecoveryInfo {
                 records_replayed: prefix_len,
                 records_appended: stats.records,
-                torn_bytes_discarded: journal.torn_bytes,
+                torn_bytes_discarded: torn_bytes,
+                snapshot: outcome,
             },
         ))
+    }
+
+    /// Time travel for post-mortems: reconstructs the master's state as of
+    /// committed record `to` (clamped to the journal's length) by verified
+    /// replay, and summarizes it. `config` and `bag` must be the journaled
+    /// run's inputs, exactly as for [`Farm::resume`]. The journal is only
+    /// read, never written.
+    ///
+    /// Replay stops at the first event boundary at or past `to` — a single
+    /// queue event can emit several records, and the engine's state is only
+    /// meaningful between events.
+    pub fn replay_to(
+        config: FarmConfig,
+        bag: cs_tasks::TaskBag,
+        path: impl AsRef<Path>,
+        to: u64,
+    ) -> Result<ReplayState, JournalError> {
+        let farm = Farm::new(config, bag)?;
+        let journal = read_journal(&path)?;
+        check_header(&farm, &journal.records)?;
+        let total_records = journal.records.len() as u64;
+        let to = to.min(total_records);
+        let mut sink = VerifySink {
+            prefix: &journal.records,
+            pos: 0,
+            diverged: None,
+        };
+        let mut prof = SpanProfiler::disabled();
+        let mut run = FarmRun::start(farm, &mut sink, &mut prof);
+        let mut ended = false;
+        while sink.pos < to {
+            if !run.step(&mut sink, &mut prof) {
+                ended = true;
+                break;
+            }
+        }
+        // Summarize before `finish` consumes the run; the trailing
+        // `run_end` record is only emitted by `finish`, so a replay to the
+        // journal's end still needs it for verification.
+        let stats = || run.states.iter().map(|s| &s.stats);
+        let state = ReplayState {
+            records: 0, // patched below, after finish
+            total_records,
+            virtual_time: run.now,
+            pending_tasks: run.eng.bag.pending_count() as u64,
+            banked_tasks: run.eng.banked.len() as u64,
+            in_flight_chunks: run.eng.in_flight.len() as u64,
+            completed_work: stats().map(|s| s.completed_work).sum(),
+            lost_work: stats().map(|s| s.lost_work).sum(),
+            episodes: stats().map(|s| s.episodes).sum(),
+        };
+        if ended && sink.pos < to {
+            run.finish(&mut sink, &mut prof);
+        }
+        if let Some((record, journal_line, replayed)) = sink.diverged {
+            return Err(JournalError::Diverged {
+                record,
+                journal: journal_line,
+                replayed,
+            });
+        }
+        if sink.pos < to {
+            return Err(JournalError::JournalAhead {
+                journal_records: to,
+                replayed: sink.pos,
+            });
+        }
+        Ok(ReplayState {
+            records: sink.pos,
+            ..state
+        })
+    }
+}
+
+/// A journaled run's master state reconstructed at a record boundary by
+/// [`Farm::replay_to`]: "what did the farm look like when record N was
+/// written?".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayState {
+    /// Committed records reproduced (== the requested record, unless the
+    /// covering event emitted a few more, or the request exceeded the
+    /// journal).
+    pub records: u64,
+    /// Committed records in the journal.
+    pub total_records: u64,
+    /// Virtual time of the last handled event.
+    pub virtual_time: f64,
+    /// Tasks still waiting in the bag.
+    pub pending_tasks: u64,
+    /// Distinct tasks banked so far.
+    pub banked_tasks: u64,
+    /// Chunks dispatched and not yet accounted for.
+    pub in_flight_chunks: u64,
+    /// Task time banked across the farm so far.
+    pub completed_work: f64,
+    /// Task time destroyed so far.
+    pub lost_work: f64,
+    /// Episodes begun across all workstations.
+    pub episodes: u64,
+}
+
+/// The journaled-run event loop: step the farm to completion, capturing a
+/// state snapshot whenever virtual time advances `snapshot_every` past the
+/// last one. Snapshots are advisory — a failed write stops snapshotting
+/// but never kills the run.
+fn drive(
+    mut run: FarmRun,
+    sink: &mut JournalSink,
+    prof: &mut SpanProfiler,
+    mut snapshot_every: Option<f64>,
+    snap_path: &Path,
+    mut last_snapshot: f64,
+) -> FarmReport {
+    loop {
+        if let Some(dt) = snapshot_every {
+            if run.now - last_snapshot >= dt {
+                last_snapshot = run.now;
+                // The snapshot binds to the committed prefix: make it
+                // durable first so the sidecar never describes records the
+                // journal does not hold.
+                sink.flush_sink();
+                let snap = run.save_state(sink.committed(), sink.hash);
+                if snap.write_atomic(snap_path).is_err() {
+                    snapshot_every = None;
+                }
+            }
+        }
+        if !run.step(sink, prof) {
+            break;
+        }
+    }
+    run.finish(sink, prof)
+}
+
+/// Rejects a journal whose `run_start` header does not match this farm.
+fn check_header(farm: &Farm, records: &[String]) -> Result<(), JournalError> {
+    if let Some(first) = records.first() {
+        let expected = Event {
+            time: 0.0,
+            kind: EventKind::RunStart {
+                seed: farm.config.seed,
+                workstations: farm.config.workstations.len() as u64,
+                tasks: farm.bag.pending_count() as u64,
+            },
+        }
+        .to_jsonl();
+        if *first != expected {
+            return Err(JournalError::HeaderMismatch {
+                expected,
+                found: first.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Loads the sidecar and verifies it describes this farm and binds to this
+/// journal's committed prefix (record count + running FNV-1a hash).
+fn load_and_bind_snapshot(
+    snap_path: &Path,
+    farm: &Farm,
+    records: &[String],
+) -> Result<FarmSnapshot, SnapshotError> {
+    let snap = FarmSnapshot::load(snap_path)?;
+    let (ws, tasks) = (
+        farm.config.workstations.len() as u64,
+        farm.bag.pending_count() as u64,
+    );
+    if snap.seed != farm.config.seed || snap.workstations != ws || snap.tasks != tasks {
+        return Err(SnapshotError::FarmMismatch {
+            reason: format!(
+                "snapshot is for seed {} / {} workstations / {} tasks; resume was given seed {} \
+                 / {ws} / {tasks}",
+                snap.seed, snap.workstations, snap.tasks, farm.config.seed
+            ),
+        });
+    }
+    if snap.journal_records > records.len() as u64 {
+        return Err(SnapshotError::JournalAhead {
+            snapshot_records: snap.journal_records,
+            journal_records: records.len() as u64,
+        });
+    }
+    let mut hash = FNV_OFFSET;
+    for line in &records[..snap.journal_records as usize] {
+        hash = fnv1a64(hash, line.as_bytes());
+        hash = fnv1a64(hash, b"\n");
+    }
+    if hash != snap.journal_hash {
+        return Err(SnapshotError::JournalMismatch {
+            records: snap.journal_records,
+        });
+    }
+    Ok(snap)
+}
+
+/// The read-only verifying sink behind [`Farm::replay_to`]: like
+/// `JournalSink` but with nothing to write — replay never extends the
+/// journal.
+struct VerifySink<'a> {
+    prefix: &'a [String],
+    pos: u64,
+    diverged: Option<(u64, String, String)>,
+}
+
+impl EventSink for VerifySink<'_> {
+    fn emit(&mut self, event: &Event) {
+        if self.diverged.is_some() || (self.pos as usize) >= self.prefix.len() {
+            return;
+        }
+        let line = event.to_jsonl();
+        let expected = &self.prefix[self.pos as usize];
+        if *expected != line {
+            self.diverged = Some((self.pos + 1, expected.clone(), line));
+            return;
+        }
+        self.pos += 1;
     }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::farm::{PolicySpec, WorkstationConfig};
     use crate::faults::FaultPlan;
@@ -417,7 +744,7 @@ mod tests {
         workloads::uniform(120, 1.0).unwrap()
     }
 
-    pub(super) fn assert_reports_bitwise_equal(a: &FarmReport, b: &FarmReport) {
+    pub(crate) fn assert_reports_bitwise_equal(a: &FarmReport, b: &FarmReport) {
         assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
         assert_eq!(a.completed_work.to_bits(), b.completed_work.to_bits());
         assert_eq!(a.lost_work.to_bits(), b.lost_work.to_bits());
@@ -461,6 +788,7 @@ mod tests {
         assert_eq!(j.records.len() as u64, stats.records);
         let check = cs_obs::check_text(&actual, true);
         assert!(check.ok(), "{:?}", check.violations);
+        std::fs::remove_file(default_snapshot_path(&path)).ok();
         std::fs::remove_file(&path).ok();
     }
 
@@ -485,14 +813,18 @@ mod tests {
 
             let (resumed, info) = Farm::resume(faulty_config(29), bag(), &path).unwrap();
             assert_reports_bitwise_equal(&full_report, &resumed);
+            // No sidecar next to this journal: recovery is full redo.
+            assert_eq!(info.snapshot, SnapshotOutcome::None);
             assert_eq!(info.records_replayed, kill_at as u64);
             assert!(info.records_appended > 0);
             assert!(info.torn_bytes_discarded > 0);
             // The stitched journal is byte-identical to the uninterrupted
             // one.
             assert_eq!(std::fs::read(&path).unwrap(), full_bytes);
+            std::fs::remove_file(default_snapshot_path(&path)).ok();
             std::fs::remove_file(&path).ok();
         }
+        std::fs::remove_file(default_snapshot_path(&ref_path)).ok();
         std::fs::remove_file(&ref_path).ok();
     }
 
@@ -505,9 +837,18 @@ mod tests {
             .unwrap();
         let (resumed, info) = Farm::resume(faulty_config(7), bag(), &path).unwrap();
         assert_reports_bitwise_equal(&report, &resumed);
-        assert_eq!(info.records_replayed, stats.records);
+        // With the sidecar the run left behind, resume skips its prefix;
+        // either way every committed record is accounted for and nothing
+        // new is written.
+        let skipped = match info.snapshot {
+            SnapshotOutcome::Used { records_skipped } => records_skipped,
+            SnapshotOutcome::None => 0,
+            other => panic!("unexpected snapshot outcome {other:?}"),
+        };
+        assert_eq!(skipped + info.records_replayed, stats.records);
         assert_eq!(info.records_appended, 0);
         assert_eq!(info.torn_bytes_discarded, 0);
+        std::fs::remove_file(default_snapshot_path(&path)).ok();
         std::fs::remove_file(&path).ok();
     }
 
@@ -534,6 +875,7 @@ mod tests {
             Err(JournalError::Diverged { record, .. }) => assert!(record > 1),
             other => panic!("expected Diverged, got {other:?}"),
         }
+        std::fs::remove_file(default_snapshot_path(&path)).ok();
         std::fs::remove_file(&path).ok();
     }
 
@@ -556,6 +898,148 @@ mod tests {
             }) => assert_eq!(journal_records, replayed + 1),
             other => panic!("expected JournalAhead, got {other:?}"),
         }
+        std::fs::remove_file(default_snapshot_path(&path)).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Sets up the snapshot-resume fixture: a full journaled run with an
+    /// aggressive snapshot cadence, its bytes, and the sidecar's bound
+    /// record count. The journal is then truncated to `kill_at` records.
+    fn snapshot_fixture(name: &str, seed: u64) -> (std::path::PathBuf, Vec<u8>, FarmReport, u64) {
+        let path = tmp(name);
+        let opts = JournalOptions {
+            fsync: guideline_fsync_policy(&faulty_config(seed)),
+            kill_after: None,
+            snapshot_every: Some(2.0),
+        };
+        let (report, _) = Farm::new(faulty_config(seed), bag())
+            .unwrap()
+            .run_journaled_with(&path, opts)
+            .unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let meta = crate::snapshot::inspect_snapshot(default_snapshot_path(&path)).unwrap();
+        assert!(meta.journal_records > 0, "fixture needs a real snapshot");
+        (path, full, report, meta.journal_records)
+    }
+
+    fn truncate_to(path: &std::path::Path, full: &[u8], records: usize) {
+        let offsets: Vec<usize> = full
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| (b == b'\n').then_some(i + 1))
+            .collect();
+        std::fs::write(path, &full[..offsets[records - 1]]).unwrap();
+    }
+
+    #[test]
+    fn snapshot_resume_skips_the_prefix_and_stitches_exactly() {
+        let (path, full, report, snap_records) = snapshot_fixture("snap_skip", 31);
+        let n = full.iter().filter(|&&b| b == b'\n').count();
+        assert!(snap_records < n as u64);
+        // Kill after the snapshot point: the sidecar applies.
+        let kill_at = n - 1;
+        truncate_to(&path, &full, kill_at);
+        let (resumed, info) = Farm::resume(faulty_config(31), bag(), &path).unwrap();
+        assert_reports_bitwise_equal(&report, &resumed);
+        assert_eq!(
+            info.snapshot,
+            SnapshotOutcome::Used {
+                records_skipped: snap_records
+            }
+        );
+        assert_eq!(info.records_replayed, kill_at as u64 - snap_records);
+        assert!(info.records_appended > 0);
+        assert_eq!(std::fs::read(&path).unwrap(), full);
+        std::fs::remove_file(default_snapshot_path(&path)).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_full_redo() {
+        let (path, full, report, _) = snapshot_fixture("snap_corrupt", 37);
+        let n = full.iter().filter(|&&b| b == b'\n').count();
+        truncate_to(&path, &full, n - 1);
+        // Flip one byte in the sidecar body.
+        let snap_path = default_snapshot_path(&path);
+        let mut bytes = std::fs::read(&snap_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&snap_path, &bytes).unwrap();
+
+        let (resumed, info) = Farm::resume(faulty_config(37), bag(), &path).unwrap();
+        assert_reports_bitwise_equal(&report, &resumed);
+        assert!(
+            matches!(info.snapshot, SnapshotOutcome::Fallback(_)),
+            "corrupt sidecar must fall back, got {:?}",
+            info.snapshot
+        );
+        assert_eq!(info.records_replayed, n as u64 - 1);
+        assert_eq!(std::fs::read(&path).unwrap(), full);
+        std::fs::remove_file(snap_path).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_ahead_of_truncated_journal_falls_back() {
+        let (path, full, report, snap_records) = snapshot_fixture("snap_ahead", 41);
+        // Kill *before* the snapshot point: the sidecar describes records
+        // the journal no longer holds and must be rejected.
+        assert!(snap_records > 1);
+        truncate_to(&path, &full, snap_records as usize - 1);
+        let (resumed, info) = Farm::resume(faulty_config(41), bag(), &path).unwrap();
+        assert_reports_bitwise_equal(&report, &resumed);
+        assert_eq!(
+            info.snapshot,
+            SnapshotOutcome::Fallback(crate::snapshot::SnapshotErrorKind::JournalAhead)
+        );
+        assert_eq!(info.records_replayed, snap_records - 1);
+        assert_eq!(std::fs::read(&path).unwrap(), full);
+        std::fs::remove_file(default_snapshot_path(&path)).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_to_reconstructs_intermediate_state() {
+        let (path, full, report, _) = snapshot_fixture("replay_to", 43);
+        let n = full.iter().filter(|&&b| b == b'\n').count() as u64;
+
+        // Record 1 is the run_start header. Setup (header + one
+        // episode_start per workstation) is atomic, so the replay lands
+        // just past it: nothing dispatched, nothing banked.
+        let at_start = Farm::replay_to(faulty_config(43), bag(), &path, 1).unwrap();
+        assert_eq!(at_start.records, 4, "run_start + 3 episode_start");
+        assert_eq!(at_start.total_records, n);
+        assert_eq!(at_start.banked_tasks, 0);
+        assert_eq!(at_start.pending_tasks, 120);
+
+        // Midway: progress is strictly between start and end.
+        let mid = Farm::replay_to(faulty_config(43), bag(), &path, n / 2).unwrap();
+        assert!(mid.records >= n / 2 && mid.records < n, "{mid:?}");
+        assert!(mid.virtual_time > 0.0);
+        assert!(mid.banked_tasks > 0 || mid.in_flight_chunks > 0, "{mid:?}");
+        assert!(mid.banked_tasks < 120);
+
+        // The full journal replays to the final report's totals (clamped
+        // even when asked for more records than exist).
+        let end = Farm::replay_to(faulty_config(43), bag(), &path, n + 500).unwrap();
+        assert_eq!(end.records, n);
+        assert_eq!(end.banked_tasks, 120);
+        // (pending/in-flight need not be zero at the end: a requeued or
+        // replicated copy of an already-banked task can still be out.)
+        assert_eq!(
+            end.completed_work.to_bits(),
+            report.completed_work.to_bits()
+        );
+        assert_eq!(end.lost_work.to_bits(), report.lost_work.to_bits());
+
+        // Replay is read-only.
+        assert_eq!(std::fs::read(&path).unwrap(), full);
+        // And it rejects foreign inputs like resume does.
+        assert!(matches!(
+            Farm::replay_to(faulty_config(44), bag(), &path, 5),
+            Err(JournalError::HeaderMismatch { .. })
+        ));
+        std::fs::remove_file(default_snapshot_path(&path)).ok();
         std::fs::remove_file(&path).ok();
     }
 
@@ -565,12 +1049,22 @@ mod tests {
             FsyncPolicy::Interval(dt) => assert!(dt.is_finite() && dt > 0.0, "dt = {dt}"),
             p => panic!("expected an interval cadence, got {p:?}"),
         }
-        // Zero overhead: saving is free, sync every record.
+        // The snapshot cadence is the same guideline answer.
+        assert_eq!(
+            guideline_snapshot_interval(&faulty_config(1)),
+            match guideline_fsync_policy(&faulty_config(1)) {
+                FsyncPolicy::Interval(dt) => Some(dt),
+                _ => None,
+            }
+        );
+        // Zero overhead: saving is free, sync every record — and per-event
+        // snapshots would be absurd, so the interval degenerates to None.
         let mut free = faulty_config(1);
         for w in &mut free.workstations {
             w.c = 0.0;
         }
         assert_eq!(guideline_fsync_policy(&free), FsyncPolicy::EveryRecord);
+        assert_eq!(guideline_snapshot_interval(&free), None);
     }
 
     #[test]
@@ -671,11 +1165,112 @@ mod properties {
             std::fs::write(&path, &prefix).unwrap();
             let (resumed, info) =
                 Farm::resume(prop_config(seed, intensity, workstations), mk_bag(), &path).unwrap();
-            prop_assert_eq!(info.records_replayed, k as u64);
+            // The reference run's sidecar is still next to the journal: when
+            // the kill point is past the snapshot, resume restores it and
+            // skips the covered records; otherwise it falls back to full
+            // redo. Either way, every committed record is accounted for.
+            let skipped = match info.snapshot {
+                SnapshotOutcome::Used { records_skipped } => records_skipped,
+                _ => 0,
+            };
+            prop_assert_eq!(skipped + info.records_replayed, k as u64);
             prop_assert_eq!(info.torn_bytes_discarded > 0, torn);
             let stitched = std::fs::read(&path).unwrap();
             prop_assert!(stitched == full, "stitched journal differs from the reference");
             assert_reports_bitwise_equal(&reference, &resumed);
+            let _ = std::fs::remove_file(crate::snapshot::default_snapshot_path(&path));
+            let _ = std::fs::remove_file(&path);
+        }
+
+        /// The tentpole guarantee, property-tested end to end: for any
+        /// seed, fault intensity, farm size, workload, kill point, snapshot
+        /// cadence and sidecar corruption, resuming reproduces the
+        /// uninterrupted report bitwise and re-creates the journal
+        /// byte-for-byte — through the snapshot fast path *and* through
+        /// every graceful-fallback path.
+        #[test]
+        fn snapshot_resume_is_bitwise_identical(
+            seed in 0u64..10_000,
+            intensity in 0.0f64..1.5,
+            workstations in 2usize..5,
+            tasks in 30usize..110,
+            kill_frac in 0.0f64..1.0,
+            snap_every in 1.0f64..40.0,
+            corrupt_bit in 0u8..2,
+        ) {
+            let corrupt = corrupt_bit == 1;
+            let path = tmp(&format!("snapprop_{seed}_{tasks}_{}", intensity.to_bits()));
+            let snap_path = crate::snapshot::default_snapshot_path(&path);
+            let mk_bag = || workloads::uniform(tasks, 1.0).unwrap();
+            let mk_cfg = || prop_config(seed, intensity, workstations);
+            let opts = JournalOptions {
+                fsync: guideline_fsync_policy(&mk_cfg()),
+                kill_after: None,
+                snapshot_every: Some(snap_every),
+            };
+            let (reference, _) = Farm::new(mk_cfg(), mk_bag())
+                .unwrap()
+                .run_journaled_with(&path, opts)
+                .unwrap();
+            let full = std::fs::read(&path).unwrap();
+            let meta = snap_path
+                .exists()
+                .then(|| crate::snapshot::inspect_snapshot(&snap_path).unwrap());
+
+            let offsets: Vec<usize> = full
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &b)| (b == b'\n').then_some(i + 1))
+                .collect();
+            let n = offsets.len();
+            prop_assume!(n >= 3);
+            let k = 1 + ((kill_frac * (n - 2) as f64) as usize).min(n - 2);
+            std::fs::write(&path, &full[..offsets[k - 1]]).unwrap();
+            if corrupt {
+                if let Ok(mut bytes) = std::fs::read(&snap_path) {
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0x01;
+                    std::fs::write(&snap_path, &bytes).unwrap();
+                }
+            }
+
+            let (resumed, info) = Farm::resume_with(mk_cfg(), mk_bag(), &path, opts).unwrap();
+            assert_reports_bitwise_equal(&reference, &resumed);
+            let stitched = std::fs::read(&path).unwrap();
+            prop_assert!(stitched == full, "stitched journal differs from the reference");
+            let skipped = match info.snapshot {
+                SnapshotOutcome::Used { records_skipped } => {
+                    prop_assert!(!corrupt, "a corrupted sidecar must never restore");
+                    records_skipped
+                }
+                _ => 0,
+            };
+            prop_assert_eq!(skipped + info.records_replayed, k as u64);
+            // The outcome is fully determined by the trial's shape.
+            match (corrupt, &meta) {
+                (true, Some(_)) => prop_assert!(
+                    matches!(info.snapshot, SnapshotOutcome::Fallback(_)),
+                    "corrupt sidecar: got {:?}", info.snapshot
+                ),
+                (false, Some(m)) if m.journal_records <= k as u64 => prop_assert!(
+                    matches!(info.snapshot, SnapshotOutcome::Used { .. }),
+                    "valid sidecar behind the kill point: got {:?}", info.snapshot
+                ),
+                (false, Some(_)) => prop_assert!(
+                    matches!(
+                        info.snapshot,
+                        SnapshotOutcome::Fallback(
+                            crate::snapshot::SnapshotErrorKind::JournalAhead
+                        )
+                    ),
+                    "sidecar past the kill point: got {:?}", info.snapshot
+                ),
+                (_, None) => prop_assert!(
+                    matches!(info.snapshot, SnapshotOutcome::None),
+                    "no sidecar: got {:?}", info.snapshot
+                ),
+            }
+            let _ = std::fs::remove_file(&snap_path);
             let _ = std::fs::remove_file(&path);
         }
     }

@@ -34,6 +34,15 @@
 //!   crashed run with a [`farm::FarmReport`] bitwise identical to the
 //!   uninterrupted one, the flush cadence chosen by the paper's own §4.2
 //!   save-scheduling guideline ([`guideline_fsync_policy`]).
+//! * [`snapshot`] — **O(1) crash recovery**: journaled runs periodically
+//!   capture the farm's complete state (RNG streams, event queue, leases,
+//!   bag, fault cursors) to a versioned, checksummed sidecar on the same
+//!   guideline cadence; resume restores the latest snapshot and replays
+//!   only the journal tail, falling back gracefully to full redo replay
+//!   when the sidecar is missing or damaged
+//!   ([`snapshot::SnapshotOutcome`]). A snapshot is also a time-travel
+//!   fork point ([`farm::Farm::fork_from_snapshot`],
+//!   [`farm::Farm::replay_to`]).
 //!
 //! Every master action can be traced through [`cs_obs`]: run the simulator
 //! via [`farm::Farm::run_observed`] with any [`cs_obs::EventSink`] to get a
@@ -50,11 +59,19 @@ pub mod faults;
 pub mod journal;
 pub mod live;
 pub mod replicate;
+pub mod snapshot;
 
 pub use farm::{
     Farm, FarmConfig, FarmConfigError, FarmReport, PolicyKind, PolicySpec, RobustnessTotals,
     WorkstationConfig, WorkstationStats,
 };
 pub use faults::{BeliefDrift, FaultPlan, FaultPlanError, ResilienceConfig};
-pub use journal::{guideline_fsync_policy, JournalError, JournalOptions, RecoveryInfo};
+pub use journal::{
+    guideline_fsync_policy, guideline_snapshot_interval, JournalError, JournalOptions,
+    RecoveryInfo, ReplayState,
+};
 pub use replicate::{replicate_farm, ReplicationReport};
+pub use snapshot::{
+    default_snapshot_path, inspect_snapshot, SnapshotError, SnapshotErrorKind, SnapshotMeta,
+    SnapshotOutcome,
+};

@@ -56,6 +56,21 @@ pub trait ChunkPolicy: Send {
     fn observe(&mut self, outcome: &PeriodOutcome) {
         let _ = outcome;
     }
+
+    /// Checkpoint hook: serializes whatever mutable state the policy
+    /// carries beyond its construction parameters. Stateless policies (the
+    /// paper's guideline, greedy and fixed-size schedulers recompute
+    /// everything from `elapsed`) return an empty vector — the default.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`ChunkPolicy::save_state`] onto a freshly
+    /// constructed policy. The default ignores the bytes (stateless
+    /// policies have nothing to restore).
+    fn restore_state(&mut self, state: &[u8]) {
+        let _ = state;
+    }
 }
 
 /// Plays out a precomputed schedule, period by period.
@@ -92,6 +107,17 @@ impl ChunkPolicy for FixedSchedulePolicy {
 
     fn name(&self) -> String {
         self.label.clone()
+    }
+
+    /// The replay cursor is the only mutable state.
+    fn save_state(&self) -> Vec<u8> {
+        (self.index as u64).to_le_bytes().to_vec()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) {
+        if let Ok(bytes) = <[u8; 8]>::try_from(state) {
+            self.index = u64::from_le_bytes(bytes) as usize;
+        }
     }
 }
 
@@ -325,6 +351,24 @@ mod tests {
         p.observe(&PeriodOutcome::Killed { lost: 3.0 });
         p.observe(&PeriodOutcome::Banked { work: 2.0 });
         assert_eq!(p.kills, 1);
+    }
+
+    #[test]
+    fn fixed_schedule_state_round_trips_mid_schedule() {
+        let s = Schedule::new(vec![3.0, 2.0, 1.0]).unwrap();
+        let mut pol = FixedSchedulePolicy::new(s.clone(), "test");
+        assert_eq!(pol.next_period(0.0), Some(3.0));
+        assert_eq!(pol.next_period(3.0), Some(2.0));
+        let saved = pol.save_state();
+        let mut fresh = FixedSchedulePolicy::new(s, "test");
+        fresh.restore_state(&saved);
+        assert_eq!(fresh.next_period(5.0), Some(1.0));
+        assert_eq!(fresh.next_period(6.0), None);
+        // Stateless policies checkpoint to nothing and ignore restores.
+        let mut fixed = FixedSizePolicy::new(4.0, 10.0);
+        assert!(fixed.save_state().is_empty());
+        fixed.restore_state(&saved);
+        assert_eq!(fixed.next_period(0.0), Some(4.0));
     }
 
     #[test]

@@ -219,6 +219,48 @@ impl Default for TaskBag {
     }
 }
 
+/// A bag's complete internal state, exposed for checkpoint/restore (the
+/// `cs-now` snapshot subsystem). The fields are the bag's raw parts; a
+/// state round-tripped through [`TaskBag::restore_state`] reproduces the
+/// bag exactly, including the id counter and the work tallies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskBagState {
+    /// Pending tasks in dispatch (FIFO) order.
+    pub pending: Vec<Task>,
+    /// Next id [`TaskBag::push`] would assign.
+    pub next_id: u64,
+    /// Banked task count.
+    pub completed_tasks: u64,
+    /// Banked task time.
+    pub completed_work: f64,
+    /// Executed-then-destroyed task time.
+    pub lost_work: f64,
+}
+
+impl TaskBag {
+    /// Captures the bag's full state for a checkpoint.
+    pub fn save_state(&self) -> TaskBagState {
+        TaskBagState {
+            pending: self.pending.iter().copied().collect(),
+            next_id: self.next_id,
+            completed_tasks: self.completed_tasks,
+            completed_work: self.completed_work,
+            lost_work: self.lost_work,
+        }
+    }
+
+    /// Rebuilds a bag from a captured state.
+    pub fn restore_state(state: TaskBagState) -> Self {
+        Self {
+            pending: state.pending.into(),
+            next_id: state.next_id,
+            completed_tasks: state.completed_tasks,
+            completed_work: state.completed_work,
+            lost_work: state.lost_work,
+        }
+    }
+}
+
 /// Packs one chunk for a period of length `t` with overhead `c`: the compute
 /// budget is `t − c` (the paper's `t_k ⊖ c` productive capacity).
 pub fn pack_chunk(bag: &mut TaskBag, period: f64, c: f64) -> Chunk {
@@ -341,6 +383,30 @@ mod tests {
         let bag = TaskBag::from_durations(&[1.0, 2.0, 3.0]).unwrap();
         let ids: Vec<u64> = bag.pending_tasks().map(|t| t.id).collect();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn save_restore_round_trips_mid_run() {
+        let mut bag = TaskBag::from_durations(&[2.0, 3.0, 1.0, 4.0]).unwrap();
+        let c1 = bag.check_out(5.0);
+        bag.complete(c1);
+        let c2 = bag.check_out(1.5);
+        bag.abandon(c2);
+        let state = bag.save_state();
+        let restored = TaskBag::restore_state(state.clone());
+        assert_eq!(restored.save_state(), state);
+        assert_eq!(restored.pending_count(), bag.pending_count());
+        assert_eq!(restored.completed_work(), bag.completed_work());
+        assert_eq!(restored.lost_work(), bag.lost_work());
+        // The id counter survives: new pushes continue the sequence.
+        let mut restored = restored;
+        let id_a = bag.push(1.0).unwrap();
+        let id_b = restored.push(1.0).unwrap();
+        assert_eq!(id_a, id_b);
+        // FIFO order survives too.
+        let a: Vec<u64> = bag.pending_tasks().map(|t| t.id).collect();
+        let b: Vec<u64> = restored.pending_tasks().map(|t| t.id).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -19,6 +19,34 @@ pub struct StdRng {
     s: [u64; 4],
 }
 
+impl StdRng {
+    /// The raw 256-bit generator state, for checkpoint/restore. The four
+    /// words are exactly the xoshiro256** state vector; feeding them back
+    /// through [`StdRng::from_state`] resumes the stream at the same point.
+    ///
+    /// This is an extension over the upstream `rand` API surface, added for
+    /// the `cs-now` snapshot subsystem (the upstream crate offers no state
+    /// accessor; a swap back to upstream would need a serializable RNG).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured with [`StdRng::state`].
+    /// An all-zero state (a xoshiro fixed point, never produced by a live
+    /// generator) is nudged off zero exactly like [`SeedableRng::from_seed`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            let mut sm = 0xDEAD_BEEF_CAFE_F00Du64;
+            let mut s = [0u64; 4];
+            for word in s.iter_mut() {
+                *word = splitmix64(&mut sm);
+            }
+            return Self { s };
+        }
+        Self { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     type Seed = [u8; 32];
 
