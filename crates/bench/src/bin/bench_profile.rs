@@ -11,17 +11,32 @@ use cs_bench::profile::{render_bench_json, run_profile, ProfileOptions};
 use std::process::ExitCode;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-/// `git rev-parse --short HEAD`, or `"unknown"` outside a git checkout.
-fn commit_id() -> String {
+fn git(args: &[&str]) -> Option<String> {
     std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
+        .args(args)
         .output()
         .ok()
         .filter(|o| o.status.success())
         .and_then(|o| String::from_utf8(o.stdout).ok())
+}
+
+/// `git rev-parse --short HEAD` — suffixed `-dirty` when the working tree
+/// has uncommitted changes, so a baseline can never silently claim to
+/// describe a commit it was not actually built from. `"unknown"` outside a
+/// git checkout.
+fn commit_id() -> String {
+    let Some(head) = git(&["rev-parse", "--short", "HEAD"])
         .map(|s| s.trim().to_string())
         .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
+    else {
+        return "unknown".to_string();
+    };
+    let dirty = git(&["status", "--porcelain"]).is_none_or(|s| !s.trim().is_empty());
+    if dirty {
+        format!("{head}-dirty")
+    } else {
+        head
+    }
 }
 
 /// UTC `YYYY-MM-DD` from the system clock (civil-from-days, Gregorian).

@@ -25,10 +25,16 @@ usage:
         killed journaled run) is reported as a warning and the rest of the
         trace is checked as an interrupted prefix; --strict makes the torn
         tail itself a failure.
-    cyclesteal obs diff [--threshold <rel>] [--bench] <a> <b>
+    cyclesteal obs diff [--threshold <rel>] [--bench] [--only <substr>]
+                        <a> <b>
         Compare two traces' folded metrics (or, with --bench, two
-        BENCH.json baselines, flagging only regressions). Non-zero exit
-        when a change beyond the threshold (default 0.2) is flagged.
+        BENCH.json baselines, flagging only regressions). --only keeps
+        just the rows whose metric name contains <substr> (repeatable;
+        a row is kept when any filter matches) — the CI perf gate uses
+        this to pin workload-independent rows like
+        'farm_clean.events_per_sec' and 'spans.farm.dispatch.mean_ns'.
+        Non-zero exit when a kept change beyond the threshold (default
+        0.2) is flagged.
     cyclesteal obs replay --journal <file> --to <record> [scenario flags]
         Time travel: deterministically re-execute the journaled run up to
         (and including) record <record>, verifying every record against
@@ -236,6 +242,7 @@ fn cmd_check(rest: &[String]) -> Result<(), String> {
 fn cmd_diff(rest: &[String]) -> Result<(), String> {
     let mut threshold = 0.2f64;
     let mut bench = false;
+    let mut only: Vec<String> = Vec::new();
     let mut paths: Vec<&str> = Vec::new();
     let mut it = rest.iter();
     while let Some(tok) = it.next() {
@@ -247,6 +254,10 @@ fn cmd_diff(rest: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| format!("--threshold: bad number {v:?}"))?;
             }
+            "--only" => {
+                let v = it.next().ok_or("--only needs a substring")?;
+                only.push(v.clone());
+            }
             p if !p.starts_with("--") => paths.push(p),
             other => return Err(format!("obs diff: unknown option {other}\n\n{USAGE}")),
         }
@@ -254,7 +265,7 @@ fn cmd_diff(rest: &[String]) -> Result<(), String> {
     let [a, b] = paths[..] else {
         return Err(format!("obs diff takes exactly two files\n\n{USAGE}"));
     };
-    let rows = if bench {
+    let mut rows = if bench {
         diff_bench(&read(a)?, &read(b)?, threshold)?
     } else {
         diff_registries(
@@ -263,6 +274,15 @@ fn cmd_diff(rest: &[String]) -> Result<(), String> {
             threshold,
         )
     };
+    if !only.is_empty() {
+        rows.retain(|r| only.iter().any(|f| r.name.contains(f.as_str())));
+        if rows.is_empty() {
+            return Err(format!(
+                "obs diff: no metric matched --only {:?} (check the row names)",
+                only
+            ));
+        }
+    }
     let flagged = rows.iter().filter(|r| r.flagged).count();
     if flagged > 0 {
         let mut table = Table::new(&["metric", "baseline", "candidate", "change"]);
@@ -369,6 +389,46 @@ mod tests {
     fn missing_file_is_a_clean_error() {
         let err = run(&["check".to_string(), "/no/such/trace.jsonl".to_string()]).unwrap_err();
         assert!(err.contains("/no/such/trace.jsonl"), "{err}");
+    }
+
+    #[test]
+    fn diff_only_filters_rows_and_rejects_empty_matches() {
+        let to_args = |s: &str| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+        let dir = std::env::temp_dir().join(format!("cs_obs_diff_only_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        // s1 regresses on wall time; s2 is clean.
+        std::fs::write(
+            &a,
+            r#"{"commit":"a","date":"d","scenarios":[
+                {"id":"s1","wall_ns":1000,"events_per_sec":500,"mc_trials_per_sec":null},
+                {"id":"s2","wall_ns":1000,"events_per_sec":500,"mc_trials_per_sec":null}]}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &b,
+            r#"{"commit":"b","date":"d","scenarios":[
+                {"id":"s1","wall_ns":9000,"events_per_sec":500,"mc_trials_per_sec":null},
+                {"id":"s2","wall_ns":1000,"events_per_sec":500,"mc_trials_per_sec":null}]}"#,
+        )
+        .unwrap();
+        let (a, b) = (a.display().to_string(), b.display().to_string());
+        // Unfiltered: the s1 wall regression fails the diff.
+        let err = run(&to_args(&format!("diff --bench {a} {b}"))).unwrap_err();
+        assert!(err.contains("beyond threshold"), "{err}");
+        // Filtered to s2 rows only: the regression is out of scope.
+        run(&to_args(&format!("diff --bench --only s2. {a} {b}"))).unwrap();
+        // Several filters are OR'd: adding the regressing row fails again.
+        let err = run(&to_args(&format!(
+            "diff --bench --only s2. --only s1.wall_ns {a} {b}"
+        )))
+        .unwrap_err();
+        assert!(err.contains("beyond threshold"), "{err}");
+        // A filter matching nothing is an error, not a silent PASS.
+        let err = run(&to_args(&format!("diff --bench --only nope {a} {b}"))).unwrap_err();
+        assert!(err.contains("no metric matched"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! the episode stream, so a zero-intensity plan leaves a run **bit-identical**
 //! to the fault-free simulator for the same seed.
 
+use crate::equeue::EventQueue;
 use crate::faults::{FaultPlan, ResilienceConfig};
 use cs_life::{ArcLife, LifeFunction};
 use cs_obs::{Event as ObsEvent, EventKind as ObsKind, EventSink, NoopSink, SpanId, SpanProfiler};
@@ -46,7 +47,7 @@ use cs_tasks::{Chunk, Task, TaskBag};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap, HashSet};
+use std::collections::BTreeMap;
 
 pub use cs_scenarios::PolicySpec;
 
@@ -340,6 +341,7 @@ impl EventKind {
     }
 }
 
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct Event {
     pub(crate) time: f64,
     pub(crate) kind: EventKind,
@@ -384,6 +386,8 @@ pub(crate) struct Lease {
     pub(crate) replicas: u32,
 }
 
+/// Per-workstation state in array-of-structs form: the unit the snapshot
+/// format serializes and [`WsTable`] (the hot-loop layout) is built from.
 pub(crate) struct WorkstationState {
     pub(crate) policy: Box<dyn ChunkPolicy>,
     /// Virtual time the current episode started.
@@ -407,35 +411,250 @@ pub(crate) struct WorkstationState {
     pub(crate) stats: WorkstationStats,
 }
 
+/// Struct-of-arrays per-workstation state: one flat, preallocated column
+/// per field, indexed by workstation. The dispatch hot path touches only a
+/// few scalar columns (`crashed`, `crash_at`, `quarantined_until`,
+/// `episode_start`), so the SoA layout keeps those reads dense instead of
+/// striding over boxed policies and RNG blocks.
+#[derive(Default)]
+pub(crate) struct WsTable {
+    pub(crate) policy: Vec<Box<dyn ChunkPolicy>>,
+    pub(crate) episode_start: Vec<f64>,
+    pub(crate) reclaim_at: Vec<f64>,
+    pub(crate) fault_rng: Vec<StdRng>,
+    pub(crate) crash_at: Vec<f64>,
+    pub(crate) crashed: Vec<bool>,
+    pub(crate) fail_streak: Vec<u32>,
+    pub(crate) backoff_pending: Vec<bool>,
+    pub(crate) quarantined_until: Vec<f64>,
+    pub(crate) stats: Vec<WorkstationStats>,
+}
+
+impl WsTable {
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        Self {
+            policy: Vec::with_capacity(n),
+            episode_start: Vec::with_capacity(n),
+            reclaim_at: Vec::with_capacity(n),
+            fault_rng: Vec::with_capacity(n),
+            crash_at: Vec::with_capacity(n),
+            crashed: Vec::with_capacity(n),
+            fail_streak: Vec::with_capacity(n),
+            backoff_pending: Vec::with_capacity(n),
+            quarantined_until: Vec::with_capacity(n),
+            stats: Vec::with_capacity(n),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Appends one workstation, scattering the struct into the columns.
+    pub(crate) fn push(&mut self, st: WorkstationState) {
+        self.policy.push(st.policy);
+        self.episode_start.push(st.episode_start);
+        self.reclaim_at.push(st.reclaim_at);
+        self.fault_rng.push(st.fault_rng);
+        self.crash_at.push(st.crash_at);
+        self.crashed.push(st.crashed);
+        self.fail_streak.push(st.fail_streak);
+        self.backoff_pending.push(st.backoff_pending);
+        self.quarantined_until.push(st.quarantined_until);
+        self.stats.push(st.stats);
+    }
+}
+
+/// The set of banked task ids as a flat bitset ([`TaskBag`] assigns ids
+/// densely from zero, so id-indexed words stay compact). `insert` grows on
+/// demand; `contains` beyond the high water mark is simply `false`.
+pub(crate) struct BankedSet {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl BankedSet {
+    /// An empty set with no preallocation (tests; runs size via
+    /// [`BankedSet::with_bits`]).
+    #[cfg(test)]
+    pub(crate) fn new() -> Self {
+        Self {
+            words: Vec::new(),
+            count: 0,
+        }
+    }
+
+    /// An empty set preallocated for ids below `bits`.
+    pub(crate) fn with_bits(bits: u64) -> Self {
+        Self {
+            words: vec![0; (bits as usize).div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    /// Inserts `id`; returns `true` when it was not already present
+    /// (first-bank-wins).
+    pub(crate) fn insert(&mut self, id: u64) -> bool {
+        let (w, mask) = ((id / 64) as usize, 1u64 << (id % 64));
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        if self.words[w] & mask != 0 {
+            false
+        } else {
+            self.words[w] |= mask;
+            self.count += 1;
+            true
+        }
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, id: u64) -> bool {
+        let (w, mask) = ((id / 64) as usize, 1u64 << (id % 64));
+        self.words.get(w).is_some_and(|word| word & mask != 0)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.count
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The banked ids in ascending order (what the snapshot serializes).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let base = wi as u64 * 64;
+            (0..64)
+                .filter(move |b| word & (1u64 << b) != 0)
+                .map(move |b| base + b)
+        })
+    }
+}
+
+/// The lease table as an id-indexed slab: lease ids are issued densely, so
+/// slot index *is* the id and `next_id` is the slab length. Consumed leases
+/// leave tombstones (`None`) — ids are never reused, matching the old
+/// monotonic `next_lease` counter bit for bit.
+pub(crate) struct LeaseTable {
+    slots: Vec<Option<Lease>>,
+    live: usize,
+    /// Every slot below this index is a tombstone; live iteration starts
+    /// here.
+    first_live: usize,
+}
+
+impl LeaseTable {
+    pub(crate) fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            live: 0,
+            first_live: 0,
+        }
+    }
+
+    /// A table of `next_id` tombstones, ready for [`LeaseTable::place`]
+    /// (snapshot restore).
+    pub(crate) fn with_tombstones(next_id: u64) -> Self {
+        Self {
+            slots: (0..next_id).map(|_| None).collect(),
+            live: 0,
+            first_live: next_id as usize,
+        }
+    }
+
+    /// The id the next [`LeaseTable::insert`] will assign.
+    pub(crate) fn next_id(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    pub(crate) fn insert(&mut self, lease: Lease) -> u64 {
+        let id = self.slots.len() as u64;
+        self.slots.push(Some(lease));
+        self.live += 1;
+        id
+    }
+
+    /// Re-occupies slot `id` (snapshot restore; the slot must be a
+    /// tombstone below `next_id`).
+    pub(crate) fn place(&mut self, id: u64, lease: Lease) {
+        let slot = &mut self.slots[id as usize];
+        debug_assert!(slot.is_none(), "lease id {id} restored twice");
+        *slot = Some(lease);
+        self.live += 1;
+        self.first_live = self.first_live.min(id as usize);
+    }
+
+    pub(crate) fn get(&self, id: u64) -> Option<&Lease> {
+        self.slots.get(id as usize)?.as_ref()
+    }
+
+    pub(crate) fn get_mut(&mut self, id: u64) -> Option<&mut Lease> {
+        self.slots.get_mut(id as usize)?.as_mut()
+    }
+
+    pub(crate) fn remove(&mut self, id: u64) -> Option<Lease> {
+        let lease = self.slots.get_mut(id as usize)?.take();
+        if lease.is_some() {
+            self.live -= 1;
+            while self.first_live < self.slots.len() && self.slots[self.first_live].is_none() {
+                self.first_live += 1;
+            }
+        }
+        lease
+    }
+
+    /// Live leases in ascending id order (the old `BTreeMap` iteration
+    /// order, which the snapshot format pins).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, &Lease)> {
+        self.slots[self.first_live.min(self.slots.len())..]
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, slot)| slot.as_ref().map(|l| ((i + self.first_live) as u64, l)))
+    }
+}
+
 /// The master's run state: the bag, the lease table, the set of banked task
 /// ids (first bank wins) and the event queue.
 pub(crate) struct Engine {
     pub(crate) bag: TaskBag,
-    pub(crate) queue: BinaryHeap<Event>,
+    pub(crate) queue: EventQueue,
     pub(crate) rng: StdRng,
     pub(crate) storms: Vec<f64>,
-    pub(crate) in_flight: BTreeMap<u64, Lease>,
-    pub(crate) banked: HashSet<u64>,
-    pub(crate) next_lease: u64,
+    pub(crate) in_flight: LeaseTable,
+    pub(crate) banked: BankedSet,
     pub(crate) makespan: f64,
+    /// Recycled chunk storage: task buffers handed back by banked chunks,
+    /// reused by the next check-out so the steady-state dispatch loop
+    /// allocates nothing.
+    pub(crate) free_bufs: Vec<Vec<Task>>,
 }
 
 impl Engine {
+    /// A recycled (or fresh) task buffer for the next chunk.
+    fn take_buf(&mut self) -> Vec<Task> {
+        self.free_bufs.pop().unwrap_or_default()
+    }
+
     /// Registers an outstanding chunk and schedules its lease expiry.
     fn lease(&mut self, ws: usize, chunk: Chunk, expiry: f64, arrives: bool) -> u64 {
-        let id = self.next_lease;
-        self.next_lease += 1;
-        self.in_flight.insert(
-            id,
-            Lease {
-                ws,
-                chunk,
-                expiry,
-                arrives,
-                expired: false,
-                replicas: 0,
-            },
-        );
+        let id = self.in_flight.insert(Lease {
+            ws,
+            chunk,
+            expiry,
+            arrives,
+            expired: false,
+            replicas: 0,
+        });
         self.queue.push(Event {
             time: expiry,
             kind: EventKind::LeaseExpiry(id),
@@ -446,18 +665,20 @@ impl Engine {
     /// Banks a chunk's results at time `end`: first bank wins, duplicates
     /// are discarded and charged to the delivering workstation. Returns the
     /// newly banked task time.
-    fn bank(&mut self, chunk: Chunk, st: &mut WorkstationState, end: f64) -> f64 {
+    fn bank(&mut self, chunk: Chunk, stats: &mut WorkstationStats, end: f64) -> f64 {
         let mut new_work = 0.0;
         let mut any = false;
-        for task in chunk.into_tasks() {
+        let mut tasks = chunk.into_tasks();
+        for task in tasks.drain(..) {
             if self.banked.insert(task.id) {
                 new_work += task.duration;
                 any = true;
             } else {
-                st.stats.duplicate_work += task.duration;
+                stats.duplicate_work += task.duration;
             }
         }
-        st.stats.completed_work += new_work;
+        self.free_bufs.push(tasks);
+        stats.completed_work += new_work;
         if any {
             self.makespan = if self.makespan.is_nan() {
                 end
@@ -469,42 +690,18 @@ impl Engine {
     }
 
     /// Returns a killed chunk's unbanked tasks to the bag as lost work.
-    fn abandon_unbanked(&mut self, chunk: Chunk) {
-        let fresh: Vec<Task> = chunk
-            .into_tasks()
-            .into_iter()
-            .filter(|t| !self.banked.contains(&t.id))
-            .collect();
-        self.bag.abandon(Chunk::from_tasks(fresh));
-    }
-
-    /// Returns a timed-out chunk's unbanked tasks to the bag (nothing was
-    /// executed and destroyed, so no lost work is recorded). Returns how
-    /// many tasks went back.
-    fn requeue_unbanked(&mut self, tasks: &[Task]) -> u64 {
-        let fresh: Vec<Task> = tasks
-            .iter()
-            .filter(|t| !self.banked.contains(&t.id))
-            .copied()
-            .collect();
-        let n = fresh.len() as u64;
-        self.bag.requeue(Chunk::from_tasks(fresh));
-        n
+    fn abandon_unbanked(&mut self, mut chunk: Chunk) {
+        chunk.retain(|t| !self.banked.contains(t.id));
+        self.bag.abandon(chunk);
     }
 
     /// Drops tasks the master already banked elsewhere from a freshly
     /// checked-out chunk (they can re-enter the bag via lease requeues).
-    fn prune_banked(&self, chunk: Chunk) -> Chunk {
+    fn prune_banked(&self, chunk: &mut Chunk) {
         if chunk.is_empty() || self.banked.is_empty() {
-            return chunk;
+            return;
         }
-        Chunk::from_tasks(
-            chunk
-                .into_tasks()
-                .into_iter()
-                .filter(|t| !self.banked.contains(&t.id))
-                .collect(),
-        )
+        chunk.retain(|t| !self.banked.contains(t.id));
     }
 
     /// End-game replication: packs a copy of the most urgent outstanding
@@ -517,16 +714,27 @@ impl Engine {
             .in_flight
             .iter()
             .filter(|(_, l)| !l.expired && l.replicas < max_replicas)
-            .map(|(&id, l)| (l.expiry, id))
+            .map(|(id, l)| (l.expiry, id))
             .collect();
-        // Most urgent first: the lease that will time out soonest.
-        candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        for (_, id) in candidates {
-            let lease = &self.in_flight[&id];
+        // Most urgent first: the lease that will time out soonest. Only the
+        // minimum is usually consumed, so select it with a single arg-min
+        // pass instead of sorting; the (expiry, id) comparison matches the
+        // old full sort exactly, including the id tie-break.
+        while !candidates.is_empty() {
+            let mut best = 0;
+            for i in 1..candidates.len() {
+                let (be, bid) = candidates[best];
+                let (ce, cid) = candidates[i];
+                if ce.total_cmp(&be).then(cid.cmp(&bid)) == Ordering::Less {
+                    best = i;
+                }
+            }
+            let (_, id) = candidates.swap_remove(best);
+            let lease = self.in_flight.get(id).expect("candidate lease exists");
             let mut used = 0.0;
             let mut tasks = Vec::new();
             for task in lease.chunk.tasks() {
-                if self.banked.contains(&task.id) {
+                if self.banked.contains(task.id) {
                     continue;
                 }
                 if used + task.duration > budget + 1e-12 {
@@ -539,7 +747,7 @@ impl Engine {
                 continue;
             }
             self.in_flight
-                .get_mut(&id)
+                .get_mut(id)
                 .expect("candidate lease exists")
                 .replicas += 1;
             return Some(Chunk::from_tasks(tasks));
@@ -624,7 +832,7 @@ pub(crate) struct FarmRun {
     pub(crate) config: FarmConfig,
     pub(crate) initial_tasks: usize,
     pub(crate) eng: Engine,
-    pub(crate) states: Vec<WorkstationState>,
+    pub(crate) states: WsTable,
     /// Virtual time of the last handled event.
     pub(crate) now: f64,
     /// The `farm.run` root span. [`SpanId::NONE`] for snapshot-restored
@@ -641,31 +849,37 @@ impl FarmRun {
             bag,
             storms,
         } = farm;
+        let observe = sink.wants_events();
         let initial_tasks = bag.pending_count();
-        sink.emit(&ObsEvent {
-            time: 0.0,
-            kind: ObsKind::RunStart {
-                seed: config.seed,
-                workstations: config.workstations.len() as u64,
-                tasks: initial_tasks as u64,
-            },
-        });
+        if observe {
+            sink.emit(&ObsEvent {
+                time: 0.0,
+                kind: ObsKind::RunStart {
+                    seed: config.seed,
+                    workstations: config.workstations.len() as u64,
+                    tasks: initial_tasks as u64,
+                },
+            });
+        }
         let root_span = prof.start("farm.run", &mut *sink);
         let setup_span = prof.start("farm.setup", &mut *sink);
+        let n = config.workstations.len();
         let mut eng = Engine {
             bag,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::with_capacity(4 * n + 16),
             rng: StdRng::seed_from_u64(config.seed),
             storms,
-            in_flight: BTreeMap::new(),
-            banked: HashSet::new(),
-            next_lease: 0,
+            in_flight: LeaseTable::new(),
+            banked: BankedSet::with_bits(initial_tasks as u64),
             makespan: f64::NAN,
+            free_bufs: Vec::new(),
         };
-        let n = config.workstations.len();
-        let mut states: Vec<WorkstationState> = Vec::with_capacity(n);
+        let mut caches = cs_scenarios::PolicyCaches::new();
+        let mut states = WsTable::with_capacity(n);
         for (i, wc) in config.workstations.iter().enumerate() {
-            let policy = wc.policy.build(wc.believed.clone(), wc.c);
+            let policy = wc
+                .policy
+                .build_shared(wc.believed.clone(), wc.c, &mut caches);
             let reclaim_at = draw_reclaim(episode_life(wc, 0.0), &mut eng.rng);
             let mut fault_rng = StdRng::seed_from_u64(
                 config.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
@@ -676,7 +890,7 @@ impl FarmRun {
             } else {
                 f64::INFINITY
             };
-            let mut st = WorkstationState {
+            let st = WorkstationState {
                 policy,
                 episode_start: 0.0,
                 reclaim_at,
@@ -691,12 +905,14 @@ impl FarmRun {
                     ..Default::default()
                 },
             };
-            sink.emit(&ObsEvent {
-                time: 0.0,
-                kind: ObsKind::EpisodeStart { ws: i as u64 },
-            });
-            apply_storms(&mut st, wc, &eng.storms, i, sink);
+            if observe {
+                sink.emit(&ObsEvent {
+                    time: 0.0,
+                    kind: ObsKind::EpisodeStart { ws: i as u64 },
+                });
+            }
             states.push(st);
+            apply_storms(&mut states, i, wc, &eng.storms, sink, observe);
             eng.queue.push(Event {
                 time: 0.0,
                 kind: EventKind::Dispatch(i),
@@ -727,6 +943,7 @@ impl FarmRun {
             // Every task banked; outstanding leases carry only duplicates.
             return false;
         }
+        let observe = sink.wants_events();
         self.now = time;
         match kind {
             EventKind::Dispatch(ws) => {
@@ -742,10 +959,11 @@ impl FarmRun {
                 dispatch(
                     &mut self.eng,
                     &self.config,
-                    &mut self.states[ws],
+                    &mut self.states,
                     ws,
                     time,
                     sink,
+                    observe,
                 );
                 prof.end(span, &mut *sink);
             }
@@ -758,26 +976,29 @@ impl FarmRun {
                     id,
                     time,
                     sink,
+                    observe,
                 );
                 prof.end(span, &mut *sink);
             }
             EventKind::Arrival(id) => {
                 let span = prof.start("farm.wait", &mut *sink);
-                if let Some(lease) = self.eng.in_flight.remove(&id) {
-                    let st = &mut self.states[lease.ws];
+                if let Some(lease) = self.eng.in_flight.remove(id) {
+                    let stats = &mut self.states.stats[lease.ws];
                     let total = lease.chunk.total_duration();
-                    let work = self.eng.bank(lease.chunk, st, time);
-                    sink.emit(&ObsEvent {
-                        time,
-                        kind: ObsKind::Bank {
-                            ws: lease.ws as u64,
-                            work,
-                            duplicate: total - work,
-                        },
-                    });
-                    st.stats.chunks_completed += 1;
+                    let work = self.eng.bank(lease.chunk, stats, time);
+                    if observe {
+                        sink.emit(&ObsEvent {
+                            time,
+                            kind: ObsKind::Bank {
+                                ws: lease.ws as u64,
+                                work,
+                                duplicate: total - work,
+                            },
+                        });
+                    }
+                    stats.chunks_completed += 1;
                     if work > 0.0 {
-                        st.stats.late_banks += 1;
+                        stats.late_banks += 1;
                     }
                 }
                 prof.end(span, &mut *sink);
@@ -797,12 +1018,12 @@ impl FarmRun {
             ..
         } = self;
         let account_span = prof.start("farm.account", &mut *sink);
-        let completed_work: f64 = states.iter().map(|s| s.stats.completed_work).sum();
-        let lost_work: f64 = states.iter().map(|s| s.stats.lost_work).sum();
+        let completed_work: f64 = states.stats.iter().map(|s| s.completed_work).sum();
+        let lost_work: f64 = states.stats.iter().map(|s| s.lost_work).sum();
         let remaining_work = if eng.in_flight.is_empty() {
             eng.bag
                 .pending_tasks()
-                .filter(|t| !eng.banked.contains(&t.id))
+                .filter(|t| !eng.banked.contains(t.id))
                 .map(|t| t.duration)
                 .sum()
         } else {
@@ -810,13 +1031,13 @@ impl FarmRun {
             // lease (requeues can leave copies in both places).
             let mut remaining: BTreeMap<u64, f64> = BTreeMap::new();
             for task in eng.bag.pending_tasks() {
-                if !eng.banked.contains(&task.id) {
+                if !eng.banked.contains(task.id) {
                     remaining.insert(task.id, task.duration);
                 }
             }
-            for lease in eng.in_flight.values() {
+            for (_, lease) in eng.in_flight.iter() {
                 for task in lease.chunk.tasks() {
-                    if !eng.banked.contains(&task.id) {
+                    if !eng.banked.contains(task.id) {
                         remaining.insert(task.id, task.duration);
                     }
                 }
@@ -824,36 +1045,38 @@ impl FarmRun {
             remaining.values().sum()
         };
         let mut robustness = RobustnessTotals::default();
-        for s in &states {
-            robustness.messages_lost += s.stats.messages_lost;
-            robustness.straggled_chunks += s.stats.straggled_chunks;
-            robustness.crashes += s.stats.crashes;
-            robustness.storm_kills += s.stats.storm_kills;
-            robustness.lease_timeouts += s.stats.lease_timeouts;
-            robustness.backoff_delays += s.stats.backoff_delays;
-            robustness.quarantines += s.stats.quarantines;
-            robustness.replicas_dispatched += s.stats.replicas_dispatched;
-            robustness.late_banks += s.stats.late_banks;
-            robustness.duplicate_work += s.stats.duplicate_work;
+        for s in &states.stats {
+            robustness.messages_lost += s.messages_lost;
+            robustness.straggled_chunks += s.straggled_chunks;
+            robustness.crashes += s.crashes;
+            robustness.storm_kills += s.storm_kills;
+            robustness.lease_timeouts += s.lease_timeouts;
+            robustness.backoff_delays += s.backoff_delays;
+            robustness.quarantines += s.quarantines;
+            robustness.replicas_dispatched += s.replicas_dispatched;
+            robustness.late_banks += s.late_banks;
+            robustness.duplicate_work += s.duplicate_work;
         }
         let drained = eng.banked.len() == initial_tasks;
         prof.end(account_span, &mut *sink);
         prof.end(root_span, &mut *sink);
-        sink.emit(&ObsEvent {
-            time: eng.makespan,
-            kind: ObsKind::RunEnd {
-                banked: completed_work,
-                lost: lost_work,
-                drained,
-            },
-        });
+        if sink.wants_events() {
+            sink.emit(&ObsEvent {
+                time: eng.makespan,
+                kind: ObsKind::RunEnd {
+                    banked: completed_work,
+                    lost: lost_work,
+                    drained,
+                },
+            });
+        }
         FarmReport {
             makespan: eng.makespan,
             completed_work,
             lost_work,
             remaining_work,
             drained,
-            per_workstation: states.into_iter().map(|s| s.stats).collect(),
+            per_workstation: states.stats,
             robustness,
         }
     }
@@ -863,46 +1086,51 @@ impl FarmRun {
 fn dispatch(
     eng: &mut Engine,
     config: &FarmConfig,
-    st: &mut WorkstationState,
+    states: &mut WsTable,
     ws: usize,
     time: f64,
     sink: &mut dyn EventSink,
+    observe: bool,
 ) {
     let wc = &config.workstations[ws];
-    if st.crashed {
+    if states.crashed[ws] {
         return;
     }
-    if time >= st.crash_at {
-        st.crashed = true;
-        st.stats.crashes = 1;
-        st.policy.observe(&PeriodOutcome::Crashed);
-        sink.emit(&ObsEvent {
-            time,
-            kind: ObsKind::Crash { ws: ws as u64 },
-        });
+    if time >= states.crash_at[ws] {
+        states.crashed[ws] = true;
+        states.stats[ws].crashes = 1;
+        states.policy[ws].observe(&PeriodOutcome::Crashed);
+        if observe {
+            sink.emit(&ObsEvent {
+                time,
+                kind: ObsKind::Crash { ws: ws as u64 },
+            });
+        }
         return;
     }
-    if time < st.quarantined_until {
+    if time < states.quarantined_until[ws] {
         // Quarantine subsumes any pending backoff.
-        st.backoff_pending = false;
+        states.backoff_pending[ws] = false;
         eng.queue.push(Event {
-            time: st.quarantined_until,
+            time: states.quarantined_until[ws],
             kind: EventKind::Dispatch(ws),
         });
         return;
     }
-    if st.backoff_pending {
-        st.backoff_pending = false;
-        let delay = backoff_delay(&config.resilience, st.fail_streak);
+    if states.backoff_pending[ws] {
+        states.backoff_pending[ws] = false;
+        let delay = backoff_delay(&config.resilience, states.fail_streak[ws]);
         if delay > 0.0 {
-            st.stats.backoff_delays += 1;
-            sink.emit(&ObsEvent {
-                time,
-                kind: ObsKind::Backoff {
-                    ws: ws as u64,
-                    delay,
-                },
-            });
+            states.stats[ws].backoff_delays += 1;
+            if observe {
+                sink.emit(&ObsEvent {
+                    time,
+                    kind: ObsKind::Backoff {
+                        ws: ws as u64,
+                        delay,
+                    },
+                });
+            }
             eng.queue.push(Event {
                 time: time + delay,
                 kind: EventKind::Dispatch(ws),
@@ -910,11 +1138,13 @@ fn dispatch(
             return;
         }
     }
-    let elapsed = time - st.episode_start;
-    match st.policy.next_period(elapsed) {
+    let elapsed = time - states.episode_start[ws];
+    match states.policy[ws].next_period(elapsed) {
         Some(t) if t.is_finite() && t > 0.0 => {
-            let raw = cs_tasks::pack_chunk(&mut eng.bag, t, wc.c);
-            let chunk = eng.prune_banked(raw);
+            let mut buf = eng.take_buf();
+            cs_tasks::pack_chunk_into(&mut eng.bag, t, wc.c, &mut buf);
+            let mut chunk = Chunk::from_tasks(buf);
+            eng.prune_banked(&mut chunk);
             if chunk.is_empty() {
                 if config.resilience.replicate_tail
                     && eng.bag.is_drained()
@@ -923,32 +1153,37 @@ fn dispatch(
                     if let Some(replica) =
                         eng.pack_replica((t - wc.c).max(0.0), config.resilience.max_replicas)
                     {
-                        st.stats.replicas_dispatched += 1;
-                        sink.emit(&ObsEvent {
-                            time,
-                            kind: ObsKind::Replica {
-                                ws: ws as u64,
-                                tasks: replica.len() as u64,
-                            },
-                        });
-                        resolve_chunk(eng, config, st, ws, time, t, replica, sink);
+                        // The emptied check-out buffer goes back to the pool.
+                        eng.free_bufs.push(chunk.into_tasks());
+                        states.stats[ws].replicas_dispatched += 1;
+                        if observe {
+                            sink.emit(&ObsEvent {
+                                time,
+                                kind: ObsKind::Replica {
+                                    ws: ws as u64,
+                                    tasks: replica.len() as u64,
+                                },
+                            });
+                        }
+                        resolve_chunk(eng, config, states, ws, time, t, replica, sink, observe);
                         return;
                     }
                 }
-                st.stats.idle_periods += 1;
+                eng.free_bufs.push(chunk.into_tasks());
+                states.stats[ws].idle_periods += 1;
                 // Nothing dispatchable this period; try again later.
                 eng.queue.push(Event {
                     time: time + t * wc.faults.slowdown,
                     kind: EventKind::Dispatch(ws),
                 });
             } else {
-                resolve_chunk(eng, config, st, ws, time, t, chunk, sink);
+                resolve_chunk(eng, config, states, ws, time, t, chunk, sink, observe);
             }
         }
         _ => {
             // Policy declined (no productive period left in this episode):
             // wait out the owner and start a new episode.
-            start_next_episode(eng, wc, st, ws, sink);
+            start_next_episode(eng, states, ws, wc, sink, observe);
         }
     }
 }
@@ -960,37 +1195,42 @@ fn dispatch(
 fn resolve_chunk(
     eng: &mut Engine,
     config: &FarmConfig,
-    st: &mut WorkstationState,
+    states: &mut WsTable,
     ws: usize,
     time: f64,
     t: f64,
     chunk: Chunk,
     sink: &mut dyn EventSink,
+    observe: bool,
 ) {
     let wc = &config.workstations[ws];
     let res = &config.resilience;
     let end = time + t * wc.faults.slowdown;
-    sink.emit(&ObsEvent {
-        time,
-        kind: ObsKind::Dispatch {
-            ws: ws as u64,
-            tasks: chunk.len() as u64,
-            work: chunk.total_duration(),
-        },
-    });
+    if observe {
+        sink.emit(&ObsEvent {
+            time,
+            kind: ObsKind::Dispatch {
+                ws: ws as u64,
+                tasks: chunk.len() as u64,
+                work: chunk.total_duration(),
+            },
+        });
+    }
     // (a) The dispatch or its result vanishes in transit: the period burns
     // its overhead, nothing executes as far as the master can tell, and the
     // chunk's tasks come back only when the lease expires.
-    if wc.faults.loss_prob > 0.0 && st.fault_rng.random::<f64>() < wc.faults.loss_prob {
-        st.stats.messages_lost += 1;
-        st.policy.observe(&PeriodOutcome::Lost);
-        sink.emit(&ObsEvent {
-            time,
-            kind: ObsKind::MessageLost { ws: ws as u64 },
-        });
+    if wc.faults.loss_prob > 0.0 && states.fault_rng[ws].random::<f64>() < wc.faults.loss_prob {
+        states.stats[ws].messages_lost += 1;
+        states.policy[ws].observe(&PeriodOutcome::Lost);
+        if observe {
+            sink.emit(&ObsEvent {
+                time,
+                kind: ObsKind::MessageLost { ws: ws as u64 },
+            });
+        }
         eng.lease(ws, chunk, time + res.lease_factor * t, false);
-        if end >= st.reclaim_at {
-            start_next_episode(eng, wc, st, ws, sink);
+        if end >= states.reclaim_at[ws] {
+            start_next_episode(eng, states, ws, wc, sink, observe);
         } else {
             eng.queue.push(Event {
                 time: end,
@@ -1001,35 +1241,39 @@ fn resolve_chunk(
     }
     // (b) §2.1 kill: the owner reclaims mid-period (storms are already
     // folded into `reclaim_at`), before any crash.
-    if end >= st.reclaim_at && st.reclaim_at <= st.crash_at {
+    if end >= states.reclaim_at[ws] && states.reclaim_at[ws] <= states.crash_at[ws] {
         let lost = chunk.total_duration();
-        st.stats.chunks_lost += 1;
-        st.stats.lost_work += lost;
-        st.policy.observe(&PeriodOutcome::Killed { lost });
-        sink.emit(&ObsEvent {
-            time: st.reclaim_at,
-            kind: ObsKind::PeriodInterrupt {
-                ws: ws as u64,
-                lost,
-            },
-        });
+        states.stats[ws].chunks_lost += 1;
+        states.stats[ws].lost_work += lost;
+        states.policy[ws].observe(&PeriodOutcome::Killed { lost });
+        if observe {
+            sink.emit(&ObsEvent {
+                time: states.reclaim_at[ws],
+                kind: ObsKind::PeriodInterrupt {
+                    ws: ws as u64,
+                    lost,
+                },
+            });
+        }
         eng.abandon_unbanked(chunk);
-        start_next_episode(eng, wc, st, ws, sink);
+        start_next_episode(eng, states, ws, wc, sink, observe);
         return;
     }
     // (c) Silent crash mid-period: the work dies with the workstation and
     // the master learns only from the lease timeout.
-    if end > st.crash_at {
+    if end > states.crash_at[ws] {
         let lost = chunk.total_duration();
-        st.crashed = true;
-        st.stats.crashes = 1;
-        st.stats.chunks_lost += 1;
-        st.stats.lost_work += lost;
-        st.policy.observe(&PeriodOutcome::Crashed);
-        sink.emit(&ObsEvent {
-            time: st.crash_at,
-            kind: ObsKind::Crash { ws: ws as u64 },
-        });
+        states.crashed[ws] = true;
+        states.stats[ws].crashes = 1;
+        states.stats[ws].chunks_lost += 1;
+        states.stats[ws].lost_work += lost;
+        states.policy[ws].observe(&PeriodOutcome::Crashed);
+        if observe {
+            sink.emit(&ObsEvent {
+                time: states.crash_at[ws],
+                kind: ObsKind::Crash { ws: ws as u64 },
+            });
+        }
         eng.lease(ws, chunk, time + res.lease_factor * t, false);
         return;
     }
@@ -1038,12 +1282,14 @@ fn resolve_chunk(
     if end > lease_expiry {
         // (d) Straggler: the result will arrive after the master's lease
         // gave up on it. First bank still wins when it lands.
-        st.stats.straggled_chunks += 1;
-        st.policy.observe(&PeriodOutcome::Straggled);
-        sink.emit(&ObsEvent {
-            time,
-            kind: ObsKind::Straggle { ws: ws as u64 },
-        });
+        states.stats[ws].straggled_chunks += 1;
+        states.policy[ws].observe(&PeriodOutcome::Straggled);
+        if observe {
+            sink.emit(&ObsEvent {
+                time,
+                kind: ObsKind::Straggle { ws: ws as u64 },
+            });
+        }
         let id = eng.lease(ws, chunk, lease_expiry, true);
         eng.queue.push(Event {
             time: end,
@@ -1055,18 +1301,20 @@ fn resolve_chunk(
         });
     } else {
         let total = chunk.total_duration();
-        let work = eng.bank(chunk, st, end);
-        sink.emit(&ObsEvent {
-            time: end,
-            kind: ObsKind::Bank {
-                ws: ws as u64,
-                work,
-                duplicate: total - work,
-            },
-        });
-        st.stats.chunks_completed += 1;
-        st.fail_streak = 0;
-        st.policy.observe(&PeriodOutcome::Banked { work });
+        let work = eng.bank(chunk, &mut states.stats[ws], end);
+        if observe {
+            sink.emit(&ObsEvent {
+                time: end,
+                kind: ObsKind::Bank {
+                    ws: ws as u64,
+                    work,
+                    duplicate: total - work,
+                },
+            });
+        }
+        states.stats[ws].chunks_completed += 1;
+        states.fail_streak[ws] = 0;
+        states.policy[ws].observe(&PeriodOutcome::Banked { work });
         eng.queue.push(Event {
             time: end,
             kind: EventKind::Dispatch(ws),
@@ -1076,60 +1324,91 @@ fn resolve_chunk(
 
 /// Handles a lease timeout: requeues the chunk's unbanked tasks and
 /// penalizes the workstation (backoff, then quarantine).
+#[allow(clippy::too_many_arguments)]
 fn expire_lease(
     eng: &mut Engine,
     config: &FarmConfig,
-    states: &mut [WorkstationState],
+    states: &mut WsTable,
     id: u64,
     time: f64,
     sink: &mut dyn EventSink,
+    observe: bool,
 ) {
-    let (tasks, lease_ws, keep) = {
-        let Some(lease) = eng.in_flight.get_mut(&id) else {
+    let (lease_ws, keep) = {
+        let Some(lease) = eng.in_flight.get_mut(id) else {
             return;
         };
         if lease.expired {
             return;
         }
         lease.expired = true;
-        (lease.chunk.tasks().to_vec(), lease.ws, lease.arrives)
+        (lease.ws, lease.arrives)
     };
-    if !keep {
-        eng.in_flight.remove(&id);
+    if observe {
+        sink.emit(&ObsEvent {
+            time,
+            kind: ObsKind::LeaseTimeout {
+                ws: lease_ws as u64,
+                lease: id,
+            },
+        });
     }
-    sink.emit(&ObsEvent {
-        time,
-        kind: ObsKind::LeaseTimeout {
-            ws: lease_ws as u64,
-            lease: id,
-        },
-    });
-    let requeued = eng.requeue_unbanked(&tasks);
-    sink.emit(&ObsEvent {
-        time,
-        kind: ObsKind::Requeue {
-            ws: lease_ws as u64,
-            tasks: requeued,
-        },
-    });
-    let st = &mut states[lease_ws];
-    st.stats.lease_timeouts += 1;
-    if !st.crashed {
-        st.fail_streak += 1;
-        st.backoff_pending = true;
+    // Requeue the chunk's unbanked tasks (nothing executed and was
+    // destroyed, so no lost work). A lease kept for a late arrival retains
+    // its chunk, so the requeued tasks are fresh copies; a dead lease hands
+    // its chunk over outright.
+    let requeued = if keep {
+        let lease = eng.in_flight.get(id).expect("lease just marked expired");
+        let fresh: Vec<Task> = lease
+            .chunk
+            .tasks()
+            .iter()
+            .filter(|t| !eng.banked.contains(t.id))
+            .copied()
+            .collect();
+        let n = fresh.len() as u64;
+        eng.bag.requeue(Chunk::from_tasks(fresh));
+        n
+    } else {
+        let mut chunk = eng
+            .in_flight
+            .remove(id)
+            .expect("lease just marked expired")
+            .chunk;
+        chunk.retain(|t| !eng.banked.contains(t.id));
+        let n = chunk.len() as u64;
+        eng.bag.requeue(chunk);
+        n
+    };
+    if observe {
+        sink.emit(&ObsEvent {
+            time,
+            kind: ObsKind::Requeue {
+                ws: lease_ws as u64,
+                tasks: requeued,
+            },
+        });
+    }
+    states.stats[lease_ws].lease_timeouts += 1;
+    if !states.crashed[lease_ws] {
+        states.fail_streak[lease_ws] += 1;
+        states.backoff_pending[lease_ws] = true;
         let res = &config.resilience;
-        if res.quarantine_threshold > 0 && st.fail_streak >= res.quarantine_threshold {
-            st.fail_streak = 0;
-            st.backoff_pending = false;
-            st.stats.quarantines += 1;
-            st.quarantined_until = time + res.quarantine_duration;
-            sink.emit(&ObsEvent {
-                time,
-                kind: ObsKind::Quarantine {
-                    ws: lease_ws as u64,
-                    until: st.quarantined_until,
-                },
-            });
+        if res.quarantine_threshold > 0 && states.fail_streak[lease_ws] >= res.quarantine_threshold
+        {
+            states.fail_streak[lease_ws] = 0;
+            states.backoff_pending[lease_ws] = false;
+            states.stats[lease_ws].quarantines += 1;
+            states.quarantined_until[lease_ws] = time + res.quarantine_duration;
+            if observe {
+                sink.emit(&ObsEvent {
+                    time,
+                    kind: ObsKind::Quarantine {
+                        ws: lease_ws as u64,
+                        until: states.quarantined_until[lease_ws],
+                    },
+                });
+            }
         }
     }
 }
@@ -1161,29 +1440,32 @@ fn episode_life(wc: &WorkstationConfig, episode_start: f64) -> &ArcLife {
 /// Truncates the episode at the first reclaim storm that hits this
 /// workstation (correlated reclamation).
 fn apply_storms(
-    st: &mut WorkstationState,
+    states: &mut WsTable,
+    ws: usize,
     wc: &WorkstationConfig,
     storms: &[f64],
-    ws: usize,
     sink: &mut dyn EventSink,
+    observe: bool,
 ) {
     if wc.faults.storm_hit_prob <= 0.0 {
         return;
     }
     for &s in storms {
-        if s < st.episode_start {
+        if s < states.episode_start[ws] {
             continue;
         }
-        if s >= st.reclaim_at {
+        if s >= states.reclaim_at[ws] {
             break;
         }
-        if st.fault_rng.random::<f64>() < wc.faults.storm_hit_prob {
-            st.reclaim_at = s;
-            st.stats.storm_kills += 1;
-            sink.emit(&ObsEvent {
-                time: s,
-                kind: ObsKind::StormKill { ws: ws as u64 },
-            });
+        if states.fault_rng[ws].random::<f64>() < wc.faults.storm_hit_prob {
+            states.reclaim_at[ws] = s;
+            states.stats[ws].storm_kills += 1;
+            if observe {
+                sink.emit(&ObsEvent {
+                    time: s,
+                    kind: ObsKind::StormKill { ws: ws as u64 },
+                });
+            }
             break;
         }
     }
@@ -1193,23 +1475,26 @@ fn apply_storms(
 /// then a new episode (with a fresh reclamation draw) begins.
 fn start_next_episode(
     eng: &mut Engine,
-    wc: &WorkstationConfig,
-    st: &mut WorkstationState,
+    states: &mut WsTable,
     ws: usize,
+    wc: &WorkstationConfig,
     sink: &mut dyn EventSink,
+    observe: bool,
 ) {
     let u = eng.rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
     let gap = -wc.gap_mean * u.ln();
-    let next_start = st.reclaim_at + gap;
-    st.episode_start = next_start;
-    st.reclaim_at = next_start + draw_reclaim(episode_life(wc, next_start), &mut eng.rng);
-    sink.emit(&ObsEvent {
-        time: next_start,
-        kind: ObsKind::EpisodeStart { ws: ws as u64 },
-    });
-    apply_storms(st, wc, &eng.storms, ws, sink);
-    st.stats.episodes += 1;
-    st.policy.reset();
+    let next_start = states.reclaim_at[ws] + gap;
+    states.episode_start[ws] = next_start;
+    states.reclaim_at[ws] = next_start + draw_reclaim(episode_life(wc, next_start), &mut eng.rng);
+    if observe {
+        sink.emit(&ObsEvent {
+            time: next_start,
+            kind: ObsKind::EpisodeStart { ws: ws as u64 },
+        });
+    }
+    apply_storms(states, ws, wc, &eng.storms, sink, observe);
+    states.stats[ws].episodes += 1;
+    states.policy[ws].reset();
     eng.queue.push(Event {
         time: next_start,
         kind: EventKind::Dispatch(ws),
@@ -1412,7 +1697,9 @@ mod tests {
     fn event_ordering_is_total_even_for_nan_times() {
         // Regression: the queue used to order by `partial_cmp(..).unwrap_or(
         // Equal)`, so a NaN time compared Equal to everything and could
-        // scramble heap invariants. `total_cmp` keeps the order total.
+        // scramble heap invariants. `total_cmp` keeps the order total — in
+        // the reference `Ord` (kept as the specification the indexed
+        // `EventQueue` is held to) and in the queue itself.
         let mk = |time, ws| Event {
             time,
             kind: EventKind::Dispatch(ws),
@@ -1421,7 +1708,7 @@ mod tests {
         let one = mk(1.0, 1);
         assert_eq!(nan.cmp(&one), one.cmp(&nan).reverse());
         assert_eq!(nan.cmp(&nan), Ordering::Equal);
-        let mut heap = BinaryHeap::new();
+        let mut queue = EventQueue::with_capacity(8);
         for e in [
             mk(f64::NAN, 0),
             mk(2.0, 1),
@@ -1429,9 +1716,9 @@ mod tests {
             mk(f64::NAN, 3),
             mk(1.0, 4),
         ] {
-            heap.push(e);
+            queue.push(e);
         }
-        let order: Vec<f64> = std::iter::from_fn(|| heap.pop().map(|e| e.time)).collect();
+        let order: Vec<f64> = std::iter::from_fn(|| queue.pop().map(|e| e.time)).collect();
         // Finite times pop ascending; NaNs sort after every finite time.
         assert_eq!(&order[..3], &[0.5, 1.0, 2.0]);
         assert!(order[3].is_nan() && order[4].is_nan());
@@ -1439,26 +1726,75 @@ mod tests {
 
     #[test]
     fn simultaneous_events_pop_in_arrival_expiry_dispatch_order() {
-        let mut heap = BinaryHeap::new();
-        heap.push(Event {
+        let mut queue = EventQueue::with_capacity(4);
+        queue.push(Event {
             time: 5.0,
             kind: EventKind::Dispatch(1),
         });
-        heap.push(Event {
+        queue.push(Event {
             time: 5.0,
             kind: EventKind::Dispatch(0),
         });
-        heap.push(Event {
+        queue.push(Event {
             time: 5.0,
             kind: EventKind::LeaseExpiry(7),
         });
-        heap.push(Event {
+        queue.push(Event {
             time: 5.0,
             kind: EventKind::Arrival(3),
         });
         let kinds: Vec<(u8, u64)> =
-            std::iter::from_fn(|| heap.pop().map(|e| e.kind.rank())).collect();
+            std::iter::from_fn(|| queue.pop().map(|e| e.kind.rank())).collect();
         assert_eq!(kinds, vec![(0, 3), (1, 7), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn banked_set_matches_hash_set_semantics() {
+        let mut set = BankedSet::new();
+        assert!(set.is_empty());
+        assert!(!set.contains(0));
+        assert!(set.insert(5));
+        assert!(!set.insert(5), "second insert reports already-present");
+        assert!(set.insert(0));
+        assert!(set.insert(200)); // forces word growth
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(200) && !set.contains(199));
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 5, 200]);
+        let pre = BankedSet::with_bits(128);
+        assert!(pre.is_empty() && !pre.contains(127));
+    }
+
+    #[test]
+    fn lease_table_issues_monotonic_ids_and_iterates_in_id_order() {
+        let mk = |ws| Lease {
+            ws,
+            chunk: Chunk::from_tasks(vec![]),
+            expiry: 1.0,
+            arrives: false,
+            expired: false,
+            replicas: 0,
+        };
+        let mut table = LeaseTable::new();
+        assert_eq!(table.insert(mk(0)), 0);
+        assert_eq!(table.insert(mk(1)), 1);
+        assert_eq!(table.insert(mk(2)), 2);
+        assert!(table.remove(1).is_some());
+        assert!(table.remove(1).is_none(), "ids are never reused");
+        assert_eq!(table.len(), 2);
+        // Tombstones don't shift ids: the next insert continues the count.
+        assert_eq!(table.insert(mk(3)), 3);
+        assert_eq!(table.next_id(), 4);
+        let ids: Vec<u64> = table.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 2, 3]);
+        assert_eq!(table.get(2).map(|l| l.ws), Some(2));
+        assert!(table.get(1).is_none());
+        // Restore path: tombstones first, then leases placed by id.
+        let mut restored = LeaseTable::with_tombstones(4);
+        assert_eq!(restored.next_id(), 4);
+        restored.place(2, mk(2));
+        restored.place(0, mk(0));
+        let ids: Vec<u64> = restored.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 2]);
     }
 
     #[test]
@@ -1862,6 +2198,57 @@ mod tests {
                 if r.drained {
                     prop_assert!((r.completed_work - total).abs() < 1e-6);
                     prop_assert!(r.makespan.is_finite());
+                }
+            }
+
+            /// The indexed `EventQueue` pops the exact sequence the old
+            /// reversed-`Ord` `BinaryHeap` implementation popped, for
+            /// arbitrary interleavings of pushes and pops — NaN times, tied
+            /// times and rank ties included. `Event`'s `Ord` is kept as the
+            /// executable specification this holds the queue to.
+            #[test]
+            fn queue_pops_like_reference_binary_heap(
+                ops in proptest::collection::vec(proptest::num::u64::ANY, 0..200),
+            ) {
+                let mut queue = EventQueue::with_capacity(8);
+                let mut reference: std::collections::BinaryHeap<Event> =
+                    std::collections::BinaryHeap::new();
+                // Each word decodes to one op: ~30% pop, else push with a
+                // time drawn from {fine grid, NaN, coarse tie-forcing grid}
+                // and a rank from all three kinds over a small id space (so
+                // time ties, rank ties and NaNs all occur routinely).
+                for word in ops {
+                    if word % 10 < 3 {
+                        let got = queue.pop();
+                        let want = reference.pop();
+                        prop_assert_eq!(
+                            got.map(|e| (e.time.to_bits(), e.kind.rank())),
+                            want.map(|e| (e.time.to_bits(), e.kind.rank()))
+                        );
+                        continue;
+                    }
+                    let time = match (word >> 4) % 3 {
+                        0 => ((word >> 16) % 1000) as f64 / 10.0,
+                        1 => f64::NAN,
+                        _ => ((word >> 16) % 8) as f64 * 10.0,
+                    };
+                    let id = (word >> 50) % 6;
+                    let kind = match (word >> 40) % 3 {
+                        0 => EventKind::Arrival(id),
+                        1 => EventKind::LeaseExpiry(id),
+                        _ => EventKind::Dispatch(id as usize),
+                    };
+                    let e = Event { time, kind };
+                    queue.push(e);
+                    reference.push(e);
+                }
+                prop_assert_eq!(queue.len(), reference.len());
+                while let Some(want) = reference.pop() {
+                    let got = queue.pop().expect("queue drained early");
+                    prop_assert_eq!(
+                        (got.time.to_bits(), got.kind.rank()),
+                        (want.time.to_bits(), want.kind.rank())
+                    );
                 }
             }
         }

@@ -519,7 +519,7 @@ impl Farm {
         // Summarize before `finish` consumes the run; the trailing
         // `run_end` record is only emitted by `finish`, so a replay to the
         // journal's end still needs it for verification.
-        let stats = || run.states.iter().map(|s| &s.stats);
+        let stats = || run.states.stats.iter();
         let state = ReplayState {
             records: 0, // patched below, after finish
             total_records,

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod equeue;
 pub mod farm;
 pub mod faults;
 pub mod journal;

@@ -49,14 +49,14 @@
 //! [`Farm::replay_to`] in [`crate::journal`] reconstructs the state at any
 //! record for inspection.
 
+use crate::equeue::EventQueue;
 use crate::farm::{
-    Engine, Event, EventKind, Farm, FarmConfig, FarmReport, FarmRun, Lease, WorkstationState,
-    WorkstationStats,
+    BankedSet, Engine, Event, EventKind, Farm, FarmConfig, FarmReport, FarmRun, Lease, LeaseTable,
+    WorkstationState, WorkstationStats, WsTable,
 };
 use cs_obs::{NoopSink, SpanId, SpanProfiler};
 use cs_tasks::{Chunk, Task, TaskBag, TaskBagState};
 use rand::rngs::StdRng;
-use std::collections::{BTreeMap, BinaryHeap, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -380,15 +380,15 @@ impl FarmRun {
                 .total_cmp(&b.time)
                 .then_with(|| (a.tag, a.id).cmp(&(b.tag, b.id)))
         });
-        // The banked set is only ever membership-tested, but serialize it
-        // sorted so identical states produce identical bytes.
-        let mut banked: Vec<u64> = self.eng.banked.iter().copied().collect();
-        banked.sort_unstable();
+        // The banked set iterates ascending already, which keeps identical
+        // states producing identical bytes (it is only ever
+        // membership-tested at runtime).
+        let banked: Vec<u64> = self.eng.banked.iter().collect();
         let leases = self
             .eng
             .in_flight
             .iter()
-            .map(|(&lease, l)| LeaseSnap {
+            .map(|(lease, l)| LeaseSnap {
                 lease,
                 ws: l.ws as u64,
                 expiry: l.expiry,
@@ -398,20 +398,18 @@ impl FarmRun {
                 tasks: l.chunk.tasks().to_vec(),
             })
             .collect();
-        let ws = self
-            .states
-            .iter()
-            .map(|st| WsSnap {
-                episode_start: st.episode_start,
-                reclaim_at: st.reclaim_at,
-                crash_at: st.crash_at,
-                quarantined_until: st.quarantined_until,
-                fault_rng: st.fault_rng.state(),
-                crashed: st.crashed,
-                fail_streak: st.fail_streak,
-                backoff_pending: st.backoff_pending,
-                policy_state: st.policy.save_state(),
-                stats: st.stats,
+        let ws = (0..self.states.len())
+            .map(|i| WsSnap {
+                episode_start: self.states.episode_start[i],
+                reclaim_at: self.states.reclaim_at[i],
+                crash_at: self.states.crash_at[i],
+                quarantined_until: self.states.quarantined_until[i],
+                fault_rng: self.states.fault_rng[i].state(),
+                crashed: self.states.crashed[i],
+                fail_streak: self.states.fail_streak[i],
+                backoff_pending: self.states.backoff_pending[i],
+                policy_state: self.states.policy[i].save_state(),
+                stats: self.states.stats[i],
             })
             .collect();
         FarmSnapshot {
@@ -423,7 +421,7 @@ impl FarmRun {
             now: self.now,
             rng: self.eng.rng.state(),
             makespan: self.eng.makespan,
-            next_lease: self.eng.next_lease,
+            next_lease: self.eng.in_flight.next_id(),
             bag: self.eng.bag.save_state(),
             banked,
             queue,
@@ -453,7 +451,7 @@ impl FarmSnapshot {
         }
         let mut storms = config.storms.clone();
         storms.sort_by(f64::total_cmp);
-        let queue: BinaryHeap<Event> = self
+        let queue: EventQueue = self
             .queue
             .into_iter()
             .map(|q| {
@@ -465,24 +463,26 @@ impl FarmSnapshot {
                 Event { time: q.time, kind }
             })
             .collect();
-        let in_flight: BTreeMap<u64, Lease> = self
-            .leases
-            .into_iter()
-            .map(|l| {
-                (
-                    l.lease,
-                    Lease {
-                        ws: l.ws as usize,
-                        chunk: Chunk::from_tasks(l.tasks),
-                        expiry: l.expiry,
-                        arrives: l.arrives,
-                        expired: l.expired,
-                        replicas: l.replicas,
-                    },
-                )
-            })
-            .collect();
-        let banked: HashSet<u64> = self.banked.into_iter().collect();
+        // Tombstones first so already-retired lease ids stay retired, then
+        // place each live lease back at its captured id.
+        let mut in_flight = LeaseTable::with_tombstones(self.next_lease);
+        for l in self.leases {
+            in_flight.place(
+                l.lease,
+                Lease {
+                    ws: l.ws as usize,
+                    chunk: Chunk::from_tasks(l.tasks),
+                    expiry: l.expiry,
+                    arrives: l.arrives,
+                    expired: l.expired,
+                    replicas: l.replicas,
+                },
+            );
+        }
+        let mut banked = BankedSet::with_bits(self.tasks);
+        for id in self.banked {
+            banked.insert(id);
+        }
         let eng = Engine {
             bag: TaskBag::restore_state(self.bag),
             queue,
@@ -490,30 +490,29 @@ impl FarmSnapshot {
             storms,
             in_flight,
             banked,
-            next_lease: self.next_lease,
             makespan: self.makespan,
+            free_bufs: Vec::new(),
         };
-        let states: Vec<WorkstationState> = self
-            .ws
-            .into_iter()
-            .zip(&config.workstations)
-            .map(|(w, wc)| {
-                let mut policy = wc.policy.build(wc.believed.clone(), wc.c);
-                policy.restore_state(&w.policy_state);
-                WorkstationState {
-                    policy,
-                    episode_start: w.episode_start,
-                    reclaim_at: w.reclaim_at,
-                    fault_rng: StdRng::from_state(w.fault_rng),
-                    crash_at: w.crash_at,
-                    crashed: w.crashed,
-                    fail_streak: w.fail_streak,
-                    backoff_pending: w.backoff_pending,
-                    quarantined_until: w.quarantined_until,
-                    stats: w.stats,
-                }
-            })
-            .collect();
+        let mut caches = cs_scenarios::PolicyCaches::new();
+        let mut states = WsTable::with_capacity(self.ws.len());
+        for (w, wc) in self.ws.into_iter().zip(&config.workstations) {
+            let mut policy = wc
+                .policy
+                .build_shared(wc.believed.clone(), wc.c, &mut caches);
+            policy.restore_state(&w.policy_state);
+            states.push(WorkstationState {
+                policy,
+                episode_start: w.episode_start,
+                reclaim_at: w.reclaim_at,
+                fault_rng: StdRng::from_state(w.fault_rng),
+                crash_at: w.crash_at,
+                crashed: w.crashed,
+                fail_streak: w.fail_streak,
+                backoff_pending: w.backoff_pending,
+                quarantined_until: w.quarantined_until,
+                stats: w.stats,
+            });
+        }
         Ok(FarmRun {
             initial_tasks: self.tasks as usize,
             config,

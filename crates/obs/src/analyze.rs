@@ -628,6 +628,16 @@ fn bench_scenarios(doc: &Json) -> Result<BTreeMap<String, BTreeMap<String, f64>>
                 nums.insert(key.to_string(), v);
             }
         }
+        // Span means are the workload-size-independent hot-path numbers
+        // (`farm.dispatch` especially) — the rows a CI gate wants when the
+        // scenario's total workload changed between baselines.
+        if let Some(spans) = sc.get("spans").and_then(Json::as_obj) {
+            for (name, span) in spans {
+                if let Some(mean) = span.get("mean_ns").and_then(Json::as_f64) {
+                    nums.insert(format!("spans.{name}.mean_ns"), mean);
+                }
+            }
+        }
         out.insert(id, nums);
     }
     Ok(out)
@@ -635,8 +645,8 @@ fn bench_scenarios(doc: &Json) -> Result<BTreeMap<String, BTreeMap<String, f64>>
 
 /// Compares two `BENCH.json` baselines (`a` = baseline, `b` = candidate).
 /// Rows are flagged only for *regressions* beyond `threshold`: wall time
-/// going up, throughput going down. Scenario sets may differ; a scenario
-/// present on one side only is flagged.
+/// or span means going up, throughput going down. Scenario sets may
+/// differ; a scenario present on one side only is flagged.
 pub fn diff_bench(a_text: &str, b_text: &str, threshold: f64) -> Result<Vec<DiffRow>, String> {
     let a = bench_scenarios(&parse_json(a_text)?)?;
     let b = bench_scenarios(&parse_json(b_text)?)?;
@@ -646,15 +656,18 @@ pub fn diff_bench(a_text: &str, b_text: &str, threshold: f64) -> Result<Vec<Diff
     for id in ids {
         match (a.get(id), b.get(id)) {
             (Some(am), Some(bm)) => {
-                for key in ["wall_ns", "events_per_sec", "mc_trials_per_sec"] {
+                let mut keys: std::collections::BTreeSet<&String> = am.keys().collect();
+                keys.extend(bm.keys());
+                for key in keys {
                     let av = am.get(key).copied().unwrap_or(f64::NAN);
                     let bv = bm.get(key).copied().unwrap_or(f64::NAN);
                     if av.is_nan() && bv.is_nan() {
                         continue; // metric not applicable to this scenario
                     }
                     let rel = rel_change(av, bv);
-                    // Regression direction: wall time up, throughput down.
-                    let regression = if key == "wall_ns" { rel } else { -rel };
+                    // Regression direction: wall time and span latencies
+                    // up, throughput down.
+                    let regression = if key.ends_with("_ns") { rel } else { -rel };
                     let flagged = rel.is_nan() || regression > threshold;
                     rows.push(DiffRow {
                         name: format!("{id}.{key}"),
@@ -885,6 +898,29 @@ mod tests {
         assert!(rows.iter().any(|r| r.name.contains("s3") && r.flagged));
         // mc_trials_per_sec null on both sides of s1: no row at all.
         assert!(!rows.iter().any(|r| r.name == "s1.mc_trials_per_sec"));
+    }
+
+    #[test]
+    fn diff_bench_compares_span_means_as_latencies() {
+        let a = r#"{"commit":"aaa","date":"2026-01-01","scenarios":[
+            {"id":"farm","wall_ns":1000,"events_per_sec":500,"mc_trials_per_sec":null,
+             "spans":{"farm.dispatch":{"count":10,"total_ns":1000,"mean_ns":100,
+                      "p50_ns":100,"p99_ns":100}}}]}"#;
+        let b = r#"{"commit":"bbb","date":"2026-01-02","scenarios":[
+            {"id":"farm","wall_ns":9000,"events_per_sec":500,"mc_trials_per_sec":null,
+             "spans":{"farm.dispatch":{"count":90,"total_ns":4500,"mean_ns":50,
+                      "p50_ns":50,"p99_ns":50}}}]}"#;
+        let rows = diff_bench(a, b, 0.20).unwrap();
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        // The span mean halved — an improvement for a latency row — even
+        // though wall time blew up (bigger workload): per-row direction.
+        assert!(!by_name("farm.spans.farm.dispatch.mean_ns").flagged);
+        assert!(by_name("farm.wall_ns").flagged);
+        // And a mean regression on the same numbers flags.
+        let rows = diff_bench(b, a, 0.20).unwrap();
+        assert!(rows
+            .iter()
+            .any(|r| r.name == "farm.spans.farm.dispatch.mean_ns" && r.flagged));
     }
 
     #[test]

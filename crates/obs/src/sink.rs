@@ -22,6 +22,15 @@ pub trait EventSink {
 
     /// Flushes buffered output (no-op for unbuffered sinks).
     fn flush_sink(&mut self) {}
+
+    /// True when emitted events are actually observed. Producers may query
+    /// this once per hot-loop iteration and skip building [`Event`]s
+    /// entirely when it returns `false`; correctness must not depend on the
+    /// skipped emissions (sinks are pass-through). Defaults to `true`;
+    /// only sinks that provably discard everything return `false`.
+    fn wants_events(&self) -> bool {
+        true
+    }
 }
 
 /// Every `&mut` sink is itself a sink, so generic producers accept both
@@ -33,6 +42,9 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
     fn flush_sink(&mut self) {
         (**self).flush_sink();
     }
+    fn wants_events(&self) -> bool {
+        (**self).wants_events()
+    }
 }
 
 /// Discards every event. The default sink; optimizes to nothing.
@@ -42,6 +54,11 @@ pub struct NoopSink;
 impl EventSink for NoopSink {
     #[inline(always)]
     fn emit(&mut self, _event: &Event) {}
+
+    #[inline(always)]
+    fn wants_events(&self) -> bool {
+        false
+    }
 }
 
 /// Buffers every event in memory, in emission order.
@@ -66,18 +83,32 @@ impl EventSink for MemorySink {
 
 /// Writes each event as one JSON line through a buffered file writer.
 ///
+/// Rendering is **lazy**: `emit` only copies the compact binary [`Event`]
+/// into an in-memory buffer, and the JSONL text is produced in batches at
+/// the sink boundary — when the buffer fills, on [`JsonlSink::flush_sink`],
+/// [`JsonlSink::finish`] or drop. This keeps the producer's hot loop free
+/// of string formatting; the rendered byte stream is identical to eager
+/// per-event rendering.
+///
 /// I/O discipline: `emit` stays infallible (pass-through contract — the
 /// simulation must not branch on sink health), so the first write error is
 /// *latched* and surfaced by [`JsonlSink::finish`]. Dropping the sink
-/// without calling `finish` still flushes the buffer (so traces are never
-/// silently truncated) and reports any failure on stderr, but callers that
-/// care about trace integrity should call `finish` and check the result.
+/// without calling `finish` still renders and flushes the buffer (so traces
+/// are never silently truncated) and reports any failure on stderr, but
+/// callers that care about trace integrity should call `finish` and check
+/// the result.
 #[derive(Debug)]
 pub struct JsonlSink {
     writer: Option<BufWriter<File>>,
+    /// Events emitted but not yet rendered to text.
+    buffer: Vec<Event>,
     lines: u64,
     error: Option<std::io::Error>,
 }
+
+/// Render-and-write batch size: bounds `JsonlSink` memory while keeping
+/// string formatting off the per-event path.
+const JSONL_BATCH: usize = 4096;
 
 impl JsonlSink {
     /// Creates (truncating) `path` and returns a sink writing to it.
@@ -89,20 +120,51 @@ impl JsonlSink {
     pub fn from_file(file: File) -> Self {
         Self {
             writer: Some(BufWriter::new(file)),
+            buffer: Vec::new(),
             lines: 0,
             error: None,
         }
     }
 
-    /// Lines successfully handed to the writer so far.
+    /// Lines successfully rendered and handed to the writer so far
+    /// (buffered-but-unrendered events are not yet counted).
     pub fn lines(&self) -> u64 {
         self.lines
     }
 
-    /// Flushes and surfaces the first deferred I/O error (errors inside
-    /// `emit` are latched so the hot path stays infallible). Returns the
-    /// number of lines written.
+    /// Renders every buffered event to JSONL and hands it to the writer.
+    /// Stops at (and latches) the first write error; later events are
+    /// dropped rather than spamming syscalls against a broken file.
+    fn render_buffer(&mut self) {
+        if self.error.is_some() {
+            self.buffer.clear();
+            return;
+        }
+        let Some(w) = self.writer.as_mut() else {
+            self.buffer.clear();
+            return;
+        };
+        let mut line = String::new();
+        for event in self.buffer.drain(..) {
+            line.clear();
+            line.push_str(&event.to_jsonl());
+            line.push('\n');
+            match w.write_all(line.as_bytes()) {
+                Ok(()) => self.lines += 1,
+                Err(e) => {
+                    self.error = Some(e);
+                    break;
+                }
+            }
+        }
+        self.buffer.clear();
+    }
+
+    /// Renders any buffered events, flushes and surfaces the first deferred
+    /// I/O error (errors inside `emit`/rendering are latched so the hot
+    /// path stays infallible). Returns the number of lines written.
     pub fn finish(mut self) -> std::io::Result<u64> {
+        self.render_buffer();
         if let Some(mut w) = self.writer.take() {
             if self.error.is_none() {
                 if let Err(e) = w.flush() {
@@ -120,23 +182,18 @@ impl JsonlSink {
 impl EventSink for JsonlSink {
     fn emit(&mut self, event: &Event) {
         // After the first failure the sink goes quiet: the error is latched
-        // for `finish` and later events are dropped rather than spamming
-        // further syscalls against a broken file.
-        if self.error.is_some() {
+        // for `finish`.
+        if self.error.is_some() || self.writer.is_none() {
             return;
         }
-        let Some(w) = self.writer.as_mut() else {
-            return;
-        };
-        let mut line = event.to_jsonl();
-        line.push('\n');
-        match w.write_all(line.as_bytes()) {
-            Ok(()) => self.lines += 1,
-            Err(e) => self.error = Some(e),
+        self.buffer.push(*event);
+        if self.buffer.len() >= JSONL_BATCH {
+            self.render_buffer();
         }
     }
 
     fn flush_sink(&mut self) {
+        self.render_buffer();
         if self.error.is_some() {
             return;
         }
@@ -151,9 +208,10 @@ impl EventSink for JsonlSink {
 impl Drop for JsonlSink {
     fn drop(&mut self) {
         // `finish` already took the writer on the happy path; this only
-        // runs for sinks dropped early (panics, error returns). Flush so
-        // the tail of the trace survives, and fail loudly — stderr is the
-        // only channel left in a destructor.
+        // runs for sinks dropped early (panics, error returns). Render and
+        // flush so the tail of the trace survives, and fail loudly — stderr
+        // is the only channel left in a destructor.
+        self.render_buffer();
         if let Some(mut w) = self.writer.take() {
             let flush_err = w.flush().err();
             if let Some(e) = self.error.take().or(flush_err) {
@@ -195,6 +253,10 @@ impl EventSink for TeeSink<'_> {
         for s in &mut self.sinks {
             s.flush_sink();
         }
+    }
+
+    fn wants_events(&self) -> bool {
+        self.sinks.iter().any(|s| s.wants_events())
     }
 }
 
@@ -419,6 +481,43 @@ mod tests {
         let h = s.registry.histogram("span_ns.farm.dispatch").unwrap();
         assert_eq!(h.count(), 1);
         assert_eq!(h.sum(), 250.0);
+    }
+
+    #[test]
+    fn wants_events_reflects_observability() {
+        assert!(!NoopSink.wants_events());
+        assert!(MemorySink::new().wants_events());
+        assert!(MetricsSink::new().wants_events());
+        // &mut delegates to the underlying sink.
+        let mut noop = NoopSink;
+        let as_ref: &mut dyn EventSink = &mut noop;
+        assert!(!as_ref.wants_events());
+        // A tee wants events iff any downstream sink does.
+        let empty = TeeSink::new();
+        assert!(!empty.wants_events());
+        let mut n = NoopSink;
+        let mut m = MemorySink::new();
+        let mut tee = TeeSink::new();
+        tee.push(&mut n);
+        assert!(!tee.wants_events());
+        tee.push(&mut m);
+        assert!(tee.wants_events());
+    }
+
+    #[test]
+    fn jsonl_sink_renders_lazily_but_identically() {
+        let path = std::env::temp_dir().join("cs_obs_sink_lazy_test.jsonl");
+        let mut s = JsonlSink::create(&path).unwrap();
+        s.emit(&ev(EventKind::Crash { ws: 2 }));
+        // Nothing rendered yet: emission buffers the compact event.
+        assert_eq!(s.lines(), 0);
+        s.flush_sink();
+        assert_eq!(s.lines(), 1);
+        let eager = ev(EventKind::Crash { ws: 2 }).to_jsonl() + "\n";
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), eager);
+        s.emit(&ev(EventKind::Requeue { ws: 2, tasks: 4 }));
+        assert_eq!(s.finish().unwrap(), 2);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

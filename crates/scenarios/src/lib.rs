@@ -27,7 +27,7 @@ mod policy;
 mod scenario;
 
 pub use life::{LifeSpec, LIFE_OPTS};
-pub use policy::{PolicyParseError, PolicySpec};
+pub use policy::{PolicyCaches, PolicyParseError, PolicySpec};
 pub use scenario::{registry, Scenario, ScenarioSpec};
 
 /// The standard parameter grid the Section-4 experiments sweep.

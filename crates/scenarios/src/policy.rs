@@ -8,8 +8,10 @@
 //! `PolicyKind` enum that used to live in `cs-now::farm`.
 
 use cs_life::{ArcLife, LifeFunction};
-use cs_sim::policy::{ChunkPolicy, FixedSizePolicy, GreedyPolicy, GuidelinePolicy};
+use cs_sim::policy::{ChunkPolicy, FixedSizePolicy, GreedyPolicy, GuidelineCache, GuidelinePolicy};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Which chunk-sizing policy a workstation runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +93,51 @@ impl PolicySpec {
             }
         }
     }
+
+    /// Like [`PolicySpec::build`], but guideline policies built from the
+    /// same `(life, c)` through the same [`PolicyCaches`] share one
+    /// [`GuidelineCache`], so a farm of workstations with a common believed
+    /// life function pays each distinct elapsed-time search once per run
+    /// instead of once per dispatch. The cache stores exact search results,
+    /// so built policies behave bit-identically to [`PolicySpec::build`]'s.
+    pub fn build_shared(
+        &self,
+        life: ArcLife,
+        c: f64,
+        caches: &mut PolicyCaches,
+    ) -> Box<dyn ChunkPolicy> {
+        match *self {
+            PolicySpec::Guideline => {
+                let cache = caches.guideline(&life, c);
+                Box::new(GuidelinePolicy::with_cache(life, c, cache))
+            }
+            _ => self.build(life, c),
+        }
+    }
+}
+
+/// Per-run registry of shared [`GuidelineCache`]s, keyed so a cache is only
+/// ever shared between policies whose searches are interchangeable: same
+/// believed life function (by `Arc` identity — the farm clones one `Arc`
+/// across its workstations) and same overhead `c` (by bit pattern).
+#[derive(Default)]
+pub struct PolicyCaches {
+    guideline: HashMap<(usize, u64), Arc<GuidelineCache>>,
+}
+
+impl PolicyCaches {
+    /// An empty registry; scope one to a single run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn guideline(&mut self, life: &ArcLife, c: f64) -> Arc<GuidelineCache> {
+        let key = (Arc::as_ptr(life) as *const () as usize, c.to_bits());
+        self.guideline
+            .entry(key)
+            .or_insert_with(|| Arc::new(GuidelineCache::new()))
+            .clone()
+    }
 }
 
 impl fmt::Display for PolicySpec {
@@ -152,6 +199,29 @@ mod tests {
             PolicySpec::FixedSize(12.5),
         ] {
             assert_eq!(spec.label(), spec.build(life.clone(), 5.0).name());
+        }
+    }
+
+    #[test]
+    fn build_shared_is_bit_identical_to_build() {
+        let life: ArcLife = Arc::new(Uniform::new(1000.0).unwrap());
+        let mut caches = PolicyCaches::new();
+        for spec in [
+            PolicySpec::Guideline,
+            PolicySpec::Greedy,
+            PolicySpec::FixedSize(15.0),
+        ] {
+            let mut plain = spec.build(life.clone(), 5.0);
+            // Two shared builds against the same registry: the second
+            // exercises the cache-hit path populated by the first.
+            let mut shared_a = spec.build_shared(life.clone(), 5.0, &mut caches);
+            let mut shared_b = spec.build_shared(life.clone(), 5.0, &mut caches);
+            for elapsed in [0.0, 250.0, 999.0, 1000.0] {
+                let want = plain.next_period(elapsed);
+                assert_eq!(shared_a.next_period(elapsed), want, "{spec} @ {elapsed}");
+                assert_eq!(shared_b.next_period(elapsed), want, "{spec} @ {elapsed}");
+            }
+            assert_eq!(shared_a.name(), spec.label());
         }
     }
 

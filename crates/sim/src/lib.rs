@@ -38,6 +38,6 @@ pub use montecarlo::{
 };
 pub use policy::{
     run_policy_episode, ChunkPolicy, FixedSchedulePolicy, FixedSizePolicy, GreedyPolicy,
-    GuidelinePolicy, PeriodOutcome,
+    GuidelineCache, GuidelinePolicy, PeriodOutcome,
 };
 pub use stats::Summary;

@@ -26,6 +26,12 @@ pub struct MonteCarlo {
     pub interrupted_fraction: f64,
     /// Mean number of completed periods.
     pub mean_periods: f64,
+    /// Events generated inside parallel worker shards. Shard traces are
+    /// counted rather than emitted (they would interleave
+    /// nondeterministically across threads), so throughput accounting must
+    /// add this to whatever reached the caller's sink. Zero on serial
+    /// paths, where every event reaches the sink and is already counted.
+    pub shard_events: u64,
 }
 
 /// SplitMix64 step, used to derive independent shard seeds from one master
@@ -38,14 +44,32 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Tallies the events a worker shard generates without materializing a
+/// trace: the per-trial episode lifecycle still happens, it is just
+/// counted instead of recorded, so the master can report an honest
+/// event-throughput denominator for parallel runs.
+#[derive(Debug, Default)]
+struct ShardEventCount {
+    events: u64,
+}
+
+impl EventSink for ShardEventCount {
+    fn emit(&mut self, _event: &Event) {
+        self.events += 1;
+    }
+}
+
 fn run_trials(
     schedule: &Schedule,
     p: &dyn LifeFunction,
     c: f64,
     trials: u64,
     seed: u64,
-) -> (Summary, u64, u64) {
-    run_trials_observed(schedule, p, c, trials, seed, NoopSink, 0)
+) -> (Summary, u64, u64, u64) {
+    let mut counter = ShardEventCount::default();
+    let (work, interrupted, periods) =
+        run_trials_observed(schedule, p, c, trials, seed, &mut counter, 0);
+    (work, interrupted, periods, counter.events)
 }
 
 /// The trial loop, with per-episode events routed to `sink` and an
@@ -225,6 +249,7 @@ fn serial_inner<S: EventSink>(
         work,
         interrupted_fraction: interrupted as f64 / trials.max(1) as f64,
         mean_periods: periods as f64 / trials.max(1) as f64,
+        shard_events: 0,
     };
     sink.emit(&Event {
         time: trials as f64,
@@ -333,7 +358,7 @@ fn parallel_inner<S: EventSink>(
     let base = trials / threads as u64;
     let remainder = trials % threads as u64;
     let shards_span = prof.start("mc.shards", &mut sink);
-    let results: Vec<(Summary, u64, u64)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(Summary, u64, u64, u64)> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = shard_seeds
             .iter()
             .enumerate()
@@ -354,8 +379,9 @@ fn parallel_inner<S: EventSink>(
     let mut work = Summary::new();
     let mut interrupted = 0u64;
     let mut periods = 0u64;
+    let mut shard_events = 0u64;
     let mut done = 0u64;
-    for (i, (w, intr, m)) in results.into_iter().enumerate() {
+    for (i, (w, intr, m, ev)) in results.into_iter().enumerate() {
         done += base + u64::from((i as u64) < remainder);
         sink.emit(&Event {
             time: done as f64,
@@ -367,6 +393,7 @@ fn parallel_inner<S: EventSink>(
         work.merge(&w);
         interrupted += intr;
         periods += m;
+        shard_events += ev;
     }
     prof.end(merge_span, &mut sink);
     prof.end(root, &mut sink);
@@ -374,6 +401,7 @@ fn parallel_inner<S: EventSink>(
         work,
         interrupted_fraction: interrupted as f64 / trials.max(1) as f64,
         mean_periods: periods as f64 / trials.max(1) as f64,
+        shard_events,
     };
     sink.emit(&Event {
         time: trials as f64,
@@ -591,6 +619,49 @@ mod tests {
         for e in &sink.events {
             cs_obs::validate_line(&e.to_jsonl()).unwrap();
         }
+    }
+
+    #[test]
+    fn parallel_counts_shard_events_serial_does_not() {
+        use cs_obs::MemorySink;
+        let p = Uniform::new(200.0).unwrap();
+        let s = sched(&[60.0, 50.0]);
+        // Serial: every event reaches the sink, so nothing is shard-only.
+        let mut sink = MemorySink::new();
+        let serial = simulate_expected_work_observed(&s, &p, 4.0, 2000, 7, &mut sink);
+        assert_eq!(serial.shard_events, 0);
+        let serial_episode_events = sink
+            .events
+            .iter()
+            .filter(|e| {
+                !matches!(
+                    e.kind,
+                    cs_obs::EventKind::RunStart { .. }
+                        | cs_obs::EventKind::RunEnd { .. }
+                        | cs_obs::EventKind::McProgress { .. }
+                )
+            })
+            .count() as u64;
+        // Parallel: shards trace nothing into the sink, but their event
+        // production is tallied. Every trial emits at least an episode
+        // start/end pair; the exact total depends on shard RNG draws, so
+        // check the tally lands in the same regime as the serial trace
+        // rather than demanding equality.
+        let par = simulate_expected_work_parallel(&s, &p, 4.0, 2000, 7, 4);
+        assert!(
+            par.shard_events >= 2 * 2000,
+            "shard_events {} < 2 per trial",
+            par.shard_events
+        );
+        // Both runs execute 2000 episodes through the same emitter, so the
+        // shard tally lands in the same regime as the serial trace.
+        let lo = serial_episode_events / 2;
+        let hi = serial_episode_events * 2;
+        assert!(
+            (lo..=hi).contains(&par.shard_events),
+            "shard_events {} outside [{lo}, {hi}]",
+            par.shard_events
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@ use cs_core::recurrence::GuidelineOptions;
 use cs_core::search;
 use cs_core::Schedule;
 use cs_life::{ArcLife, Conditional};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// What became of one dispatched period, reported back to the policy by the
 /// master (see [`ChunkPolicy::observe`]).
@@ -190,6 +192,70 @@ impl ChunkPolicy for GreedyPolicy {
     }
 }
 
+/// Shared memo-cache for [`GuidelinePolicy`] searches.
+///
+/// `next_period` is a pure function of `(life, c, opts, elapsed)`: the
+/// bracket + grid search draws on nothing else. Within a run, `elapsed`
+/// values recur heavily — the elapsed chain is built by repeated
+/// `fl(fl(start + t) - start)` round-trips, which collapse onto a handful
+/// of distinct values per binade of the life function's support — so a
+/// map keyed by `elapsed.to_bits()` turns the ~300µs search into a hash
+/// lookup after the first visit. The cache stores the *exact* `Option<f64>`
+/// the search produced, so cached and uncached runs are bit-identical.
+///
+/// Sharing is the caller's contract: a cache must only be shared between
+/// policies constructed with the same life function, `c`, and options.
+/// `cs_scenarios::PolicyCaches` enforces this by keying on
+/// `(Arc::as_ptr(life), c.to_bits())`.
+pub struct GuidelineCache {
+    map: Mutex<HashMap<u64, Option<f64>>>,
+}
+
+/// Memory backstop: stop inserting (lookups still work) past this many
+/// distinct elapsed values. Real runs see tens of entries; hitting this
+/// means something is feeding the cache unbounded distinct times.
+const GUIDELINE_CACHE_CAP: usize = 1 << 20;
+
+impl GuidelineCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of memoized elapsed values.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("guideline cache poisoned").len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup(&self, key: u64) -> Option<Option<f64>> {
+        self.map
+            .lock()
+            .expect("guideline cache poisoned")
+            .get(&key)
+            .copied()
+    }
+
+    fn store(&self, key: u64, value: Option<f64>) {
+        let mut map = self.map.lock().expect("guideline cache poisoned");
+        if map.len() < GUIDELINE_CACHE_CAP {
+            map.insert(key, value);
+        }
+    }
+}
+
+impl Default for GuidelineCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Guideline policy (the paper's contribution): re-roots the believed life
 /// function at the elapsed time and reruns the Thm 3.2/3.3 + eq (3.6)
 /// search for the next period — the progressive scheduler of §6.
@@ -198,11 +264,14 @@ impl ChunkPolicy for GreedyPolicy {
 /// of life-function evaluations). That is the price of progressiveness —
 /// the believed life function may be refreshed between periods. When it
 /// cannot change, plan once and replay via [`FixedSchedulePolicy`] (the two
-/// are equivalent under an exact, fixed `p`; see `exp_6_adaptive`).
+/// are equivalent under an exact, fixed `p`; see `exp_6_adaptive`), or
+/// attach a [`GuidelineCache`] ([`GuidelinePolicy::with_cache`]) to pay
+/// each distinct elapsed time once per run instead of once per period.
 pub struct GuidelinePolicy {
     life: ArcLife,
     c: f64,
     opts: GuidelineOptions,
+    cache: Option<Arc<GuidelineCache>>,
 }
 
 impl GuidelinePolicy {
@@ -212,12 +281,23 @@ impl GuidelinePolicy {
             life,
             c,
             opts: GuidelineOptions::default(),
+            cache: None,
         }
     }
-}
 
-impl ChunkPolicy for GuidelinePolicy {
-    fn next_period(&mut self, elapsed: f64) -> Option<f64> {
+    /// Like [`GuidelinePolicy::new`], memoizing searches in `cache`. The
+    /// cache may be shared across policies **only** when they were built
+    /// from the same life function and `c` — see [`GuidelineCache`].
+    pub fn with_cache(life: ArcLife, c: f64, cache: Arc<GuidelineCache>) -> Self {
+        Self {
+            life,
+            c,
+            opts: GuidelineOptions::default(),
+            cache: Some(cache),
+        }
+    }
+
+    fn search_period(&self, elapsed: f64) -> Option<f64> {
         let plan = if elapsed == 0.0 {
             search::best_guideline_schedule_with(&self.life, self.c, &self.opts).ok()?
         } else {
@@ -229,6 +309,23 @@ impl ChunkPolicy for GuidelinePolicy {
             None
         } else {
             Some(t)
+        }
+    }
+}
+
+impl ChunkPolicy for GuidelinePolicy {
+    fn next_period(&mut self, elapsed: f64) -> Option<f64> {
+        match &self.cache {
+            None => self.search_period(elapsed),
+            Some(cache) => {
+                let key = elapsed.to_bits();
+                if let Some(hit) = cache.lookup(key) {
+                    return hit;
+                }
+                let computed = self.search_period(elapsed);
+                cache.store(key, computed);
+                computed
+            }
         }
     }
 
@@ -305,6 +402,26 @@ mod tests {
         let plan = search::best_guideline_schedule(&Uniform::new(400.0).unwrap(), c).unwrap();
         assert!((t - plan.schedule.periods()[0]).abs() < 1e-9);
         assert_eq!(pol.name(), "guideline");
+    }
+
+    #[test]
+    fn cached_guideline_policy_is_bit_identical_to_uncached() {
+        let life: ArcLife = Arc::new(Uniform::new(400.0).unwrap());
+        let c = 4.0;
+        let cache = Arc::new(GuidelineCache::new());
+        let mut plain = GuidelinePolicy::new(life.clone(), c);
+        let mut cached = GuidelinePolicy::with_cache(life.clone(), c, cache.clone());
+        // A second policy sharing the same cache (the farm's many
+        // workstations share one believed life function).
+        let mut peer = GuidelinePolicy::with_cache(life, c, cache.clone());
+        for elapsed in [0.0, 17.25, 123.0, 399.0, 400.0, 1000.0] {
+            let want = plain.next_period(elapsed);
+            assert_eq!(cached.next_period(elapsed), want, "miss at {elapsed}");
+            assert_eq!(cached.next_period(elapsed), want, "hit at {elapsed}");
+            assert_eq!(peer.next_period(elapsed), want, "shared hit at {elapsed}");
+        }
+        // One entry per distinct elapsed value, including memoized `None`s.
+        assert_eq!(cache.len(), 6);
     }
 
     #[test]

@@ -79,6 +79,13 @@ impl Chunk {
     pub fn total_duration(&self) -> f64 {
         self.tasks.iter().map(|t| t.duration).sum()
     }
+
+    /// Keeps only the tasks satisfying the predicate, in place and in
+    /// dispatch order. Lets a master drop already-banked duplicates without
+    /// reallocating the chunk.
+    pub fn retain(&mut self, f: impl FnMut(&Task) -> bool) {
+        self.tasks.retain(f);
+    }
 }
 
 /// The master task pool: a FIFO bag of independent tasks.
@@ -173,8 +180,18 @@ impl TaskBag {
     /// indivisible task cannot be split — paper §2.1).
     pub fn check_out(&mut self, budget: f64) -> Chunk {
         let mut chunk = Chunk::default();
+        self.check_out_into(budget, &mut chunk.tasks);
+        chunk
+    }
+
+    /// [`TaskBag::check_out`] into a caller-provided buffer (cleared first),
+    /// so a hot dispatch loop can recycle chunk storage instead of
+    /// allocating per period. Packing semantics are identical to
+    /// [`TaskBag::check_out`].
+    pub fn check_out_into(&mut self, budget: f64, into: &mut Vec<Task>) {
+        into.clear();
         if budget <= 0.0 {
-            return chunk;
+            return;
         }
         let mut used = 0.0;
         while let Some(task) = self.pending.front() {
@@ -182,11 +199,8 @@ impl TaskBag {
                 break;
             }
             used += task.duration;
-            chunk
-                .tasks
-                .push(self.pending.pop_front().expect("front exists"));
+            into.push(self.pending.pop_front().expect("front exists"));
         }
-        chunk
     }
 
     /// Banks a completed chunk: its work is added to the completed tally.
@@ -265,6 +279,12 @@ impl TaskBag {
 /// budget is `t − c` (the paper's `t_k ⊖ c` productive capacity).
 pub fn pack_chunk(bag: &mut TaskBag, period: f64, c: f64) -> Chunk {
     bag.check_out((period - c).max(0.0))
+}
+
+/// [`pack_chunk`] into a caller-provided buffer (cleared first), for
+/// dispatch loops that recycle chunk storage.
+pub fn pack_chunk_into(bag: &mut TaskBag, period: f64, c: f64, into: &mut Vec<Task>) {
+    bag.check_out_into((period - c).max(0.0), into);
 }
 
 #[cfg(test)]
