@@ -87,16 +87,21 @@ fn main() -> ExitCode {
     };
     for r in &results {
         println!(
-            "{:<22} {:>12.3} ms  {:>14} ev/s  {:>12} trials/s",
+            "{:<22} {:>12.3} ms  {:>14} ev/s  {:>12} trials/s{}",
             r.id,
             r.wall_ns as f64 / 1e6,
             r.events_per_sec
                 .map_or_else(|| "-".to_string(), |v| format!("{v:.0}")),
             r.mc_trials_per_sec
                 .map_or_else(|| "-".to_string(), |v| format!("{v:.0}")),
+            match (r.speedup, r.efficiency) {
+                (Some(s), Some(e)) => format!("  {s:>5.2}x speedup  {:>3.0}% eff", e * 100.0),
+                _ => String::new(),
+            },
         );
     }
-    let json = render_bench_json(&results, &commit_id(), &today_utc(), opts.quick);
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = render_bench_json(&results, &commit_id(), &today_utc(), opts.quick, cpus);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("error: {out_path}: {e}");
         return ExitCode::FAILURE;

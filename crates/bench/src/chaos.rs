@@ -50,6 +50,11 @@ pub struct ChaosConfig {
     pub sample: Option<usize>,
     /// Snapshot cadence (virtual time) for the reference run's sidecar.
     pub snapshot_every: f64,
+    /// Worker threads for the kill/resume trials (`1` = in-place serial).
+    /// Trials are independent — each gets its own scratch journal — and
+    /// their outcomes are merged in kill-point order, so the
+    /// [`ChaosOutcome`] is identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for ChaosConfig {
@@ -61,6 +66,7 @@ impl Default for ChaosConfig {
             intensity: 0.6,
             sample: None,
             snapshot_every: 10.0,
+            threads: 1,
         }
     }
 }
@@ -156,6 +162,20 @@ fn scratch_path(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("cs_chaos_{tag}_{}.jsonl", std::process::id()))
 }
 
+/// One kill point's verdict. Trials are independent (each resumes from its
+/// own scratch copy of the truncated journal), so the sweep can run them
+/// on the pool and merge these in kill-point order — the merged
+/// [`ChaosOutcome`] is identical for every thread count.
+#[derive(Debug, Default)]
+struct TrialOutcome {
+    torn: bool,
+    corrupt: bool,
+    snapshot_resume: bool,
+    snapshot_fallback: bool,
+    resumed_ok: bool,
+    mismatches: Vec<String>,
+}
+
 /// Runs one full chaos sweep: reference journaled run, then kill + resume
 /// at each selected record boundary. Returns the outcome; hard setup
 /// failures (unwritable temp dir, invalid scenario) are `Err`.
@@ -217,18 +237,30 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
             (0..s).map(|i| 1 + i * (n - 1) / (s - 1)).collect()
         }
     };
-    let trial_path = scratch_path(&format!("trial_{}", cfg.seed));
-    let trial_snap = default_snapshot_path(&trial_path);
     let total_work = cfg.tasks as f64;
-    for (trial, &k) in kill_points.iter().enumerate() {
+    let fsync = opts.fsync;
+    // One kill point, end to end: stage the truncated journal (plus torn
+    // fragment and sidecar mode), resume, and verify every guarantee.
+    // Pure with respect to shared state — all inputs are read-only borrows
+    // and each trial owns its scratch files — so trials can run on the
+    // pool in any order.
+    let run_trial = |trial: usize| -> TrialOutcome {
+        let k = kill_points[trial];
+        let mut t = TrialOutcome::default();
+        let trial_path = scratch_path(&format!("trial_{}_{trial}", cfg.seed));
+        let trial_snap = default_snapshot_path(&trial_path);
         let torn = trial % 2 == 1 && k < n;
         let mut prefix: Vec<u8> = records[..k].concat();
         if torn {
             // A mid-write crash: the next record got partially out.
             prefix.extend_from_slice(b"{\"v\":2,\"t\":17.25,\"typ");
-            out.torn_trials += 1;
+            t.torn = true;
         }
-        std::fs::write(&trial_path, &prefix).map_err(|e| e.to_string())?;
+        if let Err(e) = std::fs::write(&trial_path, &prefix) {
+            t.mismatches
+                .push(format!("kill after {k} records: scratch write failed: {e}"));
+            return t;
+        }
         // Cycle the sidecar through its three recovery modes: intact copy
         // of the reference snapshot, corrupted copy, and no sidecar. The
         // complete-journal trial (k = n) always gets the intact sidecar —
@@ -237,21 +269,24 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
         // an O(snapshot-interval) resume.
         let mode = if k == n { 0 } else { trial % 3 };
         std::fs::remove_file(&trial_snap).ok();
-        match (mode, &snap_bytes) {
-            (0, Some(bytes)) => {
-                std::fs::write(&trial_snap, bytes).map_err(|e| e.to_string())?;
-            }
+        let staged = match (mode, &snap_bytes) {
+            (0, Some(bytes)) => std::fs::write(&trial_snap, bytes),
             (1, Some(bytes)) => {
                 let mut bad_bytes = bytes.clone();
                 let mid = bad_bytes.len() / 2;
                 bad_bytes[mid] ^= 0x01;
-                std::fs::write(&trial_snap, &bad_bytes).map_err(|e| e.to_string())?;
-                out.corrupt_trials += 1;
+                t.corrupt = true;
+                std::fs::write(&trial_snap, &bad_bytes)
             }
-            _ => {}
+            _ => Ok(()),
+        };
+        if let Err(e) = staged {
+            t.mismatches
+                .push(format!("kill after {k} records: sidecar stage failed: {e}"));
+            return t;
         }
         let trial_opts = JournalOptions {
-            fsync: opts.fsync,
+            fsync,
             kill_after: None,
             snapshot_every: Some(cfg.snapshot_every),
         };
@@ -264,13 +299,13 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
             Ok((report, info)) => {
                 let mut bad = false;
                 if let Some(d) = report_diff(&ref_report, &report) {
-                    out.mismatches
+                    t.mismatches
                         .push(format!("kill after {k} records: report differs: {d}"));
                     bad = true;
                 }
                 match std::fs::read(&trial_path) {
                     Ok(stitched) if stitched != ref_bytes => {
-                        out.mismatches.push(format!(
+                        t.mismatches.push(format!(
                             "kill after {k} records: stitched journal differs \
                              ({} vs {} bytes)",
                             stitched.len(),
@@ -279,7 +314,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
                         bad = true;
                     }
                     Err(e) => {
-                        out.mismatches
+                        t.mismatches
                             .push(format!("kill after {k} records: reread failed: {e}"));
                         bad = true;
                     }
@@ -288,7 +323,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
                 // Work conservation, independent of the reference run.
                 let mass = report.completed_work + report.remaining_work;
                 if (mass - total_work).abs() > 1e-6 {
-                    out.mismatches.push(format!(
+                    t.mismatches.push(format!(
                         "kill after {k} records: work not conserved: \
                          banked {} + remaining {} != {total_work}",
                         report.completed_work, report.remaining_work
@@ -300,17 +335,17 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
                 // must match the sidecar mode we staged.
                 let skipped = match info.snapshot {
                     SnapshotOutcome::Used { records_skipped } => {
-                        out.snapshot_resumes += 1;
+                        t.snapshot_resume = true;
                         records_skipped
                     }
                     SnapshotOutcome::Fallback(_) => {
-                        out.snapshot_fallbacks += 1;
+                        t.snapshot_fallback = true;
                         0
                     }
                     SnapshotOutcome::None => 0,
                 };
                 if skipped + info.records_replayed != k as u64 {
-                    out.mismatches.push(format!(
+                    t.mismatches.push(format!(
                         "kill after {k} records: skipped {skipped} + replayed {} != {k}",
                         info.records_replayed
                     ));
@@ -327,7 +362,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
                     _ => info.snapshot == SnapshotOutcome::None,
                 };
                 if !outcome_ok {
-                    out.mismatches.push(format!(
+                    t.mismatches.push(format!(
                         "kill after {k} records (sidecar mode {mode}): \
                          unexpected snapshot outcome {:?}",
                         info.snapshot
@@ -335,17 +370,34 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
                     bad = true;
                 }
                 if !bad {
-                    out.resumed_ok += 1;
+                    t.resumed_ok = true;
                 }
             }
-            Err(e) => out
+            Err(e) => t
                 .mismatches
                 .push(format!("kill after {k} records: resume failed: {e}")),
         }
+        std::fs::remove_file(&trial_path).ok();
+        std::fs::remove_file(&trial_snap).ok();
+        t
+    };
+    let outcomes: Vec<TrialOutcome> = if cfg.threads > 1 {
+        let pool = cs_pool::Pool::new(cfg.threads);
+        pool.map_indexed(kill_points.len(), run_trial)
+    } else {
+        (0..kill_points.len()).map(run_trial).collect()
+    };
+    // Merge in kill-point order: counters and mismatch strings come out
+    // identical to the serial sweep regardless of scheduling.
+    for t in outcomes {
+        out.torn_trials += usize::from(t.torn);
+        out.corrupt_trials += usize::from(t.corrupt);
+        out.snapshot_resumes += usize::from(t.snapshot_resume);
+        out.snapshot_fallbacks += usize::from(t.snapshot_fallback);
+        out.resumed_ok += usize::from(t.resumed_ok);
+        out.mismatches.extend(t.mismatches);
     }
     out.kill_points = kill_points.len();
-    std::fs::remove_file(&trial_path).ok();
-    std::fs::remove_file(&trial_snap).ok();
     std::fs::remove_file(&ref_path).ok();
     std::fs::remove_file(&ref_snap).ok();
     Ok(out)
@@ -372,6 +424,35 @@ mod tests {
         assert!(out.snapshot_resumes >= 1, "{out:?}");
         assert!(out.corrupt_trials >= 1, "{out:?}");
         assert!(out.snapshot_fallbacks >= out.corrupt_trials, "{out:?}");
+    }
+
+    #[test]
+    fn pooled_sweep_matches_the_serial_outcome() {
+        // The trials are independent and merged in kill-point order, so
+        // the outcome must be identical for every thread count.
+        let cfg = ChaosConfig {
+            workstations: 2,
+            tasks: 40,
+            seed: 31,
+            sample: Some(6),
+            ..Default::default()
+        };
+        let serial = run_chaos(&cfg).unwrap();
+        let pooled = run_chaos(&ChaosConfig {
+            threads: 4,
+            ..cfg.clone()
+        })
+        .unwrap();
+        assert!(serial.ok(), "serial mismatches: {:#?}", serial.mismatches);
+        assert!(pooled.ok(), "pooled mismatches: {:#?}", pooled.mismatches);
+        assert_eq!(serial.records, pooled.records);
+        assert_eq!(serial.kill_points, pooled.kill_points);
+        assert_eq!(serial.torn_trials, pooled.torn_trials);
+        assert_eq!(serial.corrupt_trials, pooled.corrupt_trials);
+        assert_eq!(serial.snapshot_resumes, pooled.snapshot_resumes);
+        assert_eq!(serial.snapshot_fallbacks, pooled.snapshot_fallbacks);
+        assert_eq!(serial.resumed_ok, pooled.resumed_ok);
+        assert_eq!(serial.mismatches, pooled.mismatches);
     }
 
     #[test]

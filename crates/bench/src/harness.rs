@@ -141,6 +141,39 @@ pub fn run_to_writer_profiled(
     Ok(prof.take_registry())
 }
 
+/// One sweep entry: an experiment paired with its buffered report bytes
+/// (or the error that stopped it).
+pub type SweepEntry = (&'static dyn Experiment, Result<Vec<u8>, String>);
+
+/// Runs every registered experiment, rendering each report into its own
+/// byte buffer, and returns one [`SweepEntry`] per experiment in registry
+/// order. With `threads > 1` the experiments run concurrently on the
+/// `cs-pool` work-stealing runtime; because each report is buffered whole
+/// and returned in registry order, the concatenated output is
+/// byte-identical to a serial sweep for every thread count.
+///
+/// `opts.trace_out` is not supported here (a single trace file cannot
+/// carry interleaved event streams) — callers run traced sweeps serially
+/// through [`run_to_writer`].
+pub fn run_all_buffered(opts: &ExpOptions, threads: usize) -> Vec<SweepEntry> {
+    assert!(
+        opts.trace_out.is_none(),
+        "run_all_buffered cannot multiplex --trace-out"
+    );
+    let all = crate::experiments::all();
+    let run_one = |i: usize| -> Result<Vec<u8>, String> {
+        let mut buf = Vec::new();
+        run_to_writer(all[i], opts, &mut buf).map(|()| buf)
+    };
+    let results = if threads > 1 {
+        let pool = cs_pool::Pool::new(threads);
+        pool.map_indexed(all.len(), run_one)
+    } else {
+        (0..all.len()).map(run_one).collect()
+    };
+    all.into_iter().zip(results).collect()
+}
+
 /// Entry point for the thin `exp_*` binaries: parses `[--quick]
 /// [--trace-out <path>] [input]` from the command line, runs the
 /// experiment on stdout, and maps errors to a failing exit code.

@@ -18,7 +18,7 @@
 //! timed pass per scenario: coarse numbers, but cheap enough for CI and
 //! stable enough for a >20% regression gate.
 
-use cs_life::{ArcLife, Uniform};
+use cs_life::{ArcLife, Polynomial, Uniform};
 use cs_now::farm::{Farm, FarmConfig, PolicySpec, WorkstationConfig};
 use cs_now::faults::FaultPlan;
 use cs_now::{
@@ -80,6 +80,12 @@ pub struct ScenarioResult {
     pub events_per_sec: Option<f64>,
     /// Monte-Carlo trials per second (`None` for non-MC scenarios).
     pub mc_trials_per_sec: Option<f64>,
+    /// Wall-clock speedup over this scenario's 1-thread row (`None`
+    /// outside the `mc_scaling_*` ladder).
+    pub speedup: Option<f64>,
+    /// Parallel efficiency: speedup divided by the thread count (`None`
+    /// outside the `mc_scaling_*` ladder).
+    pub efficiency: Option<f64>,
     /// Span timing summaries from the profiler registry.
     pub spans: Vec<SpanStat>,
 }
@@ -105,29 +111,25 @@ fn per_sec(n: u64, wall_ns: u64) -> Option<f64> {
     (wall_ns > 0).then(|| n as f64 * 1e9 / wall_ns as f64)
 }
 
-fn guideline_schedule(l: f64, c: f64) -> Result<cs_core::Schedule, String> {
-    let life: ArcLife = Arc::new(Uniform::new(l).map_err(|e| e.to_string())?);
-    Ok(cs_core::search::best_guideline_schedule(&life, c)
-        .map_err(|e| e.to_string())?
-        .schedule)
-}
-
 fn mc_scenario(
     id: &'static str,
     trials: u64,
+    life: ArcLife,
+    c: f64,
     threads: Option<usize>,
 ) -> Result<ScenarioResult, String> {
-    let life: ArcLife = Arc::new(Uniform::new(1000.0).map_err(|e| e.to_string())?);
-    let schedule = guideline_schedule(1000.0, 5.0)?;
+    let schedule = cs_core::search::best_guideline_schedule(&life, c)
+        .map_err(|e| e.to_string())?
+        .schedule;
     let mut sink = CountingSink::default();
     let mut prof = SpanProfiler::new();
     let start = Instant::now();
     let mc = match threads {
         None => {
-            simulate_expected_work_profiled(&schedule, &life, 5.0, trials, 42, &mut sink, &mut prof)
+            simulate_expected_work_profiled(&schedule, &life, c, trials, 42, &mut sink, &mut prof)
         }
         Some(t) => simulate_expected_work_parallel_profiled(
-            &schedule, &life, 5.0, trials, 42, t, &mut sink, &mut prof,
+            &schedule, &life, c, trials, 42, t, &mut sink, &mut prof,
         ),
     };
     let wall_ns = start.elapsed().as_nanos() as u64;
@@ -140,6 +142,8 @@ fn mc_scenario(
         wall_ns,
         events_per_sec: per_sec(events, wall_ns),
         mc_trials_per_sec: per_sec(trials, wall_ns),
+        speedup: None,
+        efficiency: None,
         spans: span_stats(prof.registry()),
     })
 }
@@ -175,6 +179,8 @@ fn farm_scenario(
             wall_ns,
             events_per_sec: per_sec(lines.len() as u64, wall_ns),
             mc_trials_per_sec: None,
+            speedup: None,
+            efficiency: None,
             spans: span_stats(prof.registry()),
         },
         lines,
@@ -237,6 +243,8 @@ fn time_resume(
         wall_ns,
         events_per_sec: per_sec(info.records_replayed, wall_ns),
         mc_trials_per_sec: None,
+        speedup: None,
+        efficiency: None,
         spans: Vec::new(),
     })
 }
@@ -285,6 +293,8 @@ fn analyzer_scenario(lines: &[String]) -> ScenarioResult {
         wall_ns,
         events_per_sec: per_sec(summary.lines as u64, wall_ns),
         mc_trials_per_sec: None,
+        speedup: None,
+        efficiency: None,
         spans: Vec::new(),
     }
 }
@@ -297,9 +307,49 @@ pub fn run_profile(opts: ProfileOptions) -> Result<Vec<ScenarioResult>, String> 
     // one-time per-run costs (policy searches on fresh elapsed times); the
     // throughput numbers then measure the hot path, not the warmup.
     let tasks = if opts.quick { 20_000 } else { 100_000 };
+    let uniform: ArcLife = Arc::new(Uniform::new(1000.0).map_err(|e| e.to_string())?);
     let mut out = Vec::new();
-    out.push(mc_scenario("mc_serial_uniform", trials, None)?);
-    out.push(mc_scenario("mc_parallel4_uniform", trials, Some(4))?);
+    out.push(mc_scenario(
+        "mc_serial_uniform",
+        trials,
+        uniform.clone(),
+        5.0,
+        None,
+    )?);
+    // The scaling ladder on the work-stealing pool. `mc_scaling_1` takes
+    // the parallel API's serial fallback and anchors the speedup column;
+    // efficiency = speedup / threads, so a perfectly scaling pool holds
+    // 1.0 down the ladder. Rows past the machine's core count measure
+    // oversubscription, not scaling — `bench_profile` records the core
+    // count in the `cpus` field so a diff can tell the two apart.
+    //
+    // The ladder deliberately differs from `mc_serial_uniform`:
+    //  - Polynomial life at c = 0.5 makes each trial heavy (a `powf` per
+    //    inverse-survival draw, ~50 schedule periods per episode), so the
+    //    master's irreducible serial sections (RNG pre-draw, ordered
+    //    merge — the price of bit-identity) stay a small fraction of a
+    //    trial and Amdahl does not cap the ladder below the CI floor.
+    //  - A fixed trial budget (no --quick shrink): 5k-trial windows are
+    //    dominated by pool spin-up, which would measure thread creation,
+    //    not scaling. The budget is small enough to keep quick runs quick.
+    let poly: ArcLife = Arc::new(Polynomial::new(3, 1000.0).map_err(|e| e.to_string())?);
+    let ladder: [(&'static str, usize); 4] = [
+        ("mc_scaling_1", 1),
+        ("mc_scaling_2", 2),
+        ("mc_scaling_4", 4),
+        ("mc_scaling_8", 8),
+    ];
+    let mut scaling = Vec::new();
+    for (id, threads) in ladder {
+        scaling.push(mc_scenario(id, 200_000, poly.clone(), 0.5, Some(threads))?);
+    }
+    let base_wall = scaling[0].wall_ns as f64;
+    for (row, (_, threads)) in scaling.iter_mut().zip(ladder) {
+        let speedup = (row.wall_ns > 0).then(|| base_wall / row.wall_ns as f64);
+        row.speedup = speedup;
+        row.efficiency = speedup.map(|s| s / threads as f64);
+    }
+    out.extend(scaling);
     let (clean, _) = farm_scenario("farm_clean", tasks, FaultPlan::none())?;
     out.push(clean);
     let (faulty, trace) = farm_scenario("farm_faulty", tasks, FaultPlan::scaled(0.5))?;
@@ -337,27 +387,35 @@ fn json_f64(v: Option<f64>) -> String {
 
 /// Renders results as the `BENCH.json` document (parseable back by
 /// `cs_obs::parse_json`, diffable by `cyclesteal obs diff --bench`).
+/// `cpus` records the machine's available parallelism so the
+/// `mc_scaling_*` rows can be read honestly: a 1-core box cannot show a
+/// 4-thread speedup no matter how good the pool is.
 pub fn render_bench_json(
     results: &[ScenarioResult],
     commit: &str,
     date: &str,
     quick: bool,
+    cpus: usize,
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!(
-        "  \"commit\": \"{}\",\n  \"date\": \"{}\",\n  \"quick\": {},\n  \"scenarios\": [\n",
+        "  \"commit\": \"{}\",\n  \"date\": \"{}\",\n  \"quick\": {},\n  \"cpus\": {},\n  \
+         \"scenarios\": [\n",
         commit.replace(['"', '\\'], "?"),
         date.replace(['"', '\\'], "?"),
-        quick
+        quick,
+        cpus
     ));
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"id\": \"{}\", \"wall_ns\": {}, \"events_per_sec\": {}, \
-             \"mc_trials_per_sec\": {}, \"spans\": {{",
+             \"mc_trials_per_sec\": {}, \"speedup\": {}, \"efficiency\": {}, \"spans\": {{",
             r.id,
             r.wall_ns,
             json_f64(r.events_per_sec),
-            json_f64(r.mc_trials_per_sec)
+            json_f64(r.mc_trials_per_sec),
+            json_f64(r.speedup),
+            json_f64(r.efficiency)
         ));
         for (j, sp) in r.spans.iter().enumerate() {
             s.push_str(&format!(
@@ -394,6 +452,8 @@ mod tests {
                 wall_ns: 1_000_000,
                 events_per_sec: Some(123456.789),
                 mc_trials_per_sec: None,
+                speedup: None,
+                efficiency: None,
                 spans: vec![SpanStat {
                     name: "mc.trials".into(),
                     count: 1,
@@ -408,6 +468,8 @@ mod tests {
                 wall_ns: 2_000_000,
                 events_per_sec: None,
                 mc_trials_per_sec: Some(5000.0),
+                speedup: Some(1.8),
+                efficiency: Some(0.9),
                 spans: Vec::new(),
             },
         ]
@@ -415,9 +477,10 @@ mod tests {
 
     #[test]
     fn bench_json_round_trips_through_the_parser() {
-        let text = render_bench_json(&tiny_results(), "abc1234", "2026-08-06", false);
+        let text = render_bench_json(&tiny_results(), "abc1234", "2026-08-06", false, 4);
         let doc = parse_json(&text).unwrap();
         assert_eq!(doc.get("commit").and_then(Json::as_str), Some("abc1234"));
+        assert_eq!(doc.get("cpus").and_then(Json::as_f64), Some(4.0));
         let scenarios = doc.get("scenarios").and_then(Json::as_arr).unwrap();
         assert_eq!(scenarios.len(), 2);
         let s1 = &scenarios[0];
@@ -429,20 +492,29 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap()
             .is_nan());
+        assert!(s1.get("speedup").and_then(Json::as_f64).unwrap().is_nan());
+        let s2 = &scenarios[1];
+        assert_eq!(s2.get("speedup").and_then(Json::as_f64), Some(1.8));
+        assert_eq!(s2.get("efficiency").and_then(Json::as_f64), Some(0.9));
         let spans = s1.get("spans").and_then(Json::as_obj).unwrap();
         assert!(spans.contains_key("mc.trials"));
     }
 
     #[test]
     fn bench_json_diffs_against_itself_clean() {
-        let a = render_bench_json(&tiny_results(), "aaa", "2026-08-05", false);
+        let a = render_bench_json(&tiny_results(), "aaa", "2026-08-05", false, 1);
         let mut worse = tiny_results();
         worse[0].wall_ns *= 2; // 2x wall regression on s1
-        let b = render_bench_json(&worse, "bbb", "2026-08-06", false);
+        worse[1].speedup = Some(0.9); // speedup collapse on s2
+        worse[1].efficiency = Some(0.45);
+        let b = render_bench_json(&worse, "bbb", "2026-08-06", false, 1);
         let same = diff_bench(&a, &a, 0.2).unwrap();
         assert!(same.iter().all(|r| !r.flagged), "{same:?}");
         let rows = diff_bench(&a, &b, 0.2).unwrap();
         assert!(rows.iter().any(|r| r.name == "s1.wall_ns" && r.flagged));
+        // A speedup drop is a throughput-style regression (down is bad).
+        assert!(rows.iter().any(|r| r.name == "s2.speedup" && r.flagged));
+        assert!(rows.iter().any(|r| r.name == "s2.efficiency" && r.flagged));
     }
 
     #[test]
@@ -453,7 +525,10 @@ mod tests {
             ids,
             vec![
                 "mc_serial_uniform",
-                "mc_parallel4_uniform",
+                "mc_scaling_1",
+                "mc_scaling_2",
+                "mc_scaling_4",
+                "mc_scaling_8",
                 "farm_clean",
                 "farm_faulty",
                 "analyzer_check",
@@ -471,13 +546,31 @@ mod tests {
         // MC scenarios report trial throughput; farm scenarios event
         // throughput; both MC and farm carry spans.
         assert!(results[0].mc_trials_per_sec.unwrap() > 0.0);
-        assert!(results[2].events_per_sec.unwrap() > 0.0);
+        assert!(results[5].events_per_sec.unwrap() > 0.0);
         assert!(results[0].spans.iter().any(|s| s.name == "mc.trial_batch"));
-        assert!(results[3].spans.iter().any(|s| s.name == "farm.dispatch"));
+        assert!(results[6].spans.iter().any(|s| s.name == "farm.dispatch"));
+        // The scaling ladder: only mc_scaling_* rows carry speedup and
+        // efficiency; the 1-thread anchor is exactly 1.0 on both, and the
+        // pooled rows run the work-stealing deques (mc.pool span).
+        assert!(results[0].speedup.is_none());
+        assert_eq!(results[1].speedup, Some(1.0));
+        assert_eq!(results[1].efficiency, Some(1.0));
+        for (i, threads) in [(2usize, 2.0f64), (3, 4.0), (4, 8.0)] {
+            let r = &results[i];
+            let s = r.speedup.unwrap();
+            assert!(s > 0.0, "{}: speedup {s}", r.id);
+            let e = r.efficiency.unwrap();
+            assert!(
+                (e - s / threads).abs() < 1e-12,
+                "{}: efficiency {e} != speedup/{threads}",
+                r.id
+            );
+            assert!(r.spans.iter().any(|sp| sp.name == "mc.pool"), "{}", r.id);
+        }
         // Recovery scenarios report replayed-record throughput; the redo
         // path replays the whole journal so it can never be faster than
         // the snapshot path on replayed records.
-        assert!(results[5].events_per_sec.unwrap() > 0.0);
-        assert!(results[6].events_per_sec.unwrap() > 0.0);
+        assert!(results[8].events_per_sec.unwrap() > 0.0);
+        assert!(results[9].events_per_sec.unwrap() > 0.0);
     }
 }

@@ -16,7 +16,7 @@ mod obs_cmd;
 
 use args::Args;
 use cs_apps::{fmt, pct, Table};
-use cs_bench::harness::{by_id, run_to_writer, ExpOptions, Experiment};
+use cs_bench::harness::{by_id, run_to_writer, ExpOptions};
 use cs_core::{dp, search};
 use cs_life::LifeFunction;
 use cs_now::farm::{Farm, FarmConfig, PolicySpec, WorkstationConfig};
@@ -90,6 +90,10 @@ COMMANDS:
                --snapshot-every <dt>    reference-run snapshot cadence in
                                         virtual time (default 10)
                --quick                  small farm + sampled kills (CI smoke)
+               --threads <n>            run kill/resume trials on the
+                                        work-stealing pool (default: available
+                                        parallelism; 1 = serial, identical
+                                        outcome either way)
     saves      Checkpoint-interval planning under Poisson faults.
                --work <w> --c <save cost> --lambda <fault rate>
     exp        Run registered paper experiments (crates/bench registry).
@@ -99,6 +103,12 @@ COMMANDS:
                --quick                  shrink Monte-Carlo budgets (CI smoke)
                --trace-out <file>       write the event stream as JSONL
                --input <file>           experiment input (exp_obs_validate)
+               --threads <n>            with --all: run experiments
+                                        concurrently on the work-stealing
+                                        pool, output buffered per experiment
+                                        (bytes identical to serial; default:
+                                        available parallelism; forced serial
+                                        with --trace-out)
     obs        Analyze recorded traces and perf baselines.
                report <trace.jsonl>     event counts, span tree, attribution
                check [--strict] <trace.jsonl>
@@ -710,6 +720,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         "sample",
         "quick",
         "snapshot-every",
+        "threads",
     ])?;
     let quick = args.flag("quick");
     let snapshot_every = args.f64_or("snapshot-every", 10.0)?;
@@ -727,12 +738,20 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
             None => None,
         },
         snapshot_every,
+        threads: args.usize_or("threads", default_threads())?,
     };
     let out = cs_bench::chaos::run_chaos(&cfg)?;
     println!(
         "farm          : {} workstations, {} tasks, seed {}, fault intensity {}",
         cfg.workstations, cfg.tasks, cfg.seed, cfg.intensity
     );
+    if cfg.threads > 1 {
+        println!(
+            "threads       : {} (kill/resume trials on the work-stealing pool; \
+             outcome identical to serial)",
+            cfg.threads
+        );
+    }
     println!(
         "journal       : {} records in the uninterrupted reference",
         out.records
@@ -762,8 +781,24 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Default worker count for pooled subcommands: the machine's available
+/// parallelism, serial when it cannot be determined.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 fn cmd_exp(args: &Args) -> Result<(), String> {
-    args.check_known(&["list", "id", "all", "quick", "trace-out", "input"])?;
+    args.check_known(&[
+        "list",
+        "id",
+        "all",
+        "quick",
+        "trace-out",
+        "input",
+        "threads",
+    ])?;
     let registry = cs_bench::experiments::all();
     if args.flag("list") {
         let mut table = Table::new(&["id", "paper", "title"]);
@@ -786,25 +821,45 @@ fn cmd_exp(args: &Args) -> Result<(), String> {
         trace_out: args.get("trace-out").map(String::from),
         input: args.get("input").map(String::from),
     };
-    let to_run: Vec<&dyn Experiment> = if args.flag("all") {
-        registry
-    } else {
-        let id = args
-            .get("id")
-            .ok_or("exp needs --list, --all or --id <experiment>")?;
-        vec![by_id(id).ok_or_else(|| {
-            format!("unknown experiment {id:?}; `cyclesteal exp --list` shows the registry")
-        })?]
-    };
-    let stdout = std::io::stdout();
-    for exp in to_run {
-        // The one header line the shared harness adds over the standalone
-        // binaries; everything below it is byte-identical to them.
-        println!("== {} [{}] {}", exp.id(), exp.paper(), exp.title());
-        let mut out = stdout.lock();
-        run_to_writer(exp, &opts, &mut out).map_err(|e| format!("{}: {e}", exp.id()))?;
+    if args.flag("all") {
+        if opts.trace_out.is_some() {
+            // A single trace file cannot carry interleaved event streams:
+            // a traced sweep stays on the serial in-place path.
+            let stdout = std::io::stdout();
+            for exp in registry {
+                println!("== {} [{}] {}", exp.id(), exp.paper(), exp.title());
+                let mut out = stdout.lock();
+                run_to_writer(exp, &opts, &mut out).map_err(|e| format!("{}: {e}", exp.id()))?;
+            }
+            return Ok(());
+        }
+        // Experiments render concurrently into per-experiment buffers that
+        // are printed in registry order — bytes identical to serial for
+        // any thread count.
+        let threads = args.usize_or("threads", default_threads())?;
+        for (exp, result) in cs_bench::harness::run_all_buffered(&opts, threads) {
+            // The one header line the shared harness adds over the
+            // standalone binaries; everything below it is byte-identical
+            // to them.
+            println!("== {} [{}] {}", exp.id(), exp.paper(), exp.title());
+            let buf = result.map_err(|e| format!("{}: {e}", exp.id()))?;
+            use std::io::Write;
+            std::io::stdout()
+                .write_all(&buf)
+                .map_err(|e| e.to_string())?;
+        }
+        return Ok(());
     }
-    Ok(())
+    let id = args
+        .get("id")
+        .ok_or("exp needs --list, --all or --id <experiment>")?;
+    let exp = by_id(id).ok_or_else(|| {
+        format!("unknown experiment {id:?}; `cyclesteal exp --list` shows the registry")
+    })?;
+    println!("== {} [{}] {}", exp.id(), exp.paper(), exp.title());
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    run_to_writer(exp, &opts, &mut out).map_err(|e| format!("{}: {e}", exp.id()))
 }
 
 #[cfg(test)]

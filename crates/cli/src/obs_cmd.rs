@@ -26,15 +26,19 @@ usage:
         trace is checked as an interrupted prefix; --strict makes the torn
         tail itself a failure.
     cyclesteal obs diff [--threshold <rel>] [--bench] [--only <substr>]
-                        <a> <b>
+                        [--min <row>=<value>] <a> <b>
         Compare two traces' folded metrics (or, with --bench, two
         BENCH.json baselines, flagging only regressions). --only keeps
         just the rows whose metric name contains <substr> (repeatable;
         a row is kept when any filter matches) — the CI perf gate uses
         this to pin workload-independent rows like
         'farm_clean.events_per_sec' and 'spans.farm.dispatch.mean_ns'.
-        Non-zero exit when a kept change beyond the threshold (default
-        0.2) is flagged.
+        --min asserts an absolute floor on the candidate side of the
+        named row (repeatable, exact name, checked before --only
+        filtering) — e.g. --min mc_scaling_4.speedup=2.5 is the
+        parallel-efficiency gate. Non-zero exit when a kept change
+        beyond the threshold (default 0.2) is flagged or a floor is
+        missed.
     cyclesteal obs replay --journal <file> --to <record> [scenario flags]
         Time travel: deterministically re-execute the journaled run up to
         (and including) record <record>, verifying every record against
@@ -243,6 +247,7 @@ fn cmd_diff(rest: &[String]) -> Result<(), String> {
     let mut threshold = 0.2f64;
     let mut bench = false;
     let mut only: Vec<String> = Vec::new();
+    let mut mins: Vec<(String, f64)> = Vec::new();
     let mut paths: Vec<&str> = Vec::new();
     let mut it = rest.iter();
     while let Some(tok) = it.next() {
@@ -257,6 +262,16 @@ fn cmd_diff(rest: &[String]) -> Result<(), String> {
             "--only" => {
                 let v = it.next().ok_or("--only needs a substring")?;
                 only.push(v.clone());
+            }
+            "--min" => {
+                let v = it.next().ok_or("--min needs <row>=<value>")?;
+                let (name, floor) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--min: expected <row>=<value>, got {v:?}"))?;
+                let floor: f64 = floor
+                    .parse()
+                    .map_err(|_| format!("--min {name}: bad number {floor:?}"))?;
+                mins.push((name.to_string(), floor));
             }
             p if !p.starts_with("--") => paths.push(p),
             other => return Err(format!("obs diff: unknown option {other}\n\n{USAGE}")),
@@ -274,6 +289,21 @@ fn cmd_diff(rest: &[String]) -> Result<(), String> {
             threshold,
         )
     };
+    // Absolute floors run against the full row set (before --only
+    // filtering) and look at the candidate side only: a gate like
+    // `--min mc_scaling_4.speedup=2.5` must fail loudly when the row is
+    // missing, not silently pass.
+    let mut floor_misses = Vec::new();
+    for (name, floor) in &mins {
+        match rows.iter().find(|r| &r.name == name) {
+            None => floor_misses.push(format!("--min {name}: no such row in the diff")),
+            Some(r) if r.b.is_nan() || r.b < *floor => floor_misses.push(format!(
+                "--min {name}: candidate {} below floor {floor}",
+                fmt(r.b, 4)
+            )),
+            Some(r) => println!("min ok: {name} = {} (floor {floor})", fmt(r.b, 4)),
+        }
+    }
     if !only.is_empty() {
         rows.retain(|r| only.iter().any(|f| r.name.contains(f.as_str())));
         if rows.is_empty() {
@@ -295,6 +325,12 @@ fn cmd_diff(rest: &[String]) -> Result<(), String> {
             ]);
         }
         println!("flagged changes:\n{}", table.render());
+    }
+    if !floor_misses.is_empty() {
+        return Err(format!(
+            "floor violations:\n  {}",
+            floor_misses.join("\n  ")
+        ));
     }
     if flagged == 0 {
         println!(
@@ -428,6 +464,60 @@ mod tests {
         // A filter matching nothing is an error, not a silent PASS.
         let err = run(&to_args(&format!("diff --bench --only nope {a} {b}"))).unwrap_err();
         assert!(err.contains("no metric matched"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diff_min_enforces_absolute_floors_on_the_candidate() {
+        let to_args = |s: &str| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+        let dir = std::env::temp_dir().join(format!("cs_obs_diff_min_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        // The candidate's speedup improves (no relative regression), so
+        // only the absolute floor can fail the gate.
+        std::fs::write(
+            &a,
+            r#"{"commit":"a","date":"d","scenarios":[
+                {"id":"mc_scaling_4","wall_ns":1000,"events_per_sec":null,
+                 "mc_trials_per_sec":500,"speedup":1.0,"efficiency":0.25}]}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &b,
+            r#"{"commit":"b","date":"d","scenarios":[
+                {"id":"mc_scaling_4","wall_ns":1000,"events_per_sec":null,
+                 "mc_trials_per_sec":500,"speedup":2.0,"efficiency":0.5}]}"#,
+        )
+        .unwrap();
+        let (a, b) = (a.display().to_string(), b.display().to_string());
+        // Floor met: 2.0 >= 1.5 passes.
+        run(&to_args(&format!(
+            "diff --bench --min mc_scaling_4.speedup=1.5 {a} {b}"
+        )))
+        .unwrap();
+        // Floor missed: 2.0 < 2.5 fails, even though the relative diff
+        // shows an improvement.
+        let err = run(&to_args(&format!(
+            "diff --bench --min mc_scaling_4.speedup=2.5 {a} {b}"
+        )))
+        .unwrap_err();
+        assert!(err.contains("below floor 2.5"), "{err}");
+        // The floor is checked before --only filtering drops its row.
+        let err = run(&to_args(&format!(
+            "diff --bench --only wall_ns --min mc_scaling_4.speedup=2.5 {a} {b}"
+        )))
+        .unwrap_err();
+        assert!(err.contains("below floor 2.5"), "{err}");
+        // A floor naming a missing row is an error, not a silent pass.
+        let err = run(&to_args(&format!(
+            "diff --bench --min nope.speedup=2.5 {a} {b}"
+        )))
+        .unwrap_err();
+        assert!(err.contains("no such row"), "{err}");
+        // Malformed floors are usage errors.
+        let err = run(&to_args(&format!("diff --bench --min nope {a} {b}"))).unwrap_err();
+        assert!(err.contains("expected <row>=<value>"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -623,7 +623,16 @@ fn bench_scenarios(doc: &Json) -> Result<BTreeMap<String, BTreeMap<String, f64>>
             .ok_or("BENCH.json: scenario missing \"id\"")?
             .to_string();
         let mut nums = BTreeMap::new();
-        for key in ["wall_ns", "events_per_sec", "mc_trials_per_sec"] {
+        // "speedup"/"efficiency" carry the mc_scaling_* parallel-scaling
+        // ladder; like the throughput keys they regress downward (the
+        // non-`_ns` direction rule below already handles that).
+        for key in [
+            "wall_ns",
+            "events_per_sec",
+            "mc_trials_per_sec",
+            "speedup",
+            "efficiency",
+        ] {
             if let Some(v) = sc.get(key).and_then(Json::as_f64) {
                 nums.insert(key.to_string(), v);
             }

@@ -1,0 +1,233 @@
+//! The steal-half deque: a fixed-capacity SPMC ring on two packed
+//! monotone counters.
+//!
+//! One worker owns each deque and is its only producer ([`StealDeque::push`]);
+//! any thread may consume, taking either one item ([`StealDeque::take_one`])
+//! or half the visible backlog in a single claim
+//! ([`StealDeque::steal_half`]). Chase–Lev's owner-pops-LIFO variant is
+//! deliberately *not* used: batched steals and LIFO owner pops cannot share
+//! one linearization point (the owner's pop elides the `top` CAS except on
+//! the last item, so a steal-half claim can race an owner pop into the same
+//! range). Instead both ends consume from the head, FIFO, and every
+//! operation linearizes on one CAS of a single `AtomicU64` word packing
+//! `(top, bottom)`:
+//!
+//! * `top` — next index to consume (only ever increases),
+//! * `bottom` — next free slot (only ever increases, owner-only).
+//!
+//! Monotone counters make the word ABA-free in practice: for a stale word
+//! to reappear, a counter would have to wrap the full `u32` range between
+//! one load and the following CAS.
+//!
+//! The consume protocol reads slots *before* the claiming CAS and lets CAS
+//! success prove the reads were valid: if the word is unchanged, no claim
+//! advanced `top` past the read range and no push moved `bottom` (pushes by
+//! a full ring are the only writes that could alias a live slot, and those
+//! require a `bottom` move). Slot values read while racing a failed claim
+//! are discarded; slots are atomics precisely so such racing reads are
+//! defined behavior rather than torn reads. The whole crate stays in safe
+//! Rust because of this — the unsafe lifetime erasure lives in the pool's
+//! job plumbing, not here.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A queued unit of work: `(job address, task index)`. Plain data — the
+/// pool layer owns the meaning of the two words.
+pub(crate) type Item = (usize, usize);
+
+/// Ring capacity per worker (power of two). Steal-half takes at most
+/// `CAP / 2 + 1` items and injector refills are clamped below `CAP`, so an
+/// empty deque can always absorb either batch.
+pub(crate) const CAP: usize = 256;
+
+/// One ring slot. Two relaxed atomics rather than one plain tuple: a
+/// consumer may read a slot while losing a claim race, and those dirty
+/// reads must be defined (their values are discarded when the CAS fails).
+#[derive(Default)]
+struct Slot {
+    a: AtomicUsize,
+    b: AtomicUsize,
+}
+
+/// The fixed-capacity steal-half deque (see module docs for the protocol).
+pub(crate) struct StealDeque {
+    /// `(top << 32) | bottom`, both monotone `u32` counters.
+    word: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+fn pack(top: u32, bottom: u32) -> u64 {
+    (u64::from(top) << 32) | u64::from(bottom)
+}
+
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+impl StealDeque {
+    pub(crate) fn new() -> Self {
+        Self {
+            word: AtomicU64::new(0),
+            slots: (0..CAP).map(|_| Slot::default()).collect(),
+        }
+    }
+
+    /// Items currently visible (a racy snapshot — exact only to the owner
+    /// between its own operations). Used for victim selection.
+    pub(crate) fn len(&self) -> usize {
+        let (top, bottom) = unpack(self.word.load(Ordering::Relaxed));
+        bottom.wrapping_sub(top) as usize
+    }
+
+    /// Owner-only: appends one item. Returns `false` when the ring is full
+    /// (the caller overflows to the injector). Only the owner moves
+    /// `bottom`, so the slot chosen for the write is stable across CAS
+    /// retries — retries only happen because a consumer advanced `top`.
+    pub(crate) fn push(&self, item: Item) -> bool {
+        let mut word = self.word.load(Ordering::Acquire);
+        loop {
+            let (top, bottom) = unpack(word);
+            if bottom.wrapping_sub(top) as usize >= CAP {
+                return false;
+            }
+            // Writing before the publishing CAS is safe: slot `bottom` is
+            // outside every consumer's claimable range `[top, bottom)`, and
+            // a concurrent claim reading it through the ring (only possible
+            // on a full ring) fails its own CAS and discards the value.
+            let slot = &self.slots[bottom as usize % CAP];
+            slot.a.store(item.0, Ordering::Relaxed);
+            slot.b.store(item.1, Ordering::Relaxed);
+            match self.word.compare_exchange_weak(
+                word,
+                pack(top, bottom.wrapping_add(1)),
+                Ordering::Release,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => word = actual,
+            }
+        }
+    }
+
+    /// Claims one item from the head, or `None` when empty.
+    pub(crate) fn take_one(&self) -> Option<Item> {
+        let mut buf = Vec::with_capacity(1);
+        if self.consume(false, &mut buf) == 0 {
+            None
+        } else {
+            Some(buf[0])
+        }
+    }
+
+    /// Claims `ceil(len / 2)` items from the head in one CAS, appending
+    /// them to `buf` in queue order. Returns how many were taken.
+    pub(crate) fn steal_half(&self, buf: &mut Vec<Item>) -> usize {
+        self.consume(true, buf)
+    }
+
+    fn consume(&self, half: bool, buf: &mut Vec<Item>) -> usize {
+        let mut word = self.word.load(Ordering::Acquire);
+        loop {
+            let (top, bottom) = unpack(word);
+            let len = bottom.wrapping_sub(top);
+            if len == 0 {
+                return 0;
+            }
+            let k = if half { len.div_ceil(2) } else { 1 };
+            // Read the claimed range BEFORE claiming it. After a successful
+            // CAS a racing owner push may legally wrap the ring onto slots
+            // we claimed but had not yet read; before the CAS the range is
+            // protected by `bottom`'s capacity check, and any race that
+            // does dirty these reads also changes the word, failing the CAS
+            // below — which discards them.
+            let start = buf.len();
+            for i in 0..k {
+                let slot = &self.slots[top.wrapping_add(i) as usize % CAP];
+                buf.push((
+                    slot.a.load(Ordering::Relaxed),
+                    slot.b.load(Ordering::Relaxed),
+                ));
+            }
+            match self.word.compare_exchange(
+                word,
+                pack(top.wrapping_add(k), bottom),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return k as usize,
+                Err(actual) => {
+                    buf.truncate(start);
+                    word = actual;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_single_thread() {
+        let d = StealDeque::new();
+        for i in 0..10 {
+            assert!(d.push((7, i)));
+        }
+        assert_eq!(d.len(), 10);
+        for i in 0..10 {
+            assert_eq!(d.take_one(), Some((7, i)));
+        }
+        assert_eq!(d.take_one(), None);
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn push_reports_full_at_capacity() {
+        let d = StealDeque::new();
+        for i in 0..CAP {
+            assert!(d.push((0, i)), "slot {i}");
+        }
+        assert!(!d.push((0, CAP)));
+        // Draining one frees one slot.
+        assert_eq!(d.take_one(), Some((0, 0)));
+        assert!(d.push((0, CAP)));
+    }
+
+    #[test]
+    fn steal_half_takes_ceil_half_in_order() {
+        let d = StealDeque::new();
+        for i in 0..5 {
+            d.push((1, i));
+        }
+        let mut buf = Vec::new();
+        assert_eq!(d.steal_half(&mut buf), 3);
+        assert_eq!(buf, vec![(1, 0), (1, 1), (1, 2)]);
+        assert_eq!(d.len(), 2);
+        buf.clear();
+        assert_eq!(d.steal_half(&mut buf), 1);
+        assert_eq!(buf, vec![(1, 3)]);
+        assert_eq!(d.take_one(), Some((1, 4)));
+        assert_eq!(d.steal_half(&mut buf), 0);
+    }
+
+    #[test]
+    fn counters_survive_wraparound() {
+        // Start near the u32 boundary: the packed word must keep working
+        // across top/bottom wraps.
+        let d = StealDeque::new();
+        d.word
+            .store(pack(u32::MAX - 2, u32::MAX - 2), Ordering::Relaxed);
+        for i in 0..6 {
+            assert!(d.push((2, i)), "push {i}");
+        }
+        assert_eq!(d.len(), 6);
+        let mut buf = Vec::new();
+        assert_eq!(d.steal_half(&mut buf), 3);
+        assert_eq!(buf, vec![(2, 0), (2, 1), (2, 2)]);
+        for i in 3..6 {
+            assert_eq!(d.take_one(), Some((2, i)));
+        }
+        assert_eq!(d.take_one(), None);
+    }
+}

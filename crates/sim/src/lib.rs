@@ -14,9 +14,9 @@
 //!   chunk.
 //! * [`montecarlo`] — estimates `E[work]` by simulating many episodes with
 //!   reclamation times drawn from the life function (inverse transform),
-//!   serially or in parallel (crossbeam scoped threads, deterministic
-//!   per-shard seeding). `exp_sim_validate` shows the Monte-Carlo mean
-//!   converging to the analytic `E(S; p)`.
+//!   serially or on the `cs-pool` work-stealing runtime (bit-identical to
+//!   serial at every thread count). `exp_sim_validate` shows the
+//!   Monte-Carlo mean converging to the analytic `E(S; p)`.
 //! * [`policy`] — chunk-sizing policies as a trait, so the same simulator
 //!   drives guideline, fixed-size, greedy and adaptive scheduling (used by
 //!   `cs-now` for the multi-workstation farm).

@@ -6,6 +6,11 @@
 //! makes the real dependency redundant here). Signatures mirror crossbeam
 //! 0.8: the spawn closure receives a `&Scope` argument and `scope` returns
 //! `thread::Result<R>`.
+//!
+//! Remaining consumers: `cs-now` (`replicate`/`live` fan out real farm
+//! worker threads through scoped spawns). The Monte-Carlo harness, the
+//! chaos sweep, and the experiment registry no longer use this crate —
+//! they dispatch through the `cs-pool` work-stealing runtime instead.
 
 // Vendored stub: keep the real crate's API shape even where clippy
 // would simplify it, and skip style lints accordingly.
