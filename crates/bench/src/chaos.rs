@@ -55,6 +55,11 @@ pub struct ChaosConfig {
     /// their outcomes are merged in kill-point order, so the
     /// [`ChaosOutcome`] is identical for every thread count.
     pub threads: usize,
+    /// Wall-clock cadence for `RUN-PROGRESS` heartbeats on stderr during
+    /// the reference journaled run (`None` = silent). The kill/resume
+    /// trials themselves stay quiet — hundreds of short resumes
+    /// heartbeating concurrently would be noise, not telemetry.
+    pub progress_every: Option<f64>,
 }
 
 impl Default for ChaosConfig {
@@ -67,6 +72,7 @@ impl Default for ChaosConfig {
             sample: None,
             snapshot_every: 10.0,
             threads: 1,
+            progress_every: None,
         }
     }
 }
@@ -187,6 +193,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
         fsync: guideline_fsync_policy(&config),
         kill_after: None,
         snapshot_every: Some(cfg.snapshot_every),
+        progress_every: cfg.progress_every,
     };
     let farm = Farm::new(config, chaos_bag(cfg)).map_err(|e| e.to_string())?;
     let (ref_report, _stats) = farm
@@ -289,6 +296,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
             fsync,
             kill_after: None,
             snapshot_every: Some(cfg.snapshot_every),
+            progress_every: None,
         };
         match Farm::resume_with(
             chaos_farm_config(cfg),

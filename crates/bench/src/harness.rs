@@ -16,7 +16,9 @@
 //! pass-through guarantee keeps the printed numbers bit-identical either
 //! way.
 
-use cs_obs::{EventSink, JsonlSink, MetricsRegistry, NoopSink, SpanProfiler};
+use cs_obs::{
+    EventSink, JsonlSink, MetricsRegistry, NoopSink, ProgressSink, SpanProfiler, TeeSink,
+};
 use std::io::Write;
 
 /// Options for one experiment run.
@@ -30,6 +32,11 @@ pub struct ExpOptions {
     /// Positional input (used by `exp_obs_validate` to validate a trace
     /// file instead of running its self-test).
     pub input: Option<String>,
+    /// Wall-clock cadence for `RUN-PROGRESS` heartbeats on stderr while an
+    /// experiment's observed runs are in flight (`None` = silent,
+    /// `Some(0.0)` = every event). Strictly pass-through: report text and
+    /// trace bytes are identical with heartbeats on or off.
+    pub progress_every: Option<f64>,
 }
 
 /// Execution context handed to [`Experiment::run`].
@@ -109,34 +116,46 @@ pub fn run_to_writer_profiled(
 ) -> Result<MetricsRegistry, String> {
     let mut prof = SpanProfiler::new();
     let mut span_sink = NoopSink;
-    match &opts.trace_out {
-        None => {
-            let span = prof.start(exp.id(), &mut span_sink);
-            let result = exp.run(&mut ExpContext {
-                out,
-                sink: &mut NoopSink,
-                opts,
-            });
-            prof.end(span, &mut span_sink);
-            result?;
-        }
+    let mut progress = opts
+        .progress_every
+        .map(|every| ProgressSink::new(std::io::stderr(), every));
+    let mut jsonl = match &opts.trace_out {
+        None => None,
         Some(path) => {
             let mut sink =
                 JsonlSink::create(path).map_err(|e| format!("--trace-out {path}: {e}"))?;
-            let span = prof.start(exp.id(), &mut span_sink);
-            let result = exp.run(&mut ExpContext {
-                out,
-                sink: &mut sink,
-                opts,
-            });
-            prof.end(span, &mut span_sink);
-            result?;
-            let lines = sink
-                .finish()
-                .map_err(|e| format!("--trace-out {path}: {e}"))?;
-            prof.bump("trace_events", lines);
-            writeln!(out, "trace-out: {lines} events -> {path}").map_err(|e| e.to_string())?;
+            if progress.is_some() {
+                // A heartbeating sweep is being watched live: line-buffer
+                // the trace so `tail -f` sees events as they happen.
+                sink = sink.flush_every(1);
+            }
+            Some(sink)
         }
+    };
+    {
+        let mut tee = TeeSink::new();
+        if let Some(sink) = jsonl.as_mut() {
+            tee.push(sink);
+        }
+        if let Some(sink) = progress.as_mut() {
+            tee.push(sink);
+        }
+        let span = prof.start(exp.id(), &mut span_sink);
+        let result = exp.run(&mut ExpContext {
+            out,
+            sink: &mut tee,
+            opts,
+        });
+        prof.end(span, &mut span_sink);
+        result?;
+    }
+    if let Some(sink) = jsonl {
+        let path = opts.trace_out.as_deref().unwrap_or_default();
+        let lines = sink
+            .finish()
+            .map_err(|e| format!("--trace-out {path}: {e}"))?;
+        prof.bump("trace_events", lines);
+        writeln!(out, "trace-out: {lines} events -> {path}").map_err(|e| e.to_string())?;
     }
     Ok(prof.take_registry())
 }
@@ -156,6 +175,18 @@ pub type SweepEntry = (&'static dyn Experiment, Result<Vec<u8>, String>);
 /// carry interleaved event streams) — callers run traced sweeps serially
 /// through [`run_to_writer`].
 pub fn run_all_buffered(opts: &ExpOptions, threads: usize) -> Vec<SweepEntry> {
+    run_all_buffered_metrics(opts, threads).0
+}
+
+/// [`run_all_buffered`] that also hands back the work-stealing pool's
+/// scheduling snapshot for the sweep (`None` on the serial path), so the
+/// caller can surface worker utilization — the `cyclesteal exp --all`
+/// sweep turns it into a `RUN-SUMMARY` line. The report bytes stay
+/// identical to [`run_all_buffered`] for every thread count.
+pub fn run_all_buffered_metrics(
+    opts: &ExpOptions,
+    threads: usize,
+) -> (Vec<SweepEntry>, Option<cs_pool::PoolMetrics>) {
     assert!(
         opts.trace_out.is_none(),
         "run_all_buffered cannot multiplex --trace-out"
@@ -165,13 +196,14 @@ pub fn run_all_buffered(opts: &ExpOptions, threads: usize) -> Vec<SweepEntry> {
         let mut buf = Vec::new();
         run_to_writer(all[i], opts, &mut buf).map(|()| buf)
     };
-    let results = if threads > 1 {
+    let (results, metrics) = if threads > 1 {
         let pool = cs_pool::Pool::new(threads);
-        pool.map_indexed(all.len(), run_one)
+        let results = pool.map_indexed(all.len(), run_one);
+        (results, Some(pool.metrics()))
     } else {
-        (0..all.len()).map(run_one).collect()
+        ((0..all.len()).map(run_one).collect(), None)
     };
-    all.into_iter().zip(results).collect()
+    (all.into_iter().zip(results).collect(), metrics)
 }
 
 /// Entry point for the thin `exp_*` binaries: parses `[--quick]
@@ -190,13 +222,22 @@ pub fn main_for(exp: &dyn Experiment) -> std::process::ExitCode {
                     return std::process::ExitCode::FAILURE;
                 }
             },
+            "--progress-every" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(every) if every.is_finite() && every >= 0.0 => {
+                    opts.progress_every = Some(every)
+                }
+                _ => {
+                    eprintln!("error: --progress-every needs a non-negative number of seconds");
+                    return std::process::ExitCode::FAILURE;
+                }
+            },
             other if !other.starts_with("--") && opts.input.is_none() => {
                 opts.input = Some(other.to_string());
             }
             other => {
                 eprintln!(
                     "error: unknown argument {other:?} (expected [--quick] \
-                     [--trace-out <path>] [input])"
+                     [--trace-out <path>] [--progress-every <s>] [input])"
                 );
                 return std::process::ExitCode::FAILURE;
             }

@@ -221,6 +221,7 @@ fn time_resume(
         // Writing fresh sidecars during the timed replay would charge
         // snapshot *production* to recovery; measure restoration only.
         snapshot_every: None,
+        progress_every: None,
     };
     let start = Instant::now();
     let (_report, info) =
@@ -267,6 +268,7 @@ fn recovery_pair(
         fsync: guideline_fsync_policy(&config),
         kill_after: None,
         snapshot_every: guideline_snapshot_interval(&config),
+        progress_every: None,
     };
     Farm::new(config, bag)
         .map_err(|e| e.to_string())?
@@ -297,6 +299,29 @@ fn analyzer_scenario(lines: &[String]) -> ScenarioResult {
         efficiency: None,
         spans: Vec::new(),
     }
+}
+
+/// Times [`cs_obs::analyze_lineage_lines`] over the same faulty farm
+/// trace: the lineage reconstruction behind `obs path` / `obs chunks`
+/// walks every event and runs the critical-path extraction, so it gets
+/// its own throughput row next to the checker's.
+fn lineage_scenario(lines: &[String]) -> Result<ScenarioResult, String> {
+    let start = Instant::now();
+    let analysis = cs_obs::analyze_lineage_lines(lines.iter().map(String::as_str))
+        .map_err(|e| format!("analyze_lineage: {e}"))?;
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    if analysis.chunks.is_empty() {
+        return Err("analyze_lineage: faulty trace reconstructed no chunks".into());
+    }
+    Ok(ScenarioResult {
+        id: "analyze_lineage",
+        wall_ns,
+        events_per_sec: per_sec(lines.len() as u64, wall_ns),
+        mc_trials_per_sec: None,
+        speedup: None,
+        efficiency: None,
+        spans: Vec::new(),
+    })
 }
 
 /// Runs the pinned scenario grid and returns the measured baselines, in
@@ -355,6 +380,7 @@ pub fn run_profile(opts: ProfileOptions) -> Result<Vec<ScenarioResult>, String> 
     let (faulty, trace) = farm_scenario("farm_faulty", tasks, FaultPlan::scaled(0.5))?;
     out.push(faulty);
     out.push(analyzer_scenario(&trace));
+    out.push(lineage_scenario(&trace)?);
     // Crash-recovery latency at three run lengths: the snapshot column
     // should stay flat while the redo column scales with the journal.
     let recovery: [(usize, &'static str, &'static str); 3] = if opts.quick {
@@ -532,6 +558,7 @@ mod tests {
                 "farm_clean",
                 "farm_faulty",
                 "analyzer_check",
+                "analyze_lineage",
                 "recovery_snapshot_short",
                 "recovery_redo_short",
                 "recovery_snapshot_medium",
@@ -567,10 +594,14 @@ mod tests {
             );
             assert!(r.spans.iter().any(|sp| sp.name == "mc.pool"), "{}", r.id);
         }
+        // The trace analyzers report line throughput over the faulty
+        // farm trace.
+        assert!(results[7].events_per_sec.unwrap() > 0.0);
+        assert!(results[8].events_per_sec.unwrap() > 0.0);
         // Recovery scenarios report replayed-record throughput; the redo
         // path replays the whole journal so it can never be faster than
         // the snapshot path on replayed records.
-        assert!(results[8].events_per_sec.unwrap() > 0.0);
         assert!(results[9].events_per_sec.unwrap() > 0.0);
+        assert!(results[10].events_per_sec.unwrap() > 0.0);
     }
 }

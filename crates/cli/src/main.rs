@@ -24,7 +24,7 @@ use cs_now::faults::FaultPlan;
 use cs_now::{
     guideline_fsync_policy, guideline_snapshot_interval, JournalOptions, SnapshotOutcome,
 };
-use cs_obs::{JsonlSink, MetricsSink, SpanProfiler, TeeSink};
+use cs_obs::{JsonlSink, MetricsSink, ProgressSink, SpanProfiler, TeeSink};
 use cs_scenarios::{LifeSpec, PolicyParseError, LIFE_OPTS};
 use cs_tasks::{workloads, TaskBag};
 use cs_trace::{estimate::estimate_life, fit::fit_all, owner::DiurnalOwner};
@@ -50,6 +50,9 @@ COMMANDS:
                --trace-out <file>       write the event stream as JSONL
                --metrics                print the folded metrics registry
                --profile                time internal phases (span profiler)
+               --progress-every <s>     RUN-PROGRESS heartbeats on stderr
+                                        every s wall-clock seconds (0 = every
+                                        event); pass-through, output identical
     fit        Fit life functions to absence durations.
                --input <file>           one duration per line
                --synthetic diurnal --days <n> [--seed <s>]
@@ -78,6 +81,10 @@ COMMANDS:
                --snapshot-every <dt>    state-snapshot cadence in virtual
                                         time (needs --journal or --resume;
                                         default: the saves guideline)
+               --progress-every <s>     RUN-PROGRESS heartbeats on stderr
+                                        (journaled runs heartbeat from the
+                                        journal driver; pass-through either
+                                        way)
     chaos      Kill-anywhere proof: journal a faulty farm, kill the master
                at record boundaries, resume — through the snapshot fast
                path, a corrupted sidecar, and full redo — and demand
@@ -94,6 +101,8 @@ COMMANDS:
                                         work-stealing pool (default: available
                                         parallelism; 1 = serial, identical
                                         outcome either way)
+               --progress-every <s>     heartbeat the reference journaled run
+                                        (trials stay quiet)
     saves      Checkpoint-interval planning under Poisson faults.
                --work <w> --c <save cost> --lambda <fault rate>
     exp        Run registered paper experiments (crates/bench registry).
@@ -109,8 +118,20 @@ COMMANDS:
                                         (bytes identical to serial; default:
                                         available parallelism; forced serial
                                         with --trace-out)
+               --progress-every <s>     RUN-PROGRESS heartbeats on stderr for
+                                        observed runs; with --trace-out also
+                                        line-buffers the trace for tail -f
     obs        Analyze recorded traces and perf baselines.
-               report <trace.jsonl>     event counts, span tree, attribution
+               report <trace.jsonl>     event counts, span tree, attribution,
+                                        pool counters, phase summary
+               path [--l <L>] [--c <c>] <trace.jsonl>
+                                        critical-path chain + wall-time phase
+                                        attribution for a farm trace, with
+                                        bitwise lost-work reconciliation and
+                                        an expected-work side-by-side
+               chunks [--top <k>] <trace.jsonl>
+                                        per-chunk waterfall: top-k slowest,
+                                        stragglers, waste by fate
                check [--strict] <trace.jsonl>
                                         invariant gate (non-zero exit on fail);
                                         a torn final record is a warning
@@ -207,24 +228,56 @@ fn agreement_verdict(mean: f64, expected: f64, std_error: f64, n: u64) -> &'stat
     }
 }
 
-/// The JSONL / metrics sinks behind `--trace-out` and `--metrics`.
+/// Parses the `--progress-every <seconds>` heartbeat cadence (`0` = every
+/// event; `None` = heartbeats off).
+fn progress_every_from_args(args: &Args) -> Result<Option<f64>, String> {
+    match args.get("progress-every") {
+        None => Ok(None),
+        Some(_) => {
+            let every = args.f64_or("progress-every", 0.0)?;
+            if !every.is_finite() || every < 0.0 {
+                return Err(
+                    "--progress-every: cadence must be a finite non-negative number of seconds"
+                        .into(),
+                );
+            }
+            Ok(Some(every))
+        }
+    }
+}
+
+/// The JSONL / metrics / heartbeat sinks behind `--trace-out`,
+/// `--metrics` and `--progress-every`.
 struct TraceOutputs {
     jsonl: Option<(String, JsonlSink)>,
     metrics: Option<MetricsSink>,
+    progress: Option<ProgressSink<std::io::Stderr>>,
 }
 
 impl TraceOutputs {
     fn from_args(args: &Args) -> Result<Self, String> {
+        let progress_every = progress_every_from_args(args)?;
         let jsonl = match args.get("trace-out") {
             Some(path) => {
-                let sink =
+                let mut sink =
                     JsonlSink::create(path).map_err(|e| format!("--trace-out {path}: {e}"))?;
+                if progress_every.is_some() {
+                    // A heartbeating run is being watched live: switch the
+                    // trace to line-buffered writes so `tail -f` sees
+                    // events as they happen instead of 4096-line batches.
+                    sink = sink.flush_every(1);
+                }
                 Some((path.to_string(), sink))
             }
             None => None,
         };
         let metrics = args.flag("metrics").then(MetricsSink::new);
-        Ok(Self { jsonl, metrics })
+        let progress = progress_every.map(|every| ProgressSink::new(std::io::stderr(), every));
+        Ok(Self {
+            jsonl,
+            metrics,
+            progress,
+        })
     }
 
     /// A tee over whichever sinks were requested (empty tee = no-op).
@@ -236,11 +289,14 @@ impl TraceOutputs {
         if let Some(sink) = self.metrics.as_mut() {
             tee.push(sink);
         }
+        if let Some(sink) = self.progress.as_mut() {
+            tee.push(sink);
+        }
         tee
     }
 
-    /// Closes the JSONL file (surfacing deferred I/O errors) and prints the
-    /// metrics registry.
+    /// Closes the JSONL file (surfacing deferred I/O errors), prints the
+    /// metrics registry, and emits a closing heartbeat.
     fn finish(self) -> Result<(), String> {
         if let Some((path, sink)) = self.jsonl {
             let lines = sink
@@ -250,6 +306,10 @@ impl TraceOutputs {
         }
         if let Some(metrics) = self.metrics {
             print!("{}", metrics.registry.render());
+        }
+        if let Some(mut progress) = self.progress {
+            // The final totals, so even a sub-cadence run reports once.
+            progress.emit_heartbeat();
         }
         Ok(())
     }
@@ -317,6 +377,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             "trace-out",
             "metrics",
             "profile",
+            "progress-every",
         ],
     )?;
     let life = parse_life(args)?;
@@ -327,7 +388,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let plan = search::best_guideline_schedule(&life, c).map_err(|e| e.to_string())?;
     let mut trace = TraceOutputs::from_args(args)?;
     let mut prof = profiler_from_args(args);
-    let mc = cs_sim::simulate_expected_work_parallel_profiled(
+    let (mc, pool) = cs_sim::simulate_expected_work_parallel_metrics(
         &plan.schedule,
         &life,
         c,
@@ -337,6 +398,11 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         trace.tee(),
         &mut prof,
     );
+    if let Some(pm) = &pool {
+        if let Some(metrics) = trace.metrics.as_mut() {
+            pm.fold_into(&mut metrics.registry);
+        }
+    }
     println!("life function  : {}", life.describe());
     println!("schedule       : {}", plan.schedule);
     println!("analytic E     : {:.4}", plan.expected_work);
@@ -349,6 +415,13 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     );
     println!("interrupted    : {}", pct(mc.interrupted_fraction));
     println!("mean periods   : {:.2}", mc.mean_periods);
+    if let Some(pm) = &pool {
+        println!(
+            "worker pool    : {} threads, {} tasks run, {} steals ({} tasks stolen), \
+             {} parks",
+            pm.threads, pm.tasks, pm.steals, pm.stolen_tasks, pm.parks
+        );
+    }
     println!(
         "model agrees   : {}",
         agreement_verdict(
@@ -550,6 +623,7 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
         "trace-out",
         "metrics",
         "profile",
+        "progress-every",
         "journal",
         "resume",
         "kill-after",
@@ -604,8 +678,15 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
         gap,
         injecting,
     } = farm_scenario_from_args(args)?;
+    let progress_every = progress_every_from_args(args)?;
     let mut trace = TraceOutputs::from_args(args)?;
     let mut prof = profiler_from_args(args);
+    if journal.is_some() || resume.is_some() {
+        // Durable runs heartbeat from inside the journal driver (the tee
+        // never sees their events); drop the CLI-side sink so it cannot
+        // emit a misleading all-zero closing line.
+        trace.progress = None;
+    }
     // `durable_lines` carries the journal/recovery stats printed after the
     // standard report (empty for plain runs).
     let mut durable_lines: Vec<String> = Vec::new();
@@ -614,6 +695,7 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
             fsync: guideline_fsync_policy(&config),
             kill_after,
             snapshot_every: snapshot_every.or_else(|| guideline_snapshot_interval(&config)),
+            progress_every,
         };
         let (report, info) =
             Farm::resume_with(config, bag, &path, opts).map_err(|e| e.to_string())?;
@@ -648,6 +730,7 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
             fsync,
             kill_after,
             snapshot_every: snapshot_every.or_else(|| guideline_snapshot_interval(&config)),
+            progress_every,
         };
         let snap_line = match opts.snapshot_every {
             Some(dt) => format!("snapshots     : every {dt:.2} virtual time -> {path}.snap"),
@@ -721,6 +804,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         "quick",
         "snapshot-every",
         "threads",
+        "progress-every",
     ])?;
     let quick = args.flag("quick");
     let snapshot_every = args.f64_or("snapshot-every", 10.0)?;
@@ -739,6 +823,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         },
         snapshot_every,
         threads: args.usize_or("threads", default_threads())?,
+        progress_every: progress_every_from_args(args)?,
     };
     let out = cs_bench::chaos::run_chaos(&cfg)?;
     println!(
@@ -798,6 +883,7 @@ fn cmd_exp(args: &Args) -> Result<(), String> {
         "trace-out",
         "input",
         "threads",
+        "progress-every",
     ])?;
     let registry = cs_bench::experiments::all();
     if args.flag("list") {
@@ -820,6 +906,7 @@ fn cmd_exp(args: &Args) -> Result<(), String> {
         quick: args.flag("quick"),
         trace_out: args.get("trace-out").map(String::from),
         input: args.get("input").map(String::from),
+        progress_every: progress_every_from_args(args)?,
     };
     if args.flag("all") {
         if opts.trace_out.is_some() {
@@ -837,7 +924,8 @@ fn cmd_exp(args: &Args) -> Result<(), String> {
         // are printed in registry order — bytes identical to serial for
         // any thread count.
         let threads = args.usize_or("threads", default_threads())?;
-        for (exp, result) in cs_bench::harness::run_all_buffered(&opts, threads) {
+        let (entries, pool) = cs_bench::harness::run_all_buffered_metrics(&opts, threads);
+        for (exp, result) in entries {
             // The one header line the shared harness adds over the
             // standalone binaries; everything below it is byte-identical
             // to them.
@@ -847,6 +935,20 @@ fn cmd_exp(args: &Args) -> Result<(), String> {
             std::io::stdout()
                 .write_all(&buf)
                 .map_err(|e| e.to_string())?;
+        }
+        if let Some(pm) = pool {
+            // Worker-pool utilization for the sweep itself, greppable like
+            // the per-experiment summaries — on stderr, because steal
+            // counts are scheduling-dependent and stdout is promised
+            // byte-identical to the serial sweep.
+            cs_obs::RunSummary::new("exp_sweep_pool")
+                .int("threads", pm.threads as u64)
+                .int("tasks", pm.tasks)
+                .int("steals", pm.steals)
+                .int("stolen_tasks", pm.stolen_tasks)
+                .int("parks", pm.parks)
+                .emit_to(&mut std::io::stderr())
+                .ok();
         }
         return Ok(());
     }
@@ -924,8 +1026,23 @@ mod tests {
         probe(LIFE_OPTS, &[]).unwrap();
         probe(&["c", "oracle"], &["c", "oracle"]).unwrap();
         probe(
-            &["trials", "threads", "seed", "trace-out", "metrics"],
-            &["c", "trials", "threads", "seed", "trace-out", "metrics"],
+            &[
+                "trials",
+                "threads",
+                "seed",
+                "trace-out",
+                "metrics",
+                "progress-every",
+            ],
+            &[
+                "c",
+                "trials",
+                "threads",
+                "seed",
+                "trace-out",
+                "metrics",
+                "progress-every",
+            ],
         )
         .unwrap();
         assert!(probe(&["trails"], &["c", "trials", "threads", "seed"])

@@ -10,14 +10,31 @@ use crate::{farm_scenario_from_args, FarmScenario, FARM_SCENARIO_OPTS};
 use cs_apps::{fmt, fmt_opt, Table};
 use cs_now::default_snapshot_path;
 use cs_now::farm::Farm;
-use cs_obs::{analyze_lines, check_text, diff_bench, diff_registries, DiffRow, TraceAnalysis};
+use cs_obs::{
+    analyze_lineage_lines, analyze_lines, check_text, diff_bench, diff_registries, DiffRow,
+    LineageAnalysis, PhaseAttribution, TraceAnalysis,
+};
 use std::path::Path;
 
 const USAGE: &str = "\
 usage:
     cyclesteal obs report <trace.jsonl>
-        Event counts, span timing tree (p50/p90/p99) and per-workstation
-        bank/loss attribution for one trace.
+        Event counts, span timing tree (p50/p90/p99), per-workstation
+        bank/loss attribution, worker-pool counters (when folded into the
+        trace's registry) and — for farm traces — the wall-time phase
+        attribution summary.
+    cyclesteal obs path [--l <lifespan>] [--c <overhead>] <trace.jsonl>
+        Causal makespan analysis of one farm trace: the critical-path
+        chunk chain, the phase attribution table (phases sum to
+        workstations x makespan), the bitwise lost-work reconciliation,
+        and a side-by-side of observed banked work per episode against
+        the paper's expected-work prediction for the scenario's uniform
+        life function (--l, default 150) and overhead (--c, default 2 —
+        pass the values the farm ran with).
+    cyclesteal obs chunks [--top <k>] <trace.jsonl>
+        Per-chunk waterfall for one farm trace: the top-k chunks by
+        service time (default 10) with queue wait, retries and waste,
+        plus straggler and per-fate waste attribution tables.
     cyclesteal obs check [--strict] <trace.jsonl>
         Schema + invariant gate: run bracketing, balanced spans, monotone
         span/progress stamps, bitwise bank reconciliation. Non-zero exit
@@ -58,6 +75,8 @@ usage:
 pub fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("report") => cmd_report(one_path(&args[1..], "obs report")?),
+        Some("path") => cmd_path(&args[1..]),
+        Some("chunks") => cmd_chunks(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
@@ -156,8 +175,316 @@ fn analyze_file(path: &str) -> Result<TraceAnalysis, String> {
     analyze_lines(text.lines()).map_err(|e| format!("{path}: {e}"))
 }
 
+fn lineage_file(path: &str) -> Result<LineageAnalysis, String> {
+    let text = read(path)?;
+    analyze_lineage_lines(text.lines()).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The wall-time phase attribution table shared by `obs path` and
+/// `obs report`: one row per phase, a TOTAL row, and each phase's share
+/// of `workstations × makespan`. The totals sum to the wall by
+/// construction — [`cs_obs::lineage`]'s invariant, re-rendered here.
+fn phase_table(p: &PhaseAttribution) -> Table {
+    let mut table = Table::new(&["phase", "time", "share"]);
+    let wall = p.wall.max(f64::MIN_POSITIVE);
+    for (label, v) in p.rows() {
+        table.row(&[label.to_string(), fmt(v, 2), pct_of(v, wall)]);
+    }
+    table.row(&["TOTAL".to_string(), fmt(p.sum(), 2), pct_of(p.sum(), wall)]);
+    table
+}
+
+fn pct_of(v: f64, of: f64) -> String {
+    format!("{:.1}%", 100.0 * v / of)
+}
+
+/// Renders one chunk as a `[#id ws.. fate]` link for the critical-path
+/// chain line.
+fn chain_link(c: &cs_obs::ChunkRecord) -> String {
+    format!("#{} (ws {}, {})", c.id, c.ws, c.fate.label())
+}
+
+fn cmd_path(rest: &[String]) -> Result<(), String> {
+    let (flags, path) = flags_and_path(rest, "obs path", &["l", "c"])?;
+    let l = parse_flag_f64(&flags, "l", 150.0)?;
+    let c = parse_flag_f64(&flags, "c", 2.0)?;
+    let a = lineage_file(path)?;
+    println!("trace         : {path}");
+    println!(
+        "scenario      : {} workstations, {} tasks, seed {}",
+        a.workstations, a.tasks, a.seed
+    );
+    for w in &a.warnings {
+        println!("WARNING: {w}");
+    }
+    println!(
+        "makespan      : {:.2} ({} chunks, {} episodes, run {})",
+        a.phases.makespan,
+        a.chunks.len(),
+        a.episodes,
+        if a.run_complete { "complete" } else { "torn" }
+    );
+    println!(
+        "wall time     : {:.2} ({} workstations x makespan)",
+        a.phases.wall, a.workstations
+    );
+
+    // The causal chain, earliest hop first: each step either waits on the
+    // same workstation's previous chunk or rides a requeue from another
+    // workstation's loss.
+    println!("critical path : {} hops", a.critical_path.len());
+    let mut chain = Table::new(&[
+        "hop",
+        "chunk",
+        "ws",
+        "dispatched",
+        "resolved",
+        "fate",
+        "queue",
+        "service",
+        "retries",
+    ]);
+    for (hop, &id) in a.critical_path.iter().enumerate() {
+        let c = &a.chunks[id];
+        chain.row(&[
+            hop.to_string(),
+            format!("#{id}"),
+            c.ws.to_string(),
+            fmt(c.dispatched_at, 2),
+            fmt(c.resolved_at, 2),
+            c.fate.label().to_string(),
+            fmt(c.queue_wait, 2),
+            fmt(c.service, 2),
+            c.retries.to_string(),
+        ]);
+    }
+    println!("{}", chain.render());
+    if let Some((first, last)) = a
+        .critical_path
+        .first()
+        .zip(a.critical_path.last())
+        .filter(|(f, l)| f != l)
+    {
+        println!(
+            "chain         : {} -> ... -> {}",
+            chain_link(&a.chunks[*first]),
+            chain_link(&a.chunks[*last])
+        );
+    }
+
+    println!("phase attribution (sums to wall time):");
+    println!("{}", phase_table(&a.phases).render());
+    if let Some(tail) = a.phases.end_game_tail {
+        println!(
+            "end-game tail : {:.2} from the first replica to the end of the run \
+             (informational; contained in the phases above)",
+            tail
+        );
+    }
+
+    // Bitwise loss reconciliation against what the farm itself reported.
+    match a.run_end_lost {
+        Some(lost) => println!(
+            "lost work     : {:.4} reconstructed vs {:.4} in run_end -> bitwise {}",
+            a.lost_work,
+            lost,
+            if a.loss_reconciles() {
+                "IDENTICAL"
+            } else {
+                "MISMATCH"
+            }
+        ),
+        None => println!(
+            "lost work     : {:.4} reconstructed (no run_end in a torn trace)",
+            a.lost_work
+        ),
+    }
+
+    // Side-by-side with the paper's prediction for the scenario's uniform
+    // life function: expected banked work per episode from the guideline
+    // schedule vs what the trace actually banked per episode.
+    let life = cs_life::Uniform::new(l).map_err(|e| format!("--l: {e}"))?;
+    let plan = cs_core::search::best_guideline_schedule(&life, c)
+        .map_err(|e| format!("guideline plan (L={l}, c={c}): {e}"))?;
+    let observed = a.banked / (a.episodes.max(1) as f64);
+    println!(
+        "model         : uniform L = {l}, c = {c} -> expected work/episode {:.4}",
+        plan.expected_work
+    );
+    println!(
+        "observed      : {:.1} banked over {} episodes -> {:.4}/episode ({} of model)",
+        a.banked,
+        a.episodes,
+        observed,
+        pct_of(observed, plan.expected_work.max(f64::MIN_POSITIVE))
+    );
+    if !a.loss_reconciles() {
+        return Err(format!(
+            "{path}: reconstructed lost work does not reconcile bitwise with run_end"
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_chunks(rest: &[String]) -> Result<(), String> {
+    let (flags, path) = flags_and_path(rest, "obs chunks", &["top"])?;
+    let top = parse_flag_f64(&flags, "top", 10.0)? as usize;
+    let a = lineage_file(path)?;
+    println!("trace         : {path}");
+    println!(
+        "scenario      : {} workstations, {} tasks, seed {} ({} chunks)",
+        a.workstations,
+        a.tasks,
+        a.seed,
+        a.chunks.len()
+    );
+    for w in &a.warnings {
+        println!("WARNING: {w}");
+    }
+
+    // Top-k slowest chunks by service time: where the makespan's minutes
+    // actually went.
+    let mut by_service: Vec<&cs_obs::ChunkRecord> = a.chunks.iter().collect();
+    by_service.sort_by(|x, y| {
+        y.service
+            .partial_cmp(&x.service)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(x.id.cmp(&y.id))
+    });
+    let shown = top.min(by_service.len());
+    let mut slow = Table::new(&[
+        "chunk",
+        "ws",
+        "tasks",
+        "dispatched",
+        "queue",
+        "service",
+        "fate",
+        "retries",
+        "banked",
+        "wasted",
+    ]);
+    for c in &by_service[..shown] {
+        slow.row(&[
+            format!("#{}", c.id),
+            c.ws.to_string(),
+            c.tasks.to_string(),
+            fmt(c.dispatched_at, 2),
+            fmt(c.queue_wait, 2),
+            fmt(c.service, 2),
+            c.fate.label().to_string(),
+            c.retries.to_string(),
+            fmt(c.banked, 1),
+            fmt(c.wasted, 1),
+        ]);
+    }
+    println!("top {shown} chunks by service time:\n{}", slow.render());
+
+    // Waste attribution by fate: every chunk lands in exactly one row, so
+    // the work column sums to the total dispatched work.
+    let mut fates: std::collections::BTreeMap<&'static str, (u64, f64, f64, f64)> =
+        std::collections::BTreeMap::new();
+    for c in &a.chunks {
+        let e = fates.entry(c.fate.label()).or_default();
+        e.0 += 1;
+        e.1 += c.work;
+        e.2 += c.banked;
+        e.3 += c.wasted;
+    }
+    let mut waste = Table::new(&["fate", "chunks", "work", "banked", "wasted"]);
+    for (label, (n, work, banked, wasted)) in &fates {
+        waste.row(&[
+            label.to_string(),
+            n.to_string(),
+            fmt(*work, 1),
+            fmt(*banked, 1),
+            fmt(*wasted, 1),
+        ]);
+    }
+    println!("waste attribution by fate:\n{}", waste.render());
+
+    // Stragglers and retries: the chunks that needed more than one try.
+    let stragglers: Vec<&cs_obs::ChunkRecord> = a
+        .chunks
+        .iter()
+        .filter(|ch| ch.retries > 0 || ch.timed_out || ch.replica || ch.winning_replica)
+        .collect();
+    if stragglers.is_empty() {
+        println!("stragglers    : none (no retries, timeouts or replicas)");
+    } else {
+        let mut tbl = Table::new(&["chunk", "ws", "retries", "timed out", "replica", "fate"]);
+        for ch in &stragglers {
+            tbl.row(&[
+                format!("#{}", ch.id),
+                ch.ws.to_string(),
+                ch.retries.to_string(),
+                if ch.timed_out { "yes" } else { "-" }.to_string(),
+                match (ch.winning_replica, ch.replica) {
+                    (true, _) => "won",
+                    (false, true) => "yes",
+                    (false, false) => "-",
+                }
+                .to_string(),
+                ch.fate.label().to_string(),
+            ]);
+        }
+        println!(
+            "stragglers    : {} chunk(s) needed retries, timed out, or raced a replica\n{}",
+            stragglers.len(),
+            tbl.render()
+        );
+    }
+    println!(
+        "totals        : {} requeues, {} replicas, {} dispatch-time crashes",
+        a.requeues, a.replicas, a.dispatch_crashes
+    );
+    Ok(())
+}
+
+/// `--key value` pairs parsed ahead of a lineage subcommand's positional
+/// trace path.
+type ParsedFlags = Vec<(String, String)>;
+
+/// Parses `[--key value ...] <trace>` for the lineage subcommands: only
+/// the listed keys are legal, exactly one positional path is required.
+fn flags_and_path<'a>(
+    rest: &'a [String],
+    what: &str,
+    keys: &[&str],
+) -> Result<(ParsedFlags, &'a str), String> {
+    let mut flags = Vec::new();
+    let mut path: Option<&str> = None;
+    let mut it = rest.iter();
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            flag if flag.starts_with("--") => {
+                let key = &flag[2..];
+                if !keys.contains(&key) {
+                    return Err(format!("{what}: unknown option {flag}\n\n{USAGE}"));
+                }
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("{what}: {flag} needs a value"))?;
+                flags.push((key.to_string(), v.clone()));
+            }
+            p if path.is_none() => path = Some(p),
+            _ => return Err(format!("{what} takes exactly one trace file\n\n{USAGE}")),
+        }
+    }
+    let path = path.ok_or_else(|| format!("{what} takes exactly one trace file\n\n{USAGE}"))?;
+    Ok((flags, path))
+}
+
+fn parse_flag_f64(flags: &ParsedFlags, key: &str, default: f64) -> Result<f64, String> {
+    match flags.iter().rev().find(|(k, _)| k == key) {
+        None => Ok(default),
+        Some((_, v)) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+    }
+}
+
 fn cmd_report(path: &str) -> Result<(), String> {
-    let a = analyze_file(path)?;
+    let text = read(path)?;
+    let a = analyze_lines(text.lines()).map_err(|e| format!("{path}: {e}"))?;
     println!("trace         : {path}");
     println!(
         "events        : {} lines, {} complete runs (schema v{})",
@@ -203,7 +530,60 @@ fn cmd_report(path: &str) -> Result<(), String> {
         }
         println!("span timing tree (wall clock):\n{}", spans.render());
     }
+    if let Some(pool) = pool_table(&a.registry) {
+        println!("worker pool (from the trace's folded registry):\n{pool}");
+    }
+    // Farm traces also get the lineage phase summary; other trace shapes
+    // (episode sims, Monte-Carlo sweeps) simply don't reconstruct.
+    if let Ok(lin) = analyze_lineage_lines(text.lines()) {
+        println!(
+            "phase attribution ({} chunks; run `obs path` for the critical path):\n{}",
+            lin.chunks.len(),
+            phase_table(&lin.phases).render()
+        );
+    }
     Ok(())
+}
+
+/// Renders the `pool.*` scheduling counters when the trace's folded
+/// registry carries them (a pooled run that folded the work-stealing
+/// pool's `PoolMetrics` into its metrics). Returns `None` — and
+/// `obs report` prints nothing — for the common single-threaded trace.
+fn pool_table(reg: &cs_obs::MetricsRegistry) -> Option<String> {
+    let mut rows: Vec<(String, String)> = reg
+        .counters()
+        .filter(|(k, _)| k.starts_with("pool."))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    rows.extend(
+        reg.gauges()
+            .filter(|(k, _)| k.starts_with("pool."))
+            .map(|(k, v)| (k.to_string(), fmt(v, 0))),
+    );
+    rows.extend(
+        reg.histograms()
+            .filter(|(k, _)| k.starts_with("pool."))
+            .map(|(k, h)| {
+                (
+                    k.to_string(),
+                    format!(
+                        "{} samples, mean {}, max {}",
+                        h.count(),
+                        fmt_opt(h.mean(), 2),
+                        fmt_opt(h.max(), 0)
+                    ),
+                )
+            }),
+    );
+    if rows.is_empty() {
+        return None;
+    }
+    rows.sort();
+    let mut table = Table::new(&["pool metric", "value"]);
+    for (k, v) in rows {
+        table.row(&[k, v]);
+    }
+    Some(table.render())
 }
 
 fn cmd_check(rest: &[String]) -> Result<(), String> {
@@ -396,6 +776,48 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("/no/such/trace.jsonl"), "{err}");
+    }
+
+    #[test]
+    fn path_and_chunks_validate_their_flag_grammar() {
+        let to_args = |s: &str| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+        let err = run(&to_args("path")).unwrap_err();
+        assert!(
+            err.contains("obs path takes exactly one trace file"),
+            "{err}"
+        );
+        let err = run(&to_args("path a.jsonl b.jsonl")).unwrap_err();
+        assert!(err.contains("exactly one trace file"), "{err}");
+        let err = run(&to_args("path --lifespans 10 a.jsonl")).unwrap_err();
+        assert!(err.contains("unknown option --lifespans"), "{err}");
+        let err = run(&to_args("path --l a.jsonl")).unwrap_err();
+        assert!(err.contains("exactly one trace file"), "{err}");
+        let err = run(&to_args("path --l nope a.jsonl")).unwrap_err();
+        assert!(err.contains("--l: bad number"), "{err}");
+        let err = run(&to_args("path --l 150 --c 2 /no/such/trace.jsonl")).unwrap_err();
+        assert!(err.contains("/no/such/trace.jsonl"), "{err}");
+        let err = run(&to_args("chunks --top k a.jsonl")).unwrap_err();
+        assert!(err.contains("--top: bad number"), "{err}");
+        let err = run(&to_args("chunks --strict a.jsonl")).unwrap_err();
+        assert!(err.contains("unknown option --strict"), "{err}");
+        let err = run(&to_args("chunks /no/such/trace.jsonl")).unwrap_err();
+        assert!(err.contains("/no/such/trace.jsonl"), "{err}");
+    }
+
+    #[test]
+    fn pool_table_is_presence_keyed() {
+        let mut reg = cs_obs::MetricsRegistry::new();
+        reg.counter_add("farm.dispatches", 3);
+        assert!(pool_table(&reg).is_none(), "no pool rows -> no section");
+        reg.counter_add("pool.tasks", 22);
+        reg.counter_add("pool.steals", 4);
+        reg.gauge_set("pool.threads", 4.0);
+        reg.observe("pool.steal_batch", 2.0);
+        let table = pool_table(&reg).expect("pool rows render");
+        assert!(table.contains("pool.tasks"), "{table}");
+        assert!(table.contains("pool.threads"), "{table}");
+        assert!(table.contains("pool.steal_batch"), "{table}");
+        assert!(!table.contains("farm.dispatches"), "{table}");
     }
 
     #[test]

@@ -80,6 +80,11 @@ pub struct JournalOptions {
     /// resume re-executes only the journal tail after the last snapshot —
     /// O(snapshot interval) instead of O(run length).
     pub snapshot_every: Option<f64>,
+    /// Wall-clock cadence (seconds) for `RUN-PROGRESS` heartbeat lines on
+    /// stderr while the run is in flight; `None` disables them, `Some(0.0)`
+    /// emits one per event step (tests). Heartbeats never touch the journal
+    /// itself, so journaled bytes stay identical with or without them.
+    pub progress_every: Option<f64>,
 }
 
 /// What [`Farm::resume`] did to finish the episode.
@@ -312,6 +317,7 @@ impl Farm {
                 fsync,
                 kill_after: None,
                 snapshot_every,
+                progress_every: None,
             },
         )
     }
@@ -344,6 +350,7 @@ impl Farm {
             opts.snapshot_every,
             &snap_path,
             0.0,
+            opts.progress_every,
         );
         let stats = sink.writer.finish()?;
         Ok((report, stats))
@@ -374,6 +381,7 @@ impl Farm {
             fsync: guideline_fsync_policy(&config),
             kill_after: None,
             snapshot_every: guideline_snapshot_interval(&config),
+            progress_every: None,
         };
         Self::resume_with(config, bag, path, opts)
     }
@@ -455,6 +463,7 @@ impl Farm {
             opts.snapshot_every,
             &snap_path,
             last_snapshot,
+            opts.progress_every,
         );
         if let Some((record, journal_line, replayed)) = sink.diverged {
             return Err(JournalError::Diverged {
@@ -581,6 +590,41 @@ pub struct ReplayState {
     pub episodes: u64,
 }
 
+/// Emits `RUN-PROGRESS` heartbeat lines to stderr at a wall-clock cadence
+/// while a journaled run is in flight. Strictly an observer of the run's
+/// state between steps — the journal bytes and the [`FarmReport`] are
+/// identical with heartbeats on or off.
+struct Heartbeat {
+    every: Option<f64>,
+    last: std::time::Instant,
+}
+
+impl Heartbeat {
+    fn new(every: Option<f64>) -> Self {
+        Self {
+            every,
+            last: std::time::Instant::now(),
+        }
+    }
+
+    fn tick(&mut self, run: &FarmRun, committed: u64) {
+        let Some(every) = self.every else { return };
+        if every > 0.0 && self.last.elapsed().as_secs_f64() < every {
+            return;
+        }
+        self.last = std::time::Instant::now();
+        let lost: f64 = run.states.stats.iter().map(|s| s.lost_work).sum();
+        eprintln!(
+            "RUN-PROGRESS {{\"t\":{},\"records\":{committed},\"banked_tasks\":{},\
+             \"pending_tasks\":{},\"in_flight\":{},\"lost_work\":{lost}}}",
+            run.now,
+            run.eng.banked.len(),
+            run.eng.bag.pending_count(),
+            run.eng.in_flight.len(),
+        );
+    }
+}
+
 /// The journaled-run event loop: step the farm to completion, capturing a
 /// state snapshot whenever virtual time advances `snapshot_every` past the
 /// last one. Snapshots are advisory — a failed write stops snapshotting
@@ -592,7 +636,9 @@ fn drive(
     mut snapshot_every: Option<f64>,
     snap_path: &Path,
     mut last_snapshot: f64,
+    progress_every: Option<f64>,
 ) -> FarmReport {
+    let mut heartbeat = Heartbeat::new(progress_every);
     loop {
         if let Some(dt) = snapshot_every {
             if run.now - last_snapshot >= dt {
@@ -607,6 +653,7 @@ fn drive(
                 }
             }
         }
+        heartbeat.tick(&run, sink.committed());
         if !run.step(sink, prof) {
             break;
         }
@@ -853,6 +900,37 @@ pub(crate) mod tests {
     }
 
     #[test]
+    fn progress_heartbeats_leave_journal_and_report_bit_identical() {
+        let quiet = tmp("hb_quiet");
+        let (base, _) = Farm::new(faulty_config(11), bag())
+            .unwrap()
+            .run_journaled(&quiet)
+            .unwrap();
+        let noisy = tmp("hb_noisy");
+        // `Some(0.0)` emits a heartbeat before every step — the loudest
+        // possible setting; the journal bytes and report must not notice.
+        let opts = JournalOptions {
+            fsync: guideline_fsync_policy(&faulty_config(11)),
+            kill_after: None,
+            snapshot_every: guideline_snapshot_interval(&faulty_config(11)),
+            progress_every: Some(0.0),
+        };
+        let (report, _) = Farm::new(faulty_config(11), bag())
+            .unwrap()
+            .run_journaled_with(&noisy, opts)
+            .unwrap();
+        assert_reports_bitwise_equal(&base, &report);
+        assert_eq!(
+            std::fs::read(&quiet).unwrap(),
+            std::fs::read(&noisy).unwrap()
+        );
+        for p in [&quiet, &noisy] {
+            std::fs::remove_file(default_snapshot_path(p)).ok();
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
     fn resume_rejects_a_foreign_journal() {
         let path = tmp("foreign");
         Farm::new(faulty_config(1), bag())
@@ -911,6 +989,7 @@ pub(crate) mod tests {
             fsync: guideline_fsync_policy(&faulty_config(seed)),
             kill_after: None,
             snapshot_every: Some(2.0),
+            progress_every: None,
         };
         let (report, _) = Farm::new(faulty_config(seed), bag())
             .unwrap()
@@ -1207,6 +1286,7 @@ mod properties {
                 fsync: guideline_fsync_policy(&mk_cfg()),
                 kill_after: None,
                 snapshot_every: Some(snap_every),
+                progress_every: None,
             };
             let (reference, _) = Farm::new(mk_cfg(), mk_bag())
                 .unwrap()

@@ -12,7 +12,10 @@
 //! * [`check_lines`] — the invariant gate behind `obs check`: schema
 //!   validation plus structural checks (run bracketing, monotone span
 //!   timestamps and Monte-Carlo progress, balanced span nesting,
-//!   bitwise bank-sum reconciliation against `run_end`).
+//!   bitwise bank-sum reconciliation against `run_end`, and — for farm
+//!   runs — chunk conservation: every dispatched chunk resolves exactly
+//!   once (bank, reclaim, crash, message loss or straggle) and no bank
+//!   lands without a chunk to account for it).
 //! * [`diff_registries`] / [`diff_bench`] — compare two runs' metrics or
 //!   two `BENCH.json` baselines and flag changes beyond a threshold.
 //!
@@ -354,6 +357,16 @@ fn check_impl<'a>(lines: impl IntoIterator<Item = &'a str>, tolerate_prefix: boo
     let mut workstations = 0u64;
     let mut bank_sums: BTreeMap<u64, f64> = BTreeMap::new();
     let mut last_mc_done: Option<u64> = None;
+    // Chunk-conservation state (farm runs only). The farm emits a chunk's
+    // fate event right after its dispatch, so per workstation at most one
+    // chunk awaits a fate (`open` = its dispatch line) and at most one
+    // straggled chunk awaits a late arrival bank (`straggling`).
+    #[derive(Default)]
+    struct WsLife {
+        open: Option<usize>,
+        straggling: Option<usize>,
+    }
+    let mut ws_life: BTreeMap<u64, WsLife> = BTreeMap::new();
     // Span state.
     let mut spans = SpanState::default();
     let mut open_ids: BTreeMap<u64, usize> = BTreeMap::new(); // id -> start line
@@ -382,6 +395,7 @@ fn check_impl<'a>(lines: impl IntoIterator<Item = &'a str>, tolerate_prefix: boo
                 run_is_farm = workstations > 0;
                 bank_sums.clear();
                 last_mc_done = None;
+                ws_life.clear();
             }
             "run_end" => {
                 if !in_run {
@@ -409,9 +423,27 @@ fn check_impl<'a>(lines: impl IntoIterator<Item = &'a str>, tolerate_prefix: boo
                         } else {
                             s.reconciled_runs += 1;
                         }
+                        // Chunk conservation at the run boundary: a chunk
+                        // still awaiting its fate was neither banked nor
+                        // explicitly lost. (An outstanding straggle lease
+                        // is legal — the run can complete on the requeued
+                        // copy while the late duplicate arrival is still
+                        // in the air.)
+                        for (ws, life) in &ws_life {
+                            if let Some(open_line) = life.open {
+                                violate(
+                                    &mut s,
+                                    format!(
+                                        "line {n}: chunk dispatched to ws {ws} (line \
+                                         {open_line}) never banked or lost by run_end"
+                                    ),
+                                );
+                            }
+                        }
                     }
                 }
                 in_run = false;
+                ws_life.clear();
             }
             "bank" => {
                 let ws = ev.u64("ws").unwrap_or(0);
@@ -428,6 +460,78 @@ fn check_impl<'a>(lines: impl IntoIterator<Item = &'a str>, tolerate_prefix: boo
                         &mut s,
                         format!("line {n}: bank.ws = {ws} out of range (run has {workstations})"),
                     );
+                } else if run_is_farm {
+                    // Conservation: a bank must settle the open chunk or a
+                    // straggler's late arrival; anything else is a second
+                    // bank for work already accounted for.
+                    let life = ws_life.entry(ws).or_default();
+                    if life.open.take().is_none() && life.straggling.take().is_none() {
+                        violate(
+                            &mut s,
+                            format!(
+                                "line {n}: bank on ws {ws} with no dispatched chunk to \
+                                 settle (double bank?)"
+                            ),
+                        );
+                    }
+                }
+            }
+            "dispatch" if run_is_farm => {
+                let ws = ev.u64("ws").unwrap_or(0);
+                let life = ws_life.entry(ws).or_default();
+                if let Some(open_line) = life.open.replace(n) {
+                    violate(
+                        &mut s,
+                        format!(
+                            "line {n}: dispatch on ws {ws} while the chunk from line \
+                             {open_line} is unresolved"
+                        ),
+                    );
+                }
+            }
+            "period_interrupt" if run_is_farm => {
+                let ws = ev.u64("ws").unwrap_or(0);
+                if ws_life.entry(ws).or_default().open.take().is_none() {
+                    violate(
+                        &mut s,
+                        format!("line {n}: period_interrupt on ws {ws} with no open chunk"),
+                    );
+                }
+            }
+            "message_lost" if run_is_farm => {
+                let ws = ev.u64("ws").unwrap_or(0);
+                if ws_life.entry(ws).or_default().open.take().is_none() {
+                    violate(
+                        &mut s,
+                        format!("line {n}: message_lost on ws {ws} with no open chunk"),
+                    );
+                }
+            }
+            "crash" if run_is_farm => {
+                // Legal with or without an open chunk: a crash can strike
+                // mid-compute (killing the chunk) or between chunks.
+                let ws = ev.u64("ws").unwrap_or(0);
+                ws_life.entry(ws).or_default().open.take();
+            }
+            "straggle" if run_is_farm => {
+                let ws = ev.u64("ws").unwrap_or(0);
+                let life = ws_life.entry(ws).or_default();
+                match life.open.take() {
+                    Some(open_line) => {
+                        if let Some(prev) = life.straggling.replace(open_line) {
+                            violate(
+                                &mut s,
+                                format!(
+                                    "line {n}: ws {ws} straggles while the chunk from \
+                                     line {prev} is still in the air"
+                                ),
+                            );
+                        }
+                    }
+                    None => violate(
+                        &mut s,
+                        format!("line {n}: straggle on ws {ws} with no open chunk"),
+                    ),
                 }
             }
             "mc_progress" => {
@@ -722,7 +826,8 @@ mod tests {
     use crate::span::SpanProfiler;
 
     fn farm_like_trace() -> Vec<String> {
-        // A tiny hand-built farm trace: 2 workstations, profiled.
+        // A tiny hand-built farm trace: 2 workstations, profiled,
+        // conservation-clean (every dispatch gets exactly one fate).
         let mut sink = MemorySink::new();
         let mut prof = SpanProfiler::new();
         let run = prof.start("farm.run", &mut sink);
@@ -739,25 +844,34 @@ mod tests {
             time: 0.0,
             kind: EventKind::Dispatch {
                 ws: 0,
-                tasks: 5,
-                work: 5.0,
+                tasks: 3,
+                work: 3.0,
             },
         });
         prof.end(d, &mut sink);
-        for (ws, work) in [(0u64, 3.0f64), (1, 4.0), (0, 2.5)] {
-            sink.emit(&Event {
-                time: 1.0,
-                kind: EventKind::Bank {
-                    ws,
-                    work,
-                    duplicate: 0.0,
-                },
-            });
-        }
+        let dispatch = |time: f64, ws: u64, tasks: u64, work: f64| Event {
+            time,
+            kind: EventKind::Dispatch { ws, tasks, work },
+        };
+        let bank = |time: f64, ws: u64, work: f64| Event {
+            time,
+            kind: EventKind::Bank {
+                ws,
+                work,
+                duplicate: 0.0,
+            },
+        };
+        sink.emit(&bank(1.0, 0, 3.0));
+        // ws1's first chunk is reclaimed mid-compute; its redispatch banks.
+        sink.emit(&dispatch(0.0, 1, 1, 0.5));
         sink.emit(&Event {
             time: 2.0,
             kind: EventKind::PeriodInterrupt { ws: 1, lost: 0.5 },
         });
+        sink.emit(&dispatch(2.0, 1, 4, 4.0));
+        sink.emit(&bank(6.0, 1, 4.0));
+        sink.emit(&dispatch(1.0, 0, 2, 2.5));
+        sink.emit(&bank(3.5, 0, 2.5));
         prof.end(run, &mut sink);
         sink.emit(&Event {
             time: 9.0,
@@ -781,7 +895,8 @@ mod tests {
         assert_eq!(a.per_ws[&0].banks, 2);
         assert_eq!(a.per_ws[&0].banked, 5.5);
         assert_eq!(a.per_ws[&1].lost, 0.5);
-        assert_eq!(a.per_ws[&0].dispatches, 1);
+        assert_eq!(a.per_ws[&0].dispatches, 2);
+        assert_eq!(a.per_ws[&1].dispatches, 2);
         // Span tree: farm.run root with farm.dispatch child.
         let paths: Vec<&str> = a.span_tree.iter().map(|n| n.path.as_str()).collect();
         assert_eq!(paths, vec!["farm.run", "farm.run/farm.dispatch"]);
@@ -838,6 +953,91 @@ mod tests {
             "{:?}",
             s.violations
         );
+    }
+
+    #[test]
+    fn check_catches_conservation_violations() {
+        // A bank with no dispatched chunk to settle.
+        let lines = [
+            r#"{"v":2,"t":0,"type":"run_start","seed":1,"workstations":2,"tasks":4}"#,
+            r#"{"v":2,"t":1,"type":"bank","ws":1,"work":4,"duplicate":0}"#,
+            r#"{"v":2,"t":1,"type":"run_end","banked":4,"lost":0,"drained":true}"#,
+        ];
+        let s = check_lines(lines);
+        assert!(
+            s.violations.iter().any(|v| v.contains("double bank")),
+            "{:?}",
+            s.violations
+        );
+
+        // A dispatched chunk that never resolves before run_end.
+        let lines = [
+            r#"{"v":2,"t":0,"type":"run_start","seed":1,"workstations":1,"tasks":4}"#,
+            r#"{"v":2,"t":0,"type":"dispatch","ws":0,"tasks":4,"work":4}"#,
+            r#"{"v":2,"t":1,"type":"run_end","banked":0,"lost":0,"drained":false}"#,
+        ];
+        let s = check_lines(lines);
+        assert!(
+            s.violations
+                .iter()
+                .any(|v| v.contains("never banked or lost")),
+            "{:?}",
+            s.violations
+        );
+
+        // Two dispatches with the first chunk unresolved.
+        let lines = [
+            r#"{"v":2,"t":0,"type":"run_start","seed":1,"workstations":1,"tasks":4}"#,
+            r#"{"v":2,"t":0,"type":"dispatch","ws":0,"tasks":2,"work":2}"#,
+            r#"{"v":2,"t":2,"type":"dispatch","ws":0,"tasks":2,"work":2}"#,
+            r#"{"v":2,"t":4,"type":"bank","ws":0,"work":4,"duplicate":0}"#,
+            r#"{"v":2,"t":4,"type":"run_end","banked":4,"lost":0,"drained":true}"#,
+        ];
+        let s = check_lines(lines);
+        assert!(
+            s.violations.iter().any(|v| v.contains("unresolved")),
+            "{:?}",
+            s.violations
+        );
+
+        // A reclaim with nothing in flight.
+        let lines = [
+            r#"{"v":2,"t":0,"type":"run_start","seed":1,"workstations":1,"tasks":4}"#,
+            r#"{"v":2,"t":1,"type":"period_interrupt","ws":0,"lost":1}"#,
+            r#"{"v":2,"t":2,"type":"run_end","banked":0,"lost":1,"drained":false}"#,
+        ];
+        let s = check_lines(lines);
+        assert!(
+            s.violations.iter().any(|v| v.contains("no open chunk")),
+            "{:?}",
+            s.violations
+        );
+    }
+
+    #[test]
+    fn check_allows_legal_fates_and_stragglers() {
+        // Crash between chunks, message loss, a straggler whose late bank
+        // lands, and a reclaim — all conservation-legal.
+        let lines = [
+            r#"{"v":2,"t":0,"type":"run_start","seed":1,"workstations":3,"tasks":9}"#,
+            // ws0: message lost, then redispatch banks.
+            r#"{"v":2,"t":0,"type":"dispatch","ws":0,"tasks":3,"work":3}"#,
+            r#"{"v":2,"t":0,"type":"message_lost","ws":0}"#,
+            r#"{"v":2,"t":2,"type":"lease_timeout","ws":0,"lease":0}"#,
+            r#"{"v":2,"t":2,"type":"requeue","ws":0,"tasks":3}"#,
+            r#"{"v":2,"t":3,"type":"dispatch","ws":0,"tasks":3,"work":3}"#,
+            r#"{"v":2,"t":6,"type":"bank","ws":0,"work":3,"duplicate":0}"#,
+            // ws1: straggles, late arrival banks.
+            r#"{"v":2,"t":0,"type":"dispatch","ws":1,"tasks":3,"work":6}"#,
+            r#"{"v":2,"t":0,"type":"straggle","ws":1}"#,
+            r#"{"v":2,"t":6,"type":"bank","ws":1,"work":6,"duplicate":0}"#,
+            // ws2: dispatch-time crash (no open chunk) is legal.
+            r#"{"v":2,"t":1,"type":"crash","ws":2}"#,
+            r#"{"v":2,"t":7,"type":"run_end","banked":9,"lost":0,"drained":true}"#,
+        ];
+        let s = check_lines(lines);
+        assert!(s.ok(), "{:?}", s.violations);
+        assert_eq!(s.reconciled_runs, 1);
     }
 
     #[test]
@@ -944,13 +1144,15 @@ mod tests {
         let text = concat!(
             r#"{"v":2,"t":0,"type":"run_start","seed":1,"workstations":1,"tasks":4}"#,
             "\n",
+            r#"{"v":2,"t":0,"type":"dispatch","ws":0,"tasks":2,"work":2}"#,
+            "\n",
             r#"{"v":2,"t":1,"type":"bank","ws":0,"work":2,"duplicate":0}"#,
             "\n",
             r#"{"v":2,"t":3,"ty"#,
         );
         let s = check_text(text, false);
         assert!(s.ok(), "lenient mode must pass: {:?}", s.violations);
-        assert_eq!(s.lines, 2);
+        assert_eq!(s.lines, 3);
         let warn = s.torn_tail.expect("torn tail reported");
         assert!(warn.contains("torn final record"), "{warn}");
         // The open run is expected in a torn prefix, not a violation.

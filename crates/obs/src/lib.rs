@@ -27,8 +27,17 @@
 //!   wall-clock spans recorded as `span_ns.*` histograms and emitted as
 //!   v2 `span_start`/`span_end` events.
 //! * [`analyze`] — the **trace analyzer** behind `cyclesteal obs`:
-//!   [`analyze_lines`] (report), [`check_lines`] (invariant gate) and
+//!   [`analyze_lines`] (report), [`check_lines`] (invariant gate,
+//!   including chunk conservation for farm traces) and
 //!   [`diff_registries`]/[`diff_bench`] (regression flagging).
+//! * [`lineage`] — **causal chunk lineage**: [`analyze_lineage_lines`]
+//!   replays a farm trace into per-chunk waterfall records, a wall-time
+//!   phase attribution that sums to `workstations × makespan`, a bitwise
+//!   lost-work reconciliation and the makespan critical path (behind
+//!   `cyclesteal obs path` / `obs chunks`).
+//! * [`flight`] — **live telemetry**: [`FlightRecorder`] (bounded
+//!   drop-oldest ring with dump-on-demand/panic) and [`ProgressSink`]
+//!   (wall-clock-cadenced `RUN-PROGRESS` heartbeat lines).
 //! * [`summary`] — the shared `RUN-SUMMARY` JSON emitter for `exp_*`
 //!   binaries.
 //!
@@ -43,8 +52,10 @@
 
 pub mod analyze;
 pub mod event;
+pub mod flight;
 pub mod journal;
 pub mod json;
+pub mod lineage;
 pub mod metrics;
 pub mod schema;
 pub mod sink;
@@ -56,10 +67,14 @@ pub use analyze::{
     TraceAnalysis,
 };
 pub use event::{Event, EventKind, ALL_KINDS, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
+pub use flight::{FlightRecorder, ProgressSink};
 pub use journal::{
     read_journal, FsyncPolicy, JournalContents, JournalReadError, JournalStats, JournalWriter,
 };
 pub use json::{parse_json, Json};
+pub use lineage::{
+    analyze_lineage_lines, ChunkFate, ChunkRecord, LineageAnalysis, PhaseAttribution,
+};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use schema::{validate_line, ValidatedEvent};
 pub use sink::{EventSink, JsonlSink, MemorySink, MetricsSink, NoopSink, TeeSink};

@@ -104,6 +104,10 @@ pub struct JsonlSink {
     buffer: Vec<Event>,
     lines: u64,
     error: Option<std::io::Error>,
+    /// Live-tail mode: render *and flush to the OS* every this many
+    /// events instead of batching [`JSONL_BATCH`] (see
+    /// [`JsonlSink::flush_every`]).
+    flush_every: Option<u64>,
 }
 
 /// Render-and-write batch size: bounds `JsonlSink` memory while keeping
@@ -123,7 +127,20 @@ impl JsonlSink {
             buffer: Vec::new(),
             lines: 0,
             error: None,
+            flush_every: None,
         }
+    }
+
+    /// Switches the sink into live-tail mode: render and flush to the OS
+    /// every `every` events (min 1) instead of batching 4096 at a time,
+    /// so `tail -f` on the trace file sees lines promptly. The rendered
+    /// byte stream is identical to batched mode — only flush timing
+    /// changes. The CLI enables this automatically when a heartbeat
+    /// (`--progress-every`) is active: a run being watched live should
+    /// have a watchable trace.
+    pub fn flush_every(mut self, every: u64) -> Self {
+        self.flush_every = Some(every.max(1));
+        self
     }
 
     /// Lines successfully rendered and handed to the writer so far
@@ -187,8 +204,17 @@ impl EventSink for JsonlSink {
             return;
         }
         self.buffer.push(*event);
-        if self.buffer.len() >= JSONL_BATCH {
-            self.render_buffer();
+        match self.flush_every {
+            Some(every) => {
+                if self.buffer.len() as u64 >= every {
+                    self.flush_sink();
+                }
+            }
+            None => {
+                if self.buffer.len() >= JSONL_BATCH {
+                    self.render_buffer();
+                }
+            }
         }
     }
 
@@ -516,6 +542,28 @@ mod tests {
         let eager = ev(EventKind::Crash { ws: 2 }).to_jsonl() + "\n";
         assert_eq!(std::fs::read_to_string(&path).unwrap(), eager);
         s.emit(&ev(EventKind::Requeue { ws: 2, tasks: 4 }));
+        assert_eq!(s.finish().unwrap(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_flush_every_makes_lines_promptly_visible() {
+        let path = std::env::temp_dir().join("cs_obs_sink_live_test.jsonl");
+        let mut s = JsonlSink::create(&path).unwrap().flush_every(1);
+        s.emit(&ev(EventKind::Crash { ws: 2 }));
+        // Live-tail mode: the line is on disk without any explicit flush,
+        // far below the 4096-event batch that would otherwise gate it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "{text:?}");
+        s.emit(&ev(EventKind::Requeue { ws: 2, tasks: 4 }));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text:?}");
+        // Byte stream identical to batched mode.
+        let eager = ev(EventKind::Crash { ws: 2 }).to_jsonl()
+            + "\n"
+            + &ev(EventKind::Requeue { ws: 2, tasks: 4 }).to_jsonl()
+            + "\n";
+        assert_eq!(text, eager);
         assert_eq!(s.finish().unwrap(), 2);
         std::fs::remove_file(&path).ok();
     }

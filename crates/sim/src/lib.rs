@@ -33,8 +33,8 @@ pub mod stats;
 pub use episode::{run_episode, run_episode_observed, run_episode_tasks, EpisodeOutcome};
 pub use montecarlo::{
     simulate_expected_work, simulate_expected_work_observed, simulate_expected_work_parallel,
-    simulate_expected_work_parallel_observed, simulate_expected_work_parallel_profiled,
-    simulate_expected_work_profiled, MonteCarlo,
+    simulate_expected_work_parallel_metrics, simulate_expected_work_parallel_observed,
+    simulate_expected_work_parallel_profiled, simulate_expected_work_profiled, MonteCarlo,
 };
 pub use policy::{
     run_policy_episode, ChunkPolicy, FixedSchedulePolicy, FixedSizePolicy, GreedyPolicy,

@@ -270,6 +270,7 @@ pub fn simulate_expected_work_parallel_observed<S: EventSink>(
         sink,
         &mut SpanProfiler::disabled(),
     )
+    .0
 }
 
 /// [`simulate_expected_work_parallel_observed`] plus span profiling: each
@@ -292,6 +293,25 @@ pub fn simulate_expected_work_parallel_profiled<S: EventSink>(
     sink: S,
     prof: &mut SpanProfiler,
 ) -> MonteCarlo {
+    parallel_inner(schedule, p, c, trials, seed, threads, sink, prof).0
+}
+
+/// [`simulate_expected_work_parallel_profiled`] that also hands back the
+/// work-stealing pool's scheduling snapshot (`None` when the run fell
+/// back to the serial path), so callers can surface worker utilization —
+/// tasks, steals, batch sizes, parks — without re-deriving it. The
+/// [`MonteCarlo`] result stays bit-identical to every other entry point.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_expected_work_parallel_metrics<S: EventSink>(
+    schedule: &Schedule,
+    p: &dyn LifeFunction,
+    c: f64,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+    sink: S,
+    prof: &mut SpanProfiler,
+) -> (MonteCarlo, Option<cs_pool::PoolMetrics>) {
     parallel_inner(schedule, p, c, trials, seed, threads, sink, prof)
 }
 
@@ -315,10 +335,10 @@ fn parallel_inner<S: EventSink>(
     threads: usize,
     mut sink: S,
     prof: &mut SpanProfiler,
-) -> MonteCarlo {
+) -> (MonteCarlo, Option<cs_pool::PoolMetrics>) {
     let threads = threads.max(1);
     if threads == 1 || trials < 2 {
-        return serial_inner(schedule, p, c, trials, seed, sink, prof);
+        return (serial_inner(schedule, p, c, trials, seed, sink, prof), None);
     }
     sink.emit(&Event {
         time: 0.0,
@@ -459,7 +479,7 @@ fn parallel_inner<S: EventSink>(
             drained: false,
         },
     });
-    mc
+    (mc, Some(pm))
 }
 
 #[cfg(test)]

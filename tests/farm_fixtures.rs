@@ -152,6 +152,7 @@ fn run_and_check(tag: &str, config: FarmConfig, bag: TaskBag, snapshot_every: Op
         fsync: guideline_fsync_policy(&config),
         kill_after: None,
         snapshot_every,
+        progress_every: None,
     };
     let (report, _stats) = Farm::new(config, bag)
         .unwrap()
