@@ -22,14 +22,24 @@
 //! the `exp_chaos` experiment and the `cyclesteal chaos` CI step.
 //! Everything is seeded and virtual-time: no sleeps, no real signals,
 //! fully reproducible.
+//!
+//! With [`ChaosConfig::disk_faults`] on, every kill point runs a second
+//! resume through a seeded [`cs_obs::FaultyVfs`], cycling all five
+//! injectable fault kinds (failed/short writes, fsync errors, rename
+//! failures, ENOSPC) and both [`cs_now::IoErrorPolicy`] modes. The
+//! contract per trial: either the resume completes with a **bitwise**
+//! report (clean or degraded), or it fails with the **typed, predicted**
+//! injected error — and in every case whatever the faulty disk left
+//! behind must still recover bitwise under a clean filesystem.
 
 use cs_life::{ArcLife, Uniform};
 use cs_now::farm::{Farm, FarmConfig, FarmReport, PolicySpec, WorkstationConfig};
 use cs_now::faults::FaultPlan;
 use cs_now::{
-    default_snapshot_path, guideline_fsync_policy, inspect_snapshot, JournalOptions,
-    SnapshotErrorKind, SnapshotOutcome,
+    default_snapshot_path, guideline_fsync_policy, inspect_snapshot, IoErrorPolicy, JournalError,
+    JournalOptions, SnapshotErrorKind, SnapshotOutcome,
 };
+use cs_obs::{injected_kind, FaultAt, FaultKind, FaultyVfs, ALL_FAULT_KINDS};
 use cs_tasks::{workloads, TaskBag};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -60,6 +70,12 @@ pub struct ChaosConfig {
     /// trials themselves stay quiet — hundreds of short resumes
     /// heartbeating concurrently would be noise, not telemetry.
     pub progress_every: Option<f64>,
+    /// Run a second, disk-faulted resume at every kill point: a seeded
+    /// [`FaultyVfs`] injects one planned fault (kind cycling through
+    /// [`ALL_FAULT_KINDS`], policy alternating fail-stop/degrade) and the
+    /// trial demands a bitwise report or the typed injected error — plus
+    /// bitwise recovery under a clean filesystem afterwards.
+    pub disk_faults: bool,
 }
 
 impl Default for ChaosConfig {
@@ -73,6 +89,7 @@ impl Default for ChaosConfig {
             snapshot_every: 10.0,
             threads: 1,
             progress_every: None,
+            disk_faults: false,
         }
     }
 }
@@ -94,6 +111,17 @@ pub struct ChaosOutcome {
     pub snapshot_fallbacks: usize,
     /// Resumes whose report and stitched journal matched exactly.
     pub resumed_ok: usize,
+    /// Disk-faulted resumes run (one per kill point when
+    /// [`ChaosConfig::disk_faults`] is on).
+    pub disk_fault_trials: usize,
+    /// Distinct injected fault kinds that actually fired, sorted.
+    pub fault_kinds_fired: Vec<FaultKind>,
+    /// Disk-faulted resumes that completed degraded (in-memory) with a
+    /// bitwise report.
+    pub degraded_completions: usize,
+    /// Disk-faulted resumes that fail-stopped with the typed injected
+    /// error and recovered bitwise afterwards.
+    pub fail_stop_errors: usize,
     /// Every deviation found (empty = kill-anywhere guarantee holds).
     pub mismatches: Vec<String>,
 }
@@ -179,7 +207,146 @@ struct TrialOutcome {
     snapshot_resume: bool,
     snapshot_fallback: bool,
     resumed_ok: bool,
+    disk_trial: bool,
+    fault_fired: Option<FaultKind>,
+    degraded_completion: bool,
+    fail_stop_error: bool,
     mismatches: Vec<String>,
+}
+
+/// The disk-faulted resume at one kill point: re-stage the truncated
+/// journal (`staged.0`) and the intact sidecar (`staged.1`, when the
+/// reference run wrote one), then resume through a [`FaultyVfs`] whose
+/// one planned fault cycles kind with the trial index and whose
+/// [`IoErrorPolicy`] alternates by parity. The contract: the resume
+/// either completes with a report bitwise equal to `reference.0` (clean
+/// or degraded), or fails with exactly the injected error — and whatever
+/// the faulty disk left behind must then recover bitwise under a clean
+/// filesystem.
+fn run_disk_trial(
+    cfg: &ChaosConfig,
+    trial: usize,
+    k: usize,
+    staged: (&[u8], Option<&[u8]>),
+    reference: (&FarmReport, &[u8]),
+    t: &mut TrialOutcome,
+) {
+    let (prefix, snap_bytes) = staged;
+    let (ref_report, ref_bytes) = reference;
+    let trial_path = scratch_path(&format!("trial_{}_{trial}", cfg.seed));
+    let trial_snap = default_snapshot_path(&trial_path);
+    t.disk_trial = true;
+    let kind = ALL_FAULT_KINDS[trial % ALL_FAULT_KINDS.len()];
+    let index = (trial / ALL_FAULT_KINDS.len()) as u64 % 3;
+    let policy = if trial % 2 == 0 {
+        IoErrorPolicy::FailStop
+    } else {
+        IoErrorPolicy::Degrade
+    };
+    let label = format!("disk trial after {k} records ({kind} at op {index}, {policy})");
+    std::fs::remove_file(&trial_snap).ok();
+    let restage = std::fs::write(&trial_path, prefix).and_then(|()| match snap_bytes {
+        Some(bytes) => std::fs::write(&trial_snap, bytes),
+        None => Ok(()),
+    });
+    if let Err(e) = restage {
+        t.mismatches.push(format!("{label}: restage failed: {e}"));
+        return;
+    }
+    let fsync = guideline_fsync_policy(&chaos_farm_config(cfg));
+    let vfs = FaultyVfs::with_plan(&[FaultAt { kind, index }]);
+    let disk_opts = JournalOptions {
+        fsync,
+        snapshot_every: Some(cfg.snapshot_every),
+        on_io_error: policy,
+        ..Default::default()
+    };
+    let result = Farm::resume_vfs(
+        chaos_farm_config(cfg),
+        chaos_bag(cfg),
+        &trial_path,
+        disk_opts,
+        &vfs,
+    );
+    t.fault_fired = vfs.fired().first().copied();
+    let mut check_clean_recovery = false;
+    match result {
+        Ok((report, info)) => {
+            if let Some(d) = report_diff(ref_report, &report) {
+                t.mismatches.push(format!("{label}: report differs: {d}"));
+            }
+            if info.degraded {
+                t.degraded_completion = true;
+                check_clean_recovery = true;
+                // Journaling stopped at the fault, but every byte that did
+                // land must be a prefix of the reference stream.
+                match std::fs::read(&trial_path) {
+                    Ok(bytes) if !ref_bytes.starts_with(&bytes) => t.mismatches.push(format!(
+                        "{label}: degraded journal is not a prefix of the reference stream"
+                    )),
+                    Err(e) => t
+                        .mismatches
+                        .push(format!("{label}: degraded journal unreadable: {e}")),
+                    _ => {}
+                }
+            } else {
+                // The fault missed the journal stream (or hit only the
+                // advisory snapshot path): the stitched journal must
+                // still be byte-exact.
+                match std::fs::read(&trial_path) {
+                    Ok(bytes) if bytes != ref_bytes => t
+                        .mismatches
+                        .push(format!("{label}: stitched journal differs")),
+                    Err(e) => t.mismatches.push(format!("{label}: reread failed: {e}")),
+                    _ => {}
+                }
+            }
+        }
+        Err(JournalError::Io(io)) if injected_kind(&io) == Some(kind) => {
+            t.fail_stop_error = true;
+            check_clean_recovery = true;
+        }
+        Err(e) => {
+            t.mismatches.push(format!(
+                "{label}: expected the injected {kind} error, got: {e}"
+            ));
+            check_clean_recovery = true;
+        }
+    }
+    if check_clean_recovery {
+        // Whatever the faulty disk left behind must still recover exactly
+        // once the filesystem behaves.
+        let clean_opts = JournalOptions {
+            fsync,
+            snapshot_every: Some(cfg.snapshot_every),
+            ..Default::default()
+        };
+        match Farm::resume_with(
+            chaos_farm_config(cfg),
+            chaos_bag(cfg),
+            &trial_path,
+            clean_opts,
+        ) {
+            Ok((report, _info)) => {
+                if let Some(d) = report_diff(ref_report, &report) {
+                    t.mismatches
+                        .push(format!("{label}: clean re-resume report differs: {d}"));
+                }
+                match std::fs::read(&trial_path) {
+                    Ok(bytes) if bytes != ref_bytes => t
+                        .mismatches
+                        .push(format!("{label}: clean re-resume journal differs")),
+                    Err(e) => t
+                        .mismatches
+                        .push(format!("{label}: clean re-resume reread failed: {e}")),
+                    _ => {}
+                }
+            }
+            Err(e) => t
+                .mismatches
+                .push(format!("{label}: clean re-resume failed: {e}")),
+        }
+    }
 }
 
 /// Runs one full chaos sweep: reference journaled run, then kill + resume
@@ -191,9 +358,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
     let config = chaos_farm_config(cfg);
     let opts = JournalOptions {
         fsync: guideline_fsync_policy(&config),
-        kill_after: None,
         snapshot_every: Some(cfg.snapshot_every),
         progress_every: cfg.progress_every,
+        ..Default::default()
     };
     let farm = Farm::new(config, chaos_bag(cfg)).map_err(|e| e.to_string())?;
     let (ref_report, _stats) = farm
@@ -294,9 +461,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
         }
         let trial_opts = JournalOptions {
             fsync,
-            kill_after: None,
             snapshot_every: Some(cfg.snapshot_every),
-            progress_every: None,
+            ..Default::default()
         };
         match Farm::resume_with(
             chaos_farm_config(cfg),
@@ -385,8 +551,15 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
                 .mismatches
                 .push(format!("kill after {k} records: resume failed: {e}")),
         }
+        if cfg.disk_faults {
+            let staged = (prefix.as_slice(), snap_bytes.as_deref());
+            run_disk_trial(cfg, trial, k, staged, (&ref_report, &ref_bytes), &mut t);
+        }
         std::fs::remove_file(&trial_path).ok();
         std::fs::remove_file(&trial_snap).ok();
+        let mut snap_tmp = trial_snap.into_os_string();
+        snap_tmp.push(".tmp");
+        std::fs::remove_file(PathBuf::from(snap_tmp)).ok();
         t
     };
     let outcomes: Vec<TrialOutcome> = if cfg.threads > 1 {
@@ -397,14 +570,20 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
     };
     // Merge in kill-point order: counters and mismatch strings come out
     // identical to the serial sweep regardless of scheduling.
+    let mut kinds = std::collections::BTreeSet::new();
     for t in outcomes {
         out.torn_trials += usize::from(t.torn);
         out.corrupt_trials += usize::from(t.corrupt);
         out.snapshot_resumes += usize::from(t.snapshot_resume);
         out.snapshot_fallbacks += usize::from(t.snapshot_fallback);
         out.resumed_ok += usize::from(t.resumed_ok);
+        out.disk_fault_trials += usize::from(t.disk_trial);
+        out.degraded_completions += usize::from(t.degraded_completion);
+        out.fail_stop_errors += usize::from(t.fail_stop_error);
+        kinds.extend(t.fault_fired);
         out.mismatches.extend(t.mismatches);
     }
+    out.fault_kinds_fired = kinds.into_iter().collect();
     out.kill_points = kill_points.len();
     std::fs::remove_file(&ref_path).ok();
     std::fs::remove_file(&ref_snap).ok();
@@ -461,6 +640,27 @@ mod tests {
         assert_eq!(serial.snapshot_fallbacks, pooled.snapshot_fallbacks);
         assert_eq!(serial.resumed_ok, pooled.resumed_ok);
         assert_eq!(serial.mismatches, pooled.mismatches);
+    }
+
+    #[test]
+    fn disk_faulted_sweep_holds_the_contract_across_all_fault_kinds() {
+        let cfg = ChaosConfig {
+            workstations: 2,
+            tasks: 25,
+            seed: 101,
+            intensity: 0.8,
+            sample: None,
+            disk_faults: true,
+            ..Default::default()
+        };
+        let out = run_chaos(&cfg).unwrap();
+        assert!(out.ok(), "mismatches: {:#?}", out.mismatches);
+        assert_eq!(out.disk_fault_trials, out.kill_points);
+        // The exhaustive sweep must exercise every injectable fault kind,
+        // both completion modes, and the fail-stop error path.
+        assert_eq!(out.fault_kinds_fired, ALL_FAULT_KINDS.to_vec(), "{out:?}");
+        assert!(out.degraded_completions >= 1, "{out:?}");
+        assert!(out.fail_stop_errors >= 1, "{out:?}");
     }
 
     #[test]

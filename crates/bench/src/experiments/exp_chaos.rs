@@ -17,6 +17,12 @@
 //!    snapshot outruns the truncated journal), corrupted → graceful
 //!    full-redo fallback, absent → plain redo.
 //!
+//! Disk-faulted scenarios additionally resume each kill point through a
+//! seeded `FaultyVfs` (failed/short writes, fsync errors, rename
+//! failures, ENOSPC, cycling fail-stop and degrade policies) and demand a
+//! bitwise report or the typed injected error, plus bitwise recovery
+//! under a clean filesystem afterwards.
+//!
 //! Any deviation fails the experiment — this is the CI tripwire behind the
 //! durability layer, not a statistical study. See `cs_bench::chaos` for
 //! the harness and DESIGN.md for the recovery-by-deterministic-redo
@@ -53,6 +59,7 @@ impl Experiment for Exp {
                 seed: 99,
                 intensity: 0.8,
                 sample: ctx.budget(None, Some(16)),
+                disk_faults: true,
                 ..Default::default()
             },
             ChaosConfig {
@@ -61,6 +68,7 @@ impl Experiment for Exp {
                 seed: 4242,
                 intensity: 0.6,
                 sample: ctx.budget(Some(64), Some(12)),
+                disk_faults: true,
                 ..Default::default()
             },
             ChaosConfig {
@@ -93,6 +101,7 @@ impl Experiment for Exp {
             "torn",
             "snap",
             "fallback",
+            "dfaults",
             "exact",
         ]);
         let mut failures = Vec::new();
@@ -107,6 +116,11 @@ impl Experiment for Exp {
                 out.torn_trials.to_string(),
                 out.snapshot_resumes.to_string(),
                 out.snapshot_fallbacks.to_string(),
+                if cfg.disk_faults {
+                    format!("{}k/{}", out.fault_kinds_fired.len(), out.disk_fault_trials)
+                } else {
+                    "-".to_string()
+                },
                 format!("{}/{}", out.resumed_ok, out.kill_points),
             ]);
             if !out.ok() {
@@ -125,6 +139,10 @@ impl Experiment for Exp {
                     .int("snapshot_resumes", out.snapshot_resumes as u64)
                     .int("snapshot_fallbacks", out.snapshot_fallbacks as u64)
                     .int("resumed_ok", out.resumed_ok as u64)
+                    .int("disk_fault_trials", out.disk_fault_trials as u64)
+                    .int("fault_kinds_fired", out.fault_kinds_fired.len() as u64)
+                    .int("degraded_completions", out.degraded_completions as u64)
+                    .int("fail_stop_errors", out.fail_stop_errors as u64)
                     .int("mismatches", out.mismatches.len() as u64)
                     .emit_to(ctx.out)
                     .map_err(|e| e.to_string())?;

@@ -25,6 +25,7 @@ use cs_now::{
     default_snapshot_path, guideline_fsync_policy, guideline_snapshot_interval, JournalOptions,
     SnapshotOutcome,
 };
+use cs_now::{ring_snapshot_path, segment_meta_path};
 use cs_obs::{check_lines, Event, EventSink, MemorySink, MetricsRegistry, SpanProfiler};
 use cs_sim::{simulate_expected_work_parallel_profiled, simulate_expected_work_profiled};
 use cs_tasks::{workloads, TaskBag};
@@ -217,11 +218,10 @@ fn time_resume(
     let (config, bag) = recovery_farm(tasks)?;
     let opts = JournalOptions {
         fsync: guideline_fsync_policy(&config),
-        kill_after: None,
         // Writing fresh sidecars during the timed replay would charge
         // snapshot *production* to recovery; measure restoration only.
         snapshot_every: None,
-        progress_every: None,
+        ..Default::default()
     };
     let start = Instant::now();
     let (_report, info) =
@@ -266,9 +266,8 @@ fn recovery_pair(
     let (config, bag) = recovery_farm(tasks)?;
     let opts = JournalOptions {
         fsync: guideline_fsync_policy(&config),
-        kill_after: None,
         snapshot_every: guideline_snapshot_interval(&config),
-        progress_every: None,
+        ..Default::default()
     };
     Farm::new(config, bag)
         .map_err(|e| e.to_string())?
@@ -282,6 +281,71 @@ fn recovery_pair(
     let redo = time_resume(id_redo, tasks, &path, false);
     std::fs::remove_file(&path).ok();
     Ok((fast?, redo?))
+}
+
+/// Times resuming a ring-snapshotted, GC-truncated journal (the
+/// bounded-disk durability row): the reference run keeps three snapshot
+/// generations and prunes the journal prefix the oldest one covers, so
+/// recovery restores the newest generation and replays only the
+/// surviving segment tail. Wall time should track `recovery_snapshot_*`
+/// — the ring walk and segment stitching must not make bounded-disk
+/// recovery meaningfully slower than single-sidecar recovery.
+fn ring_scenario(tasks: usize) -> Result<ScenarioResult, String> {
+    let id = "recovery_ring";
+    let path = std::env::temp_dir().join(format!(
+        "cs_bench_ring_{tasks}_{}.jsonl",
+        std::process::id()
+    ));
+    let (config, bag) = recovery_farm(tasks)?;
+    let opts = JournalOptions {
+        fsync: guideline_fsync_policy(&config),
+        snapshot_every: guideline_snapshot_interval(&config),
+        snapshot_ring: 3,
+        gc: true,
+        ..Default::default()
+    };
+    let (_report, stats) = Farm::new(config, bag)
+        .map_err(|e| e.to_string())?
+        .run_journaled_with(&path, opts)
+        .map_err(|e| format!("{id}: reference journaled run: {e}"))?;
+    if stats.gc_truncated_records == 0 {
+        return Err(format!(
+            "{id}: reference run never GC'd the journal ({} snapshots written)",
+            stats.snapshots_written
+        ));
+    }
+    let (config, bag) = recovery_farm(tasks)?;
+    let resume_opts = JournalOptions {
+        fsync: guideline_fsync_policy(&config),
+        snapshot_every: None,
+        snapshot_ring: 3,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let (_report, info) =
+        Farm::resume_with(config, bag, &path, resume_opts).map_err(|e| format!("{id}: {e}"))?;
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(segment_meta_path(&path)).ok();
+    for g in 0..3 {
+        std::fs::remove_file(ring_snapshot_path(&path, g)).ok();
+    }
+    if !matches!(info.snapshot, SnapshotOutcome::Used { .. }) || info.segment_base == 0 {
+        return Err(format!(
+            "{id}: expected a generation restore over a GC'd segment, got {:?} \
+             (segment base {})",
+            info.snapshot, info.segment_base
+        ));
+    }
+    Ok(ScenarioResult {
+        id,
+        wall_ns,
+        events_per_sec: per_sec(info.records_replayed, wall_ns),
+        mc_trials_per_sec: None,
+        speedup: None,
+        efficiency: None,
+        spans: Vec::new(),
+    })
 }
 
 /// Times [`check_lines`] over a recorded trace (the analyzer is itself a
@@ -401,6 +465,10 @@ pub fn run_profile(opts: ProfileOptions) -> Result<Vec<ScenarioResult>, String> 
         out.push(fast);
         out.push(redo);
     }
+    // Bounded-disk recovery: a three-generation ring with journal GC; the
+    // medium run length keeps the scenario comparable to
+    // recovery_snapshot_medium.
+    out.push(ring_scenario(recovery[1].0)?);
     Ok(out)
 }
 
@@ -565,6 +633,7 @@ mod tests {
                 "recovery_redo_medium",
                 "recovery_snapshot_long",
                 "recovery_redo_long",
+                "recovery_ring",
             ]
         );
         for r in &results {

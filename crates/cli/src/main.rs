@@ -22,9 +22,10 @@ use cs_life::LifeFunction;
 use cs_now::farm::{Farm, FarmConfig, PolicySpec, WorkstationConfig};
 use cs_now::faults::FaultPlan;
 use cs_now::{
-    guideline_fsync_policy, guideline_snapshot_interval, JournalOptions, SnapshotOutcome,
+    guideline_fsync_policy, guideline_snapshot_interval, IoErrorPolicy, JournalOptions,
+    SnapshotOutcome,
 };
-use cs_obs::{JsonlSink, MetricsSink, ProgressSink, SpanProfiler, TeeSink};
+use cs_obs::{JsonlSink, MetricsSink, ProgressSink, RunSummary, SpanProfiler, TeeSink};
 use cs_scenarios::{LifeSpec, PolicyParseError, LIFE_OPTS};
 use cs_tasks::{workloads, TaskBag};
 use cs_trace::{estimate::estimate_life, fit::fit_all, owner::DiurnalOwner};
@@ -81,6 +82,19 @@ COMMANDS:
                --snapshot-every <dt>    state-snapshot cadence in virtual
                                         time (needs --journal or --resume;
                                         default: the saves guideline)
+               --snapshot-ring <n>      keep n snapshot generations
+                                        (<file>.snap.0..n-1) instead of one
+                                        sidecar (needs --journal/--resume;
+                                        default 1 = legacy <file>.snap)
+               --journal-gc             prune journal records the oldest
+                                        retained generation makes redundant
+                                        (bounded disk; needs
+                                        --snapshot-ring >= 2)
+               --on-io-error <policy>   fail-stop (default: any journal I/O
+                                        error aborts with a non-zero exit)
+                                        or degrade (finish the run in-memory
+                                        with a warning and a flagged
+                                        RUN-SUMMARY)
                --progress-every <s>     RUN-PROGRESS heartbeats on stderr
                                         (journaled runs heartbeat from the
                                         journal driver; pass-through either
@@ -97,6 +111,13 @@ COMMANDS:
                --snapshot-every <dt>    reference-run snapshot cadence in
                                         virtual time (default 10)
                --quick                  small farm + sampled kills (CI smoke)
+               --disk-faults            additionally resume each kill point
+                                        through a seeded faulty filesystem
+                                        (failed/short writes, fsync errors,
+                                        rename failures, ENOSPC; fail-stop
+                                        and degrade policies) and demand a
+                                        bitwise report or the typed injected
+                                        error
                --threads <n>            run kill/resume trials on the
                                         work-stealing pool (default: available
                                         parallelism; 1 = serial, identical
@@ -145,6 +166,10 @@ COMMANDS:
                                         what-if: restore <file>.snap under a
                                         (possibly perturbed) fault plan and
                                         run the rest of the episode
+               replay ... --generation <g>
+                                        pin --to/--fork to ring generation
+                                        <file>.snap.<g> instead of the
+                                        newest usable snapshot
     help       Show this message.
 ";
 
@@ -628,6 +653,9 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
         "resume",
         "kill-after",
         "snapshot-every",
+        "snapshot-ring",
+        "journal-gc",
+        "on-io-error",
     ]);
     args.check_known(&allowed)?;
     let journal = args.get("journal").map(String::from);
@@ -649,6 +677,33 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
             Some(dt)
         }
     };
+    let snapshot_ring = match args.get("snapshot-ring") {
+        None => 1u32,
+        Some(_) => {
+            let n = args.u64_or("snapshot-ring", 1)?;
+            if !(1..=64).contains(&n) {
+                return Err("--snapshot-ring: ring size must be between 1 and 64".into());
+            }
+            n as u32
+        }
+    };
+    let journal_gc = args.flag("journal-gc");
+    if journal_gc && snapshot_ring < 2 {
+        return Err(
+            "--journal-gc needs --snapshot-ring >= 2 (pruning the journal prefix is only \
+             safe with at least one older generation retained)"
+                .into(),
+        );
+    }
+    let on_io_error = match args.get("on-io-error") {
+        None | Some("fail-stop") => IoErrorPolicy::FailStop,
+        Some("degrade") => IoErrorPolicy::Degrade,
+        Some(other) => {
+            return Err(format!(
+                "--on-io-error: unknown policy {other:?} (expected fail-stop or degrade)"
+            ))
+        }
+    };
     if journal.is_some() || resume.is_some() {
         // Journaled runs must replay deterministically on resume; the span
         // profiler stamps wall-clock events and the tee sinks would observe
@@ -666,6 +721,12 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
         return Err("--kill-after needs --journal or --resume".into());
     } else if snapshot_every.is_some() {
         return Err("--snapshot-every needs --journal or --resume".into());
+    } else if args.get("snapshot-ring").is_some() {
+        return Err("--snapshot-ring needs --journal or --resume".into());
+    } else if journal_gc {
+        return Err("--journal-gc needs --journal or --resume".into());
+    } else if args.get("on-io-error").is_some() {
+        return Err("--on-io-error needs --journal or --resume".into());
     }
     let FarmScenario {
         config,
@@ -696,18 +757,49 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
             kill_after,
             snapshot_every: snapshot_every.or_else(|| guideline_snapshot_interval(&config)),
             progress_every,
+            snapshot_ring,
+            gc: journal_gc,
+            on_io_error,
         };
         let (report, info) =
             Farm::resume_with(config, bag, &path, opts).map_err(|e| e.to_string())?;
+        let mut summary = RunSummary::new("farm_resume")
+            .int("records_replayed", info.records_replayed)
+            .int("records_appended", info.records_appended)
+            .int("segment_base", info.segment_base)
+            .flag("degraded", info.degraded);
         match info.snapshot {
-            SnapshotOutcome::Used { records_skipped } => durable_lines.push(format!(
-                "snapshot      : restored {path}.snap, {records_skipped} records skipped"
-            )),
-            SnapshotOutcome::Fallback(kind) => eprintln!(
-                "warning: snapshot {path}.snap unusable ({kind}); \
-                 falling back to full redo replay"
-            ),
-            SnapshotOutcome::None => {}
+            SnapshotOutcome::Used { records_skipped } => {
+                let sidecar = match info.generation {
+                    Some(g) => format!("{path}.snap.{g} (generation {g})"),
+                    None => format!("{path}.snap"),
+                };
+                durable_lines.push(format!(
+                    "snapshot      : restored {sidecar}, {records_skipped} records skipped"
+                ));
+                summary = summary
+                    .text("snapshot", "used")
+                    .int("records_skipped", records_skipped);
+                if let Some(g) = info.generation {
+                    summary = summary.int("generation", u64::from(g));
+                }
+            }
+            SnapshotOutcome::Fallback(kind) => {
+                eprintln!(
+                    "warning: snapshot {path}.snap unusable ({kind}); \
+                     falling back to full redo replay"
+                );
+                summary = summary.text("snapshot", &format!("fallback:{kind}"));
+            }
+            SnapshotOutcome::None => {
+                summary = summary.text("snapshot", "none");
+            }
+        }
+        if info.segment_base > 0 {
+            durable_lines.push(format!(
+                "journal gc    : {} records pruned before the journal's first surviving line",
+                info.segment_base
+            ));
         }
         durable_lines.push(format!(
             "resumed       : {} records replayed, {} appended -> {path}",
@@ -719,6 +811,13 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
                 info.torn_bytes_discarded
             ));
         }
+        if info.degraded {
+            durable_lines.push(
+                "degraded      : journal I/O failed mid-run; results completed in-memory only"
+                    .to_string(),
+            );
+        }
+        durable_lines.push(format!("RUN-SUMMARY {}", summary.to_json()));
         report
     } else if let Some(path) = journal {
         let fsync = guideline_fsync_policy(&config);
@@ -731,8 +830,17 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
             kill_after,
             snapshot_every: snapshot_every.or_else(|| guideline_snapshot_interval(&config)),
             progress_every,
+            snapshot_ring,
+            gc: journal_gc,
+            on_io_error,
         };
         let snap_line = match opts.snapshot_every {
+            Some(dt) if snapshot_ring > 1 => format!(
+                "snapshots     : every {dt:.2} virtual time -> {path}.snap.0..{} \
+                 ({snapshot_ring}-generation ring{})",
+                snapshot_ring - 1,
+                if journal_gc { ", journal gc" } else { "" }
+            ),
             Some(dt) => format!("snapshots     : every {dt:.2} virtual time -> {path}.snap"),
             None => "snapshots     : disabled (fsync-every-record farms)".to_string(),
         };
@@ -745,6 +853,27 @@ fn cmd_farm(args: &Args) -> Result<(), String> {
             stats.records, stats.syncs
         ));
         durable_lines.push(snap_line);
+        if stats.gc_truncated_records > 0 {
+            durable_lines.push(format!(
+                "journal gc    : {} records / {} bytes pruned from the journal prefix",
+                stats.gc_truncated_records, stats.gc_truncated_bytes
+            ));
+        }
+        if stats.degraded {
+            durable_lines.push(
+                "degraded      : journal I/O failed mid-run; results completed in-memory only"
+                    .to_string(),
+            );
+        }
+        let summary = RunSummary::new("farm_journal")
+            .int("records", stats.records)
+            .int("syncs", stats.syncs)
+            .int("snapshots_written", stats.snapshots_written)
+            .int("ring", u64::from(snapshot_ring))
+            .int("gc_truncated_records", stats.gc_truncated_records)
+            .int("gc_truncated_bytes", stats.gc_truncated_bytes)
+            .flag("degraded", stats.degraded);
+        durable_lines.push(format!("RUN-SUMMARY {}", summary.to_json()));
         report
     } else {
         let mut tee = trace.tee();
@@ -805,6 +934,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         "snapshot-every",
         "threads",
         "progress-every",
+        "disk-faults",
     ])?;
     let quick = args.flag("quick");
     let snapshot_every = args.f64_or("snapshot-every", 10.0)?;
@@ -824,6 +954,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         snapshot_every,
         threads: args.usize_or("threads", default_threads())?,
         progress_every: progress_every_from_args(args)?,
+        disk_faults: args.flag("disk-faults"),
     };
     let out = cs_bench::chaos::run_chaos(&cfg)?;
     println!(
@@ -850,6 +981,27 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         "snapshots     : {} fast-path resumes, {} graceful fallbacks to full redo",
         out.snapshot_resumes, out.snapshot_fallbacks
     );
+    if cfg.disk_faults {
+        let kinds: Vec<String> = out
+            .fault_kinds_fired
+            .iter()
+            .map(|k| k.to_string())
+            .collect();
+        println!(
+            "disk faults   : {} faulted resumes; fired kinds: {}",
+            out.disk_fault_trials,
+            if kinds.is_empty() {
+                "none".to_string()
+            } else {
+                kinds.join(", ")
+            }
+        );
+        println!(
+            "io policies   : {} degraded completions (bitwise, in-memory), \
+             {} fail-stop errors (typed, recovered bitwise)",
+            out.degraded_completions, out.fail_stop_errors
+        );
+    }
     println!("exact resumes : {}", out.resumed_ok);
     for m in &out.mismatches {
         println!("MISMATCH: {m}");
@@ -1002,6 +1154,27 @@ mod tests {
         }
         let err = cmd_farm(&farm_args("farm --kill-after 5")).unwrap_err();
         assert!(err.contains("needs --journal or --resume"), "{err}");
+    }
+
+    #[test]
+    fn farm_validates_the_ring_and_io_policy_flags() {
+        for opt in [
+            "--snapshot-ring 3",
+            "--snapshot-ring 2 --journal-gc",
+            "--on-io-error degrade",
+        ] {
+            let err = cmd_farm(&farm_args(&format!("farm {opt}"))).unwrap_err();
+            assert!(err.contains("needs --journal or --resume"), "{err}");
+        }
+        let err = cmd_farm(&farm_args("farm --journal a.jsonl --snapshot-ring 0")).unwrap_err();
+        assert!(err.contains("between 1 and 64"), "{err}");
+        let err = cmd_farm(&farm_args("farm --journal a.jsonl --snapshot-ring 65")).unwrap_err();
+        assert!(err.contains("between 1 and 64"), "{err}");
+        let err = cmd_farm(&farm_args("farm --journal a.jsonl --journal-gc")).unwrap_err();
+        assert!(err.contains("--snapshot-ring >= 2"), "{err}");
+        let err =
+            cmd_farm(&farm_args("farm --journal a.jsonl --on-io-error sometimes")).unwrap_err();
+        assert!(err.contains("expected fail-stop or degrade"), "{err}");
     }
 
     #[test]

@@ -8,8 +8,8 @@
 use crate::args::Args;
 use crate::{farm_scenario_from_args, FarmScenario, FARM_SCENARIO_OPTS};
 use cs_apps::{fmt, fmt_opt, Table};
-use cs_now::default_snapshot_path;
 use cs_now::farm::Farm;
+use cs_now::{default_snapshot_path, ring_snapshot_path};
 use cs_obs::{
     analyze_lineage_lines, analyze_lines, check_text, diff_bench, diff_registries, DiffRow,
     LineageAnalysis, PhaseAttribution, TraceAnalysis,
@@ -67,7 +67,12 @@ usage:
         under the scenario the flags describe. Pass the original flags to
         reproduce the recorded outcome bitwise; perturb the fault flags
         (--faults, --loss, --slowdown, --crash) to ask what the same
-        mid-run state would have done under different conditions.";
+        mid-run state would have done under different conditions.
+        Both replay forms accept --generation <g> to pin the snapshot to
+        ring generation <file>.snap.<g> (runs journaled with
+        --snapshot-ring) instead of the newest usable snapshot; a
+        GC-truncated journal replays from a retained generation
+        automatically.";
 
 /// Entry point: `args` is everything after the `obs` token. Returns
 /// `Err` (non-zero exit) on usage errors, check violations, and flagged
@@ -92,7 +97,7 @@ fn cmd_replay(rest: &[String]) -> Result<(), String> {
         ));
     }
     let mut allowed: Vec<&str> = FARM_SCENARIO_OPTS.to_vec();
-    allowed.extend_from_slice(&["journal", "to", "fork"]);
+    allowed.extend_from_slice(&["journal", "to", "fork", "generation"]);
     args.check_known(&allowed)?;
     let journal = args.require("journal")?.to_string();
     let fork = args.flag("fork");
@@ -105,6 +110,16 @@ fn cmd_replay(rest: &[String]) -> Result<(), String> {
             "obs replay needs exactly one of --to <record> or --fork\n\n{USAGE}"
         ));
     }
+    let generation = match args.get("generation") {
+        None => None,
+        Some(_) => {
+            let g = args.u64_or("generation", 0)?;
+            if g >= 64 {
+                return Err("obs replay: --generation must be between 0 and 63".to_string());
+            }
+            Some(g as u32)
+        }
+    };
     let FarmScenario {
         config,
         bag,
@@ -112,7 +127,7 @@ fn cmd_replay(rest: &[String]) -> Result<(), String> {
         ..
     } = farm_scenario_from_args(&args)?;
     if let Some(to) = to {
-        let state = Farm::replay_to(config, bag, Path::new(&journal), to)
+        let state = Farm::replay_to_from(config, bag, Path::new(&journal), to, generation)
             .map_err(|e| format!("obs replay: {e}"))?;
         println!(
             "journal       : {journal} ({} records)",
@@ -133,14 +148,24 @@ fn cmd_replay(rest: &[String]) -> Result<(), String> {
             state.completed_work, state.lost_work
         );
     } else {
-        let snap = default_snapshot_path(Path::new(&journal));
+        let snap = match generation {
+            Some(g) => ring_snapshot_path(Path::new(&journal), g),
+            None => default_snapshot_path(Path::new(&journal)),
+        };
         let (report, meta) =
             Farm::fork_from_snapshot(config, &snap).map_err(|e| format!("obs replay: {e}"))?;
-        println!(
-            "fork point    : {} (virtual time {:.2})",
-            snap.display(),
-            meta.virtual_time
-        );
+        match generation {
+            Some(g) => println!(
+                "fork point    : {} (generation {g}, virtual time {:.2})",
+                snap.display(),
+                meta.virtual_time
+            ),
+            None => println!(
+                "fork point    : {} (virtual time {:.2})",
+                snap.display(),
+                meta.virtual_time
+            ),
+        }
         println!(
             "snapshot      : seed {}, {} workstations, {} tasks, {} journal records",
             meta.seed, meta.workstations, meta.tasks, meta.journal_records
@@ -840,6 +865,15 @@ mod tests {
         assert!(err.contains("did you mean --tasks?"), "{err}");
         // A well-formed invocation over a missing journal is a clean error.
         let err = run(&to_args("replay --journal /no/such/j.jsonl --to 3")).unwrap_err();
+        assert!(err.contains("obs replay"), "{err}");
+        // --generation is range-checked against the ring-scan cap.
+        let err = run(&to_args("replay --journal j.jsonl --fork --generation 64")).unwrap_err();
+        assert!(err.contains("between 0 and 63"), "{err}");
+        // A pinned generation over a missing sidecar is a clean error too.
+        let err = run(&to_args(
+            "replay --journal /no/such/j.jsonl --fork --generation 2",
+        ))
+        .unwrap_err();
         assert!(err.contains("obs replay"), "{err}");
     }
 

@@ -42,7 +42,16 @@
 //!   when the sidecar is missing or damaged
 //!   ([`snapshot::SnapshotOutcome`]). A snapshot is also a time-travel
 //!   fork point ([`farm::Farm::fork_from_snapshot`],
-//!   [`farm::Farm::replay_to`]).
+//!   [`farm::Farm::replay_to`]). **Bounded disk**: snapshots can rotate
+//!   through an N-generation ring ([`JournalOptions::snapshot_ring`])
+//!   with journal-prefix GC ([`JournalOptions::gc`]) pruning records the
+//!   oldest retained generation makes redundant — disk usage is then
+//!   bounded by the ring plus one snapshot interval of journal,
+//!   independent of run length. All durable I/O goes through an
+//!   injectable filesystem ([`cs_obs::vfs`]), and
+//!   [`JournalOptions::on_io_error`] picks the failure policy:
+//!   fail-stop (typed [`JournalError::Io`]) or degrade (finish
+//!   in-memory with [`DurableStats::degraded`] set).
 //!
 //! Every master action can be traced through [`cs_obs`]: run the simulator
 //! via [`farm::Farm::run_observed`] with any [`cs_obs::EventSink`] to get a
@@ -68,11 +77,11 @@ pub use farm::{
 };
 pub use faults::{BeliefDrift, FaultPlan, FaultPlanError, ResilienceConfig};
 pub use journal::{
-    guideline_fsync_policy, guideline_snapshot_interval, JournalError, JournalOptions,
-    RecoveryInfo, ReplayState,
+    guideline_fsync_policy, guideline_snapshot_interval, DurableStats, IoErrorPolicy, JournalError,
+    JournalOptions, RecoveryInfo, ReplayState,
 };
 pub use replicate::{replicate_farm, ReplicationReport};
 pub use snapshot::{
-    default_snapshot_path, inspect_snapshot, SnapshotError, SnapshotErrorKind, SnapshotMeta,
-    SnapshotOutcome,
+    default_snapshot_path, inspect_snapshot, ring_snapshot_path, segment_meta_path, SegmentMeta,
+    SnapshotError, SnapshotErrorKind, SnapshotMeta, SnapshotOutcome,
 };

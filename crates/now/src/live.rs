@@ -73,6 +73,16 @@ struct WorkerTally {
     panics: u64,
 }
 
+/// The master's shared state: the bag plus the number of checked-out
+/// chunks not yet banked, requeued, or abandoned. "Drained" means the
+/// bag is empty **and** nothing is in flight — an in-flight chunk can
+/// still come back (reclaim kill, worker panic), so a worker seeing an
+/// empty bag must not retire while one is outstanding.
+struct LiveState {
+    bag: TaskBag,
+    in_flight: usize,
+}
+
 /// Runs one episode per worker concurrently over the shared bag.
 ///
 /// `time_scale` converts virtual time units to wall time (e.g. `50 µs` per
@@ -92,6 +102,13 @@ pub fn run_live(bag: &mut TaskBag, workers: &[LiveWorker], time_scale: Duration)
 /// and the panic is tallied in [`LiveOutcome::worker_panics`]. A panic
 /// never propagates to the master thread. (`parking_lot` mutexes don't
 /// poison, so the shared bag stays usable by design.)
+///
+/// Workers retire on an empty bag only once nothing is in flight: a
+/// checked-out chunk can still be requeued (panic) or abandoned
+/// (reclaim kill), so a worker seeing an empty bag idles within its
+/// current period until the last outstanding chunk resolves — the
+/// requeued work stays claimable by survivors instead of racing their
+/// shutdown.
 pub fn run_live_with(
     bag: &mut TaskBag,
     workers: &[LiveWorker],
@@ -99,7 +116,10 @@ pub fn run_live_with(
     exec: &(dyn Fn(&Task) + Sync),
 ) -> LiveOutcome {
     let start = Instant::now();
-    let shared = Mutex::new(std::mem::take(bag));
+    let shared = Mutex::new(LiveState {
+        bag: std::mem::take(bag),
+        in_flight: 0,
+    });
     let scale = |v: f64| time_scale.mul_f64(v.max(0.0));
     let outcomes: Vec<WorkerTally> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = workers
@@ -117,13 +137,34 @@ pub fn run_live_with(
                             break 'episode;
                         }
                         let chunk = {
-                            let mut bag = shared.lock();
-                            cs_tasks::pack_chunk(&mut bag, t, w.c)
+                            let mut s = shared.lock();
+                            let chunk = cs_tasks::pack_chunk(&mut s.bag, t, w.c);
+                            if !chunk.is_empty() {
+                                s.in_flight += 1;
+                            }
+                            chunk
                         };
                         if chunk.is_empty() {
-                            let drained = shared.lock().is_drained();
-                            if drained {
-                                break 'episode;
+                            // Nothing to pack. Retire only when the run is
+                            // truly drained: an empty bag with a chunk still
+                            // in flight can refill (a reclaim kill or worker
+                            // panic requeues the chunk), so idle within this
+                            // period until work reappears or the last
+                            // outstanding chunk resolves.
+                            loop {
+                                {
+                                    let s = shared.lock();
+                                    if !s.bag.is_drained() {
+                                        break;
+                                    }
+                                    if s.in_flight == 0 {
+                                        break 'episode;
+                                    }
+                                }
+                                if Instant::now() >= deadline {
+                                    break 'episode;
+                                }
+                                std::thread::sleep(Duration::from_micros(50));
                             }
                             continue;
                         }
@@ -135,19 +176,25 @@ pub fn run_live_with(
                                 // destroyed nor delivered, so requeue it and
                                 // retire this worker.
                                 tally.panics += 1;
-                                shared.lock().requeue(chunk);
+                                let mut s = shared.lock();
+                                s.bag.requeue(chunk);
+                                s.in_flight -= 1;
                                 break 'episode;
                             }
                             if Instant::now() >= deadline {
                                 tally.lost += chunk.total_duration();
                                 tally.chunks_lost += 1;
-                                shared.lock().abandon(chunk);
+                                let mut s = shared.lock();
+                                s.bag.abandon(chunk);
+                                s.in_flight -= 1;
                                 break 'episode;
                             }
                         }
                         tally.completed += chunk.total_duration();
                         tally.tasks += chunk.len() as u64;
-                        shared.lock().complete(chunk);
+                        let mut s = shared.lock();
+                        s.bag.complete(chunk);
+                        s.in_flight -= 1;
                     }
                     tally
                 })
@@ -168,7 +215,7 @@ pub fn run_live_with(
             .collect()
     })
     .expect("scope panicked");
-    *bag = shared.into_inner();
+    *bag = shared.into_inner().bag;
     let mut out = LiveOutcome {
         wall: start.elapsed(),
         ..Default::default()

@@ -54,6 +54,7 @@ use crate::farm::{
     BankedSet, Engine, Event, EventKind, Farm, FarmConfig, FarmReport, FarmRun, Lease, LeaseTable,
     WorkstationState, WorkstationStats, WsTable,
 };
+use cs_obs::vfs::{StdVfs, Vfs};
 use cs_obs::{NoopSink, SpanId, SpanProfiler};
 use cs_tasks::{Chunk, Task, TaskBag, TaskBagState};
 use rand::rngs::StdRng;
@@ -82,6 +83,32 @@ pub(crate) fn fnv1a64(mut hash: u64, bytes: &[u8]) -> u64 {
 pub fn default_snapshot_path(journal: &Path) -> PathBuf {
     let mut name = journal.as_os_str().to_os_string();
     name.push(".snap");
+    PathBuf::from(name)
+}
+
+/// The sidecar path of ring generation `g`: `<journal>.snap.<g>`. A
+/// snapshot ring of size N cycles generations `0..N`; ring size 1 uses
+/// the legacy un-numbered [`default_snapshot_path`].
+pub fn ring_snapshot_path(journal: &Path, generation: u32) -> PathBuf {
+    let mut name = journal.as_os_str().to_os_string();
+    name.push(format!(".snap.{generation}"));
+    PathBuf::from(name)
+}
+
+/// The segment-metadata path for a journal: `<journal>.seg`. Present only
+/// after journal-prefix GC has rotated the journal into a segment; records
+/// how many records were truncated and the running hash at the cut.
+pub fn segment_meta_path(journal: &Path) -> PathBuf {
+    let mut name = journal.as_os_str().to_os_string();
+    name.push(".seg");
+    PathBuf::from(name)
+}
+
+/// The temp path a given sidecar/segment file is staged at before its
+/// atomic rename (`<path>.tmp`).
+pub(crate) fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".tmp");
     PathBuf::from(name)
 }
 
@@ -872,24 +899,195 @@ impl FarmSnapshot {
     /// Writes the snapshot atomically: temp file in the same directory,
     /// fsync, rename over the destination. A crash mid-write leaves either
     /// the old snapshot or the new one, never a torn file.
+    #[cfg(test)]
     pub(crate) fn write_atomic(&self, path: &Path) -> Result<(), SnapshotError> {
-        use std::io::Write;
-        let mut tmp = path.as_os_str().to_os_string();
-        tmp.push(".tmp");
-        let tmp = PathBuf::from(tmp);
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(self.encode().as_bytes())?;
-            f.sync_data()?;
-        }
-        std::fs::rename(&tmp, path)?;
-        Ok(())
+        self.write_atomic_with(&StdVfs, path)
+    }
+
+    /// Writes the snapshot atomically (temp file, fsync, rename) through
+    /// an injectable [`Vfs`]; every write, fsync and rename error surfaces
+    /// as a typed [`SnapshotError::Io`].
+    pub(crate) fn write_atomic_with(
+        &self,
+        vfs: &dyn Vfs,
+        path: &Path,
+    ) -> Result<(), SnapshotError> {
+        write_atomic_bytes(vfs, path, self.encode().as_bytes())
     }
 
     /// Reads and fully validates a sidecar file.
     pub(crate) fn load(path: &Path) -> Result<Self, SnapshotError> {
-        let text = std::fs::read_to_string(path)?;
+        Self::load_with(&StdVfs, path)
+    }
+
+    /// [`FarmSnapshot::load`] through an injectable [`Vfs`].
+    pub(crate) fn load_with(vfs: &dyn Vfs, path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = vfs.read(path)?;
+        let text = String::from_utf8(bytes).map_err(|_| SnapshotError::Malformed {
+            line: 0,
+            reason: "snapshot is not UTF-8".into(),
+        })?;
         Self::decode(&text)
+    }
+}
+
+/// Stages `bytes` at `<path>.tmp`, fsyncs, then renames over `path`. The
+/// shared atomic-publish primitive for snapshot sidecars and segment
+/// metadata.
+pub(crate) fn write_atomic_bytes(
+    vfs: &dyn Vfs,
+    path: &Path,
+    bytes: &[u8],
+) -> Result<(), SnapshotError> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = vfs.create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    vfs.rename(&tmp, path)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Segment metadata: the journal's GC cut point
+// ---------------------------------------------------------------------------
+
+/// Version banner of the segment-metadata sidecar.
+pub const SEGMENT_VERSION: &str = "cs-now-segment v1";
+
+/// Where a GC'd journal *segment* starts in the full record stream.
+///
+/// After journal-prefix GC the journal file no longer begins at record 1:
+/// the records a retained snapshot makes redundant have been truncated,
+/// and this tiny checksummed sidecar (`<journal>.seg`, see
+/// [`segment_meta_path`]) records the cut — how many records were
+/// dropped, the running journal FNV hash at the cut (so ring generations
+/// still bind by hash extension), and the hash of the segment's first
+/// surviving record line (so a stale sidecar from a crash between the two
+/// GC renames is *detected*, never silently trusted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Records truncated before the segment (the absolute index of the
+    /// segment's first record).
+    pub base_records: u64,
+    /// Running FNV-1a 64 journal hash over the truncated prefix (each
+    /// record line plus `\n`), i.e. the hash a snapshot at the cut binds
+    /// to.
+    pub base_hash: u64,
+    /// FNV-1a 64 (from the standard offset basis) of the segment's first
+    /// record line plus `\n`, or `None` when the segment was empty at the
+    /// cut.
+    pub first_record_hash: Option<u64>,
+}
+
+impl SegmentMeta {
+    /// Serializes to the versioned, checksummed line format.
+    pub(crate) fn encode(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str(SEGMENT_VERSION);
+        s.push('\n');
+        s.push_str(&format!(
+            "base records {} hash {:016x}\n",
+            self.base_records, self.base_hash
+        ));
+        match self.first_record_hash {
+            Some(h) => s.push_str(&format!("first {h:016x}\n")),
+            None => s.push_str("first -\n"),
+        }
+        let checksum = fnv1a64(FNV_OFFSET, s.as_bytes());
+        s.push_str(&format!("checksum {checksum:016x}\n"));
+        s
+    }
+
+    /// Parses and integrity-checks the line format.
+    pub(crate) fn decode(text: &str) -> Result<Self, SnapshotError> {
+        let body_end = match text.rfind("\nchecksum ") {
+            Some(i) => i + 1,
+            None => {
+                return Err(SnapshotError::Malformed {
+                    line: text.lines().count() as u64,
+                    reason: "missing trailing checksum line".into(),
+                })
+            }
+        };
+        let expected = text[body_end..]
+            .trim_end()
+            .strip_prefix("checksum ")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| SnapshotError::Malformed {
+                line: text.lines().count() as u64,
+                reason: "unparsable checksum line".into(),
+            })?;
+        let found = fnv1a64(FNV_OFFSET, &text.as_bytes()[..body_end]);
+        if expected != found {
+            return Err(SnapshotError::Checksum { expected, found });
+        }
+        let mut cur = Cursor::new(&text[..body_end]);
+        let banner = cur.next()?;
+        if banner != SEGMENT_VERSION {
+            return Err(SnapshotError::Version {
+                found: banner.chars().take(40).collect(),
+            });
+        }
+        let mut b = cur.fields(&["base records", "hash"])?;
+        let (base_records, base_hash) = (p_u64(&mut b)?, p_hex(&mut b)?);
+        let first_line = cur.next()?;
+        let first_tok = first_line
+            .strip_prefix("first ")
+            .ok_or_else(|| cur.malformed("expected a \"first\" line"))?;
+        let first_record_hash = match first_tok.trim() {
+            "-" => None,
+            h => Some(
+                u64::from_str_radix(h, 16).map_err(|_| cur.malformed("bad first-record hash"))?,
+            ),
+        };
+        Ok(SegmentMeta {
+            base_records,
+            base_hash,
+            first_record_hash,
+        })
+    }
+
+    /// Atomically publishes the metadata at `path`.
+    pub(crate) fn store(&self, vfs: &dyn Vfs, path: &Path) -> Result<(), SnapshotError> {
+        write_atomic_bytes(vfs, path, self.encode().as_bytes())
+    }
+
+    /// Loads and validates the metadata at `path`.
+    pub(crate) fn load(vfs: &dyn Vfs, path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = vfs.read(path)?;
+        let text = String::from_utf8(bytes).map_err(|_| SnapshotError::Malformed {
+            line: 0,
+            reason: "segment metadata is not UTF-8".into(),
+        })?;
+        Self::decode(&text)
+    }
+
+    /// True when `record` (the segment's actual first line, without the
+    /// newline) matches the recorded first-record hash — the staleness
+    /// check that detects a crash between the journal rename and the
+    /// metadata rename.
+    pub(crate) fn matches_first(&self, record: Option<&str>) -> bool {
+        match (self.first_record_hash, record) {
+            (None, None) => true,
+            (Some(expected), Some(line)) => {
+                let h = fnv1a64(fnv1a64(FNV_OFFSET, line.as_bytes()), b"\n");
+                h == expected
+            }
+            _ => false,
+        }
+    }
+
+    /// Builds the metadata for a cut at `base_records`/`base_hash` with
+    /// the given first surviving record line (if any).
+    pub(crate) fn for_cut(base_records: u64, base_hash: u64, first_record: Option<&str>) -> Self {
+        SegmentMeta {
+            base_records,
+            base_hash,
+            first_record_hash: first_record
+                .map(|line| fnv1a64(fnv1a64(FNV_OFFSET, line.as_bytes()), b"\n")),
+        }
     }
 }
 
@@ -1263,6 +1461,48 @@ mod tests {
         assert_eq!(meta.tasks, 90);
         assert_eq!(meta.journal_records, 29);
         assert!(meta.virtual_time >= 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn segment_meta_roundtrips_and_rejects_corruption() {
+        for first in [Some("{\"v\":2,\"t\":3.5,\"type\":\"bank\"}"), None] {
+            let meta = SegmentMeta::for_cut(42, 0xDEAD_BEEF_CAFE, first);
+            let decoded = SegmentMeta::decode(&meta.encode()).unwrap();
+            assert_eq!(decoded.base_records, 42);
+            assert_eq!(decoded.base_hash, 0xDEAD_BEEF_CAFE);
+            assert_eq!(decoded.first_record_hash, meta.first_record_hash);
+            assert!(decoded.matches_first(first));
+            // The staleness probe: any other first line must not match.
+            assert!(!decoded.matches_first(Some("{\"v\":2,\"other\":1}")));
+            assert_eq!(decoded.matches_first(None), first.is_none());
+        }
+        // Any flipped body byte trips the trailing checksum.
+        let text = SegmentMeta::for_cut(7, 0x1234, Some("line")).encode();
+        let mut corrupt = text.clone().into_bytes();
+        corrupt[10] ^= 0x04;
+        let err = SegmentMeta::decode(std::str::from_utf8(&corrupt).unwrap()).unwrap_err();
+        assert_eq!(err.kind(), SnapshotErrorKind::Checksum);
+        // A foreign banner (with a fixed-up checksum) is a version error.
+        let other = refresh_checksum(&text.replace(SEGMENT_VERSION, "cs-now-segment v99"));
+        assert_eq!(
+            SegmentMeta::decode(&other).unwrap_err().kind(),
+            SnapshotErrorKind::Version
+        );
+    }
+
+    #[test]
+    fn segment_meta_stores_and_loads_through_the_vfs() {
+        let path =
+            std::env::temp_dir().join(format!("cs_now_segment_meta_{}.seg", std::process::id()));
+        let meta = SegmentMeta::for_cut(99, 0xABCD, Some("{\"v\":2}"));
+        meta.store(&StdVfs, &path).unwrap();
+        let loaded = SegmentMeta::load(&StdVfs, &path).unwrap();
+        assert_eq!(loaded.base_records, 99);
+        assert_eq!(loaded.base_hash, 0xABCD);
+        assert!(loaded.matches_first(Some("{\"v\":2}")));
+        // The staging temp file was renamed away, not left behind.
+        assert!(!tmp_path(&path).exists());
         std::fs::remove_file(&path).ok();
     }
 }

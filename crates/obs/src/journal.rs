@@ -23,8 +23,8 @@
 use crate::event::{Event, EventKind};
 use crate::schema::validate_line;
 use crate::sink::EventSink;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use crate::vfs::{StdVfs, StdVfsFile, Vfs, VfsFile};
+use std::fs::File;
 use std::path::Path;
 
 /// When [`JournalWriter`] forces records to stable storage.
@@ -61,7 +61,7 @@ pub struct JournalStats {
 /// [`FsyncPolicy`].
 #[derive(Debug)]
 pub struct JournalWriter {
-    file: Option<File>,
+    file: Option<Box<dyn VfsFile>>,
     policy: FsyncPolicy,
     stats: JournalStats,
     error: Option<std::io::Error>,
@@ -74,7 +74,12 @@ pub struct JournalWriter {
 impl JournalWriter {
     /// Creates (truncating) `path` and returns a journal writing to it.
     pub fn create(path: impl AsRef<Path>, policy: FsyncPolicy) -> std::io::Result<Self> {
-        Ok(Self::from_file(File::create(path)?, policy))
+        Self::create_with(&StdVfs, path.as_ref(), policy)
+    }
+
+    /// [`JournalWriter::create`] through an injectable [`Vfs`].
+    pub fn create_with(vfs: &dyn Vfs, path: &Path, policy: FsyncPolicy) -> std::io::Result<Self> {
+        Ok(Self::from_handle(vfs.create(path)?, policy))
     }
 
     /// Reopens an existing journal for appending, first truncating it to
@@ -85,17 +90,26 @@ impl JournalWriter {
         valid_len: u64,
         policy: FsyncPolicy,
     ) -> std::io::Result<Self> {
-        let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(valid_len)?;
-        let mut w = Self::from_file(file, policy);
-        if let Some(f) = w.file.as_mut() {
-            f.seek(SeekFrom::End(0))?;
-        }
-        Ok(w)
+        Self::append_at_with(&StdVfs, path.as_ref(), valid_len, policy)
+    }
+
+    /// [`JournalWriter::append_at`] through an injectable [`Vfs`].
+    pub fn append_at_with(
+        vfs: &dyn Vfs,
+        path: &Path,
+        valid_len: u64,
+        policy: FsyncPolicy,
+    ) -> std::io::Result<Self> {
+        Ok(Self::from_handle(vfs.open_append(path, valid_len)?, policy))
     }
 
     /// Wraps an already-open file (tests and special handles).
     pub fn from_file(file: File, policy: FsyncPolicy) -> Self {
+        Self::from_handle(Box::new(StdVfsFile(file)), policy)
+    }
+
+    /// Wraps an already-open [`VfsFile`] handle.
+    pub fn from_handle(file: Box<dyn VfsFile>, policy: FsyncPolicy) -> Self {
         Self {
             file: Some(file),
             policy,
@@ -109,6 +123,15 @@ impl JournalWriter {
     /// Records written so far.
     pub fn records(&self) -> u64 {
         self.stats.records
+    }
+
+    /// The first latched I/O error, if any. `emit` is infallible by
+    /// contract, so a caller that wants to *react* to a dying disk
+    /// mid-run (fail-stop or degrade, rather than discovering the
+    /// failure at [`JournalWriter::finish`]) polls this at its own
+    /// commit points.
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
     }
 
     /// Writes raw bytes outside record accounting, after syncing committed
@@ -145,14 +168,23 @@ impl JournalWriter {
     /// Final sync, then surfaces the first latched I/O error. Returns the
     /// durability counters on success.
     pub fn finish(mut self) -> std::io::Result<JournalStats> {
+        let (stats, err) = self.finish_parts();
+        match err {
+            Some(e) => Err(e),
+            None => Ok(stats),
+        }
+    }
+
+    /// Like [`JournalWriter::finish`], but always returns the counters
+    /// alongside the error — for callers (degraded-mode runs, journal
+    /// segment rotation) that must keep accounting even when the disk
+    /// died.
+    pub fn finish_parts(&mut self) -> (JournalStats, Option<std::io::Error>) {
         if self.file.is_some() {
             self.sync();
             self.file = None;
         }
-        match self.error.take() {
-            Some(e) => Err(e),
-            None => Ok(self.stats),
-        }
+        (self.stats, self.error.take())
     }
 }
 
@@ -198,7 +230,7 @@ impl Drop for JournalWriter {
         // `finish` already took the file on the happy path; this runs for
         // journals dropped early (panics, error returns). Records were
         // written unbuffered, so only the final sync can still fail.
-        if let Some(f) = self.file.take() {
+        if let Some(mut f) = self.file.take() {
             let sync_err = f.sync_data().err();
             if let Some(e) = self.error.take().or(sync_err) {
                 eprintln!(
@@ -277,8 +309,12 @@ impl From<std::io::Error> for JournalReadError {
 /// * an invalid line *followed by* further records → hard
 ///   [`JournalReadError::Corrupt`].
 pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalContents, JournalReadError> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+    read_journal_with(&StdVfs, path.as_ref())
+}
+
+/// [`read_journal`] through an injectable [`Vfs`].
+pub fn read_journal_with(vfs: &dyn Vfs, path: &Path) -> Result<JournalContents, JournalReadError> {
+    let bytes = vfs.read(path)?;
     let mut out = JournalContents::default();
     let mut offset = 0usize;
     let mut lineno = 0usize;

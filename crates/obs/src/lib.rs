@@ -40,6 +40,10 @@
 //!   (wall-clock-cadenced `RUN-PROGRESS` heartbeat lines).
 //! * [`summary`] — the shared `RUN-SUMMARY` JSON emitter for `exp_*`
 //!   binaries.
+//! * [`vfs`] — the **injectable filesystem** under the durability layer:
+//!   [`Vfs`]/[`VfsFile`] traits, the production [`StdVfs`], and the
+//!   seeded fault injector [`FaultyVfs`] (failed/short writes, fsync
+//!   errors, rename failures, ENOSPC at chosen operation indices).
 //!
 //! **Pass-through contract:** sinks never feed back into producers, and
 //! the span profiler only reads the wall clock. A seeded simulation run
@@ -61,6 +65,7 @@ pub mod schema;
 pub mod sink;
 pub mod span;
 pub mod summary;
+pub mod vfs;
 
 pub use analyze::{
     analyze_lines, check_lines, check_text, diff_bench, diff_registries, CheckSummary, DiffRow,
@@ -69,7 +74,8 @@ pub use analyze::{
 pub use event::{Event, EventKind, ALL_KINDS, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 pub use flight::{FlightRecorder, ProgressSink};
 pub use journal::{
-    read_journal, FsyncPolicy, JournalContents, JournalReadError, JournalStats, JournalWriter,
+    read_journal, read_journal_with, FsyncPolicy, JournalContents, JournalReadError, JournalStats,
+    JournalWriter,
 };
 pub use json::{parse_json, Json};
 pub use lineage::{
@@ -80,3 +86,6 @@ pub use schema::{validate_line, ValidatedEvent};
 pub use sink::{EventSink, JsonlSink, MemorySink, MetricsSink, NoopSink, TeeSink};
 pub use span::{SpanGuard, SpanId, SpanProfiler};
 pub use summary::RunSummary;
+pub use vfs::{
+    injected_kind, FaultAt, FaultKind, FaultyVfs, StdVfs, Vfs, VfsFile, ALL_FAULT_KINDS,
+};

@@ -150,9 +150,8 @@ fn run_and_check(tag: &str, config: FarmConfig, bag: TaskBag, snapshot_every: Op
     let journal_path = dir.join("run.jsonl");
     let opts = JournalOptions {
         fsync: guideline_fsync_policy(&config),
-        kill_after: None,
         snapshot_every,
-        progress_every: None,
+        ..Default::default()
     };
     let (report, _stats) = Farm::new(config, bag)
         .unwrap()
